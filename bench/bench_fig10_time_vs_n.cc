@@ -1,0 +1,117 @@
+// Figure 10: query time vs n for BASE / TRAN / QUAD / CUTTING on the four
+// datasets (CORR, INDE, ANTI, NBA), d = 3, r[j] in [0.36, 2.75].
+//
+// Methodology notes (same as the paper's):
+//   * QUAD and CUTTING report query time on a prebuilt index (index
+//     construction is the offline phase); build time is printed separately.
+//   * BASE is O(n^2 2^(d-1)) and is capped by default at n = 2^13 ("--"
+//     beyond); pass --full to raise the cap to 2^17.
+//   * Expected shape: TRAN well below BASE, the index queries orders of
+//     magnitude below TRAN, and cost ordered CORR < INDE < ANTI.
+//
+//   build/bench/bench_fig10_time_vs_n [--quick|--full]
+
+#include <cstdio>
+#include <cstring>
+
+#include "benchlib/sweep.h"
+#include "benchlib/table.h"
+#include "benchlib/workloads.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "core/eclipse.h"
+#include "core/eclipse_index.h"
+
+namespace {
+
+using eclipse::BenchDataset;
+using eclipse::EclipseIndex;
+using eclipse::IndexBuildOptions;
+using eclipse::IndexKind;
+using eclipse::PointSet;
+using eclipse::RatioBox;
+using eclipse::SkylineAlgorithm;
+using eclipse::TimedRun;
+
+TimedRun RunIndexQueries(const PointSet& data, IndexKind kind,
+                         const RatioBox& box, std::string* note) {
+  IndexBuildOptions options;
+  options.kind = kind;
+  options.skyline_algorithm = SkylineAlgorithm::kDivideConquer;
+  eclipse::Stopwatch build_timer;
+  auto index = EclipseIndex::Build(data, options);
+  if (!index.ok()) {
+    *note = "build guard";
+    TimedRun skipped;
+    skipped.skipped = true;
+    return skipped;
+  }
+  *note = eclipse::StrFormat("build %.2fs, u=%zu",
+                             build_timer.ElapsedSeconds(),
+                             index->indexed_count());
+  return eclipse::TimeIt([&] { (void)*index->Query(box, nullptr); }, 0.1,
+                         200);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
+  const size_t d = 3;
+  const size_t base_cap = full ? (1u << 17) : (1u << 13);
+  auto box = *RatioBox::Uniform(d - 1, eclipse::kDefaultRatioLo,
+                                eclipse::kDefaultRatioHi);
+
+  std::printf(
+      "Figure 10: time vs n (d = 3, r[j] in [0.36, 2.75]); seconds per "
+      "query.\nBASE capped at n = 2^%d; QUAD/CUTTING are query times on a "
+      "prebuilt index.\n\n",
+      full ? 17 : 13);
+
+  const BenchDataset datasets[] = {BenchDataset::kCorr, BenchDataset::kInde,
+                                   BenchDataset::kAnti, BenchDataset::kNba};
+  for (BenchDataset which : datasets) {
+    std::vector<size_t> ns;
+    if (which == BenchDataset::kNba) {
+      ns = {500, 1000, 1500, 2000};
+    } else if (quick) {
+      ns = {1u << 7, 1u << 10, 1u << 13};
+    } else {
+      ns = {1u << 7, 1u << 10, 1u << 13, 1u << 17, 1u << 20};
+    }
+    std::printf("(%s)\n", eclipse::BenchDatasetName(which));
+    eclipse::TablePrinter table(
+        {"n", "BASE", "TRAN", "QUAD", "CUTTING", "notes"});
+    for (size_t n : ns) {
+      PointSet data = eclipse::MakeBenchDataset(which, n, d, 42 + n);
+
+      TimedRun base;
+      if (n <= base_cap) {
+        base = eclipse::TimeIt(
+            [&] { (void)*eclipse::EclipseBaseline(data, box); }, 0.05, 20);
+      } else {
+        base.skipped = true;
+      }
+      TimedRun tran = eclipse::TimeIt(
+          [&] { (void)*eclipse::EclipseTransformHD(data, box); }, 0.05, 20);
+      std::string quad_note, cutting_note;
+      TimedRun quad =
+          RunIndexQueries(data, IndexKind::kLineQuadtree, box, &quad_note);
+      TimedRun cutting =
+          RunIndexQueries(data, IndexKind::kCuttingTree, box, &cutting_note);
+
+      table.AddRow({eclipse::StrFormat("%zu", n), FormatSeconds(base),
+                    FormatSeconds(tran), FormatSeconds(quad),
+                    FormatSeconds(cutting),
+                    eclipse::StrFormat("QUAD: %s | CUT: %s",
+                                       quad_note.c_str(),
+                                       cutting_note.c_str())});
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+  std::printf(
+      "Expected shape: TRAN << BASE; index queries << TRAN, flat-ish in n; "
+      "cost CORR < INDE < ANTI.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Figure 11: query time vs d for BASE / TRAN / QUAD / CUTTING on the four
+// datasets; n = 2^10 (NBA: 1000), r[j] in [0.36, 2.75], d in {2, 3, 4, 5}.
+//
+//   build/bench/bench_fig11_time_vs_d [--quick]
+
+#include <cstdio>
+#include <cstring>
+
+#include "benchlib/sweep.h"
+#include "benchlib/table.h"
+#include "benchlib/workloads.h"
+#include "common/strings.h"
+#include "core/eclipse.h"
+#include "core/eclipse_index.h"
+
+namespace {
+
+using eclipse::BenchDataset;
+using eclipse::EclipseIndex;
+using eclipse::IndexBuildOptions;
+using eclipse::IndexKind;
+using eclipse::PointSet;
+using eclipse::RatioBox;
+using eclipse::TimedRun;
+
+TimedRun RunIndexQueries(const PointSet& data, IndexKind kind,
+                         const RatioBox& box, std::string* note) {
+  IndexBuildOptions options;
+  options.kind = kind;
+  auto index = EclipseIndex::Build(data, options);
+  if (!index.ok()) {
+    *note += "guard;";
+    TimedRun skipped;
+    skipped.skipped = true;
+    return skipped;
+  }
+  return eclipse::TimeIt([&] { (void)*index->Query(box, nullptr); }, 0.1,
+                         500);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  const size_t n = 1u << 10;
+  (void)quick;
+
+  std::printf(
+      "Figure 11: time vs d (n = 2^10, NBA 1000; r[j] in [0.36, 2.75]); "
+      "seconds per query.\n\n");
+
+  const BenchDataset datasets[] = {BenchDataset::kCorr, BenchDataset::kInde,
+                                   BenchDataset::kAnti, BenchDataset::kNba};
+  for (BenchDataset which : datasets) {
+    const size_t rows_n = which == BenchDataset::kNba ? 1000 : n;
+    std::printf("(%s, n = %zu)\n", eclipse::BenchDatasetName(which), rows_n);
+    eclipse::TablePrinter table({"d", "BASE", "TRAN", "QUAD", "CUTTING",
+                                 "notes"});
+    for (size_t d = 2; d <= 5; ++d) {
+      PointSet data = eclipse::MakeBenchDataset(which, rows_n, d, 1000 + d);
+      auto box = *RatioBox::Uniform(d - 1, eclipse::kDefaultRatioLo,
+                                    eclipse::kDefaultRatioHi);
+      TimedRun base = eclipse::TimeIt(
+          [&] { (void)*eclipse::EclipseBaseline(data, box); }, 0.05, 50);
+      TimedRun tran = eclipse::TimeIt(
+          [&] { (void)*eclipse::EclipseTransformHD(data, box); }, 0.05, 100);
+      std::string note;
+      TimedRun quad =
+          RunIndexQueries(data, IndexKind::kLineQuadtree, box, &note);
+      TimedRun cutting =
+          RunIndexQueries(data, IndexKind::kCuttingTree, box, &note);
+      table.AddRow({eclipse::StrFormat("%zu", d), FormatSeconds(base),
+                    FormatSeconds(tran), FormatSeconds(quad),
+                    FormatSeconds(cutting), note});
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+  std::printf(
+      "Expected shape: BASE grows with 2^(d-1) corners; TRAN flat-ish; "
+      "index queries fastest, QUAD <= CUTTING on average.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 13: worst-case index query time vs the number of skyline points u
+// (d = 3). The adversarial dataset clusters all dual intersections around
+// one anchor ("all the lines almost lie in the same quadrant"): the
+// midpoint quadtree degenerates into deep, duplicated cells while the
+// sample-median cutting detects no-progress and stays flat, so CUTTING
+// beats QUAD here -- the reverse of the average case.
+//
+//   build/bench/bench_fig13_worstcase_n
+
+#include <cstdio>
+
+#include "benchlib/sweep.h"
+#include "benchlib/table.h"
+#include "common/random.h"
+#include "common/strings.h"
+#include "core/eclipse_index.h"
+#include "dataset/adversarial.h"
+
+int main() {
+  const size_t d = 3;
+  std::printf(
+      "Figure 13: worst-case query time vs u (adversarial clustered "
+      "intersections, d = 3); seconds per query.\n\n");
+  eclipse::TablePrinter table({"u", "QUAD", "CUTTING", "QUAD nodes",
+                               "CUTTING nodes", "QUAD depth",
+                               "CUTTING depth"});
+  for (size_t exp = 7; exp <= 10; ++exp) {
+    const size_t u = size_t{1} << exp;
+    eclipse::Rng rng(500 + exp);
+    eclipse::PointSet data = eclipse::GenerateAdversarialDual(u, d, &rng);
+    // The anchor sits at ratio 1; keep the domain tight around it so the
+    // cluster is what the index must cope with.
+    eclipse::IndexBuildOptions base;
+    base.domain = {eclipse::RatioRange{0.05, 10.0},
+                   eclipse::RatioRange{0.05, 10.0}};
+    base.max_pairs = 10'000'000;
+
+    auto quad_opts = base;
+    quad_opts.kind = eclipse::IndexKind::kLineQuadtree;
+    auto quad = *eclipse::EclipseIndex::Build(data, quad_opts);
+    auto cut_opts = base;
+    cut_opts.kind = eclipse::IndexKind::kCuttingTree;
+    auto cutting = *eclipse::EclipseIndex::Build(data, cut_opts);
+
+    auto box = *eclipse::RatioBox::Uniform(d - 1, 0.36, 2.75);
+    auto quad_time =
+        eclipse::TimeIt([&] { (void)*quad.Query(box, nullptr); }, 0.2, 100);
+    auto cut_time = eclipse::TimeIt(
+        [&] { (void)*cutting.Query(box, nullptr); }, 0.2, 100);
+
+    table.AddRow(
+        {eclipse::StrFormat("2^%zu", exp), FormatSeconds(quad_time),
+         FormatSeconds(cut_time),
+         eclipse::StrFormat("%zu", quad.intersection_index()->NodeCount()),
+         eclipse::StrFormat("%zu",
+                            cutting.intersection_index()->NodeCount()),
+         eclipse::StrFormat("%zu", quad.intersection_index()->MaxDepth()),
+         eclipse::StrFormat("%zu",
+                            cutting.intersection_index()->MaxDepth())});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("Expected shape: CUTTING consistently beats QUAD here.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 14: worst-case index query time vs d (adversarial clustered
+// intersections, u = 2^7). As d grows the structural gap narrows (the
+// paper observed the same, attributing it to Voronoi-cell complexity; here
+// the 2^(d-1)-way fanout makes the quadtree's duplication budget bind
+// sooner, flattening it toward the cutting tree's behavior).
+//
+//   build/bench/bench_fig14_worstcase_d
+
+#include <cstdio>
+
+#include "benchlib/sweep.h"
+#include "benchlib/table.h"
+#include "common/random.h"
+#include "common/strings.h"
+#include "core/eclipse_index.h"
+#include "dataset/adversarial.h"
+
+int main() {
+  const size_t u = 1u << 7;
+  std::printf(
+      "Figure 14: worst-case query time vs d (adversarial, u = 2^7); "
+      "seconds per query.\n\n");
+  eclipse::TablePrinter table(
+      {"d", "QUAD", "CUTTING", "QUAD depth", "CUTTING depth"});
+  for (size_t d = 3; d <= 5; ++d) {
+    eclipse::Rng rng(900 + d);
+    eclipse::PointSet data = eclipse::GenerateAdversarialDual(u, d, &rng);
+    eclipse::IndexBuildOptions base;
+    base.domain.assign(d - 1, eclipse::RatioRange{0.05, 10.0});
+    base.max_pairs = 10'000'000;
+
+    auto quad_opts = base;
+    quad_opts.kind = eclipse::IndexKind::kLineQuadtree;
+    auto quad = *eclipse::EclipseIndex::Build(data, quad_opts);
+    auto cut_opts = base;
+    cut_opts.kind = eclipse::IndexKind::kCuttingTree;
+    auto cutting = *eclipse::EclipseIndex::Build(data, cut_opts);
+
+    auto box = *eclipse::RatioBox::Uniform(d - 1, 0.36, 2.75);
+    auto quad_time =
+        eclipse::TimeIt([&] { (void)*quad.Query(box, nullptr); }, 0.2, 200);
+    auto cut_time = eclipse::TimeIt(
+        [&] { (void)*cutting.Query(box, nullptr); }, 0.2, 200);
+    table.AddRow(
+        {eclipse::StrFormat("%zu", d), FormatSeconds(quad_time),
+         FormatSeconds(cut_time),
+         eclipse::StrFormat("%zu", quad.intersection_index()->MaxDepth()),
+         eclipse::StrFormat("%zu",
+                            cutting.intersection_index()->MaxDepth())});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Expected shape: CUTTING beats QUAD, with the gap narrowing as d "
+      "grows.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Micro-benchmarks (google-benchmark): index build phases, query engines,
+// and the R-tree kNN substrate.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "core/eclipse_index.h"
+#include "dataset/generators.h"
+#include "knn/linear_scan.h"
+#include "knn/rtree.h"
+
+namespace eclipse {
+namespace {
+
+PointSet MakeData(size_t n, size_t d) {
+  Rng rng(77 + n + d);
+  return GenerateSynthetic(Distribution::kIndependent, n, d, &rng);
+}
+
+void BM_IndexBuildQuad(benchmark::State& state) {
+  PointSet ps = MakeData(static_cast<size_t>(state.range(0)), 3);
+  IndexBuildOptions options;
+  options.kind = IndexKind::kLineQuadtree;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(*EclipseIndex::Build(ps, options));
+  }
+}
+BENCHMARK(BM_IndexBuildQuad)->Range(1 << 10, 1 << 16);
+
+void BM_IndexBuildCutting(benchmark::State& state) {
+  PointSet ps = MakeData(static_cast<size_t>(state.range(0)), 3);
+  IndexBuildOptions options;
+  options.kind = IndexKind::kCuttingTree;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(*EclipseIndex::Build(ps, options));
+  }
+}
+BENCHMARK(BM_IndexBuildCutting)->Range(1 << 10, 1 << 16);
+
+void BM_IndexQueryQuad(benchmark::State& state) {
+  PointSet ps = MakeData(static_cast<size_t>(state.range(0)), 3);
+  IndexBuildOptions options;
+  options.kind = IndexKind::kLineQuadtree;
+  auto index = *EclipseIndex::Build(ps, options);
+  auto box = *RatioBox::Uniform(2, 0.36, 2.75);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(*index.Query(box, nullptr));
+  }
+}
+BENCHMARK(BM_IndexQueryQuad)->Range(1 << 10, 1 << 18);
+
+void BM_IndexQueryCutting(benchmark::State& state) {
+  PointSet ps = MakeData(static_cast<size_t>(state.range(0)), 3);
+  IndexBuildOptions options;
+  options.kind = IndexKind::kCuttingTree;
+  auto index = *EclipseIndex::Build(ps, options);
+  auto box = *RatioBox::Uniform(2, 0.36, 2.75);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(*index.Query(box, nullptr));
+  }
+}
+BENCHMARK(BM_IndexQueryCutting)->Range(1 << 10, 1 << 18);
+
+void BM_RTreeBuild(benchmark::State& state) {
+  PointSet ps = MakeData(static_cast<size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(*RTree::Build(ps, {}));
+  }
+}
+BENCHMARK(BM_RTreeBuild)->Range(1 << 10, 1 << 18);
+
+void BM_RTreeKnn(benchmark::State& state) {
+  PointSet ps = MakeData(1 << 16, 3);
+  auto tree = *RTree::Build(ps, {});
+  const Point w{1.0, 2.0, 0.5};
+  const size_t k = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(*tree.KNearest(w, k));
+  }
+}
+BENCHMARK(BM_RTreeKnn)->Range(1, 256);
+
+void BM_TopKLinearScan(benchmark::State& state) {
+  PointSet ps = MakeData(1 << 16, 3);
+  const Point w{1.0, 2.0, 0.5};
+  const size_t k = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(*TopKLinearScan(ps, w, k));
+  }
+}
+BENCHMARK(BM_TopKLinearScan)->Range(1, 256);
+
+}  // namespace
+}  // namespace eclipse
+
+BENCHMARK_MAIN();

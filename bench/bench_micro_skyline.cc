@@ -1,0 +1,99 @@
+// Micro-benchmarks (google-benchmark): skyline backends and the one-shot
+// eclipse algorithms. Supporting data for the algorithm-selection defaults
+// (SFS for d >= 3 one-shots, divide & conquer for large builds).
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "core/eclipse.h"
+#include "dataset/generators.h"
+#include "skyline/skyline.h"
+
+namespace eclipse {
+namespace {
+
+PointSet MakeData(Distribution dist, size_t n, size_t d) {
+  Rng rng(1234 + n + d);
+  return GenerateSynthetic(dist, n, d, &rng);
+}
+
+void BM_SkylineBnl(benchmark::State& state) {
+  PointSet ps = MakeData(Distribution::kIndependent,
+                         static_cast<size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SkylineBnl(ps));
+  }
+}
+BENCHMARK(BM_SkylineBnl)->Range(1 << 8, 1 << 14);
+
+void BM_SkylineSfs(benchmark::State& state) {
+  PointSet ps = MakeData(Distribution::kIndependent,
+                         static_cast<size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SkylineSfs(ps));
+  }
+}
+BENCHMARK(BM_SkylineSfs)->Range(1 << 8, 1 << 16);
+
+void BM_SkylineDivideConquer(benchmark::State& state) {
+  PointSet ps = MakeData(Distribution::kAnticorrelated,
+                         static_cast<size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SkylineDivideConquer(ps));
+  }
+}
+BENCHMARK(BM_SkylineDivideConquer)->Range(1 << 8, 1 << 16);
+
+void BM_SkylineSortSweep2D(benchmark::State& state) {
+  PointSet ps = MakeData(Distribution::kAnticorrelated,
+                         static_cast<size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(*SkylineSortSweep2D(ps));
+  }
+}
+BENCHMARK(BM_SkylineSortSweep2D)->Range(1 << 8, 1 << 18);
+
+void BM_EclipseBaseline(benchmark::State& state) {
+  PointSet ps = MakeData(Distribution::kIndependent,
+                         static_cast<size_t>(state.range(0)), 3);
+  auto box = *RatioBox::Uniform(2, 0.36, 2.75);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(*EclipseBaseline(ps, box));
+  }
+}
+BENCHMARK(BM_EclipseBaseline)->Range(1 << 8, 1 << 12);
+
+void BM_EclipseTransformHD(benchmark::State& state) {
+  PointSet ps = MakeData(Distribution::kIndependent,
+                         static_cast<size_t>(state.range(0)), 3);
+  auto box = *RatioBox::Uniform(2, 0.36, 2.75);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(*EclipseTransformHD(ps, box));
+  }
+}
+BENCHMARK(BM_EclipseTransformHD)->Range(1 << 8, 1 << 16);
+
+void BM_EclipseCornerSkyline(benchmark::State& state) {
+  PointSet ps = MakeData(Distribution::kIndependent,
+                         static_cast<size_t>(state.range(0)), 3);
+  auto box = *RatioBox::Uniform(2, 0.36, 2.75);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(*EclipseCornerSkyline(ps, box));
+  }
+}
+BENCHMARK(BM_EclipseCornerSkyline)->Range(1 << 8, 1 << 16);
+
+void BM_EclipseCornerSkylineDims(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  PointSet ps = MakeData(Distribution::kIndependent, 1 << 12, d);
+  auto box = *RatioBox::Uniform(d - 1, 0.36, 2.75);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(*EclipseCornerSkyline(ps, box));
+  }
+}
+BENCHMARK(BM_EclipseCornerSkylineDims)->DenseRange(2, 6);
+
+}  // namespace
+}  // namespace eclipse
+
+BENCHMARK_MAIN();

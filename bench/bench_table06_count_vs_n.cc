@@ -1,0 +1,49 @@
+// Table VI: expected number of eclipse points vs n.
+//
+// Paper setting: INDE, d = 3, r[j] in [0.36, 2.75], n in {2^7, 2^10, 2^13,
+// 2^17, 2^20}. Paper reports 3.71, 3.83, 3.91, 4.03, 4.13 -- roughly flat
+// in n. We Monte-Carlo the expectation over fresh INDE draws.
+//
+//   build/bench/bench_table06_count_vs_n [--quick]
+
+#include <cstdio>
+#include <cstring>
+
+#include "benchlib/table.h"
+#include "benchlib/workloads.h"
+#include "common/strings.h"
+#include "core/eclipse.h"
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  const size_t exponents[] = {7, 10, 13, 17, 20};
+  const double paper[] = {3.71, 3.83, 3.91, 4.03, 4.13};
+  const size_t d = 3;
+  auto box = *eclipse::RatioBox::Uniform(d - 1, eclipse::kDefaultRatioLo,
+                                         eclipse::kDefaultRatioHi);
+
+  std::printf("Table VI: expected number of eclipse points vs n\n");
+  std::printf("(INDE, d = 3, r[j] in [0.36, 2.75])\n\n");
+  eclipse::TablePrinter table({"n", "trials", "measured E[#eclipse]",
+                               "paper"});
+  for (size_t row = 0; row < std::size(exponents); ++row) {
+    const size_t n = size_t{1} << exponents[row];
+    // Fewer trials for the larger (slower) sizes.
+    size_t trials = n <= (1u << 13) ? 64 : (n <= (1u << 17) ? 16 : 4);
+    if (quick) trials = n <= (1u << 13) ? 8 : 2;
+    double total = 0.0;
+    for (size_t t = 0; t < trials; ++t) {
+      eclipse::PointSet data = eclipse::MakeBenchDataset(
+          eclipse::BenchDataset::kInde, n, d, 1000 + 31 * row + t);
+      auto ids = eclipse::EclipseCornerSkyline(data, box);
+      total += static_cast<double>(ids->size());
+    }
+    table.AddRow({eclipse::StrFormat("2^%zu", exponents[row]),
+                  eclipse::StrFormat("%zu", trials),
+                  eclipse::StrFormat("%.2f", total / trials),
+                  eclipse::StrFormat("%.2f", paper[row])});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("Expected shape: E[#eclipse] is nearly flat in n.\n");
+  return 0;
+}

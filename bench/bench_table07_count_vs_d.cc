@@ -1,0 +1,46 @@
+// Table VII: expected number of eclipse points vs d.
+//
+// Paper setting: INDE, n = 2^10, r[j] in [0.36, 2.75], d in {2, 3, 4, 5};
+// reported 1.8, 3.8, 8.5, 17.2 -- roughly doubling per added dimension.
+//
+//   build/bench/bench_table07_count_vs_d [--quick]
+
+#include <cstdio>
+#include <cstring>
+
+#include "benchlib/table.h"
+#include "benchlib/workloads.h"
+#include "common/strings.h"
+#include "core/eclipse.h"
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  const size_t n = 1u << 10;
+  const size_t trials = quick ? 16 : 256;
+  const double paper[] = {1.8, 3.8, 8.5, 17.2};
+
+  std::printf("Table VII: expected number of eclipse points vs d\n");
+  std::printf("(INDE, n = 2^10, r[j] in [0.36, 2.75])\n\n");
+  eclipse::TablePrinter table({"d", "trials", "measured E[#eclipse]",
+                               "paper"});
+  for (size_t d = 2; d <= 5; ++d) {
+    auto box = *eclipse::RatioBox::Uniform(d - 1, eclipse::kDefaultRatioLo,
+                                           eclipse::kDefaultRatioHi);
+    double total = 0.0;
+    for (size_t t = 0; t < trials; ++t) {
+      eclipse::PointSet data = eclipse::MakeBenchDataset(
+          eclipse::BenchDataset::kInde, n, d, 7000 + 101 * d + t);
+      total += static_cast<double>(
+          eclipse::EclipseCornerSkyline(data, box)->size());
+    }
+    table.AddRow({eclipse::StrFormat("%zu", d),
+                  eclipse::StrFormat("%zu", trials),
+                  eclipse::StrFormat("%.2f", total / trials),
+                  eclipse::StrFormat("%.2f", paper[d - 2])});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Expected shape: the count grows steeply (roughly x2) with each added "
+      "dimension.\n");
+  return 0;
+}

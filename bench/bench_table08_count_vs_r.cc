@@ -1,0 +1,55 @@
+// Table VIII: expected number of eclipse points vs the ratio range.
+//
+// Paper setting: INDE, n = 2^10, d = 3, ranges [0.18,5.67], [0.36,2.75],
+// [0.58,1.73], [0.84,1.19]; reported 7.2, 3.8, 2.2, 1.3 -- the narrower the
+// preference, the smaller the answer.
+//
+//   build/bench/bench_table08_count_vs_r [--quick]
+
+#include <cstdio>
+#include <cstring>
+
+#include "benchlib/table.h"
+#include "benchlib/workloads.h"
+#include "common/strings.h"
+#include "core/eclipse.h"
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  const size_t n = 1u << 10;
+  const size_t d = 3;
+  const size_t trials = quick ? 16 : 256;
+  const struct {
+    double lo, hi, paper;
+  } rows[] = {
+      {0.18, 5.67, 7.2},
+      {0.36, 2.75, 3.8},
+      {0.58, 1.73, 2.2},
+      {0.84, 1.19, 1.3},
+  };
+
+  std::printf("Table VIII: expected number of eclipse points vs r\n");
+  std::printf("(INDE, n = 2^10, d = 3)\n\n");
+  eclipse::TablePrinter table({"r", "trials", "measured E[#eclipse]",
+                               "paper"});
+  for (const auto& row : rows) {
+    auto box = *eclipse::RatioBox::Uniform(d - 1, row.lo, row.hi);
+    double total = 0.0;
+    for (size_t t = 0; t < trials; ++t) {
+      eclipse::PointSet data = eclipse::MakeBenchDataset(
+          eclipse::BenchDataset::kInde, n, d,
+          9000 + 37 * static_cast<size_t>(100 * row.lo) + t);
+      total += static_cast<double>(
+          eclipse::EclipseCornerSkyline(data, box)->size());
+    }
+    table.AddRow({eclipse::StrFormat("[%.2f, %.2f]", row.lo, row.hi),
+                  eclipse::StrFormat("%zu", trials),
+                  eclipse::StrFormat("%.2f", total / trials),
+                  eclipse::StrFormat("%.2f", row.paper)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Expected shape: the count shrinks monotonically as the ratio range "
+      "narrows toward 1NN.\n");
+  return 0;
+}

@@ -1,0 +1,190 @@
+// eclipse_cli: run eclipse / skyline / 1NN / top-k queries over a CSV file.
+//
+// A small production-style utility around the library: load a table, pick
+// an operator and parameters, get ids (and optionally rows) back.
+//
+//   eclipse_cli <file.csv> skyline
+//   eclipse_cli <file.csv> eclipse  <lo> <hi> [algorithm]
+//   eclipse_cli <file.csv> onenn    <r1> [r2 ...]
+//   eclipse_cli <file.csv> topk     <k> <r1> [r2 ...]
+//   eclipse_cli <file.csv> suggest  <target_size>
+//
+// Options: --max (attributes are larger-is-better; flip before querying),
+//          --rows (print matching rows, not only ids).
+// `algorithm` is one of base, tran, corner (default), index.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/eclipse.h"
+#include "core/eclipse_index.h"
+#include "core/suggest_range.h"
+#include "dataset/csv.h"
+#include "dataset/transforms.h"
+#include "knn/linear_scan.h"
+#include "knn/scoring.h"
+
+namespace {
+
+using eclipse::Point;
+using eclipse::PointId;
+using eclipse::PointSet;
+using eclipse::RatioBox;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: eclipse_cli <file.csv> [--max] [--rows] <operator> "
+               "...\n"
+               "  skyline\n"
+               "  eclipse <lo> <hi> [base|tran|corner|index]\n"
+               "  onenn   <r1> [r2 ...]\n"
+               "  topk    <k> <r1> [r2 ...]\n"
+               "  suggest <target_size>\n");
+  return 2;
+}
+
+void PrintResult(const PointSet& points, const std::vector<PointId>& ids,
+                 bool rows) {
+  std::printf("%zu result(s):", ids.size());
+  for (PointId id : ids) std::printf(" %u", id);
+  std::printf("\n");
+  if (!rows) return;
+  for (PointId id : ids) {
+    std::printf("  #%-6u", id);
+    for (size_t j = 0; j < points.dims(); ++j) {
+      std::printf(" %12.6g", points.at(id, j));
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  bool flip_max = false;
+  bool print_rows = false;
+  for (auto it = args.begin(); it != args.end();) {
+    if (*it == "--max") {
+      flip_max = true;
+      it = args.erase(it);
+    } else if (*it == "--rows") {
+      print_rows = true;
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (args.size() < 2) return Usage();
+
+  auto table = eclipse::ReadCsv(args[0]);
+  if (!table.ok()) {
+    std::fprintf(stderr, "error: %s\n", table.status().ToString().c_str());
+    return 1;
+  }
+  const PointSet original = std::move(table->points);
+  const PointSet data = flip_max ? eclipse::MaxToMin(original) : original;
+  const size_t d = data.dims();
+  std::printf("loaded %zu rows x %zu columns from %s%s\n", data.size(), d,
+              args[0].c_str(), flip_max ? " (max->min flipped)" : "");
+
+  const std::string& op = args[1];
+  if (op == "skyline") {
+    auto ids = eclipse::EclipseCornerSkyline(data, RatioBox::Skyline(d - 1));
+    if (!ids.ok()) {
+      std::fprintf(stderr, "error: %s\n", ids.status().ToString().c_str());
+      return 1;
+    }
+    PrintResult(original, *ids, print_rows);
+    return 0;
+  }
+  if (op == "eclipse") {
+    if (args.size() < 4) return Usage();
+    const double lo = std::atof(args[2].c_str());
+    const double hi = std::atof(args[3].c_str());
+    const std::string algo = args.size() > 4 ? args[4] : "corner";
+    auto box = RatioBox::Uniform(d - 1, lo, hi);
+    if (!box.ok()) {
+      std::fprintf(stderr, "error: %s\n", box.status().ToString().c_str());
+      return 1;
+    }
+    eclipse::Result<std::vector<PointId>> ids =
+        eclipse::Status::InvalidArgument("unknown algorithm " + algo);
+    if (algo == "base") {
+      ids = eclipse::EclipseBaseline(data, *box);
+    } else if (algo == "tran") {
+      ids = d == 2 ? eclipse::EclipseTransform2D(data, *box)
+                   : eclipse::EclipseTransformHD(data, *box);
+    } else if (algo == "corner") {
+      ids = eclipse::EclipseCornerSkyline(data, *box);
+    } else if (algo == "index") {
+      auto index = eclipse::EclipseIndex::Build(data, {});
+      if (!index.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     index.status().ToString().c_str());
+        return 1;
+      }
+      eclipse::QueryStats stats;
+      ids = index->Query(*box, &stats);
+      if (ids.ok()) {
+        std::printf("index: u=%zu, m=%zu crossings\n", stats.indexed,
+                    stats.verified_crossings);
+      }
+    }
+    if (!ids.ok()) {
+      std::fprintf(stderr, "error: %s\n", ids.status().ToString().c_str());
+      return 1;
+    }
+    PrintResult(original, *ids, print_rows);
+    return 0;
+  }
+  if (op == "onenn" || op == "topk") {
+    size_t first_ratio = 2;
+    size_t k = 1;
+    if (op == "topk") {
+      if (args.size() < 3) return Usage();
+      k = static_cast<size_t>(std::atoll(args[2].c_str()));
+      first_ratio = 3;
+    }
+    std::vector<double> ratios;
+    for (size_t i = first_ratio; i < args.size(); ++i) {
+      ratios.push_back(std::atof(args[i].c_str()));
+    }
+    if (ratios.size() != d - 1) {
+      std::fprintf(stderr, "error: need %zu ratios, got %zu\n", d - 1,
+                   ratios.size());
+      return 1;
+    }
+    const Point w = eclipse::WeightsFromRatios(ratios);
+    auto top = eclipse::TopKLinearScan(data, w, k);
+    if (!top.ok()) {
+      std::fprintf(stderr, "error: %s\n", top.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<PointId> ids;
+    for (const auto& sp : *top) ids.push_back(sp.id);
+    PrintResult(original, ids, print_rows);
+    return 0;
+  }
+  if (op == "suggest") {
+    if (args.size() < 3) return Usage();
+    const size_t target = static_cast<size_t>(std::atoll(args[2].c_str()));
+    std::vector<double> center(d - 1, 1.0);
+    auto suggestion = eclipse::SuggestRange(data, center, target);
+    if (!suggestion.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   suggestion.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("suggested query: %s (gamma %.4f) -> %zu results\n",
+                suggestion->box.ToString().c_str(), suggestion->gamma,
+                suggestion->result_size);
+    auto ids = eclipse::EclipseCornerSkyline(data, suggestion->box);
+    if (ids.ok()) PrintResult(original, *ids, print_rows);
+    return 0;
+  }
+  return Usage();
+}

@@ -1,0 +1,80 @@
+// Quickstart: the paper's hotel running example (Figures 1-3).
+//
+// Four hotels with (distance in miles, price in $100). We run the three
+// classic operators and eclipse, showing how eclipse interpolates between
+// 1NN (an exact preference) and skyline (no preference at all).
+//
+//   build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/eclipse.h"
+#include "core/eclipse_index.h"
+#include "core/relationships.h"
+
+namespace {
+
+const char* kHotelNames[] = {"p1", "p2", "p3", "p4"};
+
+void PrintIds(const char* label, const std::vector<eclipse::PointId>& ids) {
+  std::printf("%-28s {", label);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    std::printf("%s%s", i == 0 ? "" : ", ", kHotelNames[ids[i]]);
+  }
+  std::printf("}\n");
+}
+
+}  // namespace
+
+int main() {
+  // The dataset of Figure 1: (distance, price).
+  auto points_or = eclipse::PointSet::FromPoints({
+      {1, 6},  // p1
+      {4, 4},  // p2
+      {6, 1},  // p3
+      {8, 5},  // p4
+  });
+  const eclipse::PointSet& hotels = *points_or;
+
+  std::printf("Hotels (distance mi, price $100):\n");
+  for (size_t i = 0; i < hotels.size(); ++i) {
+    std::printf("  %s = (%g, %g)\n", kHotelNames[i], hotels.at(i, 0),
+                hotels.at(i, 1));
+  }
+  std::printf("\n");
+
+  // 1NN with ratio r = 2 ("distance is twice as important as price"):
+  // eclipse with the degenerate range [2, 2].
+  auto one_nn_box = *eclipse::RatioBox::OneNN({2.0});
+  auto one_nn = *eclipse::EclipseCornerSkyline(hotels, one_nn_box);
+  PrintIds("1NN (r = 2):", one_nn);
+
+  // Skyline: eclipse with the unbounded range [0, +inf).
+  auto skyline_box = eclipse::RatioBox::Skyline(1);
+  auto skyline = *eclipse::EclipseCornerSkyline(hotels, skyline_box);
+  PrintIds("Skyline (r in [0, inf)):", skyline);
+
+  // Eclipse with r in [1/4, 2]: "distance and price are roughly comparable".
+  auto box = *eclipse::RatioBox::Uniform(1, 0.25, 2.0);
+  auto ecl = *eclipse::EclipseTransform2D(hotels, box);
+  PrintIds("Eclipse (r in [1/4, 2]):", ecl);
+
+  // The same query through the prebuilt index (QUAD/CUTTING path).
+  auto index = *eclipse::EclipseIndex::Build(hotels, {});
+  eclipse::QueryStats stats;
+  auto via_index = *index.Query(box, &stats);
+  PrintIds("Eclipse via index:", via_index);
+  std::printf(
+      "  index: %zu candidate hyperplanes, %zu verified crossings\n\n",
+      stats.indexed, stats.verified_crossings);
+
+  // The Figure 4 relationships in one call.
+  auto cmp = *eclipse::CompareOperators(hotels, box);
+  PrintIds("Convex hull query:", cmp.hull);
+  std::printf(
+      "\nContainments (Figure 4): 1NN subset of eclipse: %s; eclipse subset "
+      "of skyline: %s\n",
+      eclipse::IsSubset(cmp.one_nn, cmp.eclipse) ? "yes" : "no",
+      eclipse::IsSubset(cmp.eclipse, cmp.skyline) ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,28 @@
+#include "benchlib/sweep.h"
+
+#include "common/stopwatch.h"
+#include "common/strings.h"
+
+namespace eclipse {
+
+TimedRun TimeIt(const std::function<void()>& fn, double min_total_seconds,
+                size_t max_repetitions) {
+  TimedRun run;
+  Stopwatch total;
+  do {
+    Stopwatch sw;
+    fn();
+    run.seconds += sw.ElapsedSeconds();
+    ++run.repetitions;
+  } while (total.ElapsedSeconds() < min_total_seconds &&
+           run.repetitions < max_repetitions);
+  run.seconds /= static_cast<double>(run.repetitions);
+  return run;
+}
+
+std::string FormatSeconds(const TimedRun& run) {
+  if (run.skipped) return "--";
+  return StrFormat("%.3e", run.seconds);
+}
+
+}  // namespace eclipse

@@ -1,0 +1,30 @@
+// Timing helpers for the paper-table benchmark harness.
+
+#ifndef ECLIPSE_BENCHLIB_SWEEP_H_
+#define ECLIPSE_BENCHLIB_SWEEP_H_
+
+#include <functional>
+#include <string>
+
+namespace eclipse {
+
+struct TimedRun {
+  double seconds = 0.0;   // per-invocation average
+  size_t repetitions = 0;
+  bool skipped = false;   // the cell was not run (over budget / unsupported)
+};
+
+/// Runs `fn` at least once; repeats until `min_total_seconds` of measurement
+/// or `max_repetitions`, and reports the per-run average. Returns a skipped
+/// cell if the first run exceeds `per_run_budget_seconds` going in (callers
+/// pass an estimate guard via `skip`).
+TimedRun TimeIt(const std::function<void()>& fn,
+                double min_total_seconds = 0.05,
+                size_t max_repetitions = 1000);
+
+/// Formats seconds for a table cell ("1.23e-04 s" style used throughout).
+std::string FormatSeconds(const TimedRun& run);
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_BENCHLIB_SWEEP_H_

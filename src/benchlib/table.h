@@ -1,0 +1,30 @@
+// Aligned ASCII tables for the benchmark harness output.
+
+#ifndef ECLIPSE_BENCHLIB_TABLE_H_
+#define ECLIPSE_BENCHLIB_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace eclipse {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Column-aligned rendering with a header separator.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_BENCHLIB_TABLE_H_

@@ -1,0 +1,48 @@
+#include "benchlib/workloads.h"
+
+#include <cassert>
+
+#include "dataset/nba_synth.h"
+#include "dataset/transforms.h"
+
+namespace eclipse {
+
+const char* BenchDatasetName(BenchDataset which) {
+  switch (which) {
+    case BenchDataset::kCorr:
+      return "CORR";
+    case BenchDataset::kInde:
+      return "INDE";
+    case BenchDataset::kAnti:
+      return "ANTI";
+    case BenchDataset::kNba:
+      return "NBA";
+  }
+  return "unknown";
+}
+
+PointSet MakeBenchDataset(BenchDataset which, size_t n, size_t d,
+                          uint64_t seed) {
+  assert(d >= 2);
+  if (which == BenchDataset::kNba) {
+    assert(d <= 5);
+    PointSet totals = GenerateNbaCareerTotals(
+        std::max(n, kNbaDefaultPlayers), seed);
+    PointSet min_space = MaxToMin(totals);
+    std::vector<size_t> cols;
+    for (size_t j = 0; j < d; ++j) cols.push_back(j);
+    auto selected = SelectColumns(min_space, cols);
+    PointSet out(d);
+    for (size_t i = 0; i < n; ++i) {
+      (void)out.Append((*selected)[i % selected->size()]);
+    }
+    return out;
+  }
+  Rng rng(seed);
+  Distribution dist = Distribution::kIndependent;
+  if (which == BenchDataset::kCorr) dist = Distribution::kCorrelated;
+  if (which == BenchDataset::kAnti) dist = Distribution::kAnticorrelated;
+  return GenerateSynthetic(dist, n, d, &rng);
+}
+
+}  // namespace eclipse

@@ -1,0 +1,30 @@
+// Shared dataset wiring for the paper-figure benchmarks.
+
+#ifndef ECLIPSE_BENCHLIB_WORKLOADS_H_
+#define ECLIPSE_BENCHLIB_WORKLOADS_H_
+
+#include <string>
+
+#include "dataset/generators.h"
+#include "geometry/point.h"
+
+namespace eclipse {
+
+enum class BenchDataset { kCorr, kInde, kAnti, kNba };
+
+const char* BenchDatasetName(BenchDataset which);
+
+/// The four evaluation datasets at the requested size and dimensionality.
+/// NBA is the synthetic career-totals table (min-transformed, first d of its
+/// 5 attributes, truncated/cycled to n rows); the synthetic families follow
+/// Borzsonyi et al. Deterministic in `seed`.
+PointSet MakeBenchDataset(BenchDataset which, size_t n, size_t d,
+                          uint64_t seed);
+
+/// Default ratio range of the paper's experiments: [0.36, 2.75] per dim.
+inline constexpr double kDefaultRatioLo = 0.36;
+inline constexpr double kDefaultRatioHi = 2.75;
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_BENCHLIB_WORKLOADS_H_

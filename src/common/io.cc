@@ -1,0 +1,100 @@
+#include "common/io.h"
+
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace eclipse {
+
+void BinaryWriter::WriteU32(uint32_t v) {
+  WriteBytes(&v, sizeof(v));
+}
+
+void BinaryWriter::WriteU64(uint64_t v) {
+  WriteBytes(&v, sizeof(v));
+}
+
+void BinaryWriter::WriteDouble(double v) {
+  WriteBytes(&v, sizeof(v));
+}
+
+void BinaryWriter::WriteBytes(const void* data, size_t size) {
+  if (!out_->good()) return;
+  out_->write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(size));
+}
+
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  WriteBytes(s.data(), s.size());
+}
+
+void BinaryWriter::WriteDoubles(const std::vector<double>& v) {
+  WriteU64(v.size());
+  WriteBytes(v.data(), v.size() * sizeof(double));
+}
+
+void BinaryWriter::WriteU32s(const std::vector<uint32_t>& v) {
+  WriteU64(v.size());
+  WriteBytes(v.data(), v.size() * sizeof(uint32_t));
+}
+
+Result<uint32_t> BinaryReader::ReadU32() {
+  uint32_t v = 0;
+  ECLIPSE_RETURN_IF_ERROR(ReadBytes(&v, sizeof(v)));
+  return v;
+}
+
+Result<uint64_t> BinaryReader::ReadU64() {
+  uint64_t v = 0;
+  ECLIPSE_RETURN_IF_ERROR(ReadBytes(&v, sizeof(v)));
+  return v;
+}
+
+Result<double> BinaryReader::ReadDouble() {
+  double v = 0;
+  ECLIPSE_RETURN_IF_ERROR(ReadBytes(&v, sizeof(v)));
+  return v;
+}
+
+Status BinaryReader::ReadBytes(void* data, size_t size) {
+  in_->read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+  if (static_cast<size_t>(in_->gcount()) != size) {
+    return Status::InvalidArgument("truncated binary input");
+  }
+  return Status::OK();
+}
+
+Result<std::string> BinaryReader::ReadString(size_t max_size) {
+  ECLIPSE_ASSIGN_OR_RETURN(uint64_t size, ReadU64());
+  if (size > max_size) {
+    return Status::InvalidArgument(
+        StrFormat("string length %llu exceeds limit %zu",
+                  static_cast<unsigned long long>(size), max_size));
+  }
+  std::string s(size, '\0');
+  ECLIPSE_RETURN_IF_ERROR(ReadBytes(s.data(), s.size()));
+  return s;
+}
+
+Result<std::vector<double>> BinaryReader::ReadDoubles(size_t max_elements) {
+  ECLIPSE_ASSIGN_OR_RETURN(uint64_t size, ReadU64());
+  if (size > max_elements) {
+    return Status::InvalidArgument("double array exceeds element limit");
+  }
+  std::vector<double> v(size);
+  ECLIPSE_RETURN_IF_ERROR(ReadBytes(v.data(), v.size() * sizeof(double)));
+  return v;
+}
+
+Result<std::vector<uint32_t>> BinaryReader::ReadU32s(size_t max_elements) {
+  ECLIPSE_ASSIGN_OR_RETURN(uint64_t size, ReadU64());
+  if (size > max_elements) {
+    return Status::InvalidArgument("u32 array exceeds element limit");
+  }
+  std::vector<uint32_t> v(size);
+  ECLIPSE_RETURN_IF_ERROR(ReadBytes(v.data(), v.size() * sizeof(uint32_t)));
+  return v;
+}
+
+}  // namespace eclipse

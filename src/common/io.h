@@ -1,0 +1,59 @@
+// Minimal binary (de)serialization over streams: little-endian fixed-width
+// integers and raw double arrays, with checked reads.
+
+#ifndef ECLIPSE_COMMON_IO_H_
+#define ECLIPSE_COMMON_IO_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace eclipse {
+
+/// Writes fixed-width scalars and vectors; check Ok() (or the stream) once
+/// at the end -- writes after a failure are no-ops.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream* out) : out_(out) {}
+
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteDouble(double v);
+  void WriteBytes(const void* data, size_t size);
+  void WriteString(const std::string& s);  // u64 length + bytes
+  void WriteDoubles(const std::vector<double>& v);
+  void WriteU32s(const std::vector<uint32_t>& v);
+
+  bool Ok() const { return out_->good(); }
+
+ private:
+  std::ostream* out_;
+};
+
+/// Checked reads: every method returns an error on truncated input.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream* in) : in_(in) {}
+
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<double> ReadDouble();
+  Status ReadBytes(void* data, size_t size);
+  Result<std::string> ReadString(size_t max_size = 1 << 20);
+  /// Reads a u64 count then that many elements; `max_elements` bounds
+  /// hostile inputs.
+  Result<std::vector<double>> ReadDoubles(size_t max_elements);
+  Result<std::vector<uint32_t>> ReadU32s(size_t max_elements);
+
+ private:
+  std::istream* in_;
+};
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_COMMON_IO_H_

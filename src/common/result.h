@@ -1,0 +1,81 @@
+// Result<T>: a value-or-Status, the library's StatusOr equivalent.
+
+#ifndef ECLIPSE_COMMON_RESULT_H_
+#define ECLIPSE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace eclipse {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent. Accessing the value of an errored Result is a
+/// programming error (checked by assert in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: `return some_t;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from an error Status: `return Status::InvalidArgument(...)`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK Status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK Status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), propagating its error, otherwise
+/// assigning the value to `lhs`. `lhs` may be a declaration.
+#define ECLIPSE_ASSIGN_OR_RETURN(lhs, rexpr)                   \
+  ECLIPSE_ASSIGN_OR_RETURN_IMPL_(                              \
+      ECLIPSE_MACRO_CONCAT_(result_macro_tmp_, __LINE__), lhs, rexpr)
+
+#define ECLIPSE_MACRO_CONCAT_INNER_(x, y) x##y
+#define ECLIPSE_MACRO_CONCAT_(x, y) ECLIPSE_MACRO_CONCAT_INNER_(x, y)
+
+#define ECLIPSE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) {                                      \
+    return tmp.status();                                \
+  }                                                     \
+  lhs = std::move(tmp).value()
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_COMMON_RESULT_H_

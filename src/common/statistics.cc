@@ -1,0 +1,46 @@
+#include "common/statistics.h"
+
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace eclipse {
+
+const char* TickerName(Ticker t) {
+  switch (t) {
+    case Ticker::kSkylineComparisons:
+      return "skyline.comparisons";
+    case Ticker::kCornerScoreEvaluations:
+      return "eclipse.corner_score_evaluations";
+    case Ticker::kIndexNodesVisited:
+      return "index.nodes_visited";
+    case Ticker::kIndexLeavesScanned:
+      return "index.leaves_scanned";
+    case Ticker::kCandidatePairs:
+      return "index.candidate_pairs";
+    case Ticker::kVerifiedCrossings:
+      return "index.verified_crossings";
+    case Ticker::kPairsDeduplicated:
+      return "index.pairs_deduplicated";
+    case Ticker::kPointsPruned:
+      return "eclipse.points_pruned";
+    case Ticker::kTickerCount:
+      break;
+  }
+  return "unknown";
+}
+
+void Statistics::Reset() { std::memset(counts_, 0, sizeof(counts_)); }
+
+std::string Statistics::ToString() const {
+  std::string out;
+  for (int i = 0; i < static_cast<int>(Ticker::kTickerCount); ++i) {
+    if (counts_[i] == 0) continue;
+    out += StrFormat("%s=%llu ", TickerName(static_cast<Ticker>(i)),
+                     static_cast<unsigned long long>(counts_[i]));
+  }
+  if (!out.empty()) out.pop_back();
+  return out;
+}
+
+}  // namespace eclipse

@@ -1,0 +1,48 @@
+// Named operation counters, in the spirit of RocksDB Statistics.
+//
+// Index build and query paths tick these so that tests can assert on work
+// performed (nodes visited, crossings checked) and benchmarks can explain
+// their timings.
+
+#ifndef ECLIPSE_COMMON_STATISTICS_H_
+#define ECLIPSE_COMMON_STATISTICS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace eclipse {
+
+/// Counters tracked by the library. Keep in sync with TickerName().
+enum class Ticker : int {
+  kSkylineComparisons = 0,
+  kCornerScoreEvaluations,
+  kIndexNodesVisited,
+  kIndexLeavesScanned,
+  kCandidatePairs,
+  kVerifiedCrossings,
+  kPairsDeduplicated,
+  kPointsPruned,
+  kTickerCount,  // sentinel
+};
+
+const char* TickerName(Ticker t);
+
+/// A plain bag of counters. Not thread-safe; each query/build owns one.
+class Statistics {
+ public:
+  void Add(Ticker t, uint64_t delta) {
+    counts_[static_cast<int>(t)] += delta;
+  }
+  uint64_t Get(Ticker t) const { return counts_[static_cast<int>(t)]; }
+  void Reset();
+
+  /// One line per nonzero counter, for logging.
+  std::string ToString() const;
+
+ private:
+  uint64_t counts_[static_cast<int>(Ticker::kTickerCount)] = {};
+};
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_COMMON_STATISTICS_H_

@@ -1,0 +1,113 @@
+// Status: error model for the eclipse library.
+//
+// Public APIs in this library report failures through Status / Result<T>
+// rather than exceptions, following the Arrow/RocksDB idiom. A Status is
+// cheap to copy in the OK case (no allocation) and carries a code plus a
+// human-readable message otherwise.
+
+#ifndef ECLIPSE_COMMON_STATUS_H_
+#define ECLIPSE_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace eclipse {
+
+/// Canonical error codes used across the library.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kUnimplemented = 4,
+  kInternal = 5,
+  kResourceExhausted = 6,
+};
+
+/// Returns a stable human-readable name for a code ("OK", "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Default constructed Status is OK.
+class Status {
+ public:
+  Status() = default;
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      rep_ = std::make_shared<Rep>(Rep{code, std::move(message)});
+    }
+  }
+
+  /// Factory helpers, one per error code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code() && a.message() == b.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // Shared so that Status copies are cheap; immutable after construction.
+  std::shared_ptr<const Rep> rep_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates an error Status from the current function.
+#define ECLIPSE_RETURN_IF_ERROR(expr)            \
+  do {                                           \
+    ::eclipse::Status status_macro_s_ = (expr);  \
+    if (!status_macro_s_.ok()) {                 \
+      return status_macro_s_;                    \
+    }                                            \
+  } while (false)
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_COMMON_STATUS_H_

@@ -1,0 +1,30 @@
+// Monotonic-clock stopwatch for benchmarks and query statistics.
+
+#ifndef ECLIPSE_COMMON_STOPWATCH_H_
+#define ECLIPSE_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace eclipse {
+
+/// Starts running on construction; `Elapsed*()` reads without stopping.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_COMMON_STOPWATCH_H_

@@ -1,0 +1,77 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace eclipse {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    return std::string();
+  }
+  std::string out(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string Trim(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  const std::string t = Trim(s);
+  if (t.empty()) return false;
+  char* end = nullptr;
+  double v = std::strtod(t.c_str(), &end);
+  if (end != t.c_str() + t.size()) return false;
+  *out = v;
+  return true;
+}
+
+std::string HumanDuration(double seconds) {
+  if (seconds < 1e-6) return StrFormat("%.1fns", seconds * 1e9);
+  if (seconds < 1e-3) return StrFormat("%.1fus", seconds * 1e6);
+  if (seconds < 1.0) return StrFormat("%.2fms", seconds * 1e3);
+  return StrFormat("%.3fs", seconds);
+}
+
+}  // namespace eclipse

@@ -1,0 +1,32 @@
+// Small string helpers (printf-style formatting, joining, parsing).
+
+#ifndef ECLIPSE_COMMON_STRINGS_H_
+#define ECLIPSE_COMMON_STRINGS_H_
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace eclipse {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Splits `s` on the single character `sep`; keeps empty fields.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string Trim(const std::string& s);
+
+/// Parses a double; returns false on malformed input or trailing junk.
+bool ParseDouble(const std::string& s, double* out);
+
+/// Formats a duration in seconds with an adaptive unit (ns/us/ms/s).
+std::string HumanDuration(double seconds);
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_COMMON_STRINGS_H_

@@ -1,0 +1,169 @@
+// BASE (paper Algorithm 1): for each pair of points, compare the weighted
+// sums at the 2^(d-1) corner weight vectors. Corner scores are materialized
+// once (n x corners), then the quadratic pass runs with early exit on the
+// first dominator found.
+
+#include <thread>
+
+#include "common/strings.h"
+#include "core/dominance_oracle.h"
+#include "core/eclipse.h"
+
+namespace eclipse {
+
+namespace {
+
+Status CheckArgs(const PointSet& points, const RatioBox& box) {
+  if (points.dims() < 2) {
+    return Status::InvalidArgument("eclipse requires d >= 2 data");
+  }
+  if (box.dims() != points.dims()) {
+    return Status::InvalidArgument(
+        StrFormat("ratio box has %zu ranges, expected d-1 = %zu",
+                  box.num_ratios(), points.dims() - 1));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<PointId>> EclipseBaseline(const PointSet& points,
+                                             const RatioBox& box,
+                                             Statistics* stats) {
+  ECLIPSE_RETURN_IF_ERROR(CheckArgs(points, box));
+  const size_t n = points.size();
+  if (n == 0) return std::vector<PointId>{};
+
+  DominanceOracle oracle(box);
+  const size_t m = oracle.EmbeddingDims();
+  // scores[i*m .. i*m+m): corner scores + unbounded coords of point i.
+  std::vector<double> scores(n * m);
+  for (size_t i = 0; i < n; ++i) {
+    Point v = oracle.Embed(points[i]);
+    std::copy(v.begin(), v.end(), scores.begin() + i * m);
+  }
+  if (stats != nullptr) {
+    stats->Add(Ticker::kCornerScoreEvaluations, n * m);
+  }
+
+  // v(j) dominates v(i) iff componentwise <= and somewhere <.
+  auto dominates = [&](size_t j, size_t i) {
+    const double* a = scores.data() + j * m;
+    const double* b = scores.data() + i * m;
+    bool strict = false;
+    for (size_t k = 0; k < m; ++k) {
+      if (a[k] > b[k]) return false;
+      if (a[k] < b[k]) strict = true;
+    }
+    return strict;
+  };
+
+  std::vector<PointId> out;
+  for (size_t i = 0; i < n; ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      if (dominates(j, i)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) {
+      out.push_back(static_cast<PointId>(i));
+    } else if (stats != nullptr) {
+      stats->Add(Ticker::kPointsPruned, 1);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<PointId>> EclipseBaselineParallel(const PointSet& points,
+                                                     const RatioBox& box,
+                                                     size_t num_threads,
+                                                     Statistics* stats) {
+  ECLIPSE_RETURN_IF_ERROR(CheckArgs(points, box));
+  const size_t n = points.size();
+  if (n == 0) return std::vector<PointId>{};
+  if (num_threads == 0) {
+    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  num_threads = std::min(num_threads, n);
+
+  DominanceOracle oracle(box);
+  const size_t m = oracle.EmbeddingDims();
+  std::vector<double> scores(n * m);
+  for (size_t i = 0; i < n; ++i) {
+    Point v = oracle.Embed(points[i]);
+    std::copy(v.begin(), v.end(), scores.begin() + i * m);
+  }
+  if (stats != nullptr) {
+    stats->Add(Ticker::kCornerScoreEvaluations, n * m);
+  }
+
+  std::vector<uint8_t> dominated(n, 0);
+  auto worker = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const double* b = scores.data() + i * m;
+      for (size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double* a = scores.data() + j * m;
+        bool le = true;
+        bool strict = false;
+        for (size_t k = 0; k < m; ++k) {
+          if (a[k] > b[k]) {
+            le = false;
+            break;
+          }
+          if (a[k] < b[k]) strict = true;
+        }
+        if (le && strict) {
+          dominated[i] = 1;
+          break;
+        }
+      }
+    }
+  };
+  if (num_threads == 1) {
+    worker(0, n);
+  } else {
+    std::vector<std::thread> threads;
+    const size_t chunk = (n + num_threads - 1) / num_threads;
+    for (size_t t = 0; t < num_threads; ++t) {
+      const size_t begin = t * chunk;
+      const size_t end = std::min(begin + chunk, n);
+      if (begin >= end) break;
+      threads.emplace_back(worker, begin, end);
+    }
+    for (auto& th : threads) th.join();
+  }
+
+  std::vector<PointId> out;
+  for (size_t i = 0; i < n; ++i) {
+    if (!dominated[i]) out.push_back(static_cast<PointId>(i));
+  }
+  if (stats != nullptr) {
+    stats->Add(Ticker::kPointsPruned, n - out.size());
+  }
+  return out;
+}
+
+Result<std::vector<PointId>> NaiveEclipse(const PointSet& points,
+                                          const RatioBox& box) {
+  ECLIPSE_RETURN_IF_ERROR(CheckArgs(points, box));
+  DominanceOracle oracle(box);
+  std::vector<PointId> out;
+  for (PointId i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (PointId j = 0; j < points.size(); ++j) {
+      if (i == j) continue;
+      if (oracle.Dominates(points[j], points[i])) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace eclipse

@@ -1,0 +1,42 @@
+#include "core/dominance_oracle.h"
+
+#include <cassert>
+
+namespace eclipse {
+
+DominanceOracle::DominanceOracle(const RatioBox& box)
+    : corners_(box.CornerWeightVectors()), unbounded_dims_(box.UnboundedDims()) {}
+
+double DominanceOracle::Score(std::span<const double> p,
+                              std::span<const double> w) {
+  assert(p.size() == w.size());
+  double acc = 0.0;
+  for (size_t j = 0; j < p.size(); ++j) acc += p[j] * w[j];
+  return acc;
+}
+
+bool DominanceOracle::Dominates(std::span<const double> p,
+                                std::span<const double> q) const {
+  bool strict = false;
+  for (const Point& w : corners_) {
+    const double sp = Score(p, w);
+    const double sq = Score(q, w);
+    if (sp > sq) return false;
+    if (sp < sq) strict = true;
+  }
+  for (size_t j : unbounded_dims_) {
+    if (p[j] > q[j]) return false;
+    if (p[j] < q[j]) strict = true;
+  }
+  return strict;
+}
+
+Point DominanceOracle::Embed(std::span<const double> p) const {
+  Point v;
+  v.reserve(EmbeddingDims());
+  for (const Point& w : corners_) v.push_back(Score(p, w));
+  for (size_t j : unbounded_dims_) v.push_back(p[j]);
+  return v;
+}
+
+}  // namespace eclipse

@@ -1,0 +1,50 @@
+// Exact pairwise eclipse-dominance via corner weight vectors.
+//
+// p eclipse-dominates q iff S(p)_r <= S(q)_r for every ratio vector r in the
+// box and strictly for at least one r. Because the score difference is
+// affine in r, it suffices to check the box corners (paper Theorems 1-2);
+// unbounded ratio dimensions additionally require p[j] <= q[j] (the
+// coefficient of an unbounded direction must be nonpositive). Strictness is
+// automatic unless the difference vanishes identically on the box, which the
+// same corner evaluations detect.
+
+#ifndef ECLIPSE_CORE_DOMINANCE_ORACLE_H_
+#define ECLIPSE_CORE_DOMINANCE_ORACLE_H_
+
+#include <span>
+#include <vector>
+
+#include "core/ratio_box.h"
+#include "geometry/point.h"
+
+namespace eclipse {
+
+class DominanceOracle {
+ public:
+  /// The box's dims() must match the dimensionality of points passed later.
+  explicit DominanceOracle(const RatioBox& box);
+
+  /// Weighted sum of p under weight vector w (both length d).
+  static double Score(std::span<const double> p, std::span<const double> w);
+
+  /// True iff p eclipse-dominates q over the box.
+  bool Dominates(std::span<const double> p, std::span<const double> q) const;
+
+  /// The exact vector embedding: v(p) = (corner scores..., p[j] for each
+  /// unbounded ratio dim j). p dominates q iff v(p) <= v(q) componentwise
+  /// with v(p) != v(q); hence eclipse(P) = min-skyline of the embeddings.
+  Point Embed(std::span<const double> p) const;
+  size_t EmbeddingDims() const {
+    return corners_.size() + unbounded_dims_.size();
+  }
+
+  const std::vector<Point>& corners() const { return corners_; }
+
+ private:
+  std::vector<Point> corners_;
+  std::vector<size_t> unbounded_dims_;
+};
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_CORE_DOMINANCE_ORACLE_H_

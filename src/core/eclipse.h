@@ -1,0 +1,80 @@
+// Umbrella header for the eclipse operator's one-shot algorithms.
+//
+// All entry points take the dataset (smaller-is-better attributes) and a
+// RatioBox, and return the ids of the eclipse points sorted ascending.
+//
+//   * EclipseBaseline      -- BASE,   exact, O(n^2 2^(d-1)).
+//   * EclipseTransform2D   -- TRAN,   exact, O(n log n), d == 2 only.
+//   * EclipseTransformHD   -- TRAN,   paper-faithful Algorithm 3. Exact for
+//                             d == 2; for d >= 3 it may under-report (see
+//                             DESIGN.md finding F1) -- kept for comparison.
+//   * EclipseCornerSkyline -- exact for every d: skyline of the corner-score
+//                             embedding (the corrected transformation).
+//
+// The index-based QUAD / CUTTING engines live in core/eclipse_index.h.
+
+#ifndef ECLIPSE_CORE_ECLIPSE_H_
+#define ECLIPSE_CORE_ECLIPSE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/statistics.h"
+#include "core/ratio_box.h"
+#include "geometry/point.h"
+#include "skyline/skyline.h"
+
+namespace eclipse {
+
+/// Options shared by the one-shot algorithms.
+struct EclipseOptions {
+  /// Skyline backend used by the transformation-based algorithms.
+  SkylineAlgorithm skyline_algorithm = SkylineAlgorithm::kAuto;
+  /// Guard against exponential corner blow-up in very high dimensions.
+  size_t max_corner_dims = 20;
+};
+
+/// BASE (paper Algorithm 1): pairwise corner-score comparison, exact.
+Result<std::vector<PointId>> EclipseBaseline(const PointSet& points,
+                                             const RatioBox& box,
+                                             Statistics* stats = nullptr);
+
+/// BASE with the quadratic phase sharded over worker threads; identical
+/// results to EclipseBaseline. num_threads == 0 picks the hardware count.
+Result<std::vector<PointId>> EclipseBaselineParallel(const PointSet& points,
+                                                     const RatioBox& box,
+                                                     size_t num_threads = 0,
+                                                     Statistics* stats =
+                                                         nullptr);
+
+/// TRAN for d == 2 (paper Algorithm 2): map p -> c via the two domination
+/// line intercepts, then 2D skyline. Exact.
+Result<std::vector<PointId>> EclipseTransform2D(
+    const PointSet& points, const RatioBox& box,
+    const EclipseOptions& options = {}, Statistics* stats = nullptr);
+
+/// TRAN for any d (paper Algorithm 3), using the paper's d chosen domination
+/// vectors. Exact for d == 2; a (fast) under-approximation for d >= 3.
+Result<std::vector<PointId>> EclipseTransformHD(
+    const PointSet& points, const RatioBox& box,
+    const EclipseOptions& options = {}, Statistics* stats = nullptr);
+
+/// Exact transformation for any d: skyline of the full 2^(d-1)-corner score
+/// embedding (plus coordinatewise conditions for unbounded ranges).
+Result<std::vector<PointId>> EclipseCornerSkyline(
+    const PointSet& points, const RatioBox& box,
+    const EclipseOptions& options = {}, Statistics* stats = nullptr);
+
+/// The paper's TRAN c-mapping as a PointSet (exposed for tests and the
+/// worked examples): row i is the image c_i of point i.
+Result<PointSet> TransformToCSpace(const PointSet& points,
+                                   const RatioBox& box);
+
+/// O(n^2) oracle built directly on DominanceOracle; used by tests as ground
+/// truth (identical to EclipseBaseline but kept independent and simple).
+Result<std::vector<PointId>> NaiveEclipse(const PointSet& points,
+                                          const RatioBox& box);
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_CORE_ECLIPSE_H_

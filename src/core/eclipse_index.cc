@@ -1,0 +1,299 @@
+#include "core/eclipse_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "common/strings.h"
+#include "dual/order_vector.h"
+
+namespace eclipse {
+
+const char* IndexKindName(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kAuto:
+      return "auto";
+    case IndexKind::kLineQuadtree:
+      return "QUAD";
+    case IndexKind::kCuttingTree:
+      return "CUTTING";
+  }
+  return "unknown";
+}
+
+Result<EclipseIndex> EclipseIndex::Build(const PointSet& points,
+                                         const IndexBuildOptions& options) {
+  if (points.dims() < 2) {
+    return Status::InvalidArgument("EclipseIndex requires d >= 2 data");
+  }
+  const size_t k = points.dims() - 1;
+
+  EclipseIndex out;
+  out.dims_ = points.dims();
+  out.kind_ = options.kind;
+
+  // Resolve the query domain.
+  std::vector<RatioRange> domain_ranges = options.domain;
+  if (domain_ranges.empty()) {
+    domain_ranges.assign(k, RatioRange{0.0, 100.0});
+  }
+  if (domain_ranges.size() != k) {
+    return Status::InvalidArgument(
+        StrFormat("domain has %zu ranges, expected d-1 = %zu",
+                  domain_ranges.size(), k));
+  }
+  for (const RatioRange& r : domain_ranges) {
+    if (std::isinf(r.hi)) {
+      return Status::InvalidArgument(
+          "index domain must be bounded; use one-shot algorithms for "
+          "unbounded ranges");
+    }
+  }
+  ECLIPSE_ASSIGN_OR_RETURN(RatioBox domain, RatioBox::Make(domain_ranges));
+  ECLIPSE_ASSIGN_OR_RETURN(Box dual_domain, domain.DualQueryBox());
+  if (dual_domain.degenerate()) {
+    return Status::InvalidArgument("index domain must not be degenerate");
+  }
+
+  // Candidate set: skyline, then pruned to the domain-box eclipse set.
+  ECLIPSE_ASSIGN_OR_RETURN(
+      std::vector<PointId> skyline_ids,
+      ComputeSkyline(points, options.skyline_algorithm));
+  PointSet skyline_points = points.Select(skyline_ids);
+  EclipseOptions prune_options;
+  ECLIPSE_ASSIGN_OR_RETURN(
+      std::vector<PointId> pruned_local,
+      EclipseCornerSkyline(skyline_points, domain, prune_options));
+  std::vector<PointId> candidates;
+  candidates.reserve(pruned_local.size());
+  for (PointId local : pruned_local) {
+    candidates.push_back(skyline_ids[local]);
+  }
+
+  ECLIPSE_ASSIGN_OR_RETURN(DualModel model,
+                           DualModel::Build(points, std::move(candidates)));
+  out.model_ = std::make_unique<DualModel>(std::move(model));
+  ECLIPSE_ASSIGN_OR_RETURN(
+      PairTable pairs,
+      PairTable::Build(*out.model_, dual_domain, options.max_pairs));
+  out.pairs_ = std::make_unique<PairTable>(std::move(pairs));
+  out.domain_ = std::make_unique<RatioBox>(std::move(domain));
+  out.dual_domain_ = std::make_unique<Box>(std::move(dual_domain));
+  ECLIPSE_RETURN_IF_ERROR(out.BuildStructures(options));
+  return out;
+}
+
+Result<EclipseIndex> EclipseIndex::FromParts(IndexKind kind, RatioBox domain,
+                                             DualModel model, PairTable pairs,
+                                             const IndexBuildOptions& options) {
+  if (domain.num_ratios() != model.dual_dims() ||
+      pairs.dual_dims() != model.dual_dims()) {
+    return Status::InvalidArgument("FromParts: dimensionality mismatch");
+  }
+  EclipseIndex out;
+  out.dims_ = model.dual_dims() + 1;
+  out.kind_ = kind;
+  ECLIPSE_ASSIGN_OR_RETURN(Box dual_domain, domain.DualQueryBox());
+  out.model_ = std::make_unique<DualModel>(std::move(model));
+  out.pairs_ = std::make_unique<PairTable>(std::move(pairs));
+  out.domain_ = std::make_unique<RatioBox>(std::move(domain));
+  out.dual_domain_ = std::make_unique<Box>(std::move(dual_domain));
+  IndexBuildOptions effective = options;
+  effective.kind = kind;
+  ECLIPSE_RETURN_IF_ERROR(out.BuildStructures(effective));
+  return out;
+}
+
+Status EclipseIndex::BuildStructures(const IndexBuildOptions& options) {
+  const size_t k = dims_ - 1;
+  if (k == 1) {
+    // Both index kinds share the sorted binary-search structure in 2D.
+    ECLIPSE_ASSIGN_OR_RETURN(Index2D index2d, Index2D::Build(*pairs_));
+    index_ = std::make_unique<Index2D>(std::move(index2d));
+    if (options.build_order_vector_index) {
+      ECLIPSE_ASSIGN_OR_RETURN(
+          OrderVectorIndex2D ovi,
+          OrderVectorIndex2D::Build(
+              *model_, *pairs_, *static_cast<const Index2D*>(index_.get()),
+              dual_domain_->side(0), options.order_vector_options));
+      order_vector_index_ =
+          std::make_unique<OrderVectorIndex2D>(std::move(ovi));
+    }
+    return Status::OK();
+  }
+  if (options.build_order_vector_index) {
+    return Status::InvalidArgument(
+        "the faithful Order Vector Index is 2D-only");
+  }
+  IndexKind kind = options.kind == IndexKind::kAuto ? IndexKind::kLineQuadtree
+                                                    : options.kind;
+  if (kind == IndexKind::kLineQuadtree) {
+    ECLIPSE_ASSIGN_OR_RETURN(
+        LineQuadtree tree,
+        LineQuadtree::Build(*pairs_, *dual_domain_, options.quadtree));
+    index_ = std::make_unique<LineQuadtree>(std::move(tree));
+  } else {
+    ECLIPSE_ASSIGN_OR_RETURN(
+        CuttingTree tree,
+        CuttingTree::Build(*pairs_, *dual_domain_, options.cutting));
+    index_ = std::make_unique<CuttingTree>(std::move(tree));
+  }
+  return Status::OK();
+}
+
+Status EclipseIndex::ValidateQuery(const RatioBox& box) const {
+  if (box.dims() != dims_) {
+    return Status::InvalidArgument(
+        StrFormat("query has %zu ranges, expected d-1 = %zu", box.num_ratios(),
+                  dims_ - 1));
+  }
+  if (box.AnyUnbounded()) {
+    return Status::InvalidArgument(
+        "index queries require bounded ranges; use one-shot algorithms for "
+        "skyline-style queries");
+  }
+  for (size_t j = 0; j < box.num_ratios(); ++j) {
+    const RatioRange& q = box.range(j);
+    const RatioRange& d = domain_->range(j);
+    if (q.lo < d.lo || q.hi > d.hi) {
+      return Status::OutOfRange(StrFormat(
+          "query ratio %zu in [%g, %g] outside index domain [%g, %g]; "
+          "rebuild the index with a wider domain",
+          j, q.lo, q.hi, d.lo, d.hi));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<PointId>> EclipseIndex::Query(const RatioBox& box,
+                                                 QueryStats* stats) const {
+  ECLIPSE_RETURN_IF_ERROR(ValidateQuery(box));
+  const size_t u = model_->u();
+  std::vector<PointId> result;
+  if (u == 0) return result;
+  ECLIPSE_ASSIGN_OR_RETURN(Box query, box.DualQueryBox());
+
+  Statistics local_counters;
+  Statistics* counters = stats != nullptr ? &stats->counters : &local_counters;
+
+  // Order Vector at the query corner.
+  ECLIPSE_ASSIGN_OR_RETURN(CornerOrder order,
+                           ComputeCornerOrder(*model_, query));
+  std::vector<uint32_t> ov = order.ranks;
+
+  // Candidate crossings from the Intersection Index.
+  std::vector<uint32_t> candidates;
+  index_->CollectCandidates(query, &candidates, counters);
+  const size_t raw_candidates = candidates.size();
+  if (raw_candidates <= 64) {
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+  } else {
+    // Linear-time dedup: wide queries can collect a pair from many leaves.
+    std::vector<uint8_t> seen(pairs_->size(), 0);
+    size_t kept = 0;
+    for (uint32_t pair : candidates) {
+      if (!seen[pair]) {
+        seen[pair] = 1;
+        candidates[kept++] = pair;
+      }
+    }
+    candidates.resize(kept);
+  }
+  counters->Add(Ticker::kPairsDeduplicated, raw_candidates - candidates.size());
+
+  // Verify exactly; each interior crossing clears one potential dominator.
+  size_t verified = 0;
+  for (uint32_t pair : candidates) {
+    if (!pairs_->CrossesInterior(pair, query)) continue;
+    ++verified;
+    const uint32_t a = pairs_->a(pair);
+    const uint32_t b = pairs_->b(pair);
+    // Initial ranks are immutable: the lower line at the query corner is
+    // the one that loses a dominator (DESIGN.md finding F2).
+    if (order.ranks[a] < order.ranks[b]) {
+      --ov[b];
+    } else {
+      --ov[a];
+    }
+  }
+  counters->Add(Ticker::kVerifiedCrossings, verified);
+
+  for (uint32_t i = 0; i < u; ++i) {
+    if (ov[i] == 0) result.push_back(model_->original_id(i));
+  }
+  std::sort(result.begin(), result.end());
+  if (stats != nullptr) {
+    stats->indexed = u;
+    stats->candidates = raw_candidates;
+    stats->verified_crossings = verified;
+    stats->result_size = result.size();
+  }
+  return result;
+}
+
+Result<std::vector<std::vector<PointId>>> EclipseIndex::QueryBatch(
+    const std::vector<RatioBox>& boxes, size_t num_threads) const {
+  for (size_t q = 0; q < boxes.size(); ++q) {
+    Status status = ValidateQuery(boxes[q]);
+    if (!status.ok()) {
+      return Status(status.code(),
+                    StrFormat("query %zu: %s", q, status.message().c_str()));
+    }
+  }
+  if (num_threads == 0) {
+    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  num_threads = std::min(num_threads, std::max<size_t>(1, boxes.size()));
+
+  std::vector<std::vector<PointId>> results(boxes.size());
+  std::vector<Status> errors(num_threads);
+  auto worker = [&](size_t t) {
+    for (size_t q = t; q < boxes.size(); q += num_threads) {
+      auto r = Query(boxes[q], nullptr);
+      if (!r.ok()) {
+        errors[t] = r.status();
+        return;
+      }
+      results[q] = std::move(r).value();
+    }
+  };
+  if (num_threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (size_t t = 0; t < num_threads; ++t) threads.emplace_back(worker, t);
+    for (auto& th : threads) th.join();
+  }
+  for (const Status& s : errors) {
+    ECLIPSE_RETURN_IF_ERROR(s);
+  }
+  return results;
+}
+
+Result<std::vector<PointId>> EclipseIndex::QueryFaithfulSweep(
+    const RatioBox& box, QueryStats* stats) const {
+  if (order_vector_index_ == nullptr) {
+    return Status::InvalidArgument(
+        "QueryFaithfulSweep requires build_order_vector_index (d == 2)");
+  }
+  ECLIPSE_RETURN_IF_ERROR(ValidateQuery(box));
+  std::vector<PointId> result;
+  if (model_->u() == 0) return result;
+  const RatioRange& r = box.range(0);
+  std::vector<uint32_t> locals =
+      order_vector_index_->QueryFaithful(-r.hi, -r.lo);
+  for (uint32_t i : locals) {
+    result.push_back(model_->original_id(i));
+  }
+  std::sort(result.begin(), result.end());
+  if (stats != nullptr) {
+    stats->indexed = model_->u();
+    stats->result_size = result.size();
+  }
+  return result;
+}
+
+}  // namespace eclipse

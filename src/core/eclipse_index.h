@@ -1,0 +1,140 @@
+// EclipseIndex: the paper's index-based query engines (QUAD / CUTTING).
+//
+// Build once, answer many eclipse queries in O(u + m) after candidate
+// retrieval (u = indexed hyperplanes, m = crossings in range):
+//
+//   build:  skyline filter  ->  domain-eclipse prune  ->  dual hyperplanes
+//           -> pairwise intersection table -> Intersection Index
+//   query:  corner order (Order Vector) -> candidate crossings from the
+//           index -> exact verification -> per-crossing decrement ->
+//           report rank 0
+//
+// The engine answers any query whose ratio box lies inside the index's
+// *query domain* (a build option, default [0, 100] per ratio); queries
+// outside it return InvalidArgument rather than a silently wrong answer --
+// use the one-shot algorithms in core/eclipse.h for unbounded ranges.
+//
+// The domain-eclipse prune is sound because eclipse dominance over a
+// superset box implies dominance over any subset box: a point dominated
+// w.r.t. the whole domain can never appear in an answer, and by transitivity
+// its dominators that survive pruning still witness every elimination.
+
+#ifndef ECLIPSE_CORE_ECLIPSE_INDEX_H_
+#define ECLIPSE_CORE_ECLIPSE_INDEX_H_
+
+#include <memory>
+
+#include "core/eclipse.h"
+#include "core/ratio_box.h"
+#include "dual/dual_model.h"
+#include "dual/intersections.h"
+#include "index/cutting_tree.h"
+#include "index/index2d.h"
+#include "index/line_quadtree.h"
+#include "index/order_vector_index2d.h"
+
+namespace eclipse {
+
+enum class IndexKind {
+  /// Sorted abscissas for d == 2, line quadtree otherwise.
+  kAuto,
+  /// QUAD: midpoint 2^(d-1)-tree. For d == 2 this (like the paper) uses the
+  /// shared sorted binary-search structure.
+  kLineQuadtree,
+  /// CUTTING: sample-median cutting. Shares the 2D structure likewise.
+  kCuttingTree,
+};
+
+const char* IndexKindName(IndexKind kind);
+
+struct IndexBuildOptions {
+  IndexKind kind = IndexKind::kAuto;
+  /// Query domain per ratio dimension; empty means [0, 100] for each.
+  std::vector<RatioRange> domain;
+  /// Skyline backend for the build-time filter.
+  SkylineAlgorithm skyline_algorithm = SkylineAlgorithm::kAuto;
+  LineQuadtreeOptions quadtree;
+  CuttingTreeOptions cutting;
+  /// Build fails (ResourceExhausted) beyond this many intersecting pairs.
+  size_t max_pairs = 5'000'000;
+  /// Also build the paper-faithful 2D Order Vector Index (d == 2 only),
+  /// enabling QueryFaithfulSweep.
+  bool build_order_vector_index = false;
+  OrderVectorIndex2D::Options order_vector_options;
+};
+
+/// Per-query observability (RocksDB-statistics style).
+struct QueryStats {
+  size_t indexed = 0;             // u
+  size_t candidates = 0;          // pairs retrieved (before dedup/verify)
+  size_t verified_crossings = 0;  // m
+  size_t result_size = 0;
+  Statistics counters;
+};
+
+class EclipseIndex {
+ public:
+  static Result<EclipseIndex> Build(const PointSet& points,
+                                    const IndexBuildOptions& options = {});
+
+  /// Reassembles an index from prebuilt parts (used by index persistence:
+  /// the model and pair table are the expensive artifacts; the intersection
+  /// structure is rebuilt deterministically from `options`). `domain` must
+  /// be the domain the pair table was built against.
+  static Result<EclipseIndex> FromParts(IndexKind kind, RatioBox domain,
+                                        DualModel model, PairTable pairs,
+                                        const IndexBuildOptions& options = {});
+
+  /// Answers an eclipse query; `box` must be bounded and inside the domain.
+  Result<std::vector<PointId>> Query(const RatioBox& box,
+                                     QueryStats* stats = nullptr) const;
+
+  /// Answers many queries over the immutable index, sharded across worker
+  /// threads (queries are read-only and independent). All boxes are
+  /// validated up front; results arrive in input order. num_threads == 0
+  /// picks the hardware count.
+  Result<std::vector<std::vector<PointId>>> QueryBatch(
+      const std::vector<RatioBox>& boxes, size_t num_threads = 0) const;
+
+  /// Paper Algorithm 5 (2D only, requires build_order_vector_index).
+  Result<std::vector<PointId>> QueryFaithfulSweep(const RatioBox& box,
+                                                  QueryStats* stats) const;
+
+  size_t indexed_count() const { return model_->u(); }
+  size_t pair_count() const { return pairs_->size(); }
+  const std::vector<PointId>& candidate_ids() const {
+    return model_->original_ids();
+  }
+  const RatioBox& domain() const { return *domain_; }
+  const IntersectionIndexBase* intersection_index() const {
+    return index_.get();
+  }
+  IndexKind kind() const { return kind_; }
+  /// Internal artifacts, exposed for persistence and diagnostics.
+  const DualModel& model() const { return *model_; }
+  const PairTable& pairs() const { return *pairs_; }
+
+  EclipseIndex(EclipseIndex&&) = default;
+  EclipseIndex& operator=(EclipseIndex&&) = default;
+
+ private:
+  EclipseIndex() = default;
+
+  Status ValidateQuery(const RatioBox& box) const;
+  /// Builds index_ (and optionally the Order Vector Index) from pairs_,
+  /// model_, and dual_domain_.
+  Status BuildStructures(const IndexBuildOptions& options);
+
+  size_t dims_ = 0;
+  IndexKind kind_ = IndexKind::kAuto;
+  std::unique_ptr<RatioBox> domain_;
+  std::unique_ptr<Box> dual_domain_;
+  std::unique_ptr<DualModel> model_;
+  std::unique_ptr<PairTable> pairs_;
+  std::unique_ptr<IntersectionIndexBase> index_;
+  std::unique_ptr<OrderVectorIndex2D> order_vector_index_;
+};
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_CORE_ECLIPSE_INDEX_H_

@@ -1,0 +1,145 @@
+#include "core/index_io.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/io.h"
+#include "common/strings.h"
+
+namespace eclipse {
+
+namespace {
+
+constexpr char kMagic[8] = {'E', 'C', 'L', 'I', 'D', 'X', '0', '1'};
+// Sanity bound for hostile/corrupt files: no array may claim more elements
+// than this.
+constexpr size_t kMaxElements = size_t{1} << 33;
+
+}  // namespace
+
+Status SaveEclipseIndex(const EclipseIndex& index, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::NotFound(
+        StrFormat("SaveEclipseIndex: cannot open %s", path.c_str()));
+  }
+  BinaryWriter w(&out);
+  w.WriteBytes(kMagic, sizeof(kMagic));
+  w.WriteU32(kIndexFormatVersion);
+  w.WriteU32(static_cast<uint32_t>(index.kind()));
+
+  // Domain.
+  const RatioBox& domain = index.domain();
+  w.WriteU64(domain.num_ratios());
+  for (size_t j = 0; j < domain.num_ratios(); ++j) {
+    w.WriteDouble(domain.range(j).lo);
+    w.WriteDouble(domain.range(j).hi);
+  }
+
+  // Dual model: the candidate ids double as the id array.
+  // (PointId is uint32_t; reuse the u32 array writer.)
+  w.WriteU64(index.candidate_ids().size());
+  w.WriteU32s(index.candidate_ids());
+  // dual model arrays
+  // Note: model dual_dims == num_ratios, recoverable from the domain.
+  // coeffs and constants:
+  // Access through the index accessors.
+  // (The friend-free design: EclipseIndex exposes what persistence needs.)
+  w.WriteDoubles(index.model().raw_coeffs());
+  w.WriteDoubles(index.model().raw_constants());
+
+  // Pair table.
+  const PairTable& pairs = index.pairs();
+  w.WriteU32s(pairs.raw_a());
+  w.WriteU32s(pairs.raw_b());
+  w.WriteDoubles(pairs.raw_coeffs());
+  w.WriteDoubles(pairs.raw_constants());
+
+  out.flush();
+  if (!out) {
+    return Status::Internal(
+        StrFormat("SaveEclipseIndex: write failed for %s", path.c_str()));
+  }
+  return Status::OK();
+}
+
+Result<EclipseIndex> LoadEclipseIndex(const std::string& path,
+                                      const IndexBuildOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound(
+        StrFormat("LoadEclipseIndex: cannot open %s", path.c_str()));
+  }
+  BinaryReader r(&in);
+  char magic[8];
+  ECLIPSE_RETURN_IF_ERROR(r.ReadBytes(magic, sizeof(magic)));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(
+        StrFormat("%s is not an eclipse index file", path.c_str()));
+  }
+  ECLIPSE_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (version != kIndexFormatVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported index format version %u", version));
+  }
+  ECLIPSE_ASSIGN_OR_RETURN(uint32_t kind_raw, r.ReadU32());
+  if (kind_raw > static_cast<uint32_t>(IndexKind::kCuttingTree)) {
+    return Status::InvalidArgument("corrupt index kind");
+  }
+  const IndexKind kind = static_cast<IndexKind>(kind_raw);
+
+  ECLIPSE_ASSIGN_OR_RETURN(uint64_t num_ratios, r.ReadU64());
+  if (num_ratios == 0 || num_ratios > 64) {
+    return Status::InvalidArgument("corrupt domain dimensionality");
+  }
+  std::vector<RatioRange> ranges(num_ratios);
+  for (auto& range : ranges) {
+    ECLIPSE_ASSIGN_OR_RETURN(range.lo, r.ReadDouble());
+    ECLIPSE_ASSIGN_OR_RETURN(range.hi, r.ReadDouble());
+  }
+  ECLIPSE_ASSIGN_OR_RETURN(RatioBox domain, RatioBox::Make(std::move(ranges)));
+
+  ECLIPSE_ASSIGN_OR_RETURN(uint64_t u, r.ReadU64());
+  if (u > kMaxElements) {
+    return Status::InvalidArgument("corrupt candidate count");
+  }
+  ECLIPSE_ASSIGN_OR_RETURN(std::vector<uint32_t> ids, r.ReadU32s(kMaxElements));
+  if (ids.size() != u) {
+    return Status::InvalidArgument("corrupt candidate id array");
+  }
+  ECLIPSE_ASSIGN_OR_RETURN(std::vector<double> coeffs,
+                           r.ReadDoubles(kMaxElements));
+  ECLIPSE_ASSIGN_OR_RETURN(std::vector<double> constants,
+                           r.ReadDoubles(kMaxElements));
+  ECLIPSE_ASSIGN_OR_RETURN(
+      DualModel model,
+      DualModel::FromParts(num_ratios, std::move(ids), std::move(coeffs),
+                           std::move(constants)));
+
+  ECLIPSE_ASSIGN_OR_RETURN(std::vector<uint32_t> a, r.ReadU32s(kMaxElements));
+  ECLIPSE_ASSIGN_OR_RETURN(std::vector<uint32_t> b, r.ReadU32s(kMaxElements));
+  ECLIPSE_ASSIGN_OR_RETURN(std::vector<double> pair_coeffs,
+                           r.ReadDoubles(kMaxElements));
+  ECLIPSE_ASSIGN_OR_RETURN(std::vector<double> pair_constants,
+                           r.ReadDoubles(kMaxElements));
+  for (uint32_t idx : a) {
+    if (idx >= model.u()) {
+      return Status::InvalidArgument("corrupt pair reference");
+    }
+  }
+  for (uint32_t idx : b) {
+    if (idx >= model.u()) {
+      return Status::InvalidArgument("corrupt pair reference");
+    }
+  }
+  ECLIPSE_ASSIGN_OR_RETURN(
+      PairTable pairs,
+      PairTable::FromParts(num_ratios, std::move(a), std::move(b),
+                           std::move(pair_coeffs),
+                           std::move(pair_constants)));
+
+  return EclipseIndex::FromParts(kind, std::move(domain), std::move(model),
+                                 std::move(pairs), options);
+}
+
+}  // namespace eclipse

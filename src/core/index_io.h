@@ -1,0 +1,30 @@
+// EclipseIndex persistence.
+//
+// Saves the expensive build artifacts -- the pruned candidate dual model and
+// the pairwise intersection table -- plus the query domain and index kind.
+// The intersection tree itself is cheap and is rebuilt deterministically at
+// load time from the options passed to LoadEclipseIndex (tree tuning knobs
+// are not part of the file format).
+
+#ifndef ECLIPSE_CORE_INDEX_IO_H_
+#define ECLIPSE_CORE_INDEX_IO_H_
+
+#include <string>
+
+#include "core/eclipse_index.h"
+
+namespace eclipse {
+
+/// File format version written by SaveEclipseIndex.
+inline constexpr uint32_t kIndexFormatVersion = 1;
+
+Status SaveEclipseIndex(const EclipseIndex& index, const std::string& path);
+
+/// Loads an index saved by SaveEclipseIndex. `options` supplies the tree
+/// tuning knobs (kind is taken from the file; options.kind is ignored).
+Result<EclipseIndex> LoadEclipseIndex(const std::string& path,
+                                      const IndexBuildOptions& options = {});
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_CORE_INDEX_IO_H_

@@ -1,0 +1,135 @@
+#include "core/ratio_box.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace eclipse {
+
+Result<RatioBox> RatioBox::Make(std::vector<RatioRange> ranges) {
+  if (ranges.empty()) {
+    return Status::InvalidArgument("RatioBox needs at least one ratio range");
+  }
+  for (size_t j = 0; j < ranges.size(); ++j) {
+    const RatioRange& r = ranges[j];
+    if (std::isnan(r.lo) || std::isnan(r.hi) || std::isinf(r.lo)) {
+      return Status::InvalidArgument(
+          StrFormat("ratio range %zu: lo must be finite, bounds non-NaN", j));
+    }
+    if (r.lo < 0.0 || r.hi < r.lo) {
+      return Status::InvalidArgument(
+          StrFormat("ratio range %zu: need 0 <= lo <= hi, got [%g, %g]", j,
+                    r.lo, r.hi));
+    }
+  }
+  return RatioBox(std::move(ranges));
+}
+
+Result<RatioBox> RatioBox::Uniform(size_t num_ratios, double lo, double hi) {
+  return Make(std::vector<RatioRange>(num_ratios, RatioRange{lo, hi}));
+}
+
+RatioBox RatioBox::Skyline(size_t num_ratios) {
+  auto r = Make(std::vector<RatioRange>(
+      num_ratios,
+      RatioRange{0.0, std::numeric_limits<double>::infinity()}));
+  return *r;  // always valid
+}
+
+Result<RatioBox> RatioBox::OneNN(std::vector<double> ratios) {
+  std::vector<RatioRange> ranges;
+  ranges.reserve(ratios.size());
+  for (double r : ratios) ranges.push_back(RatioRange{r, r});
+  return Make(std::move(ranges));
+}
+
+Result<RatioBox> RatioBox::FromAngles2D(double angle_lo_deg,
+                                        double angle_hi_deg) {
+  if (!(90.0 < angle_lo_deg && angle_lo_deg <= angle_hi_deg &&
+        angle_hi_deg < 180.0)) {
+    return Status::InvalidArgument(
+        StrFormat("angles must satisfy 90 < lo <= hi < 180, got [%g, %g]",
+                  angle_lo_deg, angle_hi_deg));
+  }
+  constexpr double kDegToRad = M_PI / 180.0;
+  const double lo = std::tan((180.0 - angle_hi_deg) * kDegToRad);
+  const double hi = std::tan((180.0 - angle_lo_deg) * kDegToRad);
+  return Make({RatioRange{lo, hi}});
+}
+
+bool RatioBox::AnyUnbounded() const {
+  for (const auto& r : ranges_) {
+    if (r.unbounded()) return true;
+  }
+  return false;
+}
+
+bool RatioBox::AllDegenerate() const {
+  for (const auto& r : ranges_) {
+    if (!r.degenerate()) return false;
+  }
+  return true;
+}
+
+std::vector<size_t> RatioBox::UnboundedDims() const {
+  std::vector<size_t> out;
+  for (size_t j = 0; j < ranges_.size(); ++j) {
+    if (ranges_[j].unbounded()) out.push_back(j);
+  }
+  return out;
+}
+
+std::vector<size_t> RatioBox::FreeDims() const {
+  std::vector<size_t> out;
+  for (size_t j = 0; j < ranges_.size(); ++j) {
+    if (!ranges_[j].unbounded() && !ranges_[j].degenerate()) out.push_back(j);
+  }
+  return out;
+}
+
+Result<Box> RatioBox::DualQueryBox() const {
+  if (AnyUnbounded()) {
+    return Status::InvalidArgument(
+        "dual query box requires bounded ratio ranges");
+  }
+  std::vector<Interval> sides(ranges_.size());
+  for (size_t j = 0; j < ranges_.size(); ++j) {
+    sides[j] = Interval{-ranges_[j].hi, -ranges_[j].lo};
+  }
+  return Box(std::move(sides));
+}
+
+std::vector<Point> RatioBox::CornerWeightVectors() const {
+  const std::vector<size_t> free = FreeDims();
+  const size_t k = free.size();
+  const size_t d = dims();
+  std::vector<Point> corners;
+  corners.reserve(size_t{1} << k);
+  for (size_t mask = 0; mask < (size_t{1} << k); ++mask) {
+    Point w(d);
+    for (size_t j = 0; j < ranges_.size(); ++j) {
+      w[j] = ranges_[j].lo;  // degenerate and unbounded dims pinned at lo
+    }
+    for (size_t b = 0; b < k; ++b) {
+      if (mask & (size_t{1} << b)) w[free[b]] = ranges_[free[b]].hi;
+    }
+    w[d - 1] = 1.0;
+    corners.push_back(std::move(w));
+  }
+  return corners;
+}
+
+std::string RatioBox::ToString() const {
+  std::string out = "r in ";
+  for (size_t j = 0; j < ranges_.size(); ++j) {
+    if (j > 0) out += " x ";
+    if (ranges_[j].unbounded()) {
+      out += StrFormat("[%g, +inf)", ranges_[j].lo);
+    } else {
+      out += StrFormat("[%g, %g]", ranges_[j].lo, ranges_[j].hi);
+    }
+  }
+  return out;
+}
+
+}  // namespace eclipse

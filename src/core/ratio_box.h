@@ -1,0 +1,95 @@
+// RatioBox: the eclipse query parameter.
+//
+// An eclipse query over d-dimensional points specifies, for each dimension
+// j = 1..d-1, a range [l_j, h_j] for the attribute weight ratio
+// r[j] = w[j] / w[d]. The box generalizes both classic operators:
+//   * [l, l]      -> 1NN with ratio l (the set of score minimizers),
+//   * [0, +inf)   -> the skyline.
+// Dominance over the box reduces to the 2^(d-1) corner weight vectors
+// (paper Theorems 1-2); unbounded dimensions contribute a coordinatewise
+// condition instead of a corner (the coefficient of an unbounded direction
+// must be nonpositive).
+
+#ifndef ECLIPSE_CORE_RATIO_BOX_H_
+#define ECLIPSE_CORE_RATIO_BOX_H_
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "geometry/box.h"
+
+namespace eclipse {
+
+/// One attribute weight ratio range [lo, hi]; 0 <= lo <= hi, hi may be
+/// +infinity, lo must be finite.
+struct RatioRange {
+  double lo = 0.0;
+  double hi = std::numeric_limits<double>::infinity();
+
+  bool degenerate() const { return lo == hi; }
+  bool unbounded() const { return std::isinf(hi); }
+};
+
+/// The full query: one RatioRange per non-reference dimension (d-1 ranges
+/// for d-dimensional data).
+class RatioBox {
+ public:
+  /// Validates: at least one range, lo finite, 0 <= lo <= hi.
+  static Result<RatioBox> Make(std::vector<RatioRange> ranges);
+
+  /// The paper's default style: the same [lo, hi] for every ratio.
+  static Result<RatioBox> Uniform(size_t num_ratios, double lo, double hi);
+
+  /// Skyline instantiation: [0, +inf) in every ratio.
+  static RatioBox Skyline(size_t num_ratios);
+
+  /// 1NN instantiation: [r_j, r_j] for the given ratio vector.
+  static Result<RatioBox> OneNN(std::vector<double> ratios);
+
+  /// 2D helper matching the paper's Table IV "angle" parameterization: the
+  /// two domination lines make angles [angle_lo, angle_hi] (degrees, in
+  /// (90, 180)) with the positive x axis, i.e.
+  /// l = tan(180 - angle_hi), h = tan(180 - angle_lo).
+  static Result<RatioBox> FromAngles2D(double angle_lo_deg,
+                                       double angle_hi_deg);
+
+  size_t num_ratios() const { return ranges_.size(); }
+  /// Data dimensionality this box queries: num_ratios() + 1.
+  size_t dims() const { return ranges_.size() + 1; }
+  const RatioRange& range(size_t j) const { return ranges_[j]; }
+  const std::vector<RatioRange>& ranges() const { return ranges_; }
+
+  bool AnyUnbounded() const;
+  /// True iff every range is a single value (pure 1NN query).
+  bool AllDegenerate() const;
+
+  /// Indices of unbounded ratios (hi == +inf).
+  std::vector<size_t> UnboundedDims() const;
+  /// Indices of bounded, non-degenerate ratios -- the "free" corner dims.
+  std::vector<size_t> FreeDims() const;
+
+  /// The corresponding query box in the dual slope space: side j is
+  /// [-hi_j, -lo_j]. InvalidArgument when any range is unbounded (index
+  /// engines require a bounded dual box).
+  Result<Box> DualQueryBox() const;
+
+  /// The weight vectors of the box corners: each has d entries, entry d-1
+  /// fixed to 1. Unbounded dims are pinned at lo (their corner condition is
+  /// handled separately), degenerate dims at their single value; free dims
+  /// enumerate {lo, hi}. 2^|FreeDims| vectors.
+  std::vector<Point> CornerWeightVectors() const;
+
+  std::string ToString() const;
+
+ private:
+  explicit RatioBox(std::vector<RatioRange> ranges)
+      : ranges_(std::move(ranges)) {}
+  std::vector<RatioRange> ranges_;
+};
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_CORE_RATIO_BOX_H_

@@ -1,0 +1,45 @@
+#include "core/relationships.h"
+
+#include <algorithm>
+
+#include "core/eclipse.h"
+#include "hull/convex_hull_2d.h"
+#include "knn/scoring.h"
+
+namespace eclipse {
+
+Result<OperatorComparison> CompareOperators(const PointSet& points,
+                                            const RatioBox& box) {
+  OperatorComparison out;
+
+  std::vector<double> center_ratios;
+  center_ratios.reserve(box.num_ratios());
+  for (size_t j = 0; j < box.num_ratios(); ++j) {
+    const RatioRange& r = box.range(j);
+    center_ratios.push_back(r.unbounded() ? r.lo : 0.5 * (r.lo + r.hi));
+  }
+  const Point w = WeightsFromRatios(center_ratios);
+  ECLIPSE_ASSIGN_OR_RETURN(out.one_nn, OneNearestNeighbors(points, w));
+
+  ECLIPSE_ASSIGN_OR_RETURN(out.eclipse, EclipseCornerSkyline(points, box));
+
+  const RatioBox skyline_box = RatioBox::Skyline(box.num_ratios());
+  ECLIPSE_ASSIGN_OR_RETURN(out.skyline,
+                           EclipseCornerSkyline(points, skyline_box));
+
+  if (points.dims() == 2) {
+    ECLIPSE_ASSIGN_OR_RETURN(out.hull, ConvexHullQuery2D(points));
+  }
+  return out;
+}
+
+bool IsSubset(const std::vector<PointId>& inner,
+              const std::vector<PointId>& outer) {
+  std::vector<PointId> a = inner;
+  std::vector<PointId> b = outer;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+}  // namespace eclipse

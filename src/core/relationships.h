@@ -1,0 +1,34 @@
+// Relationship queries of the paper's Section II-C / Figure 4: 1NN, convex
+// hull (origin's view), eclipse, and skyline over one dataset, plus the
+// containment facts connecting them.
+
+#ifndef ECLIPSE_CORE_RELATIONSHIPS_H_
+#define ECLIPSE_CORE_RELATIONSHIPS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/ratio_box.h"
+#include "geometry/point.h"
+
+namespace eclipse {
+
+struct OperatorComparison {
+  std::vector<PointId> one_nn;   // minimizers at the box's center ratios
+  std::vector<PointId> eclipse;  // for the given box
+  std::vector<PointId> skyline;  // [0, +inf) instantiation
+  std::vector<PointId> hull;     // convex hull query (d == 2 only, else empty)
+};
+
+/// Runs all four operators; 1NN uses the center of each ratio range
+/// (midpoint, or lo when unbounded).
+Result<OperatorComparison> CompareOperators(const PointSet& points,
+                                            const RatioBox& box);
+
+/// True iff `inner` is a subset of `outer` (both id lists, any order).
+bool IsSubset(const std::vector<PointId>& inner,
+              const std::vector<PointId>& outer);
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_CORE_RELATIONSHIPS_H_

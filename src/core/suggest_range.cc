@@ -1,0 +1,80 @@
+#include "core/suggest_range.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+#include "core/eclipse.h"
+
+namespace eclipse {
+
+namespace {
+
+Result<RatioBox> BoxForGamma(const std::vector<double>& center, double gamma) {
+  std::vector<RatioRange> ranges;
+  ranges.reserve(center.size());
+  for (double r : center) {
+    ranges.push_back(RatioRange{r / gamma, r * gamma});
+  }
+  return RatioBox::Make(std::move(ranges));
+}
+
+}  // namespace
+
+Result<SuggestedRange> SuggestRange(const PointSet& points,
+                                    const std::vector<double>& center_ratios,
+                                    size_t target_size,
+                                    const SuggestRangeOptions& options) {
+  if (center_ratios.size() + 1 != points.dims()) {
+    return Status::InvalidArgument(
+        StrFormat("need %zu center ratios for d = %zu data",
+                  points.dims() - 1, points.dims()));
+  }
+  for (double r : center_ratios) {
+    if (!(r > 0.0) || std::isinf(r)) {
+      return Status::InvalidArgument(
+          "center ratios must be strictly positive and finite");
+    }
+  }
+  if (target_size == 0) {
+    return Status::InvalidArgument("target size must be positive");
+  }
+
+  auto count_at = [&](double gamma) -> Result<size_t> {
+    ECLIPSE_ASSIGN_OR_RETURN(RatioBox box, BoxForGamma(center_ratios, gamma));
+    ECLIPSE_ASSIGN_OR_RETURN(std::vector<PointId> ids,
+                             EclipseCornerSkyline(points, box));
+    return ids.size();
+  };
+
+  // If even the widest margin cannot reach the target, return it.
+  ECLIPSE_ASSIGN_OR_RETURN(size_t widest, count_at(options.max_gamma));
+  if (widest < target_size) {
+    ECLIPSE_ASSIGN_OR_RETURN(RatioBox box,
+                             BoxForGamma(center_ratios, options.max_gamma));
+    return SuggestedRange{std::move(box), options.max_gamma, widest};
+  }
+
+  // Binary search on log(gamma): the count is a nondecreasing step function
+  // of gamma, find the smallest gamma reaching the target.
+  double lo = 1.0;
+  double hi = options.max_gamma;
+  ECLIPSE_ASSIGN_OR_RETURN(size_t lo_count, count_at(lo));
+  if (lo_count >= target_size) {
+    ECLIPSE_ASSIGN_OR_RETURN(RatioBox box, BoxForGamma(center_ratios, lo));
+    return SuggestedRange{std::move(box), lo, lo_count};
+  }
+  for (size_t step = 0; step < options.binary_search_steps; ++step) {
+    const double mid = std::sqrt(lo * hi);
+    ECLIPSE_ASSIGN_OR_RETURN(size_t mid_count, count_at(mid));
+    if (mid_count >= target_size) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  ECLIPSE_ASSIGN_OR_RETURN(size_t hi_count, count_at(hi));
+  ECLIPSE_ASSIGN_OR_RETURN(RatioBox box, BoxForGamma(center_ratios, hi));
+  return SuggestedRange{std::move(box), hi, hi_count};
+}
+
+}  // namespace eclipse

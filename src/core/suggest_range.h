@@ -1,0 +1,41 @@
+// Result-size elicitation (paper Section V-C): "if we compute the expected
+// number of eclipse points in advance, the user can adjust the attribute
+// weight ratio vector according to the desired number of eclipse points."
+//
+// SuggestRange searches for a symmetric multiplicative margin gamma >= 1
+// around a center ratio vector so that the eclipse query [r/gamma, r*gamma]
+// returns (close to) the requested number of points. Result size is
+// monotone in gamma (nested boxes give nested eclipse sets), so a binary
+// search applies.
+
+#ifndef ECLIPSE_CORE_SUGGEST_RANGE_H_
+#define ECLIPSE_CORE_SUGGEST_RANGE_H_
+
+#include "common/result.h"
+#include "core/ratio_box.h"
+#include "geometry/point.h"
+
+namespace eclipse {
+
+struct SuggestedRange {
+  RatioBox box;          // the suggested query
+  double gamma = 1.0;    // the margin used
+  size_t result_size = 0;  // eclipse count at that margin
+};
+
+struct SuggestRangeOptions {
+  double max_gamma = 1024.0;
+  size_t binary_search_steps = 40;
+};
+
+/// Finds the smallest margin whose eclipse count reaches `target_size` (or
+/// the widest allowed margin if the target is unreachable). `center_ratios`
+/// must be strictly positive, one per non-reference dimension.
+Result<SuggestedRange> SuggestRange(const PointSet& points,
+                                    const std::vector<double>& center_ratios,
+                                    size_t target_size,
+                                    const SuggestRangeOptions& options = {});
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_CORE_SUGGEST_RANGE_H_

@@ -1,0 +1,75 @@
+// TRAN, d == 2 (paper Algorithm 2 / Theorem 4).
+//
+// Each point p maps to c with
+//   c[0] = p[0] + p[1] / h   (the smaller x-intercept of its two domination
+//                             lines; -> p[0] as h -> +inf)
+//   c[1] = l * p[0] + p[1]   (the smaller y-intercept)
+// and p eclipse-dominates p' iff c skyline-dominates c'. The eclipse set is
+// the 2D skyline of the mapped set, computed in O(n log n).
+
+#include <cmath>
+
+#include "common/strings.h"
+#include "core/eclipse.h"
+
+namespace eclipse {
+
+Result<PointSet> TransformToCSpace(const PointSet& points,
+                                   const RatioBox& box) {
+  if (points.dims() < 2) {
+    return Status::InvalidArgument("eclipse requires d >= 2 data");
+  }
+  if (box.dims() != points.dims()) {
+    return Status::InvalidArgument(
+        StrFormat("ratio box has %zu ranges, expected d-1 = %zu",
+                  box.num_ratios(), points.dims() - 1));
+  }
+  const size_t d = points.dims();
+  const size_t n = points.size();
+  std::vector<double> flat(n * d);
+  for (size_t i = 0; i < n; ++i) {
+    auto p = points[i];
+    // All-lo corner score: c[d-1].
+    double all_lo = p[d - 1];
+    for (size_t j = 0; j + 1 < d; ++j) {
+      all_lo += box.range(j).lo * p[j];
+    }
+    flat[i * d + (d - 1)] = all_lo;
+    for (size_t j = 0; j + 1 < d; ++j) {
+      const double hj = box.range(j).hi;
+      double cj;
+      if (std::isinf(hj)) {
+        // Limit of (h_j p[j] + rest) / h_j.
+        cj = p[j];
+      } else if (hj == 0.0) {
+        // Degenerate zero ratio: the flipped corner equals the all-lo one.
+        cj = all_lo;
+      } else {
+        double rest = p[d - 1];
+        for (size_t k = 0; k + 1 < d; ++k) {
+          if (k == j) continue;
+          rest += box.range(k).lo * p[k];
+        }
+        cj = (hj * p[j] + rest) / hj;
+      }
+      flat[i * d + j] = cj;
+    }
+  }
+  return PointSet::FromFlat(d, std::move(flat));
+}
+
+Result<std::vector<PointId>> EclipseTransform2D(const PointSet& points,
+                                                const RatioBox& box,
+                                                const EclipseOptions& options,
+                                                Statistics* stats) {
+  if (points.dims() != 2) {
+    return Status::InvalidArgument(StrFormat(
+        "EclipseTransform2D requires d == 2, got d == %zu", points.dims()));
+  }
+  ECLIPSE_ASSIGN_OR_RETURN(PointSet c, TransformToCSpace(points, box));
+  SkylineAlgorithm algo = options.skyline_algorithm;
+  if (algo == SkylineAlgorithm::kAuto) algo = SkylineAlgorithm::kSortSweep2D;
+  return ComputeSkyline(c, algo, stats);
+}
+
+}  // namespace eclipse

@@ -1,0 +1,26 @@
+// TRAN, general d (paper Algorithm 3 / Theorem 6).
+//
+// Maps each point to the d-vector of intercepts of its d chosen domination
+// hyperplanes (the all-lo corner plus the d-1 single-flip corners) and takes
+// the skyline of the mapped set.
+//
+// CAVEAT (DESIGN.md finding F1): the paper's Theorem 6 claims this is exact,
+// but the d chosen corners only span -- not conically generate -- the full
+// 2^(d-1) corner set, so for d >= 3 the mapping can declare dominance that
+// does not hold over the whole ratio box. The result is a subset of the true
+// eclipse set: exact for d == 2, an under-approximation for d >= 3. Use
+// EclipseCornerSkyline for an exact transformation at any d.
+
+#include "core/eclipse.h"
+
+namespace eclipse {
+
+Result<std::vector<PointId>> EclipseTransformHD(const PointSet& points,
+                                                const RatioBox& box,
+                                                const EclipseOptions& options,
+                                                Statistics* stats) {
+  ECLIPSE_ASSIGN_OR_RETURN(PointSet c, TransformToCSpace(points, box));
+  return ComputeSkyline(c, options.skyline_algorithm, stats);
+}
+
+}  // namespace eclipse

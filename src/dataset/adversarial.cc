@@ -1,0 +1,45 @@
+#include "dataset/adversarial.h"
+
+#include <cassert>
+
+namespace eclipse {
+
+PointSet GenerateAdversarialDual(size_t u, size_t d, Rng* rng,
+                                 double anchor_ratio, double jitter) {
+  assert(d >= 2);
+  assert(anchor_ratio > 0.0);
+  const size_t k = d - 1;  // dual space dimensionality
+  // Coefficient-space line: p_i[j] = base + s_i * dir_j, slightly different
+  // slopes per dimension to avoid exact degeneracies.
+  std::vector<double> dir(k);
+  for (size_t j = 0; j < k; ++j) dir[j] = 1.0 + 0.03 * static_cast<double>(j);
+  const double base = 1.0;
+  // Depth of the common anchor below x_d = 0; large enough to keep the last
+  // coordinate positive for every point.
+  double max_coeff_sum = 0.0;
+  for (size_t j = 0; j < k; ++j) {
+    max_coeff_sum += base + static_cast<double>(u) * dir[j];
+  }
+  const double anchor_depth = anchor_ratio * max_coeff_sum * 1.1 + 10.0;
+
+  std::vector<double> flat;
+  flat.reserve(u * d);
+  for (size_t i = 0; i < u; ++i) {
+    const double s = static_cast<double>(i + 1);
+    double coeff_sum = 0.0;
+    for (size_t j = 0; j < k; ++j) {
+      const double c = base + s * dir[j] + jitter * rng->Uniform(-1.0, 1.0);
+      flat.push_back(c);
+      coeff_sum += c;
+    }
+    // Pass within `jitter` of the anchor (-anchor_ratio, ..., -anchor_ratio,
+    // -anchor_depth) in the dual space.
+    const double last = anchor_depth - anchor_ratio * coeff_sum +
+                        jitter * rng->Uniform(-1.0, 1.0);
+    flat.push_back(last);
+  }
+  auto ps = PointSet::FromFlat(d, std::move(flat));
+  return *ps;
+}
+
+}  // namespace eclipse

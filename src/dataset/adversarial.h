@@ -1,0 +1,29 @@
+// Adversarial dataset for the index worst case (paper Figures 13-14).
+//
+// Construction: choose dual hyperplanes whose coefficient vectors lie on a
+// line (base + s_i * dir), each passing within a tiny jitter of a common
+// anchor point in the dual query space. Then every one of the C(u,2)
+// pairwise intersection hyperplanes nearly coincides with the single
+// hyperplane dir . (x - anchor) = 0, i.e. "all the lines almost lie in the
+// same quadrant": a midpoint quadtree cannot separate them (every cell
+// around the anchor is crossed by all of them) while a sample-median cutting
+// stays balanced. Coordinates are arranged so all points are skyline points.
+
+#ifndef ECLIPSE_DATASET_ADVERSARIAL_H_
+#define ECLIPSE_DATASET_ADVERSARIAL_H_
+
+#include "common/random.h"
+#include "geometry/point.h"
+
+namespace eclipse {
+
+/// u points in d >= 2 dimensions, all of them skyline points, whose dual
+/// intersections cluster around ratio `anchor_ratio` (every coordinate of
+/// the dual anchor is -anchor_ratio). `jitter` controls the cluster radius.
+PointSet GenerateAdversarialDual(size_t u, size_t d, Rng* rng,
+                                 double anchor_ratio = 1.0,
+                                 double jitter = 1e-4);
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_DATASET_ADVERSARIAL_H_

@@ -1,0 +1,95 @@
+#include "dataset/csv.h"
+
+#include <fstream>
+
+#include "common/strings.h"
+
+namespace eclipse {
+
+Status WriteCsv(const std::string& path, const PointSet& points,
+                const std::vector<std::string>& column_names) {
+  if (!column_names.empty() && column_names.size() != points.dims()) {
+    return Status::InvalidArgument(
+        StrFormat("WriteCsv: %zu names for %zu columns", column_names.size(),
+                  points.dims()));
+  }
+  std::ofstream out(path);
+  if (!out) {
+    return Status::NotFound(StrFormat("WriteCsv: cannot open %s", path.c_str()));
+  }
+  if (!column_names.empty()) {
+    out << Join(column_names, ",") << "\n";
+  }
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (size_t j = 0; j < points.dims(); ++j) {
+      if (j > 0) out << ",";
+      out << StrFormat("%.17g", points.at(i, j));
+    }
+    out << "\n";
+  }
+  out.flush();
+  if (!out) {
+    return Status::Internal(StrFormat("WriteCsv: write failed for %s",
+                                      path.c_str()));
+  }
+  return Status::OK();
+}
+
+Result<CsvTable> ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(StrFormat("ReadCsv: cannot open %s", path.c_str()));
+  }
+  CsvTable table;
+  std::string line;
+  size_t dims = 0;
+  size_t line_no = 0;
+  std::vector<double> row;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    std::vector<std::string> fields = Split(trimmed, ',');
+    row.clear();
+    bool numeric = true;
+    for (const std::string& f : fields) {
+      double v;
+      if (!ParseDouble(f, &v)) {
+        numeric = false;
+        break;
+      }
+      row.push_back(v);
+    }
+    if (!numeric) {
+      if (line_no == 1) {
+        for (const std::string& f : fields) table.column_names.push_back(Trim(f));
+        continue;
+      }
+      return Status::InvalidArgument(
+          StrFormat("ReadCsv: non-numeric field at line %zu of %s", line_no,
+                    path.c_str()));
+    }
+    if (dims == 0) {
+      dims = row.size();
+      table.points = PointSet(dims);
+    }
+    if (row.size() != dims) {
+      return Status::InvalidArgument(
+          StrFormat("ReadCsv: line %zu has %zu fields, expected %zu", line_no,
+                    row.size(), dims));
+    }
+    ECLIPSE_RETURN_IF_ERROR(table.points.Append(row));
+  }
+  if (dims == 0) {
+    return Status::InvalidArgument(
+        StrFormat("ReadCsv: no data rows in %s", path.c_str()));
+  }
+  if (!table.column_names.empty() && table.column_names.size() != dims) {
+    return Status::InvalidArgument(
+        StrFormat("ReadCsv: header has %zu names but rows have %zu fields",
+                  table.column_names.size(), dims));
+  }
+  return table;
+}
+
+}  // namespace eclipse

@@ -1,0 +1,31 @@
+// Minimal CSV persistence for datasets (numeric columns + optional header).
+
+#ifndef ECLIPSE_DATASET_CSV_H_
+#define ECLIPSE_DATASET_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "geometry/point.h"
+
+namespace eclipse {
+
+/// A loaded CSV: column names (empty when the file had no header) plus data.
+struct CsvTable {
+  std::vector<std::string> column_names;
+  PointSet points;
+};
+
+/// Writes points as CSV; when `column_names` is non-empty it must have one
+/// entry per dimension and is emitted as a header row.
+Status WriteCsv(const std::string& path, const PointSet& points,
+                const std::vector<std::string>& column_names = {});
+
+/// Reads a CSV of doubles. A first row containing any non-numeric field is
+/// treated as the header.
+Result<CsvTable> ReadCsv(const std::string& path);
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_DATASET_CSV_H_

@@ -1,0 +1,121 @@
+#include "dataset/generators.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace eclipse {
+
+namespace {
+
+double Clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
+
+// Peaked distribution around `center` (sum of uniforms -> approximately
+// normal with the given half-width), clamped to [0, 1]. This mirrors the
+// original generator's "peak" helper.
+double Peaked(Rng* rng, double center, double half_width) {
+  double acc = 0.0;
+  for (int i = 0; i < 12; ++i) acc += rng->NextDouble();
+  // acc/12 has mean 0.5 and std 1/12; rescale to the requested width.
+  double offset = (acc / 12.0 - 0.5) * 2.0 * half_width;
+  return Clamp01(center + offset);
+}
+
+void AppendIndependent(size_t d, Rng* rng, std::vector<double>* out) {
+  for (size_t j = 0; j < d; ++j) out->push_back(rng->NextDouble());
+}
+
+void AppendCorrelated(size_t d, Rng* rng, std::vector<double>* out) {
+  // A position on the diagonal plus small per-dimension peaked offsets.
+  const double v = Peaked(rng, 0.5, 0.5);
+  for (size_t j = 0; j < d; ++j) {
+    out->push_back(Peaked(rng, v, 0.12));
+  }
+}
+
+// Cluster centers for the Gaussian-mixture family; regenerated per call of
+// GenerateSynthetic so one dataset has one fixed set of centers.
+std::vector<std::vector<double>> MakeClusterCenters(size_t d, Rng* rng) {
+  constexpr size_t kClusters = 5;
+  std::vector<std::vector<double>> centers(kClusters,
+                                           std::vector<double>(d, 0.0));
+  for (auto& c : centers) {
+    for (auto& v : c) v = rng->Uniform(0.1, 0.9);
+  }
+  return centers;
+}
+
+void AppendClustered(const std::vector<std::vector<double>>& centers, size_t d,
+                     Rng* rng, std::vector<double>* out) {
+  const auto& c = centers[rng->NextIndex(centers.size())];
+  for (size_t j = 0; j < d; ++j) {
+    out->push_back(Clamp01(c[j] + rng->Gaussian(0.0, 0.05)));
+  }
+}
+
+void AppendAnticorrelated(size_t d, Rng* rng, std::vector<double>* out) {
+  // Start on the plane sum(x) = d*v with v tightly concentrated, then move
+  // mass between random coordinate pairs, preserving the sum. Points end up
+  // with a near-constant total, so being good in one dimension forces being
+  // bad in another.
+  const double v = Clamp01(rng->Gaussian(0.5, 0.05));
+  std::vector<double> x(d, v);
+  const size_t steps = 4 * d;
+  for (size_t s = 0; s < steps; ++s) {
+    size_t i = static_cast<size_t>(rng->NextIndex(d));
+    size_t j = static_cast<size_t>(rng->NextIndex(d));
+    if (i == j) continue;
+    // Max transferable mass keeping both coordinates in [0, 1].
+    const double room = std::min(1.0 - x[i], x[j]);
+    if (room <= 0.0) continue;
+    const double delta = rng->Uniform(0.0, room);
+    x[i] += delta;
+    x[j] -= delta;
+  }
+  out->insert(out->end(), x.begin(), x.end());
+}
+
+}  // namespace
+
+const char* DistributionName(Distribution dist) {
+  switch (dist) {
+    case Distribution::kIndependent:
+      return "INDE";
+    case Distribution::kCorrelated:
+      return "CORR";
+    case Distribution::kAnticorrelated:
+      return "ANTI";
+    case Distribution::kClustered:
+      return "CLUS";
+  }
+  return "unknown";
+}
+
+PointSet GenerateSynthetic(Distribution dist, size_t n, size_t d, Rng* rng) {
+  assert(d >= 1);
+  std::vector<double> flat;
+  flat.reserve(n * d);
+  std::vector<std::vector<double>> centers;
+  if (dist == Distribution::kClustered) {
+    centers = MakeClusterCenters(d, rng);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    switch (dist) {
+      case Distribution::kIndependent:
+        AppendIndependent(d, rng, &flat);
+        break;
+      case Distribution::kCorrelated:
+        AppendCorrelated(d, rng, &flat);
+        break;
+      case Distribution::kAnticorrelated:
+        AppendAnticorrelated(d, rng, &flat);
+        break;
+      case Distribution::kClustered:
+        AppendClustered(centers, d, rng, &flat);
+        break;
+    }
+  }
+  auto ps = PointSet::FromFlat(d, std::move(flat));
+  return *ps;  // n*d values by construction
+}
+
+}  // namespace eclipse

@@ -1,0 +1,28 @@
+// Synthetic dataset generators following Borzsonyi et al., "The Skyline
+// Operator" (ICDE 2001): independent, correlated, and anti-correlated
+// points in [0, 1]^d. Smaller is better in every dimension.
+
+#ifndef ECLIPSE_DATASET_GENERATORS_H_
+#define ECLIPSE_DATASET_GENERATORS_H_
+
+#include "common/random.h"
+#include "geometry/point.h"
+
+namespace eclipse {
+
+enum class Distribution {
+  kIndependent,     // INDE: uniform, independent dimensions
+  kCorrelated,      // CORR: clustered around the main diagonal
+  kAnticorrelated,  // ANTI: near a hyperplane sum(x) = const, spread across
+                    //       dimensions (good in one dim -> bad in others)
+  kClustered,       // CLUS: Gaussian mixture around a few random centers
+};
+
+const char* DistributionName(Distribution dist);
+
+/// n points, d dimensions, coordinates in [0, 1]. Deterministic given rng.
+PointSet GenerateSynthetic(Distribution dist, size_t n, size_t d, Rng* rng);
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_DATASET_GENERATORS_H_

@@ -1,0 +1,68 @@
+#include "dataset/nba_synth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace eclipse {
+
+const std::array<std::string, 5> kNbaAttributeNames = {
+    "PTS", "REB", "AST", "STL", "BLK"};
+
+namespace {
+
+struct Archetype {
+  // Per-game base rates: PTS, REB, AST, STL, BLK.
+  double rates[5];
+  double probability;
+};
+
+constexpr Archetype kArchetypes[] = {
+    // guards: scoring + playmaking, few blocks
+    {{10.5, 2.6, 4.8, 1.00, 0.15}, 0.35},
+    // wings: balanced
+    {{11.0, 4.6, 2.4, 0.90, 0.45}, 0.35},
+    // bigs: rebounds + blocks
+    {{9.0, 8.2, 1.5, 0.55, 1.30}, 0.30},
+};
+
+}  // namespace
+
+PointSet GenerateNbaCareerTotals(size_t num_players, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> flat;
+  flat.reserve(num_players * 5);
+  for (size_t i = 0; i < num_players; ++i) {
+    // Pick archetype.
+    double roll = rng.NextDouble();
+    const Archetype* arch = &kArchetypes[0];
+    double acc = 0.0;
+    for (const Archetype& a : kArchetypes) {
+      acc += a.probability;
+      if (roll < acc) {
+        arch = &a;
+        break;
+      }
+    }
+    // Career length in games: lognormal, clamped to plausible NBA bounds.
+    // Most careers are short; a small elite plays 1000+ games.
+    double games = std::exp(rng.Gaussian(5.05, 1.05));
+    games = std::clamp(games, 1.0, 1611.0);
+    // Shared talent factor: lifts (or depresses) all attributes together,
+    // inducing the positive cross-attribute correlation of career totals.
+    const double talent = std::exp(rng.Gaussian(0.0, 0.45));
+    // Longer careers correlate with better players.
+    const double longevity_boost = 1.0 + 0.25 * std::log1p(games / 400.0);
+    for (int a = 0; a < 5; ++a) {
+      const double rate_noise = std::exp(rng.Gaussian(0.0, 0.30));
+      double per_game = arch->rates[a] * talent * longevity_boost * rate_noise;
+      double total = std::floor(per_game * games);
+      flat.push_back(std::max(0.0, total));
+    }
+  }
+  auto ps = PointSet::FromFlat(5, std::move(flat));
+  return *ps;
+}
+
+}  // namespace eclipse

@@ -1,0 +1,35 @@
+// Synthetic NBA career-totals dataset (substitution for the paper's real
+// stats.nba.com extract; see DESIGN.md section 6).
+//
+// 2,384 "players" with five career-total attributes -- Points, Rebounds,
+// Assists, Steals, Blocks -- generated from a position-archetype model:
+// a heavy-tailed career length multiplies archetype-specific per-game rates
+// and a shared talent factor, reproducing the real data's properties that
+// matter here: positive cross-attribute correlation, strong skew, and
+// realistic magnitudes. Larger is better; use MaxToMin() before running
+// minimization queries.
+
+#ifndef ECLIPSE_DATASET_NBA_SYNTH_H_
+#define ECLIPSE_DATASET_NBA_SYNTH_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "geometry/point.h"
+
+namespace eclipse {
+
+/// Attribute names, in column order.
+extern const std::array<std::string, 5> kNbaAttributeNames;
+
+/// Paper's dataset size.
+inline constexpr size_t kNbaDefaultPlayers = 2384;
+
+/// Generates the dataset (max-is-better career totals, 5 columns).
+PointSet GenerateNbaCareerTotals(size_t num_players = kNbaDefaultPlayers,
+                                 uint64_t seed = 20150415);
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_DATASET_NBA_SYNTH_H_

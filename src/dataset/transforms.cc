@@ -1,0 +1,97 @@
+#include "dataset/transforms.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/strings.h"
+
+namespace eclipse {
+
+ColumnStats ComputeColumnStats(const PointSet& points) {
+  const size_t d = points.dims();
+  ColumnStats stats;
+  stats.min.assign(d, std::numeric_limits<double>::infinity());
+  stats.max.assign(d, -std::numeric_limits<double>::infinity());
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      stats.min[j] = std::min(stats.min[j], points.at(i, j));
+      stats.max[j] = std::max(stats.max[j], points.at(i, j));
+    }
+  }
+  return stats;
+}
+
+PointSet MaxToMin(const PointSet& points) {
+  ColumnStats stats = ComputeColumnStats(points);
+  const size_t d = points.dims();
+  std::vector<double> flat;
+  flat.reserve(points.size() * d);
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      flat.push_back(stats.max[j] - points.at(i, j));
+    }
+  }
+  auto ps = PointSet::FromFlat(d, std::move(flat));
+  return *ps;
+}
+
+PointSet Normalize01(const PointSet& points) {
+  ColumnStats stats = ComputeColumnStats(points);
+  const size_t d = points.dims();
+  std::vector<double> flat;
+  flat.reserve(points.size() * d);
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      const double span = stats.max[j] - stats.min[j];
+      flat.push_back(span > 0.0 ? (points.at(i, j) - stats.min[j]) / span
+                                : 0.0);
+    }
+  }
+  auto ps = PointSet::FromFlat(d, std::move(flat));
+  return *ps;
+}
+
+Result<PointSet> PowerTransform(const PointSet& points, double p) {
+  if (!(p > 0.0)) {
+    return Status::InvalidArgument("PowerTransform: p must be positive");
+  }
+  const size_t d = points.dims();
+  std::vector<double> flat;
+  flat.reserve(points.size() * d);
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      const double x = points.at(i, j);
+      if (x < 0.0) {
+        return Status::InvalidArgument(StrFormat(
+            "PowerTransform: negative coordinate at row %zu col %zu", i, j));
+      }
+      flat.push_back(std::pow(x, p));
+    }
+  }
+  return PointSet::FromFlat(d, std::move(flat));
+}
+
+Result<PointSet> SelectColumns(const PointSet& points,
+                               const std::vector<size_t>& columns) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("SelectColumns: no columns requested");
+  }
+  for (size_t c : columns) {
+    if (c >= points.dims()) {
+      return Status::InvalidArgument(
+          StrFormat("SelectColumns: column %zu out of range (d = %zu)", c,
+                    points.dims()));
+    }
+  }
+  std::vector<double> flat;
+  flat.reserve(points.size() * columns.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (size_t c : columns) {
+      flat.push_back(points.at(i, c));
+    }
+  }
+  return PointSet::FromFlat(columns.size(), std::move(flat));
+}
+
+}  // namespace eclipse

@@ -1,0 +1,42 @@
+// Column transforms between max-is-better and min-is-better conventions,
+// plus normalization helpers.
+
+#ifndef ECLIPSE_DATASET_TRANSFORMS_H_
+#define ECLIPSE_DATASET_TRANSFORMS_H_
+
+#include "geometry/point.h"
+
+namespace eclipse {
+
+/// Per-column statistics.
+struct ColumnStats {
+  std::vector<double> min;
+  std::vector<double> max;
+};
+
+ColumnStats ComputeColumnStats(const PointSet& points);
+
+/// Maps each column x -> column_max - x, turning a larger-is-better dataset
+/// into the library's smaller-is-better convention while preserving all
+/// dominance relations (each column is independently reversed).
+PointSet MaxToMin(const PointSet& points);
+
+/// Min-max normalization of every column to [0, 1]; constant columns map
+/// to 0. Preserves dominance relations (strictly monotone per column when
+/// non-constant).
+PointSet Normalize01(const PointSet& points);
+
+/// Keeps only the listed columns, in the listed order.
+Result<PointSet> SelectColumns(const PointSet& points,
+                               const std::vector<size_t>& columns);
+
+/// Raises every coordinate to the given power (paper footnote 2: eclipse
+/// under the weighted Lp score sum_j w[j] * x[j]^p equals eclipse of the
+/// transformed points under the linear score, because x -> x^p is strictly
+/// monotone on nonnegative coordinates and the 1/p root does not change
+/// rankings). Requires p > 0 and nonnegative coordinates.
+Result<PointSet> PowerTransform(const PointSet& points, double p);
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_DATASET_TRANSFORMS_H_

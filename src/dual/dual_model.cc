@@ -1,0 +1,62 @@
+#include "dual/dual_model.h"
+
+#include <cassert>
+
+namespace eclipse {
+
+Result<DualModel> DualModel::Build(const PointSet& points,
+                                   std::vector<PointId> candidate_ids) {
+  if (points.dims() < 2) {
+    return Status::InvalidArgument("DualModel requires d >= 2");
+  }
+  DualModel model;
+  model.dual_dims_ = points.dims() - 1;
+  model.ids_ = std::move(candidate_ids);
+  model.coeffs_.reserve(model.ids_.size() * model.dual_dims_);
+  model.constants_.reserve(model.ids_.size());
+  for (PointId id : model.ids_) {
+    if (id >= points.size()) {
+      return Status::InvalidArgument("DualModel: candidate id out of range");
+    }
+    auto p = points[id];
+    for (size_t j = 0; j < model.dual_dims_; ++j) {
+      model.coeffs_.push_back(p[j]);
+    }
+    model.constants_.push_back(-p[model.dual_dims_]);
+  }
+  return model;
+}
+
+Result<DualModel> DualModel::FromParts(size_t dual_dims,
+                                       std::vector<PointId> ids,
+                                       std::vector<double> coeffs,
+                                       std::vector<double> constants) {
+  if (dual_dims == 0 || coeffs.size() != ids.size() * dual_dims ||
+      constants.size() != ids.size()) {
+    return Status::InvalidArgument("DualModel::FromParts: inconsistent sizes");
+  }
+  DualModel model;
+  model.dual_dims_ = dual_dims;
+  model.ids_ = std::move(ids);
+  model.coeffs_ = std::move(coeffs);
+  model.constants_ = std::move(constants);
+  return model;
+}
+
+double DualModel::HeightAt(size_t i, std::span<const double> x) const {
+  assert(x.size() == dual_dims_);
+  double acc = constants_[i];
+  const double* c = coeffs_.data() + i * dual_dims_;
+  for (size_t j = 0; j < dual_dims_; ++j) acc += c[j] * x[j];
+  return acc;
+}
+
+LinearForm DualModel::DifferenceForm(size_t a, size_t b) const {
+  std::vector<double> c(dual_dims_);
+  for (size_t j = 0; j < dual_dims_; ++j) {
+    c[j] = coeff(a, j) - coeff(b, j);
+  }
+  return LinearForm(std::move(c), constants_[a] - constants_[b]);
+}
+
+}  // namespace eclipse

@@ -1,0 +1,67 @@
+// DualModel: the dual hyperplanes of the indexed candidate points.
+//
+// The index pipeline keeps only points that can ever be an eclipse answer
+// within the index's query domain; DualModel stores their dual hyperplanes
+// (as affine forms over the (d-1)-dimensional slope space) together with the
+// mapping back to original point ids.
+
+#ifndef ECLIPSE_DUAL_DUAL_MODEL_H_
+#define ECLIPSE_DUAL_DUAL_MODEL_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "geometry/dual.h"
+#include "geometry/linear_form.h"
+#include "geometry/point.h"
+
+namespace eclipse {
+
+class DualModel {
+ public:
+  /// Builds the dual hyperplanes of `candidate_ids` (indices into `points`).
+  /// Requires d >= 2.
+  static Result<DualModel> Build(const PointSet& points,
+                                 std::vector<PointId> candidate_ids);
+
+  /// Reassembles a model from its raw arrays (index persistence).
+  static Result<DualModel> FromParts(size_t dual_dims,
+                                     std::vector<PointId> ids,
+                                     std::vector<double> coeffs,
+                                     std::vector<double> constants);
+
+  /// Raw arrays (index persistence).
+  const std::vector<double>& raw_coeffs() const { return coeffs_; }
+  const std::vector<double>& raw_constants() const { return constants_; }
+
+  /// Number of indexed hyperplanes (u in the paper).
+  size_t u() const { return ids_.size(); }
+  /// Dual space dimensionality: d - 1.
+  size_t dual_dims() const { return dual_dims_; }
+
+  PointId original_id(size_t i) const { return ids_[i]; }
+  const std::vector<PointId>& original_ids() const { return ids_; }
+
+  /// Coefficient j of hyperplane i (equals the original point's coord j).
+  double coeff(size_t i, size_t j) const { return coeffs_[i * dual_dims_ + j]; }
+  /// Constant term of hyperplane i (minus the original point's last coord).
+  double constant(size_t i) const { return constants_[i]; }
+
+  /// Height of hyperplane i at dual location x: sum_j coeff*x[j] + constant.
+  /// At x = -r this equals -S(p_i)_r, so a larger height means a smaller
+  /// weighted sum (closer to the hyperplane x_d = 0 from below).
+  double HeightAt(size_t i, std::span<const double> x) const;
+
+  /// The difference form h_a - h_b as an owning LinearForm.
+  LinearForm DifferenceForm(size_t a, size_t b) const;
+
+ private:
+  size_t dual_dims_ = 0;
+  std::vector<PointId> ids_;
+  std::vector<double> coeffs_;     // u * dual_dims_
+  std::vector<double> constants_;  // u
+};
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_DUAL_DUAL_MODEL_H_

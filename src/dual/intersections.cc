@@ -1,0 +1,105 @@
+#include "dual/intersections.h"
+
+#include <cassert>
+
+#include "common/strings.h"
+
+namespace eclipse {
+
+Result<PairTable> PairTable::Build(const DualModel& model, const Box& domain,
+                                   size_t max_pairs) {
+  if (domain.dims() != model.dual_dims()) {
+    return Status::InvalidArgument("PairTable: domain/model dims mismatch");
+  }
+  PairTable table;
+  const size_t k = model.dual_dims();
+  table.dual_dims_ = k;
+  const size_t u = model.u();
+  std::vector<double> diff(k);
+  for (size_t a = 0; a + 1 < u; ++a) {
+    for (size_t b = a + 1; b < u; ++b) {
+      double constant = model.constant(a) - model.constant(b);
+      bool all_zero = true;
+      for (size_t j = 0; j < k; ++j) {
+        diff[j] = model.coeff(a, j) - model.coeff(b, j);
+        if (diff[j] != 0.0) all_zero = false;
+      }
+      if (all_zero) {
+        // Parallel hyperplanes: order never changes, no intersection. (Equal
+        // hyperplanes cannot occur for distinct points.)
+        continue;
+      }
+      // Keep the pair only if its zero set meets the domain.
+      double lo = constant;
+      double hi = constant;
+      for (size_t j = 0; j < k; ++j) {
+        const Interval& s = domain.side(j);
+        if (diff[j] >= 0.0) {
+          lo += diff[j] * s.lo;
+          hi += diff[j] * s.hi;
+        } else {
+          lo += diff[j] * s.hi;
+          hi += diff[j] * s.lo;
+        }
+      }
+      if (lo > 0.0 || hi < 0.0) continue;
+      if (table.a_.size() >= max_pairs) {
+        return Status::ResourceExhausted(StrFormat(
+            "PairTable: more than %zu intersecting pairs in the domain; "
+            "narrow the index domain or use a one-shot algorithm",
+            max_pairs));
+      }
+      table.a_.push_back(static_cast<uint32_t>(a));
+      table.b_.push_back(static_cast<uint32_t>(b));
+      table.coeffs_.insert(table.coeffs_.end(), diff.begin(), diff.end());
+      table.constants_.push_back(constant);
+    }
+  }
+  return table;
+}
+
+Result<PairTable> PairTable::FromParts(size_t dual_dims,
+                                       std::vector<uint32_t> a,
+                                       std::vector<uint32_t> b,
+                                       std::vector<double> coeffs,
+                                       std::vector<double> constants) {
+  if (dual_dims == 0 || a.size() != b.size() ||
+      coeffs.size() != a.size() * dual_dims || constants.size() != a.size()) {
+    return Status::InvalidArgument("PairTable::FromParts: inconsistent sizes");
+  }
+  PairTable table;
+  table.dual_dims_ = dual_dims;
+  table.a_ = std::move(a);
+  table.b_ = std::move(b);
+  table.coeffs_ = std::move(coeffs);
+  table.constants_ = std::move(constants);
+  return table;
+}
+
+double PairTable::Evaluate(size_t pair, std::span<const double> x) const {
+  assert(x.size() == dual_dims_);
+  double acc = constants_[pair];
+  const double* c = coeffs_.data() + pair * dual_dims_;
+  for (size_t j = 0; j < dual_dims_; ++j) acc += c[j] * x[j];
+  return acc;
+}
+
+Interval PairTable::RangeOverBox(size_t pair, const Box& box) const {
+  assert(box.dims() == dual_dims_);
+  double lo = constants_[pair];
+  double hi = lo;
+  const double* c = coeffs_.data() + pair * dual_dims_;
+  for (size_t j = 0; j < dual_dims_; ++j) {
+    const Interval& s = box.side(j);
+    if (c[j] >= 0.0) {
+      lo += c[j] * s.lo;
+      hi += c[j] * s.hi;
+    } else {
+      lo += c[j] * s.hi;
+      hi += c[j] * s.lo;
+    }
+  }
+  return Interval{lo, hi};
+}
+
+}  // namespace eclipse

@@ -1,0 +1,93 @@
+// PairTable: the Intersection Index's payload.
+//
+// For every pair (a, b) of indexed dual hyperplanes, the difference form
+// g_ab(x) = h_a(x) - h_b(x) is affine over the dual slope space; its zero
+// set is the (d-2)-dimensional intersection hyperplane. A pair "crosses" a
+// query box when g_ab takes both strict signs inside it, in which case
+// neither point eclipse-dominates the other over that query. The table
+// stores, in flat arrays, every pair whose intersection meets the index
+// domain (pairs that never cross the domain keep a fixed order for every
+// query inside it and are irrelevant).
+
+#ifndef ECLIPSE_DUAL_INTERSECTIONS_H_
+#define ECLIPSE_DUAL_INTERSECTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/statistics.h"
+#include "dual/dual_model.h"
+#include "geometry/box.h"
+
+namespace eclipse {
+
+class PairTable {
+ public:
+  /// Enumerates all u*(u-1)/2 pairs of `model`, keeping those whose
+  /// difference form has a zero inside (or touching) `domain`. Fails with
+  /// ResourceExhausted when more than `max_pairs` pairs survive.
+  static Result<PairTable> Build(const DualModel& model, const Box& domain,
+                                 size_t max_pairs);
+
+  /// Reassembles a table from its raw arrays (index persistence).
+  static Result<PairTable> FromParts(size_t dual_dims,
+                                     std::vector<uint32_t> a,
+                                     std::vector<uint32_t> b,
+                                     std::vector<double> coeffs,
+                                     std::vector<double> constants);
+
+  /// Raw arrays (index persistence).
+  const std::vector<uint32_t>& raw_a() const { return a_; }
+  const std::vector<uint32_t>& raw_b() const { return b_; }
+  const std::vector<double>& raw_coeffs() const { return coeffs_; }
+  const std::vector<double>& raw_constants() const { return constants_; }
+
+  size_t size() const { return a_.size(); }
+  size_t dual_dims() const { return dual_dims_; }
+
+  uint32_t a(size_t pair) const { return a_[pair]; }
+  uint32_t b(size_t pair) const { return b_[pair]; }
+
+  /// Coefficient j of the difference form of `pair`.
+  double coeff(size_t pair, size_t j) const {
+    return coeffs_[pair * dual_dims_ + j];
+  }
+  double constant(size_t pair) const { return constants_[pair]; }
+
+  double Evaluate(size_t pair, std::span<const double> x) const;
+
+  /// Exact range of g over a box (interval arithmetic, no allocation).
+  Interval RangeOverBox(size_t pair, const Box& box) const;
+
+  /// Zero set meets the closed box (used for index cell assignment: never
+  /// misses, may include boundary touches).
+  bool TouchesBox(size_t pair, const Box& box) const {
+    Interval r = RangeOverBox(pair, box);
+    return r.lo <= 0.0 && r.hi >= 0.0;
+  }
+
+  /// Zero set crosses the box interior with a strict sign change (the exact
+  /// "neither dominates" verification used at query time).
+  bool CrossesInterior(size_t pair, const Box& box) const {
+    Interval r = RangeOverBox(pair, box);
+    return r.lo < 0.0 && r.hi > 0.0;
+  }
+
+  /// In 2D (dual_dims == 1) the zero set is a single x; exposed for the
+  /// sorted-abscissa index. Requires dual_dims() == 1 and a non-parallel
+  /// pair (guaranteed for pairs kept by Build, see implementation).
+  double IntersectionX(size_t pair) const {
+    return -constants_[pair] / coeffs_[pair];
+  }
+
+ private:
+  size_t dual_dims_ = 0;
+  std::vector<uint32_t> a_, b_;
+  std::vector<double> coeffs_;     // pair * dual_dims_
+  std::vector<double> constants_;  // pair
+};
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_DUAL_INTERSECTIONS_H_

@@ -1,0 +1,59 @@
+#include "dual/order_vector.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/strings.h"
+
+namespace eclipse {
+
+int CompareAboveAtCorner(const DualModel& model, size_t a, size_t b,
+                         const Box& query) {
+  const Point x0 = query.HighCorner();
+  const double ha = model.HeightAt(a, x0);
+  const double hb = model.HeightAt(b, x0);
+  if (ha > hb) return 1;
+  if (ha < hb) return -1;
+  // Tie at the corner: step into the box one axis at a time. The box lies at
+  // x_j <= x0_j, so a height advantage just inside along axis j belongs to
+  // the hyperplane with the smaller coefficient.
+  for (size_t j = 0; j < query.dims(); ++j) {
+    if (query.side(j).degenerate()) continue;
+    const double ca = model.coeff(a, j);
+    const double cb = model.coeff(b, j);
+    if (ca < cb) return 1;
+    if (ca > cb) return -1;
+  }
+  return 0;  // identical over the entire box
+}
+
+Result<CornerOrder> ComputeCornerOrder(const DualModel& model,
+                                       const Box& query) {
+  if (query.dims() != model.dual_dims()) {
+    return Status::InvalidArgument(
+        StrFormat("query box has %zu dims, dual space has %zu", query.dims(),
+                  model.dual_dims()));
+  }
+  const size_t u = model.u();
+  std::vector<uint32_t> order(u);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    int cmp = CompareAboveAtCorner(model, a, b, query);
+    if (cmp != 0) return cmp > 0;  // higher first
+    return a < b;
+  });
+
+  CornerOrder out;
+  out.ranks.assign(u, 0);
+  uint32_t group_rank = 0;
+  for (size_t i = 0; i < u; ++i) {
+    if (i > 0 &&
+        CompareAboveAtCorner(model, order[i - 1], order[i], query) != 0) {
+      group_rank = static_cast<uint32_t>(i);
+    }
+    out.ranks[order[i]] = group_rank;
+  }
+  return out;
+}
+
+}  // namespace eclipse

@@ -1,0 +1,45 @@
+// Corner order: the Order Vector Index's per-query half.
+//
+// At the query corner x0 = (-l_1, ..., -l_{d-1}) (the dual image of the
+// all-lo ratio corner), every indexed hyperplane gets a rank equal to the
+// number of hyperplanes strictly above it "just inside" the query box.
+// "Just inside" resolves ties at x0 exactly: two hyperplanes equal at x0 are
+// ordered by their height derivative stepping into the box along each
+// non-degenerate axis in turn (an affine function is determined on the box
+// by its corner value and those derivatives, so a full tie means the
+// hyperplanes coincide over the entire box).
+//
+// DESIGN.md finding F2: ranks are immutable; the query engine decrements a
+// copy per verified crossing, which is provably order-independent, unlike
+// the paper's comparison of mutated counters.
+
+#ifndef ECLIPSE_DUAL_ORDER_VECTOR_H_
+#define ECLIPSE_DUAL_ORDER_VECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "dual/dual_model.h"
+#include "geometry/box.h"
+
+namespace eclipse {
+
+struct CornerOrder {
+  /// ranks[i] = number of hyperplanes whose key is strictly above i's.
+  /// Hyperplanes identical over the whole box share a rank.
+  std::vector<uint32_t> ranks;
+};
+
+/// `query` is the dual box (side j = [-h_j, -l_j]); x0 is its high corner.
+Result<CornerOrder> ComputeCornerOrder(const DualModel& model,
+                                       const Box& query);
+
+/// Exact "a is above b just inside the box from x0" comparison; returns
+/// +1 (above), -1 (below), or 0 (identical over the box). Exposed for tests.
+int CompareAboveAtCorner(const DualModel& model, size_t a, size_t b,
+                         const Box& query);
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_DUAL_ORDER_VECTOR_H_

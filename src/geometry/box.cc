@@ -1,0 +1,88 @@
+#include "geometry/box.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace eclipse {
+
+Box Box::Cube(size_t k, double lo, double hi) {
+  return Box(std::vector<Interval>(k, Interval{lo, hi}));
+}
+
+bool Box::valid() const {
+  for (const auto& s : sides_) {
+    if (!s.valid()) return false;
+  }
+  return true;
+}
+
+bool Box::degenerate() const {
+  for (const auto& s : sides_) {
+    if (!s.degenerate()) return false;
+  }
+  return true;
+}
+
+Point Box::Center() const {
+  Point c(sides_.size());
+  for (size_t j = 0; j < sides_.size(); ++j) c[j] = sides_[j].center();
+  return c;
+}
+
+Point Box::HighCorner() const {
+  Point c(sides_.size());
+  for (size_t j = 0; j < sides_.size(); ++j) c[j] = sides_[j].hi;
+  return c;
+}
+
+Point Box::LowCorner() const {
+  Point c(sides_.size());
+  for (size_t j = 0; j < sides_.size(); ++j) c[j] = sides_[j].lo;
+  return c;
+}
+
+bool Box::Contains(std::span<const double> x) const {
+  if (x.size() != sides_.size()) return false;
+  for (size_t j = 0; j < sides_.size(); ++j) {
+    if (!sides_[j].Contains(x[j])) return false;
+  }
+  return true;
+}
+
+bool Box::Contains(const Box& other) const {
+  if (other.dims() != dims()) return false;
+  for (size_t j = 0; j < sides_.size(); ++j) {
+    if (!sides_[j].Contains(other.sides_[j])) return false;
+  }
+  return true;
+}
+
+bool Box::Intersects(const Box& other) const {
+  if (other.dims() != dims()) return false;
+  for (size_t j = 0; j < sides_.size(); ++j) {
+    if (!sides_[j].Intersects(other.sides_[j])) return false;
+  }
+  return true;
+}
+
+Box Box::Intersection(const Box& other) const {
+  std::vector<Interval> out(sides_.size());
+  for (size_t j = 0; j < sides_.size(); ++j) {
+    out[j] = Interval{std::max(sides_[j].lo, other.sides_[j].lo),
+                      std::min(sides_[j].hi, other.sides_[j].hi)};
+  }
+  return Box(std::move(out));
+}
+
+std::string Box::ToString() const {
+  std::string out = "[";
+  for (size_t j = 0; j < sides_.size(); ++j) {
+    if (j > 0) out += " x ";
+    out += StrFormat("[%g,%g]", sides_[j].lo, sides_[j].hi);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace eclipse

@@ -1,0 +1,79 @@
+// Closed intervals and axis-aligned boxes.
+
+#ifndef ECLIPSE_GEOMETRY_BOX_H_
+#define ECLIPSE_GEOMETRY_BOX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "geometry/point.h"
+
+namespace eclipse {
+
+/// A closed interval [lo, hi]. Valid iff lo <= hi.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  bool valid() const { return lo <= hi; }
+  bool degenerate() const { return lo == hi; }
+  double length() const { return hi - lo; }
+  double center() const { return 0.5 * (lo + hi); }
+  bool Contains(double x) const { return lo <= x && x <= hi; }
+  bool Contains(const Interval& other) const {
+    return lo <= other.lo && other.hi <= hi;
+  }
+  bool Intersects(const Interval& other) const {
+    return lo <= other.hi && other.lo <= hi;
+  }
+
+  friend bool operator==(const Interval& a, const Interval& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+/// An axis-aligned closed box: the product of k intervals.
+class Box {
+ public:
+  Box() = default;
+  explicit Box(std::vector<Interval> sides) : sides_(std::move(sides)) {}
+
+  /// The cube [lo, hi]^k.
+  static Box Cube(size_t k, double lo, double hi);
+
+  size_t dims() const { return sides_.size(); }
+  const Interval& side(size_t j) const { return sides_[j]; }
+  Interval& side(size_t j) { return sides_[j]; }
+  const std::vector<Interval>& sides() const { return sides_; }
+
+  bool valid() const;
+  /// True iff every side has zero length.
+  bool degenerate() const;
+
+  Point Center() const;
+  /// The corner with all coordinates at their hi end.
+  Point HighCorner() const;
+  /// The corner with all coordinates at their lo end.
+  Point LowCorner() const;
+
+  bool Contains(std::span<const double> x) const;
+  bool Contains(const Box& other) const;
+  bool Intersects(const Box& other) const;
+
+  /// Intersection of two boxes; may be invalid (empty) if they are disjoint.
+  Box Intersection(const Box& other) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Box& a, const Box& b) {
+    return a.sides_ == b.sides_;
+  }
+
+ private:
+  std::vector<Interval> sides_;
+};
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_GEOMETRY_BOX_H_

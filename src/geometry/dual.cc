@@ -1,0 +1,26 @@
+#include "geometry/dual.h"
+
+#include <cassert>
+
+namespace eclipse {
+
+LinearForm DualHyperplane(std::span<const double> p) {
+  assert(p.size() >= 2);
+  const size_t d = p.size();
+  std::vector<double> coeffs(p.begin(), p.begin() + (d - 1));
+  return LinearForm(std::move(coeffs), -p[d - 1]);
+}
+
+Line2D DualLine(std::span<const double> p) {
+  assert(p.size() == 2);
+  return Line2D{p[0], -p[1]};
+}
+
+Point PrimalPoint(const LinearForm& dual) {
+  Point p(dual.dims() + 1);
+  for (size_t j = 0; j < dual.dims(); ++j) p[j] = dual.coeffs()[j];
+  p[dual.dims()] = -dual.constant();
+  return p;
+}
+
+}  // namespace eclipse

@@ -1,0 +1,32 @@
+// Point <-> hyperplane duality transform (de Berg et al., ch. 8).
+//
+// A primal point p = (p[1], ..., p[d]) maps to the dual hyperplane
+//   x_d = p[1] x_1 + ... + p[d-1] x_{d-1} - p[d],
+// represented here as the affine form h(x) = sum_j p[j] x_j - p[d] over the
+// (d-1)-dimensional "slope space". A ratio query r[j] in [l_j, h_j]
+// corresponds to the slope box x_j in [-h_j, -l_j], where the weighted sum
+// satisfies h(-r) = -S(p)_r: the hyperplane closest to x_d = 0 from below is
+// the current nearest neighbor.
+
+#ifndef ECLIPSE_GEOMETRY_DUAL_H_
+#define ECLIPSE_GEOMETRY_DUAL_H_
+
+#include "geometry/line2d.h"
+#include "geometry/linear_form.h"
+#include "geometry/point.h"
+
+namespace eclipse {
+
+/// Dual hyperplane of a d-dimensional point as a (d-1)-variable affine form.
+/// Requires d >= 2.
+LinearForm DualHyperplane(std::span<const double> p);
+
+/// 2D specialization: the dual line y = p[0] * x - p[1] of a planar point.
+Line2D DualLine(std::span<const double> p);
+
+/// Recovers the primal point from its dual form (inverse of DualHyperplane).
+Point PrimalPoint(const LinearForm& dual);
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_GEOMETRY_DUAL_H_

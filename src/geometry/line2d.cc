@@ -1,0 +1,19 @@
+#include "geometry/line2d.h"
+
+namespace eclipse {
+
+std::optional<double> IntersectionX(const Line2D& a, const Line2D& b) {
+  const double ds = a.slope - b.slope;
+  if (ds == 0.0) return std::nullopt;
+  return (b.intercept - a.intercept) / ds;
+}
+
+int Orientation2D(double ax, double ay, double bx, double by, double cx,
+                  double cy) {
+  const double cross = (bx - ax) * (cy - ay) - (by - ay) * (cx - ax);
+  if (cross > 0.0) return 1;
+  if (cross < 0.0) return -1;
+  return 0;
+}
+
+}  // namespace eclipse

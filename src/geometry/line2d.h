@@ -1,0 +1,29 @@
+// 2D lines in slope-intercept form, as used by the 2D dual space.
+
+#ifndef ECLIPSE_GEOMETRY_LINE2D_H_
+#define ECLIPSE_GEOMETRY_LINE2D_H_
+
+#include <optional>
+
+namespace eclipse {
+
+/// y = slope * x + intercept.
+struct Line2D {
+  double slope = 0.0;
+  double intercept = 0.0;
+
+  double YAt(double x) const { return slope * x + intercept; }
+};
+
+/// X coordinate where two non-parallel lines meet; nullopt when the slopes
+/// are equal (parallel or identical lines).
+std::optional<double> IntersectionX(const Line2D& a, const Line2D& b);
+
+/// Orientation of the triple (a, b, c) in the plane: +1 counter-clockwise,
+/// -1 clockwise, 0 collinear.
+int Orientation2D(double ax, double ay, double bx, double by, double cx,
+                  double cy);
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_GEOMETRY_LINE2D_H_

@@ -1,0 +1,43 @@
+#include "geometry/linear_form.h"
+
+#include <cassert>
+
+namespace eclipse {
+
+double LinearForm::Evaluate(std::span<const double> x) const {
+  assert(x.size() == coeffs_.size());
+  double acc = constant_;
+  for (size_t j = 0; j < coeffs_.size(); ++j) {
+    acc += coeffs_[j] * x[j];
+  }
+  return acc;
+}
+
+Interval LinearForm::RangeOverBox(const Box& box) const {
+  assert(box.dims() == coeffs_.size());
+  double lo = constant_;
+  double hi = constant_;
+  for (size_t j = 0; j < coeffs_.size(); ++j) {
+    const double c = coeffs_[j];
+    const Interval& s = box.side(j);
+    if (c >= 0.0) {
+      lo += c * s.lo;
+      hi += c * s.hi;
+    } else {
+      lo += c * s.hi;
+      hi += c * s.lo;
+    }
+  }
+  return Interval{lo, hi};
+}
+
+LinearForm LinearForm::Minus(const LinearForm& other) const {
+  assert(other.dims() == dims());
+  std::vector<double> c(coeffs_.size());
+  for (size_t j = 0; j < coeffs_.size(); ++j) {
+    c[j] = coeffs_[j] - other.coeffs_[j];
+  }
+  return LinearForm(std::move(c), constant_ - other.constant_);
+}
+
+}  // namespace eclipse

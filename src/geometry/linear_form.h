@@ -1,0 +1,58 @@
+// Affine forms over R^k and their range over a box.
+//
+// The eclipse index engines reduce "does hyperplane i cross hyperplane j
+// inside the query box" to the sign behaviour of an affine form over that
+// box, which interval arithmetic evaluates exactly (up to rounding).
+
+#ifndef ECLIPSE_GEOMETRY_LINEAR_FORM_H_
+#define ECLIPSE_GEOMETRY_LINEAR_FORM_H_
+
+#include <span>
+#include <vector>
+
+#include "geometry/box.h"
+
+namespace eclipse {
+
+/// g(x) = constant + sum_j coeffs[j] * x[j].
+class LinearForm {
+ public:
+  LinearForm() = default;
+  LinearForm(std::vector<double> coeffs, double constant)
+      : coeffs_(std::move(coeffs)), constant_(constant) {}
+
+  size_t dims() const { return coeffs_.size(); }
+  const std::vector<double>& coeffs() const { return coeffs_; }
+  double constant() const { return constant_; }
+
+  double Evaluate(std::span<const double> x) const;
+
+  /// Exact min and max of g over the (closed, valid) box: an affine form
+  /// attains its extrema at box corners, reached coordinatewise.
+  Interval RangeOverBox(const Box& box) const;
+
+  /// True iff g takes both strictly positive and strictly negative values
+  /// inside the box -- i.e. the zero set {g = 0} crosses the box interior.
+  /// Touching the boundary only (min or max exactly 0) does not count.
+  bool CrossesInteriorOf(const Box& box) const {
+    Interval r = RangeOverBox(box);
+    return r.lo < 0.0 && r.hi > 0.0;
+  }
+
+  /// g restricted to the box is identically zero.
+  bool IsZeroOn(const Box& box) const {
+    Interval r = RangeOverBox(box);
+    return r.lo == 0.0 && r.hi == 0.0;
+  }
+
+  /// Difference of two forms of equal dimensionality: this - other.
+  LinearForm Minus(const LinearForm& other) const;
+
+ private:
+  std::vector<double> coeffs_;
+  double constant_ = 0.0;
+};
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_GEOMETRY_LINEAR_FORM_H_

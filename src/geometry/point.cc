@@ -1,0 +1,69 @@
+#include "geometry/point.h"
+
+#include "common/strings.h"
+
+namespace eclipse {
+
+Result<PointSet> PointSet::FromPoints(const std::vector<Point>& points) {
+  if (points.empty()) {
+    return Status::InvalidArgument("FromPoints: empty input (dims unknown)");
+  }
+  const size_t d = points[0].size();
+  if (d == 0) {
+    return Status::InvalidArgument("FromPoints: zero-dimensional points");
+  }
+  PointSet out(d);
+  out.data_.reserve(points.size() * d);
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (points[i].size() != d) {
+      return Status::InvalidArgument(StrFormat(
+          "FromPoints: ragged input, point %zu has %zu dims, expected %zu", i,
+          points[i].size(), d));
+    }
+    out.data_.insert(out.data_.end(), points[i].begin(), points[i].end());
+  }
+  return out;
+}
+
+Result<PointSet> PointSet::FromFlat(size_t dims, std::vector<double> data) {
+  if (dims == 0) {
+    return Status::InvalidArgument("FromFlat: zero dimensions");
+  }
+  if (data.size() % dims != 0) {
+    return Status::InvalidArgument(
+        StrFormat("FromFlat: %zu values is not a multiple of %zu dims",
+                  data.size(), dims));
+  }
+  PointSet out(dims);
+  out.data_ = std::move(data);
+  return out;
+}
+
+Status PointSet::Append(std::span<const double> p) {
+  if (p.size() != dims_) {
+    return Status::InvalidArgument(
+        StrFormat("Append: point has %zu dims, set has %zu", p.size(), dims_));
+  }
+  data_.insert(data_.end(), p.begin(), p.end());
+  return Status::OK();
+}
+
+PointSet PointSet::Select(std::span<const PointId> ids) const {
+  PointSet out(dims_);
+  out.data_.reserve(ids.size() * dims_);
+  for (PointId id : ids) {
+    auto row = (*this)[id];
+    out.data_.insert(out.data_.end(), row.begin(), row.end());
+  }
+  return out;
+}
+
+bool PointsEqual(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace eclipse

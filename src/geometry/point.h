@@ -1,0 +1,77 @@
+// Point storage.
+//
+// The library stores datasets as a flat row-major matrix (PointSet) and
+// algorithms return indices into it, which keeps hot loops cache-friendly
+// and avoids copying attribute data through the query pipeline.
+
+#ifndef ECLIPSE_GEOMETRY_POINT_H_
+#define ECLIPSE_GEOMETRY_POINT_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace eclipse {
+
+/// A single point; convenient for literals and small helpers.
+using Point = std::vector<double>;
+
+/// Index of a point within a PointSet.
+using PointId = uint32_t;
+
+/// An immutable-by-convention set of n points in d dimensions, stored
+/// row-major. Row i occupies data()[i*dims() .. i*dims()+dims()).
+class PointSet {
+ public:
+  PointSet() = default;
+
+  /// Creates an empty set with the given dimensionality (d >= 1).
+  explicit PointSet(size_t dims) : dims_(dims) {}
+
+  /// Builds from a list of equal-length points. Returns InvalidArgument on
+  /// ragged input or zero dimensions.
+  static Result<PointSet> FromPoints(const std::vector<Point>& points);
+
+  /// Builds from flat row-major data; data.size() must be a multiple of dims.
+  static Result<PointSet> FromFlat(size_t dims, std::vector<double> data);
+
+  /// Appends one point; length must equal dims().
+  Status Append(std::span<const double> p);
+
+  size_t size() const { return dims_ == 0 ? 0 : data_.size() / dims_; }
+  size_t dims() const { return dims_; }
+  bool empty() const { return data_.empty(); }
+
+  /// Read-only view of row i.
+  std::span<const double> operator[](size_t i) const {
+    return std::span<const double>(data_.data() + i * dims_, dims_);
+  }
+
+  double at(size_t i, size_t j) const { return data_[i * dims_ + j]; }
+
+  const std::vector<double>& data() const { return data_; }
+
+  /// Copies row i into an owned Point.
+  Point ToPoint(size_t i) const {
+    auto row = (*this)[i];
+    return Point(row.begin(), row.end());
+  }
+
+  /// Returns the subset of rows given by ids, preserving order.
+  PointSet Select(std::span<const PointId> ids) const;
+
+ private:
+  size_t dims_ = 0;
+  std::vector<double> data_;
+};
+
+/// True iff the rows are identical.
+bool PointsEqual(std::span<const double> a, std::span<const double> b);
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_GEOMETRY_POINT_H_

@@ -1,0 +1,98 @@
+#include "hull/convex_hull_2d.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "geometry/line2d.h"
+
+namespace eclipse {
+
+namespace {
+
+Status Check2D(const PointSet& points) {
+  if (points.dims() != 2) {
+    return Status::InvalidArgument("convex hull requires d == 2");
+  }
+  return Status::OK();
+}
+
+// Sorted unique ids by (x, y); exact duplicates keep the smallest id.
+std::vector<PointId> SortedUnique(const PointSet& points) {
+  std::vector<PointId> ids(points.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  std::sort(ids.begin(), ids.end(), [&](PointId a, PointId b) {
+    if (points.at(a, 0) != points.at(b, 0))
+      return points.at(a, 0) < points.at(b, 0);
+    if (points.at(a, 1) != points.at(b, 1))
+      return points.at(a, 1) < points.at(b, 1);
+    return a < b;
+  });
+  ids.erase(std::unique(ids.begin(), ids.end(),
+                        [&](PointId a, PointId b) {
+                          return points.at(a, 0) == points.at(b, 0) &&
+                                 points.at(a, 1) == points.at(b, 1);
+                        }),
+            ids.end());
+  return ids;
+}
+
+// Builds one monotone-chain half; `sign` +1 keeps strict left turns
+// (upper/lower depending on traversal direction).
+void BuildChain(const PointSet& points, const std::vector<PointId>& ids,
+                int sign, std::vector<PointId>* chain) {
+  for (PointId id : ids) {
+    while (chain->size() >= 2) {
+      const PointId a = (*chain)[chain->size() - 2];
+      const PointId b = (*chain)[chain->size() - 1];
+      const int orient =
+          Orientation2D(points.at(a, 0), points.at(a, 1), points.at(b, 0),
+                        points.at(b, 1), points.at(id, 0), points.at(id, 1));
+      if (orient * sign > 0) break;
+      chain->pop_back();
+    }
+    chain->push_back(id);
+  }
+}
+
+}  // namespace
+
+Result<std::vector<PointId>> ConvexHull2D(const PointSet& points) {
+  ECLIPSE_RETURN_IF_ERROR(Check2D(points));
+  std::vector<PointId> ids = SortedUnique(points);
+  if (ids.size() <= 2) return ids;
+
+  std::vector<PointId> lower, upper;
+  BuildChain(points, ids, +1, &lower);
+  std::vector<PointId> reversed(ids.rbegin(), ids.rend());
+  BuildChain(points, reversed, +1, &upper);
+  // Concatenate, dropping the duplicated endpoints.
+  lower.pop_back();
+  upper.pop_back();
+  lower.insert(lower.end(), upper.begin(), upper.end());
+  return lower;
+}
+
+Result<std::vector<PointId>> ConvexHullQuery2D(const PointSet& points) {
+  ECLIPSE_RETURN_IF_ERROR(Check2D(points));
+  if (points.empty()) return std::vector<PointId>{};
+  std::vector<PointId> ids = SortedUnique(points);
+
+  // Lower hull (strict turns), then keep the strictly-descending prefix:
+  // exactly the vertices optimal for some weight vector with both weights
+  // positive (segment slopes negative).
+  std::vector<PointId> lower;
+  BuildChain(points, ids, +1, &lower);
+  std::vector<PointId> out;
+  out.push_back(lower[0]);
+  for (size_t i = 1; i < lower.size(); ++i) {
+    if (points.at(lower[i], 1) < points.at(out.back(), 1)) {
+      out.push_back(lower[i]);
+    } else {
+      break;  // slopes turned nonnegative; no positive weights beyond here
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace eclipse

@@ -1,0 +1,27 @@
+// The "convex hull query" of the paper's Figure 4: the points that are the
+// 1NN answer for *some* positive linear weight vector, i.e. the vertices of
+// the lower-left convex chain of the point set (the origin's view of the
+// hull). For the hotel example this returns {p1, p3}, not the full hull.
+
+#ifndef ECLIPSE_HULL_CONVEX_HULL_2D_H_
+#define ECLIPSE_HULL_CONVEX_HULL_2D_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "geometry/point.h"
+
+namespace eclipse {
+
+/// Ids (sorted ascending) of the lower-left hull vertices: points p such
+/// that some weight vector w > 0 makes p a weighted-sum minimizer, excluding
+/// points interior to segments of the chain. Requires d == 2.
+Result<std::vector<PointId>> ConvexHullQuery2D(const PointSet& points);
+
+/// Full 2D convex hull vertex ids in counter-clockwise order starting from
+/// the lexicographically smallest vertex (Andrew's monotone chain).
+Result<std::vector<PointId>> ConvexHull2D(const PointSet& points);
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_HULL_CONVEX_HULL_2D_H_

@@ -1,0 +1,231 @@
+#include "index/cutting_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eclipse {
+
+namespace {
+
+// A vertex of the arrangement: the common point of k sampled intersection
+// hyperplanes (the paper samples intersection points the same way). Solves
+// the k x k system by Gaussian elimination with partial pivoting; returns
+// false on (near-)singular samples. The vertex is clamped into the box.
+bool SampleVertex(const PairTable& table, std::span<const uint32_t> pairs,
+                  const Box& box, Point* out) {
+  const size_t k = box.dims();
+  if (pairs.size() < k) return false;
+  // Augmented matrix [A | -c] for A x = -c.
+  std::vector<double> m(k * (k + 1));
+  for (size_t row = 0; row < k; ++row) {
+    for (size_t col = 0; col < k; ++col) {
+      m[row * (k + 1) + col] = table.coeff(pairs[row], col);
+    }
+    m[row * (k + 1) + k] = -table.constant(pairs[row]);
+  }
+  for (size_t col = 0; col < k; ++col) {
+    size_t pivot = col;
+    for (size_t row = col + 1; row < k; ++row) {
+      if (std::abs(m[row * (k + 1) + col]) >
+          std::abs(m[pivot * (k + 1) + col])) {
+        pivot = row;
+      }
+    }
+    const double p = m[pivot * (k + 1) + col];
+    if (std::abs(p) < 1e-12) return false;
+    if (pivot != col) {
+      for (size_t j = col; j <= k; ++j) {
+        std::swap(m[pivot * (k + 1) + j], m[col * (k + 1) + j]);
+      }
+    }
+    for (size_t row = 0; row < k; ++row) {
+      if (row == col) continue;
+      const double factor = m[row * (k + 1) + col] / m[col * (k + 1) + col];
+      for (size_t j = col; j <= k; ++j) {
+        m[row * (k + 1) + j] -= factor * m[col * (k + 1) + j];
+      }
+    }
+  }
+  out->resize(k);
+  for (size_t row = 0; row < k; ++row) {
+    const double v = m[row * (k + 1) + k] / m[row * (k + 1) + row];
+    if (!std::isfinite(v)) return false;
+    const Interval& s = box.side(row);
+    (*out)[row] = std::clamp(v, s.lo, s.hi);
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<CuttingTree> CuttingTree::Build(const PairTable& table,
+                                       const Box& domain,
+                                       const CuttingTreeOptions& options) {
+  if (domain.dims() != table.dual_dims()) {
+    return Status::InvalidArgument("CuttingTree: domain/table dims mismatch");
+  }
+  if (!domain.valid() || domain.degenerate()) {
+    return Status::InvalidArgument("CuttingTree: domain must be a full box");
+  }
+  CuttingTree tree;
+  tree.table_ = &table;
+  Node root;
+  root.box = domain;
+  root.entries.resize(table.size());
+  for (size_t p = 0; p < table.size(); ++p) {
+    root.entries[p] = static_cast<uint32_t>(p);
+  }
+  tree.stored_entries_ = root.entries.size();
+  tree.nodes_.push_back(std::move(root));
+  Rng rng(options.seed);
+  for (size_t i = 0; i < tree.nodes_.size(); ++i) {
+    tree.SplitIfNeeded(i, options, &rng);
+  }
+  return tree;
+}
+
+void CuttingTree::SplitIfNeeded(size_t node_index,
+                                const CuttingTreeOptions& options, Rng* rng) {
+  {
+    Node& node = nodes_[node_index];
+    max_depth_seen_ =
+        std::max(max_depth_seen_, static_cast<size_t>(node.depth));
+    if (node.entries.size() <= options.capacity) return;
+    if (node.depth >= options.max_depth) return;
+  }
+  const size_t budget =
+      static_cast<size_t>(options.duplication_budget *
+                          static_cast<double>(table_->size())) +
+      4096;
+  if (stored_entries_ >= budget) return;
+
+  const size_t k = nodes_[node_index].box.dims();
+  const size_t n_entries = nodes_[node_index].entries.size();
+
+  // Sample arrangement vertices within this cell: each is the intersection
+  // of k randomly chosen hyperplanes from the cell's entries.
+  std::vector<Point> reps;
+  reps.reserve(options.sample_size);
+  Point rep;
+  std::vector<uint32_t> chosen(k);
+  for (size_t s = 0; s < 4 * options.sample_size; ++s) {
+    if (reps.size() >= options.sample_size) break;
+    for (size_t j = 0; j < k; ++j) {
+      chosen[j] = nodes_[node_index].entries[rng->NextIndex(n_entries)];
+    }
+    if (SampleVertex(*table_, chosen, nodes_[node_index].box, &rep)) {
+      reps.push_back(rep);
+    }
+  }
+  // Parallel-heavy inputs defeat vertex sampling (singular systems); fall
+  // back to projecting random box points onto single sampled hyperplanes,
+  // which still tracks where the hyperplanes lie.
+  while (reps.size() < options.sample_size / 2) {
+    const uint32_t pair =
+        nodes_[node_index].entries[rng->NextIndex(n_entries)];
+    Point base(k);
+    double norm_sq = 0.0;
+    for (size_t j = 0; j < k; ++j) {
+      const Interval& s = nodes_[node_index].box.side(j);
+      base[j] = rng->Uniform(s.lo, s.hi);
+      norm_sq += table_->coeff(pair, j) * table_->coeff(pair, j);
+    }
+    if (norm_sq <= 0.0) break;  // degenerate entry; cannot happen post-build
+    const double scale = table_->Evaluate(pair, base) / norm_sq;
+    rep.resize(k);
+    for (size_t j = 0; j < k; ++j) {
+      const Interval& s = nodes_[node_index].box.side(j);
+      rep[j] = std::clamp(base[j] - scale * table_->coeff(pair, j), s.lo,
+                          s.hi);
+    }
+    reps.push_back(rep);
+  }
+  if (reps.empty()) return;
+
+  // Candidate cut per dimension: the median of the sampled locations along
+  // it. Evaluate every dimension and keep the admissible cut with the least
+  // duplication (lines concentrated near one region make most cuts useless;
+  // trying all dims finds the separating one when it exists).
+  const size_t child_limit = static_cast<size_t>(
+      (1.0 - options.min_progress) * static_cast<double>(n_entries));
+  const size_t total_limit = static_cast<size_t>(
+      options.max_split_duplication * static_cast<double>(n_entries));
+  Node left, right;
+  size_t best_total = SIZE_MAX;
+  std::vector<double> values(reps.size());
+  for (size_t j = 0; j < k; ++j) {
+    for (size_t s = 0; s < reps.size(); ++s) values[s] = reps[s][j];
+    std::nth_element(values.begin(), values.begin() + values.size() / 2,
+                     values.end());
+    const double split_value = values[values.size() / 2];
+    const Interval& side = nodes_[node_index].box.side(j);
+    if (!(split_value > side.lo && split_value < side.hi)) continue;
+
+    Node cand_left, cand_right;
+    {
+      std::vector<Interval> sides(nodes_[node_index].box.sides());
+      sides[j] = Interval{side.lo, split_value};
+      cand_left.box = Box(sides);
+      sides[j] = Interval{split_value, side.hi};
+      cand_right.box = Box(std::move(sides));
+    }
+    for (uint32_t pair : nodes_[node_index].entries) {
+      if (table_->TouchesBox(pair, cand_left.box)) {
+        cand_left.entries.push_back(pair);
+      }
+      if (table_->TouchesBox(pair, cand_right.box)) {
+        cand_right.entries.push_back(pair);
+      }
+    }
+    const size_t total = cand_left.entries.size() + cand_right.entries.size();
+    if (cand_left.entries.size() > child_limit ||
+        cand_right.entries.size() > child_limit || total > total_limit) {
+      continue;  // inadmissible: near-total duplication
+    }
+    if (total < best_total) {
+      best_total = total;
+      left = std::move(cand_left);
+      right = std::move(cand_right);
+    }
+  }
+  // No admissible cut (adversarially clustered intersections): flat leaf.
+  if (best_total == SIZE_MAX) return;
+  left.depth = right.depth = nodes_[node_index].depth + 1;
+
+  stored_entries_ += best_total;
+  stored_entries_ -= n_entries;
+  nodes_[node_index].entries.clear();
+  nodes_[node_index].entries.shrink_to_fit();
+  nodes_[node_index].left = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(std::move(left));
+  nodes_[node_index].right = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(std::move(right));
+}
+
+void CuttingTree::Collect(size_t node_index, const Box& query,
+                          std::vector<uint32_t>* out_pairs,
+                          Statistics* stats) const {
+  const Node& node = nodes_[node_index];
+  if (!node.box.Intersects(query)) return;
+  if (stats != nullptr) stats->Add(Ticker::kIndexNodesVisited, 1);
+  if (node.left < 0) {
+    if (stats != nullptr) {
+      stats->Add(Ticker::kIndexLeavesScanned, 1);
+      stats->Add(Ticker::kCandidatePairs, node.entries.size());
+    }
+    out_pairs->insert(out_pairs->end(), node.entries.begin(),
+                      node.entries.end());
+    return;
+  }
+  Collect(node.left, query, out_pairs, stats);
+  Collect(node.right, query, out_pairs, stats);
+}
+
+void CuttingTree::CollectCandidates(const Box& query,
+                                    std::vector<uint32_t>* out_pairs,
+                                    Statistics* stats) const {
+  if (nodes_.empty()) return;
+  Collect(0, query, out_pairs, stats);
+}
+
+}  // namespace eclipse

@@ -1,0 +1,48 @@
+#include "index/index2d.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace eclipse {
+
+Result<Index2D> Index2D::Build(const PairTable& table) {
+  if (table.dual_dims() != 1) {
+    return Status::InvalidArgument("Index2D requires a 1D dual space (d == 2)");
+  }
+  Index2D index;
+  const size_t m = table.size();
+  std::vector<uint32_t> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> xs(m);
+  for (size_t p = 0; p < m; ++p) xs[p] = table.IntersectionX(p);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (xs[a] != xs[b]) return xs[a] < xs[b];
+    return a < b;
+  });
+  index.xs_.reserve(m);
+  index.pairs_.reserve(m);
+  for (uint32_t p : order) {
+    index.xs_.push_back(xs[p]);
+    index.pairs_.push_back(p);
+  }
+  return index;
+}
+
+void Index2D::CollectCandidates(const Box& query,
+                                std::vector<uint32_t>* out_pairs,
+                                Statistics* stats) const {
+  const Interval& q = query.side(0);
+  auto lo = std::lower_bound(xs_.begin(), xs_.end(), q.lo);
+  auto hi = std::upper_bound(xs_.begin(), xs_.end(), q.hi);
+  const size_t begin = static_cast<size_t>(lo - xs_.begin());
+  const size_t end = static_cast<size_t>(hi - xs_.begin());
+  for (size_t i = begin; i < end; ++i) {
+    out_pairs->push_back(pairs_[i]);
+  }
+  if (stats != nullptr) {
+    stats->Add(Ticker::kIndexNodesVisited, 1);
+    stats->Add(Ticker::kCandidatePairs, end - begin);
+  }
+}
+
+}  // namespace eclipse

@@ -1,0 +1,40 @@
+// The 2D Intersection Index: sorted intersection abscissas.
+//
+// For d == 2 the dual space is one-dimensional, every pair meets at a
+// single x, and a binary-searchable sorted array is the natural structure.
+// The paper notes QUAD and CUTTING "employ the same binary search tree
+// structure in two dimensional space"; this class is that shared structure.
+
+#ifndef ECLIPSE_INDEX_INDEX2D_H_
+#define ECLIPSE_INDEX_INDEX2D_H_
+
+#include "common/result.h"
+#include "index/intersection_index.h"
+
+namespace eclipse {
+
+class Index2D final : public IntersectionIndexBase {
+ public:
+  /// Requires table.dual_dims() == 1.
+  static Result<Index2D> Build(const PairTable& table);
+
+  void CollectCandidates(const Box& query, std::vector<uint32_t>* out_pairs,
+                         Statistics* stats) const override;
+
+  const char* Name() const override { return "sorted-2d"; }
+  size_t NodeCount() const override { return 1; }
+  size_t StoredEntryCount() const override { return xs_.size(); }
+  size_t MaxDepth() const override { return 1; }
+
+  /// Sorted abscissas (exposed for the faithful OrderVectorIndex2D).
+  const std::vector<double>& abscissas() const { return xs_; }
+  const std::vector<uint32_t>& pair_ids() const { return pairs_; }
+
+ private:
+  std::vector<double> xs_;       // sorted
+  std::vector<uint32_t> pairs_;  // parallel to xs_
+};
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_INDEX_INDEX2D_H_

@@ -1,0 +1,39 @@
+// Interface for Intersection Index implementations.
+//
+// Given a query box in the dual slope space, an index returns a superset of
+// the pairs whose intersection crosses the box (duplicates and boundary
+// false positives allowed; the engine verifies each candidate exactly with
+// PairTable::CrossesInterior and deduplicates).
+
+#ifndef ECLIPSE_INDEX_INTERSECTION_INDEX_H_
+#define ECLIPSE_INDEX_INTERSECTION_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statistics.h"
+#include "dual/intersections.h"
+#include "geometry/box.h"
+
+namespace eclipse {
+
+class IntersectionIndexBase {
+ public:
+  virtual ~IntersectionIndexBase() = default;
+
+  /// Appends candidate pair ids (indices into the PairTable used at build).
+  virtual void CollectCandidates(const Box& query,
+                                 std::vector<uint32_t>* out_pairs,
+                                 Statistics* stats) const = 0;
+
+  virtual const char* Name() const = 0;
+
+  /// Structural footprint, for tests and diagnostics.
+  virtual size_t NodeCount() const = 0;
+  virtual size_t StoredEntryCount() const = 0;
+  virtual size_t MaxDepth() const = 0;
+};
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_INDEX_INTERSECTION_INDEX_H_

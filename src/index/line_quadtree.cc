@@ -1,0 +1,119 @@
+#include "index/line_quadtree.h"
+
+#include <algorithm>
+
+namespace eclipse {
+
+Result<LineQuadtree> LineQuadtree::Build(const PairTable& table,
+                                         const Box& domain,
+                                         const LineQuadtreeOptions& options) {
+  if (domain.dims() != table.dual_dims()) {
+    return Status::InvalidArgument("LineQuadtree: domain/table dims mismatch");
+  }
+  if (!domain.valid() || domain.degenerate()) {
+    return Status::InvalidArgument("LineQuadtree: domain must be a full box");
+  }
+  const size_t k = domain.dims();
+  if (k > 16) {
+    return Status::InvalidArgument("LineQuadtree: fanout 2^k too large");
+  }
+  LineQuadtree tree;
+  tree.table_ = &table;
+  tree.fanout_ = size_t{1} << k;
+  tree.entry_budget_ = static_cast<size_t>(
+                           options.duplication_budget *
+                           static_cast<double>(table.size())) +
+                       4096;
+
+  Node root;
+  root.box = domain;
+  root.entries.resize(table.size());
+  for (size_t p = 0; p < table.size(); ++p) {
+    root.entries[p] = static_cast<uint32_t>(p);
+  }
+  tree.stored_entries_ = root.entries.size();
+  tree.nodes_.push_back(std::move(root));
+  // Iterative splitting; SplitIfNeeded appends children that are themselves
+  // processed later (index-based loop survives vector reallocation).
+  for (size_t i = 0; i < tree.nodes_.size(); ++i) {
+    tree.SplitIfNeeded(i, options);
+  }
+  return tree;
+}
+
+void LineQuadtree::SplitIfNeeded(size_t node_index,
+                                 const LineQuadtreeOptions& options) {
+  {
+    Node& node = nodes_[node_index];
+    max_depth_seen_ = std::max(max_depth_seen_, static_cast<size_t>(node.depth));
+    if (node.entries.size() <= options.capacity) return;
+    if (node.depth >= options.max_depth) return;
+  }
+  // Budget guard: a split duplicates references; refuse when over budget so
+  // adversarial inputs degrade to big-leaf scans instead of exploding.
+  if (stored_entries_ >= entry_budget_) return;
+
+  const size_t k = nodes_[node_index].box.dims();
+  const Point center = nodes_[node_index].box.Center();
+  const int32_t first_child = static_cast<int32_t>(nodes_.size());
+
+  // Create the 2^k children (bit j of the child index selects the upper
+  // half along dimension j).
+  for (size_t child = 0; child < fanout_; ++child) {
+    Node c;
+    std::vector<Interval> sides(k);
+    for (size_t j = 0; j < k; ++j) {
+      const Interval& s = nodes_[node_index].box.side(j);
+      sides[j] = (child & (size_t{1} << j)) ? Interval{center[j], s.hi}
+                                            : Interval{s.lo, center[j]};
+    }
+    c.box = Box(std::move(sides));
+    c.depth = nodes_[node_index].depth + 1;
+    nodes_.push_back(std::move(c));
+  }
+
+  size_t distributed = 0;
+  for (uint32_t pair : nodes_[node_index].entries) {
+    for (size_t child = 0; child < fanout_; ++child) {
+      Node& c = nodes_[first_child + static_cast<int32_t>(child)];
+      if (table_->TouchesBox(pair, c.box)) {
+        c.entries.push_back(pair);
+        ++distributed;
+      }
+    }
+  }
+  stored_entries_ += distributed;
+  stored_entries_ -= nodes_[node_index].entries.size();
+  nodes_[node_index].entries.clear();
+  nodes_[node_index].entries.shrink_to_fit();
+  nodes_[node_index].first_child = first_child;
+}
+
+void LineQuadtree::Collect(size_t node_index, const Box& query,
+                           std::vector<uint32_t>* out_pairs,
+                           Statistics* stats) const {
+  const Node& node = nodes_[node_index];
+  if (!node.box.Intersects(query)) return;
+  if (stats != nullptr) stats->Add(Ticker::kIndexNodesVisited, 1);
+  if (node.first_child < 0) {
+    if (stats != nullptr) {
+      stats->Add(Ticker::kIndexLeavesScanned, 1);
+      stats->Add(Ticker::kCandidatePairs, node.entries.size());
+    }
+    out_pairs->insert(out_pairs->end(), node.entries.begin(),
+                      node.entries.end());
+    return;
+  }
+  for (size_t child = 0; child < fanout_; ++child) {
+    Collect(node.first_child + child, query, out_pairs, stats);
+  }
+}
+
+void LineQuadtree::CollectCandidates(const Box& query,
+                                     std::vector<uint32_t>* out_pairs,
+                                     Statistics* stats) const {
+  if (nodes_.empty()) return;
+  Collect(0, query, out_pairs, stats);
+}
+
+}  // namespace eclipse

@@ -1,0 +1,62 @@
+// Line quadtree (hyperplane 2^k-tree): the QUAD Intersection Index.
+//
+// A midpoint-split tree over the (d-1)-dimensional dual query domain. Each
+// leaf stores the pairs whose intersection hyperplane meets its cell (closed
+// test, so no candidate is ever missed); a leaf splits into 2^(d-1) equal
+// children when it exceeds its capacity. Splitting stops at max_depth or
+// when the total stored references exceed a duplication budget -- after
+// which oversized leaves are scanned linearly, which is exactly the
+// structure's documented worst case ("the depth for line quadtree is O(n)
+// ... we need to scan all the lines").
+
+#ifndef ECLIPSE_INDEX_LINE_QUADTREE_H_
+#define ECLIPSE_INDEX_LINE_QUADTREE_H_
+
+#include "common/result.h"
+#include "index/intersection_index.h"
+
+namespace eclipse {
+
+struct LineQuadtreeOptions {
+  size_t capacity = 8;       // max pairs per leaf before it tries to split
+  size_t max_depth = 24;     // hard depth limit
+  double duplication_budget = 16.0;  // max avg stored refs per pair
+};
+
+class LineQuadtree final : public IntersectionIndexBase {
+ public:
+  /// Keeps a reference to `table`; the caller must keep it alive.
+  static Result<LineQuadtree> Build(const PairTable& table, const Box& domain,
+                                    const LineQuadtreeOptions& options = {});
+
+  void CollectCandidates(const Box& query, std::vector<uint32_t>* out_pairs,
+                         Statistics* stats) const override;
+
+  const char* Name() const override { return "line-quadtree"; }
+  size_t NodeCount() const override { return nodes_.size(); }
+  size_t StoredEntryCount() const override { return stored_entries_; }
+  size_t MaxDepth() const override { return max_depth_seen_; }
+
+ private:
+  struct Node {
+    Box box;
+    int32_t first_child = -1;  // index of child 0; children are contiguous
+    std::vector<uint32_t> entries;  // pair ids (leaves only)
+    uint32_t depth = 0;
+  };
+
+  void SplitIfNeeded(size_t node_index, const LineQuadtreeOptions& options);
+  void Collect(size_t node_index, const Box& query,
+               std::vector<uint32_t>* out_pairs, Statistics* stats) const;
+
+  const PairTable* table_ = nullptr;
+  std::vector<Node> nodes_;
+  size_t fanout_ = 0;  // 2^(d-1)
+  size_t stored_entries_ = 0;
+  size_t max_depth_seen_ = 0;
+  size_t entry_budget_ = 0;
+};
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_INDEX_LINE_QUADTREE_H_

@@ -1,0 +1,122 @@
+#include "index/order_vector_index2d.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/strings.h"
+
+namespace eclipse {
+
+namespace {
+
+// Order of the dual lines at abscissa x (ties broken by slope so the order
+// is the one holding just left of x, then by index): ov[i] = lines above i.
+std::vector<uint32_t> OrderAt(const DualModel& model, double x) {
+  const size_t u = model.u();
+  std::vector<uint32_t> idx(u);
+  std::iota(idx.begin(), idx.end(), 0);
+  std::vector<double> height(u);
+  const double coords[1] = {x};
+  for (size_t i = 0; i < u; ++i) {
+    height[i] = model.HeightAt(i, std::span<const double>(coords, 1));
+  }
+  std::sort(idx.begin(), idx.end(), [&](uint32_t a, uint32_t b) {
+    if (height[a] != height[b]) return height[a] > height[b];
+    // Equal height at x: just left of x the line with the smaller slope is
+    // higher (heights decrease slower moving left... height' = slope, so
+    // stepping left by t, height changes by -slope*t: smaller slope stays
+    // higher).
+    if (model.coeff(a, 0) != model.coeff(b, 0)) {
+      return model.coeff(a, 0) < model.coeff(b, 0);
+    }
+    return a < b;
+  });
+  std::vector<uint32_t> ov(u);
+  for (size_t r = 0; r < u; ++r) ov[idx[r]] = static_cast<uint32_t>(r);
+  return ov;
+}
+
+}  // namespace
+
+Result<OrderVectorIndex2D> OrderVectorIndex2D::Build(const DualModel& model,
+                                                     const PairTable& pairs,
+                                                     const Index2D& index2d,
+                                                     const Interval& domain,
+                                                     const Options& options) {
+  if (model.dual_dims() != 1) {
+    return Status::InvalidArgument("OrderVectorIndex2D requires d == 2");
+  }
+  OrderVectorIndex2D out;
+  out.model_ = &model;
+  out.pairs_ = &pairs;
+  out.index2d_ = &index2d;
+  // Distinct abscissas define the interval boundaries.
+  for (double x : index2d.abscissas()) {
+    if (out.boundaries_.empty() || out.boundaries_.back() != x) {
+      out.boundaries_.push_back(x);
+    }
+  }
+  const size_t intervals = out.boundaries_.size() + 1;
+  if (intervals * model.u() > options.max_table_cells) {
+    return Status::ResourceExhausted(
+        StrFormat("OrderVectorIndex2D: %zu intervals x %zu lines exceeds the "
+                  "table budget; use the hardened query path",
+                  intervals, model.u()));
+  }
+  out.ov_.reserve(intervals);
+  for (size_t i = 0; i < intervals; ++i) {
+    // A sample abscissa strictly inside interval i (the paper's v_{i-1} +
+    // eps): the midpoint keeps the sample clear of both bounding crossings
+    // even when an abscissa like -2/3 is not exactly representable. The
+    // first/last intervals are clipped to the index domain, beyond which no
+    // crossing was recorded.
+    double sample;
+    if (out.boundaries_.empty()) {
+      sample = domain.center();
+    } else if (i == 0) {
+      sample = 0.5 * (domain.lo + out.boundaries_.front());
+    } else if (i < out.boundaries_.size()) {
+      sample = 0.5 * (out.boundaries_[i - 1] + out.boundaries_[i]);
+    } else {
+      sample = 0.5 * (out.boundaries_.back() + domain.hi);
+    }
+    out.ov_.push_back(OrderAt(model, sample));
+  }
+  return out;
+}
+
+size_t OrderVectorIndex2D::IntervalOf(double x) const {
+  // Interval i covers (boundary[i-1], boundary[i]].
+  return static_cast<size_t>(
+      std::lower_bound(boundaries_.begin(), boundaries_.end(), x) -
+      boundaries_.begin());
+}
+
+std::vector<uint32_t> OrderVectorIndex2D::QueryFaithful(double neg_h,
+                                                        double neg_l) const {
+  std::vector<uint32_t> ov = ov_[IntervalOf(neg_l)];
+  // Intersections with x strictly inside (neg_h, neg_l), descending x.
+  const auto& xs = index2d_->abscissas();
+  const auto& ids = index2d_->pair_ids();
+  auto lo = std::upper_bound(xs.begin(), xs.end(), neg_h);
+  auto hi = std::lower_bound(xs.begin(), xs.end(), neg_l);
+  size_t begin = static_cast<size_t>(lo - xs.begin());
+  size_t end = static_cast<size_t>(hi - xs.begin());
+  for (size_t i = end; i > begin; --i) {
+    const uint32_t pair = ids[i - 1];
+    const uint32_t a = pairs_->a(pair);
+    const uint32_t b = pairs_->b(pair);
+    if (ov[a] < ov[b]) {
+      --ov[b];
+    } else {
+      --ov[a];
+    }
+  }
+  std::vector<uint32_t> result;
+  for (uint32_t i = 0; i < ov.size(); ++i) {
+    if (ov[i] == 0) result.push_back(i);
+  }
+  return result;
+}
+
+}  // namespace eclipse

@@ -1,0 +1,72 @@
+// OrderVectorIndex2D: the paper's 2D Order Vector Index, built faithfully.
+//
+// The x-axis of the dual plane is partitioned into intervals by the sorted
+// intersection abscissas; within an interval the vertical order of the dual
+// lines is constant, and the index materializes the order vector ov of every
+// interval (ov[i] = number of lines above line i). Memory is O(u * #pairs),
+// i.e. O(u^3) worst case -- faithful to the paper, so a build guard rejects
+// large u; the scalable path (EclipseIndex's hardened mode) computes the
+// corner order per query instead.
+//
+// QueryFaithful implements the paper's Algorithm 5 sweep, including its
+// comparison of mutated counters; in 2D with descending-x processing this
+// matches the hardened engine (tested), see DESIGN.md finding F2 for why the
+// same scheme is not sound in higher dimensions.
+
+#ifndef ECLIPSE_INDEX_ORDER_VECTOR_INDEX2D_H_
+#define ECLIPSE_INDEX_ORDER_VECTOR_INDEX2D_H_
+
+#include "common/result.h"
+#include "dual/dual_model.h"
+#include "index/index2d.h"
+
+namespace eclipse {
+
+struct OrderVectorIndexOptions {
+  /// Reject builds whose interval table would exceed this many cells.
+  size_t max_table_cells = 64 * 1024 * 1024;
+};
+
+class OrderVectorIndex2D {
+ public:
+  using Options = OrderVectorIndexOptions;
+
+  /// `index2d` must have been built from `model`'s pair table; both are
+  /// borrowed and must outlive this object. `domain` is the 1D dual domain
+  /// the pair table was restricted to: crossings beyond it were dropped, so
+  /// interval order samples must not step outside it.
+  static Result<OrderVectorIndex2D> Build(const DualModel& model,
+                                          const PairTable& pairs,
+                                          const Index2D& index2d,
+                                          const Interval& domain,
+                                          const Options& options = {});
+
+  /// Number of intervals (#distinct abscissas + 1).
+  size_t num_intervals() const { return boundaries_.size() + 1; }
+
+  /// Interval containing x under the paper's convention: interval i covers
+  /// (boundary[i-1], boundary[i]], the first (-inf, boundary[0]], the last
+  /// (boundary.back(), +inf).
+  size_t IntervalOf(double x) const;
+
+  /// The order vector of an interval: ov[i] = lines above line i there.
+  const std::vector<uint32_t>& ov(size_t interval) const {
+    return ov_[interval];
+  }
+
+  /// Paper Algorithm 5: initial ov at -l, then one decrement per
+  /// intersection with x in (-h, -l), processed in descending x. Returns
+  /// model line indices with final ov == 0.
+  std::vector<uint32_t> QueryFaithful(double neg_h, double neg_l) const;
+
+ private:
+  const DualModel* model_ = nullptr;
+  const PairTable* pairs_ = nullptr;
+  const Index2D* index2d_ = nullptr;
+  std::vector<double> boundaries_;          // distinct sorted abscissas
+  std::vector<std::vector<uint32_t>> ov_;   // per interval
+};
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_INDEX_ORDER_VECTOR_INDEX2D_H_

@@ -1,0 +1,45 @@
+#include "knn/linear_scan.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/strings.h"
+#include "knn/scoring.h"
+
+namespace eclipse {
+
+Result<std::vector<ScoredPoint>> TopKLinearScan(const PointSet& points,
+                                                std::span<const double> w,
+                                                size_t k) {
+  if (w.size() != points.dims()) {
+    return Status::InvalidArgument(
+        StrFormat("weight vector has %zu entries, data has %zu dims", w.size(),
+                  points.dims()));
+  }
+  if (k == 0) return std::vector<ScoredPoint>{};
+
+  // Max-heap of the best k so far; worst candidate on top.
+  auto worse = [](const ScoredPoint& a, const ScoredPoint& b) {
+    if (a.score != b.score) return a.score < b.score;
+    return a.id < b.id;
+  };
+  std::priority_queue<ScoredPoint, std::vector<ScoredPoint>, decltype(worse)>
+      heap(worse);
+  for (PointId i = 0; i < points.size(); ++i) {
+    ScoredPoint sp{i, WeightedSum(points[i], w)};
+    if (heap.size() < k) {
+      heap.push(sp);
+    } else if (worse(sp, heap.top())) {
+      heap.pop();
+      heap.push(sp);
+    }
+  }
+  std::vector<ScoredPoint> out(heap.size());
+  for (size_t i = out.size(); i > 0; --i) {
+    out[i - 1] = heap.top();
+    heap.pop();
+  }
+  return out;
+}
+
+}  // namespace eclipse

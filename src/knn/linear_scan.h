@@ -1,0 +1,28 @@
+// Heap-based top-k scan: the baseline kNN evaluator.
+
+#ifndef ECLIPSE_KNN_LINEAR_SCAN_H_
+#define ECLIPSE_KNN_LINEAR_SCAN_H_
+
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "geometry/point.h"
+
+namespace eclipse {
+
+struct ScoredPoint {
+  PointId id = 0;
+  double score = 0.0;
+};
+
+/// The k points with the smallest weighted sums, ordered by ascending score
+/// (ties by ascending id, deterministically). Returns fewer than k entries
+/// only when the dataset is smaller than k.
+Result<std::vector<ScoredPoint>> TopKLinearScan(const PointSet& points,
+                                                std::span<const double> w,
+                                                size_t k);
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_KNN_LINEAR_SCAN_H_

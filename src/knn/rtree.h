@@ -1,0 +1,62 @@
+// R-tree with Sort-Tile-Recursive bulk loading.
+//
+// The kNN substrate: supports axis-aligned range queries and best-first kNN
+// under a positive weighted-sum score (the score's minimum over a node's
+// bounding box is the box's low corner score, giving an admissible bound).
+
+#ifndef ECLIPSE_KNN_RTREE_H_
+#define ECLIPSE_KNN_RTREE_H_
+
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/statistics.h"
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "knn/linear_scan.h"
+
+namespace eclipse {
+
+struct RTreeOptions {
+  size_t leaf_capacity = 32;
+  size_t internal_fanout = 16;
+};
+
+class RTree {
+ public:
+  /// Bulk-loads all points with the STR packing algorithm.
+  static Result<RTree> Build(const PointSet& points,
+                             const RTreeOptions& options = {});
+
+  /// Ids of points inside the closed box, sorted ascending.
+  Result<std::vector<PointId>> RangeQuery(const Box& box,
+                                          Statistics* stats = nullptr) const;
+
+  /// Best-first kNN under weights w (all entries must be >= 0, w not all
+  /// zero): the k smallest weighted sums, ascending (ties by id).
+  Result<std::vector<ScoredPoint>> KNearest(std::span<const double> w,
+                                            size_t k,
+                                            Statistics* stats = nullptr) const;
+
+  size_t size() const { return points_ == nullptr ? 0 : points_->size(); }
+  size_t node_count() const { return nodes_.size(); }
+  size_t height() const { return height_; }
+
+ private:
+  struct Node {
+    Box mbr;  // minimum bounding rectangle
+    // Leaves index points_; internals index nodes_.
+    std::vector<uint32_t> children;
+    bool leaf = true;
+  };
+
+  const PointSet* points_ = nullptr;
+  std::vector<Node> nodes_;
+  size_t root_ = 0;
+  size_t height_ = 0;
+};
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_KNN_RTREE_H_

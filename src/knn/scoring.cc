@@ -1,0 +1,45 @@
+#include "knn/scoring.h"
+
+#include <cassert>
+#include <limits>
+
+#include "common/strings.h"
+
+namespace eclipse {
+
+double WeightedSum(std::span<const double> p, std::span<const double> w) {
+  assert(p.size() == w.size());
+  double acc = 0.0;
+  for (size_t j = 0; j < p.size(); ++j) acc += w[j] * p[j];
+  return acc;
+}
+
+Point WeightsFromRatios(std::span<const double> ratios) {
+  Point w(ratios.begin(), ratios.end());
+  w.push_back(1.0);
+  return w;
+}
+
+Result<std::vector<PointId>> OneNearestNeighbors(const PointSet& points,
+                                                 std::span<const double> w) {
+  if (w.size() != points.dims()) {
+    return Status::InvalidArgument(
+        StrFormat("weight vector has %zu entries, data has %zu dims", w.size(),
+                  points.dims()));
+  }
+  std::vector<PointId> best;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (PointId i = 0; i < points.size(); ++i) {
+    const double s = WeightedSum(points[i], w);
+    if (s < best_score) {
+      best_score = s;
+      best.clear();
+      best.push_back(i);
+    } else if (s == best_score) {
+      best.push_back(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace eclipse

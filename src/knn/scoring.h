@@ -1,0 +1,27 @@
+// Weighted-sum scoring for kNN queries (the operator eclipse generalizes).
+
+#ifndef ECLIPSE_KNN_SCORING_H_
+#define ECLIPSE_KNN_SCORING_H_
+
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "geometry/point.h"
+
+namespace eclipse {
+
+/// S(p) = sum_j w[j] * p[j]; the query point is the origin (the library's
+/// convention throughout) and smaller scores are nearer.
+double WeightedSum(std::span<const double> p, std::span<const double> w);
+
+/// Builds the weight vector (r[0], ..., r[d-2], 1) from a ratio vector.
+Point WeightsFromRatios(std::span<const double> ratios);
+
+/// All ids achieving the minimal score (the 1NN set, ties included).
+Result<std::vector<PointId>> OneNearestNeighbors(const PointSet& points,
+                                                 std::span<const double> w);
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_KNN_SCORING_H_

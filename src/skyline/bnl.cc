@@ -1,0 +1,44 @@
+#include <algorithm>
+
+#include "skyline/dominance.h"
+#include "skyline/skyline.h"
+
+namespace eclipse {
+
+std::vector<PointId> SkylineBnl(const PointSet& points, Statistics* stats) {
+  std::vector<PointId> window;
+  uint64_t comparisons = 0;
+  for (PointId i = 0; i < points.size(); ++i) {
+    auto p = points[i];
+    bool dominated = false;
+    size_t keep = 0;
+    for (size_t w = 0; w < window.size(); ++w) {
+      auto q = points[window[w]];
+      ++comparisons;
+      DomRel rel = CompareDominance(q, p);
+      if (rel == DomRel::kDominates) {
+        dominated = true;
+        // Everything still in the window stays; copy the tail and stop.
+        for (size_t rest = w; rest < window.size(); ++rest) {
+          window[keep++] = window[rest];
+        }
+        break;
+      }
+      if (rel != DomRel::kDominatedBy) {
+        window[keep++] = window[w];  // q survives p
+      }
+      // rel == kDominatedBy: drop q from the window.
+    }
+    window.resize(keep);
+    if (!dominated) {
+      window.push_back(i);
+    }
+  }
+  if (stats != nullptr) {
+    stats->Add(Ticker::kSkylineComparisons, comparisons);
+  }
+  std::sort(window.begin(), window.end());
+  return window;
+}
+
+}  // namespace eclipse

@@ -1,0 +1,314 @@
+// Bentley / Kung-Luccio-Preparata multidimensional divide & conquer for the
+// minima set ("ECDF algorithm" in the paper's citation [3]).
+//
+// Semantics used throughout this file, on rows made unique up front:
+//   * Maxima(S, k): members of S not k-dominated, where t k-dominates s iff
+//     t <= s on dims [0, k) and the two k-prefixes differ (which forces a
+//     strict < in some dim < k).
+//   * Filter(A, B, k): removes from B every b weakly dominated on dims
+//     [0, k) by some a in A. Strictness is supplied by the caller's split
+//     dimension, so the filter itself is purely weak.
+//
+// Degenerate splits (heavily tied coordinates) fall back to one dimension
+// down (all values equal) or to brute force, which keeps the algorithm
+// exact on any input at the cost of the usual O(n log^{d-2} n) bound only
+// holding for non-pathological data.
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "skyline/dominance.h"
+#include "skyline/skyline.h"
+
+namespace eclipse {
+
+namespace {
+
+constexpr size_t kBruteForceSize = 24;
+constexpr size_t kBruteForcePairProduct = 1024;
+
+class DncSolver {
+ public:
+  DncSolver(const PointSet& points, Statistics* stats)
+      : points_(points), stats_(stats) {}
+
+  std::vector<PointId> Run() {
+    const size_t n = points_.size();
+    if (n == 0) return {};
+    // Group exact duplicates; the solver works on unique representatives.
+    std::vector<PointId> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    const size_t d = points_.dims();
+    std::sort(order.begin(), order.end(), [&](PointId a, PointId b) {
+      for (size_t j = 0; j < d; ++j) {
+        if (points_.at(a, j) != points_.at(b, j))
+          return points_.at(a, j) < points_.at(b, j);
+      }
+      return a < b;
+    });
+    std::vector<uint32_t> reps;          // representative original ids
+    std::vector<std::pair<size_t, size_t>> groups;  // [begin, end) in order
+    size_t i = 0;
+    while (i < n) {
+      size_t j = i + 1;
+      while (j < n && PointsEqual(points_[order[i]], points_[order[j]])) ++j;
+      reps.push_back(order[i]);
+      groups.emplace_back(i, j);
+      i = j;
+    }
+    std::vector<uint32_t> ids(reps.size());
+    std::iota(ids.begin(), ids.end(), 0);
+    reps_ = std::move(reps);
+    std::vector<uint32_t> maxima = Maxima(std::move(ids), d);
+    std::vector<PointId> out;
+    for (uint32_t u : maxima) {
+      for (size_t g = groups[u].first; g < groups[u].second; ++g) {
+        out.push_back(order[g]);
+      }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  double Coord(uint32_t u, size_t j) const { return points_.at(reps_[u], j); }
+
+  void Tick(uint64_t n) {
+    if (stats_ != nullptr) stats_->Add(Ticker::kSkylineComparisons, n);
+  }
+
+  bool PrefixEqual(uint32_t a, uint32_t b, size_t k) const {
+    for (size_t j = 0; j < k; ++j) {
+      if (Coord(a, j) != Coord(b, j)) return false;
+    }
+    return true;
+  }
+
+  bool WeakPrefix(uint32_t a, uint32_t b, size_t k) const {
+    for (size_t j = 0; j < k; ++j) {
+      if (Coord(a, j) > Coord(b, j)) return false;
+    }
+    return true;
+  }
+
+  std::vector<uint32_t> BruteMaxima(const std::vector<uint32_t>& ids,
+                                    size_t k) {
+    std::vector<uint32_t> out;
+    for (uint32_t s : ids) {
+      bool dominated = false;
+      for (uint32_t t : ids) {
+        if (t == s) continue;
+        Tick(1);
+        if (WeakPrefix(t, s, k) && !PrefixEqual(t, s, k)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) out.push_back(s);
+    }
+    return out;
+  }
+
+  std::vector<uint32_t> Maxima2D(std::vector<uint32_t> ids) {
+    std::sort(ids.begin(), ids.end(), [&](uint32_t a, uint32_t b) {
+      if (Coord(a, 0) != Coord(b, 0)) return Coord(a, 0) < Coord(b, 0);
+      if (Coord(a, 1) != Coord(b, 1)) return Coord(a, 1) < Coord(b, 1);
+      return a < b;
+    });
+    std::vector<uint32_t> out;
+    double best_y = std::numeric_limits<double>::infinity();
+    size_t i = 0;
+    while (i < ids.size()) {
+      size_t end = i;
+      const double x = Coord(ids[i], 0);
+      while (end < ids.size() && Coord(ids[end], 0) == x) ++end;
+      const double ymin = Coord(ids[i], 1);
+      Tick(1);
+      if (ymin < best_y) {
+        for (size_t t = i; t < end && Coord(ids[t], 1) == ymin; ++t) {
+          out.push_back(ids[t]);
+        }
+        best_y = ymin;
+      }
+      i = end;
+    }
+    return out;
+  }
+
+  std::vector<uint32_t> Maxima(std::vector<uint32_t> ids, size_t k) {
+    if (ids.size() <= 1) return ids;
+    if (k == 1) {
+      double mn = std::numeric_limits<double>::infinity();
+      for (uint32_t s : ids) mn = std::min(mn, Coord(s, 0));
+      std::vector<uint32_t> out;
+      for (uint32_t s : ids) {
+        if (Coord(s, 0) == mn) out.push_back(s);
+      }
+      return out;
+    }
+    if (k == 2) return Maxima2D(std::move(ids));
+    if (ids.size() <= kBruteForceSize) return BruteMaxima(ids, k);
+
+    const size_t split_dim = k - 1;
+    // All equal on the split dim: k-dominance reduces to (k-1)-dominance.
+    bool all_equal = true;
+    const double v0 = Coord(ids[0], split_dim);
+    for (uint32_t s : ids) {
+      if (Coord(s, split_dim) != v0) {
+        all_equal = false;
+        break;
+      }
+    }
+    if (all_equal) return Maxima(std::move(ids), k - 1);
+
+    std::vector<double> values;
+    values.reserve(ids.size());
+    for (uint32_t s : ids) values.push_back(Coord(s, split_dim));
+    std::nth_element(values.begin(), values.begin() + values.size() / 2,
+                     values.end());
+    double m = values[values.size() / 2];
+
+    std::vector<uint32_t> low, high;
+    for (uint32_t s : ids) {
+      (Coord(s, split_dim) <= m ? low : high).push_back(s);
+    }
+    if (high.empty()) {
+      // m is the maximum; split off the max-value group instead.
+      low.clear();
+      for (uint32_t s : ids) {
+        (Coord(s, split_dim) < m ? low : high).push_back(s);
+      }
+    }
+    std::vector<uint32_t> m_low = Maxima(std::move(low), k);
+    std::vector<uint32_t> m_high = Maxima(std::move(high), k);
+    // Points in the high half additionally have to survive the low half's
+    // maxima on the remaining dims (the split dim supplies strictness).
+    std::vector<uint32_t> survivors = Filter(m_low, m_high, k - 1);
+    m_low.insert(m_low.end(), survivors.begin(), survivors.end());
+    return m_low;
+  }
+
+  std::vector<uint32_t> BruteFilter(const std::vector<uint32_t>& a,
+                                    const std::vector<uint32_t>& b, size_t k) {
+    std::vector<uint32_t> out;
+    for (uint32_t s : b) {
+      bool dominated = false;
+      for (uint32_t t : a) {
+        Tick(1);
+        if (WeakPrefix(t, s, k)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) out.push_back(s);
+    }
+    return out;
+  }
+
+  std::vector<uint32_t> Filter2D(std::vector<uint32_t> a,
+                                 std::vector<uint32_t> b) {
+    auto by_x = [&](uint32_t s, uint32_t t) {
+      return Coord(s, 0) < Coord(t, 0);
+    };
+    std::sort(a.begin(), a.end(), by_x);
+    std::sort(b.begin(), b.end(), by_x);
+    std::vector<uint32_t> out;
+    size_t ai = 0;
+    double min_y = std::numeric_limits<double>::infinity();
+    for (uint32_t s : b) {
+      while (ai < a.size() && Coord(a[ai], 0) <= Coord(s, 0)) {
+        min_y = std::min(min_y, Coord(a[ai], 1));
+        ++ai;
+      }
+      Tick(1);
+      if (!(min_y <= Coord(s, 1))) out.push_back(s);
+    }
+    return out;
+  }
+
+  std::vector<uint32_t> Filter1D(const std::vector<uint32_t>& a,
+                                 const std::vector<uint32_t>& b) {
+    double mn = std::numeric_limits<double>::infinity();
+    for (uint32_t t : a) mn = std::min(mn, Coord(t, 0));
+    std::vector<uint32_t> out;
+    for (uint32_t s : b) {
+      Tick(1);
+      if (!(mn <= Coord(s, 0))) out.push_back(s);
+    }
+    return out;
+  }
+
+  // Returns the members of b not weakly dominated on dims [0, k) by any
+  // member of a.
+  std::vector<uint32_t> Filter(const std::vector<uint32_t>& a,
+                               std::vector<uint32_t> b, size_t k) {
+    if (a.empty() || b.empty()) return b;
+    if (k == 1) return Filter1D(a, b);
+    if (k == 2) return Filter2D(a, std::move(b));
+    if (a.size() * b.size() <= kBruteForcePairProduct) {
+      return BruteFilter(a, b, k);
+    }
+
+    const size_t split_dim = k - 1;
+    std::vector<double> values;
+    values.reserve(a.size() + b.size());
+    for (uint32_t s : a) values.push_back(Coord(s, split_dim));
+    for (uint32_t s : b) values.push_back(Coord(s, split_dim));
+    std::nth_element(values.begin(), values.begin() + values.size() / 2,
+                     values.end());
+    const double m = values[values.size() / 2];
+
+    std::vector<uint32_t> a_lo, a_hi, b_lo, b_hi;
+    for (uint32_t s : a) {
+      (Coord(s, split_dim) <= m ? a_lo : a_hi).push_back(s);
+    }
+    for (uint32_t s : b) {
+      (Coord(s, split_dim) < m ? b_lo : b_hi).push_back(s);
+    }
+
+    const size_t total = a.size() + b.size();
+    // Same-k subproblems; degenerate ties around the median can stall the
+    // recursion, in which case brute force finishes the job exactly.
+    std::vector<uint32_t> b_lo_left;
+    if (!a_lo.empty() && !b_lo.empty()) {
+      if (a_lo.size() + b_lo.size() < total) {
+        b_lo_left = Filter(a_lo, std::move(b_lo), k);
+      } else {
+        b_lo_left = BruteFilter(a_lo, b_lo, k);
+      }
+    } else {
+      b_lo_left = std::move(b_lo);
+    }
+    std::vector<uint32_t> b_hi_left;
+    if (!a_hi.empty() && !b_hi.empty()) {
+      if (a_hi.size() + b_hi.size() < total) {
+        b_hi_left = Filter(a_hi, std::move(b_hi), k);
+      } else {
+        b_hi_left = BruteFilter(a_hi, b_hi, k);
+      }
+    } else {
+      b_hi_left = std::move(b_hi);
+    }
+    // Cross pairs: a_lo <= m <= b_hi on the split dim, so the split dim can
+    // be dropped (weak comparison there always holds).
+    if (!a_lo.empty() && !b_hi_left.empty()) {
+      b_hi_left = Filter(a_lo, std::move(b_hi_left), k - 1);
+    }
+    b_lo_left.insert(b_lo_left.end(), b_hi_left.begin(), b_hi_left.end());
+    return b_lo_left;
+  }
+
+  const PointSet& points_;
+  Statistics* stats_;
+  std::vector<PointId> reps_;
+};
+
+}  // namespace
+
+std::vector<PointId> SkylineDivideConquer(const PointSet& points,
+                                          Statistics* stats) {
+  return DncSolver(points, stats).Run();
+}
+
+}  // namespace eclipse

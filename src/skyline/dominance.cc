@@ -1,0 +1,53 @@
+#include "skyline/dominance.h"
+
+#include <cassert>
+
+namespace eclipse {
+
+bool WeakDominates(std::span<const double> a, std::span<const double> b) {
+  return WeakDominatesPrefix(a, b, a.size());
+}
+
+bool Dominates(std::span<const double> a, std::span<const double> b) {
+  return DominatesPrefix(a, b, a.size());
+}
+
+bool WeakDominatesPrefix(std::span<const double> a, std::span<const double> b,
+                         size_t k) {
+  assert(a.size() >= k && b.size() >= k);
+  for (size_t j = 0; j < k; ++j) {
+    if (a[j] > b[j]) return false;
+  }
+  return true;
+}
+
+bool DominatesPrefix(std::span<const double> a, std::span<const double> b,
+                     size_t k) {
+  assert(a.size() >= k && b.size() >= k);
+  bool strict = false;
+  for (size_t j = 0; j < k; ++j) {
+    if (a[j] > b[j]) return false;
+    if (a[j] < b[j]) strict = true;
+  }
+  return strict;
+}
+
+DomRel CompareDominance(std::span<const double> a, std::span<const double> b) {
+  bool a_le = true;
+  bool b_le = true;
+  bool equal = true;
+  for (size_t j = 0; j < a.size(); ++j) {
+    if (a[j] < b[j]) {
+      b_le = false;
+      equal = false;
+    } else if (a[j] > b[j]) {
+      a_le = false;
+      equal = false;
+    }
+    if (!a_le && !b_le) return DomRel::kIncomparable;
+  }
+  if (equal) return DomRel::kEqual;
+  return a_le ? DomRel::kDominates : DomRel::kDominatedBy;
+}
+
+}  // namespace eclipse

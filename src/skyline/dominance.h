@@ -1,0 +1,37 @@
+// Pointwise (skyline) dominance. Smaller is better in every dimension
+// throughout this library ("distance to the query point at the origin").
+
+#ifndef ECLIPSE_SKYLINE_DOMINANCE_H_
+#define ECLIPSE_SKYLINE_DOMINANCE_H_
+
+#include <span>
+
+namespace eclipse {
+
+/// a[j] <= b[j] for all j (allows a == b).
+bool WeakDominates(std::span<const double> a, std::span<const double> b);
+
+/// Proper skyline dominance: a <= b componentwise and a != b. Exact
+/// duplicates never dominate each other, so all copies of a skyline point
+/// are reported (the standard convention).
+bool Dominates(std::span<const double> a, std::span<const double> b);
+
+/// Like WeakDominates/Dominates restricted to the first k dimensions.
+bool WeakDominatesPrefix(std::span<const double> a, std::span<const double> b,
+                         size_t k);
+bool DominatesPrefix(std::span<const double> a, std::span<const double> b,
+                     size_t k);
+
+/// Relationship of a pair under proper dominance.
+enum class DomRel {
+  kDominates,    // a dominates b
+  kDominatedBy,  // b dominates a
+  kEqual,        // identical rows
+  kIncomparable,
+};
+
+DomRel CompareDominance(std::span<const double> a, std::span<const double> b);
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_SKYLINE_DOMINANCE_H_

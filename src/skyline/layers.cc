@@ -1,0 +1,76 @@
+#include "skyline/layers.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "skyline/dominance.h"
+#include "skyline/skyline.h"
+
+namespace eclipse {
+
+Result<std::vector<std::vector<PointId>>> SkylineLayers(const PointSet& points,
+                                                        size_t max_layers,
+                                                        Statistics* stats) {
+  std::vector<std::vector<PointId>> layers;
+  if (points.empty()) return layers;
+
+  // Peel with SFS directly on the shrinking id set: sort once by coordinate
+  // sum, then repeatedly scan the remainder against the current layer.
+  const size_t n = points.size();
+  const size_t d = points.dims();
+  std::vector<PointId> remaining(n);
+  std::iota(remaining.begin(), remaining.end(), 0);
+  std::vector<double> sums(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    auto row = points[i];
+    for (double v : row) sums[i] += v;
+  }
+  std::sort(remaining.begin(), remaining.end(), [&](PointId a, PointId b) {
+    if (sums[a] != sums[b]) return sums[a] < sums[b];
+    return a < b;
+  });
+
+  uint64_t comparisons = 0;
+  while (!remaining.empty() &&
+         (max_layers == 0 || layers.size() < max_layers)) {
+    std::vector<PointId> layer;
+    std::vector<PointId> rest;
+    for (PointId id : remaining) {
+      bool dominated = false;
+      for (PointId s : layer) {
+        ++comparisons;
+        if (DominatesPrefix(points[s], points[id], d)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (dominated) {
+        rest.push_back(id);
+      } else {
+        layer.push_back(id);
+      }
+    }
+    std::sort(layer.begin(), layer.end());
+    layers.push_back(std::move(layer));
+    remaining = std::move(rest);  // still in sum order
+  }
+  if (stats != nullptr) {
+    stats->Add(Ticker::kSkylineComparisons, comparisons);
+  }
+  return layers;
+}
+
+Result<std::vector<PointId>> LayeredTopK(const PointSet& points, size_t k) {
+  std::vector<PointId> out;
+  if (k == 0) return out;
+  ECLIPSE_ASSIGN_OR_RETURN(auto layers, SkylineLayers(points));
+  for (const auto& layer : layers) {
+    for (PointId id : layer) {
+      if (out.size() == k) return out;
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+}  // namespace eclipse

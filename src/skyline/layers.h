@@ -1,0 +1,31 @@
+// Skyline layers ("onion peeling"): layer 1 is the skyline, layer 2 the
+// skyline of the rest, and so on. The substrate of several representative-
+// skyline schemes discussed in the paper's related work (e.g. Lu et al.'s
+// top-k representative skyline), and a useful diagnostic of how deep a
+// dataset's dominance structure is.
+
+#ifndef ECLIPSE_SKYLINE_LAYERS_H_
+#define ECLIPSE_SKYLINE_LAYERS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/statistics.h"
+#include "geometry/point.h"
+
+namespace eclipse {
+
+/// All layers (or the first `max_layers` when nonzero). Each layer's ids
+/// are sorted ascending; layers are disjoint and their union is the whole
+/// dataset when max_layers == 0.
+Result<std::vector<std::vector<PointId>>> SkylineLayers(
+    const PointSet& points, size_t max_layers = 0,
+    Statistics* stats = nullptr);
+
+/// The first `k` points encountered when reading layers in order (a simple
+/// layered top-k: all of layer 1, then layer 2, ... truncated to k).
+Result<std::vector<PointId>> LayeredTopK(const PointSet& points, size_t k);
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_SKYLINE_LAYERS_H_

@@ -1,0 +1,49 @@
+#include <algorithm>
+#include <numeric>
+
+#include "skyline/dominance.h"
+#include "skyline/skyline.h"
+
+namespace eclipse {
+
+std::vector<PointId> SkylineSfs(const PointSet& points, Statistics* stats) {
+  const size_t n = points.size();
+  const size_t d = points.dims();
+  std::vector<PointId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  // Sort by coordinate sum (a monotone preference function): any dominator
+  // has a strictly smaller sum, or an equal sum only for identical rows, so
+  // after the sort every point's dominators precede it.
+  std::vector<double> sums(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto row = points[i];
+    sums[i] = std::accumulate(row.begin(), row.end(), 0.0);
+  }
+  std::sort(order.begin(), order.end(), [&](PointId a, PointId b) {
+    if (sums[a] != sums[b]) return sums[a] < sums[b];
+    return a < b;
+  });
+
+  uint64_t comparisons = 0;
+  std::vector<PointId> skyline;
+  for (PointId id : order) {
+    auto p = points[id];
+    bool dominated = false;
+    for (PointId s : skyline) {
+      ++comparisons;
+      if (DominatesPrefix(points[s], p, d)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) skyline.push_back(id);
+  }
+  if (stats != nullptr) {
+    stats->Add(Ticker::kSkylineComparisons, comparisons);
+  }
+  std::sort(skyline.begin(), skyline.end());
+  return skyline;
+}
+
+}  // namespace eclipse

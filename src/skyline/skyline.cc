@@ -1,0 +1,54 @@
+#include "skyline/skyline.h"
+
+#include <algorithm>
+
+#include "skyline/dominance.h"
+
+namespace eclipse {
+
+Result<std::vector<PointId>> ComputeSkyline(const PointSet& points,
+                                            SkylineAlgorithm algorithm,
+                                            Statistics* stats) {
+  if (points.dims() == 0 || points.empty()) {
+    return std::vector<PointId>{};
+  }
+  switch (algorithm) {
+    case SkylineAlgorithm::kAuto:
+      if (points.dims() == 2) return SkylineSortSweep2D(points, stats);
+      return SkylineSfs(points, stats);
+    case SkylineAlgorithm::kBnl:
+      return SkylineBnl(points, stats);
+    case SkylineAlgorithm::kSfs:
+      return SkylineSfs(points, stats);
+    case SkylineAlgorithm::kSortSweep2D:
+      return SkylineSortSweep2D(points, stats);
+    case SkylineAlgorithm::kDivideConquer:
+      return SkylineDivideConquer(points, stats);
+  }
+  return Status::InvalidArgument("unknown skyline algorithm");
+}
+
+std::vector<PointId> NaiveSkyline(const PointSet& points) {
+  std::vector<PointId> out;
+  for (PointId i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (PointId j = 0; j < points.size(); ++j) {
+      if (i == j) continue;
+      if (Dominates(points[j], points[i])) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) out.push_back(i);
+  }
+  return out;
+}
+
+bool VerifySkyline(const PointSet& points, const std::vector<PointId>& ids) {
+  std::vector<PointId> expected = NaiveSkyline(points);
+  std::vector<PointId> got = ids;
+  std::sort(got.begin(), got.end());
+  return got == expected;
+}
+
+}  // namespace eclipse

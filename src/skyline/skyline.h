@@ -1,0 +1,56 @@
+// Skyline (minima-set) computation: the substrate under TRAN and the
+// index-build pipeline. All entry points return ids sorted ascending so
+// results compare exactly across algorithms.
+
+#ifndef ECLIPSE_SKYLINE_SKYLINE_H_
+#define ECLIPSE_SKYLINE_SKYLINE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/statistics.h"
+#include "geometry/point.h"
+
+namespace eclipse {
+
+enum class SkylineAlgorithm {
+  /// Picks sort-sweep for d == 2, SFS otherwise.
+  kAuto,
+  /// Block-nested-loops, O(n^2) worst case; the classic baseline.
+  kBnl,
+  /// Sort-filter-skyline: presort by coordinate sum so every dominator
+  /// precedes its victims, then scan against accepted points. O(n log n +
+  /// n*s) where s is the skyline size.
+  kSfs,
+  /// 2D sort + sweep, O(n log n). Only valid for d == 2.
+  kSortSweep2D,
+  /// Bentley/KLP multidimensional divide & conquer ("ECDF algorithm"),
+  /// O(n log^{d-2} n) for d >= 3.
+  kDivideConquer,
+};
+
+/// Computes the skyline (points not properly dominated by any other point).
+/// Exact duplicates of a skyline point are all reported.
+Result<std::vector<PointId>> ComputeSkyline(
+    const PointSet& points, SkylineAlgorithm algorithm = SkylineAlgorithm::kAuto,
+    Statistics* stats = nullptr);
+
+/// O(n^2 d) oracle used by tests to validate the fast algorithms.
+std::vector<PointId> NaiveSkyline(const PointSet& points);
+
+/// True iff `ids` is exactly the skyline of `points` (as a set).
+bool VerifySkyline(const PointSet& points, const std::vector<PointId>& ids);
+
+// Individual algorithm entry points (ids returned sorted ascending).
+std::vector<PointId> SkylineBnl(const PointSet& points,
+                                Statistics* stats = nullptr);
+std::vector<PointId> SkylineSfs(const PointSet& points,
+                                Statistics* stats = nullptr);
+Result<std::vector<PointId>> SkylineSortSweep2D(const PointSet& points,
+                                                Statistics* stats = nullptr);
+std::vector<PointId> SkylineDivideConquer(const PointSet& points,
+                                          Statistics* stats = nullptr);
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_SKYLINE_SKYLINE_H_

@@ -1,0 +1,58 @@
+#include <algorithm>
+#include <numeric>
+
+#include "common/strings.h"
+#include "skyline/skyline.h"
+
+namespace eclipse {
+
+Result<std::vector<PointId>> SkylineSortSweep2D(const PointSet& points,
+                                                Statistics* stats) {
+  if (points.dims() != 2) {
+    return Status::InvalidArgument(StrFormat(
+        "SkylineSortSweep2D requires d == 2, got d == %zu", points.dims()));
+  }
+  const size_t n = points.size();
+  std::vector<PointId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](PointId a, PointId b) {
+    if (points.at(a, 0) != points.at(b, 0))
+      return points.at(a, 0) < points.at(b, 0);
+    if (points.at(a, 1) != points.at(b, 1))
+      return points.at(a, 1) < points.at(b, 1);
+    return a < b;
+  });
+
+  // Sweep x-groups in increasing x. A point survives iff it has the minimal
+  // y within its x-group and that y is strictly below every y seen at
+  // smaller x (equal y at smaller x dominates it; an exact duplicate within
+  // the group does not).
+  std::vector<PointId> skyline;
+  uint64_t comparisons = 0;
+  double best_y = std::numeric_limits<double>::infinity();
+  size_t i = 0;
+  while (i < n) {
+    size_t group_end = i;
+    const double x = points.at(order[i], 0);
+    while (group_end < n && points.at(order[group_end], 0) == x) {
+      ++group_end;
+    }
+    const double group_min_y = points.at(order[i], 1);
+    ++comparisons;
+    if (group_min_y < best_y) {
+      for (size_t k = i; k < group_end; ++k) {
+        if (points.at(order[k], 1) != group_min_y) break;
+        skyline.push_back(order[k]);
+      }
+      best_y = group_min_y;
+    }
+    i = group_end;
+  }
+  if (stats != nullptr) {
+    stats->Add(Ticker::kSkylineComparisons, comparisons);
+  }
+  std::sort(skyline.begin(), skyline.end());
+  return skyline;
+}
+
+}  // namespace eclipse

@@ -1,0 +1,91 @@
+// Tests for the benchmark harness support library.
+
+#include <gtest/gtest.h>
+
+#include "benchlib/sweep.h"
+#include "benchlib/table.h"
+#include "benchlib/workloads.h"
+#include "skyline/skyline.h"
+
+namespace eclipse {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "v"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer", "22"});
+  const std::string out = table.ToString();
+  EXPECT_EQ(out,
+            "| name   | v  |\n"
+            "|--------|----|\n"
+            "| a      | 1  |\n"
+            "| longer | 22 |\n");
+}
+
+TEST(TablePrinterTest, ToleratesShortRows) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"1"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| 1 |"), std::string::npos);
+}
+
+TEST(TimeItTest, RunsAtLeastOnceAndAverages) {
+  int calls = 0;
+  TimedRun run = TimeIt([&] { ++calls; }, 0.0, 10);
+  EXPECT_EQ(run.repetitions, 1u);
+  EXPECT_EQ(calls, 1);
+  EXPECT_GE(run.seconds, 0.0);
+
+  calls = 0;
+  run = TimeIt([&] { ++calls; }, 0.001, 5);
+  EXPECT_EQ(run.repetitions, 5u);  // capped by max_repetitions
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(TimeItTest, FormatSeconds) {
+  TimedRun run;
+  run.seconds = 0.00123;
+  EXPECT_EQ(FormatSeconds(run), "1.230e-03");
+  run.skipped = true;
+  EXPECT_EQ(FormatSeconds(run), "--");
+}
+
+TEST(WorkloadsTest, NamesAndSizes) {
+  EXPECT_STREQ(BenchDatasetName(BenchDataset::kCorr), "CORR");
+  EXPECT_STREQ(BenchDatasetName(BenchDataset::kNba), "NBA");
+  for (auto which : {BenchDataset::kCorr, BenchDataset::kInde,
+                     BenchDataset::kAnti, BenchDataset::kNba}) {
+    PointSet ps = MakeBenchDataset(which, 256, 3, 5);
+    EXPECT_EQ(ps.size(), 256u);
+    EXPECT_EQ(ps.dims(), 3u);
+  }
+}
+
+TEST(WorkloadsTest, DeterministicInSeed) {
+  PointSet a = MakeBenchDataset(BenchDataset::kAnti, 100, 4, 9);
+  PointSet b = MakeBenchDataset(BenchDataset::kAnti, 100, 4, 9);
+  EXPECT_EQ(a.data(), b.data());
+}
+
+TEST(WorkloadsTest, NbaIsMinSpace) {
+  // The NBA workload is max->min flipped: the best (most prolific) players
+  // have coordinates near zero, and column minima are exactly zero.
+  PointSet ps = MakeBenchDataset(BenchDataset::kNba, 2000, 5, 20150415);
+  for (size_t j = 0; j < 5; ++j) {
+    double mn = 1e300;
+    for (size_t i = 0; i < ps.size(); ++i) mn = std::min(mn, ps.at(i, j));
+    EXPECT_EQ(mn, 0.0) << "column " << j;
+  }
+}
+
+TEST(WorkloadsTest, SkylineOrderingAcrossFamilies) {
+  const size_t n = 1500, d = 3;
+  auto corr = MakeBenchDataset(BenchDataset::kCorr, n, d, 77);
+  auto inde = MakeBenchDataset(BenchDataset::kInde, n, d, 77);
+  auto anti = MakeBenchDataset(BenchDataset::kAnti, n, d, 77);
+  EXPECT_LT(ComputeSkyline(corr)->size(), ComputeSkyline(inde)->size());
+  EXPECT_LT(ComputeSkyline(inde)->size(), ComputeSkyline(anti)->size());
+}
+
+}  // namespace
+}  // namespace eclipse

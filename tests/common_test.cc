@@ -1,0 +1,261 @@
+// Unit tests for src/common: Status, Result, Rng, strings, statistics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/statistics.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+
+namespace eclipse {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad ratio");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad ratio");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad ratio");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::Internal("a"), Status::Internal("a"));
+  EXPECT_FALSE(Status::Internal("a") == Status::Internal("b"));
+  EXPECT_FALSE(Status::Internal("a") == Status::NotFound("a"));
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto inner = [](bool fail) -> Status {
+    if (fail) return Status::NotFound("gone");
+    return Status::OK();
+  };
+  auto outer = [&](bool fail) -> Status {
+    ECLIPSE_RETURN_IF_ERROR(inner(fail));
+    return Status::Internal("reached end");
+  };
+  EXPECT_TRUE(outer(true).IsNotFound());
+  EXPECT_TRUE(outer(false).IsInternal());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::InvalidArgument("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  auto maybe = [](bool fail) -> Result<int> {
+    if (fail) return Status::OutOfRange("too far");
+    return 5;
+  };
+  auto chain = [&](bool fail) -> Result<int> {
+    ECLIPSE_ASSIGN_OR_RETURN(int v, maybe(fail));
+    return v * 2;
+  };
+  ASSERT_TRUE(chain(false).ok());
+  EXPECT_EQ(*chain(false), 10);
+  EXPECT_TRUE(chain(true).status().IsOutOfRange());
+}
+
+TEST(ResultTest, MovesNonCopyableValues) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(9);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 9);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next64(), b.Next64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next64() == b.Next64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, NextIndexCoversRangeWithoutBias) {
+  Rng rng(99);
+  std::vector<int> counts(10, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.NextIndex(10)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / 10, kDraws / 100);
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(5);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    double g = rng.Gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.02);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(3);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(original.begin(), original.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(42);
+  Rng child = parent.Fork();
+  // The fork consumes one draw; both streams must still be deterministic.
+  Rng parent2(42);
+  Rng child2 = parent2.Fork();
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(child.Next64(), child2.Next64());
+    EXPECT_EQ(parent.Next64(), parent2.Next64());
+  }
+}
+
+TEST(StringsTest, StrFormatFormats) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.2345), "1.23");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringsTest, JoinAndSplitRoundTrip) {
+  std::vector<std::string> parts{"a", "b", "", "c"};
+  EXPECT_EQ(Join(parts, ","), "a,b,,c");
+  EXPECT_EQ(Split("a,b,,c", ','), parts);
+  EXPECT_EQ(Split("", ','), std::vector<std::string>{""});
+}
+
+TEST(StringsTest, TrimStripsWhitespace) {
+  EXPECT_EQ(Trim("  x y \t\n"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t "), "");
+}
+
+TEST(StringsTest, ParseDoubleAcceptsNumbersRejectsJunk) {
+  double v = 0.0;
+  EXPECT_TRUE(ParseDouble("3.5", &v));
+  EXPECT_DOUBLE_EQ(v, 3.5);
+  EXPECT_TRUE(ParseDouble("  -1e-3 ", &v));
+  EXPECT_DOUBLE_EQ(v, -1e-3);
+  EXPECT_FALSE(ParseDouble("3.5x", &v));
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("abc", &v));
+}
+
+TEST(StringsTest, HumanDurationPicksUnits) {
+  EXPECT_EQ(HumanDuration(2.5e-9), "2.5ns");
+  EXPECT_EQ(HumanDuration(3.0e-6), "3.0us");
+  EXPECT_EQ(HumanDuration(1.5e-2), "15.00ms");
+  EXPECT_EQ(HumanDuration(2.0), "2.000s");
+}
+
+TEST(StatisticsTest, AddAndGet) {
+  Statistics stats;
+  EXPECT_EQ(stats.Get(Ticker::kSkylineComparisons), 0u);
+  stats.Add(Ticker::kSkylineComparisons, 3);
+  stats.Add(Ticker::kSkylineComparisons, 2);
+  EXPECT_EQ(stats.Get(Ticker::kSkylineComparisons), 5u);
+}
+
+TEST(StatisticsTest, ResetClears) {
+  Statistics stats;
+  stats.Add(Ticker::kCandidatePairs, 9);
+  stats.Reset();
+  EXPECT_EQ(stats.Get(Ticker::kCandidatePairs), 0u);
+}
+
+TEST(StatisticsTest, ToStringListsNonzeroOnly) {
+  Statistics stats;
+  EXPECT_EQ(stats.ToString(), "");
+  stats.Add(Ticker::kVerifiedCrossings, 4);
+  EXPECT_EQ(stats.ToString(), "index.verified_crossings=4");
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch sw;
+  double t1 = sw.ElapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  double t2 = sw.ElapsedSeconds();
+  EXPECT_GE(t2, t1);
+  sw.Restart();
+  EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace eclipse

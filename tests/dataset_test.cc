@@ -1,0 +1,276 @@
+// Tests for src/dataset: generators, NBA substitute, CSV, transforms,
+// adversarial construction.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "dataset/adversarial.h"
+#include "dataset/csv.h"
+#include "dataset/generators.h"
+#include "dataset/nba_synth.h"
+#include "dataset/transforms.h"
+#include "skyline/skyline.h"
+
+namespace eclipse {
+namespace {
+
+double PearsonCorrelation(const PointSet& ps, size_t col_a, size_t col_b) {
+  const size_t n = ps.size();
+  double ma = 0, mb = 0;
+  for (size_t i = 0; i < n; ++i) {
+    ma += ps.at(i, col_a);
+    mb += ps.at(i, col_b);
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0, va = 0, vb = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double da = ps.at(i, col_a) - ma;
+    const double db = ps.at(i, col_b) - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  return cov / std::sqrt(va * vb);
+}
+
+TEST(GeneratorsTest, SizesAndBounds) {
+  for (Distribution dist : {Distribution::kIndependent,
+                            Distribution::kCorrelated,
+                            Distribution::kAnticorrelated}) {
+    Rng rng(1);
+    PointSet ps = GenerateSynthetic(dist, 500, 4, &rng);
+    EXPECT_EQ(ps.size(), 500u);
+    EXPECT_EQ(ps.dims(), 4u);
+    for (size_t i = 0; i < ps.size(); ++i) {
+      for (size_t j = 0; j < 4; ++j) {
+        EXPECT_GE(ps.at(i, j), 0.0) << DistributionName(dist);
+        EXPECT_LE(ps.at(i, j), 1.0) << DistributionName(dist);
+      }
+    }
+  }
+}
+
+TEST(GeneratorsTest, DeterministicInSeed) {
+  Rng a(9), b(9), c(10);
+  PointSet p1 = GenerateSynthetic(Distribution::kIndependent, 100, 3, &a);
+  PointSet p2 = GenerateSynthetic(Distribution::kIndependent, 100, 3, &b);
+  PointSet p3 = GenerateSynthetic(Distribution::kIndependent, 100, 3, &c);
+  EXPECT_EQ(p1.data(), p2.data());
+  EXPECT_NE(p1.data(), p3.data());
+}
+
+TEST(GeneratorsTest, CorrelationSigns) {
+  Rng rng(11);
+  PointSet corr = GenerateSynthetic(Distribution::kCorrelated, 4000, 2, &rng);
+  PointSet anti =
+      GenerateSynthetic(Distribution::kAnticorrelated, 4000, 2, &rng);
+  PointSet inde = GenerateSynthetic(Distribution::kIndependent, 4000, 2, &rng);
+  EXPECT_GT(PearsonCorrelation(corr, 0, 1), 0.5);
+  EXPECT_LT(PearsonCorrelation(anti, 0, 1), -0.3);
+  EXPECT_NEAR(PearsonCorrelation(inde, 0, 1), 0.0, 0.08);
+}
+
+TEST(GeneratorsTest, SkylineSizeOrderingCorrIndeAnti) {
+  // The defining property of the Borzsonyi families: skyline sizes are
+  // ordered CORR < INDE < ANTI at matching n and d.
+  Rng rng(13);
+  const size_t n = 2000, d = 3;
+  auto corr = GenerateSynthetic(Distribution::kCorrelated, n, d, &rng);
+  auto inde = GenerateSynthetic(Distribution::kIndependent, n, d, &rng);
+  auto anti = GenerateSynthetic(Distribution::kAnticorrelated, n, d, &rng);
+  const size_t s_corr = ComputeSkyline(corr)->size();
+  const size_t s_inde = ComputeSkyline(inde)->size();
+  const size_t s_anti = ComputeSkyline(anti)->size();
+  EXPECT_LT(s_corr, s_inde);
+  EXPECT_LT(s_inde, s_anti);
+}
+
+TEST(GeneratorsTest, AnticorrelatedSumsConcentrated) {
+  Rng rng(17);
+  PointSet anti =
+      GenerateSynthetic(Distribution::kAnticorrelated, 1000, 3, &rng);
+  // Sums should cluster near d * 0.5.
+  double mean = 0;
+  for (size_t i = 0; i < anti.size(); ++i) {
+    double s = 0;
+    for (size_t j = 0; j < 3; ++j) s += anti.at(i, j);
+    mean += s;
+  }
+  mean /= anti.size();
+  EXPECT_NEAR(mean, 1.5, 0.15);
+}
+
+TEST(NbaSynthTest, SizeAndNonNegativity) {
+  PointSet nba = GenerateNbaCareerTotals();
+  EXPECT_EQ(nba.size(), kNbaDefaultPlayers);
+  EXPECT_EQ(nba.dims(), 5u);
+  for (size_t i = 0; i < nba.size(); ++i) {
+    for (size_t j = 0; j < 5; ++j) {
+      EXPECT_GE(nba.at(i, j), 0.0);
+      EXPECT_EQ(nba.at(i, j), std::floor(nba.at(i, j)));  // integer totals
+    }
+  }
+}
+
+TEST(NbaSynthTest, DeterministicInSeed) {
+  PointSet a = GenerateNbaCareerTotals(100, 7);
+  PointSet b = GenerateNbaCareerTotals(100, 7);
+  PointSet c = GenerateNbaCareerTotals(100, 8);
+  EXPECT_EQ(a.data(), b.data());
+  EXPECT_NE(a.data(), c.data());
+}
+
+TEST(NbaSynthTest, CareerTotalsPositivelyCorrelated) {
+  // Career length and talent drive all attributes together.
+  PointSet nba = GenerateNbaCareerTotals();
+  EXPECT_GT(PearsonCorrelation(nba, 0, 1), 0.3);  // PTS vs REB
+  EXPECT_GT(PearsonCorrelation(nba, 0, 3), 0.3);  // PTS vs STL
+}
+
+TEST(NbaSynthTest, HeavyTailInPoints) {
+  PointSet nba = GenerateNbaCareerTotals();
+  double mean = 0;
+  double max = 0;
+  for (size_t i = 0; i < nba.size(); ++i) {
+    mean += nba.at(i, 0);
+    max = std::max(max, nba.at(i, 0));
+  }
+  mean /= nba.size();
+  // Elite outliers dwarf the mean (skewed distribution).
+  EXPECT_GT(max, 8 * mean);
+  EXPECT_GT(max, 10000.0);  // star players accumulate 5-figure points
+}
+
+TEST(NbaSynthTest, AttributeNamesMatchPaper) {
+  EXPECT_EQ(kNbaAttributeNames[0], "PTS");
+  EXPECT_EQ(kNbaAttributeNames[4], "BLK");
+}
+
+TEST(TransformsTest, ColumnStats) {
+  auto ps = *PointSet::FromPoints({{1, 10}, {3, 5}, {2, 7}});
+  ColumnStats stats = ComputeColumnStats(ps);
+  EXPECT_EQ(stats.min, (std::vector<double>{1, 5}));
+  EXPECT_EQ(stats.max, (std::vector<double>{3, 10}));
+}
+
+TEST(TransformsTest, MaxToMinReversesDominance) {
+  auto ps = *PointSet::FromPoints({{5, 1}, {3, 4}, {5, 4}});
+  PointSet flipped = MaxToMin(ps);
+  // Column maxima: 5 and 4.
+  EXPECT_EQ(flipped.at(0, 0), 0.0);
+  EXPECT_EQ(flipped.at(0, 1), 3.0);
+  EXPECT_EQ(flipped.at(1, 0), 2.0);
+  EXPECT_EQ(flipped.at(1, 1), 0.0);
+  // Point 2 dominates everything in max-space (5,4 is componentwise best),
+  // so it maps to the min-space origin.
+  EXPECT_EQ(flipped.at(2, 0), 0.0);
+  EXPECT_EQ(flipped.at(2, 1), 0.0);
+}
+
+TEST(TransformsTest, Normalize01BoundsAndConstants) {
+  auto ps = *PointSet::FromPoints({{0, 7}, {10, 7}, {5, 7}});
+  PointSet norm = Normalize01(ps);
+  EXPECT_EQ(norm.at(0, 0), 0.0);
+  EXPECT_EQ(norm.at(1, 0), 1.0);
+  EXPECT_EQ(norm.at(2, 0), 0.5);
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(norm.at(i, 1), 0.0);  // constant
+}
+
+TEST(TransformsTest, SelectColumns) {
+  auto ps = *PointSet::FromPoints({{1, 2, 3}, {4, 5, 6}});
+  auto sel = SelectColumns(ps, {2, 0});
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->dims(), 2u);
+  EXPECT_EQ(sel->at(0, 0), 3);
+  EXPECT_EQ(sel->at(0, 1), 1);
+  EXPECT_EQ(sel->at(1, 0), 6);
+  EXPECT_FALSE(SelectColumns(ps, {5}).ok());
+  EXPECT_FALSE(SelectColumns(ps, {}).ok());
+}
+
+TEST(CsvTest, RoundTripWithHeader) {
+  auto ps = *PointSet::FromPoints({{1.5, -2.25}, {3.125, 4.0}});
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "eclipse_csv_test.csv")
+          .string();
+  ASSERT_TRUE(WriteCsv(path, ps, {"alpha", "beta"}).ok());
+  auto table = ReadCsv(path);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->column_names, (std::vector<std::string>{"alpha", "beta"}));
+  EXPECT_EQ(table->points.data(), ps.data());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, RoundTripWithoutHeader) {
+  auto ps = *PointSet::FromPoints({{1, 2, 3}});
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "eclipse_csv_test2.csv")
+          .string();
+  ASSERT_TRUE(WriteCsv(path, ps).ok());
+  auto table = ReadCsv(path);
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE(table->column_names.empty());
+  EXPECT_EQ(table->points.data(), ps.data());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, Errors) {
+  EXPECT_TRUE(ReadCsv("/nonexistent/path.csv").status().IsNotFound());
+  auto ps = *PointSet::FromPoints({{1, 2}});
+  EXPECT_TRUE(WriteCsv("/tmp/x.csv", ps, {"only-one-name"})
+                  .IsInvalidArgument());
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "eclipse_csv_bad.csv")
+          .string();
+  FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("1,2\n3,4,5\n", f);
+  std::fclose(f);
+  EXPECT_TRUE(ReadCsv(path).status().IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST(AdversarialTest, AllPointsAreSkyline) {
+  Rng rng(5);
+  for (size_t d : {2u, 3u, 4u}) {
+    PointSet ps = GenerateAdversarialDual(64, d, &rng);
+    EXPECT_EQ(ps.size(), 64u);
+    EXPECT_EQ(ComputeSkyline(ps)->size(), 64u) << "d=" << d;
+  }
+}
+
+TEST(AdversarialTest, CoordinatesPositive) {
+  Rng rng(6);
+  PointSet ps = GenerateAdversarialDual(128, 3, &rng);
+  for (size_t i = 0; i < ps.size(); ++i) {
+    for (size_t j = 0; j < ps.dims(); ++j) {
+      EXPECT_GT(ps.at(i, j), 0.0);
+    }
+  }
+}
+
+TEST(AdversarialTest, DualIntersectionsClusterAtAnchor) {
+  // In 2D the pairwise dual intersections must all lie within the jitter
+  // neighborhood of x = -anchor_ratio.
+  Rng rng(7);
+  const double anchor = 1.0;
+  PointSet ps = GenerateAdversarialDual(32, 2, &rng, anchor, 1e-4);
+  for (size_t i = 0; i < ps.size(); ++i) {
+    for (size_t j = i + 1; j < ps.size(); ++j) {
+      const double dx0 = ps.at(i, 0) - ps.at(j, 0);
+      const double dx1 = ps.at(i, 1) - ps.at(j, 1);
+      ASSERT_NE(dx0, 0.0);
+      const double x = dx1 / dx0;  // intersection of y = a x - b lines
+      EXPECT_NEAR(x, -anchor, 0.05);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eclipse

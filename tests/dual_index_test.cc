@@ -1,0 +1,278 @@
+// Tests for the dual-space machinery (DualModel, corner order, PairTable)
+// and the faithful 2D Order Vector Index against the paper's Section IV
+// worked examples (Figures 6-7, Examples 4-5, Table III).
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dual/dual_model.h"
+#include "dual/intersections.h"
+#include "dual/order_vector.h"
+#include "index/index2d.h"
+#include "index/order_vector_index2d.h"
+
+namespace eclipse {
+namespace {
+
+// The paper's skyline hotels p1(1,6), p2(4,4), p3(6,1); p4 is dropped by
+// the build-time skyline filter, exactly as in Section IV-A.
+PointSet SkylineHotels() {
+  return *PointSet::FromPoints({{1, 6}, {4, 4}, {6, 1}});
+}
+
+Box Domain1D(double lo = -100.0, double hi = 0.0) {
+  return Box(std::vector<Interval>{{lo, hi}});
+}
+
+TEST(DualModelTest, PaperFigure6DualLines) {
+  // p1 -> y = x - 6, p2 -> y = 4x - 4, p3 -> y = 6x - 1.
+  PointSet pts = SkylineHotels();
+  auto model = *DualModel::Build(pts, {0, 1, 2});
+  EXPECT_EQ(model.u(), 3u);
+  EXPECT_EQ(model.dual_dims(), 1u);
+  EXPECT_EQ(model.coeff(0, 0), 1.0);
+  EXPECT_EQ(model.constant(0), -6.0);
+  EXPECT_EQ(model.coeff(1, 0), 4.0);
+  EXPECT_EQ(model.constant(1), -4.0);
+  EXPECT_EQ(model.coeff(2, 0), 6.0);
+  EXPECT_EQ(model.constant(2), -1.0);
+}
+
+TEST(DualModelTest, HeightsAtPaperSamplePoint) {
+  // Example 4 (with eps = 1/6, x = -1/2): startY = (-6.5, -6, -4).
+  PointSet pts = SkylineHotels();
+  auto model = *DualModel::Build(pts, {0, 1, 2});
+  const double x[] = {-0.5};
+  EXPECT_DOUBLE_EQ(model.HeightAt(0, std::span<const double>(x, 1)), -6.5);
+  EXPECT_DOUBLE_EQ(model.HeightAt(1, std::span<const double>(x, 1)), -6.0);
+  EXPECT_DOUBLE_EQ(model.HeightAt(2, std::span<const double>(x, 1)), -4.0);
+}
+
+TEST(DualModelTest, BuildValidatesIds) {
+  PointSet pts = SkylineHotels();
+  EXPECT_FALSE(DualModel::Build(pts, {0, 7}).ok());
+  auto ps1 = *PointSet::FromPoints({{1}});
+  EXPECT_FALSE(DualModel::Build(ps1, {0}).ok());
+}
+
+TEST(PairTableTest, PaperIntersectionAbscissas) {
+  PointSet pts = SkylineHotels();
+  auto model = *DualModel::Build(pts, {0, 1, 2});
+  auto table = *PairTable::Build(model, Domain1D(), 1000);
+  ASSERT_EQ(table.size(), 3u);
+  // Pairs in enumeration order: (0,1), (0,2), (1,2).
+  EXPECT_NEAR(table.IntersectionX(0), -2.0 / 3.0, 1e-15);
+  EXPECT_NEAR(table.IntersectionX(1), -1.0, 1e-15);
+  EXPECT_NEAR(table.IntersectionX(2), -1.5, 1e-15);
+}
+
+TEST(PairTableTest, DomainFiltersFarIntersections) {
+  PointSet pts = SkylineHotels();
+  auto model = *DualModel::Build(pts, {0, 1, 2});
+  // Domain that excludes x = -1.5 and x = -1.
+  auto table = *PairTable::Build(model, Domain1D(-0.9, 0.0), 1000);
+  ASSERT_EQ(table.size(), 1u);
+  EXPECT_NEAR(table.IntersectionX(0), -2.0 / 3.0, 1e-15);
+}
+
+TEST(PairTableTest, ParallelHyperplanesSkipped) {
+  // Points equal in every non-last coordinate give parallel duals.
+  auto pts = *PointSet::FromPoints({{2, 1}, {2, 5}, {3, 0}});
+  auto model = *DualModel::Build(pts, {0, 1, 2});
+  auto table = *PairTable::Build(model, Domain1D(), 1000);
+  EXPECT_EQ(table.size(), 2u);  // (0,2) and (1,2); (0,1) parallel
+}
+
+TEST(PairTableTest, MaxPairsGuard) {
+  Rng rng(3);
+  std::vector<Point> pts;
+  for (int i = 0; i < 40; ++i) {
+    pts.push_back(Point{rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  auto ps = *PointSet::FromPoints(pts);
+  std::vector<PointId> all;
+  for (PointId i = 0; i < ps.size(); ++i) all.push_back(i);
+  auto model = *DualModel::Build(ps, all);
+  auto table = PairTable::Build(model, Domain1D(), 10);
+  EXPECT_TRUE(table.status().IsResourceExhausted());
+}
+
+TEST(PairTableTest, CrossingTestsAgainstBoxes) {
+  PointSet pts = SkylineHotels();
+  auto model = *DualModel::Build(pts, {0, 1, 2});
+  auto table = *PairTable::Build(model, Domain1D(), 1000);
+  // Pair (0,1) crosses at x = -2/3.
+  Box covers(std::vector<Interval>{{-1.0, 0.0}});
+  Box touches(std::vector<Interval>{{-2.0 / 3.0, 0.0}});
+  Box misses(std::vector<Interval>{{-0.5, 0.0}});
+  EXPECT_TRUE(table.CrossesInterior(0, covers));
+  EXPECT_TRUE(table.TouchesBox(0, touches));
+  EXPECT_FALSE(table.CrossesInterior(0, touches));  // boundary only
+  EXPECT_FALSE(table.TouchesBox(0, misses));
+}
+
+TEST(CornerOrderTest, PaperInitialOrderVector) {
+  // Example 5: querying r in [1/4, 2] -> dual box [-2, -1/4]; the initial
+  // ov at -1/4 (interval (-2/3, 0]) is <2, 1, 0> for (p1, p2, p3).
+  PointSet pts = SkylineHotels();
+  auto model = *DualModel::Build(pts, {0, 1, 2});
+  Box query(std::vector<Interval>{{-2.0, -0.25}});
+  auto order = *ComputeCornerOrder(model, query);
+  EXPECT_EQ(order.ranks, (std::vector<uint32_t>{2, 1, 0}));
+}
+
+TEST(CornerOrderTest, Figure7AllIntervals) {
+  // Figure 7 lists ov = <0,1,2>, <0,2,1>, <1,2,0>, <2,1,0> for the four
+  // intervals; the corner order at a box ending inside each interval must
+  // match.
+  PointSet pts = SkylineHotels();
+  auto model = *DualModel::Build(pts, {0, 1, 2});
+  struct Case {
+    double corner;
+    std::vector<uint32_t> expected;
+  };
+  const Case cases[] = {
+      {-1.7, {0, 1, 2}},   // (-inf, -1.5]
+      {-1.2, {0, 2, 1}},   // (-1.5, -1]
+      {-0.8, {1, 2, 0}},   // (-1, -2/3]
+      {-0.25, {2, 1, 0}},  // (-2/3, 0]
+  };
+  for (const auto& c : cases) {
+    Box query(std::vector<Interval>{{c.corner - 1.0, c.corner}});
+    auto order = *ComputeCornerOrder(model, query);
+    EXPECT_EQ(order.ranks, c.expected) << "corner " << c.corner;
+  }
+}
+
+TEST(CornerOrderTest, TieBreakIntoBoxAtIntersectionCorner) {
+  // Query corner exactly at an intersection (chosen exactly representable:
+  // y = x - 6 and y = 3x - 4 meet at x = -1). The order just inside the box
+  // (to the left) decides: the smaller slope stays higher moving left.
+  auto pts = *PointSet::FromPoints({{1, 6}, {3, 4}, {1, 9}});
+  auto model = *DualModel::Build(pts, {0, 1, 2});
+  Box query(std::vector<Interval>{{-2.0, -1.0}});
+  auto order = *ComputeCornerOrder(model, query);
+  // Heights at -1: line0 = line1 = -7 (tie), line2 = -10.
+  EXPECT_EQ(order.ranks[0], 0u);  // slope 1 beats slope 3 just left of -1
+  EXPECT_EQ(order.ranks[1], 1u);
+  EXPECT_EQ(order.ranks[2], 2u);
+}
+
+TEST(CornerOrderTest, IdenticalOverDegenerateBoxShareRank) {
+  // Two lines crossing exactly at the degenerate query share rank 0.
+  auto pts = *PointSet::FromPoints({{1, 2}, {3, 1}, {1, 9}});  // duals meet at x=-0.5 for (0,1)
+  auto model = *DualModel::Build(pts, {0, 1, 2});
+  // lines: y = x - 2, y = 3x - 1; equal at x = -0.5 (y = -2.5).
+  Box degenerate(std::vector<Interval>{{-0.5, -0.5}});
+  auto order = *ComputeCornerOrder(model, degenerate);
+  EXPECT_EQ(order.ranks[0], 0u);
+  EXPECT_EQ(order.ranks[1], 0u);
+  EXPECT_EQ(order.ranks[2], 2u);  // y = x - 9 far below: two lines above
+}
+
+TEST(CornerOrderTest, CompareAboveAtCornerIsAntisymmetric) {
+  Rng rng(9);
+  std::vector<Point> pts;
+  for (int i = 0; i < 20; ++i) {
+    pts.push_back(Point{rng.Uniform(0, 5), rng.Uniform(0, 5),
+                        rng.Uniform(0, 5)});
+  }
+  auto ps = *PointSet::FromPoints(pts);
+  std::vector<PointId> all;
+  for (PointId i = 0; i < ps.size(); ++i) all.push_back(i);
+  auto model = *DualModel::Build(ps, all);
+  Box query(std::vector<Interval>{{-2, -1}, {-3, -0.5}});
+  for (size_t a = 0; a < model.u(); ++a) {
+    for (size_t b = 0; b < model.u(); ++b) {
+      EXPECT_EQ(CompareAboveAtCorner(model, a, b, query),
+                -CompareAboveAtCorner(model, b, a, query));
+    }
+  }
+}
+
+TEST(CornerOrderTest, DimsMismatchRejected) {
+  PointSet pts = SkylineHotels();
+  auto model = *DualModel::Build(pts, {0, 1, 2});
+  Box wrong(std::vector<Interval>{{-1, 0}, {-1, 0}});
+  EXPECT_FALSE(ComputeCornerOrder(model, wrong).ok());
+}
+
+TEST(Index2DTest, CandidatesAreExactRangeMatches) {
+  PointSet pts = SkylineHotels();
+  auto model = *DualModel::Build(pts, {0, 1, 2});
+  auto table = *PairTable::Build(model, Domain1D(), 1000);
+  auto index = *Index2D::Build(table);
+  std::vector<uint32_t> out;
+  index.CollectCandidates(Box(std::vector<Interval>{{-2.0, -0.25}}), &out,
+                          nullptr);
+  EXPECT_EQ(out.size(), 3u);  // all three intersections lie in [-2, -1/4]
+  out.clear();
+  index.CollectCandidates(Box(std::vector<Interval>{{-1.1, -0.9}}), &out,
+                          nullptr);
+  ASSERT_EQ(out.size(), 1u);  // only x = -1
+  EXPECT_NEAR(table.IntersectionX(out[0]), -1.0, 1e-15);
+}
+
+TEST(Index2DTest, RejectsHigherDims) {
+  auto pts = *PointSet::FromPoints({{1, 2, 3}, {3, 2, 1}});
+  auto model = *DualModel::Build(pts, {0, 1});
+  Box domain(std::vector<Interval>{{-10, 0}, {-10, 0}});
+  auto table = *PairTable::Build(model, domain, 1000);
+  EXPECT_FALSE(Index2D::Build(table).ok());
+}
+
+TEST(OrderVectorIndex2DTest, Figure7IntervalsAndVectors) {
+  PointSet pts = SkylineHotels();
+  auto model = *DualModel::Build(pts, {0, 1, 2});
+  auto table = *PairTable::Build(model, Domain1D(), 1000);
+  auto index2d = *Index2D::Build(table);
+  auto ovi = *OrderVectorIndex2D::Build(model, table, index2d,
+                                        Interval{-100.0, 0.0});
+  ASSERT_EQ(ovi.num_intervals(), 4u);
+  EXPECT_EQ(ovi.ov(0), (std::vector<uint32_t>{0, 1, 2}));
+  EXPECT_EQ(ovi.ov(1), (std::vector<uint32_t>{0, 2, 1}));
+  EXPECT_EQ(ovi.ov(2), (std::vector<uint32_t>{1, 2, 0}));
+  EXPECT_EQ(ovi.ov(3), (std::vector<uint32_t>{2, 1, 0}));
+  // Interval lookup convention: (lo, hi].
+  EXPECT_EQ(ovi.IntervalOf(-2.0), 0u);
+  EXPECT_EQ(ovi.IntervalOf(-1.5), 0u);
+  EXPECT_EQ(ovi.IntervalOf(-1.2), 1u);
+  EXPECT_EQ(ovi.IntervalOf(-1.0), 1u);
+  EXPECT_EQ(ovi.IntervalOf(-0.25), 3u);
+}
+
+TEST(OrderVectorIndex2DTest, PaperExample5Sweep) {
+  // Table III: initial ov4 = <2,1,0>; after p1p2, p1p3, p2p3 the vector is
+  // <0,0,0> and all three hotels are eclipse points.
+  PointSet pts = SkylineHotels();
+  auto model = *DualModel::Build(pts, {0, 1, 2});
+  auto table = *PairTable::Build(model, Domain1D(), 1000);
+  auto index2d = *Index2D::Build(table);
+  auto ovi = *OrderVectorIndex2D::Build(model, table, index2d,
+                                        Interval{-100.0, 0.0});
+  auto result = ovi.QueryFaithful(-2.0, -0.25);
+  EXPECT_EQ(result, (std::vector<uint32_t>{0, 1, 2}));
+}
+
+TEST(OrderVectorIndex2DTest, BudgetGuard) {
+  Rng rng(11);
+  std::vector<Point> pts;
+  for (int i = 0; i < 64; ++i) {
+    pts.push_back(Point{rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  auto ps = *PointSet::FromPoints(pts);
+  std::vector<PointId> all;
+  for (PointId i = 0; i < ps.size(); ++i) all.push_back(i);
+  auto model = *DualModel::Build(ps, all);
+  auto table = *PairTable::Build(model, Domain1D(), 100000);
+  auto index2d = *Index2D::Build(table);
+  OrderVectorIndex2D::Options options;
+  options.max_table_cells = 10;
+  EXPECT_TRUE(OrderVectorIndex2D::Build(model, table, index2d,
+                                        Interval{-100.0, 0.0}, options)
+                  .status()
+                  .IsResourceExhausted());
+}
+
+}  // namespace
+}  // namespace eclipse

@@ -1,0 +1,271 @@
+// Tests for the one-shot eclipse algorithms: the paper's worked examples,
+// cross-algorithm equivalence, the operator's formal properties, and the
+// Theorem 6 counterexample (DESIGN.md finding F1).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "core/eclipse.h"
+#include "dataset/generators.h"
+#include "skyline/skyline.h"
+
+namespace eclipse {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+PointSet Hotels() {
+  return *PointSet::FromPoints({{1, 6}, {4, 4}, {6, 1}, {8, 5}});
+}
+
+TEST(EclipseCoreTest, PaperFigure3HotelExample) {
+  // r in [1/4, 2]: p4 is eclipse-dominated; the answer is {p1, p2, p3}.
+  PointSet hotels = Hotels();
+  auto box = *RatioBox::Uniform(1, 0.25, 2.0);
+  const std::vector<PointId> expected{0, 1, 2};
+  EXPECT_EQ(*EclipseBaseline(hotels, box), expected);
+  EXPECT_EQ(*EclipseTransform2D(hotels, box), expected);
+  EXPECT_EQ(*EclipseTransformHD(hotels, box), expected);
+  EXPECT_EQ(*EclipseCornerSkyline(hotels, box), expected);
+  EXPECT_EQ(*NaiveEclipse(hotels, box), expected);
+}
+
+TEST(EclipseCoreTest, PaperFigure5CMapping) {
+  // Example 3: c1 = (4, 6.25), c2 = (6, 5), c3 = (6.5, 2.5), c4 = (10.5, 7).
+  PointSet hotels = Hotels();
+  auto box = *RatioBox::Uniform(1, 0.25, 2.0);
+  auto c = *TransformToCSpace(hotels, box);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 6.25);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 6.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(c.at(2, 0), 6.5);
+  EXPECT_DOUBLE_EQ(c.at(2, 1), 2.5);
+  EXPECT_DOUBLE_EQ(c.at(3, 0), 10.5);
+  EXPECT_DOUBLE_EQ(c.at(3, 1), 7.0);
+  // The skyline of the c-space is {c1, c2, c3} (Example 3).
+  EXPECT_EQ(*ComputeSkyline(c), (std::vector<PointId>{0, 1, 2}));
+}
+
+TEST(EclipseCoreTest, SkylineInstantiation) {
+  // Eclipse with [0, +inf) must equal the skyline (paper Section II-C).
+  Rng rng(31);
+  for (size_t d : {2u, 3u, 4u}) {
+    PointSet ps = GenerateSynthetic(Distribution::kIndependent, 200, d, &rng);
+    RatioBox sky = RatioBox::Skyline(d - 1);
+    const auto expected = NaiveSkyline(ps);
+    EXPECT_EQ(*EclipseBaseline(ps, sky), expected) << "d=" << d;
+    EXPECT_EQ(*EclipseCornerSkyline(ps, sky), expected) << "d=" << d;
+    if (d == 2) {
+      EXPECT_EQ(*EclipseTransform2D(ps, sky), expected);
+    }
+  }
+}
+
+TEST(EclipseCoreTest, OneNNInstantiation) {
+  // Eclipse with [l, l] returns exactly the weighted-sum minimizers.
+  PointSet hotels = Hotels();
+  auto box = *RatioBox::OneNN({2.0});
+  const std::vector<PointId> expected{0};  // p1, S = 8 (Figure 1)
+  EXPECT_EQ(*EclipseBaseline(hotels, box), expected);
+  EXPECT_EQ(*EclipseTransform2D(hotels, box), expected);
+  EXPECT_EQ(*EclipseCornerSkyline(hotels, box), expected);
+}
+
+TEST(EclipseCoreTest, OneNNInstantiationKeepsTies) {
+  // Two points tied at the query ratio are both 1NN answers.
+  auto ps = *PointSet::FromPoints({{0, 8}, {1, 6}, {4, 4}});  // S at r=2: 8, 8, 12
+  auto box = *RatioBox::OneNN({2.0});
+  const std::vector<PointId> expected{0, 1};
+  EXPECT_EQ(*EclipseBaseline(ps, box), expected);
+  EXPECT_EQ(*EclipseTransform2D(ps, box), expected);
+  EXPECT_EQ(*EclipseCornerSkyline(ps, box), expected);
+}
+
+TEST(EclipseCoreTest, ArgumentValidation) {
+  PointSet hotels = Hotels();
+  auto wrong_dims = *RatioBox::Uniform(3, 0.5, 2.0);
+  EXPECT_TRUE(EclipseBaseline(hotels, wrong_dims).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      EclipseCornerSkyline(hotels, wrong_dims).status().IsInvalidArgument());
+  auto ps1d = *PointSet::FromPoints({{1}});
+  auto box = *RatioBox::Uniform(1, 0.5, 2.0);
+  EXPECT_TRUE(EclipseBaseline(ps1d, box).status().IsInvalidArgument());
+  auto ps3 = *PointSet::FromPoints({{1, 2, 3}});
+  EXPECT_TRUE(EclipseTransform2D(ps3, box).status().IsInvalidArgument());
+}
+
+TEST(EclipseCoreTest, EmptyAndSingletonInputs) {
+  PointSet empty(2);
+  auto box = *RatioBox::Uniform(1, 0.5, 2.0);
+  EXPECT_TRUE(EclipseBaseline(empty, box)->empty());
+  EXPECT_TRUE(EclipseCornerSkyline(empty, box)->empty());
+  auto one = *PointSet::FromPoints({{3, 3}});
+  EXPECT_EQ(*EclipseBaseline(one, box), (std::vector<PointId>{0}));
+  EXPECT_EQ(*EclipseTransform2D(one, box), (std::vector<PointId>{0}));
+}
+
+TEST(EclipseCoreTest, DuplicatePointsAllReported) {
+  auto ps = *PointSet::FromPoints({{1, 1}, {1, 1}, {9, 9}});
+  auto box = *RatioBox::Uniform(1, 0.5, 2.0);
+  const std::vector<PointId> expected{0, 1};
+  EXPECT_EQ(*EclipseBaseline(ps, box), expected);
+  EXPECT_EQ(*EclipseTransform2D(ps, box), expected);
+  EXPECT_EQ(*EclipseCornerSkyline(ps, box), expected);
+}
+
+TEST(EclipseCoreTest, Theorem6CounterexampleD3) {
+  // DESIGN.md finding F1: p = (2,2,1), p' = (1,1,2), r in [0,1]^2. The
+  // paper's d-corner mapping declares p ≺e p', but S(p) > S(p') at
+  // r = (1,1), so both points are eclipse points. TRAN-HD drops p'.
+  auto ps = *PointSet::FromPoints({{2, 2, 1}, {1, 1, 2}});
+  auto box = *RatioBox::Uniform(2, 0.0, 1.0);
+
+  const std::vector<PointId> exact{0, 1};
+  EXPECT_EQ(*EclipseBaseline(ps, box), exact);
+  EXPECT_EQ(*EclipseCornerSkyline(ps, box), exact);
+  EXPECT_EQ(*NaiveEclipse(ps, box), exact);
+
+  // The paper-faithful transformation under-reports.
+  const std::vector<PointId> faithful = *EclipseTransformHD(ps, box);
+  EXPECT_EQ(faithful, (std::vector<PointId>{0}));
+}
+
+TEST(EclipseCoreTest, TransformHDIsSubsetOfExactForHighD) {
+  // For d >= 3 TRAN-HD may under-report but never over-reports.
+  Rng rng(37);
+  size_t under_reports = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const size_t d = 3 + rng.NextIndex(3);
+    PointSet ps = GenerateSynthetic(Distribution::kAnticorrelated, 120, d,
+                                    &rng);
+    const double lo = rng.Uniform(0.0, 0.5);
+    auto box = *RatioBox::Uniform(d - 1, lo, lo + rng.Uniform(0.5, 3.0));
+    auto exact = *EclipseCornerSkyline(ps, box);
+    auto faithful = *EclipseTransformHD(ps, box);
+    std::vector<PointId> exact_sorted = exact;
+    EXPECT_TRUE(std::includes(exact_sorted.begin(), exact_sorted.end(),
+                              faithful.begin(), faithful.end()))
+        << "d=" << d;
+    if (faithful.size() < exact.size()) ++under_reports;
+  }
+  // The under-reporting is real, not hypothetical.
+  EXPECT_GT(under_reports, 0u);
+}
+
+TEST(EclipseCoreTest, TransformHDExactFor2D) {
+  Rng rng(41);
+  for (int trial = 0; trial < 30; ++trial) {
+    PointSet ps = GenerateSynthetic(Distribution::kAnticorrelated, 150, 2,
+                                    &rng);
+    auto box = *RatioBox::Uniform(1, rng.Uniform(0.0, 1.0),
+                                  1.0 + rng.Uniform(0.0, 4.0));
+    EXPECT_EQ(*EclipseTransformHD(ps, box), *EclipseBaseline(ps, box));
+  }
+}
+
+TEST(EclipseCoreTest, MonotonicityInRangeWidth) {
+  // Nested ratio boxes give nested eclipse sets: a wider box makes
+  // domination harder, so more points survive.
+  Rng rng(43);
+  PointSet ps = GenerateSynthetic(Distribution::kIndependent, 400, 3, &rng);
+  std::vector<PointId> prev;
+  bool first = true;
+  for (double gamma : {1.0, 1.5, 2.5, 5.0, 20.0}) {
+    auto box = *RatioBox::Uniform(2, 1.0 / gamma, gamma);
+    auto ids = *EclipseCornerSkyline(ps, box);
+    if (!first) {
+      EXPECT_TRUE(std::includes(ids.begin(), ids.end(), prev.begin(),
+                                prev.end()))
+          << "gamma=" << gamma;
+    }
+    prev = ids;
+    first = false;
+  }
+}
+
+TEST(EclipseCoreTest, EclipseIsSubsetOfSkyline) {
+  Rng rng(47);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t d = 2 + rng.NextIndex(3);
+    PointSet ps = GenerateSynthetic(Distribution::kIndependent, 300, d, &rng);
+    auto box = *RatioBox::Uniform(d - 1, rng.Uniform(0, 1),
+                                  1.0 + rng.Uniform(0, 5));
+    auto ecl = *EclipseCornerSkyline(ps, box);
+    auto sky = *ComputeSkyline(ps);
+    EXPECT_TRUE(std::includes(sky.begin(), sky.end(), ecl.begin(), ecl.end()));
+  }
+}
+
+TEST(EclipseCoreTest, WiderRangeConvergesToSkyline) {
+  Rng rng(53);
+  PointSet ps = GenerateSynthetic(Distribution::kIndependent, 250, 2, &rng);
+  auto sky = *ComputeSkyline(ps);
+  auto wide = *EclipseCornerSkyline(ps, *RatioBox::Make({{0.0, kInf}}));
+  EXPECT_EQ(wide, sky);
+}
+
+TEST(EclipseCoreTest, CornerBudgetGuard) {
+  // 25 free dims would need 2^25 corner columns; the guard refuses.
+  const size_t d = 26;
+  std::vector<double> row(d, 1.0);
+  auto ps = *PointSet::FromPoints({row, row});
+  auto box = *RatioBox::Uniform(d - 1, 0.5, 2.0);
+  EclipseOptions options;
+  options.max_corner_dims = 20;
+  EXPECT_TRUE(EclipseCornerSkyline(ps, box, options)
+                  .status()
+                  .IsResourceExhausted());
+}
+
+struct EquivalenceCase {
+  Distribution dist;
+  size_t n;
+  size_t d;
+  double lo;
+  double hi;
+  uint64_t seed;
+};
+
+class EclipseEquivalence : public ::testing::TestWithParam<EquivalenceCase> {};
+
+TEST_P(EclipseEquivalence, BaselineCornerAndTransformAgree) {
+  const auto& c = GetParam();
+  Rng rng(c.seed);
+  PointSet ps = GenerateSynthetic(c.dist, c.n, c.d, &rng);
+  auto box = *RatioBox::Uniform(c.d - 1, c.lo, c.hi);
+  const auto base = *EclipseBaseline(ps, box);
+  EXPECT_EQ(*EclipseCornerSkyline(ps, box), base);
+  EXPECT_EQ(*NaiveEclipse(ps, box), base);
+  if (c.d == 2) {
+    EXPECT_EQ(*EclipseTransform2D(ps, box), base);
+    EXPECT_EQ(*EclipseTransformHD(ps, box), base);
+  }
+  // Different skyline backends agree too.
+  EclipseOptions dnc;
+  dnc.skyline_algorithm = SkylineAlgorithm::kDivideConquer;
+  EXPECT_EQ(*EclipseCornerSkyline(ps, box, dnc), base);
+  EclipseOptions bnl;
+  bnl.skyline_algorithm = SkylineAlgorithm::kBnl;
+  EXPECT_EQ(*EclipseCornerSkyline(ps, box, bnl), base);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EclipseEquivalence,
+    ::testing::Values(
+        EquivalenceCase{Distribution::kIndependent, 200, 2, 0.25, 2.0, 1},
+        EquivalenceCase{Distribution::kIndependent, 200, 3, 0.36, 2.75, 2},
+        EquivalenceCase{Distribution::kIndependent, 150, 4, 0.58, 1.73, 3},
+        EquivalenceCase{Distribution::kIndependent, 120, 5, 0.84, 1.19, 4},
+        EquivalenceCase{Distribution::kCorrelated, 200, 3, 0.36, 2.75, 5},
+        EquivalenceCase{Distribution::kAnticorrelated, 200, 3, 0.36, 2.75, 6},
+        EquivalenceCase{Distribution::kAnticorrelated, 150, 4, 0.18, 5.67, 7},
+        EquivalenceCase{Distribution::kIndependent, 200, 2, 0.0, 1.0, 8},
+        EquivalenceCase{Distribution::kIndependent, 200, 3, 1.0, 1.0, 9},
+        EquivalenceCase{Distribution::kAnticorrelated, 200, 2, 0.0, 100.0,
+                        10}));
+
+}  // namespace
+}  // namespace eclipse

@@ -1,0 +1,362 @@
+// Tests for EclipseIndex (QUAD / CUTTING engines): paper worked example,
+// exactness against BASE across dimensions/distributions/ranges, domain
+// contract, degenerate queries, faithful-sweep equivalence, statistics.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "core/eclipse.h"
+#include "core/eclipse_index.h"
+#include "dataset/adversarial.h"
+#include "dataset/generators.h"
+
+namespace eclipse {
+namespace {
+
+PointSet Hotels() {
+  return *PointSet::FromPoints({{1, 6}, {4, 4}, {6, 1}, {8, 5}});
+}
+
+TEST(EclipseIndexTest, HotelExampleThroughIndex) {
+  PointSet hotels = Hotels();
+  auto index = *EclipseIndex::Build(hotels, {});
+  auto box = *RatioBox::Uniform(1, 0.25, 2.0);
+  QueryStats stats;
+  EXPECT_EQ(*index.Query(box, &stats), (std::vector<PointId>{0, 1, 2}));
+  EXPECT_EQ(stats.indexed, 3u);  // p4 pruned by the skyline filter
+  EXPECT_EQ(stats.verified_crossings, 3u);
+  EXPECT_EQ(stats.result_size, 3u);
+}
+
+TEST(EclipseIndexTest, NarrowQueryReturns1NN) {
+  PointSet hotels = Hotels();
+  auto index = *EclipseIndex::Build(hotels, {});
+  auto box = *RatioBox::OneNN({2.0});
+  EXPECT_EQ(*index.Query(box, nullptr), (std::vector<PointId>{0}));
+  // And a narrow range elsewhere on the spectrum.
+  auto low = *RatioBox::OneNN({0.1});
+  EXPECT_EQ(*index.Query(low, nullptr), (std::vector<PointId>{2}));  // p3
+}
+
+TEST(EclipseIndexTest, DegenerateQueryKeepsTies) {
+  auto ps = *PointSet::FromPoints({{0, 8}, {1, 6}, {4, 4}});
+  auto index = *EclipseIndex::Build(ps, {});
+  auto box = *RatioBox::OneNN({2.0});  // S: 8, 8, 12
+  EXPECT_EQ(*index.Query(box, nullptr), (std::vector<PointId>{0, 1}));
+}
+
+TEST(EclipseIndexTest, QueryOutsideDomainRejected) {
+  PointSet hotels = Hotels();
+  IndexBuildOptions options;
+  options.domain = {RatioRange{0.5, 4.0}};
+  auto index = *EclipseIndex::Build(hotels, options);
+  EXPECT_TRUE(index.Query(*RatioBox::Uniform(1, 0.25, 2.0), nullptr)
+                  .status()
+                  .IsOutOfRange());
+  EXPECT_TRUE(index.Query(*RatioBox::Uniform(1, 1.0, 5.0), nullptr)
+                  .status()
+                  .IsOutOfRange());
+  EXPECT_TRUE(index.Query(*RatioBox::Uniform(1, 1.0, 2.0), nullptr).ok());
+}
+
+TEST(EclipseIndexTest, UnboundedQueryRejected) {
+  PointSet hotels = Hotels();
+  auto index = *EclipseIndex::Build(hotels, {});
+  EXPECT_TRUE(
+      index.Query(RatioBox::Skyline(1), nullptr).status().IsInvalidArgument());
+}
+
+TEST(EclipseIndexTest, WrongDimsRejected) {
+  PointSet hotels = Hotels();
+  auto index = *EclipseIndex::Build(hotels, {});
+  EXPECT_TRUE(index.Query(*RatioBox::Uniform(2, 0.5, 2.0), nullptr)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(EclipseIndexTest, UnboundedDomainRejectedAtBuild) {
+  PointSet hotels = Hotels();
+  IndexBuildOptions options;
+  options.domain = {RatioRange{0.0, std::numeric_limits<double>::infinity()}};
+  EXPECT_TRUE(EclipseIndex::Build(hotels, options).status().IsInvalidArgument());
+}
+
+TEST(EclipseIndexTest, EmptyDataset) {
+  PointSet empty(2);
+  auto index = *EclipseIndex::Build(empty, {});
+  EXPECT_TRUE(index.Query(*RatioBox::Uniform(1, 0.5, 2.0), nullptr)->empty());
+}
+
+TEST(EclipseIndexTest, SinglePoint) {
+  auto ps = *PointSet::FromPoints({{3, 4}});
+  auto index = *EclipseIndex::Build(ps, {});
+  EXPECT_EQ(*index.Query(*RatioBox::Uniform(1, 0.5, 2.0), nullptr),
+            (std::vector<PointId>{0}));
+}
+
+TEST(EclipseIndexTest, DuplicatePointsBothReported) {
+  auto ps = *PointSet::FromPoints({{1, 1}, {1, 1}, {9, 9}});
+  auto index = *EclipseIndex::Build(ps, {});
+  EXPECT_EQ(*index.Query(*RatioBox::Uniform(1, 0.5, 2.0), nullptr),
+            (std::vector<PointId>{0, 1}));
+}
+
+TEST(EclipseIndexTest, DomainPruneKeepsAllAnswersReachable) {
+  // Points optimal only outside the domain are pruned at build, but any
+  // query inside the domain still gets exact answers.
+  Rng rng(19);
+  PointSet ps = GenerateSynthetic(Distribution::kAnticorrelated, 300, 2, &rng);
+  IndexBuildOptions options;
+  options.domain = {RatioRange{0.2, 5.0}};
+  auto index = *EclipseIndex::Build(ps, options);
+  EXPECT_LE(index.indexed_count(), ComputeSkyline(ps)->size());
+  for (double lo : {0.2, 0.5, 1.0}) {
+    for (double hi : {1.5, 3.0, 5.0}) {
+      auto box = *RatioBox::Uniform(1, lo, hi);
+      EXPECT_EQ(*index.Query(box, nullptr), *EclipseBaseline(ps, box))
+          << "[" << lo << "," << hi << "]";
+    }
+  }
+}
+
+TEST(EclipseIndexTest, FaithfulSweepMatchesHardened2D) {
+  Rng rng(23);
+  PointSet ps = GenerateSynthetic(Distribution::kIndependent, 400, 2, &rng);
+  IndexBuildOptions options;
+  options.build_order_vector_index = true;
+  auto index = *EclipseIndex::Build(ps, options);
+  for (int t = 0; t < 25; ++t) {
+    const double lo = rng.Uniform(0.01, 2.0);
+    const double hi = lo + rng.Uniform(0.1, 5.0);
+    auto box = *RatioBox::Uniform(1, lo, hi);
+    QueryStats stats;
+    auto hardened = *index.Query(box, nullptr);
+    auto faithful = *index.QueryFaithfulSweep(box, &stats);
+    EXPECT_EQ(hardened, faithful) << "[" << lo << "," << hi << "]";
+  }
+}
+
+TEST(EclipseIndexTest, FaithfulSweepRequiresBuildFlag) {
+  PointSet hotels = Hotels();
+  auto index = *EclipseIndex::Build(hotels, {});
+  EXPECT_TRUE(
+      index.QueryFaithfulSweep(*RatioBox::Uniform(1, 0.5, 2.0), nullptr)
+          .status()
+          .IsInvalidArgument());
+}
+
+TEST(EclipseIndexTest, OrderVectorIndexRejectedForHighD) {
+  auto ps = *PointSet::FromPoints({{1, 2, 3}, {3, 2, 1}});
+  IndexBuildOptions options;
+  options.build_order_vector_index = true;
+  EXPECT_TRUE(EclipseIndex::Build(ps, options).status().IsInvalidArgument());
+}
+
+TEST(EclipseIndexTest, StatsMonotoneInRangeWidth) {
+  Rng rng(29);
+  PointSet ps = GenerateSynthetic(Distribution::kAnticorrelated, 500, 2, &rng);
+  auto index = *EclipseIndex::Build(ps, {});
+  size_t prev_crossings = 0;
+  for (double gamma : {1.1, 2.0, 4.0, 10.0}) {
+    auto box = *RatioBox::Uniform(1, 1.0 / gamma, gamma);
+    QueryStats stats;
+    ASSERT_TRUE(index.Query(box, &stats).ok());
+    EXPECT_GE(stats.verified_crossings, prev_crossings);
+    prev_crossings = stats.verified_crossings;
+  }
+}
+
+TEST(EclipseIndexTest, ReuseAcrossManyQueries) {
+  Rng rng(31);
+  PointSet ps = GenerateSynthetic(Distribution::kIndependent, 600, 3, &rng);
+  auto index = *EclipseIndex::Build(ps, {});
+  for (int t = 0; t < 20; ++t) {
+    const double lo = rng.Uniform(0.05, 2.0);
+    const double hi = lo + rng.Uniform(0.0, 4.0);
+    auto box = *RatioBox::Uniform(2, lo, hi);
+    EXPECT_EQ(*index.Query(box, nullptr), *EclipseBaseline(ps, box));
+  }
+}
+
+TEST(EclipseIndexTest, KindNameAndAccessors) {
+  PointSet hotels = Hotels();
+  auto index = *EclipseIndex::Build(hotels, {});
+  EXPECT_EQ(index.indexed_count(), 3u);
+  EXPECT_EQ(index.pair_count(), 3u);
+  EXPECT_EQ(index.candidate_ids(), (std::vector<PointId>{0, 1, 2}));
+  EXPECT_STREQ(index.intersection_index()->Name(), "sorted-2d");
+  EXPECT_STREQ(IndexKindName(IndexKind::kLineQuadtree), "QUAD");
+  EXPECT_STREQ(IndexKindName(IndexKind::kCuttingTree), "CUTTING");
+}
+
+struct IndexCase {
+  IndexKind kind;
+  Distribution dist;
+  size_t n;
+  size_t d;
+  double lo;
+  double hi;
+  uint64_t seed;
+};
+
+class IndexExactness : public ::testing::TestWithParam<IndexCase> {};
+
+TEST_P(IndexExactness, MatchesBaseline) {
+  const auto& c = GetParam();
+  Rng rng(c.seed);
+  PointSet ps = GenerateSynthetic(c.dist, c.n, c.d, &rng);
+  IndexBuildOptions options;
+  options.kind = c.kind;
+  auto index_or = EclipseIndex::Build(ps, options);
+  ASSERT_TRUE(index_or.ok()) << index_or.status();
+  auto box = *RatioBox::Uniform(c.d - 1, c.lo, c.hi);
+  auto got = index_or->Query(box, nullptr);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(*got, *EclipseBaseline(ps, box));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndData, IndexExactness,
+    ::testing::Values(
+        IndexCase{IndexKind::kLineQuadtree, Distribution::kIndependent, 400, 2,
+                  0.25, 2.0, 1},
+        IndexCase{IndexKind::kCuttingTree, Distribution::kIndependent, 400, 2,
+                  0.25, 2.0, 2},
+        IndexCase{IndexKind::kLineQuadtree, Distribution::kIndependent, 300, 3,
+                  0.36, 2.75, 3},
+        IndexCase{IndexKind::kCuttingTree, Distribution::kIndependent, 300, 3,
+                  0.36, 2.75, 4},
+        IndexCase{IndexKind::kLineQuadtree, Distribution::kAnticorrelated, 250,
+                  3, 0.36, 2.75, 5},
+        IndexCase{IndexKind::kCuttingTree, Distribution::kAnticorrelated, 250,
+                  3, 0.36, 2.75, 6},
+        IndexCase{IndexKind::kLineQuadtree, Distribution::kIndependent, 200, 4,
+                  0.58, 1.73, 7},
+        IndexCase{IndexKind::kCuttingTree, Distribution::kIndependent, 200, 4,
+                  0.58, 1.73, 8},
+        IndexCase{IndexKind::kLineQuadtree, Distribution::kIndependent, 150, 5,
+                  0.84, 1.19, 9},
+        IndexCase{IndexKind::kCuttingTree, Distribution::kIndependent, 150, 5,
+                  0.84, 1.19, 10},
+        IndexCase{IndexKind::kLineQuadtree, Distribution::kCorrelated, 400, 3,
+                  0.18, 5.67, 11},
+        IndexCase{IndexKind::kCuttingTree, Distribution::kCorrelated, 400, 3,
+                  0.18, 5.67, 12},
+        IndexCase{IndexKind::kLineQuadtree, Distribution::kAnticorrelated, 150,
+                  4, 0.18, 5.67, 13},
+        IndexCase{IndexKind::kCuttingTree, Distribution::kAnticorrelated, 150,
+                  4, 0.18, 5.67, 14}));
+
+class IndexRandomQueries : public ::testing::TestWithParam<int> {};
+
+TEST_P(IndexRandomQueries, ManyRandomRangesMatchBaseline) {
+  Rng rng(1000 + GetParam());
+  const size_t d = 2 + rng.NextIndex(3);
+  PointSet ps = GenerateSynthetic(Distribution::kIndependent, 200, d, &rng);
+  for (IndexKind kind : {IndexKind::kLineQuadtree, IndexKind::kCuttingTree}) {
+    IndexBuildOptions options;
+    options.kind = kind;
+    auto index = *EclipseIndex::Build(ps, options);
+    for (int q = 0; q < 10; ++q) {
+      std::vector<RatioRange> ranges;
+      for (size_t j = 0; j + 1 < d; ++j) {
+        const double lo = rng.Uniform(0.0, 3.0);
+        ranges.push_back(RatioRange{lo, lo + rng.Uniform(0.0, 5.0)});
+      }
+      auto box = *RatioBox::Make(ranges);
+      EXPECT_EQ(*index.Query(box, nullptr), *EclipseBaseline(ps, box))
+          << "d=" << d << " kind=" << IndexKindName(kind) << " "
+          << box.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexRandomQueries, ::testing::Range(0, 12));
+
+TEST(EclipseIndexAdversarialTest, BothKindsStayExact) {
+  Rng rng(71);
+  PointSet ps = GenerateAdversarialDual(48, 3, &rng);
+  IndexBuildOptions domain_opts;
+  // Adversarial coordinates are large; the anchor sits at ratio 1.
+  domain_opts.domain = {RatioRange{0.01, 10.0}, RatioRange{0.01, 10.0}};
+  for (IndexKind kind : {IndexKind::kLineQuadtree, IndexKind::kCuttingTree}) {
+    IndexBuildOptions options = domain_opts;
+    options.kind = kind;
+    auto index = *EclipseIndex::Build(ps, options);
+    auto box = *RatioBox::Uniform(2, 0.5, 2.0);
+    EXPECT_EQ(*index.Query(box, nullptr), *EclipseBaseline(ps, box))
+        << IndexKindName(kind);
+  }
+}
+
+TEST(EclipseIndexAdversarialTest, CuttingAvoidsQuadtreeBlowup) {
+  // On the clustered-intersection construction the quadtree descends deep
+  // and duplicates entries; the cutting tree's no-progress rule keeps it
+  // flat. Both remain exact (checked above); here we check the structural
+  // difference that drives the Figure 13/14 worst-case gap.
+  Rng rng(73);
+  PointSet ps = GenerateAdversarialDual(64, 3, &rng);
+  IndexBuildOptions base;
+  base.domain = {RatioRange{0.01, 10.0}, RatioRange{0.01, 10.0}};
+
+  IndexBuildOptions quad = base;
+  quad.kind = IndexKind::kLineQuadtree;
+  auto quad_index = *EclipseIndex::Build(ps, quad);
+
+  IndexBuildOptions cutting = base;
+  cutting.kind = IndexKind::kCuttingTree;
+  auto cutting_index = *EclipseIndex::Build(ps, cutting);
+
+  EXPECT_GT(quad_index.intersection_index()->MaxDepth(),
+            cutting_index.intersection_index()->MaxDepth());
+  EXPECT_GT(quad_index.intersection_index()->NodeCount(),
+            cutting_index.intersection_index()->NodeCount());
+  // The duplication budget bounds quadtree storage.
+  EXPECT_LE(quad_index.intersection_index()->StoredEntryCount(),
+            17 * quad_index.pair_count() + 4096);
+}
+
+
+TEST(EclipseIndexTest, QueryBatchMatchesIndividualQueries) {
+  Rng rng(37);
+  PointSet ps = GenerateSynthetic(Distribution::kAnticorrelated, 800, 3, &rng);
+  auto index = *EclipseIndex::Build(ps, {});
+  std::vector<RatioBox> boxes;
+  for (int q = 0; q < 24; ++q) {
+    const double lo = rng.Uniform(0.05, 2.0);
+    boxes.push_back(*RatioBox::Uniform(2, lo, lo + rng.Uniform(0.1, 4.0)));
+  }
+  for (size_t threads : {1u, 2u, 5u, 0u}) {
+    auto batch = index.QueryBatch(boxes, threads);
+    ASSERT_TRUE(batch.ok()) << batch.status();
+    ASSERT_EQ(batch->size(), boxes.size());
+    for (size_t q = 0; q < boxes.size(); ++q) {
+      EXPECT_EQ((*batch)[q], *index.Query(boxes[q], nullptr))
+          << "threads=" << threads << " q=" << q;
+    }
+  }
+}
+
+TEST(EclipseIndexTest, QueryBatchValidatesUpFront) {
+  PointSet hotels = Hotels();
+  auto index = *EclipseIndex::Build(hotels, {});
+  std::vector<RatioBox> boxes = {*RatioBox::Uniform(1, 0.5, 2.0),
+                                 *RatioBox::Uniform(1, 0.5, 1000.0)};
+  auto batch = index.QueryBatch(boxes, 2);
+  ASSERT_FALSE(batch.ok());
+  EXPECT_TRUE(batch.status().IsOutOfRange());
+  EXPECT_NE(batch.status().message().find("query 1"), std::string::npos);
+}
+
+TEST(EclipseIndexTest, QueryBatchEmpty) {
+  PointSet hotels = Hotels();
+  auto index = *EclipseIndex::Build(hotels, {});
+  auto batch = index.QueryBatch({}, 4);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(batch->empty());
+}
+
+}  // namespace
+}  // namespace eclipse

@@ -1,0 +1,298 @@
+// Tests for the extension features: Lp-norm scoring via PowerTransform
+// (paper footnote 2), skyline layers, the clustered generator, the parallel
+// baseline, and index persistence.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <numeric>
+#include <fstream>
+#include <set>
+
+#include "common/random.h"
+#include "core/eclipse.h"
+#include "core/eclipse_index.h"
+#include "core/index_io.h"
+#include "dataset/generators.h"
+#include "dataset/transforms.h"
+#include "skyline/layers.h"
+#include "skyline/skyline.h"
+
+namespace eclipse {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lp norms (paper footnote 2)
+// ---------------------------------------------------------------------------
+
+// Brute-force eclipse under the weighted Lp score sum_j w[j] * x[j]^p,
+// checked at the box corners (Theorem 2 applies unchanged because the
+// transformed coordinates are fixed per point).
+std::vector<PointId> NaiveLpEclipse(const PointSet& points,
+                                    const RatioBox& box, double p) {
+  auto corners = box.CornerWeightVectors();
+  auto score = [&](PointId i, const Point& w) {
+    double acc = 0.0;
+    for (size_t j = 0; j < points.dims(); ++j) {
+      acc += w[j] * std::pow(points.at(i, j), p);
+    }
+    return acc;
+  };
+  std::vector<PointId> out;
+  for (PointId i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (PointId j = 0; j < points.size() && !dominated; ++j) {
+      if (i == j) continue;
+      bool le = true;
+      bool strict = false;
+      for (const Point& w : corners) {
+        const double sj = score(j, w);
+        const double si = score(i, w);
+        if (sj > si) {
+          le = false;
+          break;
+        }
+        if (sj < si) strict = true;
+      }
+      dominated = le && strict;
+    }
+    if (!dominated) out.push_back(i);
+  }
+  return out;
+}
+
+TEST(PowerTransformTest, ValuesAndValidation) {
+  auto ps = *PointSet::FromPoints({{2, 3}, {0, 1}});
+  auto squared = *PowerTransform(ps, 2.0);
+  EXPECT_EQ(squared.at(0, 0), 4.0);
+  EXPECT_EQ(squared.at(0, 1), 9.0);
+  EXPECT_EQ(squared.at(1, 0), 0.0);
+  EXPECT_FALSE(PowerTransform(ps, 0.0).ok());
+  EXPECT_FALSE(PowerTransform(ps, -1.0).ok());
+  auto neg = *PointSet::FromPoints({{-1, 2}});
+  EXPECT_FALSE(PowerTransform(neg, 2.0).ok());
+}
+
+TEST(PowerTransformTest, LpEclipseEqualsLinearEclipseOfTransformed) {
+  // Footnote 2: eclipse under weighted Lp equals eclipse of x -> x^p under
+  // the linear score. Verified for p = 2 and p = 3 against brute force.
+  Rng rng(81);
+  for (double p : {2.0, 3.0}) {
+    for (int trial = 0; trial < 10; ++trial) {
+      PointSet ps = GenerateSynthetic(Distribution::kIndependent, 120, 3,
+                                      &rng);
+      auto box = *RatioBox::Uniform(2, 0.36, 2.75);
+      auto transformed = *PowerTransform(ps, p);
+      EXPECT_EQ(*EclipseCornerSkyline(transformed, box),
+                NaiveLpEclipse(ps, box, p))
+          << "p=" << p;
+    }
+  }
+}
+
+TEST(PowerTransformTest, PreservesSkyline) {
+  // x -> x^p is strictly monotone on nonnegatives, so the skyline ids are
+  // unchanged.
+  Rng rng(82);
+  PointSet ps = GenerateSynthetic(Distribution::kAnticorrelated, 300, 3, &rng);
+  auto transformed = *PowerTransform(ps, 2.0);
+  EXPECT_EQ(*ComputeSkyline(transformed), *ComputeSkyline(ps));
+}
+
+// ---------------------------------------------------------------------------
+// Skyline layers
+// ---------------------------------------------------------------------------
+
+TEST(SkylineLayersTest, PartitionProperties) {
+  Rng rng(83);
+  PointSet ps = GenerateSynthetic(Distribution::kIndependent, 400, 3, &rng);
+  auto layers = *SkylineLayers(ps);
+  // Disjoint union covering all points.
+  std::set<PointId> seen;
+  size_t total = 0;
+  for (const auto& layer : layers) {
+    EXPECT_FALSE(layer.empty());
+    for (PointId id : layer) {
+      EXPECT_TRUE(seen.insert(id).second) << "duplicate id " << id;
+    }
+    total += layer.size();
+  }
+  EXPECT_EQ(total, ps.size());
+  // First layer is the skyline.
+  EXPECT_EQ(layers[0], *ComputeSkyline(ps));
+}
+
+TEST(SkylineLayersTest, EachLayerIsSkylineOfRemainder) {
+  Rng rng(84);
+  PointSet ps = GenerateSynthetic(Distribution::kAnticorrelated, 200, 2, &rng);
+  auto layers = *SkylineLayers(ps);
+  std::vector<PointId> remaining(ps.size());
+  std::iota(remaining.begin(), remaining.end(), 0);
+  for (const auto& layer : layers) {
+    PointSet subset = ps.Select(remaining);
+    auto sub_skyline = *ComputeSkyline(subset);
+    std::vector<PointId> mapped;
+    for (PointId local : sub_skyline) mapped.push_back(remaining[local]);
+    EXPECT_EQ(mapped, layer);
+    std::vector<PointId> next;
+    std::set_difference(remaining.begin(), remaining.end(), layer.begin(),
+                        layer.end(), std::back_inserter(next));
+    remaining = std::move(next);
+  }
+  EXPECT_TRUE(remaining.empty());
+}
+
+TEST(SkylineLayersTest, ChainAndAntichain) {
+  auto chain = *PointSet::FromPoints({{1, 1}, {2, 2}, {3, 3}});
+  EXPECT_EQ(SkylineLayers(chain)->size(), 3u);
+  auto antichain = *PointSet::FromPoints({{1, 3}, {2, 2}, {3, 1}});
+  EXPECT_EQ(SkylineLayers(antichain)->size(), 1u);
+}
+
+TEST(SkylineLayersTest, MaxLayersTruncates) {
+  auto chain = *PointSet::FromPoints({{1, 1}, {2, 2}, {3, 3}, {4, 4}});
+  auto layers = *SkylineLayers(chain, 2);
+  EXPECT_EQ(layers.size(), 2u);
+}
+
+TEST(SkylineLayersTest, EmptyInput) {
+  PointSet empty(2);
+  EXPECT_TRUE(SkylineLayers(empty)->empty());
+}
+
+TEST(LayeredTopKTest, TakesLayersInOrder) {
+  auto ps = *PointSet::FromPoints({{3, 3}, {1, 1}, {2, 2}, {1, 4}});
+  // Layers: {1} ((1,1) dominates everything), then {2, 3} (incomparable),
+  // then {0}.
+  auto top3 = *LayeredTopK(ps, 3);
+  EXPECT_EQ(top3, (std::vector<PointId>{1, 2, 3}));
+  EXPECT_EQ(LayeredTopK(ps, 0)->size(), 0u);
+  EXPECT_EQ(LayeredTopK(ps, 100)->size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Clustered generator
+// ---------------------------------------------------------------------------
+
+TEST(ClusteredGeneratorTest, BoundsAndDeterminism) {
+  Rng a(91), b(91);
+  PointSet p1 = GenerateSynthetic(Distribution::kClustered, 500, 3, &a);
+  PointSet p2 = GenerateSynthetic(Distribution::kClustered, 500, 3, &b);
+  EXPECT_EQ(p1.data(), p2.data());
+  for (size_t i = 0; i < p1.size(); ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_GE(p1.at(i, j), 0.0);
+      EXPECT_LE(p1.at(i, j), 1.0);
+    }
+  }
+  EXPECT_STREQ(DistributionName(Distribution::kClustered), "CLUS");
+}
+
+TEST(ClusteredGeneratorTest, PointsConcentrateNearFewCenters) {
+  Rng rng(92);
+  PointSet ps = GenerateSynthetic(Distribution::kClustered, 2000, 2, &rng);
+  // Round to a coarse grid; clustered data occupies far fewer cells than
+  // uniform data would.
+  std::set<std::pair<int, int>> cells;
+  for (size_t i = 0; i < ps.size(); ++i) {
+    cells.insert({static_cast<int>(ps.at(i, 0) * 10),
+                  static_cast<int>(ps.at(i, 1) * 10)});
+  }
+  EXPECT_LT(cells.size(), 40u);  // uniform would fill ~100 cells
+}
+
+// ---------------------------------------------------------------------------
+// Parallel baseline
+// ---------------------------------------------------------------------------
+
+TEST(ParallelBaselineTest, MatchesSerialAcrossThreadCounts) {
+  Rng rng(93);
+  for (size_t d : {2u, 4u}) {
+    PointSet ps = GenerateSynthetic(Distribution::kAnticorrelated, 500, d,
+                                    &rng);
+    auto box = *RatioBox::Uniform(d - 1, 0.36, 2.75);
+    auto serial = *EclipseBaseline(ps, box);
+    for (size_t threads : {1u, 2u, 3u, 8u}) {
+      EXPECT_EQ(*EclipseBaselineParallel(ps, box, threads), serial)
+          << "threads=" << threads << " d=" << d;
+    }
+    EXPECT_EQ(*EclipseBaselineParallel(ps, box, 0), serial);  // hardware
+  }
+}
+
+TEST(ParallelBaselineTest, EdgeCases) {
+  PointSet empty(2);
+  auto box = *RatioBox::Uniform(1, 0.5, 2.0);
+  EXPECT_TRUE(EclipseBaselineParallel(empty, box, 4)->empty());
+  auto one = *PointSet::FromPoints({{1, 1}});
+  EXPECT_EQ(*EclipseBaselineParallel(one, box, 4),
+            (std::vector<PointId>{0}));
+}
+
+// ---------------------------------------------------------------------------
+// Index persistence
+// ---------------------------------------------------------------------------
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(IndexIoTest, SaveLoadRoundTripQueriesIdentically) {
+  Rng rng(94);
+  for (size_t d : {2u, 3u}) {
+    PointSet ps = GenerateSynthetic(Distribution::kIndependent, 400, d, &rng);
+    IndexBuildOptions options;
+    options.kind = d == 2 ? IndexKind::kAuto : IndexKind::kCuttingTree;
+    auto index = *EclipseIndex::Build(ps, options);
+    const std::string path = TempPath("eclipse_index_test.idx");
+    ASSERT_TRUE(SaveEclipseIndex(index, path).ok());
+    auto loaded = LoadEclipseIndex(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+    std::remove(path.c_str());
+
+    EXPECT_EQ(loaded->indexed_count(), index.indexed_count());
+    EXPECT_EQ(loaded->pair_count(), index.pair_count());
+    EXPECT_EQ(loaded->candidate_ids(), index.candidate_ids());
+    for (int q = 0; q < 15; ++q) {
+      const double lo = rng.Uniform(0.05, 2.0);
+      auto box = *RatioBox::Uniform(d - 1, lo, lo + rng.Uniform(0.1, 4.0));
+      EXPECT_EQ(*loaded->Query(box, nullptr), *index.Query(box, nullptr))
+          << "d=" << d;
+    }
+  }
+}
+
+TEST(IndexIoTest, LoadRejectsGarbage) {
+  const std::string path = TempPath("eclipse_index_garbage.idx");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not an index file at all";
+  }
+  EXPECT_TRUE(LoadEclipseIndex(path).status().IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoTest, LoadRejectsTruncation) {
+  Rng rng(95);
+  PointSet ps = GenerateSynthetic(Distribution::kIndependent, 100, 2, &rng);
+  auto index = *EclipseIndex::Build(ps, {});
+  const std::string path = TempPath("eclipse_index_trunc.idx");
+  ASSERT_TRUE(SaveEclipseIndex(index, path).ok());
+  // Truncate the file to half and expect a clean error.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  EXPECT_FALSE(LoadEclipseIndex(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoTest, MissingFileIsNotFound) {
+  EXPECT_TRUE(LoadEclipseIndex("/nonexistent/index.idx")
+                  .status()
+                  .IsNotFound());
+}
+
+}  // namespace
+}  // namespace eclipse

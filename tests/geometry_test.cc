@@ -1,0 +1,259 @@
+// Unit tests for src/geometry: PointSet, Box, LinearForm, Line2D, duality.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "geometry/box.h"
+#include "geometry/dual.h"
+#include "geometry/line2d.h"
+#include "geometry/linear_form.h"
+#include "geometry/point.h"
+
+namespace eclipse {
+namespace {
+
+TEST(PointSetTest, FromPointsBasics) {
+  auto ps = PointSet::FromPoints({{1, 2}, {3, 4}, {5, 6}});
+  ASSERT_TRUE(ps.ok());
+  EXPECT_EQ(ps->size(), 3u);
+  EXPECT_EQ(ps->dims(), 2u);
+  EXPECT_EQ(ps->at(1, 0), 3);
+  EXPECT_EQ(ps->at(2, 1), 6);
+  auto row = (*ps)[0];
+  EXPECT_EQ(row[0], 1);
+  EXPECT_EQ(row[1], 2);
+}
+
+TEST(PointSetTest, FromPointsRejectsRaggedInput) {
+  auto ps = PointSet::FromPoints({{1, 2}, {3}});
+  EXPECT_FALSE(ps.ok());
+  EXPECT_TRUE(ps.status().IsInvalidArgument());
+}
+
+TEST(PointSetTest, FromPointsRejectsEmpty) {
+  EXPECT_FALSE(PointSet::FromPoints({}).ok());
+}
+
+TEST(PointSetTest, FromFlatChecksMultiple) {
+  EXPECT_TRUE(PointSet::FromFlat(3, {1, 2, 3, 4, 5, 6}).ok());
+  EXPECT_FALSE(PointSet::FromFlat(4, {1, 2, 3, 4, 5, 6}).ok());
+  EXPECT_FALSE(PointSet::FromFlat(0, {}).ok());
+}
+
+TEST(PointSetTest, AppendValidatesDims) {
+  PointSet ps(2);
+  EXPECT_TRUE(ps.Append(Point{1, 2}).ok());
+  EXPECT_FALSE(ps.Append(Point{1, 2, 3}).ok());
+  EXPECT_EQ(ps.size(), 1u);
+}
+
+TEST(PointSetTest, SelectPreservesOrder) {
+  auto ps = *PointSet::FromPoints({{0, 0}, {1, 1}, {2, 2}, {3, 3}});
+  std::vector<PointId> ids{3, 1};
+  PointSet sel = ps.Select(ids);
+  EXPECT_EQ(sel.size(), 2u);
+  EXPECT_EQ(sel.at(0, 0), 3);
+  EXPECT_EQ(sel.at(1, 0), 1);
+}
+
+TEST(PointSetTest, ToPointCopies) {
+  auto ps = *PointSet::FromPoints({{7, 8, 9}});
+  Point p = ps.ToPoint(0);
+  EXPECT_EQ(p, (Point{7, 8, 9}));
+}
+
+TEST(PointSetTest, PointsEqualExact) {
+  EXPECT_TRUE(PointsEqual(Point{1, 2}, Point{1, 2}));
+  EXPECT_FALSE(PointsEqual(Point{1, 2}, Point{1, 3}));
+  EXPECT_FALSE(PointsEqual(Point{1, 2}, Point{1, 2, 3}));
+}
+
+TEST(IntervalTest, Basics) {
+  Interval i{1.0, 3.0};
+  EXPECT_TRUE(i.valid());
+  EXPECT_FALSE(i.degenerate());
+  EXPECT_EQ(i.length(), 2.0);
+  EXPECT_EQ(i.center(), 2.0);
+  EXPECT_TRUE(i.Contains(1.0));
+  EXPECT_TRUE(i.Contains(3.0));
+  EXPECT_FALSE(i.Contains(3.0001));
+  EXPECT_TRUE((Interval{2.0, 2.0}).degenerate());
+  EXPECT_FALSE((Interval{3.0, 1.0}).valid());
+}
+
+TEST(IntervalTest, IntersectsIncludesTouching) {
+  EXPECT_TRUE((Interval{0, 1}).Intersects(Interval{1, 2}));
+  EXPECT_FALSE((Interval{0, 1}).Intersects(Interval{1.1, 2}));
+  EXPECT_TRUE((Interval{0, 5}).Intersects(Interval{2, 3}));
+}
+
+TEST(BoxTest, CubeAndAccessors) {
+  Box b = Box::Cube(3, -1.0, 2.0);
+  EXPECT_EQ(b.dims(), 3u);
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(b.Center(), (Point{0.5, 0.5, 0.5}));
+  EXPECT_EQ(b.LowCorner(), (Point{-1, -1, -1}));
+  EXPECT_EQ(b.HighCorner(), (Point{2, 2, 2}));
+}
+
+TEST(BoxTest, ContainsPointAndBox) {
+  Box b = Box::Cube(2, 0.0, 1.0);
+  EXPECT_TRUE(b.Contains(Point{0.5, 1.0}));
+  EXPECT_FALSE(b.Contains(Point{0.5, 1.5}));
+  EXPECT_TRUE(b.Contains(Box::Cube(2, 0.25, 0.75)));
+  EXPECT_FALSE(b.Contains(Box::Cube(2, 0.5, 1.5)));
+}
+
+TEST(BoxTest, IntersectionAndIntersects) {
+  Box a = Box::Cube(2, 0.0, 2.0);
+  Box b = Box::Cube(2, 1.0, 3.0);
+  EXPECT_TRUE(a.Intersects(b));
+  Box c = a.Intersection(b);
+  EXPECT_EQ(c.side(0).lo, 1.0);
+  EXPECT_EQ(c.side(0).hi, 2.0);
+  Box far = Box::Cube(2, 5.0, 6.0);
+  EXPECT_FALSE(a.Intersects(far));
+  EXPECT_FALSE(a.Intersection(far).valid());
+}
+
+TEST(BoxTest, DegenerateDetection) {
+  EXPECT_TRUE(Box::Cube(2, 1.0, 1.0).degenerate());
+  EXPECT_FALSE(Box::Cube(2, 1.0, 2.0).degenerate());
+  Box mixed(std::vector<Interval>{{0, 0}, {0, 1}});
+  EXPECT_FALSE(mixed.degenerate());
+}
+
+TEST(LinearFormTest, Evaluate) {
+  LinearForm f({2.0, -1.0}, 3.0);  // 3 + 2x - y
+  EXPECT_EQ(f.Evaluate(Point{1.0, 2.0}), 3.0);
+  EXPECT_EQ(f.Evaluate(Point{0.0, 0.0}), 3.0);
+  EXPECT_EQ(f.Evaluate(Point{-1.0, 4.0}), -3.0);
+}
+
+TEST(LinearFormTest, RangeOverBoxExactCorners) {
+  LinearForm f({1.0, -2.0}, 0.0);
+  Box b(std::vector<Interval>{{0, 1}, {0, 1}});
+  Interval r = f.RangeOverBox(b);
+  EXPECT_EQ(r.lo, -2.0);  // x=0, y=1
+  EXPECT_EQ(r.hi, 1.0);   // x=1, y=0
+}
+
+TEST(LinearFormTest, RangeOverBoxMatchesCornerEnumeration) {
+  Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t k = 1 + rng.NextIndex(4);
+    std::vector<double> coeffs(k);
+    for (auto& c : coeffs) c = rng.Uniform(-5, 5);
+    LinearForm f(coeffs, rng.Uniform(-5, 5));
+    std::vector<Interval> sides(k);
+    for (auto& s : sides) {
+      double a = rng.Uniform(-3, 3);
+      double b = rng.Uniform(-3, 3);
+      s = Interval{std::min(a, b), std::max(a, b)};
+    }
+    Box box(sides);
+    Interval range = f.RangeOverBox(box);
+    // Enumerate corners.
+    double lo = 1e300;
+    double hi = -1e300;
+    for (size_t mask = 0; mask < (size_t{1} << k); ++mask) {
+      Point corner(k);
+      for (size_t j = 0; j < k; ++j) {
+        corner[j] = (mask >> j) & 1 ? box.side(j).hi : box.side(j).lo;
+      }
+      const double v = f.Evaluate(corner);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    EXPECT_NEAR(range.lo, lo, 1e-12);
+    EXPECT_NEAR(range.hi, hi, 1e-12);
+  }
+}
+
+TEST(LinearFormTest, CrossesInteriorStrictness) {
+  Box b(std::vector<Interval>{{0, 1}});
+  // Zero set at x = 0.5: crosses.
+  EXPECT_TRUE(LinearForm({1.0}, -0.5).CrossesInteriorOf(b));
+  // Zero set at x = 1 (boundary): touches but does not cross.
+  EXPECT_FALSE(LinearForm({1.0}, -1.0).CrossesInteriorOf(b));
+  // Zero set at x = 2: outside.
+  EXPECT_FALSE(LinearForm({1.0}, -2.0).CrossesInteriorOf(b));
+  // Identically zero: no strict sign change.
+  EXPECT_FALSE(LinearForm({0.0}, 0.0).CrossesInteriorOf(b));
+  EXPECT_TRUE(LinearForm({0.0}, 0.0).IsZeroOn(b));
+}
+
+TEST(LinearFormTest, MinusSubtracts) {
+  LinearForm a({1.0, 2.0}, 3.0);
+  LinearForm b({0.5, -1.0}, 1.0);
+  LinearForm d = a.Minus(b);
+  EXPECT_EQ(d.coeffs()[0], 0.5);
+  EXPECT_EQ(d.coeffs()[1], 3.0);
+  EXPECT_EQ(d.constant(), 2.0);
+}
+
+TEST(Line2DTest, YAtAndIntersection) {
+  Line2D a{1.0, -6.0};   // dual of p1(1,6)
+  Line2D b{4.0, -4.0};   // dual of p2(4,4)
+  EXPECT_EQ(a.YAt(0.0), -6.0);
+  auto x = IntersectionX(a, b);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR(*x, -2.0 / 3.0, 1e-15);  // paper Example 4
+  EXPECT_FALSE(IntersectionX(a, Line2D{1.0, 0.0}).has_value());
+}
+
+TEST(Line2DTest, PaperExample4AllIntersections) {
+  // p1(1,6), p2(4,4), p3(6,1) -> p1p2[x] = -2/3, p1p3[x] = -1,
+  // p2p3[x] = -1.5 (paper Section IV-A).
+  Line2D p1 = DualLine(Point{1, 6});
+  Line2D p2 = DualLine(Point{4, 4});
+  Line2D p3 = DualLine(Point{6, 1});
+  EXPECT_NEAR(*IntersectionX(p1, p2), -2.0 / 3.0, 1e-15);
+  EXPECT_NEAR(*IntersectionX(p1, p3), -1.0, 1e-15);
+  EXPECT_NEAR(*IntersectionX(p2, p3), -1.5, 1e-15);
+}
+
+TEST(OrientationTest, Signs) {
+  EXPECT_EQ(Orientation2D(0, 0, 1, 0, 1, 1), 1);   // left turn
+  EXPECT_EQ(Orientation2D(0, 0, 1, 0, 1, -1), -1); // right turn
+  EXPECT_EQ(Orientation2D(0, 0, 1, 1, 2, 2), 0);   // collinear
+}
+
+TEST(DualTest, PaperLineMapping) {
+  // Point p1(1, 6) -> line y = x - 6 (paper Figure 6).
+  Line2D l = DualLine(Point{1, 6});
+  EXPECT_EQ(l.slope, 1.0);
+  EXPECT_EQ(l.intercept, -6.0);
+}
+
+TEST(DualTest, HyperplaneRoundTrip) {
+  Point p{2.0, -3.0, 5.0, 7.0};
+  LinearForm h = DualHyperplane(p);
+  EXPECT_EQ(h.dims(), 3u);
+  EXPECT_EQ(h.coeffs()[0], 2.0);
+  EXPECT_EQ(h.coeffs()[2], 5.0);
+  EXPECT_EQ(h.constant(), -7.0);
+  EXPECT_EQ(PrimalPoint(h), p);
+}
+
+TEST(DualTest, HeightEqualsNegatedScore) {
+  // At x = -r, the dual height equals -S(p)_r with weights (r..., 1).
+  Rng rng(42);
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t d = 2 + rng.NextIndex(4);
+    Point p(d);
+    for (auto& v : p) v = rng.Uniform(0, 10);
+    LinearForm h = DualHyperplane(p);
+    Point x(d - 1);
+    double score = p[d - 1];
+    for (size_t j = 0; j + 1 < d; ++j) {
+      const double r = rng.Uniform(0, 5);
+      x[j] = -r;
+      score += r * p[j];
+    }
+    EXPECT_NEAR(h.Evaluate(x), -score, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace eclipse

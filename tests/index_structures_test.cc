@@ -1,0 +1,258 @@
+// Structural tests for the Intersection Index implementations: candidate
+// completeness (never miss a true crossing), build invariants, and the
+// degradation behavior on adversarial inputs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "common/random.h"
+#include "dataset/adversarial.h"
+#include "dataset/generators.h"
+#include "dual/dual_model.h"
+#include "dual/intersections.h"
+#include "index/cutting_tree.h"
+#include "index/index2d.h"
+#include "index/line_quadtree.h"
+#include "skyline/skyline.h"
+
+namespace eclipse {
+namespace {
+
+struct Fixture {
+  PointSet points{2};
+  DualModel model;
+  PairTable table;
+};
+
+// Builds the dual model + pair table of a random dataset's skyline.
+Fixture MakeFixture(Distribution dist, size_t n, size_t d, uint64_t seed,
+                    const Box& domain) {
+  Fixture f;
+  Rng rng(seed);
+  f.points = GenerateSynthetic(dist, n, d, &rng);
+  auto skyline = *ComputeSkyline(f.points);
+  f.model = *DualModel::Build(f.points, skyline);
+  f.table = *PairTable::Build(f.model, domain, 10'000'000);
+  return f;
+}
+
+Box DefaultDomain(size_t k) { return Box::Cube(k, -100.0, 0.0); }
+
+// True crossings by exhaustive scan.
+std::set<uint32_t> TrueCrossings(const PairTable& table, const Box& query) {
+  std::set<uint32_t> out;
+  for (size_t p = 0; p < table.size(); ++p) {
+    if (table.CrossesInterior(p, query)) out.insert(static_cast<uint32_t>(p));
+  }
+  return out;
+}
+
+template <typename Index>
+void ExpectCandidatesComplete(const Index& index, const PairTable& table,
+                              const Box& query) {
+  std::vector<uint32_t> candidates;
+  index.CollectCandidates(query, &candidates, nullptr);
+  std::set<uint32_t> candidate_set(candidates.begin(), candidates.end());
+  for (uint32_t pair : TrueCrossings(table, query)) {
+    EXPECT_TRUE(candidate_set.count(pair))
+        << index.Name() << " missed pair " << pair;
+  }
+}
+
+TEST(LineQuadtreeTest, CandidateCompletenessRandom3D) {
+  Box domain = DefaultDomain(2);
+  Fixture f = MakeFixture(Distribution::kIndependent, 400, 3, 1, domain);
+  auto tree = *LineQuadtree::Build(f.table, domain, {});
+  Rng rng(2);
+  for (int q = 0; q < 50; ++q) {
+    double ax = rng.Uniform(-20, 0), bx = rng.Uniform(-20, 0);
+    double ay = rng.Uniform(-20, 0), by = rng.Uniform(-20, 0);
+    Box query(std::vector<Interval>{{std::min(ax, bx), std::max(ax, bx)},
+                                    {std::min(ay, by), std::max(ay, by)}});
+    ExpectCandidatesComplete(tree, f.table, query);
+  }
+}
+
+TEST(CuttingTreeTest, CandidateCompletenessRandom3D) {
+  Box domain = DefaultDomain(2);
+  Fixture f = MakeFixture(Distribution::kIndependent, 400, 3, 3, domain);
+  auto tree = *CuttingTree::Build(f.table, domain, {});
+  Rng rng(4);
+  for (int q = 0; q < 50; ++q) {
+    double ax = rng.Uniform(-20, 0), bx = rng.Uniform(-20, 0);
+    double ay = rng.Uniform(-20, 0), by = rng.Uniform(-20, 0);
+    Box query(std::vector<Interval>{{std::min(ax, bx), std::max(ax, bx)},
+                                    {std::min(ay, by), std::max(ay, by)}});
+    ExpectCandidatesComplete(tree, f.table, query);
+  }
+}
+
+TEST(LineQuadtreeTest, CandidateCompleteness4D) {
+  Box domain = Box::Cube(3, -10.0, 0.0);
+  Fixture f = MakeFixture(Distribution::kIndependent, 150, 4, 5, domain);
+  auto tree = *LineQuadtree::Build(f.table, domain, {});
+  Rng rng(6);
+  for (int q = 0; q < 20; ++q) {
+    std::vector<Interval> sides;
+    for (int j = 0; j < 3; ++j) {
+      double a = rng.Uniform(-8, 0), b = rng.Uniform(-8, 0);
+      sides.push_back(Interval{std::min(a, b), std::max(a, b)});
+    }
+    Box query(sides);
+    ExpectCandidatesComplete(tree, f.table, query);
+  }
+}
+
+TEST(CuttingTreeTest, CandidateCompleteness4D) {
+  Box domain = Box::Cube(3, -10.0, 0.0);
+  Fixture f = MakeFixture(Distribution::kIndependent, 150, 4, 7, domain);
+  auto tree = *CuttingTree::Build(f.table, domain, {});
+  Rng rng(8);
+  for (int q = 0; q < 20; ++q) {
+    std::vector<Interval> sides;
+    for (int j = 0; j < 3; ++j) {
+      double a = rng.Uniform(-8, 0), b = rng.Uniform(-8, 0);
+      sides.push_back(Interval{std::min(a, b), std::max(a, b)});
+    }
+    Box query(sides);
+    ExpectCandidatesComplete(tree, f.table, query);
+  }
+}
+
+TEST(LineQuadtreeTest, BuildRejectsBadDomains) {
+  Box domain = DefaultDomain(2);
+  Fixture f = MakeFixture(Distribution::kIndependent, 50, 3, 9, domain);
+  EXPECT_FALSE(LineQuadtree::Build(f.table, Box::Cube(1, -1, 0), {}).ok());
+  EXPECT_FALSE(LineQuadtree::Build(f.table, Box::Cube(2, -1, -1), {}).ok());
+}
+
+TEST(CuttingTreeTest, BuildRejectsBadDomains) {
+  Box domain = DefaultDomain(2);
+  Fixture f = MakeFixture(Distribution::kIndependent, 50, 3, 10, domain);
+  EXPECT_FALSE(CuttingTree::Build(f.table, Box::Cube(1, -1, 0), {}).ok());
+  EXPECT_FALSE(CuttingTree::Build(f.table, Box::Cube(2, -1, -1), {}).ok());
+}
+
+TEST(LineQuadtreeTest, CapacityDrivesDepth) {
+  Box domain = DefaultDomain(2);
+  Fixture f = MakeFixture(Distribution::kIndependent, 500, 3, 11, domain);
+  LineQuadtreeOptions coarse;
+  coarse.capacity = 1024;
+  auto shallow = *LineQuadtree::Build(f.table, domain, coarse);
+  LineQuadtreeOptions fine;
+  fine.capacity = 8;
+  auto deep = *LineQuadtree::Build(f.table, domain, fine);
+  EXPECT_LT(shallow.MaxDepth(), deep.MaxDepth());
+  EXPECT_LT(shallow.NodeCount(), deep.NodeCount());
+}
+
+TEST(LineQuadtreeTest, DuplicationBudgetBoundsStorage) {
+  Rng rng(12);
+  PointSet ps = GenerateAdversarialDual(48, 3, &rng);
+  auto skyline = *ComputeSkyline(ps);
+  auto model = *DualModel::Build(ps, skyline);
+  Box domain = Box::Cube(2, -10.0, -0.01);
+  auto table = *PairTable::Build(model, domain, 10'000'000);
+  LineQuadtreeOptions options;
+  options.duplication_budget = 4.0;
+  auto tree = *LineQuadtree::Build(table, domain, options);
+  EXPECT_LE(tree.StoredEntryCount(),
+            static_cast<size_t>(4.0 * table.size()) + 4096 +
+                (size_t{1} << 2) * table.size());
+}
+
+TEST(CuttingTreeTest, NoProgressRuleOnAdversarialInput) {
+  // All intersections nearly coincide: the cutting tree must give up
+  // splitting instead of descending, staying a (nearly) flat structure.
+  Rng rng(13);
+  PointSet ps = GenerateAdversarialDual(64, 3, &rng);
+  auto skyline = *ComputeSkyline(ps);
+  auto model = *DualModel::Build(ps, skyline);
+  Box domain = Box::Cube(2, -10.0, -0.01);
+  auto table = *PairTable::Build(model, domain, 10'000'000);
+  auto cutting = *CuttingTree::Build(table, domain, {});
+  EXPECT_LE(cutting.MaxDepth(), 4u);
+  auto quad = *LineQuadtree::Build(table, domain, {});
+  EXPECT_GT(quad.MaxDepth(), cutting.MaxDepth());
+}
+
+TEST(CuttingTreeTest, BalancedOnSeparableInput) {
+  // Points (i, 5, c_i) with c_i on a convex decreasing chain: all skyline,
+  // and every pairwise dual intersection is a *vertical* line x1 = const at
+  // a spread position -- cuts along x1 duplicate almost nothing, so the
+  // cutting tree must refine deeply and stay balanced.
+  const size_t u = 64;
+  std::vector<Point> pts;
+  for (size_t i = 0; i < u; ++i) {
+    const double a = static_cast<double>(i);
+    const double c =
+        50.0 * static_cast<double>((u - i) * (u - i)) / double(u * u);
+    pts.push_back(Point{a, 5.0, c});
+  }
+  auto ps = *PointSet::FromPoints(pts);
+  ASSERT_EQ(ComputeSkyline(ps)->size(), u);
+  std::vector<PointId> ids(u);
+  std::iota(ids.begin(), ids.end(), 0);
+  auto model = *DualModel::Build(ps, ids);
+  Box domain = DefaultDomain(2);
+  auto table = *PairTable::Build(model, domain, 10'000'000);
+  ASSERT_GT(table.size(), 1000u);
+  auto tree = *CuttingTree::Build(table, domain, {});
+  EXPECT_GT(tree.NodeCount(), 15u);  // it refines on separable data
+  // Low duplication: the strict split rule is satisfiable here.
+  EXPECT_LE(tree.StoredEntryCount(), 4 * table.size());
+  // Depth stays logarithmic-ish in the pair count.
+  EXPECT_LE(tree.MaxDepth(),
+            4 * static_cast<size_t>(std::log2(double(table.size())) + 1));
+  // And candidate retrieval stays complete.
+  Rng rng(15);
+  for (int q = 0; q < 20; ++q) {
+    double ax = rng.Uniform(-60, 0), bx = rng.Uniform(-60, 0);
+    double ay = rng.Uniform(-60, 0), by = rng.Uniform(-60, 0);
+    Box query(std::vector<Interval>{{std::min(ax, bx), std::max(ax, bx)},
+                                    {std::min(ay, by), std::max(ay, by)}});
+    ExpectCandidatesComplete(tree, table, query);
+  }
+}
+
+TEST(Index2DTest, CandidatesExactOnRandomData) {
+  Box domain = Box(std::vector<Interval>{{-100.0, 0.0}});
+  Fixture f = MakeFixture(Distribution::kAnticorrelated, 300, 2, 15, domain);
+  auto index = *Index2D::Build(f.table);
+  Rng rng(16);
+  for (int q = 0; q < 40; ++q) {
+    double a = rng.Uniform(-10, 0), b = rng.Uniform(-10, 0);
+    Box query(std::vector<Interval>{{std::min(a, b), std::max(a, b)}});
+    std::vector<uint32_t> candidates;
+    index.CollectCandidates(query, &candidates, nullptr);
+    // 2D candidates must contain every interior crossing and nothing
+    // outside the closed range.
+    std::set<uint32_t> cs(candidates.begin(), candidates.end());
+    for (uint32_t pair : TrueCrossings(f.table, query)) {
+      EXPECT_TRUE(cs.count(pair));
+    }
+    for (uint32_t pair : candidates) {
+      const double x = f.table.IntersectionX(pair);
+      EXPECT_GE(x, query.side(0).lo);
+      EXPECT_LE(x, query.side(0).hi);
+    }
+  }
+}
+
+TEST(StatsTest, NodesVisitedTicked) {
+  Box domain = DefaultDomain(2);
+  Fixture f = MakeFixture(Distribution::kIndependent, 400, 3, 17, domain);
+  auto tree = *LineQuadtree::Build(f.table, domain, {});
+  Statistics stats;
+  std::vector<uint32_t> candidates;
+  tree.CollectCandidates(Box::Cube(2, -5, -1), &candidates, &stats);
+  EXPECT_GT(stats.Get(Ticker::kIndexNodesVisited), 0u);
+  EXPECT_EQ(stats.Get(Ticker::kCandidatePairs), candidates.size());
+}
+
+}  // namespace
+}  // namespace eclipse

@@ -1,0 +1,133 @@
+// End-to-end integration tests: full pipelines over the synthetic NBA
+// dataset, CSV persistence, and cross-algorithm agreement at moderate scale.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/random.h"
+#include "core/eclipse.h"
+#include "core/eclipse_index.h"
+#include "core/relationships.h"
+#include "core/suggest_range.h"
+#include "dataset/csv.h"
+#include "dataset/generators.h"
+#include "dataset/nba_synth.h"
+#include "dataset/transforms.h"
+#include "knn/rtree.h"
+#include "skyline/skyline.h"
+
+namespace eclipse {
+namespace {
+
+TEST(IntegrationTest, NbaPipelineEndToEnd) {
+  // Generate career totals, flip to min-space, query all operators.
+  PointSet totals = GenerateNbaCareerTotals(1000, 99);
+  PointSet data = MaxToMin(totals);
+  auto cols = *SelectColumns(data, {0, 1, 2});  // PTS, REB, AST
+
+  auto box = *RatioBox::Uniform(2, 0.36, 2.75);
+  auto base = *EclipseBaseline(cols, box);
+  EXPECT_EQ(*EclipseCornerSkyline(cols, box), base);
+
+  auto index = *EclipseIndex::Build(cols, {});
+  EXPECT_EQ(*index.Query(box, nullptr), base);
+
+  // Eclipse returns far fewer players than skyline on correlated data.
+  auto sky = *ComputeSkyline(cols);
+  EXPECT_LT(base.size(), sky.size());
+  EXPECT_GE(base.size(), 1u);
+  EXPECT_TRUE(std::includes(sky.begin(), sky.end(), base.begin(), base.end()));
+}
+
+TEST(IntegrationTest, NbaFiveDimensionalQueries) {
+  PointSet totals = GenerateNbaCareerTotals(600, 7);
+  PointSet data = MaxToMin(totals);
+  auto box = *RatioBox::Uniform(4, 0.84, 1.19);
+  auto base = *EclipseBaseline(data, box);
+  EXPECT_EQ(*EclipseCornerSkyline(data, box), base);
+  IndexBuildOptions quad;
+  quad.kind = IndexKind::kLineQuadtree;
+  auto index = *EclipseIndex::Build(data, quad);
+  EXPECT_EQ(*index.Query(box, nullptr), base);
+}
+
+TEST(IntegrationTest, CsvRoundTripPreservesQueries) {
+  Rng rng(101);
+  PointSet ps = GenerateSynthetic(Distribution::kAnticorrelated, 300, 3, &rng);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "eclipse_integration.csv")
+          .string();
+  ASSERT_TRUE(WriteCsv(path, ps, {"a", "b", "c"}).ok());
+  auto loaded = *ReadCsv(path);
+  std::remove(path.c_str());
+  auto box = *RatioBox::Uniform(2, 0.5, 2.0);
+  EXPECT_EQ(*EclipseCornerSkyline(loaded.points, box),
+            *EclipseCornerSkyline(ps, box));
+}
+
+TEST(IntegrationTest, IndexAndOneShotAgreeAtScale) {
+  Rng rng(103);
+  PointSet ps =
+      GenerateSynthetic(Distribution::kAnticorrelated, 5000, 3, &rng);
+  auto index = *EclipseIndex::Build(ps, {});
+  for (const auto& [lo, hi] : std::vector<std::pair<double, double>>{
+           {0.18, 5.67}, {0.36, 2.75}, {0.58, 1.73}, {0.84, 1.19}}) {
+    auto box = *RatioBox::Uniform(2, lo, hi);
+    auto fast = *index.Query(box, nullptr);
+    EXPECT_EQ(fast, *EclipseCornerSkyline(ps, box)) << lo << "," << hi;
+  }
+}
+
+TEST(IntegrationTest, TopKAndEclipseComplementEachOther) {
+  // The paper's motivating contrast: top-k narrows depth at fixed weights,
+  // eclipse widens breadth across a weight range. The top-1 at the center
+  // weights must be an eclipse answer.
+  Rng rng(107);
+  PointSet ps = GenerateSynthetic(Distribution::kIndependent, 800, 2, &rng);
+  auto rtree = *RTree::Build(ps, {});
+  auto box = *RatioBox::Uniform(1, 0.5, 2.0);
+  auto ecl = *EclipseCornerSkyline(ps, box);
+  auto top = *rtree.KNearest(Point{1.0, 1.0}, 1);  // center ratio 1
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_TRUE(std::binary_search(ecl.begin(), ecl.end(), top[0].id));
+}
+
+TEST(IntegrationTest, ElicitationThenIndexedQuery) {
+  // SuggestRange feeds a box that the prebuilt index can answer, as long as
+  // the suggested margin stays within the index domain.
+  Rng rng(109);
+  PointSet ps = GenerateSynthetic(Distribution::kIndependent, 1500, 3, &rng);
+  SuggestRangeOptions opts;
+  opts.max_gamma = 50.0;  // keep within the default [0, 100] domain
+  auto suggestion = *SuggestRange(ps, {1.0, 1.0}, 6, opts);
+  auto index = *EclipseIndex::Build(ps, {});
+  auto ids = *index.Query(suggestion.box, nullptr);
+  EXPECT_EQ(ids.size(), suggestion.result_size);
+}
+
+TEST(IntegrationTest, AllFourOperatorsNested2D) {
+  Rng rng(113);
+  PointSet ps = GenerateSynthetic(Distribution::kAnticorrelated, 600, 2, &rng);
+  auto box = *RatioBox::Uniform(1, 0.8, 1.25);
+  auto cmp = *CompareOperators(ps, box);
+  EXPECT_TRUE(IsSubset(cmp.eclipse, cmp.skyline));
+  EXPECT_TRUE(IsSubset(cmp.hull, cmp.skyline));
+  EXPECT_LE(cmp.one_nn.size(), cmp.eclipse.size());
+  EXPECT_LE(cmp.eclipse.size(), cmp.skyline.size());
+}
+
+TEST(IntegrationTest, StatisticsAccumulateAcrossPipeline) {
+  Rng rng(127);
+  PointSet ps = GenerateSynthetic(Distribution::kIndependent, 500, 3, &rng);
+  Statistics stats;
+  auto box = *RatioBox::Uniform(2, 0.36, 2.75);
+  ASSERT_TRUE(EclipseCornerSkyline(ps, box, {}, &stats).ok());
+  EXPECT_GT(stats.Get(Ticker::kCornerScoreEvaluations), 0u);
+  EXPECT_GT(stats.Get(Ticker::kSkylineComparisons), 0u);
+}
+
+}  // namespace
+}  // namespace eclipse

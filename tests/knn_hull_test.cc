@@ -1,0 +1,224 @@
+// Tests for the kNN substrate (scoring, top-k scan, R-tree) and the 2D
+// convex hull query.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/random.h"
+#include "dataset/generators.h"
+#include "hull/convex_hull_2d.h"
+#include "knn/linear_scan.h"
+#include "knn/rtree.h"
+#include "knn/scoring.h"
+#include "skyline/skyline.h"
+
+namespace eclipse {
+namespace {
+
+TEST(ScoringTest, WeightedSumAndRatios) {
+  EXPECT_EQ(WeightedSum(Point{1, 6}, Point{2, 1}), 8.0);  // paper Figure 1
+  EXPECT_EQ(WeightsFromRatios(Point{2.0}), (Point{2.0, 1.0}));
+  EXPECT_EQ(WeightsFromRatios(Point{0.5, 3.0}), (Point{0.5, 3.0, 1.0}));
+}
+
+TEST(ScoringTest, PaperFigure1OneNN) {
+  auto hotels = *PointSet::FromPoints({{1, 6}, {4, 4}, {6, 1}, {8, 5}});
+  auto nn = *OneNearestNeighbors(hotels, Point{2, 1});
+  EXPECT_EQ(nn, (std::vector<PointId>{0}));  // p1, S = 8
+}
+
+TEST(ScoringTest, OneNNTiesAllReturned) {
+  auto ps = *PointSet::FromPoints({{0, 8}, {1, 6}, {2, 4}});
+  // S at w = (2, 1): 8, 8, 8 -- a three-way tie.
+  auto nn = *OneNearestNeighbors(ps, Point{2, 1});
+  EXPECT_EQ(nn, (std::vector<PointId>{0, 1, 2}));
+}
+
+TEST(ScoringTest, DimsValidated) {
+  auto ps = *PointSet::FromPoints({{1, 2}});
+  EXPECT_FALSE(OneNearestNeighbors(ps, Point{1, 2, 3}).ok());
+}
+
+TEST(TopKTest, BasicOrderingAndK) {
+  auto hotels = *PointSet::FromPoints({{1, 6}, {4, 4}, {6, 1}, {8, 5}});
+  // Scores at w = (2,1): 8, 12, 13, 21.
+  auto top = *TopKLinearScan(hotels, Point{2, 1}, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].id, 0u);
+  EXPECT_EQ(top[0].score, 8.0);
+  EXPECT_EQ(top[1].id, 1u);
+  EXPECT_EQ(top[2].id, 2u);
+}
+
+TEST(TopKTest, KLargerThanDataset) {
+  auto ps = *PointSet::FromPoints({{1, 1}, {2, 2}});
+  auto top = *TopKLinearScan(ps, Point{1, 1}, 10);
+  EXPECT_EQ(top.size(), 2u);
+}
+
+TEST(TopKTest, KZero) {
+  auto ps = *PointSet::FromPoints({{1, 1}});
+  EXPECT_TRUE(TopKLinearScan(ps, Point{1, 1}, 0)->empty());
+}
+
+TEST(TopKTest, TieBreakById) {
+  auto ps = *PointSet::FromPoints({{2, 0}, {0, 2}, {1, 1}});
+  auto top = *TopKLinearScan(ps, Point{1, 1}, 2);  // all score 2
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].id, 0u);
+  EXPECT_EQ(top[1].id, 1u);
+}
+
+TEST(RTreeTest, BuildShapes) {
+  Rng rng(1);
+  PointSet ps = GenerateSynthetic(Distribution::kIndependent, 1000, 3, &rng);
+  auto tree = *RTree::Build(ps, {});
+  EXPECT_EQ(tree.size(), 1000u);
+  EXPECT_GT(tree.node_count(), 1u);
+  EXPECT_GE(tree.height(), 2u);
+}
+
+TEST(RTreeTest, EmptyAndTinyDatasets) {
+  PointSet empty(2);
+  auto tree = *RTree::Build(empty, {});
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.RangeQuery(Box::Cube(2, 0, 1))->empty());
+
+  auto one = *PointSet::FromPoints({{0.5, 0.5}});
+  auto tree1 = *RTree::Build(one, {});
+  EXPECT_EQ(*tree1.RangeQuery(Box::Cube(2, 0, 1)),
+            (std::vector<PointId>{0}));
+  EXPECT_TRUE(tree1.RangeQuery(Box::Cube(2, 0.6, 1))->empty());
+}
+
+TEST(RTreeTest, OptionsValidated) {
+  auto ps = *PointSet::FromPoints({{1, 1}});
+  RTreeOptions bad;
+  bad.leaf_capacity = 1;
+  EXPECT_FALSE(RTree::Build(ps, bad).ok());
+}
+
+TEST(RTreeTest, RangeQueryMatchesNaive) {
+  Rng rng(2);
+  PointSet ps = GenerateSynthetic(Distribution::kIndependent, 800, 3, &rng);
+  auto tree = *RTree::Build(ps, {});
+  for (int q = 0; q < 30; ++q) {
+    std::vector<Interval> sides;
+    for (int j = 0; j < 3; ++j) {
+      double a = rng.NextDouble(), b = rng.NextDouble();
+      sides.push_back(Interval{std::min(a, b), std::max(a, b)});
+    }
+    Box box(sides);
+    std::vector<PointId> naive;
+    for (PointId i = 0; i < ps.size(); ++i) {
+      if (box.Contains(ps[i])) naive.push_back(i);
+    }
+    EXPECT_EQ(*tree.RangeQuery(box), naive);
+  }
+}
+
+TEST(RTreeTest, KNearestMatchesLinearScan) {
+  Rng rng(3);
+  for (size_t d : {2u, 3u, 5u}) {
+    PointSet ps = GenerateSynthetic(Distribution::kIndependent, 500, d, &rng);
+    auto tree = *RTree::Build(ps, {});
+    for (int q = 0; q < 20; ++q) {
+      Point w(d);
+      for (auto& v : w) v = rng.Uniform(0.0, 3.0);
+      if (std::all_of(w.begin(), w.end(), [](double x) { return x == 0; })) {
+        continue;
+      }
+      const size_t k = 1 + rng.NextIndex(20);
+      auto expected = *TopKLinearScan(ps, w, k);
+      auto got = tree.KNearest(w, k);
+      ASSERT_TRUE(got.ok());
+      ASSERT_EQ(got->size(), expected.size());
+      for (size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ((*got)[i].id, expected[i].id) << "d=" << d << " k=" << k;
+        EXPECT_DOUBLE_EQ((*got)[i].score, expected[i].score);
+      }
+    }
+  }
+}
+
+TEST(RTreeTest, KNearestValidatesWeights) {
+  auto ps = *PointSet::FromPoints({{1, 1}});
+  auto tree = *RTree::Build(ps, {});
+  EXPECT_FALSE(tree.KNearest(Point{-1, 1}, 1).ok());
+  EXPECT_FALSE(tree.KNearest(Point{0, 0}, 1).ok());
+  EXPECT_FALSE(tree.KNearest(Point{1, 1, 1}, 1).ok());
+}
+
+TEST(RTreeTest, KNearestAgreesWithEclipse1NN) {
+  // The 1NN instantiation of eclipse and the R-tree's top-1 agree.
+  Rng rng(4);
+  PointSet ps = GenerateSynthetic(Distribution::kIndependent, 300, 2, &rng);
+  auto tree = *RTree::Build(ps, {});
+  auto top = *tree.KNearest(Point{2.0, 1.0}, 1);
+  auto nn = *OneNearestNeighbors(ps, Point{2.0, 1.0});
+  ASSERT_FALSE(top.empty());
+  EXPECT_TRUE(std::find(nn.begin(), nn.end(), top[0].id) != nn.end());
+}
+
+TEST(ConvexHullTest, PaperFigure1HullQuery) {
+  // "the convex hull query returns p1, p3 rather than p1, p3, p4."
+  auto hotels = *PointSet::FromPoints({{1, 6}, {4, 4}, {6, 1}, {8, 5}});
+  EXPECT_EQ(*ConvexHullQuery2D(hotels), (std::vector<PointId>{0, 2}));
+}
+
+TEST(ConvexHullTest, FullHullCCW) {
+  auto ps = *PointSet::FromPoints({{0, 0}, {2, 0}, {2, 2}, {0, 2}, {1, 1}});
+  auto hull = *ConvexHull2D(ps);
+  EXPECT_EQ(hull.size(), 4u);  // the interior point is excluded
+  EXPECT_TRUE(std::find(hull.begin(), hull.end(), 4u) == hull.end());
+}
+
+TEST(ConvexHullTest, CollinearPointsExcluded) {
+  auto ps = *PointSet::FromPoints({{0, 0}, {1, 1}, {2, 2}});
+  auto hull = *ConvexHull2D(ps);
+  EXPECT_EQ(hull.size(), 2u);
+}
+
+TEST(ConvexHullTest, HullQueryEdgeCases) {
+  PointSet empty(2);
+  EXPECT_TRUE(ConvexHullQuery2D(empty)->empty());
+  auto one = *PointSet::FromPoints({{1, 1}});
+  EXPECT_EQ(*ConvexHullQuery2D(one), (std::vector<PointId>{0}));
+  auto dup = *PointSet::FromPoints({{1, 1}, {1, 1}});
+  EXPECT_EQ(ConvexHullQuery2D(dup)->size(), 1u);  // dedup keeps smallest id
+  auto ps3 = *PointSet::FromPoints({{1, 2, 3}});
+  EXPECT_FALSE(ConvexHullQuery2D(ps3).ok());
+}
+
+TEST(ConvexHullTest, HullQuerySubsetOfSkyline) {
+  Rng rng(5);
+  for (int t = 0; t < 20; ++t) {
+    PointSet ps = GenerateSynthetic(Distribution::kIndependent, 200, 2, &rng);
+    auto hull = *ConvexHullQuery2D(ps);
+    auto sky = *ComputeSkyline(ps);
+    EXPECT_TRUE(std::includes(sky.begin(), sky.end(), hull.begin(),
+                              hull.end()));
+  }
+}
+
+TEST(ConvexHullTest, EveryHullPointIsSomePositive1NN) {
+  Rng rng(6);
+  PointSet ps = GenerateSynthetic(Distribution::kIndependent, 100, 2, &rng);
+  auto hull = *ConvexHullQuery2D(ps);
+  // Scan a dense set of weight ratios; every hull vertex must win somewhere.
+  std::set<PointId> winners;
+  for (double log_r = -8.0; log_r <= 8.0; log_r += 0.01) {
+    const Point ratios{std::exp(log_r)};
+    auto nn = *OneNearestNeighbors(ps, WeightsFromRatios(ratios));
+    for (PointId id : nn) winners.insert(id);
+  }
+  for (PointId id : hull) {
+    EXPECT_TRUE(winners.count(id)) << "hull vertex " << id << " never wins";
+  }
+}
+
+}  // namespace
+}  // namespace eclipse

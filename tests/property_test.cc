@@ -1,0 +1,224 @@
+// Property-based differential testing: every algorithm pair must agree on
+// randomized workloads, including tie-heavy grids, duplicate-heavy sets,
+// extreme coordinate scales, and degenerate query ranges. The oracle is
+// NaiveEclipse (a direct transcription of the definition through the
+// corner-based DominanceOracle).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "core/dominance_oracle.h"
+#include "core/eclipse.h"
+#include "core/eclipse_index.h"
+#include "dataset/generators.h"
+#include "skyline/skyline.h"
+
+namespace eclipse {
+namespace {
+
+// One fuzz configuration: dataset style x query style, driven by a seed.
+struct FuzzCase {
+  int seed;
+};
+
+PointSet FuzzDataset(Rng* rng, size_t* d_out) {
+  const size_t d = 2 + rng->NextIndex(4);  // 2..5
+  const size_t n = 20 + rng->NextIndex(180);
+  *d_out = d;
+  const int style = static_cast<int>(rng->NextIndex(5));
+  std::vector<double> flat;
+  flat.reserve(n * d);
+  switch (style) {
+    case 0: {  // smooth uniform
+      for (size_t i = 0; i < n * d; ++i) flat.push_back(rng->NextDouble());
+      break;
+    }
+    case 1: {  // coarse integer grid: heavy ties
+      for (size_t i = 0; i < n * d; ++i) {
+        flat.push_back(static_cast<double>(rng->NextIndex(4)));
+      }
+      break;
+    }
+    case 2: {  // duplicate-heavy: few distinct rows
+      const size_t distinct = 1 + rng->NextIndex(6);
+      std::vector<std::vector<double>> rows(distinct,
+                                            std::vector<double>(d, 0.0));
+      for (auto& row : rows) {
+        for (auto& v : row) v = rng->NextDouble();
+      }
+      for (size_t i = 0; i < n; ++i) {
+        const auto& row = rows[rng->NextIndex(distinct)];
+        flat.insert(flat.end(), row.begin(), row.end());
+      }
+      break;
+    }
+    case 3: {  // extreme scales: 1e-9 .. 1e9
+      for (size_t i = 0; i < n * d; ++i) {
+        flat.push_back(std::exp(rng->Uniform(-20.0, 20.0)));
+      }
+      break;
+    }
+    default: {  // anti-correlated (large answer sets)
+      Rng sub(rng->Next64());
+      PointSet anti =
+          GenerateSynthetic(Distribution::kAnticorrelated, n, d, &sub);
+      flat.assign(anti.data().begin(), anti.data().end());
+      break;
+    }
+  }
+  auto ps = PointSet::FromFlat(d, std::move(flat));
+  return *ps;
+}
+
+RatioBox FuzzBox(Rng* rng, size_t d) {
+  std::vector<RatioRange> ranges;
+  for (size_t j = 0; j + 1 < d; ++j) {
+    const int style = static_cast<int>(rng->NextIndex(4));
+    double lo;
+    double hi;
+    switch (style) {
+      case 0:  // generic band
+        lo = rng->Uniform(0.0, 2.0);
+        hi = lo + rng->Uniform(0.0, 4.0);
+        break;
+      case 1:  // degenerate (1NN-like)
+        lo = hi = rng->Uniform(0.1, 3.0);
+        break;
+      case 2:  // starts at zero
+        lo = 0.0;
+        hi = rng->Uniform(0.5, 8.0);
+        break;
+      default:  // narrow band around 1
+        lo = rng->Uniform(0.8, 1.0);
+        hi = lo + rng->Uniform(0.0, 0.4);
+        break;
+    }
+    ranges.push_back(RatioRange{lo, hi});
+  }
+  return *RatioBox::Make(std::move(ranges));
+}
+
+class EclipseFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(EclipseFuzz, AllAlgorithmsAgreeWithOracle) {
+  Rng rng(77000 + GetParam());
+  for (int round = 0; round < 6; ++round) {
+    size_t d = 0;
+    PointSet ps = FuzzDataset(&rng, &d);
+    RatioBox box = FuzzBox(&rng, d);
+    auto oracle = *NaiveEclipse(ps, box);
+
+    EXPECT_EQ(*EclipseBaseline(ps, box), oracle)
+        << "BASE " << box.ToString() << " d=" << d;
+    EXPECT_EQ(*EclipseBaselineParallel(ps, box, 3), oracle)
+        << "BASE-P " << box.ToString() << " d=" << d;
+    EXPECT_EQ(*EclipseCornerSkyline(ps, box), oracle)
+        << "CORNER " << box.ToString() << " d=" << d;
+    if (d == 2) {
+      EXPECT_EQ(*EclipseTransform2D(ps, box), oracle)
+          << "TRAN2D " << box.ToString();
+    }
+    // TRAN-HD is only an under-approximation for d >= 3 (finding F1).
+    auto tran = *EclipseTransformHD(ps, box);
+    EXPECT_TRUE(std::includes(oracle.begin(), oracle.end(), tran.begin(),
+                              tran.end()))
+        << "TRAN-HD not a subset " << box.ToString() << " d=" << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EclipseFuzz, ::testing::Range(0, 24));
+
+class IndexFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(IndexFuzz, IndexMatchesOracleInsideDomain) {
+  Rng rng(88000 + GetParam());
+  for (int round = 0; round < 3; ++round) {
+    size_t d = 0;
+    PointSet ps = FuzzDataset(&rng, &d);
+    IndexBuildOptions options;
+    options.kind = rng.Bernoulli(0.5) ? IndexKind::kLineQuadtree
+                                      : IndexKind::kCuttingTree;
+    auto index_or = EclipseIndex::Build(ps, options);
+    ASSERT_TRUE(index_or.ok()) << index_or.status();
+    for (int q = 0; q < 5; ++q) {
+      RatioBox box = FuzzBox(&rng, d);
+      bool inside = true;
+      for (size_t j = 0; j < box.num_ratios(); ++j) {
+        if (box.range(j).hi > 100.0) inside = false;
+      }
+      if (!inside) continue;
+      auto got = index_or->Query(box, nullptr);
+      ASSERT_TRUE(got.ok()) << got.status();
+      EXPECT_EQ(*got, *NaiveEclipse(ps, box))
+          << IndexKindName(options.kind) << " " << box.ToString()
+          << " d=" << d;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexFuzz, ::testing::Range(0, 16));
+
+class SkylineFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SkylineFuzz, BackendsAgreeOnHostileData) {
+  Rng rng(99000 + GetParam());
+  for (int round = 0; round < 4; ++round) {
+    size_t d = 0;
+    PointSet ps = FuzzDataset(&rng, &d);
+    auto oracle = NaiveSkyline(ps);
+    EXPECT_EQ(SkylineBnl(ps), oracle);
+    EXPECT_EQ(SkylineSfs(ps), oracle);
+    EXPECT_EQ(SkylineDivideConquer(ps), oracle);
+    if (d == 2) {
+      EXPECT_EQ(*SkylineSortSweep2D(ps), oracle);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SkylineFuzz, ::testing::Range(0, 16));
+
+// Structural invariants that must hold for every dataset and box.
+class InvariantFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(InvariantFuzz, EclipseInvariants) {
+  Rng rng(111000 + GetParam());
+  size_t d = 0;
+  PointSet ps = FuzzDataset(&rng, &d);
+  RatioBox box = FuzzBox(&rng, d);
+  auto eclipse_ids = *EclipseCornerSkyline(ps, box);
+  auto skyline_ids = *ComputeSkyline(ps);
+
+  // Non-empty on non-empty input.
+  ASSERT_FALSE(ps.empty());
+  EXPECT_FALSE(eclipse_ids.empty());
+  // Subset of the skyline.
+  EXPECT_TRUE(std::includes(skyline_ids.begin(), skyline_ids.end(),
+                            eclipse_ids.begin(), eclipse_ids.end()));
+  // No member eclipse-dominates another (mutual non-domination).
+  DominanceOracle dom(box);
+  for (PointId a : eclipse_ids) {
+    for (PointId b : eclipse_ids) {
+      if (a == b) continue;
+      EXPECT_FALSE(dom.Dominates(ps[a], ps[b]))
+          << a << " dominates " << b << " inside the answer";
+    }
+  }
+  // Widening each range can only grow the answer.
+  std::vector<RatioRange> wider_ranges;
+  for (size_t j = 0; j < box.num_ratios(); ++j) {
+    wider_ranges.push_back(RatioRange{box.range(j).lo * 0.5,
+                                      box.range(j).hi * 2.0 + 0.1});
+  }
+  auto wider = *RatioBox::Make(std::move(wider_ranges));
+  auto wider_ids = *EclipseCornerSkyline(ps, wider);
+  EXPECT_TRUE(std::includes(wider_ids.begin(), wider_ids.end(),
+                            eclipse_ids.begin(), eclipse_ids.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InvariantFuzz, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace eclipse

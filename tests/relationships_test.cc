@@ -1,0 +1,101 @@
+// Tests for CompareOperators (Figure 4 containments) and SuggestRange
+// (result-size elicitation).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "core/eclipse.h"
+#include "core/relationships.h"
+#include "core/suggest_range.h"
+#include "dataset/generators.h"
+
+namespace eclipse {
+namespace {
+
+TEST(RelationshipsTest, HotelExampleAllOperators) {
+  auto hotels = *PointSet::FromPoints({{1, 6}, {4, 4}, {6, 1}, {8, 5}});
+  auto box = *RatioBox::Uniform(1, 0.25, 2.0);
+  auto cmp = *CompareOperators(hotels, box);
+  EXPECT_EQ(cmp.eclipse, (std::vector<PointId>{0, 1, 2}));
+  EXPECT_EQ(cmp.skyline, (std::vector<PointId>{0, 1, 2}));
+  EXPECT_EQ(cmp.hull, (std::vector<PointId>{0, 2}));
+  // Center ratio (0.25+2)/2 = 1.125: S = 7.125, 8.5, 7.75, 14 -> p1.
+  EXPECT_EQ(cmp.one_nn, (std::vector<PointId>{0}));
+}
+
+TEST(RelationshipsTest, IsSubsetBehaviour) {
+  EXPECT_TRUE(IsSubset({}, {}));
+  EXPECT_TRUE(IsSubset({}, {1}));
+  EXPECT_TRUE(IsSubset({2, 1}, {1, 2, 3}));
+  EXPECT_FALSE(IsSubset({4}, {1, 2, 3}));
+}
+
+TEST(RelationshipsTest, Figure4ContainmentsOnRandomData) {
+  Rng rng(61);
+  for (int t = 0; t < 15; ++t) {
+    const size_t d = 2 + rng.NextIndex(3);
+    PointSet ps = GenerateSynthetic(Distribution::kIndependent, 250, d, &rng);
+    const double lo = rng.Uniform(0.1, 1.0);
+    auto box = *RatioBox::Uniform(d - 1, lo, lo + rng.Uniform(0.5, 3.0));
+    auto cmp = *CompareOperators(ps, box);
+    // Eclipse is a subset of skyline; at least one 1NN (for the center
+    // ratio) is an eclipse point.
+    EXPECT_TRUE(IsSubset(cmp.eclipse, cmp.skyline));
+    std::vector<PointId> nn_in_eclipse;
+    std::set_intersection(cmp.one_nn.begin(), cmp.one_nn.end(),
+                          cmp.eclipse.begin(), cmp.eclipse.end(),
+                          std::back_inserter(nn_in_eclipse));
+    EXPECT_FALSE(nn_in_eclipse.empty());
+    if (d == 2) {
+      // Hull is a subset of skyline too (Figure 4).
+      EXPECT_TRUE(IsSubset(cmp.hull, cmp.skyline));
+    }
+  }
+}
+
+TEST(SuggestRangeTest, ReachesModestTargets) {
+  Rng rng(67);
+  PointSet ps = GenerateSynthetic(Distribution::kIndependent, 1000, 3, &rng);
+  for (size_t target : {1u, 3u, 8u}) {
+    auto suggestion = *SuggestRange(ps, {1.0, 1.0}, target);
+    EXPECT_GE(suggestion.result_size, target);
+    EXPECT_GE(suggestion.gamma, 1.0);
+  }
+}
+
+TEST(SuggestRangeTest, SmallerTargetsGetNarrowerRanges) {
+  Rng rng(71);
+  PointSet ps = GenerateSynthetic(Distribution::kIndependent, 2000, 3, &rng);
+  auto narrow = *SuggestRange(ps, {1.0, 1.0}, 2);
+  auto wide = *SuggestRange(ps, {1.0, 1.0}, 10);
+  EXPECT_LE(narrow.gamma, wide.gamma);
+}
+
+TEST(SuggestRangeTest, UnreachableTargetReturnsWidest) {
+  auto ps = *PointSet::FromPoints({{1, 1}, {2, 2}, {3, 3}});
+  SuggestRangeOptions options;
+  options.max_gamma = 64.0;
+  auto suggestion = *SuggestRange(ps, {1.0}, 100, options);
+  EXPECT_EQ(suggestion.gamma, 64.0);
+  EXPECT_LT(suggestion.result_size, 100u);
+}
+
+TEST(SuggestRangeTest, Validation) {
+  auto ps = *PointSet::FromPoints({{1, 1}});
+  EXPECT_FALSE(SuggestRange(ps, {1.0, 2.0}, 1).ok());  // wrong ratio count
+  EXPECT_FALSE(SuggestRange(ps, {0.0}, 1).ok());       // nonpositive center
+  EXPECT_FALSE(SuggestRange(ps, {1.0}, 0).ok());       // zero target
+}
+
+TEST(SuggestRangeTest, SuggestedBoxActuallyYieldsReportedCount) {
+  Rng rng(73);
+  PointSet ps = GenerateSynthetic(Distribution::kAnticorrelated, 800, 2, &rng);
+  auto suggestion = *SuggestRange(ps, {1.0}, 5);
+  auto ids = *EclipseCornerSkyline(ps, suggestion.box);
+  EXPECT_EQ(ids.size(), suggestion.result_size);
+}
+
+}  // namespace
+}  // namespace eclipse

@@ -1,0 +1,197 @@
+// Tests for src/skyline: dominance predicates and the four skyline
+// algorithms, cross-validated against the naive oracle.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "dataset/generators.h"
+#include "skyline/dominance.h"
+#include "skyline/skyline.h"
+
+namespace eclipse {
+namespace {
+
+TEST(DominanceTest, BasicRelations) {
+  Point a{1, 2};
+  Point b{2, 3};
+  Point c{2, 1};
+  EXPECT_TRUE(Dominates(a, b));
+  EXPECT_FALSE(Dominates(b, a));
+  EXPECT_FALSE(Dominates(a, c));
+  EXPECT_FALSE(Dominates(c, a));
+  EXPECT_TRUE(WeakDominates(a, a));
+  EXPECT_FALSE(Dominates(a, a));  // equality is never proper dominance
+}
+
+TEST(DominanceTest, PrefixVariants) {
+  Point a{1, 9, 0};
+  Point b{2, 1, 5};
+  EXPECT_TRUE(WeakDominatesPrefix(a, b, 1));
+  EXPECT_FALSE(WeakDominatesPrefix(a, b, 2));
+  EXPECT_TRUE(DominatesPrefix(a, b, 1));
+  EXPECT_FALSE(DominatesPrefix(a, a, 3));
+  EXPECT_FALSE(DominatesPrefix(a, b, 0));  // vacuous prefix: no strictness
+}
+
+TEST(DominanceTest, CompareDominance) {
+  EXPECT_EQ(CompareDominance(Point{1, 1}, Point{2, 2}), DomRel::kDominates);
+  EXPECT_EQ(CompareDominance(Point{2, 2}, Point{1, 1}), DomRel::kDominatedBy);
+  EXPECT_EQ(CompareDominance(Point{1, 1}, Point{1, 1}), DomRel::kEqual);
+  EXPECT_EQ(CompareDominance(Point{1, 2}, Point{2, 1}),
+            DomRel::kIncomparable);
+}
+
+TEST(SkylineTest, PaperHotelExample) {
+  // Figure 2: skyline of the hotel set is {p1, p2, p3}.
+  auto hotels = *PointSet::FromPoints({{1, 6}, {4, 4}, {6, 1}, {8, 5}});
+  const std::vector<PointId> expected{0, 1, 2};
+  EXPECT_EQ(*SkylineSortSweep2D(hotels), expected);
+  EXPECT_EQ(SkylineBnl(hotels), expected);
+  EXPECT_EQ(SkylineSfs(hotels), expected);
+  EXPECT_EQ(SkylineDivideConquer(hotels), expected);
+  EXPECT_EQ(NaiveSkyline(hotels), expected);
+}
+
+TEST(SkylineTest, EmptyAndSingle) {
+  PointSet empty(3);
+  EXPECT_TRUE(ComputeSkyline(empty)->empty());
+  auto one = *PointSet::FromPoints({{5, 5, 5}});
+  EXPECT_EQ(*ComputeSkyline(one), (std::vector<PointId>{0}));
+}
+
+TEST(SkylineTest, AllIdenticalPointsAllKept) {
+  auto ps = *PointSet::FromPoints({{2, 2}, {2, 2}, {2, 2}});
+  const std::vector<PointId> all{0, 1, 2};
+  EXPECT_EQ(SkylineBnl(ps), all);
+  EXPECT_EQ(SkylineSfs(ps), all);
+  EXPECT_EQ(*SkylineSortSweep2D(ps), all);
+  EXPECT_EQ(SkylineDivideConquer(ps), all);
+}
+
+TEST(SkylineTest, DuplicatesOfSkylinePointAllReported) {
+  auto ps = *PointSet::FromPoints({{1, 1}, {1, 1}, {0, 3}, {5, 5}});
+  const std::vector<PointId> expected{0, 1, 2};
+  EXPECT_EQ(SkylineBnl(ps), expected);
+  EXPECT_EQ(SkylineSfs(ps), expected);
+  EXPECT_EQ(*SkylineSortSweep2D(ps), expected);
+  EXPECT_EQ(SkylineDivideConquer(ps), expected);
+}
+
+TEST(SkylineTest, TotalOrderChainKeepsOnlyMinimum) {
+  auto ps = *PointSet::FromPoints({{3, 3, 3}, {2, 2, 2}, {1, 1, 1}, {4, 4, 4}});
+  const std::vector<PointId> expected{2};
+  EXPECT_EQ(SkylineBnl(ps), expected);
+  EXPECT_EQ(SkylineSfs(ps), expected);
+  EXPECT_EQ(SkylineDivideConquer(ps), expected);
+}
+
+TEST(SkylineTest, AntichainKeepsAll) {
+  auto ps = *PointSet::FromPoints({{1, 4}, {2, 3}, {3, 2}, {4, 1}});
+  const std::vector<PointId> all{0, 1, 2, 3};
+  EXPECT_EQ(SkylineBnl(ps), all);
+  EXPECT_EQ(*SkylineSortSweep2D(ps), all);
+  EXPECT_EQ(SkylineDivideConquer(ps), all);
+}
+
+TEST(SkylineTest, SharedCoordinateTies) {
+  // Points sharing x: only the min-y of each x-group can survive.
+  auto ps = *PointSet::FromPoints({{1, 5}, {1, 3}, {1, 3}, {2, 2}, {2, 9}});
+  const std::vector<PointId> expected{1, 2, 3};
+  EXPECT_EQ(SkylineBnl(ps), expected);
+  EXPECT_EQ(SkylineSfs(ps), expected);
+  EXPECT_EQ(*SkylineSortSweep2D(ps), expected);
+  EXPECT_EQ(SkylineDivideConquer(ps), expected);
+}
+
+TEST(SkylineTest, SortSweepRejectsNon2D) {
+  auto ps = *PointSet::FromPoints({{1, 2, 3}});
+  EXPECT_TRUE(SkylineSortSweep2D(ps).status().IsInvalidArgument());
+}
+
+TEST(SkylineTest, OneDimensionalData) {
+  auto ps = *PointSet::FromPoints({{3}, {1}, {2}, {1}});
+  EXPECT_EQ(SkylineSfs(ps), (std::vector<PointId>{1, 3}));
+  EXPECT_EQ(SkylineBnl(ps), (std::vector<PointId>{1, 3}));
+  EXPECT_EQ(SkylineDivideConquer(ps), (std::vector<PointId>{1, 3}));
+}
+
+TEST(SkylineTest, StatisticsTicked) {
+  Rng rng(3);
+  PointSet ps = GenerateSynthetic(Distribution::kIndependent, 200, 3, &rng);
+  Statistics stats;
+  SkylineSfs(ps, &stats);
+  EXPECT_GT(stats.Get(Ticker::kSkylineComparisons), 0u);
+}
+
+struct SkylineCase {
+  Distribution dist;
+  size_t n;
+  size_t d;
+  uint64_t seed;
+};
+
+class SkylineCrossValidation : public ::testing::TestWithParam<SkylineCase> {};
+
+TEST_P(SkylineCrossValidation, AllAlgorithmsMatchOracle) {
+  const SkylineCase& c = GetParam();
+  Rng rng(c.seed);
+  PointSet ps = GenerateSynthetic(c.dist, c.n, c.d, &rng);
+  const std::vector<PointId> expected = NaiveSkyline(ps);
+  EXPECT_EQ(SkylineBnl(ps), expected);
+  EXPECT_EQ(SkylineSfs(ps), expected);
+  EXPECT_EQ(SkylineDivideConquer(ps), expected);
+  if (c.d == 2) {
+    EXPECT_EQ(*SkylineSortSweep2D(ps), expected);
+  }
+  EXPECT_TRUE(VerifySkyline(ps, expected));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, SkylineCrossValidation,
+    ::testing::Values(
+        SkylineCase{Distribution::kIndependent, 300, 2, 1},
+        SkylineCase{Distribution::kIndependent, 300, 3, 2},
+        SkylineCase{Distribution::kIndependent, 300, 4, 3},
+        SkylineCase{Distribution::kIndependent, 300, 5, 4},
+        SkylineCase{Distribution::kCorrelated, 300, 2, 5},
+        SkylineCase{Distribution::kCorrelated, 300, 4, 6},
+        SkylineCase{Distribution::kAnticorrelated, 300, 2, 7},
+        SkylineCase{Distribution::kAnticorrelated, 300, 3, 8},
+        SkylineCase{Distribution::kAnticorrelated, 200, 5, 9},
+        SkylineCase{Distribution::kIndependent, 1, 3, 10},
+        SkylineCase{Distribution::kIndependent, 2, 2, 11},
+        SkylineCase{Distribution::kAnticorrelated, 1000, 4, 12}));
+
+class SkylineGridTies : public ::testing::TestWithParam<int> {};
+
+TEST_P(SkylineGridTies, QuantizedCoordinatesMatchOracle) {
+  // Coordinates on a small integer grid force massive ties -- the stress
+  // case for the divide & conquer split handling.
+  Rng rng(100 + GetParam());
+  const size_t n = 250;
+  const size_t d = 2 + rng.NextIndex(4);
+  std::vector<double> flat(n * d);
+  for (auto& v : flat) v = static_cast<double>(rng.NextIndex(4));
+  PointSet ps = *PointSet::FromFlat(d, std::move(flat));
+  const std::vector<PointId> expected = NaiveSkyline(ps);
+  EXPECT_EQ(SkylineDivideConquer(ps), expected) << "d=" << d;
+  EXPECT_EQ(SkylineSfs(ps), expected) << "d=" << d;
+  EXPECT_EQ(SkylineBnl(ps), expected) << "d=" << d;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SkylineGridTies, ::testing::Range(0, 20));
+
+TEST(SkylineScaleTest, DivideConquerHandlesLargeAnti) {
+  Rng rng(55);
+  PointSet ps =
+      GenerateSynthetic(Distribution::kAnticorrelated, 20000, 3, &rng);
+  auto dnc = SkylineDivideConquer(ps);
+  auto sfs = SkylineSfs(ps);
+  EXPECT_EQ(dnc, sfs);
+  EXPECT_GT(dnc.size(), 100u);  // anti-correlated: large skyline
+}
+
+}  // namespace
+}  // namespace eclipse

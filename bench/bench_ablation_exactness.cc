@@ -22,6 +22,7 @@
 #include "common/strings.h"
 #include "core/eclipse.h"
 #include "core/eclipse_index.h"
+#include "engine/registry.h"
 
 int main(int argc, char** argv) {
   const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
@@ -44,11 +45,13 @@ int main(int argc, char** argv) {
       size_t bad_trials = 0;
       size_t max_missing = 0;
       double exact_total = 0, tran_total = 0;
+      const eclipse::EngineRegistry& registry =
+          eclipse::EngineRegistry::Global();
       for (size_t t = 0; t < trials; ++t) {
         eclipse::PointSet data =
             eclipse::MakeBenchDataset(which, n, d, 3100 + 17 * d + t);
-        auto exact = *eclipse::EclipseCornerSkyline(data, box);
-        auto tran = *eclipse::EclipseTransformHD(data, box);
+        auto exact = *registry.Run("CORNER", data, box);
+        auto tran = *registry.Run("TRAN-HD", data, box);
         exact_total += double(exact.size());
         tran_total += double(tran.size());
         const size_t missing = exact.size() - tran.size();

@@ -19,28 +19,38 @@
 #include "benchlib/workloads.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
-#include "core/eclipse.h"
-#include "core/eclipse_index.h"
+#include "engine/eclipse_engine.h"
+#include "engine/registry.h"
 
 namespace {
 
 using eclipse::BenchDataset;
-using eclipse::EclipseIndex;
-using eclipse::IndexBuildOptions;
+using eclipse::EclipseEngine;
+using eclipse::EngineOptions;
 using eclipse::IndexKind;
 using eclipse::PointSet;
 using eclipse::RatioBox;
 using eclipse::SkylineAlgorithm;
 using eclipse::TimedRun;
 
+/// Times repeat queries on an EclipseEngine pinned to one index engine; the
+/// facade builds the index once (timed separately into `note`) and every
+/// timed Query is served from it.
 TimedRun RunIndexQueries(const PointSet& data, IndexKind kind,
                          const RatioBox& box, std::string* note) {
-  IndexBuildOptions options;
-  options.kind = kind;
-  options.skyline_algorithm = SkylineAlgorithm::kDivideConquer;
+  EngineOptions options;
+  options.force_engine = eclipse::EngineRegistry::NameForIndexKind(kind);
+  options.index.kind = kind;
+  options.index.skyline_algorithm = SkylineAlgorithm::kDivideConquer;
+  auto engine = EclipseEngine::Make(data, options);
+  if (!engine.ok()) {
+    *note = "engine guard";
+    TimedRun skipped;
+    skipped.skipped = true;
+    return skipped;
+  }
   eclipse::Stopwatch build_timer;
-  auto index = EclipseIndex::Build(data, options);
-  if (!index.ok()) {
+  if (!engine->BuildIndex().ok()) {
     *note = "build guard";
     TimedRun skipped;
     skipped.skipped = true;
@@ -48,9 +58,11 @@ TimedRun RunIndexQueries(const PointSet& data, IndexKind kind,
   }
   *note = eclipse::StrFormat("build %.2fs, u=%zu",
                              build_timer.ElapsedSeconds(),
-                             index->indexed_count());
-  return eclipse::TimeIt([&] { (void)*index->Query(box, nullptr); }, 0.1,
-                         200);
+                             engine->index().indexed_count());
+  // Time the index query itself (the paper's figure), not the facade's
+  // per-query planning overhead.
+  const eclipse::EclipseIndex& index = engine->index();
+  return eclipse::TimeIt([&] { (void)*index.Query(box, nullptr); }, 0.1, 200);
 }
 
 }  // namespace
@@ -83,18 +95,19 @@ int main(int argc, char** argv) {
     std::printf("(%s)\n", eclipse::BenchDatasetName(which));
     eclipse::TablePrinter table(
         {"n", "BASE", "TRAN", "QUAD", "CUTTING", "notes"});
+    const eclipse::EngineRegistry& registry = eclipse::EngineRegistry::Global();
     for (size_t n : ns) {
       PointSet data = eclipse::MakeBenchDataset(which, n, d, 42 + n);
 
       TimedRun base;
       if (n <= base_cap) {
         base = eclipse::TimeIt(
-            [&] { (void)*eclipse::EclipseBaseline(data, box); }, 0.05, 20);
+            [&] { (void)*registry.Run("BASE", data, box); }, 0.05, 20);
       } else {
         base.skipped = true;
       }
       TimedRun tran = eclipse::TimeIt(
-          [&] { (void)*eclipse::EclipseTransformHD(data, box); }, 0.05, 20);
+          [&] { (void)*registry.Run("TRAN-HD", data, box); }, 0.05, 20);
       std::string quad_note, cutting_note;
       TimedRun quad =
           RunIndexQueries(data, IndexKind::kLineQuadtree, box, &quad_note);

@@ -1,34 +1,44 @@
 // eclipse_cli: run eclipse / skyline / 1NN / top-k queries over a CSV file.
 //
 // A small production-style utility around the library: load a table, pick
-// an operator and parameters, get ids (and optionally rows) back.
+// an operator and parameters, get ids (and optionally rows) back. Eclipse
+// queries go through the EclipseEngine facade, which routes to the best
+// backend (and explains its choice with --explain); pass an explicit engine
+// name to pin one.
 //
 //   eclipse_cli <file.csv> skyline
-//   eclipse_cli <file.csv> eclipse  <lo> <hi> [algorithm]
+//   eclipse_cli <file.csv> eclipse  <lo> <hi> [engine]
 //   eclipse_cli <file.csv> onenn    <r1> [r2 ...]
 //   eclipse_cli <file.csv> topk     <k> <r1> [r2 ...]
 //   eclipse_cli <file.csv> suggest  <target_size>
+//   eclipse_cli engines
 //
 // Options: --max (attributes are larger-is-better; flip before querying),
-//          --rows (print matching rows, not only ids).
-// `algorithm` is one of base, tran, corner (default), index.
+//          --rows (print matching rows, not only ids),
+//          --explain (print the engine's query plan).
+// `engine` is any name from `eclipse_cli engines` (BASE, TRAN-2D, TRAN-HD,
+// CORNER, QUAD, CUTTING, ...); default is automatic routing.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
-#include "core/eclipse.h"
-#include "core/eclipse_index.h"
 #include "core/suggest_range.h"
 #include "dataset/csv.h"
 #include "dataset/transforms.h"
+#include "engine/eclipse_engine.h"
+#include "engine/registry.h"
 #include "knn/linear_scan.h"
 #include "knn/scoring.h"
 
 namespace {
 
+using eclipse::EclipseEngine;
+using eclipse::EngineInfo;
+using eclipse::EngineRegistry;
 using eclipse::Point;
 using eclipse::PointId;
 using eclipse::PointSet;
@@ -36,14 +46,25 @@ using eclipse::RatioBox;
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: eclipse_cli <file.csv> [--max] [--rows] <operator> "
-               "...\n"
+               "usage: eclipse_cli <file.csv> [--max] [--rows] [--explain] "
+               "<operator> ...\n"
                "  skyline\n"
-               "  eclipse <lo> <hi> [base|tran|corner|index]\n"
+               "  eclipse <lo> <hi> [engine]\n"
                "  onenn   <r1> [r2 ...]\n"
                "  topk    <k> <r1> [r2 ...]\n"
-               "  suggest <target_size>\n");
+               "  suggest <target_size>\n"
+               "or: eclipse_cli engines   (list registered engines)\n");
   return 2;
+}
+
+int ListEngines() {
+  std::printf("%-10s %-7s %s\n", "name", "exact", "description");
+  for (const EngineInfo& info : EngineRegistry::Global().engines()) {
+    std::printf("%-10s %-7s %s [%s]\n", info.name.c_str(),
+                info.exact ? "yes" : "d==2", info.description.c_str(),
+                info.complexity.c_str());
+  }
+  return 0;
 }
 
 void PrintResult(const PointSet& points, const std::vector<PointId>& ids,
@@ -61,12 +82,47 @@ void PrintResult(const PointSet& points, const std::vector<PointId>& ids,
   }
 }
 
+/// Runs one eclipse-family query through the facade, printing the plan when
+/// asked. Returns 0/1 like main.
+int RunEngineQuery(const PointSet& original, PointSet data,
+                   const RatioBox& box, const std::string& force_engine,
+                   bool explain, bool print_rows) {
+  eclipse::EngineOptions options;
+  options.force_engine = force_engine;
+  auto engine = EclipseEngine::Make(std::move(data), options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "error: %s%s\n", engine.status().ToString().c_str(),
+                 force_engine.empty() ? ""
+                                      : " (try: eclipse_cli engines)");
+    return 1;
+  }
+  if (explain) {
+    eclipse::QueryPlan plan = engine->Explain(box);
+    std::printf("plan: %s%s (%s)\n", plan.engine.c_str(),
+                plan.will_build_index ? " [builds index]" : "",
+                plan.reason.c_str());
+  }
+  eclipse::EngineQueryStats stats;
+  auto ids = engine->Query(box, &stats);
+  if (!ids.ok()) {
+    std::fprintf(stderr, "error: %s\n", ids.status().ToString().c_str());
+    return 1;
+  }
+  if (stats.plan.uses_index) {
+    std::printf("index: u=%zu, m=%zu crossings\n", stats.index.indexed,
+                stats.index.verified_crossings);
+  }
+  PrintResult(original, *ids, print_rows);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   bool flip_max = false;
   bool print_rows = false;
+  bool explain = false;
   for (auto it = args.begin(); it != args.end();) {
     if (*it == "--max") {
       flip_max = true;
@@ -74,10 +130,14 @@ int main(int argc, char** argv) {
     } else if (*it == "--rows") {
       print_rows = true;
       it = args.erase(it);
+    } else if (*it == "--explain") {
+      explain = true;
+      it = args.erase(it);
     } else {
       ++it;
     }
   }
+  if (args.size() == 1 && args[0] == "engines") return ListEngines();
   if (args.size() < 2) return Usage();
 
   auto table = eclipse::ReadCsv(args[0]);
@@ -86,60 +146,28 @@ int main(int argc, char** argv) {
     return 1;
   }
   const PointSet original = std::move(table->points);
-  const PointSet data = flip_max ? eclipse::MaxToMin(original) : original;
+  PointSet data = flip_max ? eclipse::MaxToMin(original) : original;
   const size_t d = data.dims();
   std::printf("loaded %zu rows x %zu columns from %s%s\n", data.size(), d,
               args[0].c_str(), flip_max ? " (max->min flipped)" : "");
 
   const std::string& op = args[1];
   if (op == "skyline") {
-    auto ids = eclipse::EclipseCornerSkyline(data, RatioBox::Skyline(d - 1));
-    if (!ids.ok()) {
-      std::fprintf(stderr, "error: %s\n", ids.status().ToString().c_str());
-      return 1;
-    }
-    PrintResult(original, *ids, print_rows);
-    return 0;
+    return RunEngineQuery(original, std::move(data), RatioBox::Skyline(d - 1),
+                          /*force_engine=*/"", explain, print_rows);
   }
   if (op == "eclipse") {
     if (args.size() < 4) return Usage();
     const double lo = std::atof(args[2].c_str());
     const double hi = std::atof(args[3].c_str());
-    const std::string algo = args.size() > 4 ? args[4] : "corner";
+    const std::string engine_name = args.size() > 4 ? args[4] : "";
     auto box = RatioBox::Uniform(d - 1, lo, hi);
     if (!box.ok()) {
       std::fprintf(stderr, "error: %s\n", box.status().ToString().c_str());
       return 1;
     }
-    eclipse::Result<std::vector<PointId>> ids =
-        eclipse::Status::InvalidArgument("unknown algorithm " + algo);
-    if (algo == "base") {
-      ids = eclipse::EclipseBaseline(data, *box);
-    } else if (algo == "tran") {
-      ids = d == 2 ? eclipse::EclipseTransform2D(data, *box)
-                   : eclipse::EclipseTransformHD(data, *box);
-    } else if (algo == "corner") {
-      ids = eclipse::EclipseCornerSkyline(data, *box);
-    } else if (algo == "index") {
-      auto index = eclipse::EclipseIndex::Build(data, {});
-      if (!index.ok()) {
-        std::fprintf(stderr, "error: %s\n",
-                     index.status().ToString().c_str());
-        return 1;
-      }
-      eclipse::QueryStats stats;
-      ids = index->Query(*box, &stats);
-      if (ids.ok()) {
-        std::printf("index: u=%zu, m=%zu crossings\n", stats.indexed,
-                    stats.verified_crossings);
-      }
-    }
-    if (!ids.ok()) {
-      std::fprintf(stderr, "error: %s\n", ids.status().ToString().c_str());
-      return 1;
-    }
-    PrintResult(original, *ids, print_rows);
-    return 0;
+    return RunEngineQuery(original, std::move(data), *box, engine_name, explain,
+                          print_rows);
   }
   if (op == "onenn" || op == "topk") {
     size_t first_ratio = 2;
@@ -182,9 +210,8 @@ int main(int argc, char** argv) {
     std::printf("suggested query: %s (gamma %.4f) -> %zu results\n",
                 suggestion->box.ToString().c_str(), suggestion->gamma,
                 suggestion->result_size);
-    auto ids = eclipse::EclipseCornerSkyline(data, suggestion->box);
-    if (ids.ok()) PrintResult(original, *ids, print_rows);
-    return 0;
+    return RunEngineQuery(original, std::move(data), suggestion->box,
+                          /*force_engine=*/"", explain, print_rows);
   }
   return Usage();
 }

@@ -1,11 +1,12 @@
 // BASE (paper Algorithm 1): for each pair of points, compare the weighted
 // sums at the 2^(d-1) corner weight vectors. Corner scores are materialized
-// once (n x corners), then the quadratic pass runs with early exit on the
-// first dominator found.
+// once via the shared CornerKernel (n x m), then the quadratic pass runs
+// with early exit on the first dominator found.
 
 #include <thread>
 
 #include "common/strings.h"
+#include "core/corner_kernel.h"
 #include "core/dominance_oracle.h"
 #include "core/eclipse.h"
 
@@ -34,17 +35,10 @@ Result<std::vector<PointId>> EclipseBaseline(const PointSet& points,
   const size_t n = points.size();
   if (n == 0) return std::vector<PointId>{};
 
-  DominanceOracle oracle(box);
-  const size_t m = oracle.EmbeddingDims();
+  CornerKernel kernel(box);
+  const size_t m = kernel.embedding_dims();
   // scores[i*m .. i*m+m): corner scores + unbounded coords of point i.
-  std::vector<double> scores(n * m);
-  for (size_t i = 0; i < n; ++i) {
-    Point v = oracle.Embed(points[i]);
-    std::copy(v.begin(), v.end(), scores.begin() + i * m);
-  }
-  if (stats != nullptr) {
-    stats->Add(Ticker::kCornerScoreEvaluations, n * m);
-  }
+  const std::vector<double> scores = kernel.EmbedAll(points, stats);
 
   // v(j) dominates v(i) iff componentwise <= and somewhere <.
   auto dominates = [&](size_t j, size_t i) {
@@ -89,16 +83,10 @@ Result<std::vector<PointId>> EclipseBaselineParallel(const PointSet& points,
   }
   num_threads = std::min(num_threads, n);
 
-  DominanceOracle oracle(box);
-  const size_t m = oracle.EmbeddingDims();
-  std::vector<double> scores(n * m);
-  for (size_t i = 0; i < n; ++i) {
-    Point v = oracle.Embed(points[i]);
-    std::copy(v.begin(), v.end(), scores.begin() + i * m);
-  }
-  if (stats != nullptr) {
-    stats->Add(Ticker::kCornerScoreEvaluations, n * m);
-  }
+  CornerKernel kernel(box);
+  const size_t m = kernel.embedding_dims();
+  const std::vector<double> scores =
+      kernel.EmbedAllParallel(points, num_threads, stats);
 
   std::vector<uint8_t> dominated(n, 0);
   auto worker = [&](size_t begin, size_t end) {

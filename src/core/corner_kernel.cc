@@ -1,0 +1,134 @@
+#include "core/corner_kernel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+
+namespace eclipse {
+
+namespace {
+
+/// Rows per block in the batch loop: a block of points stays resident in L1
+/// while every corner weight vector streams over it once.
+constexpr size_t kRowBlock = 64;
+
+}  // namespace
+
+CornerKernel::CornerKernel(const RatioBox& box)
+    : dims_(box.dims()),
+      corners_(box.CornerWeightVectors()),
+      unbounded_dims_(box.UnboundedDims()) {}
+
+double CornerKernel::Score(std::span<const double> p,
+                           std::span<const double> w) {
+  assert(p.size() == w.size());
+  double acc = 0.0;
+  for (size_t j = 0; j < p.size(); ++j) acc += p[j] * w[j];
+  return acc;
+}
+
+void CornerKernel::EmbedInto(std::span<const double> p, double* out) const {
+  size_t k = 0;
+  for (const Point& w : corners_) out[k++] = Score(p, w);
+  for (size_t j : unbounded_dims_) out[k++] = p[j];
+}
+
+Point CornerKernel::Embed(std::span<const double> p) const {
+  Point v(embedding_dims());
+  EmbedInto(p, v.data());
+  return v;
+}
+
+bool CornerKernel::Dominates(std::span<const double> p,
+                             std::span<const double> q) const {
+  bool strict = false;
+  for (const Point& w : corners_) {
+    const double sp = Score(p, w);
+    const double sq = Score(q, w);
+    if (sp > sq) return false;
+    if (sp < sq) strict = true;
+  }
+  for (size_t j : unbounded_dims_) {
+    if (p[j] > q[j]) return false;
+    if (p[j] < q[j]) strict = true;
+  }
+  return strict;
+}
+
+void CornerKernel::EmbedRows(const PointSet& points, size_t begin, size_t end,
+                             double* out) const {
+  const size_t d = dims_;
+  const size_t m = embedding_dims();
+  const size_t num_corners = corners_.size();
+  const double* data = points.data().data();
+  for (size_t block = begin; block < end; block += kRowBlock) {
+    const size_t block_end = std::min(block + kRowBlock, end);
+    for (size_t c = 0; c < num_corners; ++c) {
+      const double* w = corners_[c].data();
+      for (size_t i = block; i < block_end; ++i) {
+        const double* p = data + i * d;
+        double acc = 0.0;
+        for (size_t j = 0; j < d; ++j) acc += p[j] * w[j];
+        out[(i - begin) * m + c] = acc;
+      }
+    }
+    for (size_t u = 0; u < unbounded_dims_.size(); ++u) {
+      const size_t j = unbounded_dims_[u];
+      for (size_t i = block; i < block_end; ++i) {
+        out[(i - begin) * m + num_corners + u] = data[i * d + j];
+      }
+    }
+  }
+}
+
+std::vector<double> CornerKernel::EmbedAll(const PointSet& points,
+                                           Statistics* stats) const {
+  assert(points.dims() == dims_ || points.empty());
+  const size_t n = points.size();
+  const size_t m = embedding_dims();
+  std::vector<double> scores(n * m);
+  EmbedRows(points, 0, n, scores.data());
+  if (stats != nullptr) {
+    stats->Add(Ticker::kCornerScoreEvaluations, n * m);
+  }
+  return scores;
+}
+
+std::vector<double> CornerKernel::EmbedAllParallel(const PointSet& points,
+                                                   size_t num_threads,
+                                                   Statistics* stats) const {
+  assert(points.dims() == dims_ || points.empty());
+  const size_t n = points.size();
+  const size_t m = embedding_dims();
+  std::vector<double> scores(n * m);
+  if (num_threads == 0) {
+    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  num_threads = std::min(num_threads, std::max<size_t>(1, n));
+  if (num_threads == 1) {
+    EmbedRows(points, 0, n, scores.data());
+  } else {
+    std::vector<std::thread> threads;
+    const size_t chunk = (n + num_threads - 1) / num_threads;
+    for (size_t t = 0; t < num_threads; ++t) {
+      const size_t begin = t * chunk;
+      const size_t end = std::min(begin + chunk, n);
+      if (begin >= end) break;
+      threads.emplace_back([this, &points, begin, end, m, &scores] {
+        EmbedRows(points, begin, end, scores.data() + begin * m);
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  if (stats != nullptr) {
+    stats->Add(Ticker::kCornerScoreEvaluations, n * m);
+  }
+  return scores;
+}
+
+Result<PointSet> CornerKernel::EmbedAllAsPointSet(const PointSet& points,
+                                                  Statistics* stats) const {
+  return PointSet::FromFlat(embedding_dims(), EmbedAll(points, stats));
+}
+
+}  // namespace eclipse

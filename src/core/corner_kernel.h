@@ -1,0 +1,90 @@
+// CornerKernel: the single implementation of the corner-score embedding.
+//
+// Every eclipse algorithm ultimately evaluates weighted sums of each point
+// at the ratio box's 2^(d-1) corner weight vectors (plus the raw coordinate
+// of each unbounded ratio dimension). BASE compares the embeddings pairwise,
+// CORNER takes their skyline, TRAN scales selected corner scores into
+// intercepts, and the index build filter prunes against the query domain's
+// embedding. This kernel owns that computation:
+//
+//   * Score        -- one weighted sum (the scalar primitive),
+//   * Embed        -- one point -> its m-dimensional embedding,
+//   * EmbedAll     -- the whole PointSet -> a flat n x m score matrix,
+//                     evaluated in cache-sized blocks of rows so each corner
+//                     weight vector is reused across a resident block,
+//   * EmbedAllParallel -- the same matrix with rows sharded over worker
+//                     threads (the EclipseBaselineParallel pattern).
+//
+// Embedding layout: row i is (corner scores..., p[j] for each unbounded
+// ratio dim j), matching RatioBox::CornerWeightVectors() order. p
+// eclipse-dominates q iff row(p) <= row(q) componentwise and row(p) !=
+// row(q) (paper Theorems 1-2).
+
+#ifndef ECLIPSE_CORE_CORNER_KERNEL_H_
+#define ECLIPSE_CORE_CORNER_KERNEL_H_
+
+#include <span>
+#include <vector>
+
+#include "common/statistics.h"
+#include "core/ratio_box.h"
+#include "geometry/point.h"
+
+namespace eclipse {
+
+class CornerKernel {
+ public:
+  /// The box's dims() must match the dimensionality of points passed later.
+  explicit CornerKernel(const RatioBox& box);
+
+  /// Weighted sum of p under weight vector w (both length d).
+  static double Score(std::span<const double> p, std::span<const double> w);
+
+  /// Embedding width m: one column per corner plus one per unbounded dim.
+  size_t embedding_dims() const {
+    return corners_.size() + unbounded_dims_.size();
+  }
+  size_t dims() const { return dims_; }
+  const std::vector<Point>& corners() const { return corners_; }
+  const std::vector<size_t>& unbounded_dims() const { return unbounded_dims_; }
+
+  /// Writes the embedding of p (length dims()) into out[0 .. m).
+  void EmbedInto(std::span<const double> p, double* out) const;
+
+  /// The embedding of p as an owned Point.
+  Point Embed(std::span<const double> p) const;
+
+  /// True iff p eclipse-dominates q over the box (componentwise <= on the
+  /// embeddings, strict somewhere). Evaluated corner-by-corner with early
+  /// exit; no allocation.
+  bool Dominates(std::span<const double> p, std::span<const double> q) const;
+
+  /// The full n x m score matrix, row-major: row i is the embedding of
+  /// points[i]. Ticks kCornerScoreEvaluations on `stats`.
+  std::vector<double> EmbedAll(const PointSet& points,
+                               Statistics* stats = nullptr) const;
+
+  /// EmbedAll with rows sharded over `num_threads` workers (0 picks the
+  /// hardware count). Identical output to EmbedAll.
+  std::vector<double> EmbedAllParallel(const PointSet& points,
+                                       size_t num_threads = 0,
+                                       Statistics* stats = nullptr) const;
+
+  /// The embedded set as a PointSet (the CORNER transformation's c-space).
+  Result<PointSet> EmbedAllAsPointSet(const PointSet& points,
+                                      Statistics* stats = nullptr) const;
+
+ private:
+  /// Embeds rows [begin, end) into the matrix starting at out (row-major,
+  /// m columns), blocked for cache reuse.
+  void EmbedRows(const PointSet& points, size_t begin, size_t end,
+                 double* out) const;
+
+  size_t dims_ = 0;
+  std::vector<Point> corners_;
+  std::vector<size_t> unbounded_dims_;
+};
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_CORE_CORNER_KERNEL_H_

@@ -1,13 +1,14 @@
 // Exact transformation at any dimensionality (the corrected TRAN).
 //
 // Embed every point as its vector of 2^(d-1) corner scores (plus raw
-// coordinates for unbounded ratio dims); by Theorem 2, eclipse dominance is
-// exactly componentwise dominance of the embeddings, so the eclipse set is
-// the skyline of the embedded set. The embedded skyline is small (it *is*
-// the eclipse result), which makes SFS effectively linear here.
+// coordinates for unbounded ratio dims) via the shared CornerKernel; by
+// Theorem 2, eclipse dominance is exactly componentwise dominance of the
+// embeddings, so the eclipse set is the skyline of the embedded set. The
+// embedded skyline is small (it *is* the eclipse result), which makes SFS
+// effectively linear here.
 
 #include "common/strings.h"
-#include "core/dominance_oracle.h"
+#include "core/corner_kernel.h"
 #include "core/eclipse.h"
 
 namespace eclipse {
@@ -32,19 +33,9 @@ Result<std::vector<PointId>> EclipseCornerSkyline(const PointSet& points,
   const size_t n = points.size();
   if (n == 0) return std::vector<PointId>{};
 
-  DominanceOracle oracle(box);
-  const size_t m = oracle.EmbeddingDims();
-  std::vector<double> flat;
-  flat.reserve(n * m);
-  for (size_t i = 0; i < n; ++i) {
-    Point v = oracle.Embed(points[i]);
-    flat.insert(flat.end(), v.begin(), v.end());
-  }
-  if (stats != nullptr) {
-    stats->Add(Ticker::kCornerScoreEvaluations, n * m);
-  }
+  CornerKernel kernel(box);
   ECLIPSE_ASSIGN_OR_RETURN(PointSet embedded,
-                           PointSet::FromFlat(m, std::move(flat)));
+                           kernel.EmbedAllAsPointSet(points, stats));
   SkylineAlgorithm algo = options.skyline_algorithm;
   if (algo == SkylineAlgorithm::kAuto) algo = SkylineAlgorithm::kSfs;
   return ComputeSkyline(embedded, algo, stats);

@@ -7,6 +7,10 @@
 // coefficient of an unbounded direction must be nonpositive). Strictness is
 // automatic unless the difference vanishes identically on the box, which the
 // same corner evaluations detect.
+//
+// The score computation itself lives in core/corner_kernel.h -- this class
+// is the pairwise-comparison view of that kernel, kept as the simple oracle
+// used by NaiveEclipse and the tests.
 
 #ifndef ECLIPSE_CORE_DOMINANCE_ORACLE_H_
 #define ECLIPSE_CORE_DOMINANCE_ORACLE_H_
@@ -14,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "core/corner_kernel.h"
 #include "core/ratio_box.h"
 #include "geometry/point.h"
 
@@ -22,27 +27,29 @@ namespace eclipse {
 class DominanceOracle {
  public:
   /// The box's dims() must match the dimensionality of points passed later.
-  explicit DominanceOracle(const RatioBox& box);
+  explicit DominanceOracle(const RatioBox& box) : kernel_(box) {}
 
   /// Weighted sum of p under weight vector w (both length d).
-  static double Score(std::span<const double> p, std::span<const double> w);
+  static double Score(std::span<const double> p, std::span<const double> w) {
+    return CornerKernel::Score(p, w);
+  }
 
   /// True iff p eclipse-dominates q over the box.
-  bool Dominates(std::span<const double> p, std::span<const double> q) const;
+  bool Dominates(std::span<const double> p, std::span<const double> q) const {
+    return kernel_.Dominates(p, q);
+  }
 
   /// The exact vector embedding: v(p) = (corner scores..., p[j] for each
   /// unbounded ratio dim j). p dominates q iff v(p) <= v(q) componentwise
   /// with v(p) != v(q); hence eclipse(P) = min-skyline of the embeddings.
-  Point Embed(std::span<const double> p) const;
-  size_t EmbeddingDims() const {
-    return corners_.size() + unbounded_dims_.size();
-  }
+  Point Embed(std::span<const double> p) const { return kernel_.Embed(p); }
+  size_t EmbeddingDims() const { return kernel_.embedding_dims(); }
 
-  const std::vector<Point>& corners() const { return corners_; }
+  const std::vector<Point>& corners() const { return kernel_.corners(); }
+  const CornerKernel& kernel() const { return kernel_; }
 
  private:
-  std::vector<Point> corners_;
-  std::vector<size_t> unbounded_dims_;
+  CornerKernel kernel_;
 };
 
 }  // namespace eclipse

@@ -35,7 +35,7 @@ Result<EclipseIndex> EclipseIndex::Build(const PointSet& points,
   // Resolve the query domain.
   std::vector<RatioRange> domain_ranges = options.domain;
   if (domain_ranges.empty()) {
-    domain_ranges.assign(k, RatioRange{0.0, 100.0});
+    domain_ranges.assign(k, kDefaultIndexDomainRange);
   }
   if (domain_ranges.size() != k) {
     return Status::InvalidArgument(
@@ -55,7 +55,8 @@ Result<EclipseIndex> EclipseIndex::Build(const PointSet& points,
     return Status::InvalidArgument("index domain must not be degenerate");
   }
 
-  // Candidate set: skyline, then pruned to the domain-box eclipse set.
+  // Candidate set: skyline, then pruned to the domain-box eclipse set
+  // (EclipseCornerSkyline embeds candidates through the shared CornerKernel).
   ECLIPSE_ASSIGN_OR_RETURN(
       std::vector<PointId> skyline_ids,
       ComputeSkyline(points, options.skyline_algorithm));

@@ -47,6 +47,10 @@ enum class IndexKind {
 
 const char* IndexKindName(IndexKind kind);
 
+/// The query domain used per ratio dimension when IndexBuildOptions::domain
+/// is left empty (also consulted by EclipseEngine's routing).
+inline constexpr RatioRange kDefaultIndexDomainRange{0.0, 100.0};
+
 struct IndexBuildOptions {
   IndexKind kind = IndexKind::kAuto;
   /// Query domain per ratio dimension; empty means [0, 100] for each.

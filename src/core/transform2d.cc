@@ -10,6 +10,7 @@
 #include <cmath>
 
 #include "common/strings.h"
+#include "core/corner_kernel.h"
 #include "core/eclipse.h"
 
 namespace eclipse {
@@ -26,31 +27,36 @@ Result<PointSet> TransformToCSpace(const PointSet& points,
   }
   const size_t d = points.dims();
   const size_t n = points.size();
+
+  // The paper's d chosen corners as weight vectors: the all-lo corner and,
+  // per ratio dim j, the single-flip corner with w[j] raised to h_j. Scores
+  // are evaluated by the shared CornerKernel primitive; the single-flip
+  // score divides by h_j to become the intercept c[j].
+  Point w_all_lo(d);
+  for (size_t j = 0; j + 1 < d; ++j) w_all_lo[j] = box.range(j).lo;
+  w_all_lo[d - 1] = 1.0;
+  std::vector<Point> w_flips(d - 1);
+  for (size_t j = 0; j + 1 < d; ++j) {
+    w_flips[j] = w_all_lo;
+    w_flips[j][j] = box.range(j).hi;
+  }
+
   std::vector<double> flat(n * d);
   for (size_t i = 0; i < n; ++i) {
     auto p = points[i];
-    // All-lo corner score: c[d-1].
-    double all_lo = p[d - 1];
-    for (size_t j = 0; j + 1 < d; ++j) {
-      all_lo += box.range(j).lo * p[j];
-    }
+    const double all_lo = CornerKernel::Score(p, w_all_lo);
     flat[i * d + (d - 1)] = all_lo;
     for (size_t j = 0; j + 1 < d; ++j) {
       const double hj = box.range(j).hi;
       double cj;
       if (std::isinf(hj)) {
-        // Limit of (h_j p[j] + rest) / h_j.
+        // Limit of Score(p, w_flip(j)) / h_j as h_j -> +inf.
         cj = p[j];
       } else if (hj == 0.0) {
         // Degenerate zero ratio: the flipped corner equals the all-lo one.
         cj = all_lo;
       } else {
-        double rest = p[d - 1];
-        for (size_t k = 0; k + 1 < d; ++k) {
-          if (k == j) continue;
-          rest += box.range(k).lo * p[k];
-        }
-        cj = (hj * p[j] + rest) / hj;
+        cj = CornerKernel::Score(p, w_flips[j]) / hj;
       }
       flat[i * d + j] = cj;
     }

@@ -10,6 +10,9 @@
 // does not hold over the whole ratio box. The result is a subset of the true
 // eclipse set: exact for d == 2, an under-approximation for d >= 3. Use
 // EclipseCornerSkyline for an exact transformation at any d.
+//
+// Corner scores are evaluated inside TransformToCSpace via the shared
+// CornerKernel scoring primitive (core/corner_kernel.h).
 
 #include "core/eclipse.h"
 

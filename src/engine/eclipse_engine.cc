@@ -1,0 +1,223 @@
+#include "engine/eclipse_engine.h"
+
+#include <utility>
+
+#include "common/strings.h"
+
+namespace eclipse {
+
+namespace {
+
+/// The best one-shot engine for this shape: TRAN-2D when the 2D fast path
+/// applies, the exact CORNER transformation otherwise.
+const char* BestOneShot(size_t d) { return d == 2 ? "TRAN-2D" : "CORNER"; }
+
+/// True iff this query would be served from the (lazily built) index once
+/// enough volume accumulates. Single source of truth shared by ChoosePlan's
+/// routing and EclipseEngine::Query's eligible-query counter.
+bool IndexEligible(const PlanInputs& in, const EngineOptions& options) {
+  return options.force_engine.empty() && options.enable_index &&
+         !in.index_build_failed && in.n > options.small_n_threshold &&
+         in.bounded && in.inside_domain && !in.degenerate &&
+         in.n >= options.index_min_points;
+}
+
+}  // namespace
+
+QueryPlan ChoosePlan(const PlanInputs& in, const EngineOptions& options) {
+  QueryPlan plan;
+  if (!options.force_engine.empty()) {
+    const EngineInfo* info =
+        EngineRegistry::Global().Find(options.force_engine);
+    plan.engine = options.force_engine;
+    // A forced index engine only routes through the engine's own index when
+    // that index can actually serve the query; otherwise the query falls
+    // through to the registry's one-shot Run (which reports the right error
+    // for unbounded boxes, and builds a box-domain throwaway index for
+    // bounded out-of-domain ones) without paying a useless lazy build.
+    plan.uses_index = info != nullptr && info->is_index && in.bounded &&
+                      in.inside_domain;
+    plan.will_build_index = plan.uses_index && !in.index_built;
+    if (info != nullptr && info->is_index && !plan.uses_index) {
+      plan.reason =
+          in.bounded
+              ? "forced by EngineOptions::force_engine; box outside the "
+                "index domain, so EVERY such query builds a throwaway "
+                "box-domain index -- widen EngineOptions::index.domain"
+              : "forced by EngineOptions::force_engine; unbounded boxes "
+                "cannot be served by an index engine";
+    } else {
+      plan.reason = "forced by EngineOptions::force_engine";
+    }
+    return plan;
+  }
+  if (in.n <= options.small_n_threshold) {
+    plan.engine = "BASE";
+    plan.reason = StrFormat(
+        "n = %zu <= %zu: the quadratic scan beats any transformation setup",
+        in.n, options.small_n_threshold);
+    return plan;
+  }
+  if (!in.bounded) {
+    plan.engine = BestOneShot(in.d);
+    plan.reason =
+        "unbounded ratio range (skyline-style query): index engines require "
+        "a bounded box";
+    return plan;
+  }
+  // An already-built index (lazy or explicitly prewarmed via BuildIndex())
+  // serves every query it can, regardless of the lazy-build gates -- the
+  // build cost is sunk. Degenerate (pure 1NN) boxes stay one-shot: a single
+  // corner evaluation beats the index walk.
+  if (in.index_built && in.inside_domain && !in.degenerate) {
+    plan.engine = EngineRegistry::NameForIndexKind(options.index.kind);
+    plan.uses_index = true;
+    plan.reason = "bounded in-domain query and the index is already built";
+    return plan;
+  }
+  if (IndexEligible(in, options)) {
+    const char* index_name =
+        EngineRegistry::NameForIndexKind(options.index.kind);
+    if (in.eligible_queries + 1 >= options.index_query_threshold) {
+      plan.engine = index_name;
+      plan.uses_index = true;
+      plan.will_build_index = true;
+      plan.reason = StrFormat(
+          "query volume reached %zu bounded in-domain queries: building the "
+          "index to amortize later queries",
+          in.eligible_queries + 1);
+      return plan;
+    }
+    plan.engine = BestOneShot(in.d);
+    plan.reason = StrFormat(
+        "bounded in-domain query %zu of %zu before the lazy index build",
+        in.eligible_queries + 1, options.index_query_threshold);
+    return plan;
+  }
+  plan.engine = BestOneShot(in.d);
+  if (!options.enable_index) {
+    plan.reason = "index disabled by EngineOptions::enable_index";
+  } else if (in.index_build_failed) {
+    plan.reason = "an earlier index build failed; serving one-shot";
+  } else if (in.degenerate) {
+    plan.reason = "pure 1NN query (all ranges degenerate): the one-shot "
+                  "transformation is a single corner evaluation";
+  } else if (!in.inside_domain) {
+    plan.reason = "query box outside the configured index domain";
+  } else {
+    plan.reason = StrFormat("n = %zu < %zu: too small to amortize an index "
+                            "build",
+                            in.n, options.index_min_points);
+  }
+  return plan;
+}
+
+Result<EclipseEngine> EclipseEngine::Make(PointSet points,
+                                          EngineOptions options) {
+  if (points.dims() < 2) {
+    return Status::InvalidArgument("eclipse requires d >= 2 data");
+  }
+  if (!options.force_engine.empty() &&
+      EngineRegistry::Global().Find(options.force_engine) == nullptr) {
+    return Status::InvalidArgument(
+        StrFormat("unknown engine \"%s\"", options.force_engine.c_str()));
+  }
+  if (!options.index.domain.empty() &&
+      options.index.domain.size() != points.dims() - 1) {
+    return Status::InvalidArgument(
+        StrFormat("index domain has %zu ranges, expected d-1 = %zu",
+                  options.index.domain.size(), points.dims() - 1));
+  }
+  return EclipseEngine(std::move(points), std::move(options));
+}
+
+EclipseEngine::EclipseEngine(PointSet points, EngineOptions options)
+    : points_(std::move(points)), options_(std::move(options)) {}
+
+bool EclipseEngine::InsideIndexDomain(const RatioBox& box) const {
+  if (box.dims() != points_.dims()) return false;
+  for (size_t j = 0; j < box.num_ratios(); ++j) {
+    const RatioRange& q = box.range(j);
+    const RatioRange& d = options_.index.domain.empty()
+                              ? kDefaultIndexDomainRange
+                              : options_.index.domain[j];
+    if (q.lo < d.lo || q.hi > d.hi) return false;
+  }
+  return true;
+}
+
+PlanInputs EclipseEngine::MakePlanInputs(const RatioBox& box) const {
+  PlanInputs in;
+  in.n = points_.size();
+  in.d = points_.dims();
+  in.bounded = !box.AnyUnbounded();
+  in.degenerate = box.AllDegenerate();
+  in.inside_domain = in.bounded && InsideIndexDomain(box);
+  in.eligible_queries = eligible_queries_;
+  in.index_built = index_.has_value();
+  in.index_build_failed = index_build_failed_;
+  return in;
+}
+
+QueryPlan EclipseEngine::Explain(const RatioBox& box) const {
+  return ChoosePlan(MakePlanInputs(box), options_);
+}
+
+Status EclipseEngine::BuildIndex() {
+  if (index_.has_value()) return Status::OK();
+  IndexBuildOptions build = options_.index;
+  if (!options_.force_engine.empty()) {
+    // A forced QUAD / CUTTING overrides the configured index kind.
+    auto kind = EngineRegistry::IndexKindForName(options_.force_engine);
+    if (kind.ok()) build.kind = *kind;
+  }
+  ECLIPSE_ASSIGN_OR_RETURN(EclipseIndex index,
+                           EclipseIndex::Build(points_, build));
+  index_ = std::move(index);
+  return Status::OK();
+}
+
+Result<std::vector<PointId>> EclipseEngine::Query(const RatioBox& box,
+                                                  EngineQueryStats* stats) {
+  const PlanInputs inputs = MakePlanInputs(box);
+  QueryPlan plan = ChoosePlan(inputs, options_);
+  ++queries_served_;
+  if (IndexEligible(inputs, options_)) ++eligible_queries_;
+
+  if (plan.uses_index) {
+    Status build_status = BuildIndex();
+    if (!build_status.ok() && options_.force_engine.empty()) {
+      // Degrade gracefully: an oversized pair table (ResourceExhausted)
+      // should not take serving down. Latch the failure (options_ stays as
+      // the user configured it) and answer one-shot.
+      index_build_failed_ = true;
+      plan.engine = BestOneShot(inputs.d);
+      plan.uses_index = false;
+      plan.will_build_index = false;
+      plan.reason = StrFormat("index build failed (%s); falling back to "
+                              "one-shot serving",
+                              build_status.ToString().c_str());
+    } else if (!build_status.ok()) {
+      // Forced engine: surface the failure, but still record the attempted
+      // plan for callers observing via stats.
+      if (stats != nullptr) stats->plan = std::move(plan);
+      return build_status;
+    }
+  }
+
+  Result<std::vector<PointId>> ids =
+      Status::Internal("engine dispatch fell through");
+  EngineQueryStats local;
+  EngineQueryStats* out = stats != nullptr ? stats : &local;
+  if (plan.uses_index) {
+    ids = index_->Query(box, &out->index);
+  } else {
+    ids = EngineRegistry::Global().Run(plan.engine, points_, box,
+                                       options_.algorithm, &out->counters);
+  }
+  out->plan = std::move(plan);
+  if (ids.ok()) out->result_size = ids.value().size();
+  return ids;
+}
+
+}  // namespace eclipse

@@ -1,0 +1,153 @@
+// EclipseEngine: the serving facade over every eclipse backend.
+//
+// An engine owns a PointSet and answers eclipse queries, routing each one
+// to the best backend through an explicit cost model over (n, d,
+// boundedness, repeat-query volume):
+//
+//   * tiny datasets        -> BASE (no transformation overhead),
+//   * unbounded boxes      -> TRAN-2D (d == 2) or CORNER (index engines
+//                             cannot serve skyline-style ranges),
+//   * bounded boxes        -> TRAN-2D / CORNER until the engine has seen
+//                             enough index-eligible queries, then it lazily
+//                             builds an EclipseIndex once and serves every
+//                             later in-domain query from it (build-once /
+//                             query-many, the paper's QUAD / CUTTING mode).
+//
+// Explain() returns the plan Query() would execute right now -- the chosen
+// registry engine name, whether the index would be (or has been) built, and
+// a human-readable reason -- without running anything, so routing is
+// observable and directly testable. The cost model itself is the free
+// function ChoosePlan() on a plain inputs struct.
+//
+// Every backend returns ids sorted ascending, and Query() forwards the
+// backend's vector untouched, so results are byte-identical to calling the
+// underlying algorithm directly.
+//
+// Thread safety: Query() mutates lazy state (query counter, index build);
+// an engine must be externally synchronized or confined to one thread.
+// EclipseIndex::QueryBatch remains the way to fan one index across threads.
+
+#ifndef ECLIPSE_ENGINE_ECLIPSE_ENGINE_H_
+#define ECLIPSE_ENGINE_ECLIPSE_ENGINE_H_
+
+#include <optional>
+#include <string>
+
+#include "core/eclipse.h"
+#include "core/eclipse_index.h"
+#include "engine/registry.h"
+
+namespace eclipse {
+
+struct EngineOptions {
+  /// Options forwarded to the one-shot algorithms.
+  EclipseOptions algorithm;
+  /// Options for the lazily built index (kind, query domain, ...). The
+  /// default domain covers ratios in [0, 100] per dimension.
+  IndexBuildOptions index;
+  /// Datasets with fewer points than this are always answered by BASE.
+  size_t small_n_threshold = 32;
+  /// The index is only worth building for at least this many points.
+  size_t index_min_points = 512;
+  /// Lazily build the index once this many index-eligible (bounded,
+  /// in-domain, non-degenerate) queries have been observed.
+  size_t index_query_threshold = 3;
+  /// Master switch for lazy index builds.
+  bool enable_index = true;
+  /// Bypass the cost model and always dispatch to this registry engine
+  /// (empty = automatic). Index engines route through the lazily built
+  /// index so repeat queries still amortize the build.
+  std::string force_engine;
+};
+
+/// The routing decision for one query.
+struct QueryPlan {
+  /// Registry name of the chosen engine (BASE / TRAN-2D / CORNER / QUAD /
+  /// CUTTING / ...).
+  std::string engine;
+  /// The query will be answered from the (possibly yet-unbuilt) index.
+  bool uses_index = false;
+  /// Serving this query triggers the lazy index build.
+  bool will_build_index = false;
+  /// Why the cost model picked this engine, for logs and debugging.
+  std::string reason;
+};
+
+/// What the cost model sees; a plain struct so tests can probe it directly.
+struct PlanInputs {
+  size_t n = 0;
+  size_t d = 0;
+  /// Every ratio range bounded (hi < +inf).
+  bool bounded = false;
+  /// All ranges degenerate (a pure 1NN query).
+  bool degenerate = false;
+  /// The box lies inside the configured index domain.
+  bool inside_domain = false;
+  /// Index-eligible queries observed so far (not counting this one).
+  size_t eligible_queries = 0;
+  bool index_built = false;
+  /// A previous lazy build failed (e.g. ResourceExhausted); don't retry.
+  bool index_build_failed = false;
+};
+
+/// The explicit cost model: pure function from inputs to plan.
+QueryPlan ChoosePlan(const PlanInputs& in, const EngineOptions& options);
+
+/// Per-query engine observability.
+struct EngineQueryStats {
+  QueryPlan plan;
+  /// Filled when an index backend served the query.
+  QueryStats index;
+  /// One-shot algorithm counters (corner evaluations, skyline comparisons).
+  Statistics counters;
+  size_t result_size = 0;
+};
+
+class EclipseEngine {
+ public:
+  /// Validates the dataset (d >= 2) and options.
+  static Result<EclipseEngine> Make(PointSet points,
+                                    EngineOptions options = {});
+
+  /// Answers the query through the cost model. Byte-identical to invoking
+  /// the chosen backend directly.
+  Result<std::vector<PointId>> Query(const RatioBox& box,
+                                     EngineQueryStats* stats = nullptr);
+
+  /// The plan Query() would execute for `box` right now; runs nothing and
+  /// changes no state.
+  QueryPlan Explain(const RatioBox& box) const;
+
+  /// Eagerly builds the index (a no-op if already built).
+  Status BuildIndex();
+
+  const PointSet& points() const { return points_; }
+  const EngineOptions& options() const { return options_; }
+  bool index_built() const { return index_.has_value(); }
+  /// The built index; must only be called when index_built().
+  const EclipseIndex& index() const { return *index_; }
+  size_t queries_served() const { return queries_served_; }
+
+  EclipseEngine(EclipseEngine&&) = default;
+  EclipseEngine& operator=(EclipseEngine&&) = default;
+
+ private:
+  EclipseEngine(PointSet points, EngineOptions options);
+
+  PlanInputs MakePlanInputs(const RatioBox& box) const;
+  bool InsideIndexDomain(const RatioBox& box) const;
+
+  PointSet points_;
+  EngineOptions options_;
+  std::optional<EclipseIndex> index_;
+  size_t queries_served_ = 0;
+  /// Bounded in-domain queries seen; drives the lazy build.
+  size_t eligible_queries_ = 0;
+  /// Latched on a failed lazy build so serving degrades to one-shot without
+  /// rewriting the user-visible options_.
+  bool index_build_failed_ = false;
+};
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_ENGINE_ECLIPSE_ENGINE_H_

@@ -1,0 +1,179 @@
+#include "engine/registry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace eclipse {
+
+namespace {
+
+/// One-shot Run for an index engine: build a throwaway index whose domain
+/// is the query box (widened where degenerate so the dual domain has
+/// positive volume -- a wider domain never changes the answer) and answer
+/// the single query.
+Result<std::vector<PointId>> RunIndexOnce(IndexKind kind,
+                                          const PointSet& points,
+                                          const RatioBox& box,
+                                          const EclipseOptions& options,
+                                          Statistics* stats) {
+  if (box.AnyUnbounded()) {
+    return Status::InvalidArgument(
+        "index engines require bounded ranges; use a one-shot engine for "
+        "skyline-style queries");
+  }
+  IndexBuildOptions build;
+  build.kind = kind;
+  build.skyline_algorithm = options.skyline_algorithm;
+  build.domain.reserve(box.num_ratios());
+  for (const RatioRange& r : box.ranges()) {
+    RatioRange d = r;
+    // Relative widening: an absolute +1.0 is a no-op in double precision
+    // once lo reaches 2^53.
+    if (d.degenerate()) d.hi = d.lo + std::max(1.0, std::abs(d.lo));
+    build.domain.push_back(d);
+  }
+  ECLIPSE_ASSIGN_OR_RETURN(EclipseIndex index,
+                           EclipseIndex::Build(points, build));
+  QueryStats query_stats;
+  ECLIPSE_ASSIGN_OR_RETURN(std::vector<PointId> ids,
+                           index.Query(box, &query_stats));
+  if (stats != nullptr) {
+    stats->Add(Ticker::kVerifiedCrossings,
+               query_stats.counters.Get(Ticker::kVerifiedCrossings));
+    stats->Add(Ticker::kCandidatePairs,
+               query_stats.counters.Get(Ticker::kCandidatePairs));
+  }
+  return ids;
+}
+
+EngineRegistry BuildGlobalRegistry() {
+  EngineRegistry registry;
+  registry.Register(
+      {.name = "BASE",
+       .description = "paper Algorithm 1: pairwise corner-score comparison",
+       .exact = true,
+       .complexity = "O(n^2 2^(d-1))",
+       .run = [](const PointSet& points, const RatioBox& box,
+                 const EclipseOptions&, Statistics* stats) {
+         return EclipseBaseline(points, box, stats);
+       }});
+  registry.Register(
+      {.name = "BASE-PAR",
+       .description = "BASE with the quadratic phase sharded over threads",
+       .exact = true,
+       .complexity = "O(n^2 2^(d-1) / threads)",
+       .run = [](const PointSet& points, const RatioBox& box,
+                 const EclipseOptions&, Statistics* stats) {
+         return EclipseBaselineParallel(points, box, /*num_threads=*/0, stats);
+       }});
+  registry.Register(
+      {.name = "TRAN-2D",
+       .description = "paper Algorithm 2: 2D intercept mapping + 2D skyline",
+       .exact = true,
+       .requires_2d = true,
+       .complexity = "O(n log n)",
+       .run = [](const PointSet& points, const RatioBox& box,
+                 const EclipseOptions& options, Statistics* stats) {
+         return EclipseTransform2D(points, box, options, stats);
+       }});
+  registry.Register(
+      {.name = "TRAN-HD",
+       .description = "paper Algorithm 3: d-corner c-mapping + skyline; "
+                      "under-reports for d >= 3 (DESIGN.md F1)",
+       .exact = false,
+       .complexity = "O(n log n + n d s)",
+       .run = [](const PointSet& points, const RatioBox& box,
+                 const EclipseOptions& options, Statistics* stats) {
+         return EclipseTransformHD(points, box, options, stats);
+       }});
+  registry.Register(
+      {.name = "CORNER",
+       .description = "exact corner-score embedding + skyline (any d)",
+       .exact = true,
+       .complexity = "O(n log n + n 2^(d-1) s)",
+       .run = [](const PointSet& points, const RatioBox& box,
+                 const EclipseOptions& options, Statistics* stats) {
+         return EclipseCornerSkyline(points, box, options, stats);
+       }});
+  registry.Register(
+      {.name = "QUAD",
+       .description = "index engine: midpoint 2^(d-1)-tree over dual "
+                      "crossings (one-shot Run builds a throwaway index)",
+       .exact = true,
+       .requires_bounded = true,
+       .is_index = true,
+       .complexity = "O(u + m) per query after build",
+       .run = [](const PointSet& points, const RatioBox& box,
+                 const EclipseOptions& options, Statistics* stats) {
+         return RunIndexOnce(IndexKind::kLineQuadtree, points, box, options,
+                             stats);
+       }});
+  registry.Register(
+      {.name = "CUTTING",
+       .description = "index engine: sample-median cutting tree over dual "
+                      "crossings (one-shot Run builds a throwaway index)",
+       .exact = true,
+       .requires_bounded = true,
+       .is_index = true,
+       .complexity = "O(u + m) per query after build",
+       .run = [](const PointSet& points, const RatioBox& box,
+                 const EclipseOptions& options, Statistics* stats) {
+         return RunIndexOnce(IndexKind::kCuttingTree, points, box, options,
+                             stats);
+       }});
+  return registry;
+}
+
+}  // namespace
+
+const EngineRegistry& EngineRegistry::Global() {
+  static const EngineRegistry* registry =
+      new EngineRegistry(BuildGlobalRegistry());
+  return *registry;
+}
+
+const EngineInfo* EngineRegistry::Find(std::string_view name) const {
+  for (const EngineInfo& info : engines_) {
+    if (info.name == name) return &info;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> EngineRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(engines_.size());
+  for (const EngineInfo& info : engines_) names.push_back(info.name);
+  return names;
+}
+
+Result<std::vector<PointId>> EngineRegistry::Run(
+    std::string_view name, const PointSet& points, const RatioBox& box,
+    const EclipseOptions& options, Statistics* stats) const {
+  const EngineInfo* info = Find(name);
+  if (info == nullptr) {
+    return Status::InvalidArgument(
+        StrFormat("unknown engine \"%.*s\"", static_cast<int>(name.size()),
+                  name.data()));
+  }
+  return info->run(points, box, options, stats);
+}
+
+Result<IndexKind> EngineRegistry::IndexKindForName(std::string_view name) {
+  if (name == "QUAD") return IndexKind::kLineQuadtree;
+  if (name == "CUTTING") return IndexKind::kCuttingTree;
+  return Status::InvalidArgument(
+      StrFormat("\"%.*s\" is not an index engine",
+                static_cast<int>(name.size()), name.data()));
+}
+
+const char* EngineRegistry::NameForIndexKind(IndexKind kind) {
+  return kind == IndexKind::kCuttingTree ? "CUTTING" : "QUAD";
+}
+
+void EngineRegistry::Register(EngineInfo info) {
+  engines_.push_back(std::move(info));
+}
+
+}  // namespace eclipse

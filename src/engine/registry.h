@@ -1,0 +1,98 @@
+// EngineRegistry: the single name -> engine table.
+//
+// Every eclipse engine -- the one-shot algorithms of core/eclipse.h and the
+// index-backed QUAD / CUTTING engines of core/eclipse_index.h -- registers
+// here under a stable name, together with the metadata callers need to
+// enumerate them uniformly (exactness, dimensionality and boundedness
+// requirements, complexity). Benches, the CLI, the EclipseEngine facade,
+// and the differential tests all dispatch through this table instead of
+// hard-coded switches.
+//
+// Registered engines:
+//
+//   name      | exact            | requirements         | complexity
+//   ----------+------------------+----------------------+---------------------
+//   BASE      | yes              |                      | O(n^2 2^(d-1))
+//   BASE-PAR  | yes              |                      | BASE / num_threads
+//   TRAN-2D   | yes              | d == 2               | O(n log n)
+//   TRAN-HD   | d == 2 only (F1) |                      | O(n log n + n d s)
+//   CORNER    | yes              |                      | O(n log n + n 2^(d-1) s)
+//   QUAD      | yes              | bounded box          | O(u + m) per query
+//   CUTTING   | yes              | bounded box          | O(u + m) per query
+//
+// For the index engines, Run() builds a throwaway index whose query domain
+// is (a non-degenerate widening of) the query box -- useful for differential
+// testing and ablation; production callers should hold an EclipseEngine or
+// an EclipseIndex and reuse it across queries.
+
+#ifndef ECLIPSE_ENGINE_REGISTRY_H_
+#define ECLIPSE_ENGINE_REGISTRY_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/eclipse.h"
+#include "core/eclipse_index.h"
+
+namespace eclipse {
+
+struct EngineInfo {
+  std::string name;
+  std::string description;
+  /// True iff the engine returns the exact eclipse set for every supported
+  /// input. TRAN-HD is the only inexact engine: exact for d == 2, a
+  /// documented under-approximation for d >= 3 (DESIGN.md finding F1).
+  bool exact = true;
+  /// The engine only supports 2-dimensional data (TRAN-2D).
+  bool requires_2d = false;
+  /// The engine requires a fully bounded ratio box (QUAD / CUTTING).
+  bool requires_bounded = false;
+  /// The engine answers from a prebuilt EclipseIndex (QUAD / CUTTING).
+  bool is_index = false;
+  /// Asymptotic cost, mirroring the core/eclipse.h header comment.
+  std::string complexity;
+
+  using RunFn = std::function<Result<std::vector<PointId>>(
+      const PointSet&, const RatioBox&, const EclipseOptions&, Statistics*)>;
+  RunFn run;
+};
+
+class EngineRegistry {
+ public:
+  /// The process-wide registry holding all built-in engines.
+  static const EngineRegistry& Global();
+
+  const std::vector<EngineInfo>& engines() const { return engines_; }
+
+  /// Case-sensitive lookup; nullptr when unknown.
+  const EngineInfo* Find(std::string_view name) const;
+
+  /// The registered names, in registration order.
+  std::vector<std::string> Names() const;
+
+  /// Runs engine `name` on (points, box). InvalidArgument for unknown names
+  /// or unsupported inputs (e.g. TRAN-2D on d != 2).
+  Result<std::vector<PointId>> Run(std::string_view name,
+                                   const PointSet& points, const RatioBox& box,
+                                   const EclipseOptions& options = {},
+                                   Statistics* stats = nullptr) const;
+
+  /// Maps an index-engine name (QUAD / CUTTING) to its IndexKind.
+  static Result<IndexKind> IndexKindForName(std::string_view name);
+  /// The registry name of an IndexKind ("QUAD" / "CUTTING"; kAuto resolves
+  /// to QUAD, the way EclipseIndex::BuildStructures does).
+  static const char* NameForIndexKind(IndexKind kind);
+
+  /// Appends an engine (used by Global()'s initializer; exposed so tests
+  /// can build small registries of their own).
+  void Register(EngineInfo info);
+
+ private:
+  std::vector<EngineInfo> engines_;
+};
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_ENGINE_REGISTRY_H_

@@ -358,5 +358,86 @@ TEST(EclipseIndexTest, QueryBatchEmpty) {
   EXPECT_TRUE(batch->empty());
 }
 
+TEST(EclipseIndexTest, QueryBatchMoreThreadsThanBoxes) {
+  // num_threads far above boxes.size() must clamp, not spawn idle workers
+  // or crash, and still answer every box.
+  Rng rng(41);
+  PointSet ps = GenerateSynthetic(Distribution::kIndependent, 500, 3, &rng);
+  auto index = *EclipseIndex::Build(ps, {});
+  std::vector<RatioBox> boxes = {*RatioBox::Uniform(2, 0.5, 2.0),
+                                 *RatioBox::Uniform(2, 0.8, 1.25)};
+  auto batch = index.QueryBatch(boxes, 64);
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  ASSERT_EQ(batch->size(), 2u);
+  EXPECT_EQ((*batch)[0], *index.Query(boxes[0], nullptr));
+  EXPECT_EQ((*batch)[1], *index.Query(boxes[1], nullptr));
+
+  // A single box with many threads likewise degrades to one worker.
+  auto single = index.QueryBatch({boxes[0]}, 16);
+  ASSERT_TRUE(single.ok());
+  ASSERT_EQ(single->size(), 1u);
+  EXPECT_EQ((*single)[0], *index.Query(boxes[0], nullptr));
+}
+
+TEST(EclipseIndexTest, QueryBatchInvalidBoxIsAllOrNothing) {
+  // One bad box anywhere in the batch fails the whole call before any query
+  // runs: no partial results, and the error names the offending position.
+  Rng rng(43);
+  PointSet ps = GenerateSynthetic(Distribution::kIndependent, 400, 2, &rng);
+  auto index = *EclipseIndex::Build(ps, {});
+  const RatioBox good = *RatioBox::Uniform(1, 0.5, 2.0);
+
+  // Out-of-domain box in the middle.
+  std::vector<RatioBox> boxes = {good, *RatioBox::Uniform(1, 0.5, 1000.0),
+                                 good};
+  auto batch = index.QueryBatch(boxes, 2);
+  ASSERT_FALSE(batch.ok());
+  EXPECT_TRUE(batch.status().IsOutOfRange());
+  EXPECT_NE(batch.status().message().find("query 1"), std::string::npos);
+
+  // Unbounded (skyline-style) box at the end: InvalidArgument, same
+  // all-or-nothing contract.
+  boxes = {good, good, RatioBox::Skyline(1)};
+  batch = index.QueryBatch(boxes, 2);
+  ASSERT_FALSE(batch.ok());
+  EXPECT_TRUE(batch.status().IsInvalidArgument());
+  EXPECT_NE(batch.status().message().find("query 2"), std::string::npos);
+
+  // Dimensionality mismatch up front.
+  boxes = {*RatioBox::Uniform(2, 0.5, 2.0), good};
+  batch = index.QueryBatch(boxes, 2);
+  ASSERT_FALSE(batch.ok());
+  EXPECT_TRUE(batch.status().IsInvalidArgument());
+  EXPECT_NE(batch.status().message().find("query 0"), std::string::npos);
+}
+
+TEST(EclipseIndexTest, QueryBatchOrderingStableAcrossThreadCounts) {
+  // Results must arrive in input order whether the batch runs on one thread
+  // or the hardware count, including duplicated and distinct boxes whose
+  // answers differ.
+  Rng rng(47);
+  PointSet ps = GenerateSynthetic(Distribution::kAnticorrelated, 900, 3, &rng);
+  auto index = *EclipseIndex::Build(ps, {});
+  std::vector<RatioBox> boxes;
+  for (int q = 0; q < 17; ++q) {
+    const double lo = 0.05 + 0.11 * q;
+    boxes.push_back(*RatioBox::Uniform(2, lo, lo + 0.5 + 0.2 * q));
+  }
+  boxes.push_back(boxes.front());  // duplicate on purpose
+
+  auto serial = index.QueryBatch(boxes, 1);
+  auto parallel = index.QueryBatch(boxes, 0);  // hardware count
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+  ASSERT_EQ(serial->size(), boxes.size());
+  ASSERT_EQ(parallel->size(), boxes.size());
+  for (size_t q = 0; q < boxes.size(); ++q) {
+    EXPECT_EQ((*serial)[q], (*parallel)[q]) << "q=" << q;
+    EXPECT_EQ((*serial)[q], *index.Query(boxes[q], nullptr)) << "q=" << q;
+  }
+  // The duplicated box really did produce the same answer twice.
+  EXPECT_EQ(serial->front(), serial->back());
+}
+
 }  // namespace
 }  // namespace eclipse

@@ -1,0 +1,475 @@
+// Tests for the engine layer: the registry (enumeration, dispatch, the
+// registry-driven differential property test against NaiveEclipse), the
+// ChoosePlan cost model as a pure function, and the EclipseEngine facade's
+// routing, Explain(), lazy index build, and byte-identical dispatch.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/random.h"
+#include "core/eclipse.h"
+#include "dataset/generators.h"
+#include "engine/eclipse_engine.h"
+#include "engine/registry.h"
+
+namespace eclipse {
+namespace {
+
+bool IsSubsetOf(const std::vector<PointId>& sub,
+                const std::vector<PointId>& super) {
+  return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
+}
+
+// ----------------------------------------------------------------- registry
+
+TEST(EngineRegistryTest, RegistersAllEngines) {
+  const EngineRegistry& registry = EngineRegistry::Global();
+  const std::vector<std::string> name_list = registry.Names();
+  const std::set<std::string> names(name_list.begin(), name_list.end());
+  const std::set<std::string> expected = {"BASE",   "BASE-PAR", "TRAN-2D",
+                                          "TRAN-HD", "CORNER",  "QUAD",
+                                          "CUTTING"};
+  EXPECT_EQ(names, expected);
+  for (const EngineInfo& info : registry.engines()) {
+    EXPECT_TRUE(info.run != nullptr) << info.name;
+    EXPECT_FALSE(info.description.empty()) << info.name;
+    EXPECT_FALSE(info.complexity.empty()) << info.name;
+  }
+  // TRAN-HD is the only inexact engine (DESIGN.md finding F1).
+  for (const EngineInfo& info : registry.engines()) {
+    EXPECT_EQ(info.exact, info.name != "TRAN-HD") << info.name;
+  }
+}
+
+TEST(EngineRegistryTest, FindAndRunUnknownName) {
+  const EngineRegistry& registry = EngineRegistry::Global();
+  EXPECT_EQ(registry.Find("NOPE"), nullptr);
+  EXPECT_EQ(registry.Find("base"), nullptr);  // case-sensitive
+  PointSet ps = *PointSet::FromPoints({{1, 2}, {2, 1}});
+  auto box = *RatioBox::Uniform(1, 0.5, 2.0);
+  auto r = registry.Run("NOPE", ps, box);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(EngineRegistryTest, IndexKindNameMapping) {
+  EXPECT_EQ(*EngineRegistry::IndexKindForName("QUAD"),
+            IndexKind::kLineQuadtree);
+  EXPECT_EQ(*EngineRegistry::IndexKindForName("CUTTING"),
+            IndexKind::kCuttingTree);
+  EXPECT_FALSE(EngineRegistry::IndexKindForName("CORNER").ok());
+  EXPECT_STREQ(EngineRegistry::NameForIndexKind(IndexKind::kLineQuadtree),
+               "QUAD");
+  EXPECT_STREQ(EngineRegistry::NameForIndexKind(IndexKind::kCuttingTree),
+               "CUTTING");
+  EXPECT_STREQ(EngineRegistry::NameForIndexKind(IndexKind::kAuto), "QUAD");
+}
+
+// The registry-driven differential property test: on random small datasets,
+// every registered engine agrees with NaiveEclipse on bounded boxes --
+// exactly for exact engines, as a subset for TRAN-HD (exact at d == 2).
+TEST(EngineRegistryTest, PropertyAllEnginesAgreeWithNaiveOnBoundedBoxes) {
+  const EngineRegistry& registry = EngineRegistry::Global();
+  Rng rng(20260728);
+  for (int trial = 0; trial < 60; ++trial) {
+    const size_t d = 2 + rng.NextIndex(3);  // 2..4
+    const size_t n = 1 + rng.NextIndex(64);
+    std::vector<double> flat;
+    flat.reserve(n * d);
+    for (size_t i = 0; i < n * d; ++i) {
+      // Coarse values provoke ties and duplicates.
+      flat.push_back(rng.NextIndex(8) * 0.5);
+    }
+    PointSet ps = *PointSet::FromFlat(d, std::move(flat));
+    const double lo = rng.Uniform(0.05, 1.5);
+    const double hi = lo + rng.Uniform(0.01, 3.0);
+    auto box = *RatioBox::Uniform(d - 1, lo, hi);
+    const auto expected = *NaiveEclipse(ps, box);
+    for (const EngineInfo& info : registry.engines()) {
+      if (info.requires_2d && d != 2) continue;
+      auto got = registry.Run(info.name, ps, box);
+      ASSERT_TRUE(got.ok()) << info.name << " trial " << trial << ": "
+                            << got.status().ToString();
+      if (info.exact || d == 2) {
+        EXPECT_EQ(*got, expected)
+            << info.name << " trial " << trial << " n=" << n << " d=" << d
+            << " box=" << box.ToString();
+      } else {
+        EXPECT_TRUE(IsSubsetOf(*got, expected))
+            << info.name << " trial " << trial << " (F1 allows only "
+            << "under-reporting, never over-reporting)";
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------- cost model
+
+EngineOptions DefaultOptions() { return EngineOptions{}; }
+
+TEST(ChoosePlanTest, TinyDatasetsUseBase) {
+  PlanInputs in;
+  in.n = 20;
+  in.d = 3;
+  in.bounded = true;
+  in.inside_domain = true;
+  const QueryPlan plan = ChoosePlan(in, DefaultOptions());
+  EXPECT_EQ(plan.engine, "BASE");
+  EXPECT_FALSE(plan.uses_index);
+  EXPECT_FALSE(plan.will_build_index);
+}
+
+TEST(ChoosePlanTest, UnboundedBoxesNeverUseIndex) {
+  PlanInputs in;
+  in.n = 100000;
+  in.bounded = false;
+  in.eligible_queries = 1000;
+  in.index_built = true;  // even with a built index: it cannot serve these
+  in.d = 2;
+  EXPECT_EQ(ChoosePlan(in, DefaultOptions()).engine, "TRAN-2D");
+  in.d = 5;
+  EXPECT_EQ(ChoosePlan(in, DefaultOptions()).engine, "CORNER");
+  EXPECT_FALSE(ChoosePlan(in, DefaultOptions()).uses_index);
+}
+
+TEST(ChoosePlanTest, RepeatQueriesTriggerLazyIndexBuild) {
+  EngineOptions options;
+  options.index_query_threshold = 3;
+  PlanInputs in;
+  in.n = 10000;
+  in.d = 3;
+  in.bounded = true;
+  in.inside_domain = true;
+
+  in.eligible_queries = 0;  // query 1: warm up one-shot
+  QueryPlan plan = ChoosePlan(in, options);
+  EXPECT_EQ(plan.engine, "CORNER");
+  EXPECT_FALSE(plan.uses_index);
+
+  in.eligible_queries = 2;  // query 3: crosses the threshold
+  plan = ChoosePlan(in, options);
+  EXPECT_EQ(plan.engine, "QUAD");
+  EXPECT_TRUE(plan.uses_index);
+  EXPECT_TRUE(plan.will_build_index);
+
+  in.index_built = true;  // later queries: index already there
+  plan = ChoosePlan(in, options);
+  EXPECT_TRUE(plan.uses_index);
+  EXPECT_FALSE(plan.will_build_index);
+
+  options.index.kind = IndexKind::kCuttingTree;
+  EXPECT_EQ(ChoosePlan(in, options).engine, "CUTTING");
+}
+
+TEST(ChoosePlanTest, IndexIneligibleShapes) {
+  EngineOptions options;
+  PlanInputs in;
+  in.n = 10000;
+  in.d = 3;
+  in.bounded = true;
+  in.inside_domain = true;
+  in.eligible_queries = 100;
+
+  PlanInputs degenerate = in;
+  degenerate.degenerate = true;  // pure 1NN: one-shot even with an index
+  degenerate.index_built = true;
+  EXPECT_EQ(ChoosePlan(degenerate, options).engine, "CORNER");
+
+  PlanInputs outside = in;
+  outside.inside_domain = false;
+  outside.index_built = true;
+  EXPECT_EQ(ChoosePlan(outside, options).engine, "CORNER");
+
+  PlanInputs small = in;
+  small.n = 600;
+  EngineOptions high_floor = options;
+  high_floor.index_min_points = 1000;
+  EXPECT_EQ(ChoosePlan(small, high_floor).engine, "CORNER");
+
+  EngineOptions disabled = options;
+  disabled.enable_index = false;
+  EXPECT_EQ(ChoosePlan(in, disabled).engine, "CORNER");
+  EXPECT_FALSE(ChoosePlan(in, disabled).uses_index);
+}
+
+TEST(ChoosePlanTest, PrebuiltIndexOverridesLazyBuildGates) {
+  // The lazy-build gates (min points, enable_index, query threshold) decide
+  // whether to PAY for a build; once the index exists, its cost is sunk and
+  // every servable query should use it.
+  PlanInputs in;
+  in.n = 400;  // below the default index_min_points = 512
+  in.d = 3;
+  in.bounded = true;
+  in.inside_domain = true;
+  in.index_built = true;
+
+  QueryPlan plan = ChoosePlan(in, DefaultOptions());
+  EXPECT_TRUE(plan.uses_index);
+  EXPECT_FALSE(plan.will_build_index);
+
+  EngineOptions disabled;
+  disabled.enable_index = false;  // gates builds, not use of a built index
+  EXPECT_TRUE(ChoosePlan(in, disabled).uses_index);
+
+  in.index_built = false;
+  EXPECT_FALSE(ChoosePlan(in, DefaultOptions()).uses_index);
+}
+
+TEST(ChoosePlanTest, ForcedEngineBypassesModel) {
+  EngineOptions options;
+  options.force_engine = "BASE-PAR";
+  PlanInputs in;
+  in.n = 5;  // would otherwise be BASE
+  in.d = 2;
+  in.bounded = true;
+  const QueryPlan plan = ChoosePlan(in, options);
+  EXPECT_EQ(plan.engine, "BASE-PAR");
+  EXPECT_FALSE(plan.uses_index);
+
+  options.force_engine = "CUTTING";
+  in.inside_domain = true;
+  const QueryPlan forced_index = ChoosePlan(in, options);
+  EXPECT_TRUE(forced_index.uses_index);
+  EXPECT_TRUE(forced_index.will_build_index);
+
+  // A forced index engine must not pay a lazy build it cannot serve from:
+  // unbounded or out-of-domain boxes fall through to the registry's
+  // one-shot Run instead.
+  PlanInputs unbounded = in;
+  unbounded.bounded = false;
+  unbounded.inside_domain = false;
+  const QueryPlan forced_unbounded = ChoosePlan(unbounded, options);
+  EXPECT_EQ(forced_unbounded.engine, "CUTTING");
+  EXPECT_FALSE(forced_unbounded.uses_index);
+  EXPECT_FALSE(forced_unbounded.will_build_index);
+
+  PlanInputs outside = in;
+  outside.inside_domain = false;
+  EXPECT_FALSE(ChoosePlan(outside, options).uses_index);
+}
+
+TEST(ChoosePlanTest, EveryPlanNamesARegisteredEngineWithReason) {
+  // Sweep the input lattice: whatever the inputs, the plan must name a
+  // registered engine and explain itself.
+  const EngineRegistry& registry = EngineRegistry::Global();
+  for (size_t n : {0u, 10u, 600u, 100000u}) {
+    for (size_t d : {2u, 4u}) {
+      for (bool bounded : {false, true}) {
+        for (bool degenerate : {false, true}) {
+          for (bool inside : {false, true}) {
+            for (size_t eligible : {0u, 7u}) {
+              for (bool built : {false, true}) {
+                PlanInputs in{n, d, bounded, degenerate && bounded,
+                              inside && bounded, eligible, built};
+                const QueryPlan plan = ChoosePlan(in, DefaultOptions());
+                EXPECT_NE(registry.Find(plan.engine), nullptr) << plan.engine;
+                EXPECT_FALSE(plan.reason.empty());
+                if (plan.will_build_index) EXPECT_TRUE(plan.uses_index);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------------ facade
+
+TEST(EclipseEngineTest, MakeValidates) {
+  EXPECT_FALSE(EclipseEngine::Make(PointSet(1)).ok());
+  EngineOptions bad_engine;
+  bad_engine.force_engine = "NOPE";
+  EXPECT_FALSE(
+      EclipseEngine::Make(*PointSet::FromPoints({{1, 2}}), bad_engine).ok());
+  EngineOptions bad_domain;
+  bad_domain.index.domain = {RatioRange{0, 10}, RatioRange{0, 10}};
+  EXPECT_FALSE(
+      EclipseEngine::Make(*PointSet::FromPoints({{1, 2}}), bad_domain).ok());
+}
+
+TEST(EclipseEngineTest, QueryIsByteIdenticalToDispatchedEngine) {
+  // For every plan the engine can choose, Query() must return exactly what
+  // running the planned engine directly returns.
+  Rng rng(509);
+  PointSet ps = GenerateSynthetic(Distribution::kAnticorrelated, 2000, 3, &rng);
+  auto engine = *EclipseEngine::Make(ps, {});
+  const EngineRegistry& registry = EngineRegistry::Global();
+  std::vector<RatioBox> boxes = {
+      *RatioBox::Uniform(2, 0.36, 2.75), RatioBox::Skyline(2),
+      *RatioBox::OneNN({1.0, 1.0}), *RatioBox::Uniform(2, 0.8, 1.25),
+      *RatioBox::Uniform(2, 0.36, 2.75)};
+  for (const RatioBox& box : boxes) {
+    const QueryPlan plan = engine.Explain(box);
+    EngineQueryStats stats;
+    auto got = engine.Query(box, &stats);
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_EQ(stats.plan.engine, plan.engine);
+    std::vector<PointId> direct;
+    if (plan.uses_index) {
+      ASSERT_TRUE(engine.index_built());
+      direct = *engine.index().Query(box, nullptr);
+    } else {
+      direct = *registry.Run(plan.engine, ps, box);
+    }
+    EXPECT_EQ(*got, direct) << "plan " << plan.engine;
+  }
+  EXPECT_EQ(engine.queries_served(), boxes.size());
+}
+
+TEST(EclipseEngineTest, SmallDatasetRoutesToBase) {
+  PointSet hotels = *PointSet::FromPoints({{1, 6}, {4, 4}, {6, 1}, {8, 5}});
+  auto engine = *EclipseEngine::Make(hotels, {});
+  auto box = *RatioBox::Uniform(1, 0.25, 2.0);
+  EXPECT_EQ(engine.Explain(box).engine, "BASE");
+  EXPECT_EQ(*engine.Query(box), (std::vector<PointId>{0, 1, 2}));
+  EXPECT_FALSE(engine.index_built());
+}
+
+TEST(EclipseEngineTest, ForcedEngineIsUsedForEveryQuery) {
+  Rng rng(521);
+  PointSet ps = GenerateSynthetic(Distribution::kIndependent, 300, 2, &rng);
+  EngineOptions options;
+  options.force_engine = "TRAN-2D";
+  auto engine = *EclipseEngine::Make(ps, options);
+  auto box = *RatioBox::Uniform(1, 0.5, 2.0);
+  EngineQueryStats stats;
+  auto got = engine.Query(box, &stats);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(stats.plan.engine, "TRAN-2D");
+  EXPECT_EQ(*got, *EclipseTransform2D(ps, box));
+}
+
+TEST(EclipseEngineTest, ForcedIndexEngineBuildsLazilyOnFirstQuery) {
+  Rng rng(523);
+  PointSet ps = GenerateSynthetic(Distribution::kIndependent, 400, 2, &rng);
+  EngineOptions options;
+  options.force_engine = "CUTTING";
+  auto engine = *EclipseEngine::Make(ps, options);
+  EXPECT_FALSE(engine.index_built());
+  auto box = *RatioBox::Uniform(1, 0.5, 2.0);
+  EXPECT_TRUE(engine.Explain(box).will_build_index);
+  EngineQueryStats stats;
+  auto got = engine.Query(box, &stats);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_TRUE(engine.index_built());
+  EXPECT_EQ(engine.index().kind(), IndexKind::kCuttingTree);
+  EXPECT_EQ(*got, *engine.index().Query(box, nullptr));
+}
+
+TEST(EclipseEngineTest, ForcedIndexEngineUnservableBoxSkipsBuild) {
+  // Forcing QUAD then asking a skyline-style query must error without
+  // paying the lazy index build the query could never use.
+  Rng rng(557);
+  PointSet ps = GenerateSynthetic(Distribution::kIndependent, 400, 2, &rng);
+  EngineOptions options;
+  options.force_engine = "QUAD";
+  auto engine = *EclipseEngine::Make(ps, options);
+  auto got = engine.Query(RatioBox::Skyline(1));
+  ASSERT_FALSE(got.ok());
+  EXPECT_TRUE(got.status().IsInvalidArgument());
+  EXPECT_FALSE(engine.index_built());
+}
+
+TEST(EclipseEngineTest, ExplainIsSideEffectFree) {
+  Rng rng(541);
+  PointSet ps = GenerateSynthetic(Distribution::kIndependent, 2000, 3, &rng);
+  auto engine = *EclipseEngine::Make(ps, {});
+  auto box = *RatioBox::Uniform(2, 0.5, 2.0);
+  for (int i = 0; i < 10; ++i) {
+    const QueryPlan plan = engine.Explain(box);
+    EXPECT_EQ(plan.engine, "CORNER");  // still warming up: no state advanced
+    EXPECT_FALSE(plan.uses_index);
+  }
+  EXPECT_EQ(engine.queries_served(), 0u);
+  EXPECT_FALSE(engine.index_built());
+}
+
+TEST(EclipseEngineTest, ForcedBuildFailureStillRecordsPlanInStats) {
+  Rng rng(571);
+  PointSet ps = GenerateSynthetic(Distribution::kAnticorrelated, 800, 2, &rng);
+  EngineOptions options;
+  options.force_engine = "QUAD";
+  options.index.max_pairs = 0;  // guarantee the build fails
+  auto engine = *EclipseEngine::Make(ps, options);
+  auto box = *RatioBox::Uniform(1, 0.5, 2.0);
+  EngineQueryStats stats;
+  auto got = engine.Query(box, &stats);
+  ASSERT_FALSE(got.ok());
+  EXPECT_TRUE(got.status().IsResourceExhausted());
+  EXPECT_EQ(stats.plan.engine, "QUAD");  // the attempted plan is observable
+  EXPECT_TRUE(stats.plan.uses_index);
+}
+
+TEST(EclipseEngineTest, FailedLazyBuildDegradesWithoutRewritingOptions) {
+  // Force the pair table over budget so the lazy build fails: serving must
+  // fall back to one-shot, latch the failure (no rebuild attempts), and
+  // leave the user-visible options untouched.
+  Rng rng(563);
+  PointSet ps = GenerateSynthetic(Distribution::kAnticorrelated, 1200, 3, &rng);
+  EngineOptions options;
+  options.index.max_pairs = 0;
+  options.index_query_threshold = 1;
+  auto engine = *EclipseEngine::Make(ps, options);
+  auto box = *RatioBox::Uniform(2, 0.36, 2.75);
+  EXPECT_TRUE(engine.Explain(box).will_build_index);
+  EngineQueryStats stats;
+  auto got = engine.Query(box, &stats);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(*got, *EclipseCornerSkyline(ps, box));
+  EXPECT_FALSE(stats.plan.uses_index);
+  EXPECT_FALSE(engine.index_built());
+  EXPECT_TRUE(engine.options().enable_index);  // config not rewritten
+  const QueryPlan after = engine.Explain(box);
+  EXPECT_FALSE(after.uses_index);
+  EXPECT_NE(after.reason.find("index build failed"), std::string::npos)
+      << after.reason;
+}
+
+TEST(EclipseEngineTest, BuildIndexPrewarmSkipsWarmup) {
+  Rng rng(547);
+  PointSet ps = GenerateSynthetic(Distribution::kAnticorrelated, 1500, 2, &rng);
+  auto engine = *EclipseEngine::Make(ps, {});
+  ASSERT_TRUE(engine.BuildIndex().ok());
+  ASSERT_TRUE(engine.index_built());
+  auto box = *RatioBox::Uniform(1, 0.5, 2.0);
+  const QueryPlan plan = engine.Explain(box);
+  EXPECT_TRUE(plan.uses_index);
+  EXPECT_FALSE(plan.will_build_index);
+  EXPECT_EQ(*engine.Query(box), *EclipseCornerSkyline(ps, box));
+}
+
+TEST(EclipseEngineTest, PrewarmedIndexServesBelowLazyBuildFloor) {
+  // A dataset below index_min_points never triggers a lazy build, but an
+  // explicit BuildIndex() must still be honored by routing.
+  Rng rng(569);
+  PointSet ps = GenerateSynthetic(Distribution::kAnticorrelated, 400, 2, &rng);
+  auto engine = *EclipseEngine::Make(ps, {});
+  auto box = *RatioBox::Uniform(1, 0.5, 2.0);
+  EXPECT_FALSE(engine.Explain(box).uses_index);  // 400 < 512 floor
+  ASSERT_TRUE(engine.BuildIndex().ok());
+  const QueryPlan plan = engine.Explain(box);
+  EXPECT_TRUE(plan.uses_index);
+  EXPECT_FALSE(plan.will_build_index);
+  EngineQueryStats stats;
+  EXPECT_EQ(*engine.Query(box, &stats), *EclipseCornerSkyline(ps, box));
+  EXPECT_TRUE(stats.plan.uses_index);
+}
+
+TEST(EngineRegistryTest, IndexEnginesServeHugeDegenerateRatios) {
+  // RunIndexOnce widens a degenerate domain relatively; an absolute +1.0
+  // widening would underflow to a no-op at lo >= 2^53 and fail the build.
+  PointSet ps = *PointSet::FromPoints({{1, 6}, {4, 4}, {6, 1}, {8, 5}});
+  auto box = *RatioBox::OneNN({1e16});
+  const auto expected = *NaiveEclipse(ps, box);
+  for (const char* name : {"QUAD", "CUTTING"}) {
+    auto got = EngineRegistry::Global().Run(name, ps, box);
+    ASSERT_TRUE(got.ok()) << name << ": " << got.status().ToString();
+    EXPECT_EQ(*got, expected) << name;
+  }
+}
+
+}  // namespace
+}  // namespace eclipse

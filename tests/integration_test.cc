@@ -16,6 +16,8 @@
 #include "dataset/generators.h"
 #include "dataset/nba_synth.h"
 #include "dataset/transforms.h"
+#include "engine/eclipse_engine.h"
+#include "engine/registry.h"
 #include "knn/rtree.h"
 #include "skyline/skyline.h"
 
@@ -78,6 +80,64 @@ TEST(IntegrationTest, IndexAndOneShotAgreeAtScale) {
     auto box = *RatioBox::Uniform(2, lo, hi);
     auto fast = *index.Query(box, nullptr);
     EXPECT_EQ(fast, *EclipseCornerSkyline(ps, box)) << lo << "," << hi;
+  }
+}
+
+TEST(IntegrationTest, EngineFacadeLazyBuildLifecycle) {
+  // The serving path: one-shot answers while the query volume is low, then
+  // a lazy index build, with byte-identical results throughout.
+  Rng rng(131);
+  PointSet ps =
+      GenerateSynthetic(Distribution::kAnticorrelated, 3000, 3, &rng);
+  auto engine = *EclipseEngine::Make(ps, {});
+  auto box = *RatioBox::Uniform(2, 0.36, 2.75);
+  const auto expected = *EclipseCornerSkyline(ps, box);
+
+  // Warmup queries are answered one-shot.
+  QueryPlan plan = engine.Explain(box);
+  EXPECT_EQ(plan.engine, "CORNER");
+  EXPECT_FALSE(plan.uses_index);
+  EXPECT_EQ(*engine.Query(box), expected);
+  EXPECT_EQ(*engine.Query(box), expected);
+  EXPECT_FALSE(engine.index_built());
+
+  // The third eligible query crosses index_query_threshold and builds.
+  plan = engine.Explain(box);
+  EXPECT_TRUE(plan.uses_index);
+  EXPECT_TRUE(plan.will_build_index);
+  EngineQueryStats stats;
+  EXPECT_EQ(*engine.Query(box, &stats), expected);
+  EXPECT_TRUE(engine.index_built());
+  EXPECT_TRUE(stats.plan.uses_index);
+  EXPECT_GT(stats.index.indexed, 0u);
+
+  // Later queries are served from the same index, still byte-identical to
+  // both the direct index call and the one-shot algorithms.
+  auto narrow = *RatioBox::Uniform(2, 0.84, 1.19);
+  EXPECT_EQ(*engine.Query(narrow), *engine.index().Query(narrow, nullptr));
+  EXPECT_EQ(*engine.Query(narrow), *EclipseCornerSkyline(ps, narrow));
+
+  // Skyline-style (unbounded) queries keep flowing one-shot.
+  RatioBox skyline_box = RatioBox::Skyline(2);
+  plan = engine.Explain(skyline_box);
+  EXPECT_EQ(plan.engine, "CORNER");
+  EXPECT_FALSE(plan.uses_index);
+  EXPECT_EQ(*engine.Query(skyline_box), *EclipseCornerSkyline(ps, skyline_box));
+}
+
+TEST(IntegrationTest, EngineRegistryEnumerationAgreesOnNba) {
+  // Every exact engine, enumerated from the registry, returns the same ids
+  // on the NBA workload.
+  PointSet totals = GenerateNbaCareerTotals(400, 23);
+  PointSet data = MaxToMin(totals);
+  auto cols = *SelectColumns(data, {0, 1, 2});
+  auto box = *RatioBox::Uniform(2, 0.36, 2.75);
+  const auto expected = *NaiveEclipse(cols, box);
+  for (const EngineInfo& info : EngineRegistry::Global().engines()) {
+    if (info.requires_2d || !info.exact) continue;
+    auto got = EngineRegistry::Global().Run(info.name, cols, box);
+    ASSERT_TRUE(got.ok()) << info.name << ": " << got.status().ToString();
+    EXPECT_EQ(*got, expected) << info.name;
   }
 }
 

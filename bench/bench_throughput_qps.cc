@@ -1,0 +1,225 @@
+// Serving throughput: N client threads issuing a mixed stream of bounded,
+// repeat, degenerate, and unbounded (skyline-style) queries against ONE
+// shared EclipseEngine -- the concurrency the snapshot/epoch refactor
+// bought. The engine serves index hits, LRU cache hits, and one-shot
+// CORNER scans from the same facade without external locking.
+//
+// Reports, per client count: QPS over the whole run, p50/p99 per-query
+// latency, and the engine's cumulative cache hit rate. Also writes
+// BENCH_throughput.json next to the working directory so the benchmark
+// trajectory has machine-readable data.
+//
+//   build/bench/bench_throughput_qps [--quick] [n] [d]
+//
+// Defaults: n = 20000, d = 3, 400 queries per client, clients swept over
+// {1, 2, 4, 8} regardless of core count (clients model concurrent users).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchlib/table.h"
+#include "benchlib/workloads.h"
+#include "common/statistics.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "engine/eclipse_engine.h"
+
+namespace {
+
+using eclipse::BenchDataset;
+using eclipse::EclipseEngine;
+using eclipse::EngineOptions;
+using eclipse::PointSet;
+using eclipse::RatioBox;
+using eclipse::RatioRange;
+using eclipse::Stopwatch;
+using eclipse::StrFormat;
+
+/// The per-client query mix. Weighted toward bounded/repeat traffic the
+/// way a recommender workload would be, with a skyline-style tail.
+std::vector<RatioBox> MakeQueryMix(size_t d, size_t queries, uint64_t seed) {
+  std::vector<RatioBox> mix;
+  mix.reserve(queries);
+  // A small set of "popular" boxes repeats across clients: cache fodder.
+  std::vector<RatioBox> popular;
+  for (int k = 0; k < 4; ++k) {
+    popular.push_back(*RatioBox::Uniform(d - 1, 0.36 + 0.1 * k,
+                                         2.75 - 0.2 * k));
+  }
+  uint64_t state = seed * 6364136223846793005ull + 1442695040888963407ull;
+  auto next = [&state] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<size_t>(state >> 33);
+  };
+  for (size_t q = 0; q < queries; ++q) {
+    const size_t roll = next() % 10;
+    if (roll < 5) {
+      mix.push_back(popular[next() % popular.size()]);
+    } else if (roll < 8) {
+      // Unique bounded in-domain boxes: index traffic, cache misses.
+      const double lo = 0.3 + 0.001 * static_cast<double>(next() % 500);
+      const double hi = lo + 0.5 + 0.001 * static_cast<double>(next() % 2000);
+      mix.push_back(*RatioBox::Uniform(d - 1, lo, hi));
+    } else if (roll < 9) {
+      // Pure 1NN (degenerate): one corner evaluation, one-shot.
+      const double r = 0.5 + 0.001 * static_cast<double>(next() % 1500);
+      mix.push_back(*RatioBox::Uniform(d - 1, r, r));
+    } else {
+      // Skyline-style: unbounded, always served one-shot.
+      mix.push_back(RatioBox::Skyline(d - 1));
+    }
+  }
+  return mix;
+}
+
+struct RunResult {
+  size_t clients = 0;
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double cache_hit_rate = 0.0;
+};
+
+double Percentile(std::vector<double>* sorted_us, double p) {
+  if (sorted_us->empty()) return 0.0;
+  const size_t idx = std::min(
+      sorted_us->size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted_us->size() - 1)));
+  return (*sorted_us)[idx];
+}
+
+RunResult RunClients(EclipseEngine* engine, size_t clients,
+                     size_t queries_per_client, size_t d) {
+  const uint64_t hits_before = engine->cache().hits();
+  const uint64_t misses_before = engine->cache().misses();
+  std::vector<std::vector<double>> latencies(clients);
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([engine, c, clients, queries_per_client, d,
+                          &latencies] {
+      // Seed by (sweep, client) so a later sweep never replays the unique
+      // boxes an earlier sweep already pushed into the LRU; only the
+      // popular boxes stay warm across sweeps, as they would in steady
+      // state.
+      const std::vector<RatioBox> mix = MakeQueryMix(
+          d, queries_per_client, /*seed=*/clients * 1000 + c);
+      auto& lat = latencies[c];
+      lat.reserve(mix.size());
+      for (const RatioBox& box : mix) {
+        Stopwatch sw;
+        auto got = engine->Query(box);
+        lat.push_back(sw.ElapsedMicros());
+        if (!got.ok()) {
+          std::fprintf(stderr, "query failed: %s\n",
+                       got.status().ToString().c_str());
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_s = wall.ElapsedSeconds();
+
+  std::vector<double> all;
+  for (const auto& lat : latencies) {
+    all.insert(all.end(), lat.begin(), lat.end());
+  }
+  std::sort(all.begin(), all.end());
+  RunResult r;
+  r.clients = clients;
+  r.qps = wall_s > 0 ? static_cast<double>(all.size()) / wall_s : 0.0;
+  r.p50_us = Percentile(&all, 0.50);
+  r.p99_us = Percentile(&all, 0.99);
+  const uint64_t hits = engine->cache().hits() - hits_before;
+  const uint64_t misses = engine->cache().misses() - misses_before;
+  r.cache_hit_rate =
+      hits + misses > 0
+          ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+          : 0.0;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  size_t n = 20000, d = 3;
+  std::vector<size_t> positional;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--quick") == 0) {
+      quick = true;
+    } else {
+      positional.push_back(static_cast<size_t>(std::atoll(argv[a])));
+    }
+  }
+  if (!positional.empty()) n = positional[0];
+  if (positional.size() > 1) d = positional[1];
+  if (quick) n = std::min<size_t>(n, 4000);
+  const size_t queries_per_client = quick ? 100 : 400;
+
+  // Clients model concurrent users, not cores: sweep past the hardware
+  // count so saturation (flat QPS, rising p99) is visible in the output.
+  const std::vector<size_t> client_counts = {1, 2, 4, 8};
+
+  PointSet data = eclipse::MakeBenchDataset(BenchDataset::kAnti, n, d, 42);
+  EngineOptions options;
+  options.index_query_threshold = 1;
+  auto engine = EclipseEngine::Make(std::move(data), options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Serving throughput: shared EclipseEngine, ANTI n=%zu d=%zu, "
+              "%zu queries/client\n(mix: 50%% repeat bounded, 30%% unique "
+              "bounded, 10%% 1NN, 10%% skyline)\n\n",
+              n, d, queries_per_client);
+  Stopwatch build;
+  if (auto s = engine->BuildIndex(); !s.ok()) {
+    std::printf("index prebuild skipped: %s\n", s.ToString().c_str());
+  } else {
+    std::printf("index prebuilt in %.2fs (u = %zu)\n\n",
+                build.ElapsedSeconds(), engine->index().indexed_count());
+  }
+
+  eclipse::TablePrinter table(
+      {"clients", "QPS", "p50 (us)", "p99 (us)", "cache hit"});
+  std::vector<RunResult> results;
+  for (size_t clients : client_counts) {
+    const RunResult r =
+        RunClients(&engine.value(), clients, queries_per_client, d);
+    results.push_back(r);
+    table.AddRow({StrFormat("%zu", r.clients), StrFormat("%.0f", r.qps),
+                  StrFormat("%.1f", r.p50_us), StrFormat("%.1f", r.p99_us),
+                  StrFormat("%.1f%%", 100.0 * r.cache_hit_rate)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  FILE* json = std::fopen("BENCH_throughput.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_throughput.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"throughput_qps\",\n  \"dataset\": "
+               "\"ANTI\",\n  \"n\": %zu,\n  \"d\": %zu,\n"
+               "  \"queries_per_client\": %zu,\n  \"rows\": [\n",
+               n, d, queries_per_client);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    std::fprintf(json,
+                 "    {\"clients\": %zu, \"qps\": %.1f, \"p50_us\": %.1f, "
+                 "\"p99_us\": %.1f, \"cache_hit_rate\": %.4f}%s\n",
+                 r.clients, r.qps, r.p50_us, r.p99_us, r.cache_hit_rate,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_throughput.json\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace eclipse {
+
+namespace {
+
+/// Shared bookkeeping for one ParallelFor: chunks are claimed from `next`
+/// and counted off in `completed`. The caller waits on chunk COMPLETION,
+/// not on helper-task completion, so a fast call returns as soon as its own
+/// chunks are done even while its helper tasks still sit queued behind
+/// other callers' work; a late helper finds `next` exhausted and exits
+/// without ever touching `fn` (which may be gone by then -- the shared
+/// state it does touch is kept alive by the task's shared_ptr).
+struct ParallelForState {
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> completed{0};
+  size_t chunks = 0;
+  size_t begin = 0;
+  size_t end = 0;
+  size_t grain = 0;
+  const std::function<void(size_t, size_t)>* fn = nullptr;
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+
+  void RunChunks() {
+    for (;;) {
+      const size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
+      const size_t chunk_begin = begin + c * grain;
+      const size_t chunk_end = std::min(chunk_begin + grain, end);
+      (*fn)(chunk_begin, chunk_end);
+      if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks) {
+        // Lock before notifying so the waiter cannot check the predicate
+        // and sleep between our increment and our notify.
+        std::lock_guard<std::mutex> lock(mu);
+        done_cv.notify_one();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (size_t t = 0; t < num_threads; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = new ThreadPool();  // never destroyed: workers
+  return *pool;  // must outlive every static that might ParallelFor at exit
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                             const std::function<void(size_t, size_t)>& fn,
+                             size_t max_parallelism) {
+  if (end <= begin) return;
+  const size_t n = end - begin;
+  size_t parallelism = workers_.size() + 1;  // workers + the caller
+  if (max_parallelism != 0) {
+    parallelism = std::min(parallelism, max_parallelism);
+  }
+  if (grain == 0) grain = (n + parallelism - 1) / parallelism;
+  grain = std::max<size_t>(1, grain);
+  const size_t chunks = (n + grain - 1) / grain;
+  // Helpers beyond the chunk count (or the parallelism cap) would only wake
+  // up to find the counter exhausted.
+  const size_t helpers =
+      std::min(parallelism - 1, chunks > 0 ? chunks - 1 : 0);
+  if (helpers == 0) {
+    fn(begin, end);
+    return;
+  }
+
+  auto state = std::make_shared<ParallelForState>();
+  state->chunks = chunks;
+  state->begin = begin;
+  state->end = end;
+  state->grain = grain;
+  // Valid for exactly as long as chunks can still be claimed: the caller
+  // blocks until every chunk completes, and helpers arriving later bail on
+  // the exhausted chunk counter without dereferencing fn.
+  state->fn = &fn;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t h = 0; h < helpers; ++h) {
+      tasks_.emplace_back([state] { state->RunChunks(); });
+    }
+  }
+  cv_.notify_all();
+
+  state->RunChunks();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&] {
+    return state->completed.load(std::memory_order_acquire) == chunks;
+  });
+}
+
+}  // namespace eclipse

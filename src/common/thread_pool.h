@@ -1,0 +1,75 @@
+// ThreadPool: the process-shared worker pool behind every parallel path.
+//
+// Before this existed, each parallel entry point (EclipseBaselineParallel,
+// CornerKernel::EmbedAllParallel, EclipseIndex::QueryBatch) spawned fresh
+// std::threads per call -- fine for a benchmark, hostile to a serving
+// system answering thousands of small queries per second. The pool starts
+// its workers once (lazily, on first use) and every hot path shares them.
+//
+// The one primitive is ParallelFor(begin, end, grain, fn): the range is cut
+// into chunks of `grain` indices, chunks are claimed from a shared atomic
+// counter (dynamic load balancing without work stealing), and the *calling*
+// thread participates, so a ParallelFor never deadlocks waiting for workers
+// that are busy with other callers -- at worst it degrades to running the
+// whole range itself. Concurrent ParallelFor calls from different threads
+// interleave safely on the same workers.
+//
+// fn must not throw: Status-style error handling belongs in the caller's
+// chunk function (collect into a mutex-guarded slot and return early).
+// fn must not itself call ParallelFor on the same pool -- with every worker
+// blocked in an outer wait the queued inner helpers would never run
+// (the callers in this library parallelize only at the top level).
+
+#ifndef ECLIPSE_COMMON_THREAD_POOL_H_
+#define ECLIPSE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace eclipse {
+
+class ThreadPool {
+ public:
+  /// num_threads == 0 picks the hardware concurrency (at least 1).
+  explicit ThreadPool(size_t num_threads = 0);
+
+  /// Joins all workers; outstanding queued helpers finish first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// The process-wide pool, started on first use and shared by every
+  /// parallel algorithm in the library.
+  static ThreadPool& Shared();
+
+  size_t size() const { return workers_.size(); }
+
+  /// Runs fn(chunk_begin, chunk_end) over [begin, end) cut into chunks of
+  /// `grain` indices (grain == 0 means one chunk per worker+caller). The
+  /// calling thread always participates; up to max_parallelism - 1 pool
+  /// workers help (0 means no cap beyond the pool size). Blocks until every
+  /// chunk has finished. fn must not throw and must tolerate being called
+  /// concurrently from distinct threads on disjoint chunks.
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   const std::function<void(size_t, size_t)>& fn,
+                   size_t max_parallelism = 0);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_COMMON_THREAD_POOL_H_

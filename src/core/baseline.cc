@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "core/corner_kernel.h"
 #include "core/dominance_oracle.h"
 #include "core/eclipse.h"
@@ -89,6 +90,9 @@ Result<std::vector<PointId>> EclipseBaselineParallel(const PointSet& points,
       kernel.EmbedAllParallel(points, num_threads, stats);
 
   std::vector<uint8_t> dominated(n, 0);
+  // Each chunk owns a disjoint slice of `dominated`; the quadratic pass
+  // reads the shared score matrix only. Chunks run on the shared pool --
+  // no per-call thread spawn.
   auto worker = [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       const double* b = scores.data() + i * m;
@@ -114,15 +118,7 @@ Result<std::vector<PointId>> EclipseBaselineParallel(const PointSet& points,
   if (num_threads == 1) {
     worker(0, n);
   } else {
-    std::vector<std::thread> threads;
-    const size_t chunk = (n + num_threads - 1) / num_threads;
-    for (size_t t = 0; t < num_threads; ++t) {
-      const size_t begin = t * chunk;
-      const size_t end = std::min(begin + chunk, n);
-      if (begin >= end) break;
-      threads.emplace_back(worker, begin, end);
-    }
-    for (auto& th : threads) th.join();
+    ThreadPool::Shared().ParallelFor(0, n, /*grain=*/64, worker, num_threads);
   }
 
   std::vector<PointId> out;

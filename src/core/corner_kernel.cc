@@ -2,15 +2,18 @@
 
 #include <algorithm>
 #include <cassert>
-#include <thread>
+
+#include "common/thread_pool.h"
 
 namespace eclipse {
 
 namespace {
 
-/// Rows per block in the batch loop: a block of points stays resident in L1
-/// while every corner weight vector streams over it once.
-constexpr size_t kRowBlock = 64;
+/// Rows per block in the column-major loop: a block of partial sums stays
+/// resident while every (corner, attribute) coefficient streams over it.
+/// 128 rows x ~20 attributes x 8 bytes comfortably fits L2 even for the
+/// widest supported datasets.
+constexpr size_t kRowBlock = 128;
 
 }  // namespace
 
@@ -55,75 +58,113 @@ bool CornerKernel::Dominates(std::span<const double> p,
   return strict;
 }
 
-void CornerKernel::EmbedRows(const PointSet& points, size_t begin, size_t end,
-                             double* out) const {
+void CornerKernel::EmbedColumns(std::span<const double* const> cols,
+                                size_t stride, size_t begin, size_t end,
+                                double* out) const {
   const size_t d = dims_;
   const size_t m = embedding_dims();
   const size_t num_corners = corners_.size();
-  const double* data = points.data().data();
+  double acc[kRowBlock];
   for (size_t block = begin; block < end; block += kRowBlock) {
-    const size_t block_end = std::min(block + kRowBlock, end);
+    const size_t bn = std::min(kRowBlock, end - block);
     for (size_t c = 0; c < num_corners; ++c) {
       const double* w = corners_[c].data();
-      for (size_t i = block; i < block_end; ++i) {
-        const double* p = data + i * d;
-        double acc = 0.0;
-        for (size_t j = 0; j < d; ++j) acc += p[j] * w[j];
-        out[(i - begin) * m + c] = acc;
+      std::fill_n(acc, bn, 0.0);
+      // Accumulate attribute-by-attribute so each coefficient w[j] is
+      // broadcast over a contiguous (stride 1) or strided column slice.
+      // The per-element addition order is j ascending, the same order as
+      // the scalar Score(), so every layout yields identical doubles.
+      for (size_t j = 0; j < d; ++j) {
+        const double wj = w[j];
+        const double* col = cols[j] + block * stride;
+        for (size_t i = 0; i < bn; ++i) acc[i] += col[i * stride] * wj;
       }
+      for (size_t i = 0; i < bn; ++i) out[(block - begin + i) * m + c] = acc[i];
     }
     for (size_t u = 0; u < unbounded_dims_.size(); ++u) {
-      const size_t j = unbounded_dims_[u];
-      for (size_t i = block; i < block_end; ++i) {
-        out[(i - begin) * m + num_corners + u] = data[i * d + j];
+      const double* col = cols[unbounded_dims_[u]] + block * stride;
+      for (size_t i = 0; i < bn; ++i) {
+        out[(block - begin + i) * m + num_corners + u] = col[i * stride];
       }
     }
   }
 }
 
-std::vector<double> CornerKernel::EmbedAll(const PointSet& points,
-                                           Statistics* stats) const {
-  assert(points.dims() == dims_ || points.empty());
-  const size_t n = points.size();
+std::vector<const double*> CornerKernel::StridedColumns(
+    const PointSet& points) {
+  std::vector<const double*> cols(points.dims());
+  if (points.empty()) return cols;  // data() may be null: no offsets (UB)
+  const double* data = points.data().data();
+  for (size_t j = 0; j < points.dims(); ++j) cols[j] = data + j;
+  return cols;
+}
+
+std::vector<const double*> CornerKernel::SnapshotColumns(
+    const ColumnarSnapshot& snapshot) {
+  std::vector<const double*> cols(snapshot.dims());
+  for (size_t j = 0; j < snapshot.dims(); ++j) {
+    cols[j] = snapshot.column(j).data();
+  }
+  return cols;
+}
+
+std::vector<double> CornerKernel::EmbedAllImpl(
+    std::span<const double* const> cols, size_t stride, size_t n,
+    Statistics* stats) const {
   const size_t m = embedding_dims();
   std::vector<double> scores(n * m);
-  EmbedRows(points, 0, n, scores.data());
+  EmbedColumns(cols, stride, 0, n, scores.data());
   if (stats != nullptr) {
     stats->Add(Ticker::kCornerScoreEvaluations, n * m);
   }
   return scores;
+}
+
+std::vector<double> CornerKernel::EmbedAllParallelImpl(
+    std::span<const double* const> cols, size_t stride, size_t n,
+    size_t num_threads, Statistics* stats) const {
+  const size_t m = embedding_dims();
+  std::vector<double> scores(n * m);
+  double* out = scores.data();
+  ThreadPool::Shared().ParallelFor(
+      0, n, kRowBlock,
+      [&](size_t begin, size_t end) {
+        EmbedColumns(cols, stride, begin, end, out + begin * m);
+      },
+      num_threads);
+  if (stats != nullptr) {
+    stats->Add(Ticker::kCornerScoreEvaluations, n * m);
+  }
+  return scores;
+}
+
+std::vector<double> CornerKernel::EmbedAll(const ColumnarSnapshot& snapshot,
+                                           Statistics* stats) const {
+  assert(snapshot.dims() == dims_ || snapshot.empty());
+  return EmbedAllImpl(SnapshotColumns(snapshot), 1, snapshot.size(), stats);
+}
+
+std::vector<double> CornerKernel::EmbedAll(const PointSet& points,
+                                           Statistics* stats) const {
+  assert(points.dims() == dims_ || points.empty());
+  return EmbedAllImpl(StridedColumns(points), points.dims(), points.size(),
+                      stats);
+}
+
+std::vector<double> CornerKernel::EmbedAllParallel(
+    const ColumnarSnapshot& snapshot, size_t num_threads,
+    Statistics* stats) const {
+  assert(snapshot.dims() == dims_ || snapshot.empty());
+  return EmbedAllParallelImpl(SnapshotColumns(snapshot), 1, snapshot.size(),
+                              num_threads, stats);
 }
 
 std::vector<double> CornerKernel::EmbedAllParallel(const PointSet& points,
                                                    size_t num_threads,
                                                    Statistics* stats) const {
   assert(points.dims() == dims_ || points.empty());
-  const size_t n = points.size();
-  const size_t m = embedding_dims();
-  std::vector<double> scores(n * m);
-  if (num_threads == 0) {
-    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
-  }
-  num_threads = std::min(num_threads, std::max<size_t>(1, n));
-  if (num_threads == 1) {
-    EmbedRows(points, 0, n, scores.data());
-  } else {
-    std::vector<std::thread> threads;
-    const size_t chunk = (n + num_threads - 1) / num_threads;
-    for (size_t t = 0; t < num_threads; ++t) {
-      const size_t begin = t * chunk;
-      const size_t end = std::min(begin + chunk, n);
-      if (begin >= end) break;
-      threads.emplace_back([this, &points, begin, end, m, &scores] {
-        EmbedRows(points, begin, end, scores.data() + begin * m);
-      });
-    }
-    for (auto& th : threads) th.join();
-  }
-  if (stats != nullptr) {
-    stats->Add(Ticker::kCornerScoreEvaluations, n * m);
-  }
-  return scores;
+  return EmbedAllParallelImpl(StridedColumns(points), points.dims(),
+                              points.size(), num_threads, stats);
 }
 
 Result<PointSet> CornerKernel::EmbedAllAsPointSet(const PointSet& points,

@@ -9,11 +9,16 @@
 //
 //   * Score        -- one weighted sum (the scalar primitive),
 //   * Embed        -- one point -> its m-dimensional embedding,
-//   * EmbedAll     -- the whole PointSet -> a flat n x m score matrix,
-//                     evaluated in cache-sized blocks of rows so each corner
-//                     weight vector is reused across a resident block,
-//   * EmbedAllParallel -- the same matrix with rows sharded over worker
-//                     threads (the EclipseBaselineParallel pattern).
+//   * EmbedAll     -- the whole dataset -> a flat n x m score matrix,
+//                     evaluated column-major: each corner weight coefficient
+//                     is broadcast over a contiguous attribute column for a
+//                     cache-resident block of rows. The ColumnarSnapshot
+//                     overload reads the columns directly; the PointSet
+//                     overload is a thin adapter that walks the row-major
+//                     matrix as strided columns through the same kernel, so
+//                     both layouts produce bitwise-identical matrices.
+//   * EmbedAllParallel -- the same matrix with row blocks dispatched onto
+//                     the shared ThreadPool (no per-call thread spawn).
 //
 // Embedding layout: row i is (corner scores..., p[j] for each unbounded
 // ratio dim j), matching RatioBox::CornerWeightVectors() order. p
@@ -28,6 +33,7 @@
 
 #include "common/statistics.h"
 #include "core/ratio_box.h"
+#include "dataset/columnar.h"
 #include "geometry/point.h"
 
 namespace eclipse {
@@ -60,12 +66,21 @@ class CornerKernel {
   bool Dominates(std::span<const double> p, std::span<const double> q) const;
 
   /// The full n x m score matrix, row-major: row i is the embedding of
-  /// points[i]. Ticks kCornerScoreEvaluations on `stats`.
+  /// row i of the snapshot. Ticks kCornerScoreEvaluations on `stats`.
+  std::vector<double> EmbedAll(const ColumnarSnapshot& snapshot,
+                               Statistics* stats = nullptr) const;
+
+  /// EmbedAll over a row-major PointSet (strided-column adapter; identical
+  /// output to embedding the equivalent snapshot).
   std::vector<double> EmbedAll(const PointSet& points,
                                Statistics* stats = nullptr) const;
 
-  /// EmbedAll with rows sharded over `num_threads` workers (0 picks the
-  /// hardware count). Identical output to EmbedAll.
+  /// EmbedAll with row blocks run on the shared ThreadPool. num_threads
+  /// caps the parallelism (0 = the whole pool). Identical output to
+  /// EmbedAll.
+  std::vector<double> EmbedAllParallel(const ColumnarSnapshot& snapshot,
+                                       size_t num_threads = 0,
+                                       Statistics* stats = nullptr) const;
   std::vector<double> EmbedAllParallel(const PointSet& points,
                                        size_t num_threads = 0,
                                        Statistics* stats = nullptr) const;
@@ -75,10 +90,26 @@ class CornerKernel {
                                       Statistics* stats = nullptr) const;
 
  private:
-  /// Embeds rows [begin, end) into the matrix starting at out (row-major,
-  /// m columns), blocked for cache reuse.
-  void EmbedRows(const PointSet& points, size_t begin, size_t end,
-                 double* out) const;
+  /// The core kernel: embeds rows [begin, end) into out (row-major, m
+  /// columns). Column j of the dataset is cols[j][i * stride] -- stride 1
+  /// for a ColumnarSnapshot, stride d for a row-major PointSet -- blocked
+  /// so each corner coefficient streams over a resident block of rows.
+  void EmbedColumns(std::span<const double* const> cols, size_t stride,
+                    size_t begin, size_t end, double* out) const;
+
+  /// Column base pointers for a row-major PointSet (stride dims()).
+  static std::vector<const double*> StridedColumns(const PointSet& points);
+  /// Column base pointers for a snapshot (stride 1).
+  static std::vector<const double*> SnapshotColumns(
+      const ColumnarSnapshot& snapshot);
+
+  std::vector<double> EmbedAllImpl(std::span<const double* const> cols,
+                                   size_t stride, size_t n,
+                                   Statistics* stats) const;
+  std::vector<double> EmbedAllParallelImpl(std::span<const double* const> cols,
+                                           size_t stride, size_t n,
+                                           size_t num_threads,
+                                           Statistics* stats) const;
 
   size_t dims_ = 0;
   std::vector<Point> corners_;

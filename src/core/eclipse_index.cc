@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <thread>
+#include <mutex>
 
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "dual/order_vector.h"
 
 namespace eclipse {
@@ -243,34 +244,27 @@ Result<std::vector<std::vector<PointId>>> EclipseIndex::QueryBatch(
                     StrFormat("query %zu: %s", q, status.message().c_str()));
     }
   }
-  if (num_threads == 0) {
-    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
-  }
-  num_threads = std::min(num_threads, std::max<size_t>(1, boxes.size()));
-
+  // Queries are read-only over the immutable index; fan them out as chunks
+  // on the shared pool instead of spawning per-call threads. The first
+  // failing query's status wins (all boxes were validated above, so this
+  // only trips on internal errors).
   std::vector<std::vector<PointId>> results(boxes.size());
-  std::vector<Status> errors(num_threads);
-  auto worker = [&](size_t t) {
-    for (size_t q = t; q < boxes.size(); q += num_threads) {
+  std::mutex error_mu;
+  Status first_error = Status::OK();
+  auto worker = [&](size_t begin, size_t end) {
+    for (size_t q = begin; q < end; ++q) {
       auto r = Query(boxes[q], nullptr);
       if (!r.ok()) {
-        errors[t] = r.status();
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error.ok()) first_error = r.status();
         return;
       }
       results[q] = std::move(r).value();
     }
   };
-  if (num_threads == 1) {
-    worker(0);
-  } else {
-    std::vector<std::thread> threads;
-    threads.reserve(num_threads);
-    for (size_t t = 0; t < num_threads; ++t) threads.emplace_back(worker, t);
-    for (auto& th : threads) th.join();
-  }
-  for (const Status& s : errors) {
-    ECLIPSE_RETURN_IF_ERROR(s);
-  }
+  ThreadPool::Shared().ParallelFor(0, boxes.size(), /*grain=*/1, worker,
+                                   num_threads);
+  ECLIPSE_RETURN_IF_ERROR(first_error);
   return results;
 }
 

@@ -1,0 +1,85 @@
+#include "dataset/columnar.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace eclipse {
+
+void ColumnarSnapshot::BuildColumns() {
+  const size_t n = rows_.size();
+  const size_t d = rows_.dims();
+  columns_.assign(d, std::vector<double>(n));
+  const double* data = rows_.data().data();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) columns_[j][i] = data[i * d + j];
+  }
+}
+
+Result<std::shared_ptr<const ColumnarSnapshot>> ColumnarSnapshot::FromPointSet(
+    PointSet points) {
+  if (points.dims() == 0) {
+    return Status::InvalidArgument("snapshot requires d >= 1 data");
+  }
+  auto snap = std::shared_ptr<ColumnarSnapshot>(new ColumnarSnapshot());
+  snap->rows_ = std::move(points);
+  const size_t n = snap->rows_.size();
+  snap->ids_.resize(n);
+  for (size_t i = 0; i < n; ++i) snap->ids_[i] = static_cast<PointId>(i);
+  snap->next_id_ = static_cast<PointId>(n);
+  snap->BuildColumns();
+  return std::shared_ptr<const ColumnarSnapshot>(std::move(snap));
+}
+
+Result<size_t> ColumnarSnapshot::RowOf(PointId id) const {
+  // ids_ is sorted ascending (fresh ids append at the maximum; erases keep
+  // order), so a binary search suffices.
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it == ids_.end() || *it != id) {
+    return Status::NotFound(StrFormat("point id %u not in snapshot", id));
+  }
+  return static_cast<size_t>(it - ids_.begin());
+}
+
+Result<std::shared_ptr<const ColumnarSnapshot>> ColumnarSnapshot::Insert(
+    std::span<const double> p, PointId* id_out) const {
+  if (p.size() != dims()) {
+    return Status::InvalidArgument(
+        StrFormat("insert of a %zu-dim point into %zu-dim snapshot", p.size(),
+                  dims()));
+  }
+  auto snap = std::shared_ptr<ColumnarSnapshot>(new ColumnarSnapshot());
+  snap->epoch_ = epoch_ + 1;
+  snap->rows_ = rows_;
+  ECLIPSE_RETURN_IF_ERROR(snap->rows_.Append(p));
+  snap->ids_ = ids_;
+  snap->ids_.push_back(next_id_);
+  snap->next_id_ = next_id_ + 1;
+  snap->ids_are_row_indices_ =
+      ids_are_row_indices_ && next_id_ == static_cast<PointId>(size());
+  snap->BuildColumns();
+  if (id_out != nullptr) *id_out = next_id_;
+  return std::shared_ptr<const ColumnarSnapshot>(std::move(snap));
+}
+
+Result<std::shared_ptr<const ColumnarSnapshot>> ColumnarSnapshot::Erase(
+    PointId id) const {
+  ECLIPSE_ASSIGN_OR_RETURN(const size_t row, RowOf(id));
+  auto snap = std::shared_ptr<ColumnarSnapshot>(new ColumnarSnapshot());
+  snap->epoch_ = epoch_ + 1;
+  snap->next_id_ = next_id_;
+  snap->ids_ = ids_;
+  snap->ids_.erase(snap->ids_.begin() + static_cast<ptrdiff_t>(row));
+  snap->ids_are_row_indices_ = false;
+  const size_t d = dims();
+  std::vector<double> flat;
+  flat.reserve((size() - 1) * d);
+  const double* data = rows_.data().data();
+  flat.insert(flat.end(), data, data + row * d);
+  flat.insert(flat.end(), data + (row + 1) * d, data + size() * d);
+  ECLIPSE_ASSIGN_OR_RETURN(snap->rows_, PointSet::FromFlat(d, std::move(flat)));
+  snap->BuildColumns();
+  return std::shared_ptr<const ColumnarSnapshot>(std::move(snap));
+}
+
+}  // namespace eclipse

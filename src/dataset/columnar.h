@@ -1,0 +1,87 @@
+// ColumnarSnapshot: an immutable, reference-counted, structure-of-arrays
+// view of a dataset, the unit of concurrency for the serving layer.
+//
+// A snapshot stores each attribute in its own contiguous
+// std::vector<double> (column j holds attribute j of every row), plus a
+// row-major PointSet materialization so the existing registry engines and
+// the index build consume it without conversion. The corner-score kernel
+// reads the columns directly: the embedding is a dense n x m weighted-sum
+// matrix, and broadcasting one corner weight over a contiguous attribute
+// column is the cache-friendly orientation (see CornerKernel::EmbedAll).
+//
+// Rows carry *stable* PointIds that survive mutation: snapshot epoch 0
+// assigns ids 0..n-1 (so ids coincide with row indices and results stay
+// byte-identical to the pre-snapshot engines), and every Insert mints a
+// fresh id. Insert/Erase are copy-on-write: they build and return a brand
+// new snapshot with epoch + 1 and leave *this untouched, so readers holding
+// a shared_ptr to an older epoch keep a consistent dataset for as long as
+// they need it. Publication (swapping the "current" snapshot pointer) is
+// the owner's job -- see EclipseEngine.
+
+#ifndef ECLIPSE_DATASET_COLUMNAR_H_
+#define ECLIPSE_DATASET_COLUMNAR_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "geometry/point.h"
+
+namespace eclipse {
+
+class ColumnarSnapshot {
+ public:
+  /// Epoch 0 snapshot of `points`; row i gets stable id i.
+  static Result<std::shared_ptr<const ColumnarSnapshot>> FromPointSet(
+      PointSet points);
+
+  size_t size() const { return ids_.size(); }
+  size_t dims() const { return columns_.size(); }
+  bool empty() const { return ids_.empty(); }
+  /// Monotonically increasing across Insert/Erase chains; epoch 0 is the
+  /// FromPointSet original.
+  uint64_t epoch() const { return epoch_; }
+
+  /// Attribute j of every row, contiguous.
+  std::span<const double> column(size_t j) const { return columns_[j]; }
+
+  /// Stable id of row i (ascending in i: inserts append fresh maximal ids
+  /// and erases preserve order, so mapping a sorted row-id result through
+  /// ids() keeps it sorted).
+  PointId id(size_t row) const { return ids_[row]; }
+  const std::vector<PointId>& ids() const { return ids_; }
+  /// True while ids()[i] == i, the epoch-0 fast path (no mapping needed).
+  bool ids_are_row_indices() const { return ids_are_row_indices_; }
+
+  /// Current row of the stable id; NotFound once erased.
+  Result<size_t> RowOf(PointId id) const;
+
+  /// The row-major materialization (same rows, same order).
+  const PointSet& points() const { return rows_; }
+
+  /// Copy-on-write mutations: O(n d) into a fresh snapshot with epoch + 1;
+  /// *this is unchanged. Insert appends the point and reports its newly
+  /// minted stable id through `id_out` (may be null).
+  Result<std::shared_ptr<const ColumnarSnapshot>> Insert(
+      std::span<const double> p, PointId* id_out = nullptr) const;
+  Result<std::shared_ptr<const ColumnarSnapshot>> Erase(PointId id) const;
+
+ private:
+  ColumnarSnapshot() = default;
+
+  /// Rebuilds columns_ from rows_ (the single source of truth on build).
+  void BuildColumns();
+
+  uint64_t epoch_ = 0;
+  PointId next_id_ = 0;
+  bool ids_are_row_indices_ = true;
+  std::vector<PointId> ids_;
+  std::vector<std::vector<double>> columns_;
+  PointSet rows_;
+};
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_DATASET_COLUMNAR_H_

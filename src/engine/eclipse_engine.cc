@@ -1,5 +1,7 @@
 #include "engine/eclipse_engine.h"
 
+#include <atomic>
+#include <mutex>
 #include <utility>
 
 #include "common/strings.h"
@@ -20,6 +22,35 @@ bool IndexEligible(const PlanInputs& in, const EngineOptions& options) {
          !in.index_build_failed && in.n > options.small_n_threshold &&
          in.bounded && in.inside_domain && !in.degenerate &&
          in.n >= options.index_min_points;
+}
+
+bool InsideIndexDomain(const RatioBox& box, size_t data_dims,
+                       const EngineOptions& options) {
+  if (box.dims() != data_dims) return false;
+  for (size_t j = 0; j < box.num_ratios(); ++j) {
+    const RatioRange& q = box.range(j);
+    const RatioRange& d = options.index.domain.empty()
+                              ? kDefaultIndexDomainRange
+                              : options.index.domain[j];
+    if (q.lo < d.lo || q.hi > d.hi) return false;
+  }
+  return true;
+}
+
+PlanInputs MakePlanInputs(const ColumnarSnapshot& snap, const RatioBox& box,
+                          bool index_matches_snapshot, size_t eligible_queries,
+                          bool index_build_failed,
+                          const EngineOptions& options) {
+  PlanInputs in;
+  in.n = snap.size();
+  in.d = snap.dims();
+  in.bounded = !box.AnyUnbounded();
+  in.degenerate = box.AllDegenerate();
+  in.inside_domain = in.bounded && InsideIndexDomain(box, snap.dims(), options);
+  in.eligible_queries = eligible_queries;
+  in.index_built = index_matches_snapshot;
+  in.index_build_failed = index_build_failed;
+  return in;
 }
 
 }  // namespace
@@ -112,6 +143,86 @@ QueryPlan ChoosePlan(const PlanInputs& in, const EngineOptions& options) {
   return plan;
 }
 
+// All mutable serving state, behind one pointer so the engine stays movable
+// (Result<EclipseEngine> needs a movable value type, and mutexes are not).
+// `mu` guards publication (snapshot/index/counters); `build_mu` serializes
+// index builds; `write_mu` serializes copy-on-write mutations. Lock order:
+// build_mu/write_mu before mu; mu is never held across a backend call.
+struct EclipseEngine::State {
+  const EngineOptions options;
+  ResultCache cache;
+
+  mutable std::mutex mu;
+  std::shared_ptr<const ColumnarSnapshot> snapshot;
+  std::shared_ptr<const EclipseIndex> index;
+  uint64_t index_epoch = 0;
+  /// Latched on a failed lazy build so serving degrades to one-shot without
+  /// rewriting the user-visible options; reset by mutations (new data may
+  /// build fine).
+  bool index_build_failed = false;
+  /// Bounded in-domain queries seen; drives the lazy build.
+  size_t eligible_queries = 0;
+
+  std::atomic<size_t> queries_served{0};
+
+  std::mutex build_mu;
+  std::mutex write_mu;
+
+  State(EngineOptions opts, std::shared_ptr<const ColumnarSnapshot> snap)
+      : options(std::move(opts)),
+        cache(options.result_cache_capacity),
+        snapshot(std::move(snap)) {}
+
+  /// Fetches the index for `snap`, building it if needed. Only publishes
+  /// the build if `snap` is still the current snapshot; the caller's
+  /// captured epoch is served either way.
+  Status EnsureIndexBuilt(const std::shared_ptr<const ColumnarSnapshot>& snap,
+                          std::shared_ptr<const EclipseIndex>* out) {
+    std::lock_guard<std::mutex> build_lock(build_mu);
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (index != nullptr && index_epoch == snap->epoch()) {
+        *out = index;
+        return Status::OK();
+      }
+    }
+    IndexBuildOptions build = options.index;
+    if (!options.force_engine.empty()) {
+      // A forced QUAD / CUTTING overrides the configured index kind.
+      auto kind = EngineRegistry::IndexKindForName(options.force_engine);
+      if (kind.ok()) build.kind = *kind;
+    }
+    auto built = EclipseIndex::Build(snap->points(), build);
+    if (!built.ok()) return built.status();
+    auto shared =
+        std::make_shared<const EclipseIndex>(std::move(built).value());
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (snapshot->epoch() == snap->epoch()) {
+        index = shared;
+        index_epoch = snap->epoch();
+      }
+    }
+    *out = std::move(shared);
+    return Status::OK();
+  }
+
+  /// Publishes a freshly built snapshot: the stale index is dropped, the
+  /// failure latch cleared, and the cache invalidated up to the new epoch
+  /// (so slow in-flight queries cannot re-park dead-epoch entries).
+  void PublishSnapshot(std::shared_ptr<const ColumnarSnapshot> next) {
+    const uint64_t epoch = next->epoch();
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      snapshot = std::move(next);
+      index.reset();
+      index_epoch = 0;
+      index_build_failed = false;
+    }
+    cache.Invalidate(epoch);
+  }
+};
+
 Result<EclipseEngine> EclipseEngine::Make(PointSet points,
                                           EngineOptions options) {
   if (points.dims() < 2) {
@@ -128,69 +239,129 @@ Result<EclipseEngine> EclipseEngine::Make(PointSet points,
         StrFormat("index domain has %zu ranges, expected d-1 = %zu",
                   options.index.domain.size(), points.dims() - 1));
   }
-  return EclipseEngine(std::move(points), std::move(options));
+  ECLIPSE_ASSIGN_OR_RETURN(auto snapshot,
+                           ColumnarSnapshot::FromPointSet(std::move(points)));
+  return EclipseEngine(
+      std::make_unique<State>(std::move(options), std::move(snapshot)));
 }
 
-EclipseEngine::EclipseEngine(PointSet points, EngineOptions options)
-    : points_(std::move(points)), options_(std::move(options)) {}
+EclipseEngine::EclipseEngine(std::unique_ptr<State> state)
+    : state_(std::move(state)) {}
 
-bool EclipseEngine::InsideIndexDomain(const RatioBox& box) const {
-  if (box.dims() != points_.dims()) return false;
-  for (size_t j = 0; j < box.num_ratios(); ++j) {
-    const RatioRange& q = box.range(j);
-    const RatioRange& d = options_.index.domain.empty()
-                              ? kDefaultIndexDomainRange
-                              : options_.index.domain[j];
-    if (q.lo < d.lo || q.hi > d.hi) return false;
-  }
-  return true;
+EclipseEngine::EclipseEngine(EclipseEngine&&) noexcept = default;
+EclipseEngine& EclipseEngine::operator=(EclipseEngine&&) noexcept = default;
+EclipseEngine::~EclipseEngine() = default;
+
+std::shared_ptr<const ColumnarSnapshot> EclipseEngine::snapshot() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->snapshot;
 }
 
-PlanInputs EclipseEngine::MakePlanInputs(const RatioBox& box) const {
-  PlanInputs in;
-  in.n = points_.size();
-  in.d = points_.dims();
-  in.bounded = !box.AnyUnbounded();
-  in.degenerate = box.AllDegenerate();
-  in.inside_domain = in.bounded && InsideIndexDomain(box);
-  in.eligible_queries = eligible_queries_;
-  in.index_built = index_.has_value();
-  in.index_build_failed = index_build_failed_;
-  return in;
+const PointSet& EclipseEngine::points() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->snapshot->points();
 }
+
+const EngineOptions& EclipseEngine::options() const {
+  return state_->options;
+}
+
+bool EclipseEngine::index_built() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->index != nullptr &&
+         state_->index_epoch == state_->snapshot->epoch();
+}
+
+const EclipseIndex& EclipseEngine::index() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return *state_->index;
+}
+
+size_t EclipseEngine::queries_served() const {
+  return state_->queries_served.load(std::memory_order_relaxed);
+}
+
+const ResultCache& EclipseEngine::cache() const { return state_->cache; }
 
 QueryPlan EclipseEngine::Explain(const RatioBox& box) const {
-  return ChoosePlan(MakePlanInputs(box), options_);
+  State& s = *state_;
+  std::shared_ptr<const ColumnarSnapshot> snap;
+  PlanInputs inputs;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    snap = s.snapshot;
+    const bool index_matches =
+        s.index != nullptr && s.index_epoch == snap->epoch();
+    inputs = MakePlanInputs(*snap, box, index_matches, s.eligible_queries,
+                            s.index_build_failed, s.options);
+  }
+  QueryPlan plan = ChoosePlan(inputs, s.options);
+  plan.snapshot_epoch = snap->epoch();
+  plan.cache_hit = s.cache.Peek(snap->epoch(), CanonicalBoxKey(box));
+  return plan;
 }
 
 Status EclipseEngine::BuildIndex() {
-  if (index_.has_value()) return Status::OK();
-  IndexBuildOptions build = options_.index;
-  if (!options_.force_engine.empty()) {
-    // A forced QUAD / CUTTING overrides the configured index kind.
-    auto kind = EngineRegistry::IndexKindForName(options_.force_engine);
-    if (kind.ok()) build.kind = *kind;
-  }
-  ECLIPSE_ASSIGN_OR_RETURN(EclipseIndex index,
-                           EclipseIndex::Build(points_, build));
-  index_ = std::move(index);
+  State& s = *state_;
+  std::shared_ptr<const EclipseIndex> unused;
+  return s.EnsureIndexBuilt(snapshot(), &unused);
+}
+
+Result<PointId> EclipseEngine::Insert(std::span<const double> p) {
+  State& s = *state_;
+  std::lock_guard<std::mutex> write_lock(s.write_mu);
+  std::shared_ptr<const ColumnarSnapshot> base = snapshot();
+  PointId id = 0;
+  ECLIPSE_ASSIGN_OR_RETURN(auto next, base->Insert(p, &id));
+  s.PublishSnapshot(std::move(next));
+  return id;
+}
+
+Status EclipseEngine::Erase(PointId id) {
+  State& s = *state_;
+  std::lock_guard<std::mutex> write_lock(s.write_mu);
+  std::shared_ptr<const ColumnarSnapshot> base = snapshot();
+  ECLIPSE_ASSIGN_OR_RETURN(auto next, base->Erase(id));
+  s.PublishSnapshot(std::move(next));
   return Status::OK();
 }
 
 Result<std::vector<PointId>> EclipseEngine::Query(const RatioBox& box,
                                                   EngineQueryStats* stats) {
-  const PlanInputs inputs = MakePlanInputs(box);
-  QueryPlan plan = ChoosePlan(inputs, options_);
-  ++queries_served_;
-  if (IndexEligible(inputs, options_)) ++eligible_queries_;
+  State& s = *state_;
+  std::shared_ptr<const ColumnarSnapshot> snap;
+  std::shared_ptr<const EclipseIndex> index;
+  PlanInputs inputs;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    snap = s.snapshot;
+    if (s.index != nullptr && s.index_epoch == snap->epoch()) {
+      index = s.index;
+    }
+    inputs = MakePlanInputs(*snap, box, index != nullptr, s.eligible_queries,
+                            s.index_build_failed, s.options);
+    if (IndexEligible(inputs, s.options)) ++s.eligible_queries;
+  }
+  s.queries_served.fetch_add(1, std::memory_order_relaxed);
+  QueryPlan plan = ChoosePlan(inputs, s.options);
+  plan.snapshot_epoch = snap->epoch();
 
-  if (plan.uses_index) {
-    Status build_status = BuildIndex();
-    if (!build_status.ok() && options_.force_engine.empty()) {
+  if (plan.uses_index && index == nullptr) {
+    // Build for the captured snapshot even when the cache could answer:
+    // the build is the amortization the plan promised to later queries.
+    Status build_status = s.EnsureIndexBuilt(snap, &index);
+    if (!build_status.ok() && s.options.force_engine.empty()) {
       // Degrade gracefully: an oversized pair table (ResourceExhausted)
-      // should not take serving down. Latch the failure (options_ stays as
-      // the user configured it) and answer one-shot.
-      index_build_failed_ = true;
+      // should not take serving down. Latch the failure (options stay as
+      // the user configured them) and answer one-shot. Only latch if the
+      // failed build's snapshot is still current: a mutation racing in may
+      // have published a dataset that builds fine.
+      {
+        std::lock_guard<std::mutex> lock(s.mu);
+        if (s.snapshot->epoch() == snap->epoch()) {
+          s.index_build_failed = true;
+        }
+      }
       plan.engine = BestOneShot(inputs.d);
       plan.uses_index = false;
       plan.will_build_index = false;
@@ -205,18 +376,35 @@ Result<std::vector<PointId>> EclipseEngine::Query(const RatioBox& box,
     }
   }
 
-  Result<std::vector<PointId>> ids =
-      Status::Internal("engine dispatch fell through");
   EngineQueryStats local;
   EngineQueryStats* out = stats != nullptr ? stats : &local;
+  const std::string key = CanonicalBoxKey(box);
+  std::vector<PointId> cached;
+  if (s.cache.Get(snap->epoch(), key, &cached)) {
+    plan.cache_hit = true;
+    out->plan = std::move(plan);
+    out->result_size = cached.size();
+    return cached;
+  }
+
+  Result<std::vector<PointId>> ids =
+      Status::Internal("engine dispatch fell through");
   if (plan.uses_index) {
-    ids = index_->Query(box, &out->index);
+    ids = index->Query(box, &out->index);
   } else {
-    ids = EngineRegistry::Global().Run(plan.engine, points_, box,
-                                       options_.algorithm, &out->counters);
+    ids = EngineRegistry::Global().Run(plan.engine, snap->points(), box,
+                                       s.options.algorithm, &out->counters);
+  }
+  if (ids.ok()) {
+    // Backends report row indices into the captured snapshot; map them to
+    // stable ids (the identity until the first mutation).
+    if (!snap->ids_are_row_indices()) {
+      for (PointId& id : ids.value()) id = snap->id(id);
+    }
+    s.cache.Put(snap->epoch(), key, ids.value());
+    out->result_size = ids.value().size();
   }
   out->plan = std::move(plan);
-  if (ids.ok()) out->result_size = ids.value().size();
   return ids;
 }
 

@@ -1,8 +1,9 @@
-// EclipseEngine: the serving facade over every eclipse backend.
+// EclipseEngine: the concurrency-safe serving facade over every eclipse
+// backend.
 //
-// An engine owns a PointSet and answers eclipse queries, routing each one
-// to the best backend through an explicit cost model over (n, d,
-// boundedness, repeat-query volume):
+// An engine owns an immutable ColumnarSnapshot of the dataset and answers
+// eclipse queries, routing each one to the best backend through an explicit
+// cost model over (n, d, boundedness, repeat-query volume):
 //
 //   * tiny datasets        -> BASE (no transformation overhead),
 //   * unbounded boxes      -> TRAN-2D (d == 2) or CORNER (index engines
@@ -13,29 +14,36 @@
 //                             later in-domain query from it (build-once /
 //                             query-many, the paper's QUAD / CUTTING mode).
 //
-// Explain() returns the plan Query() would execute right now -- the chosen
-// registry engine name, whether the index would be (or has been) built, and
-// a human-readable reason -- without running anything, so routing is
-// observable and directly testable. The cost model itself is the free
-// function ChoosePlan() on a plain inputs struct.
+// Concurrency model (snapshot epochs): Query() and Explain() may be called
+// from any number of threads concurrently with each other and with
+// Insert()/Erase(). Mutations are copy-on-write -- they build a fresh
+// snapshot with epoch + 1 and atomically publish it -- so every query runs
+// start to finish against the single consistent snapshot it captured, and
+// reports that snapshot's epoch in its plan. Results are stable PointIds
+// (epoch-0 ids coincide with row indices, so results are byte-identical to
+// the pre-snapshot engines until the first mutation).
+//
+// A bounded LRU cache keyed by (epoch, canonicalized RatioBox) serves
+// repeat queries without touching a backend; mutations invalidate it
+// structurally (the epoch is part of the key) and eagerly (Clear()).
+// Explain() reports the snapshot epoch and whether the query would be a
+// cache hit, without running anything or advancing any state.
 //
 // Every backend returns ids sorted ascending, and Query() forwards the
-// backend's vector untouched, so results are byte-identical to calling the
-// underlying algorithm directly.
-//
-// Thread safety: Query() mutates lazy state (query counter, index build);
-// an engine must be externally synchronized or confined to one thread.
-// EclipseIndex::QueryBatch remains the way to fan one index across threads.
+// backend's vector untouched (mapped to stable ids after mutations), so
+// results are byte-identical to calling the underlying algorithm directly.
 
 #ifndef ECLIPSE_ENGINE_ECLIPSE_ENGINE_H_
 #define ECLIPSE_ENGINE_ECLIPSE_ENGINE_H_
 
-#include <optional>
+#include <memory>
 #include <string>
 
 #include "core/eclipse.h"
 #include "core/eclipse_index.h"
+#include "dataset/columnar.h"
 #include "engine/registry.h"
+#include "engine/result_cache.h"
 
 namespace eclipse {
 
@@ -54,6 +62,8 @@ struct EngineOptions {
   size_t index_query_threshold = 3;
   /// Master switch for lazy index builds.
   bool enable_index = true;
+  /// Entries held by the per-engine LRU result cache; 0 disables caching.
+  size_t result_cache_capacity = 64;
   /// Bypass the cost model and always dispatch to this registry engine
   /// (empty = automatic). Index engines route through the lazily built
   /// index so repeat queries still amortize the build.
@@ -69,6 +79,10 @@ struct QueryPlan {
   bool uses_index = false;
   /// Serving this query triggers the lazy index build.
   bool will_build_index = false;
+  /// Epoch of the snapshot the query captured (0 until the first mutation).
+  uint64_t snapshot_epoch = 0;
+  /// The result is (or, for Explain, would be) served from the LRU cache.
+  bool cache_hit = false;
   /// Why the cost model picked this engine, for logs and debugging.
   std::string reason;
 };
@@ -109,43 +123,59 @@ class EclipseEngine {
   static Result<EclipseEngine> Make(PointSet points,
                                     EngineOptions options = {});
 
-  /// Answers the query through the cost model. Byte-identical to invoking
-  /// the chosen backend directly.
+  /// Answers the query through the cost model against the snapshot current
+  /// at call time. Byte-identical to invoking the chosen backend directly
+  /// (mapped to stable ids once the dataset has been mutated). Safe to call
+  /// concurrently with Query/Explain/Insert/Erase.
   Result<std::vector<PointId>> Query(const RatioBox& box,
                                      EngineQueryStats* stats = nullptr);
 
-  /// The plan Query() would execute for `box` right now; runs nothing and
-  /// changes no state.
+  /// The plan Query() would execute for `box` right now -- including the
+  /// snapshot epoch it would capture and whether the LRU cache would serve
+  /// it; runs nothing and changes no state.
   QueryPlan Explain(const RatioBox& box) const;
 
-  /// Eagerly builds the index (a no-op if already built).
+  /// Eagerly builds the index for the current snapshot (a no-op if already
+  /// built for it).
   Status BuildIndex();
 
-  const PointSet& points() const { return points_; }
-  const EngineOptions& options() const { return options_; }
-  bool index_built() const { return index_.has_value(); }
-  /// The built index; must only be called when index_built().
-  const EclipseIndex& index() const { return *index_; }
-  size_t queries_served() const { return queries_served_; }
+  /// Copy-on-write mutations: publish a snapshot with epoch + 1, drop the
+  /// (now stale) index, and invalidate the result cache. In-flight queries
+  /// keep serving from the epoch they captured. Insert returns the new
+  /// point's stable id; Erase takes a stable id (NotFound if absent).
+  Result<PointId> Insert(std::span<const double> p);
+  Status Erase(PointId id);
 
-  EclipseEngine(EclipseEngine&&) = default;
-  EclipseEngine& operator=(EclipseEngine&&) = default;
+  /// The snapshot a query issued right now would capture.
+  std::shared_ptr<const ColumnarSnapshot> snapshot() const;
+
+  /// Convenience row-major view of the current snapshot. The reference is
+  /// only valid while no Insert/Erase runs (the snapshot it points into can
+  /// be dropped by a mutation); concurrent readers must hold snapshot()
+  /// instead.
+  const PointSet& points() const;
+
+  const EngineOptions& options() const;
+  bool index_built() const;
+  /// The built index; must only be called when index_built() and, like
+  /// points(), only while no mutation can run concurrently -- a mutation
+  /// drops the index (making the reference dangle) and would make the
+  /// index_built() precondition racy. Quiescent/test use only.
+  const EclipseIndex& index() const;
+  size_t queries_served() const;
+  /// LRU observability (hits/misses/size).
+  const ResultCache& cache() const;
+
+  EclipseEngine(EclipseEngine&&) noexcept;
+  EclipseEngine& operator=(EclipseEngine&&) noexcept;
+  ~EclipseEngine();
 
  private:
-  EclipseEngine(PointSet points, EngineOptions options);
+  struct State;
 
-  PlanInputs MakePlanInputs(const RatioBox& box) const;
-  bool InsideIndexDomain(const RatioBox& box) const;
+  explicit EclipseEngine(std::unique_ptr<State> state);
 
-  PointSet points_;
-  EngineOptions options_;
-  std::optional<EclipseIndex> index_;
-  size_t queries_served_ = 0;
-  /// Bounded in-domain queries seen; drives the lazy build.
-  size_t eligible_queries_ = 0;
-  /// Latched on a failed lazy build so serving degrades to one-shot without
-  /// rewriting the user-visible options_.
-  bool index_build_failed_ = false;
+  std::unique_ptr<State> state_;
 };
 
 }  // namespace eclipse

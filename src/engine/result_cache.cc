@@ -1,0 +1,119 @@
+#include "engine/result_cache.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace eclipse {
+
+namespace {
+
+/// The bit pattern of v with -0.0 folded into +0.0, so the two zero
+/// representations canonicalize identically.
+uint64_t CanonicalBits(double v) {
+  if (v == 0.0) v = 0.0;
+  return std::bit_cast<uint64_t>(v);
+}
+
+}  // namespace
+
+std::string CanonicalBoxKey(const RatioBox& box) {
+  std::string key;
+  key.reserve(box.num_ratios() * 34);
+  for (const RatioRange& r : box.ranges()) {
+    key += StrFormat("%016llx:",
+                     static_cast<unsigned long long>(CanonicalBits(r.lo)));
+    if (r.unbounded()) {
+      key += "inf;";
+    } else {
+      key += StrFormat("%016llx;",
+                       static_cast<unsigned long long>(CanonicalBits(r.hi)));
+    }
+  }
+  return key;
+}
+
+std::string ResultCache::FullKey(uint64_t epoch, const std::string& key) {
+  return StrFormat("%llu@", static_cast<unsigned long long>(epoch)) + key;
+}
+
+bool ResultCache::Get(uint64_t epoch, const std::string& key,
+                      std::vector<PointId>* out) {
+  if (capacity_ == 0) return false;
+  const std::string full = FullKey(epoch, key);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (epoch < min_epoch_) {
+    ++misses_;
+    return false;
+  }
+  auto it = index_.find(full);
+  if (it == index_.end()) {
+    ++misses_;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  *out = it->second->ids;
+  return true;
+}
+
+bool ResultCache::Peek(uint64_t epoch, const std::string& key) const {
+  if (capacity_ == 0) return false;
+  const std::string full = FullKey(epoch, key);
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch >= min_epoch_ && index_.find(full) != index_.end();
+}
+
+void ResultCache::Put(uint64_t epoch, const std::string& key,
+                      std::vector<PointId> ids) {
+  if (capacity_ == 0) return;
+  std::string full = FullKey(epoch, key);
+  std::lock_guard<std::mutex> lock(mu_);
+  // A query that captured a pre-invalidation snapshot must not park a dead
+  // epoch's entry in a live LRU slot.
+  if (epoch < min_epoch_) return;
+  auto it = index_.find(full);
+  if (it != index_.end()) {
+    it->second->ids = std::move(ids);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{full, std::move(ids)});
+  index_[std::move(full)] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+void ResultCache::Invalidate(uint64_t min_epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  index_.clear();
+  lru_.clear();
+  min_epoch_ = std::max(min_epoch_, min_epoch);
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  index_.clear();
+  lru_.clear();
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+uint64_t ResultCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t ResultCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+}  // namespace eclipse

@@ -1,0 +1,88 @@
+// ResultCache: a bounded, thread-safe LRU over eclipse query results.
+//
+// Serving traffic repeats queries -- the same ratio box arrives from many
+// clients -- and an eclipse answer is just a (usually short) sorted id
+// vector, so caching is cheap and hits skip the whole engine dispatch.
+//
+// Keys are *canonicalized* ratio boxes: CanonicalBoxKey() folds the
+// representational freedom of doubles (-0.0 vs +0.0, any infinity for an
+// unbounded hi) so two RatioBox values describing the same query share one
+// entry. The snapshot epoch is part of the key, which makes invalidation
+// structural: a mutation publishes a new epoch and every cached entry of
+// older epochs can no longer match. The engine calls Invalidate(new_epoch)
+// on mutation, which releases the memory eagerly AND raises an epoch floor
+// so a slow in-flight query cannot re-insert a dead epoch's entry.
+
+#ifndef ECLIPSE_ENGINE_RESULT_CACHE_H_
+#define ECLIPSE_ENGINE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ratio_box.h"
+#include "geometry/point.h"
+
+namespace eclipse {
+
+/// Canonical cache key of a box: one token per range, built from the bit
+/// patterns of lo and hi after normalizing -0.0 to +0.0 and any unbounded
+/// hi to a single "inf" token. Equal queries => equal keys.
+std::string CanonicalBoxKey(const RatioBox& box);
+
+class ResultCache {
+ public:
+  /// capacity == 0 disables the cache (every Get misses, Put is a no-op).
+  explicit ResultCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Copies the cached ids into *out and promotes the entry to
+  /// most-recently-used. Counts a hit or miss.
+  bool Get(uint64_t epoch, const std::string& key, std::vector<PointId>* out);
+
+  /// True iff (epoch, key) is cached; touches neither LRU order nor the
+  /// hit/miss counters (Explain() must stay side-effect free).
+  bool Peek(uint64_t epoch, const std::string& key) const;
+
+  /// Inserts or refreshes the entry, evicting the least recently used
+  /// entries beyond capacity. Entries below the invalidation floor are
+  /// dropped on the floor: a slow query that captured an old snapshot must
+  /// not re-populate dead epochs after Invalidate().
+  void Put(uint64_t epoch, const std::string& key, std::vector<PointId> ids);
+
+  /// The mutation path: drops every entry and raises the epoch floor --
+  /// Put/Get/Peek below `min_epoch` become no-ops/misses. Counters are
+  /// kept.
+  void Invalidate(uint64_t min_epoch);
+
+  /// Drops every entry without moving the epoch floor.
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const;
+  uint64_t hits() const;
+  uint64_t misses() const;
+
+ private:
+  struct Entry {
+    std::string key;  // epoch-qualified
+    std::vector<PointId> ids;
+  };
+
+  static std::string FullKey(uint64_t epoch, const std::string& key);
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  /// Front = most recently used.
+  std::list<Entry> lru_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  uint64_t min_epoch_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_ENGINE_RESULT_CACHE_H_

@@ -1,0 +1,342 @@
+// Tests for the concurrency-safe serving path: snapshot-epoch mutation
+// semantics, the canonicalized LRU result cache, and a stress test with
+// reader threads racing Insert/Erase snapshot swaps (run under TSan in CI).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "core/eclipse.h"
+#include "dataset/columnar.h"
+#include "dataset/generators.h"
+#include "engine/eclipse_engine.h"
+#include "engine/result_cache.h"
+
+namespace eclipse {
+namespace {
+
+// ------------------------------------------------------------ cache keying
+
+TEST(CanonicalBoxKeyTest, EquivalentBoxesShareAKey) {
+  auto a = *RatioBox::Uniform(2, 0.5, 2.0);
+  auto b = *RatioBox::Make(
+      {RatioRange{0.5, 2.0}, RatioRange{0.5, 2.0}});
+  EXPECT_EQ(CanonicalBoxKey(a), CanonicalBoxKey(b));
+
+  // -0.0 and +0.0 describe the same query.
+  auto pos_zero = *RatioBox::Make({RatioRange{0.0, 1.0}});
+  auto neg_zero = *RatioBox::Make({RatioRange{-0.0, 1.0}});
+  EXPECT_EQ(CanonicalBoxKey(pos_zero), CanonicalBoxKey(neg_zero));
+
+  // Unbounded ranges canonicalize regardless of how hi was spelled.
+  auto skyline = RatioBox::Skyline(1);
+  auto explicit_inf = *RatioBox::Make(
+      {RatioRange{0.0, std::numeric_limits<double>::infinity()}});
+  EXPECT_EQ(CanonicalBoxKey(skyline), CanonicalBoxKey(explicit_inf));
+}
+
+TEST(CanonicalBoxKeyTest, DistinctBoxesGetDistinctKeys) {
+  auto a = *RatioBox::Uniform(2, 0.5, 2.0);
+  auto b = *RatioBox::Uniform(2, 0.5, 2.5);
+  auto c = *RatioBox::Make({RatioRange{0.5, 2.0}, RatioRange{0.5, 2.5}});
+  auto d = *RatioBox::Uniform(1, 0.5, 2.0);
+  EXPECT_NE(CanonicalBoxKey(a), CanonicalBoxKey(b));
+  EXPECT_NE(CanonicalBoxKey(a), CanonicalBoxKey(c));
+  EXPECT_NE(CanonicalBoxKey(a), CanonicalBoxKey(d));
+  // A degenerate range differs from a thin bounded one and from unbounded.
+  auto deg = *RatioBox::Make({RatioRange{1.0, 1.0}});
+  auto thin = *RatioBox::Make({RatioRange{1.0, 1.0000000001}});
+  auto unb = *RatioBox::Make({RatioRange{1.0}});
+  EXPECT_NE(CanonicalBoxKey(deg), CanonicalBoxKey(thin));
+  EXPECT_NE(CanonicalBoxKey(deg), CanonicalBoxKey(unb));
+}
+
+// --------------------------------------------------------------- LRU cache
+
+TEST(ResultCacheTest, LruEvictionAndPromotion) {
+  ResultCache cache(2);
+  const std::string ka = "a", kb = "b", kc = "c";
+  cache.Put(0, ka, {1});
+  cache.Put(0, kb, {2});
+  std::vector<PointId> out;
+  ASSERT_TRUE(cache.Get(0, ka, &out));  // promotes "a"
+  EXPECT_EQ(out, (std::vector<PointId>{1}));
+  cache.Put(0, kc, {3});  // evicts "b", the least recently used
+  EXPECT_FALSE(cache.Get(0, kb, &out));
+  EXPECT_TRUE(cache.Get(0, ka, &out));
+  EXPECT_TRUE(cache.Get(0, kc, &out));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.hits(), 3u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ResultCacheTest, EpochIsPartOfTheKey) {
+  ResultCache cache(8);
+  cache.Put(0, "k", {1, 2});
+  std::vector<PointId> out;
+  EXPECT_FALSE(cache.Get(1, "k", &out));  // new epoch: structurally invalid
+  EXPECT_TRUE(cache.Get(0, "k", &out));
+  cache.Clear();
+  EXPECT_FALSE(cache.Get(0, "k", &out));
+}
+
+TEST(ResultCacheTest, InvalidateRaisesTheEpochFloor) {
+  // A slow query that captured a pre-mutation snapshot must not park its
+  // dead-epoch result in the cache after the mutation invalidated it.
+  ResultCache cache(8);
+  cache.Put(0, "k", {1});
+  cache.Invalidate(1);
+  std::vector<PointId> out;
+  EXPECT_FALSE(cache.Get(0, "k", &out));
+  cache.Put(0, "k", {1});  // the straggler's late Put
+  EXPECT_FALSE(cache.Peek(0, "k"));
+  EXPECT_EQ(cache.size(), 0u);
+  cache.Put(1, "k", {2});  // current-epoch entries still cache
+  EXPECT_TRUE(cache.Get(1, "k", &out));
+  EXPECT_EQ(out, (std::vector<PointId>{2}));
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisables) {
+  ResultCache cache(0);
+  cache.Put(0, "k", {1});
+  std::vector<PointId> out;
+  EXPECT_FALSE(cache.Get(0, "k", &out));
+  EXPECT_FALSE(cache.Peek(0, "k"));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// ------------------------------------------------- engine cache integration
+
+TEST(EngineCacheTest, RepeatQueriesAreServedFromTheCache) {
+  Rng rng(601);
+  PointSet ps = GenerateSynthetic(Distribution::kAnticorrelated, 800, 3, &rng);
+  EngineOptions options;
+  options.enable_index = false;  // isolate the cache from the index path
+  auto engine = *EclipseEngine::Make(ps, options);
+  auto box = *RatioBox::Uniform(2, 0.5, 2.0);
+
+  EXPECT_FALSE(engine.Explain(box).cache_hit);
+  EngineQueryStats first;
+  const auto expected = *engine.Query(box, &first);
+  EXPECT_FALSE(first.plan.cache_hit);
+  EXPECT_TRUE(engine.Explain(box).cache_hit);
+
+  EngineQueryStats second;
+  EXPECT_EQ(*engine.Query(box, &second), expected);
+  EXPECT_TRUE(second.plan.cache_hit);
+  EXPECT_EQ(second.plan.engine, first.plan.engine);
+  EXPECT_EQ(engine.cache().hits(), 1u);
+
+  // An equivalent box spelled differently hits the same entry.
+  auto same = *RatioBox::Make({RatioRange{0.5, 2.0}, RatioRange{0.5, 2.0}});
+  EngineQueryStats third;
+  EXPECT_EQ(*engine.Query(same, &third), expected);
+  EXPECT_TRUE(third.plan.cache_hit);
+}
+
+TEST(EngineCacheTest, MutationInvalidatesTheCache) {
+  PointSet ps = *PointSet::FromPoints({{4, 4}, {1, 6}, {6, 1}});
+  auto engine = *EclipseEngine::Make(ps, {});
+  auto box = *RatioBox::Uniform(1, 0.5, 2.0);
+  EXPECT_EQ(*engine.Query(box), (std::vector<PointId>{0, 1, 2}));
+  EXPECT_TRUE(engine.Explain(box).cache_hit);
+
+  // Insert a point dominating everything: the cached answer is stale.
+  const double killer[] = {0.5, 0.5};
+  const PointId id = *engine.Insert(killer);
+  EXPECT_EQ(id, 3u);
+  const QueryPlan plan = engine.Explain(box);
+  EXPECT_EQ(plan.snapshot_epoch, 1u);
+  EXPECT_FALSE(plan.cache_hit);
+  EngineQueryStats stats;
+  EXPECT_EQ(*engine.Query(box, &stats), (std::vector<PointId>{3}));
+  EXPECT_EQ(stats.plan.snapshot_epoch, 1u);
+  EXPECT_FALSE(stats.plan.cache_hit);
+}
+
+TEST(EngineCacheTest, ZeroCapacityDisablesCaching) {
+  Rng rng(607);
+  PointSet ps = GenerateSynthetic(Distribution::kIndependent, 200, 2, &rng);
+  EngineOptions options;
+  options.result_cache_capacity = 0;
+  auto engine = *EclipseEngine::Make(ps, options);
+  auto box = *RatioBox::Uniform(1, 0.5, 2.0);
+  const auto first = *engine.Query(box);
+  EngineQueryStats stats;
+  EXPECT_EQ(*engine.Query(box, &stats), first);
+  EXPECT_FALSE(stats.plan.cache_hit);
+  EXPECT_FALSE(engine.Explain(box).cache_hit);
+}
+
+// --------------------------------------------------------- stable-id results
+
+TEST(EclipseEngineMutationTest, ResultsUseStableIdsAfterErase) {
+  // {4,4} and {1,6} and {6,1} are all on the eclipse; erase {1,6} (id 1) and
+  // insert a new point: results must name survivors by their original ids.
+  PointSet ps = *PointSet::FromPoints({{4, 4}, {1, 6}, {6, 1}});
+  auto engine = *EclipseEngine::Make(ps, {});
+  auto box = *RatioBox::Uniform(1, 0.5, 2.0);
+  EXPECT_EQ(*engine.Query(box), (std::vector<PointId>{0, 1, 2}));
+
+  ASSERT_TRUE(engine.Erase(1).ok());
+  EXPECT_EQ(*engine.Query(box), (std::vector<PointId>{0, 2}));
+  EXPECT_TRUE(engine.Erase(1).IsNotFound());
+
+  // {2,5} dominates {4,4} (ties at the r=0.5 corner, wins at r=2) but
+  // neither dominates nor is dominated by {6,1}.
+  const double fresh[] = {2.0, 5.0};
+  const PointId id = *engine.Insert(fresh);
+  EXPECT_EQ(id, 3u);
+  EXPECT_EQ(*engine.Query(box), (std::vector<PointId>{2, 3}))
+      << "{6,1} survives (id 2) and the new point gets id 3";
+  EXPECT_EQ(engine.snapshot()->epoch(), 2u) << "the failed Erase is free";
+}
+
+// ------------------------------------------------------------- stress tests
+
+/// Readers race a mutator that Insert/Erases through the engine. Every
+/// result is checked -- after the fact, against the immutable snapshot of
+/// the epoch the query reported -- to be exactly the eclipse set of that
+/// epoch's dataset in stable ids.
+TEST(EngineConcurrencyStressTest, ReadersRacingMutationsStayConsistent) {
+  Rng rng(613);
+  PointSet ps = GenerateSynthetic(Distribution::kAnticorrelated, 120, 3, &rng);
+  EngineOptions options;
+  options.enable_index = false;  // one-shot serving; index race tested below
+  options.result_cache_capacity = 8;
+  auto engine = *EclipseEngine::Make(ps, options);
+
+  const std::vector<RatioBox> boxes = {
+      *RatioBox::Uniform(2, 0.5, 2.0), *RatioBox::Uniform(2, 0.9, 1.1),
+      RatioBox::Skyline(2), *RatioBox::OneNN({1.0, 1.0})};
+
+  // Every published snapshot, by epoch (the mutator is the only writer, so
+  // engine.snapshot() right after a mutation is exactly the new epoch).
+  std::mutex snapshots_mu;
+  std::map<uint64_t, std::shared_ptr<const ColumnarSnapshot>> snapshots;
+  snapshots[0] = engine.snapshot();
+
+  struct Observation {
+    uint64_t epoch;
+    size_t box_index;
+    std::vector<PointId> ids;
+  };
+  std::mutex observations_mu;
+  std::vector<Observation> observations;
+
+  constexpr int kMutations = 60;
+  constexpr int kQueriesPerReader = 60;
+  std::thread mutator([&] {
+    Rng mrng(617);
+    for (int step = 0; step < kMutations; ++step) {
+      auto snap = engine.snapshot();
+      if (snap->size() > 60 && mrng.NextIndex(2) == 0) {
+        const PointId victim = snap->id(mrng.NextIndex(snap->size()));
+        ASSERT_TRUE(engine.Erase(victim).ok());
+      } else {
+        Point p = {mrng.Uniform(0.0, 1.0), mrng.Uniform(0.0, 1.0),
+                   mrng.Uniform(0.0, 1.0)};
+        ASSERT_TRUE(engine.Insert(p).ok());
+      }
+      std::lock_guard<std::mutex> lock(snapshots_mu);
+      auto next = engine.snapshot();
+      snapshots[next->epoch()] = next;
+    }
+  });
+
+  constexpr size_t kReaders = 4;
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rrng(631 + r);
+      for (int q = 0; q < kQueriesPerReader; ++q) {
+        const size_t b = rrng.NextIndex(boxes.size());
+        EngineQueryStats stats;
+        auto got = engine.Query(boxes[b], &stats);
+        ASSERT_TRUE(got.ok()) << got.status();
+        std::lock_guard<std::mutex> lock(observations_mu);
+        observations.push_back(
+            Observation{stats.plan.snapshot_epoch, b, std::move(*got)});
+      }
+    });
+  }
+  mutator.join();
+  for (auto& reader : readers) reader.join();
+
+  ASSERT_EQ(observations.size(), kReaders * kQueriesPerReader);
+  ASSERT_EQ(snapshots.size(), static_cast<size_t>(kMutations) + 1);
+  std::map<std::pair<uint64_t, size_t>, std::vector<PointId>> memo;
+  for (const Observation& obs : observations) {
+    auto it = snapshots.find(obs.epoch);
+    ASSERT_NE(it, snapshots.end()) << "query saw unpublished epoch "
+                                   << obs.epoch;
+    const ColumnarSnapshot& snap = *it->second;
+    auto [memo_it, fresh] = memo.try_emplace({obs.epoch, obs.box_index});
+    if (fresh) {
+      std::vector<PointId> expected =
+          *NaiveEclipse(snap.points(), boxes[obs.box_index]);
+      for (PointId& id : expected) id = snap.id(id);
+      memo_it->second = std::move(expected);
+    }
+    ASSERT_EQ(obs.ids, memo_it->second)
+        << "epoch " << obs.epoch << " box " << obs.box_index;
+  }
+}
+
+/// The same race with the lazy index build in play: builds, cache hits, and
+/// snapshot swaps must interleave without torn state (TSan-checked).
+TEST(EngineConcurrencyStressTest, IndexBuildsRaceMutationsSafely) {
+  Rng rng(641);
+  PointSet ps = GenerateSynthetic(Distribution::kIndependent, 700, 2, &rng);
+  EngineOptions options;
+  options.index_query_threshold = 1;  // build eagerly on the first query
+  auto engine = *EclipseEngine::Make(ps, options);
+  auto box = *RatioBox::Uniform(1, 0.5, 2.0);
+
+  std::atomic<bool> done{false};
+  std::atomic<bool> mutator_ok{true};
+  std::thread mutator([&] {
+    Rng mrng(643);
+    for (int step = 0; step < 8; ++step) {
+      Point p = {mrng.Uniform(0.0, 1.0), mrng.Uniform(0.0, 1.0)};
+      if (!engine.Insert(p).ok()) {
+        mutator_ok.store(false);
+        break;  // fall through to done.store: the readers must not spin
+      }
+      // Give the readers a window to race the fresh epoch's index build.
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    done.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!done.load()) {
+        auto got = engine.Query(box);
+        ASSERT_TRUE(got.ok()) << got.status();
+      }
+    });
+  }
+  mutator.join();
+  for (auto& reader : readers) reader.join();
+  ASSERT_TRUE(mutator_ok.load());
+
+  // Settled state: one more query serves from a fresh index or cache and
+  // matches the one-shot answer on the final snapshot.
+  auto snap = engine.snapshot();
+  EXPECT_EQ(snap->epoch(), 8u);
+  std::vector<PointId> expected = *NaiveEclipse(snap->points(), box);
+  for (PointId& id : expected) id = snap->id(id);
+  EXPECT_EQ(*engine.Query(box), expected);
+}
+
+}  // namespace
+}  // namespace eclipse

@@ -105,6 +105,55 @@ TEST(EngineRegistryTest, PropertyAllEnginesAgreeWithNaiveOnBoundedBoxes) {
   }
 }
 
+TEST(EngineRegistryTest, PropertyAllEnginesAgreeThroughColumnarSnapshots) {
+  // The columnar serving path: mutate a snapshot a few times, then run
+  // every registry engine on its row-major materialization and map row
+  // indices to stable ids. All exact engines must agree with the naive
+  // oracle computed the same way -- the snapshot's layout and id mapping
+  // must never change an answer.
+  const EngineRegistry& registry = EngineRegistry::Global();
+  Rng rng(20260729);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t d = 2 + rng.NextIndex(3);  // 2..4
+    const size_t n = 8 + rng.NextIndex(48);
+    std::vector<double> flat;
+    flat.reserve(n * d);
+    for (size_t i = 0; i < n * d; ++i) {
+      flat.push_back(rng.NextIndex(8) * 0.5);
+    }
+    auto snap =
+        *ColumnarSnapshot::FromPointSet(*PointSet::FromFlat(d, std::move(flat)));
+    const size_t mutations = rng.NextIndex(6);
+    for (size_t step = 0; step < mutations; ++step) {
+      if (snap->size() > 4 && rng.NextIndex(2) == 0) {
+        snap = *snap->Erase(snap->id(rng.NextIndex(snap->size())));
+      } else {
+        Point p(d);
+        for (double& v : p) v = rng.NextIndex(8) * 0.5;
+        snap = *snap->Insert(p);
+      }
+    }
+    const double lo = rng.Uniform(0.05, 1.5);
+    const double hi = lo + rng.Uniform(0.01, 3.0);
+    auto box = *RatioBox::Uniform(d - 1, lo, hi);
+    std::vector<PointId> expected = *NaiveEclipse(snap->points(), box);
+    for (PointId& id : expected) id = snap->id(id);
+    for (const EngineInfo& info : registry.engines()) {
+      if (info.requires_2d && d != 2) continue;
+      auto got = registry.Run(info.name, snap->points(), box);
+      ASSERT_TRUE(got.ok()) << info.name << " trial " << trial << ": "
+                            << got.status().ToString();
+      for (PointId& id : got.value()) id = snap->id(id);
+      if (info.exact || d == 2) {
+        EXPECT_EQ(*got, expected)
+            << info.name << " trial " << trial << " epoch " << snap->epoch();
+      } else {
+        EXPECT_TRUE(IsSubsetOf(*got, expected)) << info.name;
+      }
+    }
+  }
+}
+
 // --------------------------------------------------------------- cost model
 
 EngineOptions DefaultOptions() { return EngineOptions{}; }

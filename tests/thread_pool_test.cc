@@ -1,0 +1,114 @@
+// Tests for the shared ThreadPool: ParallelFor coverage and chunking,
+// caller participation, concurrent callers, and -- the property the
+// serving path depends on -- that repeated parallel calls reuse the same
+// long-lived workers instead of spawning threads per call.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/corner_kernel.h"
+#include "core/eclipse.h"
+#include "dataset/generators.h"
+
+namespace eclipse {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool& pool = ThreadPool::Shared();
+  for (size_t n : {0u, 1u, 2u, 63u, 64u, 65u, 1000u}) {
+    for (size_t grain : {0u, 1u, 7u, 64u, 10000u}) {
+      std::vector<std::atomic<int>> hits(n);
+      for (auto& h : hits) h.store(0);
+      pool.ParallelFor(0, n, grain, [&](size_t begin, size_t end) {
+        ASSERT_LE(begin, end);
+        for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      });
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "n=" << n << " grain=" << grain
+                                     << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, RespectsMaxParallelismOfOne) {
+  // max_parallelism == 1 must run everything on the calling thread.
+  ThreadPool& pool = ThreadPool::Shared();
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<bool> foreign{false};
+  pool.ParallelFor(
+      0, 100, 1,
+      [&](size_t, size_t) {
+        if (std::this_thread::get_id() != caller) foreign.store(true);
+      },
+      /*max_parallelism=*/1);
+  EXPECT_FALSE(foreign.load());
+}
+
+TEST(ThreadPoolTest, RepeatedCallsReuseTheSameWorkers) {
+  // The old per-call std::thread spawn would mint fresh thread ids on every
+  // invocation; the pool must not. Across many calls, the set of distinct
+  // non-caller thread ids is bounded by the pool size.
+  ThreadPool& pool = ThreadPool::Shared();
+  const std::thread::id caller = std::this_thread::get_id();
+  std::mutex mu;
+  std::set<std::thread::id> observed;
+  constexpr int kCalls = 25;
+  for (int call = 0; call < kCalls; ++call) {
+    pool.ParallelFor(0, 256, 1, [&](size_t, size_t) {
+      std::lock_guard<std::mutex> lock(mu);
+      observed.insert(std::this_thread::get_id());
+    });
+  }
+  observed.erase(caller);
+  EXPECT_LE(observed.size(), pool.size())
+      << "more distinct worker ids than pool workers: threads are being "
+         "spawned per call";
+}
+
+TEST(ThreadPoolTest, ConcurrentCallersInterleaveSafely) {
+  ThreadPool& pool = ThreadPool::Shared();
+  constexpr size_t kCallers = 4;
+  constexpr size_t kN = 5000;
+  std::vector<std::atomic<uint64_t>> sums(kCallers);
+  for (auto& s : sums) s.store(0);
+  std::vector<std::thread> callers;
+  for (size_t t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&, t] {
+      pool.ParallelFor(1, kN + 1, 37, [&](size_t begin, size_t end) {
+        uint64_t local = 0;
+        for (size_t i = begin; i < end; ++i) local += i;
+        sums[t].fetch_add(local);
+      });
+    });
+  }
+  for (auto& c : callers) c.join();
+  const uint64_t want = static_cast<uint64_t>(kN) * (kN + 1) / 2;
+  for (size_t t = 0; t < kCallers; ++t) EXPECT_EQ(sums[t].load(), want);
+}
+
+TEST(ThreadPoolTest, PooledAlgorithmsMatchSerialResults) {
+  // The pooled EclipseBaselineParallel and EmbedAllParallel must be
+  // bitwise-identical to their serial counterparts, repeatedly (worker
+  // reuse must not leak state between calls).
+  Rng rng(20260728);
+  PointSet ps = GenerateSynthetic(Distribution::kAnticorrelated, 600, 3, &rng);
+  auto box = *RatioBox::Uniform(2, 0.4, 2.5);
+  const auto serial = *EclipseBaseline(ps, box);
+  CornerKernel kernel(box);
+  const std::vector<double> embedded = kernel.EmbedAll(ps);
+  for (int call = 0; call < 5; ++call) {
+    EXPECT_EQ(*EclipseBaselineParallel(ps, box), serial);
+    EXPECT_EQ(kernel.EmbedAllParallel(ps), embedded);
+  }
+}
+
+}  // namespace
+}  // namespace eclipse

@@ -1,0 +1,186 @@
+// Hot-path speedup: the fused zero-copy embed->skyline CORNER pipeline
+// (flat-matrix SIMD skyline straight over CornerKernel::EmbedAll's score
+// matrix) against the legacy AoS path (embedding materialized as a PointSet,
+// scalar per-Point SFS) -- end to end, same inputs, results verified
+// id-identical on every configuration.
+//
+//   build/bench/bench_hotpath_speedup [--quick] [--reps k]
+//
+// Writes BENCH_hotpath.json (bench trajectory data; the README perf table
+// is generated from it). Each configuration reports best-of-k wall time for
+// both paths. --quick runs a small configuration for CI smoke (divergence
+// still fails the run) and skips the JSON so the committed full-sweep
+// record is never clobbered.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "benchlib/table.h"
+#include "benchlib/workloads.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "core/corner_kernel.h"
+#include "core/eclipse.h"
+#include "skyline/simd_dominance.h"
+#include "skyline/skyline.h"
+
+namespace {
+
+using eclipse::BenchDataset;
+using eclipse::CornerKernel;
+using eclipse::PointId;
+using eclipse::PointSet;
+using eclipse::RatioBox;
+using eclipse::Result;
+using eclipse::SkylineSfs;
+using eclipse::Stopwatch;
+using eclipse::StrFormat;
+
+/// The seed-era CORNER query: embed into an AoS PointSet, then run the
+/// scalar per-Point SFS over it. Kept verbatim as the baseline.
+Result<std::vector<PointId>> LegacyCornerQuery(const PointSet& points,
+                                               const RatioBox& box) {
+  CornerKernel kernel(box);
+  ECLIPSE_ASSIGN_OR_RETURN(PointSet embedded,
+                           kernel.EmbedAllAsPointSet(points));
+  return SkylineSfs(embedded);
+}
+
+struct ConfigResult {
+  size_t n = 0;
+  size_t d = 0;
+  size_t m = 0;
+  size_t result_size = 0;
+  double legacy_ms = 0.0;
+  double fused_ms = 0.0;
+  bool identical = false;
+  double speedup() const { return fused_ms > 0 ? legacy_ms / fused_ms : 0; }
+};
+
+template <typename Fn>
+double BestOfMs(size_t reps, const Fn& fn) {
+  double best = 0.0;
+  for (size_t r = 0; r < reps; ++r) {
+    Stopwatch sw;
+    fn();
+    const double ms = sw.ElapsedSeconds() * 1e3;
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  size_t reps = 3;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[a], "--reps") == 0 && a + 1 < argc) {
+      reps = static_cast<size_t>(std::atoll(argv[++a]));
+    }
+  }
+
+  // n x d sweep (m = 2^(d-1) embedding columns). The d = 6 / 8 rows stay at
+  // n <= 1e5 to bound the score-matrix footprint (1e5 x 128 cols = 102 MB).
+  std::vector<std::pair<size_t, size_t>> sweep;
+  if (quick) {
+    sweep = {{20000, 3}, {20000, 4}};
+    reps = std::min<size_t>(reps, 2);
+  } else {
+    sweep = {{10000, 2},  {10000, 3},  {10000, 4}, {10000, 6}, {10000, 8},
+             {100000, 2}, {100000, 3}, {100000, 4}, {100000, 6}, {100000, 8},
+             {1000000, 2}, {1000000, 3}, {1000000, 4}};
+  }
+
+  std::printf("Fused zero-copy embed->skyline CORNER pipeline vs legacy AoS "
+              "path\nSIMD tier: %s, best of %zu reps, INDE data, ratio box "
+              "[%.2f, %.2f]\n\n",
+              eclipse::SimdTierName(eclipse::ActiveSimdTier()), reps,
+              eclipse::kDefaultRatioLo, eclipse::kDefaultRatioHi);
+
+  eclipse::TablePrinter table({"n", "d", "m", "eclipse", "legacy (ms)",
+                               "fused (ms)", "speedup", "identical"});
+  std::vector<ConfigResult> results;
+  bool all_identical = true;
+  for (const auto& [n, d] : sweep) {
+    PointSet data = eclipse::MakeBenchDataset(BenchDataset::kInde, n, d, 42);
+    const auto cfg_box = *RatioBox::Uniform(d - 1, eclipse::kDefaultRatioLo,
+                                            eclipse::kDefaultRatioHi);
+    ConfigResult r;
+    r.n = n;
+    r.d = d;
+    r.m = size_t{1} << (d - 1);
+
+    std::vector<PointId> legacy_ids;
+    std::vector<PointId> fused_ids;
+    r.legacy_ms = BestOfMs(reps, [&] {
+      auto got = LegacyCornerQuery(data, cfg_box);
+      if (!got.ok()) {
+        std::fprintf(stderr, "legacy: %s\n", got.status().ToString().c_str());
+        std::exit(1);
+      }
+      legacy_ids = std::move(got).value();
+    });
+    r.fused_ms = BestOfMs(reps, [&] {
+      auto got = eclipse::EclipseCornerSkyline(data, cfg_box);
+      if (!got.ok()) {
+        std::fprintf(stderr, "fused: %s\n", got.status().ToString().c_str());
+        std::exit(1);
+      }
+      fused_ids = std::move(got).value();
+    });
+    r.identical = legacy_ids == fused_ids;
+    all_identical = all_identical && r.identical;
+    r.result_size = fused_ids.size();
+    results.push_back(r);
+    table.AddRow({StrFormat("%zu", r.n), StrFormat("%zu", r.d),
+                  StrFormat("%zu", r.m), StrFormat("%zu", r.result_size),
+                  StrFormat("%.2f", r.legacy_ms), StrFormat("%.2f", r.fused_ms),
+                  StrFormat("%.2fx", r.speedup()),
+                  r.identical ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  if (!all_identical) {
+    std::fprintf(stderr, "FAIL: fused path diverged from the legacy path\n");
+    return 1;
+  }
+
+  if (quick) {
+    // Smoke mode never clobbers the committed full-sweep record.
+    std::printf("quick mode: skipping BENCH_hotpath.json\n");
+    return 0;
+  }
+  FILE* json = std::fopen("BENCH_hotpath.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_hotpath.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"hotpath_speedup\",\n"
+               "  \"legacy\": \"EmbedAllAsPointSet + scalar per-Point SFS\",\n"
+               "  \"fused\": \"EclipseCornerSkyline (zero-copy flat SIMD "
+               "skyline)\",\n"
+               "  \"simd_tier\": \"%s\",\n  \"dataset\": \"INDE\",\n"
+               "  \"reps\": %zu,\n  \"results\": [\n",
+               eclipse::SimdTierName(eclipse::ActiveSimdTier()), reps);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ConfigResult& r = results[i];
+    std::fprintf(json,
+                 "    {\"n\": %zu, \"d\": %zu, \"m\": %zu, "
+                 "\"eclipse_size\": %zu, \"legacy_ms\": %.3f, "
+                 "\"fused_ms\": %.3f, \"speedup\": %.2f, "
+                 "\"identical\": %s}%s\n",
+                 r.n, r.d, r.m, r.result_size, r.legacy_ms, r.fused_ms,
+                 r.speedup(), r.identical ? "true" : "false",
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_hotpath.json\n");
+  return 0;
+}

@@ -101,6 +101,9 @@ int RunEngineQuery(const PointSet& original, PointSet data,
     std::printf("plan: %s%s (%s)\n", plan.engine.c_str(),
                 plan.will_build_index ? " [builds index]" : "",
                 plan.reason.c_str());
+    std::printf("simd tier: %s%s%s\n", plan.simd_tier.c_str(),
+                plan.skyline_path.empty() ? "" : ", skyline path: ",
+                plan.skyline_path.c_str());
   }
   eclipse::EngineQueryStats stats;
   auto ids = engine->Query(box, &stats);

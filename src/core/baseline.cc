@@ -1,7 +1,9 @@
 // BASE (paper Algorithm 1): for each pair of points, compare the weighted
 // sums at the 2^(d-1) corner weight vectors. Corner scores are materialized
 // once via the shared CornerKernel (n x m), then the quadratic pass runs
-// with early exit on the first dominator found.
+// with early exit on the first dominator found. The pairwise dominance test
+// is the dispatching SIMD kernel (skyline/simd_dominance.h), which makes
+// decision-identical accept/reject calls to the scalar predicate.
 
 #include <thread>
 
@@ -10,6 +12,7 @@
 #include "core/corner_kernel.h"
 #include "core/dominance_oracle.h"
 #include "core/eclipse.h"
+#include "skyline/simd_dominance.h"
 
 namespace eclipse {
 
@@ -41,28 +44,14 @@ Result<std::vector<PointId>> EclipseBaseline(const PointSet& points,
   // scores[i*m .. i*m+m): corner scores + unbounded coords of point i.
   const std::vector<double> scores = kernel.EmbedAll(points, stats);
 
-  // v(j) dominates v(i) iff componentwise <= and somewhere <.
-  auto dominates = [&](size_t j, size_t i) {
-    const double* a = scores.data() + j * m;
-    const double* b = scores.data() + i * m;
-    bool strict = false;
-    for (size_t k = 0; k < m; ++k) {
-      if (a[k] > b[k]) return false;
-      if (a[k] < b[k]) strict = true;
-    }
-    return strict;
-  };
-
+  // v(j) dominates v(i) iff componentwise <= and somewhere <. One SIMD
+  // dispatch per candidate: FindDominatorRow scans the contiguous score
+  // rows for the first dominator (a row never properly dominates itself,
+  // so i needs no skip).
   std::vector<PointId> out;
   for (size_t i = 0; i < n; ++i) {
-    bool dominated = false;
-    for (size_t j = 0; j < n; ++j) {
-      if (j == i) continue;
-      if (dominates(j, i)) {
-        dominated = true;
-        break;
-      }
-    }
+    const bool dominated =
+        FindDominatorRow(scores.data(), n, m, scores.data() + i * m) != n;
     if (!dominated) {
       out.push_back(static_cast<PointId>(i));
     } else if (stats != nullptr) {
@@ -95,23 +84,8 @@ Result<std::vector<PointId>> EclipseBaselineParallel(const PointSet& points,
   // no per-call thread spawn.
   auto worker = [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
-      const double* b = scores.data() + i * m;
-      for (size_t j = 0; j < n; ++j) {
-        if (j == i) continue;
-        const double* a = scores.data() + j * m;
-        bool le = true;
-        bool strict = false;
-        for (size_t k = 0; k < m; ++k) {
-          if (a[k] > b[k]) {
-            le = false;
-            break;
-          }
-          if (a[k] < b[k]) strict = true;
-        }
-        if (le && strict) {
-          dominated[i] = 1;
-          break;
-        }
+      if (FindDominatorRow(scores.data(), n, m, scores.data() + i * m) != n) {
+        dominated[i] = 1;
       }
     }
   };

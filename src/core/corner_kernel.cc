@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/thread_pool.h"
+#include "skyline/dominance.h"
 
 namespace eclipse {
 
@@ -44,18 +45,16 @@ Point CornerKernel::Embed(std::span<const double> p) const {
 
 bool CornerKernel::Dominates(std::span<const double> p,
                              std::span<const double> q) const {
-  bool strict = false;
+  // The shared streaming predicate (skyline/dominance.h): each corner score
+  // pair is computed lazily so the loop stops at the first violated corner.
+  DominanceAccumulator acc;
   for (const Point& w : corners_) {
-    const double sp = Score(p, w);
-    const double sq = Score(q, w);
-    if (sp > sq) return false;
-    if (sp < sq) strict = true;
+    if (!acc.Observe(Score(p, w), Score(q, w))) return false;
   }
   for (size_t j : unbounded_dims_) {
-    if (p[j] > q[j]) return false;
-    if (p[j] < q[j]) strict = true;
+    if (!acc.Observe(p[j], q[j])) return false;
   }
-  return strict;
+  return acc.strict();
 }
 
 void CornerKernel::EmbedColumns(std::span<const double* const> cols,

@@ -3,15 +3,47 @@
 // Embed every point as its vector of 2^(d-1) corner scores (plus raw
 // coordinates for unbounded ratio dims) via the shared CornerKernel; by
 // Theorem 2, eclipse dominance is exactly componentwise dominance of the
-// embeddings, so the eclipse set is the skyline of the embedded set. The
-// embedded skyline is small (it *is* the eclipse result), which makes SFS
-// effectively linear here.
+// embeddings, so the eclipse set is the skyline of the embedded set.
+//
+// This is THE hot path of every CORNER query, so the two stages are fused:
+// EmbedAll's flat n x m score matrix feeds the flat-matrix skyline kernels
+// (skyline/flat_skyline.h) directly -- no intermediate PointSet, no copy --
+// with the dominance inner loops running on the dispatching SIMD kernel.
+// Large inputs embed in parallel and take the partition/tournament-merge
+// skyline on the shared pool; both stages are decision-identical to the
+// scalar single-thread path, so the result ids never depend on the route.
+// Only the PointSet-shaped algorithms (kSortSweep2D, kDivideConquer) still
+// materialize the embedding, via a move -- not a copy -- of the matrix.
 
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "core/corner_kernel.h"
 #include "core/eclipse.h"
+#include "skyline/flat_skyline.h"
 
 namespace eclipse {
+
+namespace {
+
+/// Embeddings with at least this many rows run EmbedAllParallel on the
+/// shared pool; below it single-thread constants win. (The skyline stage
+/// has its own, lower fan-out threshold in ChooseFlatSkylinePath.)
+constexpr size_t kParallelEmbedMinRows = 1 << 15;
+
+}  // namespace
+
+const char* CornerSkylinePath(const EclipseOptions& options, size_t n) {
+  const SkylineAlgorithm algo = options.skyline_algorithm;
+  if (FlatCapable(algo)) {
+    // CORNER feeds the embedding to the flat kernels even when it is
+    // 2-dimensional, so kAuto resolves without ComputeSkylinePathName's
+    // 2D sort-sweep special case.
+    return FlatSkylinePathName(ChooseFlatSkylinePath(algo, n));
+  }
+  // kSortSweep2D / kDivideConquer name themselves; dims only affects
+  // kAuto, which is flat-capable.
+  return ComputeSkylinePathName(algo, n, /*dims=*/0);
+}
 
 Result<std::vector<PointId>> EclipseCornerSkyline(const PointSet& points,
                                                   const RatioBox& box,
@@ -34,11 +66,23 @@ Result<std::vector<PointId>> EclipseCornerSkyline(const PointSet& points,
   if (n == 0) return std::vector<PointId>{};
 
   CornerKernel kernel(box);
-  ECLIPSE_ASSIGN_OR_RETURN(PointSet embedded,
-                           kernel.EmbedAllAsPointSet(points, stats));
-  SkylineAlgorithm algo = options.skyline_algorithm;
-  if (algo == SkylineAlgorithm::kAuto) algo = SkylineAlgorithm::kSfs;
-  return ComputeSkyline(embedded, algo, stats);
+  const size_t m = kernel.embedding_dims();
+  const bool parallel_embed =
+      n >= kParallelEmbedMinRows && ThreadPool::Shared().size() >= 2;
+  std::vector<double> scores = parallel_embed
+                                   ? kernel.EmbedAllParallel(points, 0, stats)
+                                   : kernel.EmbedAll(points, stats);
+
+  const SkylineAlgorithm algo = options.skyline_algorithm;
+  if (!FlatCapable(algo)) {
+    // kSortSweep2D / kDivideConquer operate on a PointSet; the matrix is
+    // moved into it, not copied.
+    ECLIPSE_ASSIGN_OR_RETURN(PointSet embedded,
+                             PointSet::FromFlat(m, std::move(scores)));
+    return ComputeSkyline(embedded, algo, stats);
+  }
+  const FlatMatrixView view = FlatMatrixView::Of(scores, m);
+  return FlatSkyline(view, ChooseFlatSkylinePath(algo, n), stats);
 }
 
 }  // namespace eclipse

@@ -60,10 +60,17 @@ Result<std::vector<PointId>> EclipseTransformHD(
     const EclipseOptions& options = {}, Statistics* stats = nullptr);
 
 /// Exact transformation for any d: skyline of the full 2^(d-1)-corner score
-/// embedding (plus coordinatewise conditions for unbounded ranges).
+/// embedding (plus coordinatewise conditions for unbounded ranges). Fused:
+/// the embedding matrix feeds the flat-matrix SIMD skyline directly with no
+/// intermediate PointSet (skyline/flat_skyline.h).
 Result<std::vector<PointId>> EclipseCornerSkyline(
     const PointSet& points, const RatioBox& box,
     const EclipseOptions& options = {}, Statistics* stats = nullptr);
+
+/// The skyline path EclipseCornerSkyline takes for these options at input
+/// size n ("flat-sfs", "flat-parallel-merge", ...). Single source of truth
+/// consumed by EclipseEngine::Explain.
+const char* CornerSkylinePath(const EclipseOptions& options, size_t n);
 
 /// The paper's TRAN c-mapping as a PointSet (exposed for tests and the
 /// worked examples): row i is the image c_i of point i.

@@ -56,8 +56,12 @@ Result<EclipseIndex> EclipseIndex::Build(const PointSet& points,
     return Status::InvalidArgument("index domain must not be degenerate");
   }
 
-  // Candidate set: skyline, then pruned to the domain-box eclipse set
-  // (EclipseCornerSkyline embeds candidates through the shared CornerKernel).
+  // Candidate set: skyline, then pruned to the domain-box eclipse set.
+  // Both stages run the fused flat-matrix SIMD path: ComputeSkyline routes
+  // the build-time filter through the zero-copy kernels over the dataset's
+  // own row-major storage (upgrading to the parallel partition/merge
+  // skyline for large builds), and EclipseCornerSkyline feeds its corner
+  // embedding straight into the same kernels with no intermediate PointSet.
   ECLIPSE_ASSIGN_OR_RETURN(
       std::vector<PointId> skyline_ids,
       ComputeSkyline(points, options.skyline_algorithm));

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/strings.h"
+#include "skyline/simd_dominance.h"
 
 namespace eclipse {
 
@@ -13,6 +14,25 @@ namespace {
 /// The best one-shot engine for this shape: TRAN-2D when the 2D fast path
 /// applies, the exact CORNER transformation otherwise.
 const char* BestOneShot(size_t d) { return d == 2 ? "TRAN-2D" : "CORNER"; }
+
+/// The skyline backend the chosen engine's transformation stage runs, for
+/// Explain / plan observability. CORNER's routing is the single source of
+/// truth in core/corner_skyline.cc; the 2D transformations take the 2D
+/// sort-sweep through ComputeSkyline's kAuto.
+std::string PlanSkylinePath(const std::string& engine, const PlanInputs& in,
+                            const EngineOptions& options) {
+  if (engine == "CORNER") {
+    return CornerSkylinePath(options.algorithm, in.n);
+  }
+  if (engine == "TRAN-2D" || engine == "TRAN-HD") {
+    // The TRAN engines run ComputeSkyline over the c-space, which is
+    // 2-dimensional for TRAN-2D and d-dimensional for TRAN-HD.
+    const size_t c_dims = engine == "TRAN-2D" ? 2 : in.d;
+    return ComputeSkylinePathName(options.algorithm.skyline_algorithm, in.n,
+                                  c_dims);
+  }
+  return "";  // BASE and the index engines have no skyline stage
+}
 
 /// True iff this query would be served from the (lazily built) index once
 /// enough volume accumulates. Single source of truth shared by ChoosePlan's
@@ -53,9 +73,9 @@ PlanInputs MakePlanInputs(const ColumnarSnapshot& snap, const RatioBox& box,
   return in;
 }
 
-}  // namespace
-
-QueryPlan ChoosePlan(const PlanInputs& in, const EngineOptions& options) {
+/// Engine routing only; ChoosePlan adds the shared observability fields
+/// (skyline path + SIMD tier) on every exit path at once.
+QueryPlan ChoosePlanRouting(const PlanInputs& in, const EngineOptions& options) {
   QueryPlan plan;
   if (!options.force_engine.empty()) {
     const EngineInfo* info =
@@ -140,6 +160,15 @@ QueryPlan ChoosePlan(const PlanInputs& in, const EngineOptions& options) {
                             "build",
                             in.n, options.index_min_points);
   }
+  return plan;
+}
+
+}  // namespace
+
+QueryPlan ChoosePlan(const PlanInputs& in, const EngineOptions& options) {
+  QueryPlan plan = ChoosePlanRouting(in, options);
+  plan.skyline_path = PlanSkylinePath(plan.engine, in, options);
+  plan.simd_tier = SimdTierName(ActiveSimdTier());
   return plan;
 }
 
@@ -365,6 +394,7 @@ Result<std::vector<PointId>> EclipseEngine::Query(const RatioBox& box,
       plan.engine = BestOneShot(inputs.d);
       plan.uses_index = false;
       plan.will_build_index = false;
+      plan.skyline_path = PlanSkylinePath(plan.engine, inputs, s.options);
       plan.reason = StrFormat("index build failed (%s); falling back to "
                               "one-shot serving",
                               build_status.ToString().c_str());

@@ -83,6 +83,12 @@ struct QueryPlan {
   uint64_t snapshot_epoch = 0;
   /// The result is (or, for Explain, would be) served from the LRU cache.
   bool cache_hit = false;
+  /// Skyline backend the chosen engine's transformation stage runs
+  /// ("flat-sfs", "flat-parallel-merge", "sort-sweep-2d", ...); empty for
+  /// engines with no skyline stage (BASE, index engines).
+  std::string skyline_path;
+  /// Dominance-kernel dispatch tier serving this query ("avx2" / "scalar").
+  std::string simd_tier;
   /// Why the cost model picked this engine, for logs and debugging.
   std::string reason;
 };

@@ -90,7 +90,8 @@ EngineRegistry BuildGlobalRegistry() {
        }});
   registry.Register(
       {.name = "CORNER",
-       .description = "exact corner-score embedding + skyline (any d)",
+       .description = "exact corner-score embedding fused into the flat "
+                      "SIMD skyline (any d, zero-copy hot path)",
        .exact = true,
        .complexity = "O(n log n + n 2^(d-1) s)",
        .run = [](const PointSet& points, const RatioBox& box,

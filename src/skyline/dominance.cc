@@ -15,39 +15,17 @@ bool Dominates(std::span<const double> a, std::span<const double> b) {
 bool WeakDominatesPrefix(std::span<const double> a, std::span<const double> b,
                          size_t k) {
   assert(a.size() >= k && b.size() >= k);
-  for (size_t j = 0; j < k; ++j) {
-    if (a[j] > b[j]) return false;
-  }
-  return true;
+  return WeakDominatesRowScalar(a.data(), b.data(), k);
 }
 
 bool DominatesPrefix(std::span<const double> a, std::span<const double> b,
                      size_t k) {
   assert(a.size() >= k && b.size() >= k);
-  bool strict = false;
-  for (size_t j = 0; j < k; ++j) {
-    if (a[j] > b[j]) return false;
-    if (a[j] < b[j]) strict = true;
-  }
-  return strict;
+  return DominatesRowScalar(a.data(), b.data(), k);
 }
 
 DomRel CompareDominance(std::span<const double> a, std::span<const double> b) {
-  bool a_le = true;
-  bool b_le = true;
-  bool equal = true;
-  for (size_t j = 0; j < a.size(); ++j) {
-    if (a[j] < b[j]) {
-      b_le = false;
-      equal = false;
-    } else if (a[j] > b[j]) {
-      a_le = false;
-      equal = false;
-    }
-    if (!a_le && !b_le) return DomRel::kIncomparable;
-  }
-  if (equal) return DomRel::kEqual;
-  return a_le ? DomRel::kDominates : DomRel::kDominatedBy;
+  return CompareDominanceRowScalar(a.data(), b.data(), a.size());
 }
 
 }  // namespace eclipse

@@ -1,26 +1,59 @@
 // Pointwise (skyline) dominance. Smaller is better in every dimension
 // throughout this library ("distance to the query point at the origin").
+//
+// The scalar predicate lives here ONCE, as inline helpers over raw rows:
+// every dominance test in the library -- BNL/SFS windows, BASE's quadratic
+// pass, CornerKernel::Dominates, and the SIMD kernel's scalar fallback
+// (skyline/simd_dominance.h) -- routes through DominanceAccumulator /
+// DominatesRowScalar, so there is exactly one definition of "a dominates b"
+// to keep bitwise-consistent across layouts and instruction sets.
 
 #ifndef ECLIPSE_SKYLINE_DOMINANCE_H_
 #define ECLIPSE_SKYLINE_DOMINANCE_H_
 
+#include <cstddef>
 #include <span>
 
 namespace eclipse {
 
-/// a[j] <= b[j] for all j (allows a == b).
-bool WeakDominates(std::span<const double> a, std::span<const double> b);
+/// The streaming core of the scalar predicate, for callers that produce
+/// components on the fly (CornerKernel::Dominates computes each corner
+/// score pair lazily so it can stop at the first violated corner).
+class DominanceAccumulator {
+ public:
+  /// Feeds one (a_j, b_j) component pair. Returns false iff a_j > b_j,
+  /// i.e. a can no longer dominate b; the caller should stop immediately.
+  bool Observe(double aj, double bj) {
+    if (aj > bj) return false;
+    if (aj < bj) strict_ = true;
+    return true;
+  }
+  /// a < b was observed in some fed component.
+  bool strict() const { return strict_; }
 
-/// Proper skyline dominance: a <= b componentwise and a != b. Exact
-/// duplicates never dominate each other, so all copies of a skyline point
-/// are reported (the standard convention).
-bool Dominates(std::span<const double> a, std::span<const double> b);
+ private:
+  bool strict_ = false;
+};
 
-/// Like WeakDominates/Dominates restricted to the first k dimensions.
-bool WeakDominatesPrefix(std::span<const double> a, std::span<const double> b,
-                         size_t k);
-bool DominatesPrefix(std::span<const double> a, std::span<const double> b,
-                     size_t k);
+/// a[j] <= b[j] for all j in [0, k).
+inline bool WeakDominatesRowScalar(const double* a, const double* b,
+                                   size_t k) {
+  for (size_t j = 0; j < k; ++j) {
+    if (a[j] > b[j]) return false;
+  }
+  return true;
+}
+
+/// Proper skyline dominance over raw rows: a <= b componentwise and a != b.
+/// Exact duplicates never dominate each other, so all copies of a skyline
+/// point are reported (the standard convention).
+inline bool DominatesRowScalar(const double* a, const double* b, size_t k) {
+  DominanceAccumulator acc;
+  for (size_t j = 0; j < k; ++j) {
+    if (!acc.Observe(a[j], b[j])) return false;
+  }
+  return acc.strict();
+}
 
 /// Relationship of a pair under proper dominance.
 enum class DomRel {
@@ -29,6 +62,40 @@ enum class DomRel {
   kEqual,        // identical rows
   kIncomparable,
 };
+
+inline DomRel CompareDominanceRowScalar(const double* a, const double* b,
+                                        size_t k) {
+  bool a_le = true;
+  bool b_le = true;
+  bool equal = true;
+  for (size_t j = 0; j < k; ++j) {
+    if (a[j] < b[j]) {
+      b_le = false;
+      equal = false;
+    } else if (a[j] > b[j]) {
+      a_le = false;
+      equal = false;
+    }
+    if (!a_le && !b_le) return DomRel::kIncomparable;
+  }
+  if (equal) return DomRel::kEqual;
+  return a_le ? DomRel::kDominates : DomRel::kDominatedBy;
+}
+
+// Span-based wrappers (the historical API; all delegate to the row helpers
+// above).
+
+/// a[j] <= b[j] for all j (allows a == b).
+bool WeakDominates(std::span<const double> a, std::span<const double> b);
+
+/// Proper skyline dominance: a <= b componentwise and a != b.
+bool Dominates(std::span<const double> a, std::span<const double> b);
+
+/// Like WeakDominates/Dominates restricted to the first k dimensions.
+bool WeakDominatesPrefix(std::span<const double> a, std::span<const double> b,
+                         size_t k);
+bool DominatesPrefix(std::span<const double> a, std::span<const double> b,
+                     size_t k);
 
 DomRel CompareDominance(std::span<const double> a, std::span<const double> b);
 

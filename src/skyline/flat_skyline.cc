@@ -1,0 +1,364 @@
+#include "skyline/flat_skyline.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "common/thread_pool.h"
+#include "skyline/simd_dominance.h"
+
+namespace eclipse {
+
+namespace {
+
+/// Rows per block for the columnwise sum pass (same sizing rationale as
+/// CornerKernel::EmbedColumns: the partial-sum block stays L1/L2 resident
+/// while each column streams over it).
+constexpr size_t kSumRowBlock = 128;
+
+/// Auto-partitioning only splits when every chunk gets at least this many
+/// rows; below that a single SFS wins on constant factors.
+constexpr size_t kMinParallelChunkRows = 4096;
+
+/// A dense copy of the accepted skyline rows plus their ids: the inner
+/// dominance loop streams this contiguous buffer instead of chasing
+/// scattered rows of the (much larger) input matrix.
+class SkylineWindow {
+ public:
+  explicit SkylineWindow(size_t m) : m_(m) {}
+
+  size_t size() const { return ids_.size(); }
+  const double* rows() const { return rows_.data(); }
+  const double* row(size_t r) const { return rows_.data() + r * m_; }
+  PointId id(size_t r) const { return ids_[r]; }
+  std::vector<PointId>& ids() { return ids_; }
+
+  void Append(const double* row, PointId id) {
+    rows_.insert(rows_.end(), row, row + m_);
+    ids_.push_back(id);
+  }
+
+  /// Overwrites slot `dst` with slot `src` (BNL compaction).
+  void MoveSlot(size_t dst, size_t src) {
+    if (dst == src) return;
+    std::copy_n(rows_.data() + src * m_, m_, rows_.data() + dst * m_);
+    ids_[dst] = ids_[src];
+  }
+
+  void Resize(size_t count) {
+    rows_.resize(count * m_);
+    ids_.resize(count);
+  }
+
+ private:
+  size_t m_;
+  std::vector<double> rows_;
+  std::vector<PointId> ids_;
+};
+
+/// SFS over rows [begin, end) of the view; returned ids are absolute row
+/// indices, sorted ascending. `comparisons` accumulates dominance tests so
+/// parallel callers can aggregate without sharing a Statistics.
+///
+/// A SaLSa-style pivot pre-filter runs before the sort: the min-sum row is
+/// a skyline member with maximal pruning power (corner-score columns are
+/// strongly correlated, so it typically dominates almost everything), and
+/// one linear SIMD pass drops every row it properly dominates. Dominated
+/// rows can never be skyline members and removing them never changes
+/// anyone else's dominators, so the result is identical -- but the O(k log
+/// k) sort now runs over the k survivors instead of all n rows, which is
+/// where the legacy path spends most of its time.
+std::vector<PointId> SfsOverRange(const FlatMatrixView& view, size_t begin,
+                                  size_t end, uint64_t* comparisons) {
+  const size_t count = end - begin;
+  if (count == 0) return {};
+  const size_t m = view.m;
+  std::vector<double> sums(count);
+  FlatMatrixView chunk{view.row(begin), count, m, view.stride};
+  ComputeRowSums(chunk, sums.data());
+
+  size_t pivot = 0;
+  for (size_t i = 1; i < count; ++i) {
+    if (sums[i] < sums[pivot]) pivot = i;
+  }
+  std::vector<PointId> order;
+  order.reserve(64);
+  const double* pivot_row = view.row(begin + pivot);
+  for (size_t i = 0; i < count; ++i) {
+    if (i == pivot || !DominatesRow(pivot_row, view.row(begin + i), m)) {
+      order.push_back(static_cast<PointId>(begin + i));
+    }
+  }
+  *comparisons += count - 1;
+
+  // Sort the survivors by coordinate sum (a monotone preference function):
+  // any dominator has a strictly smaller sum, or an equal sum only for
+  // identical rows, so after the sort every row's dominators precede it.
+  std::sort(order.begin(), order.end(), [&](PointId a, PointId b) {
+    const double sa = sums[a - begin];
+    const double sb = sums[b - begin];
+    if (sa != sb) return sa < sb;
+    return a < b;
+  });
+
+  SkylineWindow window(m);
+  for (PointId id : order) {
+    const double* p = view.row(id);
+    const size_t dominator = FindDominatorRow(window.rows(), window.size(), m, p);
+    if (dominator == window.size()) {
+      *comparisons += window.size();
+      window.Append(p, id);
+    } else {
+      *comparisons += dominator + 1;
+    }
+  }
+  std::vector<PointId> skyline = std::move(window.ids());
+  std::sort(skyline.begin(), skyline.end());
+  return skyline;
+}
+
+/// Divide-and-conquer merge step: the union of both skylines with each
+/// side's rows filtered against the *other* side's full skyline. Sound by
+/// transitivity: any dominator of a surviving row is itself dominated by a
+/// member of its own chunk's skyline, which then also dominates the row.
+/// Duplicates across chunks never dominate each other, so all copies of a
+/// skyline row survive (the global convention).
+std::vector<PointId> MergeSkylines(const FlatMatrixView& view,
+                                   const std::vector<PointId>& a,
+                                   const std::vector<PointId>& b,
+                                   uint64_t* comparisons) {
+  const size_t m = view.m;
+  SkylineWindow rows_a(m);
+  SkylineWindow rows_b(m);
+  for (PointId id : a) rows_a.Append(view.row(id), id);
+  for (PointId id : b) rows_b.Append(view.row(id), id);
+
+  std::vector<PointId> merged;
+  merged.reserve(a.size() + b.size());
+  for (size_t r = 0; r < a.size(); ++r) {
+    const size_t dom = FindDominatorRow(rows_b.rows(), b.size(), m,
+                                        rows_a.row(r));
+    *comparisons += dom == b.size() ? b.size() : dom + 1;
+    if (dom == b.size()) merged.push_back(a[r]);
+  }
+  for (size_t r = 0; r < b.size(); ++r) {
+    const size_t dom = FindDominatorRow(rows_a.rows(), a.size(), m,
+                                        rows_b.row(r));
+    *comparisons += dom == a.size() ? a.size() : dom + 1;
+    if (dom == a.size()) merged.push_back(b[r]);
+  }
+  return merged;
+}
+
+}  // namespace
+
+FlatMatrixView FlatMatrixView::Of(const PointSet& points) {
+  FlatMatrixView view;
+  view.n = points.size();
+  view.m = points.dims();
+  view.stride = points.dims();
+  view.data = points.empty() ? nullptr : points.data().data();
+  return view;
+}
+
+FlatMatrixView FlatMatrixView::Of(const std::vector<double>& flat, size_t m) {
+  assert(m > 0 && flat.size() % m == 0);
+  FlatMatrixView view;
+  view.data = flat.data();
+  view.n = flat.size() / m;
+  view.m = m;
+  view.stride = m;
+  return view;
+}
+
+void ComputeRowSums(const FlatMatrixView& view, double* out) {
+  const size_t n = view.n;
+  const size_t m = view.m;
+  const size_t stride = view.stride;
+  double acc[kSumRowBlock];
+  for (size_t block = 0; block < n; block += kSumRowBlock) {
+    const size_t bn = std::min(kSumRowBlock, n - block);
+    std::fill_n(acc, bn, 0.0);
+    // j ascending per row, the same addition order as a scalar row
+    // accumulate, so the sums are bitwise identical in every layout.
+    const double* base = view.data + block * stride;
+    for (size_t j = 0; j < m; ++j) {
+      for (size_t i = 0; i < bn; ++i) acc[i] += base[i * stride + j];
+    }
+    std::copy_n(acc, bn, out + block);
+  }
+}
+
+std::vector<PointId> FlatSkylineBnl(const FlatMatrixView& view,
+                                    Statistics* stats) {
+  const size_t m = view.m;
+  SkylineWindow window(m);
+  uint64_t comparisons = 0;
+  for (size_t i = 0; i < view.n; ++i) {
+    const double* p = view.row(i);
+    bool dominated = false;
+    size_t keep = 0;
+    const size_t count = window.size();
+    for (size_t w = 0; w < count; ++w) {
+      ++comparisons;
+      const DomRel rel = CompareRows(window.row(w), p, m);
+      if (rel == DomRel::kDominates) {
+        dominated = true;
+        // Everything still in the window stays; compact the tail and stop.
+        for (size_t rest = w; rest < count; ++rest) {
+          window.MoveSlot(keep++, rest);
+        }
+        break;
+      }
+      if (rel != DomRel::kDominatedBy) {
+        window.MoveSlot(keep++, w);  // the window row survives p
+      }
+      // rel == kDominatedBy: drop the window row.
+    }
+    window.Resize(keep);
+    if (!dominated) {
+      window.Append(p, static_cast<PointId>(i));
+    }
+  }
+  if (stats != nullptr) {
+    stats->Add(Ticker::kSkylineComparisons, comparisons);
+  }
+  std::vector<PointId> skyline = std::move(window.ids());
+  std::sort(skyline.begin(), skyline.end());
+  return skyline;
+}
+
+std::vector<PointId> FlatSkylineSfs(const FlatMatrixView& view,
+                                    Statistics* stats) {
+  uint64_t comparisons = 0;
+  std::vector<PointId> skyline = SfsOverRange(view, 0, view.n, &comparisons);
+  if (stats != nullptr) {
+    stats->Add(Ticker::kSkylineComparisons, comparisons);
+  }
+  return skyline;
+}
+
+std::vector<PointId> FlatSkylineParallelMerge(const FlatMatrixView& view,
+                                              size_t num_threads,
+                                              Statistics* stats) {
+  const size_t n = view.n;
+  // The calling thread participates in ParallelFor, so the pool contributes
+  // size() extra lanes.
+  const size_t lanes = num_threads != 0
+                           ? num_threads
+                           : ThreadPool::Shared().size() + 1;
+  // Auto mode only splits when every chunk is big enough to amortize the
+  // fan-out; an explicit num_threads forces the partitioning (tests).
+  const size_t chunk_cap =
+      num_threads != 0 ? n : n / kMinParallelChunkRows;
+  const size_t partitions = std::min(lanes, std::max<size_t>(chunk_cap, 1));
+  if (partitions <= 1 || n == 0) return FlatSkylineSfs(view, stats);
+
+  ThreadPool& pool = ThreadPool::Shared();
+  std::vector<std::vector<PointId>> locals(partitions);
+  std::vector<uint64_t> comparisons(partitions, 0);
+  const size_t rows_per_chunk = (n + partitions - 1) / partitions;
+  pool.ParallelFor(
+      0, partitions, /*grain=*/1,
+      [&](size_t begin, size_t end) {
+        for (size_t c = begin; c < end; ++c) {
+          const size_t lo = c * rows_per_chunk;
+          const size_t hi = std::min(n, lo + rows_per_chunk);
+          if (lo < hi) {
+            locals[c] = SfsOverRange(view, lo, hi, &comparisons[c]);
+          }
+        }
+      },
+      num_threads);
+
+  // Tournament: pairwise merges per round, each round fanned out on the
+  // pool, until one skyline remains.
+  while (locals.size() > 1) {
+    const size_t pairs = locals.size() / 2;
+    std::vector<std::vector<PointId>> next(pairs + locals.size() % 2);
+    pool.ParallelFor(
+        0, pairs, /*grain=*/1,
+        [&](size_t begin, size_t end) {
+          for (size_t k = begin; k < end; ++k) {
+            next[k] = MergeSkylines(view, locals[2 * k], locals[2 * k + 1],
+                                    &comparisons[k]);
+          }
+        },
+        num_threads);
+    if (locals.size() % 2 != 0) next.back() = std::move(locals.back());
+    locals = std::move(next);
+  }
+
+  if (stats != nullptr) {
+    uint64_t total = 0;
+    for (uint64_t c : comparisons) total += c;
+    stats->Add(Ticker::kSkylineComparisons, total);
+  }
+  std::vector<PointId> skyline = std::move(locals.front());
+  std::sort(skyline.begin(), skyline.end());
+  return skyline;
+}
+
+const char* FlatSkylinePathName(FlatSkylinePath path) {
+  switch (path) {
+    case FlatSkylinePath::kBnl:
+      return "flat-bnl";
+    case FlatSkylinePath::kSfs:
+      return "flat-sfs";
+    case FlatSkylinePath::kParallelMerge:
+      return "flat-parallel-merge";
+  }
+  return "unknown";
+}
+
+bool FlatCapable(SkylineAlgorithm algorithm) {
+  switch (algorithm) {
+    case SkylineAlgorithm::kAuto:
+    case SkylineAlgorithm::kBnl:
+    case SkylineAlgorithm::kSfs:
+    case SkylineAlgorithm::kParallelMerge:
+      return true;
+    case SkylineAlgorithm::kSortSweep2D:
+    case SkylineAlgorithm::kDivideConquer:
+      return false;
+  }
+  return false;
+}
+
+FlatSkylinePath ChooseFlatSkylinePath(SkylineAlgorithm algorithm, size_t n) {
+  assert(FlatCapable(algorithm));
+  switch (algorithm) {
+    case SkylineAlgorithm::kBnl:
+      return FlatSkylinePath::kBnl;
+    case SkylineAlgorithm::kSfs:
+      return FlatSkylinePath::kSfs;
+    default:
+      break;
+  }
+  // kAuto and kParallelMerge: the fan-out pays off once every lane gets a
+  // full chunk and there is real hardware parallelism (a pool of >= 2
+  // workers). The row-count gate comes first so that planning a small
+  // input never starts the lazily spawned shared pool. kParallelMerge
+  // resolves through the same gate so the reported path is always the one
+  // that actually runs (FlatSkylineParallelMerge would fall back to a
+  // single SFS below it anyway).
+  if (n / kMinParallelChunkRows >= 2 && ThreadPool::Shared().size() >= 2) {
+    return FlatSkylinePath::kParallelMerge;
+  }
+  return FlatSkylinePath::kSfs;
+}
+
+std::vector<PointId> FlatSkyline(const FlatMatrixView& view,
+                                 FlatSkylinePath path, Statistics* stats) {
+  switch (path) {
+    case FlatSkylinePath::kBnl:
+      return FlatSkylineBnl(view, stats);
+    case FlatSkylinePath::kSfs:
+      return FlatSkylineSfs(view, stats);
+    case FlatSkylinePath::kParallelMerge:
+      return FlatSkylineParallelMerge(view, /*num_threads=*/0, stats);
+  }
+  return {};
+}
+
+}  // namespace eclipse

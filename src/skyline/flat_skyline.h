@@ -1,0 +1,106 @@
+// Skyline over a borrowed flat score matrix -- the fused zero-copy hot path.
+//
+// Every eclipse query reduces to a skyline over the corner-score embedding
+// (paper Theorem 5): CornerKernel::EmbedAll produces a dense n x m score
+// matrix, and copying it into an AoS PointSet just to run a scalar skyline
+// threw away the layout the kernel worked to produce. These entry points
+// consume the matrix (or any strided row-major view, including a PointSet's
+// own storage) in place:
+//
+//   * FlatSkylineBnl           -- block-nested-loops over a compact window,
+//   * FlatSkylineSfs           -- sort-filter-skyline; sort keys (row sums)
+//                                 computed columnwise by ComputeRowSums, a
+//                                 SaLSa-style min-sum pivot pre-filter that
+//                                 prunes dominated rows before the sort,
+//                                 and accepted rows kept in a dense window
+//                                 so the inner loop streams contiguous
+//                                 memory,
+//   * FlatSkylineParallelMerge -- partition rows -> local SFS skylines ->
+//                                 pairwise tournament merge, all stages on
+//                                 ThreadPool::Shared().
+//
+// All inner loops test dominance through the dispatching SIMD kernel
+// (skyline/simd_dominance.h), and all entry points return the same id set,
+// sorted ascending, as the PointSet algorithms in skyline/skyline.h -- the
+// skyline is a well-defined set and every kernel tier makes decision-
+// identical accept/reject calls, so results are interchangeable bit for bit.
+
+#ifndef ECLIPSE_SKYLINE_FLAT_SKYLINE_H_
+#define ECLIPSE_SKYLINE_FLAT_SKYLINE_H_
+
+#include <vector>
+
+#include "common/statistics.h"
+#include "geometry/point.h"
+#include "skyline/skyline.h"
+
+namespace eclipse {
+
+/// A borrowed, read-only, row-major matrix: row i spans
+/// data[i*stride .. i*stride + m). stride >= m lets a view walk a subset of
+/// a wider matrix's columns. The view does not own the data. Coordinates
+/// must be NaN-free, like every dataset in this library (the SFS sort key
+/// comparator requires a total order over row sums).
+struct FlatMatrixView {
+  const double* data = nullptr;
+  size_t n = 0;       // rows
+  size_t m = 0;       // compared columns per row
+  size_t stride = 0;  // doubles between consecutive row starts (>= m)
+
+  const double* row(size_t i) const { return data + i * stride; }
+
+  /// Zero-copy view of a PointSet's flat storage (stride == dims).
+  static FlatMatrixView Of(const PointSet& points);
+  /// View of a flat row-major buffer with m columns (flat.size() % m == 0).
+  static FlatMatrixView Of(const std::vector<double>& flat, size_t m);
+};
+
+/// out[i] = row i's coordinate sum, accumulated column-by-column over a
+/// cache-resident block of rows -- the same j-ascending addition order as a
+/// scalar row accumulate, so the keys are bitwise identical to the
+/// per-row std::accumulate they replace (and shared with SkylineSfs).
+void ComputeRowSums(const FlatMatrixView& view, double* out);
+
+// Entry points. Ids are row indices into the view, sorted ascending;
+// `stats` ticks kSkylineComparisons like the PointSet algorithms.
+std::vector<PointId> FlatSkylineBnl(const FlatMatrixView& view,
+                                    Statistics* stats = nullptr);
+std::vector<PointId> FlatSkylineSfs(const FlatMatrixView& view,
+                                    Statistics* stats = nullptr);
+
+/// Partition -> local SFS skyline per chunk -> pairwise tournament merge,
+/// with chunks and merges dispatched onto ThreadPool::Shared().
+/// num_threads == 0 sizes the partitioning to the pool (falling back to a
+/// single SFS when the input is too small to be worth splitting); an
+/// explicit num_threads forces that many partitions (tests use this to
+/// exercise the merge on small inputs).
+std::vector<PointId> FlatSkylineParallelMerge(const FlatMatrixView& view,
+                                              size_t num_threads = 0,
+                                              Statistics* stats = nullptr);
+
+/// The concrete flat path a SkylineAlgorithm resolves to at this input
+/// size. Single source of truth for EclipseCornerSkyline's routing and the
+/// engine's Explain.
+enum class FlatSkylinePath { kBnl, kSfs, kParallelMerge };
+
+const char* FlatSkylinePathName(FlatSkylinePath path);
+
+/// True iff `algorithm` can run directly on a flat view (kSortSweep2D and
+/// kDivideConquer still need a PointSet).
+bool FlatCapable(SkylineAlgorithm algorithm);
+
+/// Routing: kBnl / kSfs map to themselves; kAuto and kParallelMerge pick
+/// the parallel merge when the input is large enough to amortize the
+/// fan-out and the shared pool has >= 2 workers, SFS otherwise -- so the
+/// chosen path is always the one that actually runs. Precondition:
+/// FlatCapable(algorithm).
+FlatSkylinePath ChooseFlatSkylinePath(SkylineAlgorithm algorithm, size_t n);
+
+/// Runs the chosen path over the view.
+std::vector<PointId> FlatSkyline(const FlatMatrixView& view,
+                                 FlatSkylinePath path,
+                                 Statistics* stats = nullptr);
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_SKYLINE_FLAT_SKYLINE_H_

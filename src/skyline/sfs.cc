@@ -2,6 +2,7 @@
 #include <numeric>
 
 #include "skyline/dominance.h"
+#include "skyline/flat_skyline.h"
 #include "skyline/skyline.h"
 
 namespace eclipse {
@@ -14,12 +15,12 @@ std::vector<PointId> SkylineSfs(const PointSet& points, Statistics* stats) {
 
   // Sort by coordinate sum (a monotone preference function): any dominator
   // has a strictly smaller sum, or an equal sum only for identical rows, so
-  // after the sort every point's dominators precede it.
+  // after the sort every point's dominators precede it. The keys come from
+  // the shared blocked columnwise pass (no per-row AoS gather) and are
+  // bitwise identical to a scalar row accumulate -- the flat SFS reuses the
+  // same computation.
   std::vector<double> sums(n);
-  for (size_t i = 0; i < n; ++i) {
-    auto row = points[i];
-    sums[i] = std::accumulate(row.begin(), row.end(), 0.0);
-  }
+  ComputeRowSums(FlatMatrixView::Of(points), sums.data());
   std::sort(order.begin(), order.end(), [&](PointId a, PointId b) {
     if (sums[a] != sums[b]) return sums[a] < sums[b];
     return a < b;

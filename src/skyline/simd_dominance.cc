@@ -1,0 +1,193 @@
+#include "skyline/simd_dominance.h"
+
+#include <atomic>
+
+// The AVX2 tier is compiled only when the build opts in (ECLIPSE_SIMD, the
+// default on x86-64 -- see CMakeLists.txt) AND the compiler supports
+// per-function target attributes, so the rest of the library keeps the
+// baseline ISA and an ECLIPSE_SIMD=OFF build is pure scalar.
+#if defined(ECLIPSE_SIMD) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define ECLIPSE_SIMD_AVX2 1
+#include <immintrin.h>
+#endif
+
+namespace eclipse {
+
+namespace {
+
+// ------------------------------------------------------------- scalar tier
+// The scalar tier IS the shared predicate from skyline/dominance.h: the
+// fallback and the reference are the same code by construction.
+
+bool DominatesScalarImpl(const double* a, const double* b, size_t m) {
+  return DominatesRowScalar(a, b, m);
+}
+
+DomRel CompareScalarImpl(const double* a, const double* b, size_t m) {
+  return CompareDominanceRowScalar(a, b, m);
+}
+
+size_t FindDominatorScalarImpl(const double* rows, size_t count, size_t m,
+                               const double* p) {
+  for (size_t r = 0; r < count; ++r) {
+    if (DominatesRowScalar(rows + r * m, p, m)) return r;
+  }
+  return count;
+}
+
+// --------------------------------------------------------------- AVX2 tier
+#ifdef ECLIPSE_SIMD_AVX2
+
+// Early-exits at the first 4-lane block with a[j] > b[j]; the scalar code
+// early-exits at the first such j. Both see the same components, so the
+// boolean is identical. _CMP_GT_OQ / _CMP_LT_OQ are ordered-quiet: NaN
+// compares false, exactly like the scalar `>` / `<`.
+__attribute__((target("avx2"))) bool DominatesAvx2Impl(const double* a,
+                                                       const double* b,
+                                                       size_t m) {
+  size_t j = 0;
+  int lt_any = 0;
+  for (; j + 4 <= m; j += 4) {
+    const __m256d va = _mm256_loadu_pd(a + j);
+    const __m256d vb = _mm256_loadu_pd(b + j);
+    if (_mm256_movemask_pd(_mm256_cmp_pd(va, vb, _CMP_GT_OQ))) return false;
+    lt_any |= _mm256_movemask_pd(_mm256_cmp_pd(va, vb, _CMP_LT_OQ));
+  }
+  bool strict = lt_any != 0;
+  for (; j < m; ++j) {
+    if (a[j] > b[j]) return false;
+    if (a[j] < b[j]) strict = true;
+  }
+  return strict;
+}
+
+__attribute__((target("avx2"))) DomRel CompareAvx2Impl(const double* a,
+                                                       const double* b,
+                                                       size_t m) {
+  size_t j = 0;
+  int a_gt = 0;  // some a[j] > b[j]
+  int a_lt = 0;  // some a[j] < b[j]
+  for (; j + 4 <= m; j += 4) {
+    const __m256d va = _mm256_loadu_pd(a + j);
+    const __m256d vb = _mm256_loadu_pd(b + j);
+    a_gt |= _mm256_movemask_pd(_mm256_cmp_pd(va, vb, _CMP_GT_OQ));
+    a_lt |= _mm256_movemask_pd(_mm256_cmp_pd(va, vb, _CMP_LT_OQ));
+    if (a_gt && a_lt) return DomRel::kIncomparable;
+  }
+  for (; j < m; ++j) {
+    if (a[j] > b[j]) {
+      a_gt = 1;
+    } else if (a[j] < b[j]) {
+      a_lt = 1;
+    }
+    if (a_gt && a_lt) return DomRel::kIncomparable;
+  }
+  if (!a_gt && !a_lt) return DomRel::kEqual;
+  return a_gt ? DomRel::kDominatedBy : DomRel::kDominates;
+}
+
+__attribute__((target("avx2"))) size_t FindDominatorAvx2Impl(
+    const double* rows, size_t count, size_t m, const double* p) {
+  for (size_t r = 0; r < count; ++r) {
+    if (DominatesAvx2Impl(rows + r * m, p, m)) return r;
+  }
+  return count;
+}
+
+#endif  // ECLIPSE_SIMD_AVX2
+
+// ---------------------------------------------------------------- dispatch
+
+struct KernelTable {
+  SimdTier tier;
+  bool (*dominates)(const double*, const double*, size_t);
+  DomRel (*compare)(const double*, const double*, size_t);
+  size_t (*find_dominator)(const double*, size_t, size_t, const double*);
+};
+
+constexpr KernelTable kScalarTable = {SimdTier::kScalar, DominatesScalarImpl,
+                                      CompareScalarImpl,
+                                      FindDominatorScalarImpl};
+
+#ifdef ECLIPSE_SIMD_AVX2
+constexpr KernelTable kAvx2Table = {SimdTier::kAvx2, DominatesAvx2Impl,
+                                    CompareAvx2Impl, FindDominatorAvx2Impl};
+#endif
+
+bool Avx2Available() {
+#ifdef ECLIPSE_SIMD_AVX2
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+const KernelTable* TableFor(SimdTier tier) {
+#ifdef ECLIPSE_SIMD_AVX2
+  if (tier == SimdTier::kAvx2) return &kAvx2Table;
+#else
+  (void)tier;
+#endif
+  return &kScalarTable;
+}
+
+const KernelTable* DetectTable() {
+  return Avx2Available() ? TableFor(SimdTier::kAvx2) : &kScalarTable;
+}
+
+// Constant-initialized; resolved on first use (racing detections all store
+// the same pointer). Relaxed loads compile to plain loads on x86.
+std::atomic<const KernelTable*> g_active{nullptr};
+
+const KernelTable* Active() {
+  const KernelTable* table = g_active.load(std::memory_order_relaxed);
+  if (table == nullptr) {
+    table = DetectTable();
+    g_active.store(table, std::memory_order_relaxed);
+  }
+  return table;
+}
+
+}  // namespace
+
+const char* SimdTierName(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return "scalar";
+    case SimdTier::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+SimdTier ActiveSimdTier() { return Active()->tier; }
+
+std::vector<SimdTier> AvailableSimdTiers() {
+  std::vector<SimdTier> tiers = {SimdTier::kScalar};
+  if (Avx2Available()) tiers.push_back(SimdTier::kAvx2);
+  return tiers;
+}
+
+bool SetSimdTier(SimdTier tier) {
+  if (tier == SimdTier::kAvx2 && !Avx2Available()) return false;
+  g_active.store(TableFor(tier), std::memory_order_relaxed);
+  return true;
+}
+
+void ResetSimdTier() { g_active.store(DetectTable(), std::memory_order_relaxed); }
+
+bool DominatesRow(const double* a, const double* b, size_t m) {
+  return Active()->dominates(a, b, m);
+}
+
+DomRel CompareRows(const double* a, const double* b, size_t m) {
+  return Active()->compare(a, b, m);
+}
+
+size_t FindDominatorRow(const double* rows, size_t count, size_t m,
+                        const double* p) {
+  return Active()->find_dominator(rows, count, m, p);
+}
+
+}  // namespace eclipse

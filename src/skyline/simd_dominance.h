@@ -1,0 +1,72 @@
+// 4-wide double dominance kernels for the flat-matrix skyline hot path.
+//
+// The sorted-filter skylines (SaLSa / SFS line of work) are memory-bound on
+// dominance tests: for each candidate row the inner loop streams previously
+// accepted rows and asks "does any of them dominate the candidate?". These
+// kernels answer that question 4 doubles per instruction with AVX2, while
+// guaranteeing the EXACT accept/reject decisions of the scalar predicate in
+// skyline/dominance.h (the scalar fallback *is* that predicate):
+//
+//   * scalar:  early-exit at the first j with a[j] > b[j];
+//   * AVX2:    early-exit at the first 4-lane block containing such a j.
+//
+// Both orderings see the same components and compute the same boolean, and
+// ordered-quiet compares treat NaN exactly like the scalar `>` / `<` (both
+// false), so results are decision-identical on any input.
+//
+// Dispatch is two-level: the ECLIPSE_SIMD compile definition gates whether
+// the AVX2 translation unit is compiled at all (per-function
+// `__attribute__((target("avx2")))`, so the rest of the library keeps the
+// baseline ISA), and a CPUID probe (`__builtin_cpu_supports`) at startup
+// picks the widest tier the machine actually has. Tests can pin a tier with
+// SetSimdTier to run the differential suite at every dispatch level.
+
+#ifndef ECLIPSE_SKYLINE_SIMD_DOMINANCE_H_
+#define ECLIPSE_SKYLINE_SIMD_DOMINANCE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "skyline/dominance.h"
+
+namespace eclipse {
+
+enum class SimdTier {
+  kScalar = 0,  // the shared scalar predicate (always available)
+  kAvx2 = 1,    // 4 x double AVX2 blocks (x86-64, ECLIPSE_SIMD builds)
+};
+
+const char* SimdTierName(SimdTier tier);
+
+/// The tier the dominance kernels currently dispatch to. Defaults to the
+/// widest tier supported by both the build (ECLIPSE_SIMD) and the CPU.
+SimdTier ActiveSimdTier();
+
+/// Every tier this build+CPU can run (kScalar always; useful for tests that
+/// must cover each dispatch level).
+std::vector<SimdTier> AvailableSimdTiers();
+
+/// Pins dispatch to `tier`; false (and no change) if the tier is
+/// unavailable. Intended for tests and benchmarks -- not thread-safe
+/// against concurrent queries.
+bool SetSimdTier(SimdTier tier);
+
+/// Restores the default (widest available) tier.
+void ResetSimdTier();
+
+/// Proper dominance over contiguous rows: a <= b componentwise, a != b.
+/// Decision-identical to DominatesRowScalar at every tier.
+bool DominatesRow(const double* a, const double* b, size_t m);
+
+/// Three-way comparison; decision-identical to CompareDominanceRowScalar.
+DomRel CompareRows(const double* a, const double* b, size_t m);
+
+/// The SFS inner loop as one call: index of the first of `count` contiguous
+/// m-wide rows (rows + r*m) that properly dominates p, or `count` when none
+/// does. One dispatch per candidate instead of one per pair.
+size_t FindDominatorRow(const double* rows, size_t count, size_t m,
+                        const double* p);
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_SKYLINE_SIMD_DOMINANCE_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "skyline/dominance.h"
+#include "skyline/flat_skyline.h"
 
 namespace eclipse {
 
@@ -12,20 +13,47 @@ Result<std::vector<PointId>> ComputeSkyline(const PointSet& points,
   if (points.dims() == 0 || points.empty()) {
     return std::vector<PointId>{};
   }
+  // The flat-capable algorithms run the SIMD kernels directly over the
+  // PointSet's row-major storage -- zero copy, identical id sets.
+  const FlatMatrixView view = FlatMatrixView::Of(points);
   switch (algorithm) {
     case SkylineAlgorithm::kAuto:
       if (points.dims() == 2) return SkylineSortSweep2D(points, stats);
-      return SkylineSfs(points, stats);
+      return FlatSkyline(view, ChooseFlatSkylinePath(algorithm, view.n),
+                         stats);
     case SkylineAlgorithm::kBnl:
-      return SkylineBnl(points, stats);
+      return FlatSkylineBnl(view, stats);
     case SkylineAlgorithm::kSfs:
-      return SkylineSfs(points, stats);
+      return FlatSkylineSfs(view, stats);
     case SkylineAlgorithm::kSortSweep2D:
       return SkylineSortSweep2D(points, stats);
     case SkylineAlgorithm::kDivideConquer:
       return SkylineDivideConquer(points, stats);
+    case SkylineAlgorithm::kParallelMerge:
+      return FlatSkyline(view, ChooseFlatSkylinePath(algorithm, view.n),
+                         stats);
   }
   return Status::InvalidArgument("unknown skyline algorithm");
+}
+
+const char* ComputeSkylinePathName(SkylineAlgorithm algorithm, size_t n,
+                                   size_t dims) {
+  switch (algorithm) {
+    case SkylineAlgorithm::kAuto:
+      if (dims == 2) return "sort-sweep-2d";
+      return FlatSkylinePathName(ChooseFlatSkylinePath(algorithm, n));
+    case SkylineAlgorithm::kBnl:
+      return FlatSkylinePathName(FlatSkylinePath::kBnl);
+    case SkylineAlgorithm::kSfs:
+      return FlatSkylinePathName(FlatSkylinePath::kSfs);
+    case SkylineAlgorithm::kSortSweep2D:
+      return "sort-sweep-2d";
+    case SkylineAlgorithm::kDivideConquer:
+      return "divide-conquer";
+    case SkylineAlgorithm::kParallelMerge:
+      return FlatSkylinePathName(ChooseFlatSkylinePath(algorithm, n));
+  }
+  return "unknown";
 }
 
 std::vector<PointId> NaiveSkyline(const PointSet& points) {

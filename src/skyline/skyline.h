@@ -14,7 +14,8 @@
 namespace eclipse {
 
 enum class SkylineAlgorithm {
-  /// Picks sort-sweep for d == 2, SFS otherwise.
+  /// Picks sort-sweep for d == 2; otherwise the flat SFS, upgraded to the
+  /// parallel partition/merge skyline for large inputs on a multi-lane pool.
   kAuto,
   /// Block-nested-loops, O(n^2) worst case; the classic baseline.
   kBnl,
@@ -27,13 +28,27 @@ enum class SkylineAlgorithm {
   /// Bentley/KLP multidimensional divide & conquer ("ECDF algorithm"),
   /// O(n log^{d-2} n) for d >= 3.
   kDivideConquer,
+  /// Partition -> local SFS skylines -> pairwise tournament merge on the
+  /// shared thread pool (skyline/flat_skyline.h).
+  kParallelMerge,
 };
 
 /// Computes the skyline (points not properly dominated by any other point).
-/// Exact duplicates of a skyline point are all reported.
+/// Exact duplicates of a skyline point are all reported. kBnl / kSfs /
+/// kParallelMerge run through the zero-copy SIMD flat-matrix kernels of
+/// skyline/flat_skyline.h over the PointSet's own storage; the scalar
+/// per-Point entry points below are kept as independent references for
+/// differential testing and return identical id sets.
 Result<std::vector<PointId>> ComputeSkyline(
     const PointSet& points, SkylineAlgorithm algorithm = SkylineAlgorithm::kAuto,
     Statistics* stats = nullptr);
+
+/// The backend ComputeSkyline runs for (algorithm, n, dims), as an
+/// Explain-facing name ("flat-sfs", "sort-sweep-2d", ...). Single source of
+/// truth for plan observability -- keep in lockstep with ComputeSkyline's
+/// routing above.
+const char* ComputeSkylinePathName(SkylineAlgorithm algorithm, size_t n,
+                                   size_t dims);
 
 /// O(n^2 d) oracle used by tests to validate the fast algorithms.
 std::vector<PointId> NaiveSkyline(const PointSet& points);

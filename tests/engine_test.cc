@@ -13,6 +13,7 @@
 #include "dataset/generators.h"
 #include "engine/eclipse_engine.h"
 #include "engine/registry.h"
+#include "skyline/simd_dominance.h"
 
 namespace eclipse {
 namespace {
@@ -518,6 +519,46 @@ TEST(EngineRegistryTest, IndexEnginesServeHugeDegenerateRatios) {
     ASSERT_TRUE(got.ok()) << name << ": " << got.status().ToString();
     EXPECT_EQ(*got, expected) << name;
   }
+}
+
+// ------------------------------------------ hot-path plan observability
+
+TEST(ChoosePlanTest, ReportsSkylinePathAndSimdTier) {
+  PlanInputs in;
+  in.n = 2000;
+  in.d = 4;
+  in.bounded = false;  // one-shot CORNER route
+  const QueryPlan corner = ChoosePlan(in, DefaultOptions());
+  ASSERT_EQ(corner.engine, "CORNER");
+  EXPECT_EQ(corner.skyline_path,
+            CornerSkylinePath(DefaultOptions().algorithm, in.n));
+  EXPECT_EQ(corner.simd_tier, SimdTierName(ActiveSimdTier()));
+
+  in.d = 2;
+  const QueryPlan tran2d = ChoosePlan(in, DefaultOptions());
+  ASSERT_EQ(tran2d.engine, "TRAN-2D");
+  EXPECT_EQ(tran2d.skyline_path, "sort-sweep-2d");
+
+  // BASE and the index engines have no skyline stage.
+  in.n = 10;
+  EXPECT_EQ(ChoosePlan(in, DefaultOptions()).engine, "BASE");
+  EXPECT_TRUE(ChoosePlan(in, DefaultOptions()).skyline_path.empty());
+  EXPECT_FALSE(ChoosePlan(in, DefaultOptions()).simd_tier.empty());
+}
+
+TEST(EclipseEngineTest, ExplainReportsFusedHotPath) {
+  Rng rng(577);
+  PointSet ps = GenerateSynthetic(Distribution::kIndependent, 2000, 4, &rng);
+  auto engine = *EclipseEngine::Make(ps, {});
+  auto box = RatioBox::Skyline(3);  // unbounded: always one-shot CORNER
+  const QueryPlan plan = engine.Explain(box);
+  ASSERT_EQ(plan.engine, "CORNER");
+  EXPECT_EQ(plan.skyline_path, "flat-sfs");  // n too small for the fan-out
+  EXPECT_EQ(plan.simd_tier, SimdTierName(ActiveSimdTier()));
+  EngineQueryStats stats;
+  ASSERT_TRUE(engine.Query(box, &stats).ok());
+  EXPECT_EQ(stats.plan.skyline_path, "flat-sfs");
+  EXPECT_EQ(stats.plan.simd_tier, plan.simd_tier);
 }
 
 }  // namespace

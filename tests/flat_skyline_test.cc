@@ -1,0 +1,294 @@
+// Differential suite for the flat-matrix skyline subsystem: every flat
+// algorithm (BNL / SFS / parallel merge), at every available SIMD dispatch
+// tier, must return exactly the same id set as the scalar PointSet
+// algorithms and the O(n^2) NaiveSkyline oracle -- on random, adversarial,
+// duplicate-heavy, and tie-on-sum datasets.
+
+#include "skyline/flat_skyline.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dataset/adversarial.h"
+#include "dataset/generators.h"
+#include "skyline/dominance.h"
+#include "skyline/simd_dominance.h"
+#include "skyline/skyline.h"
+
+namespace eclipse {
+namespace {
+
+/// Pins the dominance kernels to one tier for a scope.
+class ScopedSimdTier {
+ public:
+  explicit ScopedSimdTier(SimdTier tier) { EXPECT_TRUE(SetSimdTier(tier)); }
+  ~ScopedSimdTier() { ResetSimdTier(); }
+};
+
+std::vector<PointId> Sorted(std::vector<PointId> ids) {
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+/// Asserts every flat algorithm matches the scalar references on `ps`, at
+/// the given tier (already pinned by the caller).
+void ExpectAllAlgorithmsMatch(const PointSet& ps, const char* label) {
+  const std::vector<PointId> oracle = NaiveSkyline(ps);
+  ASSERT_EQ(Sorted(SkylineBnl(ps)), oracle) << label;
+  ASSERT_EQ(Sorted(SkylineSfs(ps)), oracle) << label;
+
+  const FlatMatrixView view = FlatMatrixView::Of(ps);
+  EXPECT_EQ(FlatSkylineBnl(view), oracle) << label;
+  EXPECT_EQ(FlatSkylineSfs(view), oracle) << label;
+  EXPECT_EQ(FlatSkylineParallelMerge(view), oracle) << label;
+  // Force real partitioning (including a chunk count that does not divide
+  // n, and an odd tournament bracket).
+  EXPECT_EQ(FlatSkylineParallelMerge(view, /*num_threads=*/2), oracle)
+      << label;
+  EXPECT_EQ(FlatSkylineParallelMerge(view, /*num_threads=*/3), oracle)
+      << label;
+  EXPECT_EQ(FlatSkylineParallelMerge(view, /*num_threads=*/7), oracle)
+      << label;
+}
+
+PointSet DuplicateHeavy(size_t n, size_t d, Rng* rng) {
+  // Few distinct rows, many copies: exercises the "duplicates never
+  // dominate each other" convention in windows and merges.
+  PointSet distinct = GenerateSynthetic(Distribution::kIndependent,
+                                        std::max<size_t>(n / 8, 1), d, rng);
+  PointSet ps(d);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(ps.Append(distinct[rng->NextIndex(distinct.size())]).ok());
+  }
+  return ps;
+}
+
+PointSet TiesOnSum(size_t n, size_t d, Rng* rng) {
+  // Every row sums to exactly d (coordinates are integers summing to d), so
+  // the SFS sort key is one giant tie broken only by id -- the worst case
+  // for the "dominators precede victims" invariant.
+  PointSet ps(d);
+  std::vector<double> row(d);
+  for (size_t i = 0; i < n; ++i) {
+    std::fill(row.begin(), row.end(), 0.0);
+    size_t budget = d;
+    for (size_t j = 0; j + 1 < d; ++j) {
+      const size_t take = rng->NextIndex(budget + 1);
+      row[j] = static_cast<double>(take);
+      budget -= take;
+    }
+    row[d - 1] = static_cast<double>(budget);
+    EXPECT_TRUE(ps.Append(row).ok());
+  }
+  return ps;
+}
+
+class FlatSkylineTierTest : public ::testing::TestWithParam<SimdTier> {};
+
+TEST_P(FlatSkylineTierTest, MatchesOracleOnSyntheticDistributions) {
+  ScopedSimdTier pin(GetParam());
+  Rng rng(7);
+  for (Distribution dist :
+       {Distribution::kIndependent, Distribution::kCorrelated,
+        Distribution::kAnticorrelated, Distribution::kClustered}) {
+    for (size_t d : {2u, 3u, 5u, 8u}) {
+      for (size_t n : {1u, 2u, 17u, 256u}) {
+        PointSet ps = GenerateSynthetic(dist, n, d, &rng);
+        ExpectAllAlgorithmsMatch(ps, DistributionName(dist));
+      }
+    }
+  }
+}
+
+TEST_P(FlatSkylineTierTest, MatchesOracleOnAdversarialData) {
+  ScopedSimdTier pin(GetParam());
+  Rng rng(11);
+  for (size_t d : {2u, 3u, 4u}) {
+    PointSet ps = GenerateAdversarialDual(128, d, &rng);
+    ExpectAllAlgorithmsMatch(ps, "adversarial");
+  }
+}
+
+TEST_P(FlatSkylineTierTest, MatchesOracleOnDuplicateHeavyData) {
+  ScopedSimdTier pin(GetParam());
+  Rng rng(13);
+  for (size_t d : {2u, 4u, 6u}) {
+    PointSet ps = DuplicateHeavy(300, d, &rng);
+    ExpectAllAlgorithmsMatch(ps, "duplicate-heavy");
+  }
+}
+
+TEST_P(FlatSkylineTierTest, MatchesOracleOnSumTies) {
+  ScopedSimdTier pin(GetParam());
+  Rng rng(17);
+  for (size_t d : {2u, 3u, 5u}) {
+    PointSet ps = TiesOnSum(250, d, &rng);
+    ExpectAllAlgorithmsMatch(ps, "ties-on-sum");
+  }
+}
+
+TEST_P(FlatSkylineTierTest, FuzzRandomShapes) {
+  ScopedSimdTier pin(GetParam());
+  Rng rng(23);
+  for (int iter = 0; iter < 40; ++iter) {
+    const size_t d = 2 + rng.NextIndex(7);
+    const size_t n = 1 + rng.NextIndex(120);
+    const Distribution dist =
+        static_cast<Distribution>(rng.NextIndex(4));
+    PointSet ps = GenerateSynthetic(dist, n, d, &rng);
+    ExpectAllAlgorithmsMatch(ps, "fuzz");
+  }
+}
+
+TEST_P(FlatSkylineTierTest, PairKernelsMatchScalarPredicate) {
+  ScopedSimdTier pin(GetParam());
+  Rng rng(29);
+  for (int iter = 0; iter < 4000; ++iter) {
+    const size_t m = 1 + rng.NextIndex(12);
+    std::vector<double> a(m);
+    std::vector<double> b(m);
+    for (size_t j = 0; j < m; ++j) {
+      // Small integer grid makes equal/greater/less all frequent.
+      a[j] = static_cast<double>(rng.NextIndex(4));
+      b[j] = static_cast<double>(rng.NextIndex(4));
+    }
+    EXPECT_EQ(DominatesRow(a.data(), b.data(), m),
+              DominatesRowScalar(a.data(), b.data(), m));
+    EXPECT_EQ(CompareRows(a.data(), b.data(), m),
+              CompareDominanceRowScalar(a.data(), b.data(), m));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tiers, FlatSkylineTierTest, ::testing::ValuesIn(AvailableSimdTiers()),
+    [](const ::testing::TestParamInfo<SimdTier>& info) {
+      return SimdTierName(info.param);
+    });
+
+TEST(FlatSkylineTest, EmptyAndSingleRow) {
+  PointSet empty(3);
+  EXPECT_TRUE(FlatSkylineBnl(FlatMatrixView::Of(empty)).empty());
+  EXPECT_TRUE(FlatSkylineSfs(FlatMatrixView::Of(empty)).empty());
+  EXPECT_TRUE(FlatSkylineParallelMerge(FlatMatrixView::Of(empty)).empty());
+
+  PointSet one = *PointSet::FromPoints({{1.0, 2.0, 3.0}});
+  const std::vector<PointId> just_zero = {0};
+  EXPECT_EQ(FlatSkylineSfs(FlatMatrixView::Of(one)), just_zero);
+  EXPECT_EQ(FlatSkylineParallelMerge(FlatMatrixView::Of(one), 4), just_zero);
+}
+
+TEST(FlatSkylineTest, StridedViewComparesPrefixColumnsOnly) {
+  // A view with stride > m skylines the first m columns of a wider matrix.
+  // Row 2 is dominated on the first two columns despite a winning third.
+  const std::vector<double> wide = {
+      1.0, 1.0, 9.0,  //
+      2.0, 0.5, 9.0,  //
+      2.0, 1.5, 0.0,  //
+  };
+  FlatMatrixView view{wide.data(), 3, 2, 3};
+  const std::vector<PointId> expected = {0, 1};
+  EXPECT_EQ(FlatSkylineSfs(view), expected);
+  EXPECT_EQ(FlatSkylineBnl(view), expected);
+}
+
+TEST(FlatSkylineTest, RowSumsBitwiseMatchScalarAccumulate) {
+  Rng rng(31);
+  for (size_t n : {1u, 5u, 127u, 128u, 129u, 513u}) {
+    PointSet ps = GenerateSynthetic(Distribution::kAnticorrelated, n, 4, &rng);
+    std::vector<double> sums(n);
+    ComputeRowSums(FlatMatrixView::Of(ps), sums.data());
+    for (size_t i = 0; i < n; ++i) {
+      double expected = 0.0;
+      for (double x : ps[i]) expected += x;
+      EXPECT_EQ(sums[i], expected) << "row " << i;  // bitwise, not approx
+    }
+  }
+}
+
+TEST(FlatSkylineTest, StatsTickComparisons) {
+  Rng rng(37);
+  PointSet ps = GenerateSynthetic(Distribution::kIndependent, 200, 3, &rng);
+  for (auto path : {FlatSkylinePath::kBnl, FlatSkylinePath::kSfs,
+                    FlatSkylinePath::kParallelMerge}) {
+    Statistics stats;
+    FlatSkyline(FlatMatrixView::Of(ps), path, &stats);
+    EXPECT_GT(stats.Get(Ticker::kSkylineComparisons), 0u)
+        << FlatSkylinePathName(path);
+  }
+}
+
+TEST(FlatSkylineTest, PathRoutingAndNames) {
+  EXPECT_STREQ(FlatSkylinePathName(FlatSkylinePath::kSfs), "flat-sfs");
+  EXPECT_STREQ(FlatSkylinePathName(FlatSkylinePath::kBnl), "flat-bnl");
+  EXPECT_STREQ(FlatSkylinePathName(FlatSkylinePath::kParallelMerge),
+               "flat-parallel-merge");
+  EXPECT_TRUE(FlatCapable(SkylineAlgorithm::kAuto));
+  EXPECT_TRUE(FlatCapable(SkylineAlgorithm::kParallelMerge));
+  EXPECT_FALSE(FlatCapable(SkylineAlgorithm::kSortSweep2D));
+  EXPECT_FALSE(FlatCapable(SkylineAlgorithm::kDivideConquer));
+  EXPECT_EQ(ChooseFlatSkylinePath(SkylineAlgorithm::kBnl, 1 << 20),
+            FlatSkylinePath::kBnl);
+  EXPECT_EQ(ChooseFlatSkylinePath(SkylineAlgorithm::kSfs, 1 << 20),
+            FlatSkylinePath::kSfs);
+  // kAuto and kParallelMerge never pick the fan-out for tiny inputs (the
+  // reported path must be the one that actually runs).
+  EXPECT_EQ(ChooseFlatSkylinePath(SkylineAlgorithm::kAuto, 16),
+            FlatSkylinePath::kSfs);
+  EXPECT_EQ(ChooseFlatSkylinePath(SkylineAlgorithm::kParallelMerge, 16),
+            FlatSkylinePath::kSfs);
+  // ComputeSkylinePathName stays in lockstep with the routing.
+  EXPECT_STREQ(ComputeSkylinePathName(SkylineAlgorithm::kSfs, 16, 5),
+               "flat-sfs");
+  EXPECT_STREQ(ComputeSkylinePathName(SkylineAlgorithm::kAuto, 16, 2),
+               "sort-sweep-2d");
+  EXPECT_STREQ(ComputeSkylinePathName(SkylineAlgorithm::kParallelMerge, 16, 5),
+               FlatSkylinePathName(
+                   ChooseFlatSkylinePath(SkylineAlgorithm::kParallelMerge, 16)));
+}
+
+TEST(FlatSkylineTest, ComputeSkylineParallelMergeMatchesReference) {
+  Rng rng(41);
+  PointSet ps = GenerateSynthetic(Distribution::kAnticorrelated, 400, 4, &rng);
+  const std::vector<PointId> reference = NaiveSkyline(ps);
+  auto via_enum = ComputeSkyline(ps, SkylineAlgorithm::kParallelMerge);
+  ASSERT_TRUE(via_enum.ok());
+  EXPECT_EQ(*via_enum, reference);
+}
+
+TEST(SimdDominanceTest, TierControls) {
+  const SimdTier original = ActiveSimdTier();
+  EXPECT_TRUE(SetSimdTier(SimdTier::kScalar));
+  EXPECT_EQ(ActiveSimdTier(), SimdTier::kScalar);
+  ResetSimdTier();
+  EXPECT_EQ(ActiveSimdTier(), original);
+  const auto tiers = AvailableSimdTiers();
+  ASSERT_FALSE(tiers.empty());
+  EXPECT_EQ(tiers.front(), SimdTier::kScalar);
+  for (SimdTier tier : tiers) {
+    EXPECT_TRUE(SetSimdTier(tier));
+    EXPECT_EQ(ActiveSimdTier(), tier);
+  }
+  ResetSimdTier();
+}
+
+TEST(SimdDominanceTest, FindDominatorRowSemantics) {
+  // rows: r0 incomparable to p, r1 dominates p, r2 also dominates p.
+  const std::vector<double> rows = {
+      0.0, 9.0,  //
+      1.0, 1.0,  //
+      0.5, 0.5,  //
+  };
+  const std::vector<double> p = {1.0, 2.0};
+  for (SimdTier tier : AvailableSimdTiers()) {
+    ScopedSimdTier pin(tier);
+    EXPECT_EQ(FindDominatorRow(rows.data(), 3, 2, p.data()), 1u);
+    EXPECT_EQ(FindDominatorRow(rows.data(), 1, 2, p.data()), 1u);  // none
+    EXPECT_EQ(FindDominatorRow(rows.data(), 0, 2, p.data()), 0u);  // empty
+  }
+}
+
+}  // namespace
+}  // namespace eclipse

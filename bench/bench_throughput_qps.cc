@@ -9,14 +9,30 @@
 // BENCH_throughput.json next to the working directory so the benchmark
 // trajectory has machine-readable data.
 //
-//   build/bench/bench_throughput_qps [--quick] [n] [d]
+//   build/bench/bench_throughput_qps [--quick] [--shard-smoke] [n] [d]
 //
 // Defaults: n = 20000, d = 3, 400 queries per client, clients swept over
 // {1, 2, 4, 8} regardless of core count (clients model concurrent users).
+//
+// Phase 2 (shard sweep -> BENCH_shard.json): the same multi-client serving
+// harness pointed at a ShardedEclipseEngine, sweeping S = 1, 2, 4, 8 at a
+// fixed client count over a read-mostly stream with a write tail (inserts/
+// erases). Writes are where sharding pays on any core count: a mutation
+// copies O(n d / S) instead of O(n d) and invalidates one shard's cache
+// instead of the whole engine's, so the other S - 1 shards keep serving
+// their cached sub-answers. Before timing each configuration the harness
+// replays probe queries against a single engine and exits nonzero if the
+// sharded ids diverge -- so the sweep doubles as a correctness smoke.
+//
+// --shard-smoke runs only that differential probe (plus the degenerate
+// S = 1 configuration) at a small n: CI's guard that the sharded path never
+// regresses the single-engine answer.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -27,6 +43,7 @@
 #include "common/stopwatch.h"
 #include "common/strings.h"
 #include "engine/eclipse_engine.h"
+#include "shard/sharded_engine.h"
 
 namespace {
 
@@ -82,6 +99,9 @@ struct RunResult {
   double p50_us = 0.0;
   double p99_us = 0.0;
   double cache_hit_rate = 0.0;
+  /// Every client completed its whole stream (phase-2 runs refuse to
+  /// report numbers from a partially executed workload).
+  bool complete = true;
 };
 
 double Percentile(std::vector<double>* sorted_us, double p) {
@@ -145,6 +165,305 @@ RunResult RunClients(EclipseEngine* engine, size_t clients,
   return r;
 }
 
+// ----------------------------------------------------------- shard sweep
+
+using eclipse::PartitionerKind;
+using eclipse::PointId;
+using eclipse::ShardedEclipseEngine;
+using eclipse::ShardedEngineOptions;
+
+/// One op of the phase-2 mixed read/write stream.
+struct MixedOp {
+  enum Kind { kQuery, kInsert, kErase } kind = kQuery;
+  std::optional<RatioBox> box;    // kQuery
+  std::vector<double> point;      // kInsert
+};
+
+/// Deterministic per-client stream: 45% popular repeats, 25% unique
+/// bounded, 10% degenerate 1NN, 10% inserts, 10% erases of the client's
+/// own earlier inserts (skipped while it has none). The write tail is the
+/// sharding story: each mutation copies O(n d / S) and invalidates one
+/// shard's cache, so under S shards the popular repeats keep hitting the
+/// other S - 1 per-shard caches.
+std::vector<MixedOp> MakeMixedOps(size_t d, size_t count, uint64_t seed) {
+  std::vector<RatioBox> popular;
+  for (int k = 0; k < 4; ++k) {
+    popular.push_back(*RatioBox::Uniform(d - 1, 0.36 + 0.1 * k,
+                                         2.75 - 0.2 * k));
+  }
+  uint64_t state = seed * 6364136223846793005ull + 1442695040888963407ull;
+  auto next = [&state] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<size_t>(state >> 33);
+  };
+  std::vector<MixedOp> ops;
+  ops.reserve(count);
+  for (size_t q = 0; q < count; ++q) {
+    MixedOp op;
+    const size_t roll = next() % 20;
+    if (roll < 9) {
+      op.box = popular[next() % popular.size()];
+    } else if (roll < 14) {
+      const double lo = 0.3 + 0.001 * static_cast<double>(next() % 500);
+      const double hi = lo + 0.5 + 0.001 * static_cast<double>(next() % 2000);
+      op.box = *RatioBox::Uniform(d - 1, lo, hi);
+    } else if (roll < 16) {
+      const double r = 0.5 + 0.001 * static_cast<double>(next() % 1500);
+      op.box = *RatioBox::Uniform(d - 1, r, r);
+    } else if (roll < 18) {
+      op.kind = MixedOp::kInsert;
+      op.point.resize(d);
+      for (size_t j = 0; j < d; ++j) {
+        op.point[j] = static_cast<double>(next() % 10000) / 10000.0;
+      }
+    } else {
+      op.kind = MixedOp::kErase;
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+/// Drives the mixed stream against any engine with Query/Insert/Erase
+/// (EclipseEngine or ShardedEclipseEngine). Per-op latency over the whole
+/// stream; erases take the client's oldest own insert.
+template <typename Engine>
+RunResult RunMixedClients(Engine* engine, size_t clients,
+                          size_t ops_per_client, size_t d) {
+  std::vector<std::vector<double>> latencies(clients);
+  std::atomic<size_t> failed_clients{0};
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([engine, c, ops_per_client, d, &latencies,
+                          &failed_clients] {
+      const std::vector<MixedOp> ops =
+          MakeMixedOps(d, ops_per_client, /*seed=*/5000 + c);
+      std::vector<PointId> own;
+      size_t erase_cursor = 0;
+      auto& lat = latencies[c];
+      lat.reserve(ops.size());
+      for (const MixedOp& op : ops) {
+        Stopwatch sw;
+        bool ok = true;
+        switch (op.kind) {
+          case MixedOp::kQuery:
+            ok = engine->Query(*op.box).ok();
+            break;
+          case MixedOp::kInsert: {
+            auto id = engine->Insert(op.point);
+            ok = id.ok();
+            if (ok) own.push_back(*id);
+            break;
+          }
+          case MixedOp::kErase:
+            if (erase_cursor < own.size()) {
+              ok = engine->Erase(own[erase_cursor++]).ok();
+            }
+            break;
+        }
+        lat.push_back(sw.ElapsedMicros());
+        if (!ok) {
+          std::fprintf(stderr, "mixed op failed (client %zu)\n", c);
+          failed_clients.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_s = wall.ElapsedSeconds();
+
+  std::vector<double> all;
+  for (const auto& lat : latencies) {
+    all.insert(all.end(), lat.begin(), lat.end());
+  }
+  std::sort(all.begin(), all.end());
+  RunResult r;
+  r.clients = clients;
+  r.qps = wall_s > 0 ? static_cast<double>(all.size()) / wall_s : 0.0;
+  r.p50_us = Percentile(&all, 0.50);
+  r.p99_us = Percentile(&all, 0.99);
+  r.complete = failed_clients.load() == 0;
+  return r;
+}
+
+/// Per-shard engine configuration of the sweep: caching on, lazy index off
+/// (the stream mutates continuously; rebuilding a 10^5-point index after
+/// every write would thrash both sides identically and only blur the
+/// sharding signal being measured).
+EngineOptions SweepEngineOptions() {
+  EngineOptions options;
+  options.enable_index = false;
+  return options;
+}
+
+/// Differential probe: sharded answers (including after mutations) must be
+/// id-identical to a single engine's. Returns false (after printing the
+/// divergence) on any mismatch.
+bool ShardProbeMatches(const PointSet& data, size_t num_shards,
+                       PartitionerKind kind) {
+  auto single = EclipseEngine::Make(data, SweepEngineOptions());
+  ShardedEngineOptions options;
+  options.num_shards = num_shards;
+  options.partitioner = kind;
+  options.engine = SweepEngineOptions();
+  auto sharded = ShardedEclipseEngine::Make(data, options);
+  if (!single.ok() || !sharded.ok()) {
+    std::fprintf(stderr, "probe setup failed\n");
+    return false;
+  }
+  const size_t d = data.dims();
+  std::vector<RatioBox> boxes = {
+      RatioBox::Skyline(d - 1), *RatioBox::Uniform(d - 1, 0.36, 2.75),
+      *RatioBox::Uniform(d - 1, 0.9, 1.1), *RatioBox::Uniform(d - 1, 1.0, 1.0)};
+  for (int round = 0; round < 2; ++round) {
+    for (const RatioBox& box : boxes) {
+      auto want = single->Query(box);
+      auto got = sharded->Query(box);
+      if (!want.ok() || !got.ok() || *want != *got) {
+        std::fprintf(stderr,
+                     "S=%zu DIVERGED from single engine on %s (round %d)\n",
+                     num_shards, box.ToString().c_str(), round);
+        return false;
+      }
+    }
+    // Round 2 re-checks after identical mutations on both sides.
+    const std::vector<double> p(d, 0.25);
+    const PointId victim = static_cast<PointId>(round);
+    if (!single->Insert(p).ok() || !sharded->Insert(p).ok() ||
+        !single->Erase(victim).ok() || !sharded->Erase(victim).ok()) {
+      std::fprintf(stderr, "probe mutations failed\n");
+      return false;
+    }
+  }
+  return true;
+}
+
+struct ShardRow {
+  size_t shards = 0;  // 0 = unsharded single-engine baseline
+  RunResult run;
+};
+
+int WriteShardJson(const std::vector<ShardRow>& rows, size_t n, size_t d,
+                   size_t clients, size_t ops_per_client) {
+  FILE* json = std::fopen("BENCH_shard.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_shard.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"shard_sweep\",\n  \"dataset\": \"INDE\",\n"
+               "  \"n\": %zu,\n  \"d\": %zu,\n  \"clients\": %zu,\n"
+               "  \"ops_per_client\": %zu,\n  \"partitioner\": \"angular\",\n"
+               "  \"mix\": \"45%% popular repeats, 25%% unique bounded, "
+               "10%% 1NN, 10%% insert, 10%% erase\",\n  \"rows\": [\n",
+               n, d, clients, ops_per_client);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ShardRow& r = rows[i];
+    std::fprintf(json,
+                 "    {\"engine\": \"%s\", \"shards\": %zu, \"qps\": %.1f, "
+                 "\"p50_us\": %.1f, \"p99_us\": %.1f}%s\n",
+                 r.shards == 0 ? "single" : "sharded", r.shards, r.run.qps,
+                 r.run.p50_us, r.run.p99_us,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_shard.json\n");
+  return 0;
+}
+
+/// Phase 2: the shard-count sweep. Returns nonzero if any differential
+/// probe diverges.
+int RunShardSweep(bool quick) {
+  const size_t n = quick ? 4000 : 100000;
+  const size_t d = 4;
+  const size_t clients = 4;
+  const size_t ops_per_client = quick ? 100 : 400;
+  const std::vector<size_t> shard_counts = {1, 2, 4, 8};
+
+  PointSet data = eclipse::MakeBenchDataset(BenchDataset::kInde, n, d, 7);
+  std::printf("\nShard sweep: INDE n=%zu d=%zu, %zu clients x %zu mixed ops "
+              "(45%% repeat, 25%% unique, 10%% 1NN, 20%% writes), angular "
+              "partitioner\n\n",
+              n, d, clients, ops_per_client);
+
+  eclipse::TablePrinter table(
+      {"engine", "shards", "QPS", "p50 (us)", "p99 (us)"});
+  std::vector<ShardRow> rows;
+
+  {
+    auto single = EclipseEngine::Make(data, SweepEngineOptions());
+    if (!single.ok()) {
+      std::fprintf(stderr, "single engine: %s\n",
+                   single.status().ToString().c_str());
+      return 1;
+    }
+    ShardRow row;
+    row.run = RunMixedClients(&single.value(), clients, ops_per_client, d);
+    if (!row.run.complete) {
+      std::fprintf(stderr, "single-engine mixed stream failed\n");
+      return 1;
+    }
+    rows.push_back(row);
+    table.AddRow({"single", "-", StrFormat("%.0f", row.run.qps),
+                  StrFormat("%.1f", row.run.p50_us),
+                  StrFormat("%.1f", row.run.p99_us)});
+  }
+  for (size_t num_shards : shard_counts) {
+    if (!ShardProbeMatches(data, num_shards, PartitionerKind::kAngular)) {
+      return 1;  // the sweep doubles as a correctness smoke
+    }
+    ShardedEngineOptions options;
+    options.num_shards = num_shards;
+    options.partitioner = PartitionerKind::kAngular;
+    options.engine = SweepEngineOptions();
+    auto sharded = ShardedEclipseEngine::Make(data, options);
+    if (!sharded.ok()) {
+      std::fprintf(stderr, "sharded engine: %s\n",
+                   sharded.status().ToString().c_str());
+      return 1;
+    }
+    ShardRow row;
+    row.shards = num_shards;
+    row.run = RunMixedClients(&sharded.value(), clients, ops_per_client, d);
+    if (!row.run.complete) {
+      std::fprintf(stderr, "S=%zu mixed stream failed\n", num_shards);
+      return 1;
+    }
+    rows.push_back(row);
+    table.AddRow({"sharded", StrFormat("%zu", num_shards),
+                  StrFormat("%.0f", row.run.qps),
+                  StrFormat("%.1f", row.run.p50_us),
+                  StrFormat("%.1f", row.run.p99_us)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  if (quick) {
+    // Like bench_hotpath_speedup: never clobber the committed full-size
+    // record with smoke-size numbers.
+    std::printf("quick mode: skipping BENCH_shard.json\n");
+    return 0;
+  }
+  return WriteShardJson(rows, n, d, clients, ops_per_client);
+}
+
+/// --shard-smoke: only the differential probes (including degenerate
+/// S = 1), small and fast enough for the CI hot-path job.
+int RunShardSmoke() {
+  PointSet data = eclipse::MakeBenchDataset(BenchDataset::kInde, 2000, 3, 7);
+  for (size_t num_shards : {size_t{1}, size_t{3}}) {
+    for (PartitionerKind kind :
+         {PartitionerKind::kRoundRobin, PartitionerKind::kAngular}) {
+      if (!ShardProbeMatches(data, num_shards, kind)) return 1;
+    }
+  }
+  std::printf("shard smoke OK: sharded ids identical to the single engine "
+              "(S=1, S=3; round-robin + angular; with mutations)\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -154,6 +473,8 @@ int main(int argc, char** argv) {
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[a], "--shard-smoke") == 0) {
+      return RunShardSmoke();
     } else {
       positional.push_back(static_cast<size_t>(std::atoll(argv[a])));
     }
@@ -221,5 +542,6 @@ int main(int argc, char** argv) {
   std::fprintf(json, "  ]\n}\n");
   std::fclose(json);
   std::printf("wrote BENCH_throughput.json\n");
-  return 0;
+
+  return RunShardSweep(quick);
 }

@@ -15,9 +15,15 @@
 //
 // Options: --max (attributes are larger-is-better; flip before querying),
 //          --rows (print matching rows, not only ids),
-//          --explain (print the engine's query plan).
+//          --explain (print the engine's query plan),
+//          --shards=N (serve through a ShardedEclipseEngine with N shards;
+//                      N = 0 sizes the fan-out to the shared pool),
+//          --partitioner=NAME (round-robin | hash-id | angular; implies
+//                      sharded serving with pool-sized fan-out).
 // `engine` is any name from `eclipse_cli engines` (BASE, TRAN-2D, TRAN-HD,
-// CORNER, QUAD, CUTTING, ...); default is automatic routing.
+// CORNER, QUAD, CUTTING, ...); default is automatic routing. With
+// --explain, sharded serving prints the scatter fan-out, the cross-shard
+// merge path, and every shard's own sub-plan.
 
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +39,8 @@
 #include "engine/registry.h"
 #include "knn/linear_scan.h"
 #include "knn/scoring.h"
+#include "shard/partitioner.h"
+#include "shard/sharded_engine.h"
 
 namespace {
 
@@ -47,7 +55,7 @@ using eclipse::RatioBox;
 int Usage() {
   std::fprintf(stderr,
                "usage: eclipse_cli <file.csv> [--max] [--rows] [--explain] "
-               "<operator> ...\n"
+               "[--shards=N] [--partitioner=NAME] <operator> ...\n"
                "  skyline\n"
                "  eclipse <lo> <hi> [engine]\n"
                "  onenn   <r1> [r2 ...]\n"
@@ -82,11 +90,74 @@ void PrintResult(const PointSet& points, const std::vector<PointId>& ids,
   }
 }
 
+/// How queries are served: one engine (the default) or a sharded
+/// scatter-gather fan-out.
+struct ServingConfig {
+  bool sharded = false;
+  size_t shards = 0;  // 0 = size the fan-out to the shared pool
+  eclipse::PartitionerKind partitioner =
+      eclipse::PartitionerKind::kRoundRobin;
+};
+
+void PrintSubPlan(size_t s, const eclipse::QueryPlan& plan) {
+  std::printf("  shard %zu: %s%s, epoch %llu, cache %s%s%s (%s)\n", s,
+              plan.engine.c_str(),
+              plan.will_build_index ? " [builds index]" : "",
+              static_cast<unsigned long long>(plan.snapshot_epoch),
+              plan.cache_hit ? "hit" : "miss",
+              plan.skyline_path.empty() ? "" : ", skyline path: ",
+              plan.skyline_path.c_str(), plan.reason.c_str());
+}
+
+/// Runs one eclipse-family query through the sharded scatter-gather facade.
+int RunShardedQuery(const PointSet& original, PointSet data,
+                    const RatioBox& box, const std::string& force_engine,
+                    const ServingConfig& serving, bool explain,
+                    bool print_rows) {
+  eclipse::ShardedEngineOptions options;
+  options.num_shards = serving.shards;
+  options.partitioner = serving.partitioner;
+  options.engine.force_engine = force_engine;
+  auto engine = eclipse::ShardedEclipseEngine::Make(std::move(data), options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  if (explain) {
+    eclipse::ShardedQueryPlan plan = engine->Explain(box);
+    std::printf("plan: scatter over %zu shard(s) [%s], merge: %s, "
+                "global epoch %llu\n",
+                plan.num_shards, plan.partitioner.c_str(),
+                plan.merge_path.c_str(),
+                static_cast<unsigned long long>(plan.global_epoch));
+    for (size_t s = 0; s < plan.shard_plans.size(); ++s) {
+      PrintSubPlan(s, plan.shard_plans[s]);
+    }
+  }
+  eclipse::ShardedQueryStats stats;
+  auto ids = engine->Query(box, &stats);
+  if (!ids.ok()) {
+    std::fprintf(stderr, "error: %s\n", ids.status().ToString().c_str());
+    return 1;
+  }
+  if (explain) {
+    std::printf("gathered %zu candidate(s) across %zu shard(s)\n",
+                stats.gathered_candidates, stats.plan.num_shards);
+  }
+  PrintResult(original, *ids, print_rows);
+  return 0;
+}
+
 /// Runs one eclipse-family query through the facade, printing the plan when
 /// asked. Returns 0/1 like main.
 int RunEngineQuery(const PointSet& original, PointSet data,
                    const RatioBox& box, const std::string& force_engine,
-                   bool explain, bool print_rows) {
+                   const ServingConfig& serving, bool explain,
+                   bool print_rows) {
+  if (serving.sharded) {
+    return RunShardedQuery(original, std::move(data), box, force_engine,
+                           serving, explain, print_rows);
+  }
   eclipse::EngineOptions options;
   options.force_engine = force_engine;
   auto engine = EclipseEngine::Make(std::move(data), options);
@@ -126,6 +197,7 @@ int main(int argc, char** argv) {
   bool flip_max = false;
   bool print_rows = false;
   bool explain = false;
+  ServingConfig serving;
   for (auto it = args.begin(); it != args.end();) {
     if (*it == "--max") {
       flip_max = true;
@@ -135,6 +207,30 @@ int main(int argc, char** argv) {
       it = args.erase(it);
     } else if (*it == "--explain") {
       explain = true;
+      it = args.erase(it);
+    } else if (it->rfind("--shards=", 0) == 0) {
+      const char* value = it->c_str() + strlen("--shards=");
+      char* end = nullptr;
+      const long shards = std::strtol(value, &end, 10);
+      if (*value == '\0' || *end != '\0' || shards < 0) {
+        std::fprintf(stderr,
+                     "error: --shards wants a non-negative integer "
+                     "(0 = pool-sized), got \"%s\"\n",
+                     value);
+        return 2;
+      }
+      serving.sharded = true;
+      serving.shards = static_cast<size_t>(shards);
+      it = args.erase(it);
+    } else if (it->rfind("--partitioner=", 0) == 0) {
+      auto kind = eclipse::PartitionerKindForName(
+          it->c_str() + strlen("--partitioner="));
+      if (!kind.ok()) {
+        std::fprintf(stderr, "error: %s\n", kind.status().ToString().c_str());
+        return 2;
+      }
+      serving.sharded = true;
+      serving.partitioner = *kind;
       it = args.erase(it);
     } else {
       ++it;
@@ -157,7 +253,7 @@ int main(int argc, char** argv) {
   const std::string& op = args[1];
   if (op == "skyline") {
     return RunEngineQuery(original, std::move(data), RatioBox::Skyline(d - 1),
-                          /*force_engine=*/"", explain, print_rows);
+                          /*force_engine=*/"", serving, explain, print_rows);
   }
   if (op == "eclipse") {
     if (args.size() < 4) return Usage();
@@ -169,8 +265,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: %s\n", box.status().ToString().c_str());
       return 1;
     }
-    return RunEngineQuery(original, std::move(data), *box, engine_name, explain,
-                          print_rows);
+    return RunEngineQuery(original, std::move(data), *box, engine_name, serving,
+                          explain, print_rows);
   }
   if (op == "onenn" || op == "topk") {
     size_t first_ratio = 2;
@@ -214,7 +310,7 @@ int main(int argc, char** argv) {
                 suggestion->box.ToString().c_str(), suggestion->gamma,
                 suggestion->result_size);
     return RunEngineQuery(original, std::move(data), suggestion->box,
-                          /*force_engine=*/"", explain, print_rows);
+                          /*force_engine=*/"", serving, explain, print_rows);
   }
   return Usage();
 }

@@ -44,6 +44,14 @@ struct ParallelForState {
   }
 };
 
+/// The pool whose ParallelFor region the calling thread is currently
+/// executing inside, if any. Set for a worker's whole lifetime (workers
+/// only run code as ParallelFor chunks) and for a caller while it
+/// participates in its own region; a nested ParallelFor on the same pool
+/// sees the marker and runs inline instead of queuing helpers behind the
+/// outer region.
+thread_local const ThreadPool* tls_active_pool = nullptr;
+
 }  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -70,7 +78,10 @@ ThreadPool& ThreadPool::Shared() {
   return *pool;  // must outlive every static that might ParallelFor at exit
 }
 
+bool ThreadPool::InParallelRegion() const { return tls_active_pool == this; }
+
 void ThreadPool::WorkerLoop() {
+  tls_active_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -88,6 +99,14 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
                              const std::function<void(size_t, size_t)>& fn,
                              size_t max_parallelism) {
   if (end <= begin) return;
+  if (tls_active_pool == this) {
+    // Re-entrant call from inside one of this pool's own regions: run the
+    // whole range inline. Queuing helpers here would at best stall them
+    // behind the outer region's chunks and at worst flood the deque with
+    // tasks that wake up to an exhausted counter.
+    fn(begin, end);
+    return;
+  }
   const size_t n = end - begin;
   size_t parallelism = workers_.size() + 1;  // workers + the caller
   if (max_parallelism != 0) {
@@ -100,7 +119,19 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   // up to find the counter exhausted.
   const size_t helpers =
       std::min(parallelism - 1, chunks > 0 ? chunks - 1 : 0);
+  // While the caller executes chunks of its own region, a nested call from
+  // inside fn must take the inline path above; mark and restore around
+  // every spot where this thread runs fn. (Restores rather than clears so
+  // distinct pools can still nest across each other.)
+  struct RegionMark {
+    const ThreadPool* prev;
+    explicit RegionMark(const ThreadPool* pool) : prev(tls_active_pool) {
+      tls_active_pool = pool;
+    }
+    ~RegionMark() { tls_active_pool = prev; }
+  };
   if (helpers == 0) {
+    RegionMark mark(this);
     fn(begin, end);
     return;
   }
@@ -123,7 +154,10 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   }
   cv_.notify_all();
 
-  state->RunChunks();
+  {
+    RegionMark mark(this);
+    state->RunChunks();
+  }
   std::unique_lock<std::mutex> lock(state->mu);
   state->done_cv.wait(lock, [&] {
     return state->completed.load(std::memory_order_acquire) == chunks;

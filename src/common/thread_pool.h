@@ -16,9 +16,15 @@
 //
 // fn must not throw: Status-style error handling belongs in the caller's
 // chunk function (collect into a mutex-guarded slot and return early).
-// fn must not itself call ParallelFor on the same pool -- with every worker
-// blocked in an outer wait the queued inner helpers would never run
-// (the callers in this library parallelize only at the top level).
+// Nested ParallelFor calls on the same pool are safe: a call made from a
+// thread that is already executing inside one of this pool's ParallelFor
+// regions (a worker running a chunk, or a caller whose fn re-enters) is
+// detected through a thread-local marker and runs its whole range inline on
+// the calling thread instead of queuing helpers that would only flood the
+// task deque and stall behind the outer region's chunks. The sharded
+// scatter-gather layer relies on this: a per-shard sub-query dispatched
+// onto the pool itself runs parallel embeds and tournament-merge skylines
+// on the same pool.
 
 #ifndef ECLIPSE_COMMON_THREAD_POOL_H_
 #define ECLIPSE_COMMON_THREAD_POOL_H_
@@ -59,6 +65,11 @@ class ThreadPool {
   void ParallelFor(size_t begin, size_t end, size_t grain,
                    const std::function<void(size_t, size_t)>& fn,
                    size_t max_parallelism = 0);
+
+  /// True iff the calling thread is currently inside a ParallelFor region
+  /// of this pool (as a worker or as a re-entering caller); such a thread's
+  /// next ParallelFor on this pool runs inline. Exposed for tests.
+  bool InParallelRegion() const;
 
  private:
   void WorkerLoop();

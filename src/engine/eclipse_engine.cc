@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "skyline/simd_dominance.h"
 
 namespace eclipse {
@@ -401,13 +402,17 @@ Result<std::vector<PointId>> EclipseEngine::Query(const RatioBox& box,
     } else if (!build_status.ok()) {
       // Forced engine: surface the failure, but still record the attempted
       // plan for callers observing via stats.
-      if (stats != nullptr) stats->plan = std::move(plan);
+      if (stats != nullptr) {
+        stats->plan = std::move(plan);
+        stats->snapshot = std::move(snap);
+      }
       return build_status;
     }
   }
 
   EngineQueryStats local;
   EngineQueryStats* out = stats != nullptr ? stats : &local;
+  out->snapshot = snap;
   const std::string key = CanonicalBoxKey(box);
   std::vector<PointId> cached;
   if (s.cache.Get(snap->epoch(), key, &cached)) {
@@ -436,6 +441,38 @@ Result<std::vector<PointId>> EclipseEngine::Query(const RatioBox& box,
   }
   out->plan = std::move(plan);
   return ids;
+}
+
+Result<std::vector<std::vector<PointId>>> RunQueryBatch(
+    size_t count,
+    const std::function<Result<std::vector<PointId>>(size_t)>& query) {
+  std::vector<std::vector<PointId>> results(count);
+  std::mutex error_mu;
+  Status first_error = Status::OK();
+  auto worker = [&](size_t begin, size_t end) {
+    for (size_t q = begin; q < end; ++q) {
+      auto r = query(q);
+      if (!r.ok()) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error.ok()) {
+          first_error = Status(
+              r.status().code(),
+              StrFormat("query %zu: %s", q, r.status().message().c_str()));
+        }
+        return;
+      }
+      results[q] = std::move(r).value();
+    }
+  };
+  ThreadPool::Shared().ParallelFor(0, count, /*grain=*/1, worker);
+  ECLIPSE_RETURN_IF_ERROR(first_error);
+  return results;
+}
+
+Result<std::vector<std::vector<PointId>>> EclipseEngine::QueryBatch(
+    std::span<const RatioBox> boxes) {
+  return RunQueryBatch(boxes.size(),
+                       [&](size_t q) { return Query(boxes[q]); });
 }
 
 }  // namespace eclipse

@@ -36,8 +36,11 @@
 #ifndef ECLIPSE_ENGINE_ECLIPSE_ENGINE_H_
 #define ECLIPSE_ENGINE_ECLIPSE_ENGINE_H_
 
+#include <functional>
 #include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "core/eclipse.h"
 #include "core/eclipse_index.h"
@@ -113,6 +116,14 @@ struct PlanInputs {
 /// The explicit cost model: pure function from inputs to plan.
 QueryPlan ChoosePlan(const PlanInputs& in, const EngineOptions& options);
 
+/// The shared batched-admission driver behind EclipseEngine::QueryBatch and
+/// ShardedEclipseEngine::QueryBatch: fans queries [0, count) out as chunks
+/// on the shared pool, collecting query(q) results in input order. The
+/// first failing query's status wins (prefixed with its index).
+Result<std::vector<std::vector<PointId>>> RunQueryBatch(
+    size_t count,
+    const std::function<Result<std::vector<PointId>>(size_t)>& query);
+
 /// Per-query engine observability.
 struct EngineQueryStats {
   QueryPlan plan;
@@ -121,6 +132,10 @@ struct EngineQueryStats {
   /// One-shot algorithm counters (corner evaluations, skyline comparisons).
   Statistics counters;
   size_t result_size = 0;
+  /// The snapshot the query ran against -- the epoch-consistent dataset the
+  /// returned ids refer to. Scatter-gather callers (ShardedEclipseEngine)
+  /// hold it to look up result rows without racing later mutations.
+  std::shared_ptr<const ColumnarSnapshot> snapshot;
 };
 
 class EclipseEngine {
@@ -135,6 +150,15 @@ class EclipseEngine {
   /// concurrently with Query/Explain/Insert/Erase.
   Result<std::vector<PointId>> Query(const RatioBox& box,
                                      EngineQueryStats* stats = nullptr);
+
+  /// Batched admission: answers every box, fanning the batch out as chunks
+  /// on the shared pool (per-query engine state -- cache, lazy build
+  /// counters -- advances exactly as if each box had been Query()ed).
+  /// Results arrive in input order; the first failing query's status wins.
+  /// Safe to call concurrently with every other member, including from
+  /// inside a pool worker (nested ParallelFor runs inline).
+  Result<std::vector<std::vector<PointId>>> QueryBatch(
+      std::span<const RatioBox> boxes);
 
   /// The plan Query() would execute for `box` right now -- including the
   /// snapshot epoch it would capture and whether the LRU cache would serve

@@ -1,0 +1,87 @@
+#include "shard/merge.h"
+
+#include <span>
+
+#include "common/strings.h"
+#include "core/corner_kernel.h"
+#include "skyline/flat_skyline.h"
+
+namespace eclipse {
+
+namespace {
+
+bool FitsCornerMatrix(const RatioBox& box, const EclipseOptions& options) {
+  return box.FreeDims().size() <= options.max_corner_dims;
+}
+
+/// Fallback for boxes whose free-dim count would blow the 2^f corner
+/// matrix guard (only reachable when the per-shard engine was BASE, which
+/// evaluates corners lazily): the same pairwise lazy-corner filter BASE
+/// runs, restricted to the candidate union. O(C^2) with early exit.
+std::vector<PointId> PairwiseMerge(
+    std::span<const GatheredCandidate> candidates, size_t dims,
+    const RatioBox& box, Statistics* stats) {
+  const CornerKernel kernel(box);
+  uint64_t comparisons = 0;
+  std::vector<PointId> out;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const std::span<const double> pi(candidates[i].row, dims);
+    bool dominated = false;
+    for (size_t j = 0; j < candidates.size() && !dominated; ++j) {
+      if (j == i) continue;
+      ++comparisons;
+      dominated = kernel.Dominates({candidates[j].row, dims}, pi);
+    }
+    if (!dominated) out.push_back(candidates[i].global_id);
+  }
+  if (stats != nullptr) stats->Add(Ticker::kSkylineComparisons, comparisons);
+  return out;
+}
+
+}  // namespace
+
+const char* CrossShardMergePathName(const RatioBox& box,
+                                    const EclipseOptions& options) {
+  return FitsCornerMatrix(box, options) ? "corner-embed + flat skyline"
+                                        : "pairwise corner filter";
+}
+
+Result<std::vector<PointId>> CrossShardDominanceMerge(
+    std::span<const GatheredCandidate> candidates, size_t dims,
+    const RatioBox& box, const EclipseOptions& options, Statistics* stats) {
+  if (dims < 2 || box.dims() != dims) {
+    return Status::InvalidArgument(
+        StrFormat("merge over d = %zu rows got a box for d = %zu", dims,
+                  box.dims()));
+  }
+  const size_t c = candidates.size();
+  if (c <= 1) {
+    std::vector<PointId> out;
+    if (c == 1) out.push_back(candidates[0].global_id);
+    return out;
+  }
+  if (!FitsCornerMatrix(box, options)) {
+    return PairwiseMerge(candidates, dims, box, stats);
+  }
+
+  const CornerKernel kernel(box);
+  const size_t m = kernel.embedding_dims();
+  std::vector<double> scores(c * m);
+  for (size_t i = 0; i < c; ++i) {
+    kernel.EmbedInto({candidates[i].row, dims}, scores.data() + i * m);
+  }
+  if (stats != nullptr) {
+    stats->Add(Ticker::kCornerScoreEvaluations, c * kernel.corners().size());
+  }
+
+  const FlatMatrixView view = FlatMatrixView::Of(scores, m);
+  const std::vector<PointId> rows =
+      FlatSkyline(view, ChooseFlatSkylinePath(SkylineAlgorithm::kAuto, c),
+                  stats);
+  std::vector<PointId> out;
+  out.reserve(rows.size());
+  for (PointId r : rows) out.push_back(candidates[r].global_id);
+  return out;
+}
+
+}  // namespace eclipse

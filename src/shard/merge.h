@@ -1,0 +1,69 @@
+// Cross-shard dominance merge: recover the exact global eclipse set from
+// per-shard answers.
+//
+// Soundness (the distributed-skyline argument, specialized to eclipse):
+// eclipse dominance is componentwise dominance of the corner-score
+// embedding (paper Theorem 2), which is a strict partial order, so for any
+// partition of the dataset S = A_1 u ... u A_k,
+//
+//   E(S) = E( E(A_1) u ... u E(A_k) ).
+//
+// "Subset": p in E(S) is undominated in S, hence undominated in its own
+// shard, hence in its shard's local answer -- and it survives the outer
+// filter because the gathered union is a subset of S. "Superset": if a
+// local winner p is dominated by some r in another shard B, then walking
+// dominators of r inside B (finite strict order => the walk terminates)
+// reaches an r' in E(B) that dominates p by transitivity, so the outer
+// filter removes p. Exact duplicates never dominate each other, in the
+// union exactly as in each shard, so every copy of a winner is reported.
+//
+// The merge therefore re-runs the fused hot path over the (small) gathered
+// candidate set: embed each candidate row through the shared CornerKernel
+// (one corner-score row per candidate) and take the flat-matrix skyline --
+// the same SIMD dominance kernels and partition/tournament-merge machinery
+// as skyline/flat_skyline. Candidates arrive with ascending global ids and
+// the flat kernels return ascending row indices, so the merged result is
+// byte-identical to a single engine's answer over the whole dataset.
+
+#ifndef ECLIPSE_SHARD_MERGE_H_
+#define ECLIPSE_SHARD_MERGE_H_
+
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/statistics.h"
+#include "core/eclipse.h"
+#include "core/ratio_box.h"
+#include "geometry/point.h"
+
+namespace eclipse {
+
+/// One gathered per-shard winner: its global stable id and a borrowed
+/// pointer to its attribute row (`dims` doubles, owned by the shard
+/// snapshot the sub-query captured, which the caller must keep alive).
+struct GatheredCandidate {
+  PointId global_id = 0;
+  const double* row = nullptr;
+};
+
+/// Filters the gathered union of per-shard eclipse answers down to the
+/// global eclipse set. `candidates` must be sorted by ascending global_id
+/// (duplicate ids are not allowed); returns the surviving global ids,
+/// ascending. Ticks kCornerScoreEvaluations + kSkylineComparisons on the
+/// matrix path; the lazy pairwise fallback ticks kSkylineComparisons (its
+/// corner scores are computed on the fly inside the predicate).
+Result<std::vector<PointId>> CrossShardDominanceMerge(
+    std::span<const GatheredCandidate> candidates, size_t dims,
+    const RatioBox& box, const EclipseOptions& options = {},
+    Statistics* stats = nullptr);
+
+/// The path name the merge reports through Explain ("corner-embed + flat
+/// skyline"; "pairwise corner filter" when the corner matrix would blow the
+/// max_corner_dims guard).
+const char* CrossShardMergePathName(const RatioBox& box,
+                                    const EclipseOptions& options);
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_SHARD_MERGE_H_

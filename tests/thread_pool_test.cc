@@ -94,6 +94,58 @@ TEST(ThreadPoolTest, ConcurrentCallersInterleaveSafely) {
   for (size_t t = 0; t < kCallers; ++t) EXPECT_EQ(sums[t].load(), want);
 }
 
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  // Regression test for the documented nesting hazard: a chunk function
+  // that itself calls ParallelFor on the same pool must complete (inline on
+  // the calling thread) instead of queuing helpers behind the outer region.
+  ThreadPool pool(3);
+  constexpr size_t kOuter = 8;
+  constexpr size_t kInner = 64;
+  std::vector<int> hits(kOuter * kInner, 0);
+  std::atomic<size_t> escaped_inner_chunks{0};
+  std::atomic<size_t> outer_not_in_region{0};
+  EXPECT_FALSE(pool.InParallelRegion());
+  pool.ParallelFor(0, kOuter, /*grain=*/1, [&](size_t ob, size_t oe) {
+    if (!pool.InParallelRegion()) outer_not_in_region.fetch_add(1);
+    for (size_t o = ob; o < oe; ++o) {
+      const std::thread::id outer_thread = std::this_thread::get_id();
+      pool.ParallelFor(0, kInner, /*grain=*/8, [&, o](size_t ib, size_t ie) {
+        // The inline fallback keeps every inner chunk on the outer chunk's
+        // own thread.
+        if (std::this_thread::get_id() != outer_thread) {
+          escaped_inner_chunks.fetch_add(1);
+        }
+        for (size_t i = ib; i < ie; ++i) hits[o * kInner + i]++;
+      });
+    }
+  });
+  EXPECT_FALSE(pool.InParallelRegion());
+  EXPECT_EQ(outer_not_in_region.load(), 0u);
+  EXPECT_EQ(escaped_inner_chunks.load(), 0u);
+  for (size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i], 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, NestedCallsAcrossDistinctPoolsStillFanOut) {
+  // The inline fallback is per pool: a region of pool A may still
+  // parallelize on pool B.
+  ThreadPool outer(2);
+  ThreadPool inner(2);
+  std::atomic<uint64_t> sum{0};
+  std::atomic<size_t> wrongly_in_inner_region{0};
+  outer.ParallelFor(0, 4, 1, [&](size_t, size_t) {
+    if (inner.InParallelRegion()) wrongly_in_inner_region.fetch_add(1);
+    inner.ParallelFor(1, 101, 10, [&](size_t begin, size_t end) {
+      uint64_t local = 0;
+      for (size_t i = begin; i < end; ++i) local += i;
+      sum.fetch_add(local);
+    });
+  });
+  EXPECT_EQ(wrongly_in_inner_region.load(), 0u);
+  EXPECT_EQ(sum.load(), 4u * 5050u);
+}
+
 TEST(ThreadPoolTest, PooledAlgorithmsMatchSerialResults) {
   // The pooled EclipseBaselineParallel and EmbedAllParallel must be
   // bitwise-identical to their serial counterparts, repeatedly (worker

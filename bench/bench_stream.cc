@@ -1,0 +1,555 @@
+// Streaming bench: sustained mixed-stream throughput under incremental
+// maintenance (src/stream/) vs the PR-4 full-invalidation path, plus
+// standing-query (subscription) delta latency.
+//
+//   build/bench/bench_stream [--quick] [--smoke] [n] [d]
+//
+// Phase 1 (mixed stream -> BENCH_stream.json): one driver replays an
+// identical 20%-write mixed stream (65% popular repeat queries, 5% unique
+// bounded, 10% degenerate 1NN, 10% inserts from a drifting-cluster stream,
+// 10% erases of earlier inserts) against four configurations: a single
+// engine and an S=4 sharded engine, each with incremental maintenance ON
+// (the default) and OFF (every mutation invalidates caches wholesale, the
+// PR-4 behavior). With maintenance on, the delta test proves most writes
+// leave the popular entries valid, so the repeat traffic keeps hitting the
+// LRU across mutations instead of re-running the full embed+skyline
+// pipeline after every write. Default shape n = 1e5, d = 4.
+//
+// Phase 2 (subscriptions): k standing queries registered on the engine; a
+// drifting insert/erase stream drives ApplyDelta and the per-mutation
+// latency (delta test + event delivery included) is reported p50/p99,
+// with the emitted event count.
+//
+// Before timing, the harness replays probe streams at a small n and exits
+// nonzero if the incremental path's answers (served queries AND standing
+// results) ever diverge from a from-scratch engine over the same live
+// dataset -- so the bench doubles as a correctness gate. --smoke runs only
+// that probe (single + sharded, every SIMD tier): CI's guard, cheap
+// enough for the sanitizer jobs.
+//
+// --quick shrinks everything and skips the JSON (never clobber the
+// committed full-size record with smoke-size numbers).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "benchlib/workloads.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "benchlib/table.h"
+#include "core/eclipse.h"
+#include "dataset/generators.h"
+#include "engine/eclipse_engine.h"
+#include "shard/sharded_engine.h"
+#include "skyline/simd_dominance.h"
+
+namespace {
+
+using eclipse::BenchDataset;
+using eclipse::ContinuousDelta;
+using eclipse::Distribution;
+using eclipse::EclipseEngine;
+using eclipse::EngineOptions;
+using eclipse::GenerateDriftingClusters;
+using eclipse::MaintenanceStats;
+using eclipse::Point;
+using eclipse::PointId;
+using eclipse::PointSet;
+using eclipse::RatioBox;
+using eclipse::Rng;
+using eclipse::ShardedEclipseEngine;
+using eclipse::ShardedEngineOptions;
+using eclipse::Stopwatch;
+using eclipse::StrFormat;
+using eclipse::SubscriptionId;
+
+/// One op of the 20%-write mixed stream.
+struct StreamOp {
+  enum Kind { kQuery, kInsert, kErase } kind = kQuery;
+  std::optional<RatioBox> box;  // kQuery
+  Point point;                  // kInsert
+};
+
+/// The deterministic mixed stream: 65% popular repeats, 5% unique bounded,
+/// 10% 1NN over a dozen quantized preference ratios (user ratio choices
+/// cluster in practice), 10% inserts (timestamp-ordered drifting-cluster
+/// arrivals, ~1 in 80 scaled toward the origin so some inserts land on the
+/// frontier and exercise the merge path), 10% erases of the stream's own
+/// earlier inserts.
+std::vector<StreamOp> MakeMixedStream(size_t d, size_t count, uint64_t seed) {
+  std::vector<RatioBox> popular;
+  for (int k = 0; k < 6; ++k) {
+    popular.push_back(*RatioBox::Uniform(d - 1, 0.36 + 0.08 * k,
+                                         2.75 - 0.15 * k));
+  }
+  Rng rng(seed);
+  PointSet arrivals = GenerateDriftingClusters(count, d, 4, 0.002, &rng);
+  size_t next_arrival = 0;
+  std::vector<StreamOp> ops;
+  ops.reserve(count);
+  for (size_t q = 0; q < count; ++q) {
+    StreamOp op;
+    const size_t roll = rng.NextIndex(20);
+    if (roll < 13) {
+      op.box = popular[rng.NextIndex(popular.size())];
+    } else if (roll < 14) {
+      const double lo = 0.3 + 0.001 * static_cast<double>(rng.NextIndex(500));
+      const double hi =
+          lo + 0.5 + 0.001 * static_cast<double>(rng.NextIndex(2000));
+      op.box = *RatioBox::Uniform(d - 1, lo, hi);
+    } else if (roll < 16) {
+      const double r = 0.5 + 0.1 * static_cast<double>(rng.NextIndex(12));
+      op.box = *RatioBox::Uniform(d - 1, r, r);
+    } else if (roll < 18) {
+      op.kind = StreamOp::kInsert;
+      op.point = arrivals.ToPoint(next_arrival++ % arrivals.size());
+      if (rng.NextIndex(80) == 0) {
+        for (double& v : op.point) v *= 0.03;  // a frontier-grade arrival
+      }
+    } else {
+      op.kind = StreamOp::kErase;
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+struct RunResult {
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double write_p50_us = 0.0;
+  double write_p99_us = 0.0;
+  double cache_hit_rate = 0.0;
+  MaintenanceStats maintenance;
+  bool complete = true;
+};
+
+double Percentile(std::vector<double>* sorted_us, double p) {
+  if (sorted_us->empty()) return 0.0;
+  const size_t idx = std::min(
+      sorted_us->size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted_us->size() - 1)));
+  return (*sorted_us)[idx];
+}
+
+/// Replays the mixed stream; works for EclipseEngine and
+/// ShardedEclipseEngine (both expose Query/Insert/Erase/cache()).
+template <typename Engine>
+RunResult ReplayMixedStream(Engine* engine, const std::vector<StreamOp>& ops) {
+  const uint64_t hits_before = engine->cache().hits();
+  const uint64_t misses_before = engine->cache().misses();
+  std::vector<double> latencies;
+  std::vector<double> write_latencies;
+  latencies.reserve(ops.size());
+  std::vector<PointId> own;
+  size_t erase_cursor = 0;
+  RunResult r;
+  Stopwatch wall;
+  for (const StreamOp& op : ops) {
+    Stopwatch sw;
+    bool ok = true;
+    bool is_write = false;
+    switch (op.kind) {
+      case StreamOp::kQuery:
+        ok = engine->Query(*op.box).ok();
+        break;
+      case StreamOp::kInsert: {
+        is_write = true;
+        auto id = engine->Insert(op.point);
+        ok = id.ok();
+        if (ok) own.push_back(*id);
+        break;
+      }
+      case StreamOp::kErase:
+        if (erase_cursor < own.size()) {
+          is_write = true;
+          ok = engine->Erase(own[erase_cursor++]).ok();
+        }
+        break;
+    }
+    const double us = sw.ElapsedMicros();
+    latencies.push_back(us);
+    if (is_write) write_latencies.push_back(us);
+    if (!ok) {
+      std::fprintf(stderr, "mixed op failed\n");
+      r.complete = false;
+      return r;
+    }
+  }
+  const double wall_s = wall.ElapsedSeconds();
+  std::sort(latencies.begin(), latencies.end());
+  std::sort(write_latencies.begin(), write_latencies.end());
+  r.qps = wall_s > 0 ? static_cast<double>(ops.size()) / wall_s : 0.0;
+  r.p50_us = Percentile(&latencies, 0.50);
+  r.p99_us = Percentile(&latencies, 0.99);
+  r.write_p50_us = Percentile(&write_latencies, 0.50);
+  r.write_p99_us = Percentile(&write_latencies, 0.99);
+  const uint64_t hits = engine->cache().hits() - hits_before;
+  const uint64_t misses = engine->cache().misses() - misses_before;
+  r.cache_hit_rate =
+      hits + misses > 0
+          ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+          : 0.0;
+  r.maintenance = engine->maintenance();
+  return r;
+}
+
+EngineOptions StreamEngineOptions(bool incremental) {
+  EngineOptions options;
+  options.enable_index = false;  // a continuously mutating stream
+  options.incremental_maintenance = incremental;
+  return options;
+}
+
+// ------------------------------------------------------ differential probe
+
+/// The expected live dataset, maintained alongside the engine under test.
+struct Mirror {
+  PointSet rows;
+  std::vector<PointId> live_ids;
+  PointId next_id = 0;
+
+  explicit Mirror(const PointSet& initial) : rows(initial) {
+    for (size_t i = 0; i < initial.size(); ++i) {
+      live_ids.push_back(static_cast<PointId>(i));
+    }
+    next_id = static_cast<PointId>(initial.size());
+  }
+
+  void Insert(const Point& p) {
+    (void)rows.Append(p);
+    live_ids.push_back(next_id++);
+  }
+
+  bool Erase(PointId id) {
+    auto it = std::find(live_ids.begin(), live_ids.end(), id);
+    if (it == live_ids.end()) return false;
+    const size_t row = static_cast<size_t>(it - live_ids.begin());
+    PointSet next(rows.dims());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (i != row) (void)next.Append(rows[i]);
+    }
+    rows = std::move(next);
+    live_ids.erase(it);
+    return true;
+  }
+
+  std::vector<PointId> Expected(const RatioBox& box) const {
+    std::vector<PointId> ids = *eclipse::NaiveEclipse(rows, box);
+    for (PointId& id : ids) id = live_ids[id];
+    return ids;
+  }
+};
+
+/// Replays a probe stream against `engine`, checking every served query
+/// and every standing-query result against the from-scratch oracle.
+template <typename Engine>
+bool StreamProbeMatches(Engine* engine, const PointSet& data, size_t d,
+                        const char* label) {
+  Mirror mirror(data);
+  std::vector<RatioBox> boxes = {
+      *RatioBox::Uniform(d - 1, 0.36, 2.75),
+      *RatioBox::Uniform(d - 1, 0.9, 1.1), RatioBox::Skyline(d - 1),
+      *RatioBox::Uniform(d - 1, 1.0, 1.0)};
+  std::vector<SubscriptionId> subs;
+  for (const RatioBox& box : boxes) {
+    auto sub = engine->RegisterContinuous(
+        box, [](SubscriptionId, const ContinuousDelta&) {});
+    if (!sub.ok()) {
+      std::fprintf(stderr, "%s: RegisterContinuous failed\n", label);
+      return false;
+    }
+    subs.push_back(*sub);
+  }
+  Rng rng(777);
+  for (int step = 0; step < 60; ++step) {
+    if (rng.NextIndex(10) < 6 || mirror.live_ids.size() < 8) {
+      Point p(d);
+      for (auto& v : p) v = rng.NextDouble();
+      auto id = engine->Insert(p);
+      if (!id.ok()) return false;
+      mirror.Insert(p);
+    } else {
+      const PointId victim =
+          mirror.live_ids[rng.NextIndex(mirror.live_ids.size())];
+      if (!engine->Erase(victim).ok() || !mirror.Erase(victim)) return false;
+    }
+    for (size_t b = 0; b < boxes.size(); ++b) {
+      const std::vector<PointId> want = mirror.Expected(boxes[b]);
+      auto got = engine->Query(boxes[b]);
+      if (!got.ok() || *got != want) {
+        std::fprintf(stderr,
+                     "%s DIVERGED from scratch on %s (step %d, query)\n",
+                     label, boxes[b].ToString().c_str(), step);
+        return false;
+      }
+      auto standing = engine->ContinuousResult(subs[b]);
+      if (!standing.ok() || *standing != want) {
+        std::fprintf(stderr,
+                     "%s DIVERGED from scratch on %s (step %d, standing)\n",
+                     label, boxes[b].ToString().c_str(), step);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// The full probe matrix: single + sharded engines at every SIMD tier.
+int RunSmoke() {
+  for (eclipse::SimdTier tier : eclipse::AvailableSimdTiers()) {
+    if (!eclipse::SetSimdTier(tier)) return 1;
+    for (size_t d : {size_t{2}, size_t{4}}) {
+      Rng rng(42 + d);
+      PointSet data =
+          eclipse::GenerateSynthetic(Distribution::kDriftingClusters, 500, d,
+                                     &rng);
+      {
+        auto engine = EclipseEngine::Make(data, StreamEngineOptions(true));
+        if (!engine.ok() ||
+            !StreamProbeMatches(&engine.value(), data, d,
+                                StrFormat("single d=%zu [%s]", d,
+                                          SimdTierName(tier)).c_str())) {
+          eclipse::ResetSimdTier();
+          return 1;
+        }
+      }
+      for (size_t num_shards : {size_t{1}, size_t{3}}) {
+        ShardedEngineOptions options;
+        options.num_shards = num_shards;
+        options.partitioner = eclipse::PartitionerKind::kAngular;
+        options.engine = StreamEngineOptions(true);
+        auto engine = ShardedEclipseEngine::Make(data, options);
+        if (!engine.ok() ||
+            !StreamProbeMatches(
+                &engine.value(), data, d,
+                StrFormat("sharded S=%zu d=%zu [%s]", num_shards, d,
+                          SimdTierName(tier)).c_str())) {
+          eclipse::ResetSimdTier();
+          return 1;
+        }
+      }
+    }
+  }
+  eclipse::ResetSimdTier();
+  std::printf("stream smoke OK: incremental answers and standing queries "
+              "identical to from-scratch recomputation (single + S=1 + S=3, "
+              "d=2/4, every SIMD tier, 60-step mutation streams)\n");
+  return 0;
+}
+
+// -------------------------------------------------- subscription latency
+
+struct SubscriptionResult {
+  size_t mutations = 0;
+  uint64_t events = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+/// k standing queries on the engine; a drifting insert/erase stream drives
+/// ApplyDelta and each mutation's wall time (delta test + event delivery)
+/// is the subscription-delta latency.
+SubscriptionResult RunSubscriptionPhase(size_t n, size_t d,
+                                        size_t mutations) {
+  Rng rng(4242);
+  PointSet data = eclipse::MakeBenchDataset(BenchDataset::kInde, n, d, 11);
+  auto engine = *EclipseEngine::Make(data, StreamEngineOptions(true));
+  std::vector<uint64_t> event_count(1, 0);
+  std::vector<SubscriptionId> subs;
+  for (int k = 0; k < 4; ++k) {
+    auto sub = engine.RegisterContinuous(
+        *RatioBox::Uniform(d - 1, 0.36 + 0.1 * k, 2.75 - 0.2 * k),
+        [&event_count](SubscriptionId, const ContinuousDelta& delta) {
+          event_count[0] += delta.added.size() + delta.removed.size();
+        });
+    subs.push_back(*sub);
+  }
+  PointSet arrivals = GenerateDriftingClusters(mutations, d, 4, 0.002, &rng);
+  std::vector<PointId> own;
+  std::vector<double> latencies;
+  latencies.reserve(mutations);
+  size_t erase_cursor = 0;
+  for (size_t i = 0; i < mutations; ++i) {
+    Stopwatch sw;
+    if (i % 3 == 2 && erase_cursor < own.size()) {
+      (void)engine.ApplyDelta(eclipse::EraseDelta(own[erase_cursor++]));
+    } else {
+      Point p = arrivals.ToPoint(i % arrivals.size());
+      if (i % 40 == 0) {
+        for (double& v : p) v *= 0.03;  // frontier arrivals emit events
+      }
+      auto id = engine.ApplyDelta(eclipse::InsertDelta(std::move(p)));
+      if (id.ok()) own.push_back(*id);
+    }
+    latencies.push_back(sw.ElapsedMicros());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  SubscriptionResult r;
+  r.mutations = mutations;
+  r.events = event_count[0];
+  r.p50_us = Percentile(&latencies, 0.50);
+  r.p99_us = Percentile(&latencies, 0.99);
+  return r;
+}
+
+// ------------------------------------------------------------------ main
+
+struct SweepRow {
+  const char* engine;
+  const char* mode;
+  RunResult run;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  size_t n = 100000, d = 4;
+  std::vector<size_t> positional;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[a], "--smoke") == 0) {
+      return RunSmoke();
+    } else {
+      positional.push_back(static_cast<size_t>(std::atoll(argv[a])));
+    }
+  }
+  if (!positional.empty()) n = positional[0];
+  if (positional.size() > 1) d = positional[1];
+  if (quick) n = std::min<size_t>(n, 4000);
+  const size_t ops = quick ? 300 : 4000;
+  const size_t sub_mutations = quick ? 100 : 600;
+
+  // The probe gate first: never report numbers from a diverging build.
+  if (RunSmoke() != 0) return 1;
+
+  PointSet data = eclipse::MakeBenchDataset(BenchDataset::kInde, n, d, 7);
+  const std::vector<StreamOp> stream = MakeMixedStream(d, ops, 99);
+  std::printf("\nMixed stream: INDE n=%zu d=%zu, %zu ops (65%% popular "
+              "repeats, 5%% unique bounded, 10%% 1NN, 10%% insert, 10%% "
+              "erase; drifting-cluster arrivals)\n\n",
+              n, d, ops);
+
+  eclipse::TablePrinter table({"engine", "maintenance", "QPS", "p50 (us)",
+                               "p99 (us)", "write p50", "cache hit",
+                               "carried", "merged", "dropped"});
+  std::vector<SweepRow> rows;
+  auto add_row = [&](const char* engine_name, const char* mode,
+                     const RunResult& r) {
+    rows.push_back(SweepRow{engine_name, mode, r});
+    const MaintenanceStats& m = r.maintenance;
+    table.AddRow({engine_name, mode, StrFormat("%.0f", r.qps),
+                  StrFormat("%.1f", r.p50_us), StrFormat("%.1f", r.p99_us),
+                  StrFormat("%.1f", r.write_p50_us),
+                  StrFormat("%.1f%%", 100.0 * r.cache_hit_rate),
+                  StrFormat("%llu",
+                            static_cast<unsigned long long>(
+                                m.entries_carried)),
+                  StrFormat("%llu",
+                            static_cast<unsigned long long>(
+                                m.entries_merged)),
+                  StrFormat("%llu",
+                            static_cast<unsigned long long>(
+                                m.entries_dropped))});
+  };
+
+  for (const bool incremental : {false, true}) {
+    auto engine = EclipseEngine::Make(data, StreamEngineOptions(incremental));
+    if (!engine.ok()) {
+      std::fprintf(stderr, "engine: %s\n",
+                   engine.status().ToString().c_str());
+      return 1;
+    }
+    const RunResult r = ReplayMixedStream(&engine.value(), stream);
+    if (!r.complete) return 1;
+    add_row("single", incremental ? "incremental" : "full-invalidation", r);
+  }
+  for (const bool incremental : {false, true}) {
+    ShardedEngineOptions options;
+    options.num_shards = 4;
+    options.partitioner = eclipse::PartitionerKind::kAngular;
+    options.engine = StreamEngineOptions(incremental);
+    auto engine = ShardedEclipseEngine::Make(data, options);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "sharded engine: %s\n",
+                   engine.status().ToString().c_str());
+      return 1;
+    }
+    const RunResult r = ReplayMixedStream(&engine.value(), stream);
+    if (!r.complete) return 1;
+    add_row("sharded-4", incremental ? "incremental" : "full-invalidation",
+            r);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  const double speedup_single = rows[0].run.qps > 0
+                                    ? rows[1].run.qps / rows[0].run.qps
+                                    : 0.0;
+  const double speedup_sharded = rows[2].run.qps > 0
+                                     ? rows[3].run.qps / rows[2].run.qps
+                                     : 0.0;
+  std::printf("incremental vs full-invalidation: %.1fx (single), %.1fx "
+              "(sharded S=4)\n\n",
+              speedup_single, speedup_sharded);
+
+  const SubscriptionResult sub = RunSubscriptionPhase(n, d, sub_mutations);
+  std::printf("Subscriptions: 4 standing queries, %zu mutations -> %llu "
+              "event ids, delta latency p50 %.1f us / p99 %.1f us\n",
+              sub.mutations, static_cast<unsigned long long>(sub.events),
+              sub.p50_us, sub.p99_us);
+
+  if (quick) {
+    std::printf("quick mode: skipping BENCH_stream.json\n");
+    return 0;
+  }
+
+  FILE* json = std::fopen("BENCH_stream.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_stream.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"stream\",\n  \"dataset\": \"INDE base + "
+               "DRIFT arrivals\",\n  \"n\": %zu,\n  \"d\": %zu,\n"
+               "  \"ops\": %zu,\n  \"mix\": \"65%% popular repeats, 5%% "
+               "unique bounded, 10%% 1NN, 10%% insert, 10%% erase\",\n"
+               "  \"rows\": [\n",
+               n, d, ops);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& r = rows[i];
+    const MaintenanceStats& m = r.run.maintenance;
+    std::fprintf(
+        json,
+        "    {\"engine\": \"%s\", \"maintenance\": \"%s\", \"qps\": %.1f, "
+        "\"p50_us\": %.1f, \"p99_us\": %.1f, \"write_p50_us\": %.1f, "
+        "\"write_p99_us\": %.1f, \"cache_hit_rate\": %.4f, "
+        "\"entries_carried\": %llu, \"entries_merged\": %llu, "
+        "\"entries_dropped\": %llu, \"dominance_tests\": %llu}%s\n",
+        r.engine, r.mode, r.run.qps, r.run.p50_us, r.run.p99_us,
+        r.run.write_p50_us, r.run.write_p99_us, r.run.cache_hit_rate,
+        static_cast<unsigned long long>(m.entries_carried),
+        static_cast<unsigned long long>(m.entries_merged),
+        static_cast<unsigned long long>(m.entries_dropped),
+        static_cast<unsigned long long>(m.dominance_tests),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json,
+               "  ],\n  \"speedup_single\": %.2f,\n  \"speedup_sharded\": "
+               "%.2f,\n  \"subscription\": {\"standing_queries\": 4, "
+               "\"mutations\": %zu, \"event_ids\": %llu, \"delta_p50_us\": "
+               "%.1f, \"delta_p99_us\": %.1f}\n}\n",
+               speedup_single, speedup_sharded, sub.mutations,
+               static_cast<unsigned long long>(sub.events), sub.p50_us,
+               sub.p99_us);
+  std::fclose(json);
+  std::printf("wrote BENCH_stream.json\n");
+  return 0;
+}

@@ -19,11 +19,21 @@
 //          --shards=N (serve through a ShardedEclipseEngine with N shards;
 //                      N = 0 sizes the fan-out to the shared pool),
 //          --partitioner=NAME (round-robin | hash-id | angular; implies
-//                      sharded serving with pool-sized fan-out).
+//                      sharded serving with pool-sized fan-out),
+//          --stream=FILE (replay an insert/erase trace against the engine
+//                      before answering: the query registers as a standing
+//                      continuous query and every op prints its
+//                      {added, removed} delta events as the incremental
+//                      maintainer emits them; works with --shards=N).
+// A stream trace is a numeric CSV with d+1 columns: column 1 is the op
+// (0 = insert, 1 = erase); insert rows carry the d coordinates, erase rows
+// carry the stable id to remove in column 2 (initial CSV rows hold ids
+// 0..n-1 and each insert mints the next id, so traces are deterministic).
 // `engine` is any name from `eclipse_cli engines` (BASE, TRAN-2D, TRAN-HD,
 // CORNER, QUAD, CUTTING, ...); default is automatic routing. With
 // --explain, sharded serving prints the scatter fan-out, the cross-shard
-// merge path, and every shard's own sub-plan.
+// merge path, every shard's own sub-plan, and delta-maintenance stats
+// after a stream replay.
 
 #include <cstdio>
 #include <cstdlib>
@@ -55,7 +65,8 @@ using eclipse::RatioBox;
 int Usage() {
   std::fprintf(stderr,
                "usage: eclipse_cli <file.csv> [--max] [--rows] [--explain] "
-               "[--shards=N] [--partitioner=NAME] <operator> ...\n"
+               "[--shards=N] [--partitioner=NAME] [--stream=trace.csv] "
+               "<operator> ...\n"
                "  skyline\n"
                "  eclipse <lo> <hi> [engine]\n"
                "  onenn   <r1> [r2 ...]\n"
@@ -83,6 +94,11 @@ void PrintResult(const PointSet& points, const std::vector<PointId>& ids,
   if (!rows) return;
   for (PointId id : ids) {
     std::printf("  #%-6u", id);
+    if (id >= points.size()) {
+      // Streamed in after the CSV was loaded; the original table has no row.
+      std::printf(" (inserted by --stream)\n");
+      continue;
+    }
     for (size_t j = 0; j < points.dims(); ++j) {
       std::printf(" %12.6g", points.at(id, j));
     }
@@ -91,13 +107,77 @@ void PrintResult(const PointSet& points, const std::vector<PointId>& ids,
 }
 
 /// How queries are served: one engine (the default) or a sharded
-/// scatter-gather fan-out.
+/// scatter-gather fan-out, optionally replaying a mutation trace first.
 struct ServingConfig {
   bool sharded = false;
   size_t shards = 0;  // 0 = size the fan-out to the shared pool
   eclipse::PartitionerKind partitioner =
       eclipse::PartitionerKind::kRoundRobin;
+  std::string stream_trace;  // empty = no replay
 };
+
+/// Replays an insert/erase trace against any engine with
+/// ApplyDelta/RegisterContinuous (EclipseEngine or ShardedEclipseEngine),
+/// printing one line per op and the standing query's delta events as they
+/// fire. Returns 0/1 like main.
+template <typename Engine>
+int ReplayStream(Engine* engine, const RatioBox& box,
+                 const std::string& path, size_t d) {
+  auto trace = eclipse::ReadCsv(path);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "error: %s\n", trace.status().ToString().c_str());
+    return 1;
+  }
+  const PointSet& ops = trace->points;
+  if (ops.dims() != d + 1) {
+    std::fprintf(stderr,
+                 "error: stream trace %s has %zu columns, expected %zu "
+                 "(op, then %zu coords; erase rows put the stable id in "
+                 "column 2)\n",
+                 path.c_str(), ops.dims(), d + 1, d);
+    return 1;
+  }
+  auto sub = engine->RegisterContinuous(
+      box, [](eclipse::SubscriptionId, const eclipse::ContinuousDelta& delta) {
+        std::printf("    delta @epoch %llu:",
+                    static_cast<unsigned long long>(delta.epoch));
+        for (PointId id : delta.added) std::printf(" +%u", id);
+        for (PointId id : delta.removed) std::printf(" -%u", id);
+        std::printf("\n");
+      });
+  if (!sub.ok()) {
+    std::fprintf(stderr, "error: %s\n", sub.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("replaying %zu op(s) from %s\n", ops.size(), path.c_str());
+  for (size_t t = 0; t < ops.size(); ++t) {
+    const auto row = ops[t];
+    eclipse::StreamDelta delta;
+    if (row[0] != 0.0) {
+      delta = eclipse::EraseDelta(static_cast<PointId>(row[1]));
+      std::printf("  t=%zu erase id=%u\n", t, delta.id);
+    } else {
+      delta = eclipse::InsertDelta(Point(row.begin() + 1, row.end()));
+      std::printf("  t=%zu insert\n", t);
+    }
+    auto applied = engine->ApplyDelta(delta);
+    if (!applied.ok()) {
+      std::fprintf(stderr, "error: op %zu: %s\n", t,
+                   applied.status().ToString().c_str());
+      return 1;
+    }
+  }
+  const eclipse::MaintenanceStats m = engine->maintenance();
+  std::printf("replayed: %llu delta(s), %llu cache entr(ies) carried, %llu "
+              "merged, %llu dropped, %llu dominance test(s)\n",
+              static_cast<unsigned long long>(m.deltas),
+              static_cast<unsigned long long>(m.entries_carried),
+              static_cast<unsigned long long>(m.entries_merged),
+              static_cast<unsigned long long>(m.entries_dropped),
+              static_cast<unsigned long long>(m.dominance_tests));
+  (void)engine->UnregisterContinuous(*sub);
+  return 0;
+}
 
 void PrintSubPlan(size_t s, const eclipse::QueryPlan& plan) {
   std::printf("  shard %zu: %s%s, epoch %llu, cache %s%s%s (%s)\n", s,
@@ -123,13 +203,20 @@ int RunShardedQuery(const PointSet& original, PointSet data,
     std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
     return 1;
   }
+  if (!serving.stream_trace.empty()) {
+    const int rc =
+        ReplayStream(&engine.value(), box, serving.stream_trace, box.dims());
+    if (rc != 0) return rc;
+  }
   if (explain) {
     eclipse::ShardedQueryPlan plan = engine->Explain(box);
     std::printf("plan: scatter over %zu shard(s) [%s], merge: %s, "
-                "global epoch %llu\n",
+                "global epoch %llu%s\n",
                 plan.num_shards, plan.partitioner.c_str(),
                 plan.merge_path.c_str(),
-                static_cast<unsigned long long>(plan.global_epoch));
+                static_cast<unsigned long long>(plan.global_epoch),
+                plan.answered_incrementally ? ", incremental cache entry"
+                                            : "");
     for (size_t s = 0; s < plan.shard_plans.size(); ++s) {
       PrintSubPlan(s, plan.shard_plans[s]);
     }
@@ -167,10 +254,17 @@ int RunEngineQuery(const PointSet& original, PointSet data,
                                       : " (try: eclipse_cli engines)");
     return 1;
   }
+  if (!serving.stream_trace.empty()) {
+    const int rc =
+        ReplayStream(&engine.value(), box, serving.stream_trace, box.dims());
+    if (rc != 0) return rc;
+  }
   if (explain) {
     eclipse::QueryPlan plan = engine->Explain(box);
-    std::printf("plan: %s%s (%s)\n", plan.engine.c_str(),
+    std::printf("plan: %s%s%s (%s)\n", plan.engine.c_str(),
                 plan.will_build_index ? " [builds index]" : "",
+                plan.answered_incrementally ? " [incremental cache entry]"
+                                            : "",
                 plan.reason.c_str());
     std::printf("simd tier: %s%s%s\n", plan.simd_tier.c_str(),
                 plan.skyline_path.empty() ? "" : ", skyline path: ",
@@ -221,6 +315,13 @@ int main(int argc, char** argv) {
       }
       serving.sharded = true;
       serving.shards = static_cast<size_t>(shards);
+      it = args.erase(it);
+    } else if (it->rfind("--stream=", 0) == 0) {
+      serving.stream_trace = it->substr(strlen("--stream="));
+      if (serving.stream_trace.empty()) {
+        std::fprintf(stderr, "error: --stream wants a trace CSV path\n");
+        return 2;
+      }
       it = args.erase(it);
     } else if (it->rfind("--partitioner=", 0) == 0) {
       auto kind = eclipse::PartitionerKindForName(

@@ -48,16 +48,32 @@ Result<std::shared_ptr<const ColumnarSnapshot>> ColumnarSnapshot::Insert(
         StrFormat("insert of a %zu-dim point into %zu-dim snapshot", p.size(),
                   dims()));
   }
+  const size_t n = size();
+  const size_t d = dims();
   auto snap = std::shared_ptr<ColumnarSnapshot>(new ColumnarSnapshot());
   snap->epoch_ = epoch_ + 1;
-  snap->rows_ = rows_;
-  ECLIPSE_RETURN_IF_ERROR(snap->rows_.Append(p));
-  snap->ids_ = ids_;
+  // The base snapshot already holds both layouts: extend each with single
+  // contiguous copies (exactly once -- reserve first, so no push_back
+  // realloc re-copies) instead of re-transposing the whole matrix.
+  std::vector<double> flat;
+  flat.reserve((n + 1) * d);
+  flat.insert(flat.end(), rows_.data().begin(), rows_.data().end());
+  flat.insert(flat.end(), p.begin(), p.end());
+  ECLIPSE_ASSIGN_OR_RETURN(snap->rows_, PointSet::FromFlat(d,
+                                                           std::move(flat)));
+  snap->columns_.resize(d);
+  for (size_t j = 0; j < d; ++j) {
+    std::vector<double>& col = snap->columns_[j];
+    col.reserve(n + 1);
+    col.insert(col.end(), columns_[j].begin(), columns_[j].end());
+    col.push_back(p[j]);
+  }
+  snap->ids_.reserve(n + 1);
+  snap->ids_.insert(snap->ids_.end(), ids_.begin(), ids_.end());
   snap->ids_.push_back(next_id_);
   snap->next_id_ = next_id_ + 1;
   snap->ids_are_row_indices_ =
-      ids_are_row_indices_ && next_id_ == static_cast<PointId>(size());
-  snap->BuildColumns();
+      ids_are_row_indices_ && next_id_ == static_cast<PointId>(n);
   if (id_out != nullptr) *id_out = next_id_;
   return std::shared_ptr<const ColumnarSnapshot>(std::move(snap));
 }
@@ -78,7 +94,18 @@ Result<std::shared_ptr<const ColumnarSnapshot>> ColumnarSnapshot::Erase(
   flat.insert(flat.end(), data, data + row * d);
   flat.insert(flat.end(), data + (row + 1) * d, data + size() * d);
   ECLIPSE_ASSIGN_OR_RETURN(snap->rows_, PointSet::FromFlat(d, std::move(flat)));
-  snap->BuildColumns();
+  // Columns likewise: two contiguous spans around the erased row, no
+  // re-transpose.
+  snap->columns_.resize(d);
+  for (size_t j = 0; j < d; ++j) {
+    const std::vector<double>& base = columns_[j];
+    std::vector<double>& col = snap->columns_[j];
+    col.reserve(base.size() - 1);
+    col.insert(col.end(), base.begin(),
+               base.begin() + static_cast<ptrdiff_t>(row));
+    col.insert(col.end(), base.begin() + static_cast<ptrdiff_t>(row) + 1,
+               base.end());
+  }
   return std::shared_ptr<const ColumnarSnapshot>(std::move(snap));
 }
 

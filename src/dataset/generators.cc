@@ -86,12 +86,44 @@ const char* DistributionName(Distribution dist) {
       return "ANTI";
     case Distribution::kClustered:
       return "CLUS";
+    case Distribution::kDriftingClusters:
+      return "DRIFT";
   }
   return "unknown";
 }
 
+PointSet GenerateDriftingClusters(size_t n, size_t d, size_t clusters,
+                                  double drift, Rng* rng) {
+  assert(d >= 1 && clusters >= 1);
+  std::vector<std::vector<double>> centers(clusters,
+                                           std::vector<double>(d, 0.0));
+  for (auto& c : centers) {
+    for (auto& v : c) v = rng->Uniform(0.2, 0.8);
+  }
+  std::vector<double> flat;
+  flat.reserve(n * d);
+  for (size_t i = 0; i < n; ++i) {
+    const auto& c = centers[rng->NextIndex(clusters)];
+    for (size_t j = 0; j < d; ++j) {
+      flat.push_back(Clamp01(c[j] + rng->Gaussian(0.0, 0.05)));
+    }
+    // One random-walk step per arrival: by row n the mixture has wandered
+    // O(drift * sqrt(n)) away from where row 0 sampled it.
+    for (auto& center : centers) {
+      for (auto& v : center) {
+        v = std::clamp(v + rng->Gaussian(0.0, drift), 0.0, 1.0);
+      }
+    }
+  }
+  return *PointSet::FromFlat(d, std::move(flat));
+}
+
 PointSet GenerateSynthetic(Distribution dist, size_t n, size_t d, Rng* rng) {
   assert(d >= 1);
+  if (dist == Distribution::kDriftingClusters) {
+    return GenerateDriftingClusters(n, d, /*clusters=*/4, /*drift=*/0.004,
+                                    rng);
+  }
   std::vector<double> flat;
   flat.reserve(n * d);
   std::vector<std::vector<double>> centers;
@@ -112,6 +144,8 @@ PointSet GenerateSynthetic(Distribution dist, size_t n, size_t d, Rng* rng) {
       case Distribution::kClustered:
         AppendClustered(centers, d, rng, &flat);
         break;
+      case Distribution::kDriftingClusters:
+        break;  // handled by the early return above
     }
   }
   auto ps = PointSet::FromFlat(d, std::move(flat));

@@ -11,17 +11,33 @@
 namespace eclipse {
 
 enum class Distribution {
-  kIndependent,     // INDE: uniform, independent dimensions
-  kCorrelated,      // CORR: clustered around the main diagonal
-  kAnticorrelated,  // ANTI: near a hyperplane sum(x) = const, spread across
-                    //       dimensions (good in one dim -> bad in others)
-  kClustered,       // CLUS: Gaussian mixture around a few random centers
+  kIndependent,       // INDE: uniform, independent dimensions
+  kCorrelated,        // CORR: clustered around the main diagonal
+  kAnticorrelated,    // ANTI: near a hyperplane sum(x) = const, spread across
+                      //       dimensions (good in one dim -> bad in others)
+  kClustered,         // CLUS: Gaussian mixture around a few random centers
+  kDriftingClusters,  // DRIFT: timestamp-ordered Gaussian mixture whose
+                      //        centers random-walk as the row index (the
+                      //        "time") advances -- non-stationary data for
+                      //        the streaming benches and tests
 };
 
 const char* DistributionName(Distribution dist);
 
 /// n points, d dimensions, coordinates in [0, 1]. Deterministic given rng.
+/// kDriftingClusters rows are timestamp-ordered: row i is the i-th arrival
+/// of the drifting stream (default drift parameters; see
+/// GenerateDriftingClusters for the knobs).
 PointSet GenerateSynthetic(Distribution dist, size_t n, size_t d, Rng* rng);
+
+/// The drifting-cluster stream with explicit knobs: `clusters` Gaussian
+/// centers each taking one random-walk step of stddev `drift` per emitted
+/// point (clamped inside [0, 1]^d), so the distribution row i is drawn
+/// from differs from the one row 0 was -- replaying rows in order gives a
+/// non-stationary insert stream whose skyline slowly migrates. Standard
+/// deviation of points around their center is 0.05, like kClustered.
+PointSet GenerateDriftingClusters(size_t n, size_t d, size_t clusters,
+                                  double drift, Rng* rng);
 
 }  // namespace eclipse
 

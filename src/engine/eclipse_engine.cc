@@ -58,6 +58,16 @@ bool InsideIndexDomain(const RatioBox& box, size_t data_dims,
   return true;
 }
 
+/// Resolves result-member ids to their rows in `snap` for the delta
+/// maintainer; the captured shared_ptr keeps the rows alive.
+RowLookup RowLookupFor(std::shared_ptr<const ColumnarSnapshot> snap) {
+  return [snap = std::move(snap)](PointId pid) -> const double* {
+    auto row = snap->RowOf(pid);
+    if (!row.ok()) return nullptr;
+    return snap->points()[*row].data();
+  };
+}
+
 PlanInputs MakePlanInputs(const ColumnarSnapshot& snap, const RatioBox& box,
                           bool index_matches_snapshot, size_t eligible_queries,
                           bool index_build_failed,
@@ -173,6 +183,55 @@ QueryPlan ChoosePlan(const PlanInputs& in, const EngineOptions& options) {
   return plan;
 }
 
+std::vector<ResultCache::MaintainableEntry> MaintainEntriesOnInsert(
+    std::vector<ResultCache::MaintainableEntry> entries,
+    const RowLookup& row_of, std::span<const double> p, PointId id,
+    MaintenanceStats* tick) {
+  std::vector<ResultCache::MaintainableEntry> carried;
+  carried.reserve(entries.size());
+  for (auto& entry : entries) {
+    ++tick->entries_examined;
+    auto effect =
+        DeltaMaintainer::OnInsert(entry.box, entry.ids, row_of, p, id);
+    tick->dominance_tests += effect.dominance_tests;
+    switch (effect.outcome) {
+      case DeltaMaintainer::Outcome::kUnchanged:
+        ++tick->entries_carried;
+        carried.push_back(std::move(entry));
+        break;
+      case DeltaMaintainer::Outcome::kMerged:
+        ++tick->entries_merged;
+        DeltaMaintainer::Apply(effect, &entry.ids);
+        carried.push_back(std::move(entry));
+        break;
+      case DeltaMaintainer::Outcome::kRecompute:
+        ++tick->entries_dropped;
+        break;
+    }
+  }
+  return carried;
+}
+
+std::vector<ResultCache::MaintainableEntry> MaintainEntriesOnErase(
+    std::vector<ResultCache::MaintainableEntry> entries, PointId id,
+    MaintenanceStats* tick) {
+  std::vector<ResultCache::MaintainableEntry> carried;
+  carried.reserve(entries.size());
+  for (auto& entry : entries) {
+    ++tick->entries_examined;
+    // Erasing a non-member never changes a result (transitivity through
+    // the skyline); erasing a member falls back to the full recompute.
+    if (DeltaMaintainer::OnErase(entry.ids, id).outcome ==
+        DeltaMaintainer::Outcome::kUnchanged) {
+      ++tick->entries_carried;
+      carried.push_back(std::move(entry));
+    } else {
+      ++tick->entries_dropped;
+    }
+  }
+  return carried;
+}
+
 // All mutable serving state, behind one pointer so the engine stays movable
 // (Result<EclipseEngine> needs a movable value type, and mutexes are not).
 // `mu` guards publication (snapshot/index/counters); `build_mu` serializes
@@ -181,8 +240,12 @@ QueryPlan ChoosePlan(const PlanInputs& in, const EngineOptions& options) {
 struct EclipseEngine::State {
   const EngineOptions options;
   ResultCache cache;
+  ContinuousQueryManager continuous;
 
   mutable std::mutex mu;
+  /// Cumulative delta-maintenance counters; guarded by mu (mutations are
+  /// serialized, readers may be concurrent).
+  MaintenanceStats maintenance_stats;
   std::shared_ptr<const ColumnarSnapshot> snapshot;
   std::shared_ptr<const EclipseIndex> index;
   uint64_t index_epoch = 0;
@@ -237,19 +300,55 @@ struct EclipseEngine::State {
     return Status::OK();
   }
 
-  /// Publishes a freshly built snapshot: the stale index is dropped, the
+  /// Publishes a freshly built snapshot: the stale index is dropped
+  /// (unless the delta test proved it still exact -- `keep_index`), the
   /// failure latch cleared, and the cache invalidated up to the new epoch
   /// (so slow in-flight queries cannot re-park dead-epoch entries).
-  void PublishSnapshot(std::shared_ptr<const ColumnarSnapshot> next) {
+  /// `carried` entries -- results the delta maintainer proved valid for
+  /// the new snapshot -- are re-inserted at the new epoch, least recently
+  /// used first so the LRU order survives the hop.
+  void PublishSnapshot(std::shared_ptr<const ColumnarSnapshot> next,
+                       bool keep_index = false,
+                       std::vector<ResultCache::MaintainableEntry> carried =
+                           {}) {
     const uint64_t epoch = next->epoch();
     {
       std::lock_guard<std::mutex> lock(mu);
       snapshot = std::move(next);
-      index.reset();
-      index_epoch = 0;
+      if (keep_index) {
+        index_epoch = epoch;
+      } else {
+        index.reset();
+        index_epoch = 0;
+      }
       index_build_failed = false;
     }
-    cache.Invalidate(epoch);
+    cache.Republish(epoch, std::move(carried));
+  }
+
+  /// Whether this engine's answers are the exact eclipse sets the delta
+  /// maintainer reasons about (everything but forced TRAN-HD at d >= 3).
+  bool ExactServing(size_t dims) const {
+    if (options.force_engine.empty()) return true;
+    const EngineInfo* info = EngineRegistry::Global().Find(options.force_engine);
+    return info == nullptr || info->exact || dims < 3;
+  }
+
+  bool MaintenanceEnabled(size_t dims) const {
+    return options.incremental_maintenance && ExactServing(dims);
+  }
+
+  /// The configured index query domain as a RatioBox (the box the
+  /// index-preservation test strictly dominates over).
+  Result<RatioBox> IndexDomainBox(size_t dims) const {
+    std::vector<RatioRange> ranges = options.index.domain;
+    if (ranges.empty()) ranges.assign(dims - 1, kDefaultIndexDomainRange);
+    return RatioBox::Make(std::move(ranges));
+  }
+
+  void RecordMaintenance(const MaintenanceStats& tick) {
+    std::lock_guard<std::mutex> lock(mu);
+    maintenance_stats += tick;
   }
 };
 
@@ -327,7 +426,9 @@ QueryPlan EclipseEngine::Explain(const RatioBox& box) const {
   }
   QueryPlan plan = ChoosePlan(inputs, s.options);
   plan.snapshot_epoch = snap->epoch();
-  plan.cache_hit = s.cache.Peek(snap->epoch(), CanonicalBoxKey(box));
+  bool carried = false;
+  plan.cache_hit = s.cache.Peek(snap->epoch(), CanonicalBoxKey(box), &carried);
+  plan.answered_incrementally = plan.cache_hit && carried;
   return plan;
 }
 
@@ -338,22 +439,118 @@ Status EclipseEngine::BuildIndex() {
 }
 
 Result<PointId> EclipseEngine::Insert(std::span<const double> p) {
-  State& s = *state_;
-  std::lock_guard<std::mutex> write_lock(s.write_mu);
-  std::shared_ptr<const ColumnarSnapshot> base = snapshot();
-  PointId id = 0;
-  ECLIPSE_ASSIGN_OR_RETURN(auto next, base->Insert(p, &id));
-  s.PublishSnapshot(std::move(next));
-  return id;
+  return ApplyDelta(InsertDelta(Point(p.begin(), p.end())));
 }
 
 Status EclipseEngine::Erase(PointId id) {
+  auto erased = ApplyDelta(EraseDelta(id));
+  return erased.ok() ? Status::OK() : erased.status();
+}
+
+Result<PointId> EclipseEngine::ApplyDelta(const StreamDelta& delta) {
   State& s = *state_;
   std::lock_guard<std::mutex> write_lock(s.write_mu);
   std::shared_ptr<const ColumnarSnapshot> base = snapshot();
-  ECLIPSE_ASSIGN_OR_RETURN(auto next, base->Erase(id));
-  s.PublishSnapshot(std::move(next));
-  return Status::OK();
+  const bool maintain = s.MaintenanceEnabled(base->dims());
+  MaintenanceStats tick;
+
+  if (delta.kind == StreamDelta::Kind::kInsert) {
+    PointId id = 0;
+    ECLIPSE_ASSIGN_OR_RETURN(auto next, base->Insert(delta.point, &id));
+    const uint64_t epoch = next->epoch();
+    std::vector<ResultCache::MaintainableEntry> carried;
+    bool keep_index = false;
+    if (maintain) {
+      ++tick.deltas;
+      carried = MaintainEntriesOnInsert(
+          s.cache.MaintainableEntries(base->epoch()), RowLookupFor(base),
+          delta.point, id, &tick);
+      bool has_index = false;
+      {
+        std::lock_guard<std::mutex> lock(s.mu);
+        has_index = s.index != nullptr && s.index_epoch == base->epoch();
+      }
+      if (has_index) {
+        // The old index stays exact iff the new point can never enter an
+        // in-domain answer: strict domination over the whole domain box.
+        // (Rows only append on insert, so the index's row indices still
+        // name the same points in the new snapshot.) Dominated arrivals --
+        // the common case -- exit the scan early; a frontier insert pays a
+        // full O(n m) pass and then drops the index anyway, but such an
+        // insert also invalidates the entries it merges into, so the write
+        // was already on the expensive path.
+        auto domain = s.IndexDomainBox(base->dims());
+        if (domain.ok() &&
+            StrictlyDominatedOverBox(*base, *domain, delta.point,
+                                     &tick.dominance_tests)) {
+          keep_index = true;
+          ++tick.index_preserved;
+        }
+      }
+    }
+    s.PublishSnapshot(std::move(next), keep_index, std::move(carried));
+    s.continuous.OnInsert(delta.point, id, epoch, RowLookupFor(base));
+    s.RecordMaintenance(tick);
+    return id;
+  }
+
+  ECLIPSE_ASSIGN_OR_RETURN(auto next, base->Erase(delta.id));
+  const uint64_t epoch = next->epoch();
+  std::vector<ResultCache::MaintainableEntry> carried;
+  if (maintain) {
+    ++tick.deltas;
+    carried = MaintainEntriesOnErase(
+        s.cache.MaintainableEntries(base->epoch()), delta.id, &tick);
+  }
+  std::shared_ptr<const ColumnarSnapshot> post = next;
+  s.PublishSnapshot(std::move(next), /*keep_index=*/false,
+                    std::move(carried));
+  s.continuous.OnErase(
+      delta.id, epoch,
+      [&s, &post](const RatioBox& box) -> Result<std::vector<PointId>> {
+        ECLIPSE_ASSIGN_OR_RETURN(
+            auto ids,
+            EngineRegistry::Global().Run(BestOneShot(post->dims()),
+                                         post->points(), box,
+                                         s.options.algorithm, nullptr));
+        if (!post->ids_are_row_indices()) {
+          for (PointId& rid : ids) rid = post->id(rid);
+        }
+        return ids;
+      });
+  s.RecordMaintenance(tick);
+  return delta.id;
+}
+
+Result<SubscriptionId> EclipseEngine::RegisterContinuous(
+    const RatioBox& box, ContinuousCallback callback) {
+  State& s = *state_;
+  std::lock_guard<std::mutex> write_lock(s.write_mu);
+  if (!s.ExactServing(snapshot()->dims())) {
+    return Status::InvalidArgument(
+        "continuous queries require an exact engine (forced TRAN-HD at "
+        "d >= 3 under-reports)");
+  }
+  ECLIPSE_ASSIGN_OR_RETURN(auto initial, Query(box));
+  return s.continuous.Register(box, std::move(initial), std::move(callback));
+}
+
+Status EclipseEngine::UnregisterContinuous(SubscriptionId id) {
+  return state_->continuous.Unregister(id);
+}
+
+Result<std::vector<PointId>> EclipseEngine::ContinuousResult(
+    SubscriptionId id) const {
+  return state_->continuous.Current(id);
+}
+
+size_t EclipseEngine::continuous_queries() const {
+  return state_->continuous.size();
+}
+
+MaintenanceStats EclipseEngine::maintenance() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->maintenance_stats;
 }
 
 Result<std::vector<PointId>> EclipseEngine::Query(const RatioBox& box,
@@ -415,8 +612,10 @@ Result<std::vector<PointId>> EclipseEngine::Query(const RatioBox& box,
   out->snapshot = snap;
   const std::string key = CanonicalBoxKey(box);
   std::vector<PointId> cached;
-  if (s.cache.Get(snap->epoch(), key, &cached)) {
+  bool carried = false;
+  if (s.cache.Get(snap->epoch(), key, &cached, &carried)) {
     plan.cache_hit = true;
+    plan.answered_incrementally = carried;
     out->plan = std::move(plan);
     out->result_size = cached.size();
     return cached;
@@ -436,7 +635,7 @@ Result<std::vector<PointId>> EclipseEngine::Query(const RatioBox& box,
     if (!snap->ids_are_row_indices()) {
       for (PointId& id : ids.value()) id = snap->id(id);
     }
-    s.cache.Put(snap->epoch(), key, ids.value());
+    s.cache.PutMaintainable(snap->epoch(), key, box, ids.value());
     out->result_size = ids.value().size();
   }
   out->plan = std::move(plan);

@@ -26,6 +26,11 @@
 // A bounded LRU cache keyed by (epoch, canonicalized RatioBox) serves
 // repeat queries without touching a backend; mutations invalidate it
 // structurally (the epoch is part of the key) and eagerly (Clear()).
+// With incremental maintenance (src/stream/, the default) a mutation
+// first runs the delta test on every cached entry and carries forward --
+// possibly merged in place -- each result it provably does not change, so
+// writes stop evicting answers that are still exact; the lazy index
+// likewise survives inserts that are strictly dominated over its domain.
 // Explain() reports the snapshot epoch and whether the query would be a
 // cache hit, without running anything or advancing any state.
 //
@@ -47,6 +52,8 @@
 #include "dataset/columnar.h"
 #include "engine/registry.h"
 #include "engine/result_cache.h"
+#include "stream/continuous.h"
+#include "stream/delta_maintainer.h"
 
 namespace eclipse {
 
@@ -67,6 +74,13 @@ struct EngineOptions {
   bool enable_index = true;
   /// Entries held by the per-engine LRU result cache; 0 disables caching.
   size_t result_cache_capacity = 64;
+  /// Incremental maintenance (src/stream/): mutations run the delta test
+  /// against cached results and carry forward every entry they provably do
+  /// not change (and the lazy index across benign inserts) instead of
+  /// invalidating wholesale. Disabled automatically under an inexact
+  /// forced engine (TRAN-HD at d >= 3), whose cached answers are not the
+  /// exact eclipse sets the delta test reasons about.
+  bool incremental_maintenance = true;
   /// Bypass the cost model and always dispatch to this registry engine
   /// (empty = automatic). Index engines route through the lazily built
   /// index so repeat queries still amortize the build.
@@ -86,6 +100,9 @@ struct QueryPlan {
   uint64_t snapshot_epoch = 0;
   /// The result is (or, for Explain, would be) served from the LRU cache.
   bool cache_hit = false;
+  /// The served cache entry survived >= 1 mutation through the delta
+  /// maintainer (src/stream/) instead of being recomputed.
+  bool answered_incrementally = false;
   /// Skyline backend the chosen engine's transformation stage runs
   /// ("flat-sfs", "flat-parallel-merge", "sort-sweep-2d", ...); empty for
   /// engines with no skyline stage (BASE, index engines).
@@ -115,6 +132,52 @@ struct PlanInputs {
 
 /// The explicit cost model: pure function from inputs to plan.
 QueryPlan ChoosePlan(const PlanInputs& in, const EngineOptions& options);
+
+/// Cumulative delta-maintenance counters (engine and sharded level; see
+/// src/stream/). Read through maintenance(); reported by the CLI and the
+/// streaming bench.
+struct MaintenanceStats {
+  /// Mutations processed with maintenance enabled.
+  uint64_t deltas = 0;
+  /// Cache entries the delta test examined across all mutations.
+  uint64_t entries_examined = 0;
+  /// Entries proven unchanged and carried to the successor epoch as-is.
+  uint64_t entries_carried = 0;
+  /// Entries updated in place (non-dominated insert merged into them).
+  uint64_t entries_merged = 0;
+  /// Entries dropped to the full recompute path (member erased).
+  uint64_t entries_dropped = 0;
+  /// Embedding dominance tests spent by the delta tests.
+  uint64_t dominance_tests = 0;
+  /// Mutations that kept the lazy index alive (insert strictly dominated
+  /// over the index domain). Always 0 at the sharded level (the sharded
+  /// cache has no index; per-shard engines count their own).
+  uint64_t index_preserved = 0;
+
+  MaintenanceStats& operator+=(const MaintenanceStats& other) {
+    deltas += other.deltas;
+    entries_examined += other.entries_examined;
+    entries_carried += other.entries_carried;
+    entries_merged += other.entries_merged;
+    entries_dropped += other.entries_dropped;
+    dominance_tests += other.dominance_tests;
+    index_preserved += other.index_preserved;
+    return *this;
+  }
+};
+
+/// The shared delta-maintenance drivers behind EclipseEngine::ApplyDelta
+/// and ShardedEclipseEngine::ApplyDelta: run the delta test on every
+/// maintainable cache entry, returning the survivors (merges applied in
+/// place) and ticking `tick`. The caller re-Puts survivors under the
+/// successor epoch. `p` must match the entries' dimensionality.
+std::vector<ResultCache::MaintainableEntry> MaintainEntriesOnInsert(
+    std::vector<ResultCache::MaintainableEntry> entries,
+    const RowLookup& row_of, std::span<const double> p, PointId id,
+    MaintenanceStats* tick);
+std::vector<ResultCache::MaintainableEntry> MaintainEntriesOnErase(
+    std::vector<ResultCache::MaintainableEntry> entries, PointId id,
+    MaintenanceStats* tick);
 
 /// The shared batched-admission driver behind EclipseEngine::QueryBatch and
 /// ShardedEclipseEngine::QueryBatch: fans queries [0, count) out as chunks
@@ -169,12 +232,39 @@ class EclipseEngine {
   /// built for it).
   Status BuildIndex();
 
-  /// Copy-on-write mutations: publish a snapshot with epoch + 1, drop the
-  /// (now stale) index, and invalidate the result cache. In-flight queries
-  /// keep serving from the epoch they captured. Insert returns the new
-  /// point's stable id; Erase takes a stable id (NotFound if absent).
+  /// Copy-on-write mutations: publish a snapshot with epoch + 1. With
+  /// incremental maintenance (the default) the mutation runs the delta
+  /// test first and carries forward every cache entry -- and, for benign
+  /// inserts, the lazy index -- it provably does not change; everything
+  /// else is invalidated as before. In-flight queries keep serving from
+  /// the epoch they captured. Insert returns the new point's stable id;
+  /// Erase takes a stable id (NotFound if absent). Both are sugar over
+  /// ApplyDelta.
   Result<PointId> Insert(std::span<const double> p);
   Status Erase(PointId id);
+
+  /// The streaming mutation entry point: applies one delta (insert or
+  /// erase), maintains cached results and standing queries, and returns
+  /// the affected stable id (the minted id for inserts, the erased id for
+  /// erases). Serialized with all other mutations.
+  Result<PointId> ApplyDelta(const StreamDelta& delta);
+
+  /// Registers a standing (continuous) query: the callback receives an
+  /// {added, removed} stable-id diff whenever a mutation changes the
+  /// box's answer. The initial result is computed on registration (and
+  /// retrievable via ContinuousResult); registration is atomic with
+  /// respect to mutations, so no delta is missed or double-counted.
+  Result<SubscriptionId> RegisterContinuous(const RatioBox& box,
+                                            ContinuousCallback callback);
+  Status UnregisterContinuous(SubscriptionId id);
+  /// The standing query's current result (NotFound after unregister).
+  Result<std::vector<PointId>> ContinuousResult(SubscriptionId id) const;
+  /// Standing queries currently registered.
+  size_t continuous_queries() const;
+
+  /// Cumulative delta-maintenance counters (zeros when maintenance never
+  /// ran).
+  MaintenanceStats maintenance() const;
 
   /// The snapshot a query issued right now would capture.
   std::shared_ptr<const ColumnarSnapshot> snapshot() const;

@@ -40,7 +40,7 @@ std::string ResultCache::FullKey(uint64_t epoch, const std::string& key) {
 }
 
 bool ResultCache::Get(uint64_t epoch, const std::string& key,
-                      std::vector<PointId>* out) {
+                      std::vector<PointId>* out, bool* carried) {
   if (capacity_ == 0) return false;
   const std::string full = FullKey(epoch, key);
   std::lock_guard<std::mutex> lock(mu_);
@@ -56,18 +56,36 @@ bool ResultCache::Get(uint64_t epoch, const std::string& key,
   lru_.splice(lru_.begin(), lru_, it->second);
   ++hits_;
   *out = it->second->ids;
+  if (carried != nullptr) *carried = it->second->carried;
   return true;
 }
 
-bool ResultCache::Peek(uint64_t epoch, const std::string& key) const {
+bool ResultCache::Peek(uint64_t epoch, const std::string& key,
+                       bool* carried) const {
   if (capacity_ == 0) return false;
   const std::string full = FullKey(epoch, key);
   std::lock_guard<std::mutex> lock(mu_);
-  return epoch >= min_epoch_ && index_.find(full) != index_.end();
+  if (epoch < min_epoch_) return false;
+  auto it = index_.find(full);
+  if (it == index_.end()) return false;
+  if (carried != nullptr) *carried = it->second->carried;
+  return true;
 }
 
 void ResultCache::Put(uint64_t epoch, const std::string& key,
                       std::vector<PointId> ids) {
+  PutImpl(epoch, key, std::move(ids), nullptr, false);
+}
+
+void ResultCache::PutMaintainable(uint64_t epoch, const std::string& key,
+                                  const RatioBox& box,
+                                  std::vector<PointId> ids, bool carried) {
+  PutImpl(epoch, key, std::move(ids), &box, carried);
+}
+
+void ResultCache::PutImpl(uint64_t epoch, const std::string& key,
+                          std::vector<PointId> ids, const RatioBox* box,
+                          bool carried) {
   if (capacity_ == 0) return;
   std::string full = FullKey(epoch, key);
   std::lock_guard<std::mutex> lock(mu_);
@@ -77,15 +95,43 @@ void ResultCache::Put(uint64_t epoch, const std::string& key,
   auto it = index_.find(full);
   if (it != index_.end()) {
     it->second->ids = std::move(ids);
+    if (box != nullptr) it->second->box = *box;
+    it->second->carried = carried;
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
-  lru_.push_front(Entry{full, std::move(ids)});
+  Entry entry{full, std::move(ids), std::nullopt, epoch, carried};
+  if (box != nullptr) entry.box = *box;
+  lru_.push_front(std::move(entry));
   index_[std::move(full)] = lru_.begin();
   while (lru_.size() > capacity_) {
     index_.erase(lru_.back().key);
     lru_.pop_back();
   }
+}
+
+void ResultCache::Republish(uint64_t epoch,
+                            std::vector<MaintainableEntry> carried) {
+  Invalidate(epoch);
+  for (auto it = carried.rbegin(); it != carried.rend(); ++it) {
+    PutMaintainable(epoch, it->key, it->box, std::move(it->ids),
+                    /*carried=*/true);
+  }
+}
+
+std::vector<ResultCache::MaintainableEntry> ResultCache::MaintainableEntries(
+    uint64_t epoch) const {
+  std::vector<MaintainableEntry> entries;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (epoch < min_epoch_) return entries;
+  for (const Entry& e : lru_) {
+    if (e.epoch != epoch || !e.box.has_value()) continue;
+    // Strip the "epoch@" prefix back off: callers re-qualify with the
+    // successor epoch on re-Put.
+    const size_t at = e.key.find('@');
+    entries.push_back(MaintainableEntry{e.key.substr(at + 1), *e.box, e.ids});
+  }
+  return entries;
 }
 
 void ResultCache::Invalidate(uint64_t min_epoch) {

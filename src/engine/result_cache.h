@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <list>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -39,18 +40,49 @@ class ResultCache {
   explicit ResultCache(size_t capacity) : capacity_(capacity) {}
 
   /// Copies the cached ids into *out and promotes the entry to
-  /// most-recently-used. Counts a hit or miss.
-  bool Get(uint64_t epoch, const std::string& key, std::vector<PointId>* out);
+  /// most-recently-used. Counts a hit or miss. `carried` (optional)
+  /// reports whether the entry was carried across a mutation by the delta
+  /// maintainer rather than freshly computed.
+  bool Get(uint64_t epoch, const std::string& key, std::vector<PointId>* out,
+           bool* carried = nullptr);
 
   /// True iff (epoch, key) is cached; touches neither LRU order nor the
-  /// hit/miss counters (Explain() must stay side-effect free).
-  bool Peek(uint64_t epoch, const std::string& key) const;
+  /// hit/miss counters (Explain() must stay side-effect free). `carried`
+  /// as in Get.
+  bool Peek(uint64_t epoch, const std::string& key,
+            bool* carried = nullptr) const;
 
   /// Inserts or refreshes the entry, evicting the least recently used
   /// entries beyond capacity. Entries below the invalidation floor are
   /// dropped on the floor: a slow query that captured an old snapshot must
   /// not re-populate dead epochs after Invalidate().
   void Put(uint64_t epoch, const std::string& key, std::vector<PointId> ids);
+
+  /// Put, additionally remembering the entry's query box so the delta
+  /// maintainer can re-validate it across mutations. `carried` marks
+  /// entries the maintainer moved forward (vs freshly computed answers).
+  void PutMaintainable(uint64_t epoch, const std::string& key,
+                       const RatioBox& box, std::vector<PointId> ids,
+                       bool carried = false);
+
+  /// A maintainable entry at the moment of a snapshot: the canonical box
+  /// key, the query box, and the cached exact result.
+  struct MaintainableEntry {
+    std::string key;
+    RatioBox box;
+    std::vector<PointId> ids;
+  };
+
+  /// Every entry at `epoch` that carries a box, most-recently-used first.
+  /// The mutation path runs the delta test on each and republishes the
+  /// survivors at the successor epoch.
+  std::vector<MaintainableEntry> MaintainableEntries(uint64_t epoch) const;
+
+  /// The carry protocol's commit step, single-sourced for the engine and
+  /// sharded mutation paths: Invalidate(epoch), then re-insert `carried`
+  /// under `epoch` marked carried, least recently used first so the LRU
+  /// order survives the hop.
+  void Republish(uint64_t epoch, std::vector<MaintainableEntry> carried);
 
   /// The mutation path: drops every entry and raises the epoch floor --
   /// Put/Get/Peek below `min_epoch` become no-ops/misses. Counters are
@@ -69,9 +101,18 @@ class ResultCache {
   struct Entry {
     std::string key;  // epoch-qualified
     std::vector<PointId> ids;
+    /// The query box, kept for delta maintenance (absent = entry cannot be
+    /// carried across mutations).
+    std::optional<RatioBox> box;
+    uint64_t epoch = 0;
+    /// Carried across >= 1 mutation by the delta maintainer.
+    bool carried = false;
   };
 
   static std::string FullKey(uint64_t epoch, const std::string& key);
+
+  void PutImpl(uint64_t epoch, const std::string& key,
+               std::vector<PointId> ids, const RatioBox* box, bool carried);
 
   const size_t capacity_;
   mutable std::mutex mu_;

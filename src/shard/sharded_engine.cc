@@ -35,6 +35,9 @@ struct ShardedEclipseEngine::State {
   Partitioner partitioner;
   std::vector<EclipseEngine> shards;
   ResultCache cache;
+  ContinuousQueryManager continuous;
+  /// Sharded-level delta-maintenance counters; guarded by map_mu.
+  MaintenanceStats maintenance_stats;
 
   mutable std::mutex map_mu;
   /// Per shard, local id -> global id. Append-only and strictly
@@ -71,6 +74,47 @@ struct ShardedEclipseEngine::State {
             ? "single-shard passthrough"
             : CrossShardMergePathName(box, options.engine.algorithm);
     return plan;
+  }
+
+  /// Whether the per-shard engines return the exact eclipse sets the
+  /// delta maintainer reasons about (everything but forced TRAN-HD at
+  /// d >= 3; mirrors EclipseEngine's own gate).
+  bool ExactServing() const {
+    if (options.engine.force_engine.empty()) return true;
+    const EngineInfo* info =
+        EngineRegistry::Global().Find(options.engine.force_engine);
+    return info == nullptr || info->exact ||
+           shards.front().snapshot()->dims() < 3;
+  }
+
+  bool MaintenanceEnabled() const {
+    return options.engine.incremental_maintenance && ExactServing();
+  }
+
+  /// Resolves a GLOBAL result-member id to its raw row for the delta
+  /// maintainer. Must only be called while write_mu is held: mutations are
+  /// the only writers of global_loc, so holding write_mu makes the map
+  /// read race-free without re-taking map_mu per member, and the shard
+  /// snapshots -- pinned once per shard so the returned pointers outlive
+  /// the caller's use -- cannot be republished mid-lookup.
+  RowLookup GlobalRowLookup() {
+    auto pins = std::make_shared<
+        std::vector<std::shared_ptr<const ColumnarSnapshot>>>(shards.size());
+    return [this, pins](PointId gid) -> const double* {
+      auto it = global_loc.find(gid);
+      if (it == global_loc.end()) return nullptr;
+      const ShardLoc loc = it->second;
+      std::shared_ptr<const ColumnarSnapshot>& snap = (*pins)[loc.shard];
+      if (snap == nullptr) snap = shards[loc.shard].snapshot();
+      auto row = snap->RowOf(loc.local);
+      if (!row.ok()) return nullptr;
+      return snap->points()[*row].data();
+    };
+  }
+
+  void RecordMaintenance(const MaintenanceStats& tick) {
+    std::lock_guard<std::mutex> lock(map_mu);
+    maintenance_stats += tick;
   }
 
   /// Translates one shard's ascending local result list to ascending
@@ -192,7 +236,10 @@ const ResultCache& ShardedEclipseEngine::cache() const {
 ShardedQueryPlan ShardedEclipseEngine::Explain(const RatioBox& box) const {
   State& s = *state_;
   ShardedQueryPlan plan = s.PlanHeader(box);
-  plan.cache_hit = s.cache.Peek(plan.global_epoch, CanonicalBoxKey(box));
+  bool carried = false;
+  plan.cache_hit =
+      s.cache.Peek(plan.global_epoch, CanonicalBoxKey(box), &carried);
+  plan.answered_incrementally = plan.cache_hit && carried;
   plan.shard_plans.reserve(plan.num_shards);
   for (const EclipseEngine& shard : s.shards) {
     plan.shard_plans.push_back(shard.Explain(box));
@@ -214,8 +261,10 @@ Result<std::vector<PointId>> ShardedEclipseEngine::Query(
 
   const std::string key = CanonicalBoxKey(box);
   std::vector<PointId> cached;
-  if (s.cache.Get(plan.global_epoch, key, &cached)) {
+  bool carried = false;
+  if (s.cache.Get(plan.global_epoch, key, &cached, &carried)) {
     plan.cache_hit = true;
+    plan.answered_incrementally = carried;
     out->result_size = cached.size();
     return cached;
   }
@@ -289,7 +338,7 @@ Result<std::vector<PointId>> ShardedEclipseEngine::Query(
                                          &out->merge_counters));
   }
 
-  s.cache.Put(plan.global_epoch, key, merged);
+  s.cache.PutMaintainable(plan.global_epoch, key, box, merged);
   out->result_size = merged.size();
   return merged;
 }
@@ -301,53 +350,136 @@ Result<std::vector<std::vector<PointId>>> ShardedEclipseEngine::QueryBatch(
 }
 
 Result<PointId> ShardedEclipseEngine::Insert(std::span<const double> p) {
-  State& s = *state_;
-  std::lock_guard<std::mutex> write_lock(s.write_mu);
-  PointId global = 0;
-  {
-    std::lock_guard<std::mutex> lock(s.map_mu);
-    global = s.next_global_id;
-  }
-  const uint32_t sh = s.partitioner.Route(p, global);
-  ECLIPSE_ASSIGN_OR_RETURN(const PointId local, s.shards[sh].Insert(p));
-  uint64_t epoch = 0;
-  {
-    std::lock_guard<std::mutex> lock(s.map_mu);
-    if (local != s.local_to_global[sh].size()) {
-      return Status::Internal(
-          StrFormat("shard %u minted local id %u, expected %zu", sh, local,
-                    s.local_to_global[sh].size()));
-    }
-    s.local_to_global[sh].push_back(global);
-    s.global_loc[global] = {sh, local};
-    ++s.next_global_id;
-    epoch = ++s.global_epoch;
-  }
-  s.cache.Invalidate(epoch);
-  return global;
+  return ApplyDelta(InsertDelta(Point(p.begin(), p.end())));
 }
 
 Status ShardedEclipseEngine::Erase(PointId id) {
+  auto erased = ApplyDelta(EraseDelta(id));
+  return erased.ok() ? Status::OK() : erased.status();
+}
+
+Result<PointId> ShardedEclipseEngine::ApplyDelta(const StreamDelta& delta) {
   State& s = *state_;
   std::lock_guard<std::mutex> write_lock(s.write_mu);
+  const bool maintain = s.MaintenanceEnabled();
+  MaintenanceStats tick;
+  uint64_t old_epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(s.map_mu);
+    old_epoch = s.global_epoch;
+  }
+
+  if (delta.kind == StreamDelta::Kind::kInsert) {
+    // Validate dimensionality BEFORE the delta tests: the maintainer
+    // embeds the point, and a short row must fail cleanly here rather
+    // than read out of bounds (the per-shard engine would reject it
+    // anyway, but only after the maintain pass).
+    if (delta.point.size() != s.shards.front().snapshot()->dims()) {
+      return Status::InvalidArgument(
+          StrFormat("insert of a %zu-dim point into %zu-dim engine",
+                    delta.point.size(),
+                    s.shards.front().snapshot()->dims()));
+    }
+    PointId global = 0;
+    {
+      std::lock_guard<std::mutex> lock(s.map_mu);
+      global = s.next_global_id;
+    }
+    // Pre-mutation: delta-test every sharded-level merged result against
+    // the incoming point. The maintained GLOBAL results obey the same
+    // skyline math as a single engine's, so carried entries stay exact.
+    std::vector<ResultCache::MaintainableEntry> carried;
+    if (maintain) {
+      ++tick.deltas;
+      carried = MaintainEntriesOnInsert(s.cache.MaintainableEntries(old_epoch),
+                                        s.GlobalRowLookup(), delta.point,
+                                        global, &tick);
+    }
+    const uint32_t sh = s.partitioner.Route(delta.point, global);
+    ECLIPSE_ASSIGN_OR_RETURN(const PointId local,
+                             s.shards[sh].Insert(delta.point));
+    uint64_t epoch = 0;
+    {
+      std::lock_guard<std::mutex> lock(s.map_mu);
+      if (local != s.local_to_global[sh].size()) {
+        return Status::Internal(
+            StrFormat("shard %u minted local id %u, expected %zu", sh, local,
+                      s.local_to_global[sh].size()));
+      }
+      s.local_to_global[sh].push_back(global);
+      s.global_loc[global] = {sh, local};
+      ++s.next_global_id;
+      epoch = ++s.global_epoch;
+    }
+    s.cache.Republish(epoch, std::move(carried));
+    s.continuous.OnInsert(delta.point, global, epoch, s.GlobalRowLookup());
+    s.RecordMaintenance(tick);
+    return global;
+  }
+
   ShardLoc loc;
   {
     std::lock_guard<std::mutex> lock(s.map_mu);
-    auto it = s.global_loc.find(id);
+    auto it = s.global_loc.find(delta.id);
     if (it == s.global_loc.end()) {
-      return Status::NotFound(StrFormat("no live point with id %u", id));
+      return Status::NotFound(StrFormat("no live point with id %u",
+                                        delta.id));
     }
     loc = it->second;
+  }
+  std::vector<ResultCache::MaintainableEntry> carried;
+  if (maintain) {
+    ++tick.deltas;
+    carried = MaintainEntriesOnErase(s.cache.MaintainableEntries(old_epoch),
+                                     delta.id, &tick);
   }
   ECLIPSE_RETURN_IF_ERROR(s.shards[loc.shard].Erase(loc.local));
   uint64_t epoch = 0;
   {
     std::lock_guard<std::mutex> lock(s.map_mu);
-    s.global_loc.erase(id);
+    s.global_loc.erase(delta.id);
     epoch = ++s.global_epoch;
   }
-  s.cache.Invalidate(epoch);
-  return Status::OK();
+  s.cache.Republish(epoch, std::move(carried));
+  // Standing queries that lost a member re-merge through the full
+  // scatter-gather path. Safe under write_mu: the maps are fully
+  // published, so no sub-result can hit the translate-retry path (which
+  // would re-acquire write_mu).
+  s.continuous.OnErase(delta.id, epoch,
+                       [this](const RatioBox& box) { return Query(box); });
+  s.RecordMaintenance(tick);
+  return delta.id;
+}
+
+Result<SubscriptionId> ShardedEclipseEngine::RegisterContinuous(
+    const RatioBox& box, ContinuousCallback callback) {
+  State& s = *state_;
+  std::lock_guard<std::mutex> write_lock(s.write_mu);
+  if (!s.ExactServing()) {
+    return Status::InvalidArgument(
+        "continuous queries require an exact engine (forced TRAN-HD at "
+        "d >= 3 under-reports)");
+  }
+  ECLIPSE_ASSIGN_OR_RETURN(auto initial, Query(box));
+  return s.continuous.Register(box, std::move(initial), std::move(callback));
+}
+
+Status ShardedEclipseEngine::UnregisterContinuous(SubscriptionId id) {
+  return state_->continuous.Unregister(id);
+}
+
+Result<std::vector<PointId>> ShardedEclipseEngine::ContinuousResult(
+    SubscriptionId id) const {
+  return state_->continuous.Current(id);
+}
+
+size_t ShardedEclipseEngine::continuous_queries() const {
+  return state_->continuous.size();
+}
+
+MaintenanceStats ShardedEclipseEngine::maintenance() const {
+  std::lock_guard<std::mutex> lock(state_->map_mu);
+  return state_->maintenance_stats;
 }
 
 }  // namespace eclipse

@@ -75,6 +75,9 @@ struct ShardedQueryPlan {
   /// The merged result is (or, for Explain, would be) served from the
   /// sharded-level LRU without scattering.
   bool cache_hit = false;
+  /// The served sharded-level entry was carried across >= 1 mutation by
+  /// the delta maintainer (src/stream/) instead of re-merged.
+  bool answered_incrementally = false;
   /// How gathered winners are filtered ("corner-embed + flat skyline");
   /// "single-shard passthrough" when S == 1 needs no merge.
   std::string merge_path;
@@ -119,10 +122,31 @@ class ShardedEclipseEngine {
 
   /// Routes the point through the partitioner, inserts it into that shard,
   /// and returns its global id -- the same id a single engine would mint.
+  /// A mutation touches ONLY the owning shard (its engine runs its own
+  /// delta maintenance) plus the sharded-level cache, where the delta test
+  /// carries forward every merged result the mutation provably does not
+  /// change -- the other S - 1 shards' caches and indexes are untouched.
   Result<PointId> Insert(std::span<const double> p);
 
   /// Erases by global id; NotFound if absent or already erased.
   Status Erase(PointId id);
+
+  /// The streaming mutation entry point (insert or erase by global id);
+  /// Insert/Erase are sugar over this. Returns the affected global id.
+  Result<PointId> ApplyDelta(const StreamDelta& delta);
+
+  /// Registers a standing query over the GLOBAL dataset: the callback
+  /// receives {added, removed} global-id diffs whenever a mutation changes
+  /// the box's merged answer. Registration is atomic w.r.t. mutations.
+  Result<SubscriptionId> RegisterContinuous(const RatioBox& box,
+                                            ContinuousCallback callback);
+  Status UnregisterContinuous(SubscriptionId id);
+  Result<std::vector<PointId>> ContinuousResult(SubscriptionId id) const;
+  size_t continuous_queries() const;
+
+  /// Sharded-level delta-maintenance counters (per-shard counters live on
+  /// the shard engines' own maintenance()).
+  MaintenanceStats maintenance() const;
 
   size_t num_shards() const;
   /// Live points across all shards.

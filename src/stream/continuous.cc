@@ -1,0 +1,108 @@
+#include "stream/continuous.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace eclipse {
+
+SubscriptionId ContinuousQueryManager::Register(RatioBox box,
+                                                std::vector<PointId> initial,
+                                                ContinuousCallback callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const SubscriptionId id = next_id_++;
+  subscriptions_.emplace(
+      id, Subscription{std::move(box), std::move(initial),
+                       std::move(callback)});
+  return id;
+}
+
+Status ContinuousQueryManager::Unregister(SubscriptionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (subscriptions_.erase(id) == 0) {
+    return Status::NotFound("no such subscription");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<PointId>> ContinuousQueryManager::Current(
+    SubscriptionId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = subscriptions_.find(id);
+  if (it == subscriptions_.end()) {
+    return Status::NotFound("no such subscription");
+  }
+  return it->second.result;
+}
+
+size_t ContinuousQueryManager::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return subscriptions_.size();
+}
+
+ContinuousQueryManager::Stats ContinuousQueryManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+template <typename PerSubscription>
+std::vector<ContinuousQueryManager::PendingEvent>
+ContinuousQueryManager::CollectEvents(const PerSubscription& apply) {
+  std::vector<PendingEvent> events;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.deltas_processed;
+  for (auto& [id, sub] : subscriptions_) {
+    ContinuousDelta delta;
+    if (!apply(&sub, &delta)) continue;
+    ++stats_.events_emitted;
+    events.push_back(PendingEvent{id, sub.callback, std::move(delta)});
+  }
+  return events;
+}
+
+void ContinuousQueryManager::OnInsert(std::span<const double> p, PointId id,
+                                      uint64_t epoch,
+                                      const RowLookup& row_of) {
+  auto events = CollectEvents([&](Subscription* sub, ContinuousDelta* out) {
+    auto effect =
+        DeltaMaintainer::OnInsert(sub->box, sub->result, row_of, p, id);
+    stats_.dominance_tests += effect.dominance_tests;
+    if (effect.outcome != DeltaMaintainer::Outcome::kMerged) {
+      // kRecompute only surfaces when row_of fails, which cannot happen for
+      // standing queries (members are live pre-mutation rows); treat it
+      // like kUnchanged rather than crash the mutation path.
+      return false;
+    }
+    DeltaMaintainer::Apply(effect, &sub->result);
+    out->epoch = epoch;
+    out->added = std::move(effect.added);
+    out->removed = std::move(effect.removed);
+    return true;
+  });
+  for (const PendingEvent& event : events) {
+    event.callback(event.id, event.delta);
+  }
+}
+
+void ContinuousQueryManager::OnErase(PointId id, uint64_t epoch,
+                                     const RecomputeFn& recompute) {
+  auto events = CollectEvents([&](Subscription* sub, ContinuousDelta* out) {
+    auto effect = DeltaMaintainer::OnErase(sub->result, id);
+    if (effect.outcome == DeltaMaintainer::Outcome::kUnchanged) return false;
+    ++stats_.recomputes;
+    auto fresh = recompute(sub->box);
+    std::vector<PointId> next =
+        fresh.ok() ? std::move(fresh).value() : std::vector<PointId>{};
+    out->epoch = epoch;
+    std::set_difference(next.begin(), next.end(), sub->result.begin(),
+                        sub->result.end(), std::back_inserter(out->added));
+    std::set_difference(sub->result.begin(), sub->result.end(), next.begin(),
+                        next.end(), std::back_inserter(out->removed));
+    sub->result = std::move(next);
+    return !out->added.empty() || !out->removed.empty();
+  });
+  for (const PendingEvent& event : events) {
+    event.callback(event.id, event.delta);
+  }
+}
+
+}  // namespace eclipse

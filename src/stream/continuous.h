@@ -1,0 +1,122 @@
+// ContinuousQueryManager: standing eclipse queries with subscriber diffs.
+//
+// A subscriber registers a ratio box once and from then on receives
+// {added, removed} stable-id diffs whenever a mutation changes that box's
+// answer -- the continuous-query model of the streaming skyline literature,
+// built on the same DeltaMaintainer primitive the result cache uses:
+//
+//   * Insert: the delta test decides locally. Dominated point -> no event;
+//     otherwise the merge is applied in place and one event is emitted.
+//   * Erase of a non-member -> no event. Erase of a member -> the manager
+//     invokes the caller-supplied RecomputeFn (the owning engine's full
+//     flat-skyline path over the post-mutation snapshot) and emits the diff
+//     of old vs new.
+//
+// Threading contract: OnInsert/OnErase must be externally serialized (the
+// owning engine's write lock does this -- mutations are already
+// linearizable), while Register/Unregister/Current may be called from any
+// thread at any time. Callbacks are invoked OUTSIDE the manager's lock but
+// inside the caller's mutation critical section, so a subscriber sees its
+// events in mutation order; a callback may still fire for a delta already
+// in flight when Unregister returns.
+
+#ifndef ECLIPSE_STREAM_CONTINUOUS_H_
+#define ECLIPSE_STREAM_CONTINUOUS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "core/ratio_box.h"
+#include "stream/delta_maintainer.h"
+
+namespace eclipse {
+
+using SubscriptionId = uint64_t;
+
+/// One emitted diff: the ids entering and leaving a standing query's
+/// result, and the dataset epoch the diff brings the subscriber to.
+struct ContinuousDelta {
+  uint64_t epoch = 0;
+  std::vector<PointId> added;
+  std::vector<PointId> removed;
+};
+
+using ContinuousCallback =
+    std::function<void(SubscriptionId, const ContinuousDelta&)>;
+
+/// Recomputes the exact result for a box against the POST-mutation dataset;
+/// supplied by the owning engine on the erase fallback path.
+using RecomputeFn =
+    std::function<Result<std::vector<PointId>>(const RatioBox&)>;
+
+class ContinuousQueryManager {
+ public:
+  /// Cumulative counters (returned by value; safe against concurrent
+  /// mutations).
+  struct Stats {
+    uint64_t deltas_processed = 0;
+    uint64_t events_emitted = 0;
+    uint64_t recomputes = 0;
+    uint64_t dominance_tests = 0;
+  };
+
+  /// Registers a standing query whose current exact result is `initial`
+  /// (ascending stable ids). The callback fires on every future change.
+  SubscriptionId Register(RatioBox box, std::vector<PointId> initial,
+                          ContinuousCallback callback);
+
+  /// NotFound if the id was never issued or already unregistered.
+  Status Unregister(SubscriptionId id);
+
+  /// The standing query's current result; NotFound after Unregister.
+  Result<std::vector<PointId>> Current(SubscriptionId id) const;
+
+  size_t size() const;
+  Stats stats() const;
+
+  /// Feeds one applied insert (p now lives under stable id `id`; the
+  /// dataset is at `epoch`). `row_of` resolves PRE-mutation member rows.
+  /// Must be serialized with OnErase by the caller.
+  void OnInsert(std::span<const double> p, PointId id, uint64_t epoch,
+                const RowLookup& row_of);
+
+  /// Feeds one applied erase. Standing queries that held `id` are
+  /// recomputed through `recompute`; a failed recompute empties that
+  /// query's result and reports everything as removed (the subscriber can
+  /// re-register to resync).
+  void OnErase(PointId id, uint64_t epoch, const RecomputeFn& recompute);
+
+ private:
+  struct Subscription {
+    RatioBox box;
+    std::vector<PointId> result;
+    ContinuousCallback callback;
+  };
+
+  struct PendingEvent {
+    SubscriptionId id = 0;
+    ContinuousCallback callback;
+    ContinuousDelta delta;
+  };
+
+  /// Applies one mutation to every subscription under mu_, returning the
+  /// events to fire after unlock.
+  template <typename PerSubscription>
+  std::vector<PendingEvent> CollectEvents(const PerSubscription& apply);
+
+  mutable std::mutex mu_;
+  /// Ordered map: events for one mutation fire in subscription-id order,
+  /// so runs are deterministic.
+  std::map<SubscriptionId, Subscription> subscriptions_;
+  SubscriptionId next_id_ = 1;
+  Stats stats_;
+};
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_STREAM_CONTINUOUS_H_

@@ -1,0 +1,135 @@
+#include "stream/delta_maintainer.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/corner_kernel.h"
+#include "skyline/simd_dominance.h"
+
+namespace eclipse {
+
+StreamDelta InsertDelta(Point p) {
+  StreamDelta delta;
+  delta.kind = StreamDelta::Kind::kInsert;
+  delta.point = std::move(p);
+  return delta;
+}
+
+StreamDelta EraseDelta(PointId id) {
+  StreamDelta delta;
+  delta.kind = StreamDelta::Kind::kErase;
+  delta.id = id;
+  return delta;
+}
+
+DeltaMaintainer::Effect DeltaMaintainer::OnInsert(
+    const RatioBox& box, std::span<const PointId> result,
+    const RowLookup& row_of, std::span<const double> p, PointId id) {
+  Effect effect;
+  if (p.size() != box.dims()) {
+    // A malformed point cannot be embedded; callers validate dimensionality
+    // before maintaining, so this is a belt-and-braces fallback, not UB.
+    effect.outcome = Outcome::kRecompute;
+    return effect;
+  }
+  const CornerKernel kernel(box);
+  const size_t m = kernel.embedding_dims();
+
+  std::vector<double> p_row(m);
+  kernel.EmbedInto(p, p_row.data());
+
+  // Pass 1: embed members lazily, stop at the first one dominating p. The
+  // embeddings computed on the way are kept for pass 2.
+  std::vector<double> member_rows(result.size() * m);
+  size_t embedded = 0;
+  for (; embedded < result.size(); ++embedded) {
+    const double* coords = row_of(result[embedded]);
+    if (coords == nullptr) {
+      effect.outcome = Outcome::kRecompute;
+      return effect;
+    }
+    double* row = member_rows.data() + embedded * m;
+    kernel.EmbedInto(std::span<const double>(coords, box.dims()), row);
+    ++effect.dominance_tests;
+    if (DominatesRow(row, p_row.data(), m)) {
+      effect.outcome = Outcome::kUnchanged;
+      return effect;
+    }
+  }
+
+  // No member dominates p: p enters, evicting exactly the members it
+  // properly dominates (ties survive -- duplicates all stay, the standard
+  // skyline convention the full recompute also follows).
+  effect.outcome = Outcome::kMerged;
+  effect.added.push_back(id);
+  for (size_t i = 0; i < result.size(); ++i) {
+    ++effect.dominance_tests;
+    if (DominatesRow(p_row.data(), member_rows.data() + i * m, m)) {
+      effect.removed.push_back(result[i]);
+    }
+  }
+  return effect;
+}
+
+DeltaMaintainer::Effect DeltaMaintainer::OnErase(
+    std::span<const PointId> result, PointId id) {
+  Effect effect;
+  effect.outcome = std::binary_search(result.begin(), result.end(), id)
+                       ? Outcome::kRecompute
+                       : Outcome::kUnchanged;
+  return effect;
+}
+
+void DeltaMaintainer::Apply(const Effect& effect,
+                            std::vector<PointId>* result) {
+  if (effect.outcome != Outcome::kMerged) return;
+  if (!effect.removed.empty()) {
+    auto dead = effect.removed.begin();
+    result->erase(std::remove_if(result->begin(), result->end(),
+                                 [&](PointId id) {
+                                   while (dead != effect.removed.end() &&
+                                          *dead < id) {
+                                     ++dead;
+                                   }
+                                   return dead != effect.removed.end() &&
+                                          *dead == id;
+                                 }),
+                  result->end());
+  }
+  // Added ids are freshly minted maxima: appending keeps ascending order.
+  result->insert(result->end(), effect.added.begin(), effect.added.end());
+}
+
+bool StrictlyDominatedOverBox(const ColumnarSnapshot& snap,
+                              const RatioBox& box, std::span<const double> p,
+                              uint64_t* tests) {
+  if (snap.dims() != box.dims() || p.size() != box.dims()) return false;
+  const CornerKernel kernel(box);
+  const size_t m = kernel.embedding_dims();
+  std::vector<double> p_row(m);
+  kernel.EmbedInto(p, p_row.data());
+
+  const PointSet& rows = snap.points();
+  std::vector<double> q_row(m);
+  uint64_t spent = 0;
+  bool found = false;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    kernel.EmbedInto(rows[i], q_row.data());
+    ++spent;
+    bool strict = true;
+    for (size_t j = 0; j < m; ++j) {
+      if (!(q_row[j] < p_row[j])) {
+        strict = false;
+        break;
+      }
+    }
+    if (strict) {
+      found = true;
+      break;
+    }
+  }
+  if (tests != nullptr) *tests += spent;
+  return found;
+}
+
+}  // namespace eclipse

@@ -1,0 +1,109 @@
+// DeltaMaintainer: incremental eclipse-result maintenance under mutations.
+//
+// Every eclipse answer is the skyline of the corner-score embedding (paper
+// Theorem 5), and skylines admit the classic incremental argument from the
+// continuous/streaming skyline literature:
+//
+//   * Insert p: if any CURRENT result member properly dominates p's
+//     embedding, p is dominated and the result is unchanged (any dominator
+//     of p is itself dominated by a result member, so testing the result
+//     rows alone is exact). Otherwise p joins the result, evicting exactly
+//     the members it properly dominates -- no non-member can enter.
+//   * Erase q: if q is not a result member, the answer is unchanged (every
+//     point q dominated is also dominated by a surviving result member, by
+//     transitivity through the skyline). If q IS a member, the points it
+//     was "hiding" cannot be recovered from the result alone -- the caller
+//     must fall back to a full recompute.
+//
+// The maintainer is layer-agnostic: it sees a box, the cached result ids,
+// and a RowLookup resolving a member id to its raw coordinates, so the
+// same code maintains EclipseEngine's LRU entries, ShardedEclipseEngine's
+// merged global results, and ContinuousQueryManager's standing queries.
+// Dominance tests run on CornerKernel embeddings through the dispatching
+// SIMD predicate, so incremental decisions are decision-identical to the
+// full flat-skyline recompute at every tier.
+
+#ifndef ECLIPSE_STREAM_DELTA_MAINTAINER_H_
+#define ECLIPSE_STREAM_DELTA_MAINTAINER_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/ratio_box.h"
+#include "dataset/columnar.h"
+#include "geometry/point.h"
+
+namespace eclipse {
+
+/// One dataset mutation, the unit the streaming subsystem moves around.
+struct StreamDelta {
+  enum class Kind { kInsert, kErase };
+  Kind kind = Kind::kInsert;
+  /// kInsert: the new point's coordinates.
+  Point point;
+  /// kErase: the stable id to remove.
+  PointId id = 0;
+};
+
+StreamDelta InsertDelta(Point p);
+StreamDelta EraseDelta(PointId id);
+
+/// Resolves a result member's stable id to its d raw coordinates (borrowed;
+/// must stay valid for the duration of the call). Returning nullptr makes
+/// the maintainer fall back to kRecompute for that result.
+using RowLookup = std::function<const double*(PointId)>;
+
+class DeltaMaintainer {
+ public:
+  enum class Outcome {
+    /// The mutation provably does not change this result.
+    kUnchanged,
+    /// The result changed, and `added`/`removed` describe exactly how.
+    kMerged,
+    /// The result cannot be maintained locally (a member was erased, or a
+    /// member row could not be resolved); recompute from scratch.
+    kRecompute,
+  };
+
+  struct Effect {
+    Outcome outcome = Outcome::kUnchanged;
+    /// kMerged only: ids entering / leaving the result.
+    std::vector<PointId> added;
+    std::vector<PointId> removed;
+    /// Embedding dominance tests spent deciding (observability).
+    uint64_t dominance_tests = 0;
+  };
+
+  /// The effect of inserting point `p` (already minted stable id `id`) on
+  /// the exact result `result` of `box`. `row_of` resolves the PRE-mutation
+  /// coordinates of each member. `p.size()` must equal `box.dims()`.
+  static Effect OnInsert(const RatioBox& box, std::span<const PointId> result,
+                         const RowLookup& row_of, std::span<const double> p,
+                         PointId id);
+
+  /// The effect of erasing `id`: kUnchanged for non-members, kRecompute for
+  /// members.
+  static Effect OnErase(std::span<const PointId> result, PointId id);
+
+  /// Applies a kMerged effect in place, preserving ascending id order
+  /// (added ids are freshly minted maxima, so they append).
+  static void Apply(const Effect& effect, std::vector<PointId>* result);
+};
+
+/// True iff some row of `snap` STRICTLY dominates `p` at every corner
+/// weight of `box` (and strictly coordinatewise on unbounded dims). Strict
+/// domination over the whole box implies proper dominance w.r.t. every
+/// sub-box -- including degenerate 1NN boxes, where plain proper dominance
+/// would not survive score ties -- so a point strictly dominated over an
+/// index's query domain can never appear in any in-domain answer and the
+/// lazily built index stays exact across the insert. `tests` (optional)
+/// accumulates the corner-score comparisons spent.
+bool StrictlyDominatedOverBox(const ColumnarSnapshot& snap,
+                              const RatioBox& box, std::span<const double> p,
+                              uint64_t* tests = nullptr);
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_STREAM_DELTA_MAINTAINER_H_

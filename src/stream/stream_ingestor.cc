@@ -1,0 +1,84 @@
+#include "stream/stream_ingestor.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace eclipse {
+
+StreamIngestor::StreamIngestor(StreamIngestorOptions options, InsertFn insert,
+                               EraseFn erase, QueryBatchFn query_batch)
+    : options_(options),
+      insert_(std::move(insert)),
+      erase_(std::move(erase)),
+      query_batch_(std::move(query_batch)) {}
+
+Status StreamIngestor::Push(std::span<const double> p) {
+  buffer_.emplace_back(p.begin(), p.end());
+  if (buffer_.size() >= std::max<size_t>(1, options_.batch_size)) {
+    return Flush();
+  }
+  return Status::OK();
+}
+
+Status StreamIngestor::Flush() {
+  if (buffer_.empty()) return Status::OK();
+  ++stats_.flushes;
+  // An oversized batch through an undersized window: only the newest
+  // `window` buffered points could survive the flush, so the older ones
+  // are dropped before admission rather than inserted (a full
+  // copy-on-write mutation plus standing-query events each) and
+  // immediately expired again.
+  if (options_.window > 0 && buffer_.size() > options_.window) {
+    const size_t drop = buffer_.size() - options_.window;
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<ptrdiff_t>(drop));
+    stats_.dropped += drop;
+  }
+  // Expiry interleaves pairwise with admission -- the oldest live point is
+  // erased right before each insert that would overflow -- so the window
+  // never overshoots, even transiently, and a failing insert costs at most
+  // one premature expiry instead of draining the window across retries.
+  size_t applied = 0;
+  for (const Point& p : buffer_) {
+    if (options_.window > 0 && window_.size() >= options_.window) {
+      Status expired = erase_(window_.front());
+      // Drop the id only when it is actually gone -- erased here, or
+      // NotFound because a co-owner erased it directly (so retries don't
+      // refail on a dead id). Any other error keeps the point tracked.
+      if (expired.ok() || expired.IsNotFound()) window_.pop_front();
+      if (!expired.ok()) {
+        // Like the insert failure below: drop the applied prefix so the
+        // next flush cannot re-insert points this one already admitted.
+        buffer_.erase(buffer_.begin(),
+                      buffer_.begin() + static_cast<ptrdiff_t>(applied));
+        return expired;
+      }
+      ++stats_.expired;
+    }
+    auto id = insert_(p);
+    if (!id.ok()) {
+      // Drop the failing point (its error is almost always permanent --
+      // e.g. wrong dimensionality) along with the already-applied prefix;
+      // the unapplied tail stays buffered for the next flush.
+      buffer_.erase(buffer_.begin(),
+                    buffer_.begin() + static_cast<ptrdiff_t>(applied) + 1);
+      return id.status();
+    }
+    window_.push_back(*id);
+    ++stats_.ingested;
+    ++applied;
+  }
+  buffer_.clear();
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<PointId>>> StreamIngestor::FlushAndQuery(
+    std::span<const RatioBox> boxes) {
+  ECLIPSE_RETURN_IF_ERROR(Flush());
+  if (query_batch_ == nullptr) {
+    return Status::InvalidArgument(
+        "this StreamIngestor was built without a QueryBatch binding");
+  }
+  return query_batch_(boxes);
+}
+
+}  // namespace eclipse

@@ -1,0 +1,118 @@
+// StreamIngestor: sliding-window admission for point streams.
+//
+// Serving a stream means the dataset is a moving window over an unbounded
+// sequence of timestamp-ordered points. The ingestor owns that window
+// policy so engines don't have to: Push() buffers points, and every
+// `batch_size` points one Flush() drives a batched expire+insert against
+// the owning engine -- oldest streamed points are erased first (count-based
+// expiry, so the window never overshoots), then the buffered batch is
+// inserted. Each mutation flows through the engine's ApplyDelta path, so
+// the delta maintainer keeps cache entries alive and standing queries emit
+// their diffs per point, in arrival order.
+//
+// The ingestor is engine-agnostic (it holds plain std::functions);
+// StreamIngestor::For(engine) binds it to an EclipseEngine or a
+// ShardedEclipseEngine, including the engine's QueryBatch admission path
+// for the post-flush refresh in FlushAndQuery.
+//
+// Threading: one ingestor is one logical stream -- calls must be
+// externally serialized (the bound engine's mutations stay safe against
+// concurrent queries either way).
+
+#ifndef ECLIPSE_STREAM_STREAM_INGESTOR_H_
+#define ECLIPSE_STREAM_STREAM_INGESTOR_H_
+
+#include <deque>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "core/ratio_box.h"
+#include "geometry/point.h"
+
+namespace eclipse {
+
+struct StreamIngestorOptions {
+  /// Maximum streamed points kept live; the oldest are expired (erased)
+  /// once the window overflows. 0 = unbounded (no expiry).
+  size_t window = 0;
+  /// Points buffered per Push() before an automatic Flush(). 1 = every
+  /// point applies immediately.
+  size_t batch_size = 1;
+};
+
+class StreamIngestor {
+ public:
+  using InsertFn = std::function<Result<PointId>(std::span<const double>)>;
+  using EraseFn = std::function<Status(PointId)>;
+  using QueryBatchFn = std::function<Result<std::vector<std::vector<PointId>>>(
+      std::span<const RatioBox>)>;
+
+  struct Stats {
+    /// Points admitted into the engine.
+    uint64_t ingested = 0;
+    /// Previously admitted points erased by window expiry.
+    uint64_t expired = 0;
+    /// Points of an oversized batch dropped before admission (they could
+    /// never have survived the flush).
+    uint64_t dropped = 0;
+    uint64_t flushes = 0;
+  };
+
+  StreamIngestor(StreamIngestorOptions options, InsertFn insert, EraseFn erase,
+                 QueryBatchFn query_batch = nullptr);
+
+  /// Binds the window policy to any engine with Insert/Erase/QueryBatch
+  /// (EclipseEngine, ShardedEclipseEngine). The engine must outlive the
+  /// ingestor.
+  template <typename Engine>
+  static StreamIngestor For(Engine* engine, StreamIngestorOptions options) {
+    return StreamIngestor(
+        options,
+        [engine](std::span<const double> p) { return engine->Insert(p); },
+        [engine](PointId id) { return engine->Erase(id); },
+        [engine](std::span<const RatioBox> boxes) {
+          return engine->QueryBatch(boxes);
+        });
+  }
+
+  /// Buffers one point; flushes automatically at batch_size. On a failing
+  /// mutation the failing point is dropped (insert errors are almost
+  /// always permanent, e.g. wrong dimensionality) and the unapplied tail
+  /// stays buffered for the next flush; the first failure's status wins.
+  Status Push(std::span<const double> p);
+
+  /// Applies the buffered batch in arrival order, erasing the oldest live
+  /// point right before each insert that would overflow the window (so the
+  /// window never overshoots, even transiently). Buffered points an
+  /// oversized batch could never keep are dropped before admission. No-op
+  /// on an empty buffer.
+  Status Flush();
+
+  /// Flush, then answer `boxes` through the engine's batched admission
+  /// path -- the post-flush refresh a dashboard over a sliding window runs.
+  Result<std::vector<std::vector<PointId>>> FlushAndQuery(
+      std::span<const RatioBox> boxes);
+
+  /// Streamed points currently live (inserted and not yet expired).
+  size_t live() const { return window_.size(); }
+  size_t pending() const { return buffer_.size(); }
+  /// Live streamed ids, oldest first.
+  const std::deque<PointId>& window() const { return window_; }
+  const Stats& stats() const { return stats_; }
+  const StreamIngestorOptions& options() const { return options_; }
+
+ private:
+  const StreamIngestorOptions options_;
+  InsertFn insert_;
+  EraseFn erase_;
+  QueryBatchFn query_batch_;
+  std::vector<Point> buffer_;
+  std::deque<PointId> window_;
+  Stats stats_;
+};
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_STREAM_STREAM_INGESTOR_H_

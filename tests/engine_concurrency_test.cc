@@ -142,14 +142,44 @@ TEST(EngineCacheTest, RepeatQueriesAreServedFromTheCache) {
   EXPECT_TRUE(third.plan.cache_hit);
 }
 
-TEST(EngineCacheTest, MutationInvalidatesTheCache) {
+TEST(EngineCacheTest, MutationMergesTheCacheIncrementally) {
   PointSet ps = *PointSet::FromPoints({{4, 4}, {1, 6}, {6, 1}});
   auto engine = *EclipseEngine::Make(ps, {});
   auto box = *RatioBox::Uniform(1, 0.5, 2.0);
   EXPECT_EQ(*engine.Query(box), (std::vector<PointId>{0, 1, 2}));
   EXPECT_TRUE(engine.Explain(box).cache_hit);
 
-  // Insert a point dominating everything: the cached answer is stale.
+  // Insert a point dominating everything: the delta maintainer merges the
+  // cached entry in place (default incremental maintenance), so the hop to
+  // epoch 1 keeps the -- now updated -- answer hot.
+  const double killer[] = {0.5, 0.5};
+  const PointId id = *engine.Insert(killer);
+  EXPECT_EQ(id, 3u);
+  const QueryPlan plan = engine.Explain(box);
+  EXPECT_EQ(plan.snapshot_epoch, 1u);
+  EXPECT_TRUE(plan.cache_hit);
+  EXPECT_TRUE(plan.answered_incrementally);
+  EngineQueryStats stats;
+  EXPECT_EQ(*engine.Query(box, &stats), (std::vector<PointId>{3}));
+  EXPECT_EQ(stats.plan.snapshot_epoch, 1u);
+  EXPECT_TRUE(stats.plan.cache_hit);
+  EXPECT_TRUE(stats.plan.answered_incrementally);
+  const MaintenanceStats m = engine.maintenance();
+  EXPECT_EQ(m.deltas, 1u);
+  EXPECT_EQ(m.entries_merged, 1u);
+}
+
+TEST(EngineCacheTest, MutationInvalidatesTheCacheWithoutMaintenance) {
+  PointSet ps = *PointSet::FromPoints({{4, 4}, {1, 6}, {6, 1}});
+  EngineOptions options;
+  options.incremental_maintenance = false;
+  auto engine = *EclipseEngine::Make(ps, options);
+  auto box = *RatioBox::Uniform(1, 0.5, 2.0);
+  EXPECT_EQ(*engine.Query(box), (std::vector<PointId>{0, 1, 2}));
+  EXPECT_TRUE(engine.Explain(box).cache_hit);
+
+  // Insert a point dominating everything: the cached answer is stale and
+  // the PR-4 full-invalidation behavior drops it.
   const double killer[] = {0.5, 0.5};
   const PointId id = *engine.Insert(killer);
   EXPECT_EQ(id, 3u);
@@ -160,6 +190,7 @@ TEST(EngineCacheTest, MutationInvalidatesTheCache) {
   EXPECT_EQ(*engine.Query(box, &stats), (std::vector<PointId>{3}));
   EXPECT_EQ(stats.plan.snapshot_epoch, 1u);
   EXPECT_FALSE(stats.plan.cache_hit);
+  EXPECT_EQ(engine.maintenance().deltas, 0u);
 }
 
 TEST(EngineCacheTest, ZeroCapacityDisablesCaching) {

@@ -402,11 +402,32 @@ TEST(ShardedEngineTest, ExplainReportsFanOutAndSubPlans) {
   ASSERT_TRUE(sharded->Query(box).ok());
   EXPECT_TRUE(sharded->Explain(box).cache_hit);
 
-  // A mutation advances the global epoch and structurally invalidates.
+  // A mutation advances the global epoch. With incremental maintenance
+  // (the default) the delta test decides the entry's fate: {0.5, 0.5, 0.5}
+  // is not dominated by the INDE data's winners, so the entry is carried
+  // forward MERGED and Explain reports the incremental hit.
   ASSERT_TRUE(sharded->Insert(Point{0.5, 0.5, 0.5}).ok());
   ShardedQueryPlan after = sharded->Explain(box);
   EXPECT_EQ(after.global_epoch, 1u);
+  EXPECT_TRUE(after.cache_hit);
+  EXPECT_TRUE(after.answered_incrementally);
+}
+
+TEST(ShardedEngineTest, FullInvalidationModeDropsCacheOnMutation) {
+  Rng rng(47);
+  PointSet data = GenerateSynthetic(Distribution::kIndependent, 120, 3, &rng);
+  ShardedEngineOptions options;
+  options.num_shards = 3;
+  options.engine.incremental_maintenance = false;
+  auto sharded = *ShardedEclipseEngine::Make(data, options);
+  const auto box = *RatioBox::Uniform(2, 0.36, 2.75);
+  ASSERT_TRUE(sharded.Query(box).ok());
+  EXPECT_TRUE(sharded.Explain(box).cache_hit);
+  ASSERT_TRUE(sharded.Insert(Point{0.5, 0.5, 0.5}).ok());
+  ShardedQueryPlan after = sharded.Explain(box);
   EXPECT_FALSE(after.cache_hit);
+  EXPECT_FALSE(after.answered_incrementally);
+  EXPECT_EQ(sharded.maintenance().deltas, 0u);
 }
 
 TEST(ShardedEngineTest, SingleShardExplainsPassthrough) {

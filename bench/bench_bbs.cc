@@ -1,0 +1,253 @@
+// Output-sensitive BBS query path vs the fused flat scan.
+//
+// For each n x d configuration: build the packed R-tree once (the per-epoch
+// build EclipseEngine amortizes), then answer a stream of UNIQUE jittered
+// ratio boxes -- every query slightly different, so no result cache can
+// answer and both paths pay their full per-query cost -- through
+//
+//   flat: EclipseCornerSkyline (zero-copy embed -> SIMD flat skyline, the
+//         n x m scan; what the engine serves without a tree), and
+//   bbs:  BbsEclipse over the prebuilt tree (branch-and-bound, embedding
+//         only the node corners and points it visits).
+//
+// Every query's id set is checked identical between the two paths; any
+// divergence fails the run. The JSON records mean per-query latency, the
+// one-time tree build cost and its break-even query count, and the mean
+// BBS node visits (sublinear in n on skyline-friendly data -- the point of
+// the path). The d = 6 / 8 rows exceed EngineOptions::bbs_max_dims on
+// purpose: they document WHY automatic routing caps the dimensionality.
+//
+//   build/bench/bench_bbs [--quick|--smoke] [--reps k]
+//
+// Writes BENCH_bbs.json. --smoke (alias --quick) runs a small differential
+// gate for CI and never writes the JSON, so the committed full-sweep record
+// is not clobbered.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "benchlib/table.h"
+#include "benchlib/workloads.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "core/eclipse.h"
+#include "engine/eclipse_engine.h"
+#include "index/packed_rtree.h"
+#include "shard/sharded_engine.h"
+#include "skyline/bbs.h"
+#include "skyline/simd_dominance.h"
+
+namespace {
+
+using eclipse::BbsStats;
+using eclipse::BenchDataset;
+using eclipse::PackedRTree;
+using eclipse::PointId;
+using eclipse::PointSet;
+using eclipse::RatioBox;
+using eclipse::Stopwatch;
+using eclipse::StrFormat;
+
+struct ConfigResult {
+  size_t n = 0;
+  size_t d = 0;
+  size_t result_size = 0;
+  double build_ms = 0.0;
+  double flat_ms = 0.0;  // mean per query
+  double bbs_ms = 0.0;   // mean per query
+  double nodes_visited = 0.0;  // mean per query
+  bool identical = true;
+  double speedup() const { return bbs_ms > 0 ? flat_ms / bbs_ms : 0; }
+  /// Queries after which the tree build has paid for itself.
+  double break_even() const {
+    const double gain = flat_ms - bbs_ms;
+    return gain > 0 ? build_ms / gain : -1.0;
+  }
+};
+
+/// The q-th unique query box: the paper's default ratio range, jittered so
+/// no two queries are equal (defeats every result cache).
+RatioBox JitteredBox(size_t d, size_t q) {
+  const double j = 0.003 * static_cast<double>(q + 1);
+  return *RatioBox::Uniform(d - 1, eclipse::kDefaultRatioLo * (1.0 + j),
+                            eclipse::kDefaultRatioHi * (1.0 - j));
+}
+
+int Fail(const char* what, const eclipse::Status& status) {
+  std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  size_t reps = 5;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--smoke") == 0 ||
+        std::strcmp(argv[a], "--quick") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[a], "--reps") == 0 && a + 1 < argc) {
+      reps = static_cast<size_t>(std::atoll(argv[++a]));
+    }
+  }
+
+  std::vector<std::pair<size_t, size_t>> sweep;
+  if (smoke) {
+    sweep = {{20000, 2}, {20000, 3}, {20000, 4}};
+    reps = std::min<size_t>(reps, 3);
+  } else {
+    sweep = {{10000, 2},  {10000, 4},  {10000, 6},  {10000, 8},
+             {100000, 2}, {100000, 4}, {100000, 6}, {100000, 8},
+             {1000000, 2}, {1000000, 4}, {1000000, 6}, {1000000, 8}};
+  }
+
+  std::printf("BBS over the packed R-tree vs the fused flat scan\n"
+              "SIMD tier: %s, %zu unique jittered boxes per config, INDE "
+              "data\n\n",
+              eclipse::SimdTierName(eclipse::ActiveSimdTier()), reps);
+
+  eclipse::TablePrinter table({"n", "d", "eclipse", "build (ms)",
+                               "flat (ms)", "bbs (ms)", "speedup",
+                               "nodes", "identical"});
+  std::vector<ConfigResult> results;
+  bool all_identical = true;
+  for (const auto& [n, d] : sweep) {
+    PointSet data = eclipse::MakeBenchDataset(BenchDataset::kInde, n, d, 42);
+    ConfigResult r;
+    r.n = n;
+    r.d = d;
+
+    Stopwatch build_sw;
+    auto tree = PackedRTree::Build(data);
+    if (!tree.ok()) return Fail("tree build", tree.status());
+    r.build_ms = build_sw.ElapsedSeconds() * 1e3;
+
+    uint64_t nodes = 0;
+    for (size_t q = 0; q < reps; ++q) {
+      const RatioBox box = JitteredBox(d, q);
+
+      Stopwatch flat_sw;
+      auto flat = eclipse::EclipseCornerSkyline(data, box);
+      if (!flat.ok()) return Fail("flat", flat.status());
+      r.flat_ms += flat_sw.ElapsedSeconds() * 1e3;
+
+      BbsStats stats;
+      Stopwatch bbs_sw;
+      auto bbs = eclipse::BbsEclipse(data, *tree, box, /*max_corner_dims=*/20,
+                                     /*constraint=*/nullptr, nullptr, &stats);
+      if (!bbs.ok()) return Fail("bbs", bbs.status());
+      r.bbs_ms += bbs_sw.ElapsedSeconds() * 1e3;
+      nodes += stats.nodes_visited;
+
+      r.identical = r.identical && *flat == *bbs;
+      r.result_size = bbs->size();
+    }
+    r.flat_ms /= static_cast<double>(reps);
+    r.bbs_ms /= static_cast<double>(reps);
+    r.nodes_visited =
+        static_cast<double>(nodes) / static_cast<double>(reps);
+    all_identical = all_identical && r.identical;
+    results.push_back(r);
+    table.AddRow({StrFormat("%zu", r.n), StrFormat("%zu", r.d),
+                  StrFormat("%zu", r.result_size),
+                  StrFormat("%.1f", r.build_ms), StrFormat("%.3f", r.flat_ms),
+                  StrFormat("%.3f", r.bbs_ms),
+                  StrFormat("%.2fx", r.speedup()),
+                  StrFormat("%.0f", r.nodes_visited),
+                  r.identical ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  // S = 4 scatter-gather: every shard serves its local BBS tree; the flat
+  // baseline is the identical sharded engine with BBS disabled.
+  const size_t kShards = 4;
+  const size_t sharded_n = smoke ? 20000 : 1000000;
+  const size_t sharded_d = 3;
+  PointSet sharded_data =
+      eclipse::MakeBenchDataset(BenchDataset::kInde, sharded_n, sharded_d, 42);
+  eclipse::ShardedEngineOptions bbs_opts;
+  bbs_opts.num_shards = kShards;
+  bbs_opts.engine.enable_index = false;
+  eclipse::ShardedEngineOptions flat_opts = bbs_opts;
+  flat_opts.engine.enable_bbs = false;
+  auto bbs_engine =
+      eclipse::ShardedEclipseEngine::Make(sharded_data, bbs_opts);
+  if (!bbs_engine.ok()) return Fail("sharded make", bbs_engine.status());
+  auto flat_engine =
+      eclipse::ShardedEclipseEngine::Make(std::move(sharded_data), flat_opts);
+  if (!flat_engine.ok()) return Fail("sharded make", flat_engine.status());
+  for (size_t s = 0; s < bbs_engine->num_shards(); ++s) {
+    auto built = bbs_engine->shard(s).BuildBbsTree();
+    if (!built.ok()) return Fail("shard tree build", built);
+  }
+  double sharded_flat_ms = 0.0, sharded_bbs_ms = 0.0;
+  bool sharded_identical = true;
+  for (size_t q = 0; q < reps; ++q) {
+    const RatioBox box = JitteredBox(sharded_d, q);
+    Stopwatch flat_sw;
+    auto flat = flat_engine->Query(box);
+    if (!flat.ok()) return Fail("sharded flat", flat.status());
+    sharded_flat_ms += flat_sw.ElapsedSeconds() * 1e3;
+    Stopwatch bbs_sw;
+    auto bbs = bbs_engine->Query(box);
+    if (!bbs.ok()) return Fail("sharded bbs", bbs.status());
+    sharded_bbs_ms += bbs_sw.ElapsedSeconds() * 1e3;
+    sharded_identical = sharded_identical && *flat == *bbs;
+  }
+  sharded_flat_ms /= static_cast<double>(reps);
+  sharded_bbs_ms /= static_cast<double>(reps);
+  all_identical = all_identical && sharded_identical;
+  std::printf("sharded S=%zu, n=%zu, d=%zu: flat %.3f ms, bbs %.3f ms "
+              "(%.2fx), identical: %s\n\n",
+              kShards, sharded_n, sharded_d, sharded_flat_ms, sharded_bbs_ms,
+              sharded_bbs_ms > 0 ? sharded_flat_ms / sharded_bbs_ms : 0.0,
+              sharded_identical ? "yes" : "NO");
+
+  if (!all_identical) {
+    std::fprintf(stderr, "FAIL: BBS diverged from the flat path\n");
+    return 1;
+  }
+  if (smoke) {
+    std::printf("smoke mode: skipping BENCH_bbs.json\n");
+    return 0;
+  }
+
+  FILE* json = std::fopen("BENCH_bbs.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_bbs.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"bbs\",\n"
+               "  \"flat\": \"EclipseCornerSkyline (fused n x m scan)\",\n"
+               "  \"bbs\": \"BbsEclipse over a prebuilt PackedRTree\",\n"
+               "  \"simd_tier\": \"%s\",\n  \"dataset\": \"INDE\",\n"
+               "  \"queries_per_config\": %zu,\n  \"results\": [\n",
+               eclipse::SimdTierName(eclipse::ActiveSimdTier()), reps);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ConfigResult& r = results[i];
+    std::fprintf(json,
+                 "    {\"n\": %zu, \"d\": %zu, \"eclipse_size\": %zu, "
+                 "\"tree_build_ms\": %.3f, \"flat_ms\": %.3f, "
+                 "\"bbs_ms\": %.3f, \"speedup\": %.2f, "
+                 "\"break_even_queries\": %.1f, \"nodes_visited\": %.0f, "
+                 "\"identical\": %s},\n",
+                 r.n, r.d, r.result_size, r.build_ms, r.flat_ms, r.bbs_ms,
+                 r.speedup(), r.break_even(), r.nodes_visited,
+                 r.identical ? "true" : "false");
+  }
+  std::fprintf(json,
+               "    {\"shards\": %zu, \"n\": %zu, \"d\": %zu, "
+               "\"flat_ms\": %.3f, \"bbs_ms\": %.3f, \"speedup\": %.2f, "
+               "\"identical\": %s}\n  ]\n}\n",
+               kShards, sharded_n, sharded_d, sharded_flat_ms, sharded_bbs_ms,
+               sharded_bbs_ms > 0 ? sharded_flat_ms / sharded_bbs_ms : 0.0,
+               sharded_identical ? "true" : "false");
+  std::fclose(json);
+  std::printf("wrote BENCH_bbs.json\n");
+  return 0;
+}

@@ -85,8 +85,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  // n x d sweep (m = 2^(d-1) embedding columns). The d = 6 / 8 rows stay at
-  // n <= 1e5 to bound the score-matrix footprint (1e5 x 128 cols = 102 MB).
+  // n x d sweep (m = 2^(d-1) embedding columns). The 1e6 x 128-col rows
+  // materialize a ~1 GB score matrix per path; they are the far end of the
+  // sweep, not a footprint to take lightly on small machines.
   std::vector<std::pair<size_t, size_t>> sweep;
   if (quick) {
     sweep = {{20000, 3}, {20000, 4}};
@@ -94,7 +95,8 @@ int main(int argc, char** argv) {
   } else {
     sweep = {{10000, 2},  {10000, 3},  {10000, 4}, {10000, 6}, {10000, 8},
              {100000, 2}, {100000, 3}, {100000, 4}, {100000, 6}, {100000, 8},
-             {1000000, 2}, {1000000, 3}, {1000000, 4}};
+             {1000000, 2}, {1000000, 3}, {1000000, 4}, {1000000, 6},
+             {1000000, 8}};
   }
 
   std::printf("Fused zero-copy embed->skyline CORNER pipeline vs legacy AoS "

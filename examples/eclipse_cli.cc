@@ -15,7 +15,13 @@
 //
 // Options: --max (attributes are larger-is-better; flip before querying),
 //          --rows (print matching rows, not only ids),
-//          --explain (print the engine's query plan),
+//          --explain (print the engine's query plan; for the kNN operators
+//                      and the BBS path this includes the tree traversal
+//                      counters -- nodes visited, leaves scanned, pruned),
+//          --algorithm=NAME (force the skyline backend: auto | bnl | sfs |
+//                      sort-sweep-2d | divide-conquer | parallel-merge |
+//                      bbs; a forced bbs surfaces tree errors instead of
+//                      silently falling back to a flat scan),
 //          --shards=N (serve through a ShardedEclipseEngine with N shards;
 //                      N = 0 sizes the fan-out to the shared pool),
 //          --partitioner=NAME (round-robin | hash-id | angular; implies
@@ -48,6 +54,7 @@
 #include "engine/eclipse_engine.h"
 #include "engine/registry.h"
 #include "knn/linear_scan.h"
+#include "knn/rtree.h"
 #include "knn/scoring.h"
 #include "shard/partitioner.h"
 #include "shard/sharded_engine.h"
@@ -65,8 +72,8 @@ using eclipse::RatioBox;
 int Usage() {
   std::fprintf(stderr,
                "usage: eclipse_cli <file.csv> [--max] [--rows] [--explain] "
-               "[--shards=N] [--partitioner=NAME] [--stream=trace.csv] "
-               "<operator> ...\n"
+               "[--algorithm=NAME] [--shards=N] [--partitioner=NAME] "
+               "[--stream=trace.csv] <operator> ...\n"
                "  skyline\n"
                "  eclipse <lo> <hi> [engine]\n"
                "  onenn   <r1> [r2 ...]\n"
@@ -114,7 +121,31 @@ struct ServingConfig {
   eclipse::PartitionerKind partitioner =
       eclipse::PartitionerKind::kRoundRobin;
   std::string stream_trace;  // empty = no replay
+  eclipse::SkylineAlgorithm algorithm = eclipse::SkylineAlgorithm::kAuto;
 };
+
+bool ParseAlgorithm(const char* name, eclipse::SkylineAlgorithm* out) {
+  using eclipse::SkylineAlgorithm;
+  static constexpr struct {
+    const char* name;
+    SkylineAlgorithm algorithm;
+  } kNames[] = {
+      {"auto", SkylineAlgorithm::kAuto},
+      {"bnl", SkylineAlgorithm::kBnl},
+      {"sfs", SkylineAlgorithm::kSfs},
+      {"sort-sweep-2d", SkylineAlgorithm::kSortSweep2D},
+      {"divide-conquer", SkylineAlgorithm::kDivideConquer},
+      {"parallel-merge", SkylineAlgorithm::kParallelMerge},
+      {"bbs", SkylineAlgorithm::kBbs},
+  };
+  for (const auto& entry : kNames) {
+    if (std::strcmp(name, entry.name) == 0) {
+      *out = entry.algorithm;
+      return true;
+    }
+  }
+  return false;
+}
 
 /// Replays an insert/erase trace against any engine with
 /// ApplyDelta/RegisterContinuous (EclipseEngine or ShardedEclipseEngine),
@@ -180,9 +211,10 @@ int ReplayStream(Engine* engine, const RatioBox& box,
 }
 
 void PrintSubPlan(size_t s, const eclipse::QueryPlan& plan) {
-  std::printf("  shard %zu: %s%s, epoch %llu, cache %s%s%s (%s)\n", s,
+  std::printf("  shard %zu: %s%s%s, epoch %llu, cache %s%s%s (%s)\n", s,
               plan.engine.c_str(),
               plan.will_build_index ? " [builds index]" : "",
+              plan.will_build_tree ? " [builds tree]" : "",
               static_cast<unsigned long long>(plan.snapshot_epoch),
               plan.cache_hit ? "hit" : "miss",
               plan.skyline_path.empty() ? "" : ", skyline path: ",
@@ -198,6 +230,7 @@ int RunShardedQuery(const PointSet& original, PointSet data,
   options.num_shards = serving.shards;
   options.partitioner = serving.partitioner;
   options.engine.force_engine = force_engine;
+  options.engine.algorithm.skyline_algorithm = serving.algorithm;
   auto engine = eclipse::ShardedEclipseEngine::Make(std::move(data), options);
   if (!engine.ok()) {
     std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
@@ -247,6 +280,7 @@ int RunEngineQuery(const PointSet& original, PointSet data,
   }
   eclipse::EngineOptions options;
   options.force_engine = force_engine;
+  options.algorithm.skyline_algorithm = serving.algorithm;
   auto engine = EclipseEngine::Make(std::move(data), options);
   if (!engine.ok()) {
     std::fprintf(stderr, "error: %s%s\n", engine.status().ToString().c_str(),
@@ -261,8 +295,9 @@ int RunEngineQuery(const PointSet& original, PointSet data,
   }
   if (explain) {
     eclipse::QueryPlan plan = engine->Explain(box);
-    std::printf("plan: %s%s%s (%s)\n", plan.engine.c_str(),
+    std::printf("plan: %s%s%s%s (%s)\n", plan.engine.c_str(),
                 plan.will_build_index ? " [builds index]" : "",
+                plan.will_build_tree ? " [builds tree]" : "",
                 plan.answered_incrementally ? " [incremental cache entry]"
                                             : "",
                 plan.reason.c_str());
@@ -279,6 +314,16 @@ int RunEngineQuery(const PointSet& original, PointSet data,
   if (stats.plan.uses_index) {
     std::printf("index: u=%zu, m=%zu crossings\n", stats.index.indexed,
                 stats.index.verified_crossings);
+  }
+  if (explain && stats.plan.uses_tree) {
+    std::printf("bbs: %llu node(s) visited (%llu leaf scan(s)), "
+                "%llu node(s) pruned, %llu point(s) pruned, "
+                "%llu accepted\n",
+                static_cast<unsigned long long>(stats.bbs.nodes_visited),
+                static_cast<unsigned long long>(stats.bbs.leaves_scanned),
+                static_cast<unsigned long long>(stats.bbs.nodes_pruned),
+                static_cast<unsigned long long>(stats.bbs.points_pruned),
+                static_cast<unsigned long long>(stats.bbs.points_accepted));
   }
   PrintResult(original, *ids, print_rows);
   return 0;
@@ -315,6 +360,17 @@ int main(int argc, char** argv) {
       }
       serving.sharded = true;
       serving.shards = static_cast<size_t>(shards);
+      it = args.erase(it);
+    } else if (it->rfind("--algorithm=", 0) == 0) {
+      const char* value = it->c_str() + strlen("--algorithm=");
+      if (!ParseAlgorithm(value, &serving.algorithm)) {
+        std::fprintf(stderr,
+                     "error: unknown algorithm \"%s\" (want auto | bnl | sfs "
+                     "| sort-sweep-2d | divide-conquer | parallel-merge | "
+                     "bbs)\n",
+                     value);
+        return 2;
+      }
       it = args.erase(it);
     } else if (it->rfind("--stream=", 0) == 0) {
       serving.stream_trace = it->substr(strlen("--stream="));
@@ -387,13 +443,46 @@ int main(int argc, char** argv) {
       return 1;
     }
     const Point w = eclipse::WeightsFromRatios(ratios);
-    auto top = eclipse::TopKLinearScan(data, w, k);
-    if (!top.ok()) {
-      std::fprintf(stderr, "error: %s\n", top.status().ToString().c_str());
-      return 1;
-    }
+    // Route through the packed R-tree's best-first search (identical ids to
+    // the linear scan -- both ascend by score, ties by id); negative user
+    // weights lose the low-corner bound, so those fall back to the scan.
+    bool nonneg = true;
+    for (double wj : w) nonneg = nonneg && wj >= 0.0;
     std::vector<PointId> ids;
-    for (const auto& sp : *top) ids.push_back(sp.id);
+    if (nonneg && !data.empty()) {
+      auto tree = eclipse::RTree::Build(data);
+      if (!tree.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     tree.status().ToString().c_str());
+        return 1;
+      }
+      eclipse::Statistics knn_stats;
+      auto top = tree->KNearest(w, k, &knn_stats);
+      if (!top.ok()) {
+        std::fprintf(stderr, "error: %s\n", top.status().ToString().c_str());
+        return 1;
+      }
+      if (explain) {
+        std::printf("knn: best-first over %zu tree node(s) (height %zu); "
+                    "%llu node(s) visited, %llu leaf scan(s)\n",
+                    tree->node_count(), tree->height(),
+                    static_cast<unsigned long long>(knn_stats.Get(
+                        eclipse::Ticker::kIndexNodesVisited)),
+                    static_cast<unsigned long long>(knn_stats.Get(
+                        eclipse::Ticker::kIndexLeavesScanned)));
+      }
+      for (const auto& sp : *top) ids.push_back(sp.id);
+    } else {
+      auto top = eclipse::TopKLinearScan(data, w, k);
+      if (!top.ok()) {
+        std::fprintf(stderr, "error: %s\n", top.status().ToString().c_str());
+        return 1;
+      }
+      if (explain) {
+        std::printf("knn: linear scan over %zu row(s)\n", data.size());
+      }
+      for (const auto& sp : *top) ids.push_back(sp.id);
+    }
     PrintResult(original, ids, print_rows);
     return 0;
   }

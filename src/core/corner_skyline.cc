@@ -19,6 +19,8 @@
 #include "common/thread_pool.h"
 #include "core/corner_kernel.h"
 #include "core/eclipse.h"
+#include "index/packed_rtree.h"
+#include "skyline/bbs.h"
 #include "skyline/flat_skyline.h"
 
 namespace eclipse {
@@ -34,6 +36,7 @@ constexpr size_t kParallelEmbedMinRows = 1 << 15;
 
 const char* CornerSkylinePath(const EclipseOptions& options, size_t n) {
   const SkylineAlgorithm algo = options.skyline_algorithm;
+  if (algo == SkylineAlgorithm::kBbs) return "bbs";
   if (FlatCapable(algo)) {
     // CORNER feeds the embedding to the flat kernels even when it is
     // 2-dimensional, so kAuto resolves without ComputeSkylinePathName's
@@ -64,6 +67,16 @@ Result<std::vector<PointId>> EclipseCornerSkyline(const PointSet& points,
   }
   const size_t n = points.size();
   if (n == 0) return std::vector<PointId>{};
+
+  if (options.skyline_algorithm == SkylineAlgorithm::kBbs) {
+    // Output-sensitive path: skip materializing the n x m score matrix
+    // entirely -- build a throwaway raw-space tree and let BBS embed only
+    // the node corners and points it actually visits. EclipseEngine's warm
+    // path calls BbsEclipse directly with its cached per-epoch tree.
+    ECLIPSE_ASSIGN_OR_RETURN(PackedRTree tree, PackedRTree::Build(points));
+    return BbsEclipse(points, tree, box, options.max_corner_dims,
+                      /*constraint=*/nullptr, stats);
+  }
 
   CornerKernel kernel(box);
   const size_t m = kernel.embedding_dims();

@@ -70,7 +70,8 @@ RowLookup RowLookupFor(std::shared_ptr<const ColumnarSnapshot> snap) {
 
 PlanInputs MakePlanInputs(const ColumnarSnapshot& snap, const RatioBox& box,
                           bool index_matches_snapshot, size_t eligible_queries,
-                          bool index_build_failed,
+                          bool index_build_failed, bool tree_matches_snapshot,
+                          bool tree_build_failed, size_t bbs_eligible_queries,
                           const EngineOptions& options) {
   PlanInputs in;
   in.n = snap.size();
@@ -81,6 +82,9 @@ PlanInputs MakePlanInputs(const ColumnarSnapshot& snap, const RatioBox& box,
   in.eligible_queries = eligible_queries;
   in.index_built = index_matches_snapshot;
   in.index_build_failed = index_build_failed;
+  in.tree_built = tree_matches_snapshot;
+  in.tree_build_failed = tree_build_failed;
+  in.bbs_eligible_queries = bbs_eligible_queries;
   return in;
 }
 
@@ -174,11 +178,69 @@ QueryPlan ChoosePlanRouting(const PlanInputs& in, const EngineOptions& options) 
   return plan;
 }
 
+/// True iff the routed plan is a shape BBS can take over: the full flat
+/// scan (one-shot CORNER), or the bounded 2D fast path -- which BBS serves
+/// in raw space directly, skipping the c-space transformation. Index-served
+/// plans and BASE (tiny n) stay as routed.
+bool BbsTakeoverShape(const QueryPlan& plan, const PlanInputs& in) {
+  return !plan.uses_index &&
+         (plan.engine == "CORNER" ||
+          (plan.engine == "TRAN-2D" && in.bounded));
+}
+
 }  // namespace
+
+bool BbsEligible(const PlanInputs& in, const EngineOptions& options) {
+  if (!options.enable_bbs || !options.force_engine.empty() ||
+      options.algorithm.skyline_algorithm != SkylineAlgorithm::kAuto ||
+      in.tree_build_failed || in.degenerate ||
+      in.d > options.bbs_max_dims || in.n < options.bbs_min_points) {
+    return false;
+  }
+  // Only the shapes the router would otherwise serve with the full flat
+  // scan; QUAD/CUTTING routing (including the lazy-build counter) wins
+  // whenever it applies, so an epoch never pays for both structures.
+  return BbsTakeoverShape(ChoosePlanRouting(in, options), in);
+}
 
 QueryPlan ChoosePlan(const PlanInputs& in, const EngineOptions& options) {
   QueryPlan plan = ChoosePlanRouting(in, options);
-  plan.skyline_path = PlanSkylinePath(plan.engine, in, options);
+  const bool forced_bbs =
+      options.algorithm.skyline_algorithm == SkylineAlgorithm::kBbs &&
+      options.force_engine.empty();
+  bool take_tree = false;
+  if (BbsTakeoverShape(plan, in)) {
+    if (forced_bbs) {
+      // A forced algorithm is honored unconditionally (build failures
+      // surface as errors rather than falling back -- see Query).
+      take_tree = true;
+      plan.reason = "BBS forced by EclipseOptions::skyline_algorithm";
+    } else if (BbsEligible(in, options)) {
+      if (in.tree_built) {
+        take_tree = true;
+        plan.reason = "the BBS tree is already built: the output-sensitive "
+                      "branch-and-bound beats the flat scan";
+      } else if (in.bbs_eligible_queries + 1 >= options.bbs_query_threshold) {
+        take_tree = true;
+        plan.reason = StrFormat(
+            "query volume reached %zu BBS-eligible queries: building the "
+            "packed R-tree to amortize later queries",
+            in.bbs_eligible_queries + 1);
+      }
+      // else: cold epoch -- the flat scan answers until volume justifies
+      // the tree build.
+    }
+  }
+  if (take_tree) {
+    // BBS answers in the corner-embedding order, so the plan reports the
+    // exact CORNER engine even when it displaces the 2D fast path.
+    plan.engine = "CORNER";
+    plan.uses_tree = true;
+    plan.will_build_tree = !in.tree_built;
+    plan.skyline_path = "bbs";
+  } else {
+    plan.skyline_path = PlanSkylinePath(plan.engine, in, options);
+  }
   plan.simd_tier = SimdTierName(ActiveSimdTier());
   return plan;
 }
@@ -255,6 +317,16 @@ struct EclipseEngine::State {
   bool index_build_failed = false;
   /// Bounded in-domain queries seen; drives the lazy build.
   size_t eligible_queries = 0;
+  /// Per-epoch packed R-tree for the BBS path. Stores no coordinates (row
+  /// ids only), so a tree carried across dominated inserts never dangles:
+  /// it simply indexes a prefix of the new snapshot's rows, and the carry
+  /// rule guarantees every unindexed suffix row is strictly dominated.
+  std::shared_ptr<const PackedRTree> tree;
+  uint64_t tree_epoch = 0;
+  /// Mirror of index_build_failed for the tree; reset by mutations.
+  bool tree_build_failed = false;
+  /// BBS-eligible queries seen; drives the lazy tree build.
+  size_t bbs_eligible_queries = 0;
 
   std::atomic<size_t> queries_served{0};
 
@@ -300,15 +372,43 @@ struct EclipseEngine::State {
     return Status::OK();
   }
 
-  /// Publishes a freshly built snapshot: the stale index is dropped
-  /// (unless the delta test proved it still exact -- `keep_index`), the
-  /// failure latch cleared, and the cache invalidated up to the new epoch
-  /// (so slow in-flight queries cannot re-park dead-epoch entries).
-  /// `carried` entries -- results the delta maintainer proved valid for
-  /// the new snapshot -- are re-inserted at the new epoch, least recently
-  /// used first so the LRU order survives the hop.
+  /// Fetches the BBS tree for `snap`, building it if needed; the mirror of
+  /// EnsureIndexBuilt with the same publication discipline (only publish if
+  /// `snap` is still current; the caller's captured epoch is served either
+  /// way).
+  Status EnsureTreeBuilt(const std::shared_ptr<const ColumnarSnapshot>& snap,
+                         std::shared_ptr<const PackedRTree>* out) {
+    std::lock_guard<std::mutex> build_lock(build_mu);
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (tree != nullptr && tree_epoch == snap->epoch()) {
+        *out = tree;
+        return Status::OK();
+      }
+    }
+    auto built = PackedRTree::Build(snap->points());
+    if (!built.ok()) return built.status();
+    auto shared = std::make_shared<const PackedRTree>(std::move(built).value());
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (snapshot->epoch() == snap->epoch()) {
+        tree = shared;
+        tree_epoch = snap->epoch();
+      }
+    }
+    *out = std::move(shared);
+    return Status::OK();
+  }
+
+  /// Publishes a freshly built snapshot: the stale index and BBS tree are
+  /// dropped (unless the delta tests proved them still exact -- `keep_index`
+  /// / `keep_tree`), the failure latches cleared, and the cache invalidated
+  /// up to the new epoch (so slow in-flight queries cannot re-park
+  /// dead-epoch entries). `carried` entries -- results the delta maintainer
+  /// proved valid for the new snapshot -- are re-inserted at the new epoch,
+  /// least recently used first so the LRU order survives the hop.
   void PublishSnapshot(std::shared_ptr<const ColumnarSnapshot> next,
-                       bool keep_index = false,
+                       bool keep_index = false, bool keep_tree = false,
                        std::vector<ResultCache::MaintainableEntry> carried =
                            {}) {
     const uint64_t epoch = next->epoch();
@@ -322,6 +422,13 @@ struct EclipseEngine::State {
         index_epoch = 0;
       }
       index_build_failed = false;
+      if (keep_tree) {
+        tree_epoch = epoch;
+      } else {
+        tree.reset();
+        tree_epoch = 0;
+      }
+      tree_build_failed = false;
     }
     cache.Republish(epoch, std::move(carried));
   }
@@ -421,8 +528,12 @@ QueryPlan EclipseEngine::Explain(const RatioBox& box) const {
     snap = s.snapshot;
     const bool index_matches =
         s.index != nullptr && s.index_epoch == snap->epoch();
+    const bool tree_matches =
+        s.tree != nullptr && s.tree_epoch == snap->epoch();
     inputs = MakePlanInputs(*snap, box, index_matches, s.eligible_queries,
-                            s.index_build_failed, s.options);
+                            s.index_build_failed, tree_matches,
+                            s.tree_build_failed, s.bbs_eligible_queries,
+                            s.options);
   }
   QueryPlan plan = ChoosePlan(inputs, s.options);
   plan.snapshot_epoch = snap->epoch();
@@ -436,6 +547,18 @@ Status EclipseEngine::BuildIndex() {
   State& s = *state_;
   std::shared_ptr<const EclipseIndex> unused;
   return s.EnsureIndexBuilt(snapshot(), &unused);
+}
+
+Status EclipseEngine::BuildBbsTree() {
+  State& s = *state_;
+  std::shared_ptr<const PackedRTree> unused;
+  return s.EnsureTreeBuilt(snapshot(), &unused);
+}
+
+bool EclipseEngine::bbs_tree_built() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->tree != nullptr &&
+         state_->tree_epoch == state_->snapshot->epoch();
 }
 
 Result<PointId> EclipseEngine::Insert(std::span<const double> p) {
@@ -460,15 +583,32 @@ Result<PointId> EclipseEngine::ApplyDelta(const StreamDelta& delta) {
     const uint64_t epoch = next->epoch();
     std::vector<ResultCache::MaintainableEntry> carried;
     bool keep_index = false;
+    bool keep_tree = false;
     if (maintain) {
       ++tick.deltas;
       carried = MaintainEntriesOnInsert(
           s.cache.MaintainableEntries(base->epoch()), RowLookupFor(base),
           delta.point, id, &tick);
       bool has_index = false;
+      bool has_tree = false;
       {
         std::lock_guard<std::mutex> lock(s.mu);
         has_index = s.index != nullptr && s.index_epoch == base->epoch();
+        has_tree = s.tree != nullptr && s.tree_epoch == base->epoch();
+      }
+      if (has_tree) {
+        // The BBS tree stays exact iff the new point can never appear in
+        // ANY answer -- strictly dominated coordinatewise (the fully
+        // unbounded skyline box makes the embedding test exactly that).
+        // Rows only append on insert, so the tree keeps indexing a valid
+        // prefix of the new snapshot and the unindexed arrival is provably
+        // absent from every eclipse set.
+        if (StrictlyDominatedOverBox(*base,
+                                     RatioBox::Skyline(base->dims() - 1),
+                                     delta.point, &tick.dominance_tests)) {
+          keep_tree = true;
+          ++tick.tree_preserved;
+        }
       }
       if (has_index) {
         // The old index stays exact iff the new point can never enter an
@@ -488,7 +628,8 @@ Result<PointId> EclipseEngine::ApplyDelta(const StreamDelta& delta) {
         }
       }
     }
-    s.PublishSnapshot(std::move(next), keep_index, std::move(carried));
+    s.PublishSnapshot(std::move(next), keep_index, keep_tree,
+                      std::move(carried));
     s.continuous.OnInsert(delta.point, id, epoch, RowLookupFor(base));
     s.RecordMaintenance(tick);
     return id;
@@ -503,8 +644,10 @@ Result<PointId> EclipseEngine::ApplyDelta(const StreamDelta& delta) {
         s.cache.MaintainableEntries(base->epoch()), delta.id, &tick);
   }
   std::shared_ptr<const ColumnarSnapshot> post = next;
+  // Erase compacts rows, so a carried tree's row ids would dangle: always
+  // drop the tree (and index) on erase.
   s.PublishSnapshot(std::move(next), /*keep_index=*/false,
-                    std::move(carried));
+                    /*keep_tree=*/false, std::move(carried));
   s.continuous.OnErase(
       delta.id, epoch,
       [&s, &post](const RatioBox& box) -> Result<std::vector<PointId>> {
@@ -558,6 +701,7 @@ Result<std::vector<PointId>> EclipseEngine::Query(const RatioBox& box,
   State& s = *state_;
   std::shared_ptr<const ColumnarSnapshot> snap;
   std::shared_ptr<const EclipseIndex> index;
+  std::shared_ptr<const PackedRTree> tree;
   PlanInputs inputs;
   {
     std::lock_guard<std::mutex> lock(s.mu);
@@ -565,9 +709,15 @@ Result<std::vector<PointId>> EclipseEngine::Query(const RatioBox& box,
     if (s.index != nullptr && s.index_epoch == snap->epoch()) {
       index = s.index;
     }
+    if (s.tree != nullptr && s.tree_epoch == snap->epoch()) {
+      tree = s.tree;
+    }
     inputs = MakePlanInputs(*snap, box, index != nullptr, s.eligible_queries,
-                            s.index_build_failed, s.options);
+                            s.index_build_failed, tree != nullptr,
+                            s.tree_build_failed, s.bbs_eligible_queries,
+                            s.options);
     if (IndexEligible(inputs, s.options)) ++s.eligible_queries;
+    if (BbsEligible(inputs, s.options)) ++s.bbs_eligible_queries;
   }
   s.queries_served.fetch_add(1, std::memory_order_relaxed);
   QueryPlan plan = ChoosePlan(inputs, s.options);
@@ -607,6 +757,37 @@ Result<std::vector<PointId>> EclipseEngine::Query(const RatioBox& box,
     }
   }
 
+  if (plan.uses_tree && tree == nullptr) {
+    Status build_status = s.EnsureTreeBuilt(snap, &tree);
+    if (!build_status.ok()) {
+      if (s.options.algorithm.skyline_algorithm == SkylineAlgorithm::kBbs) {
+        // A forced algorithm must not silently fall back: surface the
+        // failure, still recording the attempted plan.
+        if (stats != nullptr) {
+          stats->plan = std::move(plan);
+          stats->snapshot = std::move(snap);
+        }
+        return build_status;
+      }
+      // kAuto: degrade gracefully to the flat scan, latching the failure so
+      // later plans stop retrying (cleared by the next mutation). Only
+      // latch if the failed build's snapshot is still current.
+      {
+        std::lock_guard<std::mutex> lock(s.mu);
+        if (s.snapshot->epoch() == snap->epoch()) {
+          s.tree_build_failed = true;
+        }
+      }
+      plan.engine = BestOneShot(inputs.d);
+      plan.uses_tree = false;
+      plan.will_build_tree = false;
+      plan.skyline_path = PlanSkylinePath(plan.engine, inputs, s.options);
+      plan.reason = StrFormat("BBS tree build failed (%s); falling back to "
+                              "the flat scan",
+                              build_status.ToString().c_str());
+    }
+  }
+
   EngineQueryStats local;
   EngineQueryStats* out = stats != nullptr ? stats : &local;
   out->snapshot = snap;
@@ -625,6 +806,10 @@ Result<std::vector<PointId>> EclipseEngine::Query(const RatioBox& box,
       Status::Internal("engine dispatch fell through");
   if (plan.uses_index) {
     ids = index->Query(box, &out->index);
+  } else if (plan.uses_tree) {
+    ids = BbsEclipse(snap->points(), *tree, box,
+                     s.options.algorithm.max_corner_dims,
+                     /*constraint=*/nullptr, &out->counters, &out->bbs);
   } else {
     ids = EngineRegistry::Global().Run(plan.engine, snap->points(), box,
                                        s.options.algorithm, &out->counters);

@@ -52,6 +52,8 @@
 #include "dataset/columnar.h"
 #include "engine/registry.h"
 #include "engine/result_cache.h"
+#include "index/packed_rtree.h"
+#include "skyline/bbs.h"
 #include "stream/continuous.h"
 #include "stream/delta_maintainer.h"
 
@@ -85,6 +87,22 @@ struct EngineOptions {
   /// (empty = automatic). Index engines route through the lazily built
   /// index so repeat queries still amortize the build.
   std::string force_engine;
+  /// Master switch for the output-sensitive BBS path: a lazily built
+  /// packed R-tree over raw data space serves corner-embedding skylines
+  /// branch-and-bound (skyline/bbs.h). Routed only where the cost model
+  /// would otherwise run the full flat scan (one-shot CORNER, or bounded
+  /// 2D), so QUAD/CUTTING routing is untouched.
+  bool enable_bbs = true;
+  /// BBS is only worth a tree build for at least this many points (below
+  /// it the fused flat scan wins on constants).
+  size_t bbs_min_points = 4096;
+  /// Automatic BBS routing is capped at this dimensionality: the skyline
+  /// grows quickly with d, and a near-linear output makes branch-and-bound
+  /// degenerate to a slower scan. Forced kBbs ignores the cap.
+  size_t bbs_max_dims = 5;
+  /// Lazily build the tree once this many BBS-eligible queries have been
+  /// observed (cold epochs keep the flat scan).
+  size_t bbs_query_threshold = 3;
 };
 
 /// The routing decision for one query.
@@ -103,9 +121,14 @@ struct QueryPlan {
   /// The served cache entry survived >= 1 mutation through the delta
   /// maintainer (src/stream/) instead of being recomputed.
   bool answered_incrementally = false;
+  /// The query will be answered by BBS over the (possibly yet-unbuilt)
+  /// per-epoch packed R-tree (skyline_path == "bbs").
+  bool uses_tree = false;
+  /// Serving this query triggers the lazy tree build.
+  bool will_build_tree = false;
   /// Skyline backend the chosen engine's transformation stage runs
-  /// ("flat-sfs", "flat-parallel-merge", "sort-sweep-2d", ...); empty for
-  /// engines with no skyline stage (BASE, index engines).
+  /// ("flat-sfs", "flat-parallel-merge", "sort-sweep-2d", "bbs", ...);
+  /// empty for engines with no skyline stage (BASE, index engines).
   std::string skyline_path;
   /// Dominance-kernel dispatch tier serving this query ("avx2" / "scalar").
   std::string simd_tier;
@@ -128,10 +151,23 @@ struct PlanInputs {
   bool index_built = false;
   /// A previous lazy build failed (e.g. ResourceExhausted); don't retry.
   bool index_build_failed = false;
+  /// An up-to-date packed R-tree exists for the current snapshot (built
+  /// for it, or carried across dominated inserts by the delta rules).
+  bool tree_built = false;
+  /// A previous lazy tree build failed; don't retry until a mutation.
+  bool tree_build_failed = false;
+  /// BBS-eligible queries observed so far (not counting this one).
+  size_t bbs_eligible_queries = 0;
 };
 
 /// The explicit cost model: pure function from inputs to plan.
 QueryPlan ChoosePlan(const PlanInputs& in, const EngineOptions& options);
+
+/// True iff this query's shape can take the output-sensitive BBS path under
+/// automatic routing (kAuto, gates passed, and the router would otherwise
+/// run the full flat scan). Drives the lazy tree-build counter the same way
+/// the index-eligible counter drives the lazy index build.
+bool BbsEligible(const PlanInputs& in, const EngineOptions& options);
 
 /// Cumulative delta-maintenance counters (engine and sharded level; see
 /// src/stream/). Read through maintenance(); reported by the CLI and the
@@ -153,6 +189,10 @@ struct MaintenanceStats {
   /// over the index domain). Always 0 at the sharded level (the sharded
   /// cache has no index; per-shard engines count their own).
   uint64_t index_preserved = 0;
+  /// Mutations that kept the BBS tree alive (insert strictly dominated
+  /// coordinatewise, so it can never appear in any answer and the tree's
+  /// row prefix stays exact). Always 0 at the sharded level.
+  uint64_t tree_preserved = 0;
 
   MaintenanceStats& operator+=(const MaintenanceStats& other) {
     deltas += other.deltas;
@@ -162,6 +202,7 @@ struct MaintenanceStats {
     entries_dropped += other.entries_dropped;
     dominance_tests += other.dominance_tests;
     index_preserved += other.index_preserved;
+    tree_preserved += other.tree_preserved;
     return *this;
   }
 };
@@ -192,6 +233,8 @@ struct EngineQueryStats {
   QueryPlan plan;
   /// Filled when an index backend served the query.
   QueryStats index;
+  /// Filled when the BBS tree path served the query (plan.uses_tree).
+  BbsStats bbs;
   /// One-shot algorithm counters (corner evaluations, skyline comparisons).
   Statistics counters;
   size_t result_size = 0;
@@ -231,6 +274,14 @@ class EclipseEngine {
   /// Eagerly builds the index for the current snapshot (a no-op if already
   /// built for it).
   Status BuildIndex();
+
+  /// Eagerly builds the BBS packed R-tree for the current snapshot (a
+  /// no-op if an up-to-date tree exists). Prewarms the output-sensitive
+  /// path the same way BuildIndex prewarms QUAD/CUTTING.
+  Status BuildBbsTree();
+  /// An up-to-date tree exists for the current snapshot (freshly built or
+  /// carried across dominated inserts).
+  bool bbs_tree_built() const;
 
   /// Copy-on-write mutations: publish a snapshot with epoch + 1. With
   /// incremental maintenance (the default) the mutation runs the delta

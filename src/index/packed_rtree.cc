@@ -1,0 +1,234 @@
+#include "index/packed_rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <utility>
+
+#include "common/thread_pool.h"
+
+namespace eclipse {
+
+namespace {
+
+/// The borrowed build-time view of the dataset.
+struct Rows {
+  const double* data;
+  size_t n;
+  size_t d;
+  size_t stride;
+
+  double at(size_t i, size_t j) const { return data[i * stride + j]; }
+};
+
+/// Sort-Tile-Recursive grouping: splits ids[begin, end) into groups of
+/// ~group_size rows, tiling one dimension at a time. Ties break by row id,
+/// so the grouping is a pure function of the data.
+void StrTile(const Rows& rows, std::vector<uint32_t>& ids, size_t begin,
+             size_t end, size_t dim, size_t group_size,
+             std::vector<std::pair<size_t, size_t>>* groups) {
+  const size_t n = end - begin;
+  const size_t d = rows.d;
+  if (n <= group_size || dim + 1 >= d) {
+    std::sort(ids.begin() + begin, ids.begin() + end,
+              [&](uint32_t a, uint32_t b) {
+                const size_t j = d - 1;
+                if (rows.at(a, j) != rows.at(b, j))
+                  return rows.at(a, j) < rows.at(b, j);
+                return a < b;
+              });
+    for (size_t s = begin; s < end; s += group_size) {
+      groups->emplace_back(s, std::min(s + group_size, end));
+    }
+    return;
+  }
+  std::sort(ids.begin() + begin, ids.begin() + end,
+            [&](uint32_t a, uint32_t b) {
+              if (rows.at(a, dim) != rows.at(b, dim))
+                return rows.at(a, dim) < rows.at(b, dim);
+              return a < b;
+            });
+  const size_t num_groups = (n + group_size - 1) / group_size;
+  const double remaining_dims = static_cast<double>(d - dim);
+  const size_t slabs = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(
+             std::pow(static_cast<double>(num_groups), 1.0 / remaining_dims))));
+  const size_t slab_size = (n + slabs - 1) / slabs;
+  for (size_t s = begin; s < end; s += slab_size) {
+    StrTile(rows, ids, s, std::min(s + slab_size, end), dim + 1, group_size,
+            groups);
+  }
+}
+
+/// The top-level tiling with the per-slab recursions fanned out on the
+/// shared pool. Slab boundaries are fixed before the fan-out and each slab
+/// recursion touches a disjoint id range, so the resulting grouping is
+/// byte-identical to the serial StrTile.
+void StrTileParallel(const Rows& rows, std::vector<uint32_t>& ids,
+                     size_t group_size,
+                     std::vector<std::pair<size_t, size_t>>* groups) {
+  const size_t n = ids.size();
+  const size_t d = rows.d;
+  if (n <= group_size || d < 2 || ThreadPool::Shared().size() < 2) {
+    StrTile(rows, ids, 0, n, 0, group_size, groups);
+    return;
+  }
+  std::sort(ids.begin(), ids.end(), [&](uint32_t a, uint32_t b) {
+    if (rows.at(a, 0) != rows.at(b, 0)) return rows.at(a, 0) < rows.at(b, 0);
+    return a < b;
+  });
+  const size_t num_groups = (n + group_size - 1) / group_size;
+  const size_t slabs = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(
+             std::pow(static_cast<double>(num_groups),
+                      1.0 / static_cast<double>(d)))));
+  const size_t slab_size = (n + slabs - 1) / slabs;
+  std::vector<std::pair<size_t, size_t>> slab_ranges;
+  for (size_t s = 0; s < n; s += slab_size) {
+    slab_ranges.emplace_back(s, std::min(s + slab_size, n));
+  }
+  std::vector<std::vector<std::pair<size_t, size_t>>> slab_groups(
+      slab_ranges.size());
+  ThreadPool::Shared().ParallelFor(
+      0, slab_ranges.size(), /*grain=*/1, [&](size_t begin, size_t end) {
+        for (size_t s = begin; s < end; ++s) {
+          StrTile(rows, ids, slab_ranges[s].first, slab_ranges[s].second, 1,
+                  group_size, &slab_groups[s]);
+        }
+      });
+  for (auto& sg : slab_groups) {
+    groups->insert(groups->end(), sg.begin(), sg.end());
+  }
+}
+
+}  // namespace
+
+Result<PackedRTree> PackedRTree::Build(const double* data, size_t n,
+                                       size_t dims, size_t stride,
+                                       const PackedRTreeOptions& options) {
+  if (dims == 0) {
+    return Status::InvalidArgument("PackedRTree: zero-dimensional data");
+  }
+  if (stride < dims) {
+    return Status::InvalidArgument("PackedRTree: stride < dims");
+  }
+  if (options.leaf_capacity < 2 || options.internal_fanout < 2) {
+    return Status::InvalidArgument("PackedRTree: capacities must be >= 2");
+  }
+  PackedRTree tree;
+  tree.n_ = n;
+  tree.dims_ = dims;
+  if (n == 0) {
+    // A single empty leaf with a degenerate zero MBR, so traversals have a
+    // well-defined root.
+    tree.lo_.assign(dims, 0.0);
+    tree.hi_.assign(dims, 0.0);
+    tree.entry_begin_ = {0, 0};
+    tree.num_nodes_ = 1;
+    tree.num_leaves_ = 1;
+    tree.root_ = 0;
+    tree.height_ = 1;
+    return tree;
+  }
+
+  const Rows rows{data, n, dims, stride};
+  std::vector<uint32_t> ids(n);
+  std::iota(ids.begin(), ids.end(), 0);
+  std::vector<std::pair<size_t, size_t>> groups;
+  StrTileParallel(rows, ids, options.leaf_capacity, &groups);
+
+  // Leaf level: the permuted id array IS the leaf entry storage, and the
+  // group boundaries are the offsets. MBRs fan out on the shared pool.
+  const size_t leaves = groups.size();
+  tree.num_leaves_ = leaves;
+  tree.entries_ = std::move(ids);
+  tree.entry_begin_.reserve(leaves + 1);
+  for (const auto& [b, e] : groups) {
+    tree.entry_begin_.push_back(static_cast<uint32_t>(b));
+    (void)e;  // groups are contiguous: e == next group's b (or n).
+  }
+  tree.entry_begin_.push_back(static_cast<uint32_t>(n));
+  tree.lo_.resize(leaves * dims);
+  tree.hi_.resize(leaves * dims);
+  ThreadPool::Shared().ParallelFor(
+      0, leaves, /*grain=*/16, [&](size_t begin, size_t end) {
+        for (size_t g = begin; g < end; ++g) {
+          double* lo = tree.lo_.data() + g * dims;
+          double* hi = tree.hi_.data() + g * dims;
+          std::fill_n(lo, dims, std::numeric_limits<double>::infinity());
+          std::fill_n(hi, dims, -std::numeric_limits<double>::infinity());
+          for (size_t k = groups[g].first; k < groups[g].second; ++k) {
+            const uint32_t row = tree.entries_[k];
+            for (size_t j = 0; j < dims; ++j) {
+              const double v = rows.at(row, j);
+              lo[j] = std::min(lo[j], v);
+              hi[j] = std::max(hi[j], v);
+            }
+          }
+        }
+      });
+  tree.height_ = 1;
+
+  // Upper levels: STR order makes consecutive nodes spatially coherent, so
+  // chunking preserves locality. Node ids grow upward, so leaves stay in
+  // [0, num_leaves) and the last node is the root.
+  std::vector<uint32_t> level(leaves);
+  std::iota(level.begin(), level.end(), 0);
+  size_t next_node = leaves;
+  while (level.size() > 1) {
+    std::vector<uint32_t> next;
+    for (size_t i = 0; i < level.size(); i += options.internal_fanout) {
+      const size_t end = std::min(i + options.internal_fanout, level.size());
+      tree.lo_.insert(tree.lo_.end(), dims,
+                      std::numeric_limits<double>::infinity());
+      tree.hi_.insert(tree.hi_.end(), dims,
+                      -std::numeric_limits<double>::infinity());
+      double* lo = tree.lo_.data() + next_node * dims;
+      double* hi = tree.hi_.data() + next_node * dims;
+      for (size_t c = i; c < end; ++c) {
+        tree.entries_.push_back(level[c]);
+        const double* clo = tree.lo_.data() + level[c] * dims;
+        const double* chi = tree.hi_.data() + level[c] * dims;
+        for (size_t j = 0; j < dims; ++j) {
+          lo[j] = std::min(lo[j], clo[j]);
+          hi[j] = std::max(hi[j], chi[j]);
+        }
+      }
+      tree.entry_begin_.push_back(static_cast<uint32_t>(tree.entries_.size()));
+      next.push_back(static_cast<uint32_t>(next_node));
+      ++next_node;
+    }
+    level = std::move(next);
+    ++tree.height_;
+  }
+  tree.num_nodes_ = next_node;
+  tree.root_ = level[0];
+  return tree;
+}
+
+Result<PackedRTree> PackedRTree::Build(const PointSet& points,
+                                       const PackedRTreeOptions& options) {
+  return Build(points.empty() ? nullptr : points.data().data(), points.size(),
+               points.dims(), points.dims(), options);
+}
+
+Box PackedRTree::node_box(uint32_t node) const {
+  std::vector<Interval> sides(dims_);
+  const double* lo = node_lo(node);
+  const double* hi = node_hi(node);
+  for (size_t j = 0; j < dims_; ++j) sides[j] = Interval{lo[j], hi[j]};
+  return Box(std::move(sides));
+}
+
+bool PackedRTree::Intersects(uint32_t node, const Box& box) const {
+  const double* lo = node_lo(node);
+  const double* hi = node_hi(node);
+  for (size_t j = 0; j < dims_; ++j) {
+    const Interval& side = box.side(j);
+    if (hi[j] < side.lo || side.hi < lo[j]) return false;
+  }
+  return true;
+}
+
+}  // namespace eclipse

@@ -1,0 +1,109 @@
+// PackedRTree: an STR bulk-loaded R-tree in flat packed arrays.
+//
+// The single tree substrate shared by the kNN path (knn/rtree.h) and the
+// output-sensitive BBS skyline path (skyline/bbs.h). The Sort-Tile-Recursive
+// loader used to live inside RTree; it is factored out here so both query
+// families traverse one implementation, laid out for traversal speed:
+//
+//   * node MBRs live in two flat row-major arrays (lo_, hi_; d doubles per
+//     node), so a bound computation streams contiguous memory instead of
+//     chasing per-node Box allocations;
+//   * per-node entries (leaf row ids / internal child ids) live in one
+//     shared entries_ array addressed by a prefix-offset table -- a node's
+//     fan-out is a span, not a vector;
+//   * leaves occupy node ids [0, num_leaves), so is_leaf() is a compare,
+//     not a flag load.
+//
+// The tree stores NO point coordinates: Build() reads the dataset once to
+// compute MBRs and the STR row permutation, and queries are handed the rows
+// separately. That decoupling is what lets EclipseEngine carry a tree
+// across copy-on-write epochs -- rows only append on insert, so an old
+// tree's row ids stay valid against every later snapshot, with no dangling
+// borrow of the snapshot it was built from.
+//
+// Build-time parallelism runs on ThreadPool::Shared(): after the top-level
+// STR sort, the per-slab tiling recursions and the leaf-MBR pass fan out.
+// The grouping is byte-identical to the serial recursion (slab boundaries
+// are computed before the fan-out and ties break by row id), so the tree
+// shape never depends on the worker count.
+
+#ifndef ECLIPSE_INDEX_PACKED_RTREE_H_
+#define ECLIPSE_INDEX_PACKED_RTREE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "geometry/box.h"
+#include "geometry/point.h"
+
+namespace eclipse {
+
+struct PackedRTreeOptions {
+  size_t leaf_capacity = 32;
+  size_t internal_fanout = 16;
+};
+
+class PackedRTree {
+ public:
+  /// Bulk-loads rows [0, n) of a row-major matrix (row i starts at
+  /// data + i * stride, d coordinates). The data is only read during the
+  /// build; the finished tree does not reference it.
+  static Result<PackedRTree> Build(const double* data, size_t n, size_t dims,
+                                   size_t stride,
+                                   const PackedRTreeOptions& options = {});
+
+  /// Bulk-loads a PointSet (stride == dims).
+  static Result<PackedRTree> Build(const PointSet& points,
+                                   const PackedRTreeOptions& options = {});
+
+  /// Rows indexed at build time.
+  size_t size() const { return n_; }
+  size_t dims() const { return dims_; }
+  size_t node_count() const { return num_nodes_; }
+  size_t height() const { return height_; }
+  uint32_t root() const { return root_; }
+
+  /// Leaves occupy node ids [0, num_leaves).
+  bool is_leaf(uint32_t node) const { return node < num_leaves_; }
+  size_t leaf_count() const { return num_leaves_; }
+
+  /// The node's MBR corners, d contiguous doubles each.
+  const double* node_lo(uint32_t node) const {
+    return lo_.data() + static_cast<size_t>(node) * dims_;
+  }
+  const double* node_hi(uint32_t node) const {
+    return hi_.data() + static_cast<size_t>(node) * dims_;
+  }
+
+  /// A leaf's row ids, or an internal node's child node ids.
+  std::span<const uint32_t> entries(uint32_t node) const {
+    return std::span<const uint32_t>(entries_.data() + entry_begin_[node],
+                                     entry_begin_[node + 1] -
+                                         entry_begin_[node]);
+  }
+
+  /// The node's MBR as an owned Box (convenience for tests / printing).
+  Box node_box(uint32_t node) const;
+
+  /// True iff the node's MBR intersects the closed box (dims must match).
+  bool Intersects(uint32_t node, const Box& box) const;
+
+ private:
+  size_t n_ = 0;
+  size_t dims_ = 0;
+  size_t height_ = 0;
+  size_t num_nodes_ = 0;
+  size_t num_leaves_ = 0;
+  uint32_t root_ = 0;
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+  /// entries of node k: entries_[entry_begin_[k] .. entry_begin_[k + 1]).
+  std::vector<uint32_t> entry_begin_;
+  std::vector<uint32_t> entries_;
+};
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_INDEX_PACKED_RTREE_H_

@@ -1,83 +1,11 @@
 #include "knn/rtree.h"
 
 #include <algorithm>
-#include <cmath>
-#include <numeric>
 #include <queue>
 
-#include "common/strings.h"
 #include "knn/scoring.h"
 
 namespace eclipse {
-
-namespace {
-
-Box BoundingBoxOfPoints(const PointSet& points,
-                        std::span<const uint32_t> ids) {
-  const size_t d = points.dims();
-  std::vector<Interval> sides(d, Interval{
-                                     std::numeric_limits<double>::infinity(),
-                                     -std::numeric_limits<double>::infinity()});
-  for (uint32_t id : ids) {
-    for (size_t j = 0; j < d; ++j) {
-      sides[j].lo = std::min(sides[j].lo, points.at(id, j));
-      sides[j].hi = std::max(sides[j].hi, points.at(id, j));
-    }
-  }
-  return Box(std::move(sides));
-}
-
-Box BoundingBoxOfBoxes(std::span<const Box> boxes) {
-  std::vector<Interval> sides(boxes[0].dims());
-  for (size_t j = 0; j < sides.size(); ++j) {
-    sides[j] = boxes[0].side(j);
-    for (const Box& b : boxes) {
-      sides[j].lo = std::min(sides[j].lo, b.side(j).lo);
-      sides[j].hi = std::max(sides[j].hi, b.side(j).hi);
-    }
-  }
-  return Box(std::move(sides));
-}
-
-// Sort-Tile-Recursive grouping: splits `ids` into groups of ~group_size
-// points, tiling one dimension at a time.
-void StrTile(const PointSet& points, std::vector<uint32_t>& ids, size_t begin,
-             size_t end, size_t dim, size_t group_size,
-             std::vector<std::pair<size_t, size_t>>* groups) {
-  const size_t n = end - begin;
-  const size_t d = points.dims();
-  if (n <= group_size || dim + 1 >= d) {
-    std::sort(ids.begin() + begin, ids.begin() + end,
-              [&](uint32_t a, uint32_t b) {
-                const size_t j = d - 1;
-                if (points.at(a, j) != points.at(b, j))
-                  return points.at(a, j) < points.at(b, j);
-                return a < b;
-              });
-    for (size_t s = begin; s < end; s += group_size) {
-      groups->emplace_back(s, std::min(s + group_size, end));
-    }
-    return;
-  }
-  std::sort(ids.begin() + begin, ids.begin() + end,
-            [&](uint32_t a, uint32_t b) {
-              if (points.at(a, dim) != points.at(b, dim))
-                return points.at(a, dim) < points.at(b, dim);
-              return a < b;
-            });
-  const size_t num_groups = (n + group_size - 1) / group_size;
-  const double remaining_dims = static_cast<double>(d - dim);
-  const size_t slabs = std::max<size_t>(
-      1, static_cast<size_t>(std::ceil(
-             std::pow(static_cast<double>(num_groups), 1.0 / remaining_dims))));
-  const size_t slab_size = (n + slabs - 1) / slabs;
-  for (size_t s = begin; s < end; s += slab_size) {
-    StrTile(points, ids, s, std::min(s + slab_size, end), dim + 1, group_size,
-            groups);
-  }
-}
-
-}  // namespace
 
 Result<RTree> RTree::Build(const PointSet& points, const RTreeOptions& options) {
   if (points.dims() == 0) {
@@ -88,54 +16,10 @@ Result<RTree> RTree::Build(const PointSet& points, const RTreeOptions& options) 
   }
   RTree tree;
   tree.points_ = &points;
-  if (points.empty()) {
-    Node root;
-    root.mbr = Box(std::vector<Interval>(points.dims(), Interval{0.0, 0.0}));
-    root.leaf = true;
-    tree.nodes_.push_back(std::move(root));
-    tree.root_ = 0;
-    tree.height_ = 1;
-    return tree;
-  }
-
-  std::vector<uint32_t> ids(points.size());
-  std::iota(ids.begin(), ids.end(), 0);
-  std::vector<std::pair<size_t, size_t>> groups;
-  StrTile(points, ids, 0, ids.size(), 0, options.leaf_capacity, &groups);
-
-  // Leaf level.
-  std::vector<uint32_t> level;
-  for (const auto& [b, e] : groups) {
-    Node leaf;
-    leaf.leaf = true;
-    leaf.children.assign(ids.begin() + b, ids.begin() + e);
-    leaf.mbr = BoundingBoxOfPoints(points, leaf.children);
-    level.push_back(static_cast<uint32_t>(tree.nodes_.size()));
-    tree.nodes_.push_back(std::move(leaf));
-  }
-  tree.height_ = 1;
-
-  // Upper levels: STR order makes consecutive nodes spatially coherent, so
-  // chunking preserves locality.
-  while (level.size() > 1) {
-    std::vector<uint32_t> next;
-    for (size_t i = 0; i < level.size(); i += options.internal_fanout) {
-      Node internal;
-      internal.leaf = false;
-      const size_t end = std::min(i + options.internal_fanout, level.size());
-      std::vector<Box> child_boxes;
-      for (size_t c = i; c < end; ++c) {
-        internal.children.push_back(level[c]);
-        child_boxes.push_back(tree.nodes_[level[c]].mbr);
-      }
-      internal.mbr = BoundingBoxOfBoxes(child_boxes);
-      next.push_back(static_cast<uint32_t>(tree.nodes_.size()));
-      tree.nodes_.push_back(std::move(internal));
-    }
-    level = std::move(next);
-    ++tree.height_;
-  }
-  tree.root_ = level[0];
+  PackedRTreeOptions packed;
+  packed.leaf_capacity = options.leaf_capacity;
+  packed.internal_fanout = options.internal_fanout;
+  ECLIPSE_ASSIGN_OR_RETURN(tree.tree_, PackedRTree::Build(points, packed));
   return tree;
 }
 
@@ -146,18 +30,20 @@ Result<std::vector<PointId>> RTree::RangeQuery(const Box& box,
   }
   std::vector<PointId> out;
   if (points_->empty()) return out;
-  std::vector<uint32_t> stack = {static_cast<uint32_t>(root_)};
+  std::vector<uint32_t> stack = {tree_.root()};
   while (!stack.empty()) {
-    const Node& node = nodes_[stack.back()];
+    const uint32_t node = stack.back();
     stack.pop_back();
     if (stats != nullptr) stats->Add(Ticker::kIndexNodesVisited, 1);
-    if (!node.mbr.Intersects(box)) continue;
-    if (node.leaf) {
-      for (uint32_t id : node.children) {
+    if (!tree_.Intersects(node, box)) continue;
+    const std::span<const uint32_t> entries = tree_.entries(node);
+    if (tree_.is_leaf(node)) {
+      if (stats != nullptr) stats->Add(Ticker::kIndexLeavesScanned, 1);
+      for (uint32_t id : entries) {
         if (box.Contains((*points_)[id])) out.push_back(id);
       }
     } else {
-      stack.insert(stack.end(), node.children.begin(), node.children.end());
+      stack.insert(stack.end(), entries.begin(), entries.end());
     }
   }
   std::sort(out.begin(), out.end());
@@ -167,7 +53,8 @@ Result<std::vector<PointId>> RTree::RangeQuery(const Box& box,
 Result<std::vector<ScoredPoint>> RTree::KNearest(std::span<const double> w,
                                                  size_t k,
                                                  Statistics* stats) const {
-  if (w.size() != points_->dims()) {
+  const size_t d = points_->dims();
+  if (w.size() != d) {
     return Status::InvalidArgument("KNearest: weight dims mismatch");
   }
   bool any_positive = false;
@@ -184,6 +71,10 @@ Result<std::vector<ScoredPoint>> RTree::KNearest(std::span<const double> w,
   std::vector<ScoredPoint> result;
   if (k == 0 || points_->empty()) return result;
 
+  auto node_bound = [&](uint32_t node) {
+    return WeightedSum(std::span<const double>(tree_.node_lo(node), d), w);
+  };
+
   struct Entry {
     double bound;
     bool is_point;
@@ -195,8 +86,7 @@ Result<std::vector<ScoredPoint>> RTree::KNearest(std::span<const double> w,
     return a.index > b.index;
   };
   std::priority_queue<Entry, std::vector<Entry>, decltype(later)> queue(later);
-  queue.push(Entry{WeightedSum(nodes_[root_].mbr.LowCorner(), w), false,
-                   static_cast<uint32_t>(root_)});
+  queue.push(Entry{node_bound(tree_.root()), false, tree_.root()});
   while (!queue.empty()) {
     Entry top = queue.top();
     // Stop once the best remaining bound cannot affect the top-k (strictly
@@ -213,16 +103,16 @@ Result<std::vector<ScoredPoint>> RTree::KNearest(std::span<const double> w,
                 });
       continue;
     }
-    const Node& node = nodes_[top.index];
     if (stats != nullptr) stats->Add(Ticker::kIndexNodesVisited, 1);
-    if (node.leaf) {
-      for (uint32_t id : node.children) {
+    const std::span<const uint32_t> entries = tree_.entries(top.index);
+    if (tree_.is_leaf(top.index)) {
+      if (stats != nullptr) stats->Add(Ticker::kIndexLeavesScanned, 1);
+      for (uint32_t id : entries) {
         queue.push(Entry{WeightedSum((*points_)[id], w), true, id});
       }
     } else {
-      for (uint32_t child : node.children) {
-        queue.push(Entry{WeightedSum(nodes_[child].mbr.LowCorner(), w), false,
-                         child});
+      for (uint32_t child : entries) {
+        queue.push(Entry{node_bound(child), false, child});
       }
     }
   }

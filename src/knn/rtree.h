@@ -3,6 +3,12 @@
 // The kNN substrate: supports axis-aligned range queries and best-first kNN
 // under a positive weighted-sum score (the score's minimum over a node's
 // bounding box is the box's low corner score, giving an admissible bound).
+//
+// The tree structure itself is a PackedRTree (index/packed_rtree.h), the
+// same STR bulk load + flat packed layout the BBS skyline path traverses;
+// this class adds the kNN-specific queries over it. Both query paths tick
+// Statistics uniformly: kIndexNodesVisited for every node whose MBR is
+// examined and kIndexLeavesScanned for every leaf whose points are scanned.
 
 #ifndef ECLIPSE_KNN_RTREE_H_
 #define ECLIPSE_KNN_RTREE_H_
@@ -14,6 +20,7 @@
 #include "common/statistics.h"
 #include "geometry/box.h"
 #include "geometry/point.h"
+#include "index/packed_rtree.h"
 #include "knn/linear_scan.h"
 
 namespace eclipse {
@@ -40,21 +47,15 @@ class RTree {
                                             Statistics* stats = nullptr) const;
 
   size_t size() const { return points_ == nullptr ? 0 : points_->size(); }
-  size_t node_count() const { return nodes_.size(); }
-  size_t height() const { return height_; }
+  size_t node_count() const { return tree_.node_count(); }
+  size_t height() const { return tree_.height(); }
+
+  /// The underlying packed tree (shared with the BBS skyline path).
+  const PackedRTree& packed() const { return tree_; }
 
  private:
-  struct Node {
-    Box mbr;  // minimum bounding rectangle
-    // Leaves index points_; internals index nodes_.
-    std::vector<uint32_t> children;
-    bool leaf = true;
-  };
-
   const PointSet* points_ = nullptr;
-  std::vector<Node> nodes_;
-  size_t root_ = 0;
-  size_t height_ = 0;
+  PackedRTree tree_;
 };
 
 }  // namespace eclipse

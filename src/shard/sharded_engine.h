@@ -155,7 +155,9 @@ class ShardedEclipseEngine {
   const ShardedEngineOptions& options() const;
   const Partitioner& partitioner() const;
   /// Shard s's engine, for observability and tests (e.g. prewarming an
-  /// index via shard(s).BuildIndex()).
+  /// index via shard(s).BuildIndex() or the BBS tree via
+  /// shard(s).BuildBbsTree(); each shard routes to its own tree, so the
+  /// scatter-gather merge is unchanged by the output-sensitive path).
   EclipseEngine& shard(size_t s);
   const EclipseEngine& shard(size_t s) const;
   /// The sharded-level LRU (hits/misses/size).

@@ -1,0 +1,198 @@
+#include "skyline/bbs.h"
+
+#include <algorithm>
+#include <queue>
+#include <span>
+
+#include "common/strings.h"
+#include "core/corner_kernel.h"
+#include "skyline/simd_dominance.h"
+
+namespace eclipse {
+
+namespace {
+
+/// The embedding the traversal bounds in: the corner-score kernel for
+/// eclipse queries, the identity for raw-space skylines. Both are monotone
+/// componentwise in the raw coordinates, which is the only property the
+/// low-corner bound needs.
+struct Embedder {
+  const CornerKernel* kernel;  // nullptr = identity
+  size_t d;
+  size_t m;
+
+  void Embed(const double* p, double* out) const {
+    if (kernel != nullptr) {
+      kernel->EmbedInto(std::span<const double>(p, d), out);
+    } else {
+      std::copy_n(p, d, out);
+    }
+  }
+};
+
+Result<std::vector<PointId>> BbsCore(const PointSet& points,
+                                     const PackedRTree& tree,
+                                     const Embedder& e, const Box* constraint,
+                                     Statistics* stats, BbsStats* bbs_out) {
+  if (tree.dims() != points.dims()) {
+    return Status::InvalidArgument(
+        StrFormat("BBS: tree indexes %zu-d rows, dataset is %zu-d",
+                  tree.dims(), points.dims()));
+  }
+  if (tree.size() > points.size()) {
+    return Status::InvalidArgument(
+        StrFormat("BBS: tree indexes %zu rows but the dataset has %zu",
+                  tree.size(), points.size()));
+  }
+  if (constraint != nullptr && constraint->dims() != points.dims()) {
+    return Status::InvalidArgument("BBS: constraint box dims mismatch");
+  }
+
+  BbsStats bbs;
+  uint64_t comparisons = 0;
+  uint64_t embeddings = 0;
+  std::vector<PointId> out;
+  const size_t m = e.m;
+
+  if (tree.size() > 0) {
+    // Embeddings of every queued heap entry, m doubles per slot; accepted
+    // rows move into a dense window the SIMD inner loop streams.
+    std::vector<double> pool;
+    std::vector<double> accepted;
+    std::vector<double> tmp(m);
+
+    struct Entry {
+      double bound;
+      uint32_t index;  // node id, or row id for points
+      uint32_t slot;   // row in the embedding pool
+      bool is_point;
+    };
+    auto later = [](const Entry& a, const Entry& b) {
+      if (a.bound != b.bound) return a.bound > b.bound;
+      if (a.is_point != b.is_point) return a.is_point;  // nodes first
+      return a.index > b.index;
+    };
+    std::priority_queue<Entry, std::vector<Entry>, decltype(later)> heap(
+        later);
+
+    auto dominated = [&](const double* emb) {
+      const size_t count = accepted.size() / m;
+      const size_t dom = FindDominatorRow(accepted.data(), count, m, emb);
+      comparisons += dom == count ? count : dom + 1;
+      return dom < count;
+    };
+    auto push = [&](uint32_t index, bool is_point) {
+      const uint32_t slot = static_cast<uint32_t>(pool.size() / m);
+      pool.insert(pool.end(), tmp.begin(), tmp.end());
+      double bound = 0.0;
+      for (size_t j = 0; j < m; ++j) bound += tmp[j];
+      heap.push(Entry{bound, index, slot, is_point});
+      ++bbs.heap_pushes;
+    };
+    auto try_push_node = [&](uint32_t node) {
+      if (constraint != nullptr && !tree.Intersects(node, *constraint)) {
+        return;
+      }
+      e.Embed(tree.node_lo(node), tmp.data());
+      ++embeddings;
+      if (dominated(tmp.data())) {
+        ++bbs.nodes_pruned;
+        return;
+      }
+      push(node, /*is_point=*/false);
+    };
+    auto try_push_point = [&](uint32_t row) {
+      const std::span<const double> p = points[row];
+      if (constraint != nullptr && !constraint->Contains(p)) return;
+      e.Embed(p.data(), tmp.data());
+      ++embeddings;
+      if (dominated(tmp.data())) {
+        ++bbs.points_pruned;
+        return;
+      }
+      push(row, /*is_point=*/true);
+    };
+
+    try_push_node(tree.root());
+    while (!heap.empty()) {
+      const Entry top = heap.top();
+      heap.pop();
+      // Re-check at pop time: the accepted window may have grown since the
+      // push-time test.
+      const double* emb = pool.data() + static_cast<size_t>(top.slot) * m;
+      if (dominated(emb)) {
+        ++(top.is_point ? bbs.points_pruned : bbs.nodes_pruned);
+        continue;
+      }
+      if (top.is_point) {
+        // Minimal remaining sum and not properly dominated by any accepted
+        // row: every potential dominator has a strictly smaller sum and was
+        // already popped (or pruned by a row that also dominates this one),
+        // so the point is a final skyline member.
+        accepted.insert(accepted.end(), emb, emb + m);
+        out.push_back(top.index);
+        ++bbs.points_accepted;
+        continue;
+      }
+      ++bbs.nodes_visited;
+      const std::span<const uint32_t> entries = tree.entries(top.index);
+      if (tree.is_leaf(top.index)) {
+        ++bbs.leaves_scanned;
+        for (uint32_t row : entries) try_push_point(row);
+      } else {
+        for (uint32_t child : entries) try_push_node(child);
+      }
+    }
+    std::sort(out.begin(), out.end());
+  }
+
+  if (stats != nullptr) {
+    stats->Add(Ticker::kIndexNodesVisited, bbs.nodes_visited);
+    stats->Add(Ticker::kIndexLeavesScanned, bbs.leaves_scanned);
+    stats->Add(Ticker::kSkylineComparisons, comparisons);
+    if (e.kernel != nullptr) {
+      stats->Add(Ticker::kCornerScoreEvaluations, embeddings * m);
+    }
+  }
+  if (bbs_out != nullptr) *bbs_out = bbs;
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<PointId>> BbsSkyline(const PointSet& points,
+                                        const PackedRTree& tree,
+                                        const Box* constraint,
+                                        Statistics* stats, BbsStats* bbs) {
+  if (points.dims() == 0) {
+    return Status::InvalidArgument("BBS: zero-dimensional data");
+  }
+  const Embedder e{nullptr, points.dims(), points.dims()};
+  return BbsCore(points, tree, e, constraint, stats, bbs);
+}
+
+Result<std::vector<PointId>> BbsEclipse(const PointSet& points,
+                                        const PackedRTree& tree,
+                                        const RatioBox& box,
+                                        size_t max_corner_dims,
+                                        const Box* constraint,
+                                        Statistics* stats, BbsStats* bbs) {
+  if (points.dims() < 2) {
+    return Status::InvalidArgument("eclipse requires d >= 2 data");
+  }
+  if (box.dims() != points.dims()) {
+    return Status::InvalidArgument(
+        StrFormat("ratio box has %zu ranges, expected d-1 = %zu",
+                  box.num_ratios(), points.dims() - 1));
+  }
+  if (box.FreeDims().size() > max_corner_dims) {
+    return Status::ResourceExhausted(
+        StrFormat("corner embedding would need 2^%zu dims (max 2^%zu)",
+                  box.FreeDims().size(), max_corner_dims));
+  }
+  const CornerKernel kernel(box);
+  const Embedder e{&kernel, points.dims(), kernel.embedding_dims()};
+  return BbsCore(points, tree, e, constraint, stats, bbs);
+}
+
+}  // namespace eclipse

@@ -1,0 +1,111 @@
+// BBS: branch-and-bound skyline over a packed R-tree -- the output-
+// sensitive query path.
+//
+// The classic tree-based skyline (Papadias et al.'s BBS, via the skyline
+// survey in PAPERS.md) visits index nodes best-first by the minimum
+// coordinate sum of their MBR low corner and prunes every node whose low
+// corner is properly dominated by an already-accepted point. Cost is
+// proportional to the nodes that can contain skyline members -- typically
+// O(s log n) node visits for an s-point skyline -- instead of the O(n m)
+// full scan the flat kernels pay.
+//
+// The eclipse generalization (BbsEclipse) runs the SAME traversal over a
+// tree built in RAW data space, bounding in corner-score embedding space:
+// every embedding component is a nonnegative-weighted sum of raw
+// coordinates (or a raw coordinate, for unbounded ratio dims), hence
+// monotone in each coordinate, so
+//
+//     embed(node.lo) <= embed(p)   componentwise, for every p in the node.
+//
+// That makes embed(node.lo) an admissible componentwise lower bound: its
+// sum orders the best-first heap, and an accepted embedding that PROPERLY
+// dominates it properly dominates every point in the node (a <= e(lo) <=
+// e(p) with a != e(lo) forces a != e(p)), so the node is safely pruned.
+// Pruning only on proper dominance keeps exact duplicates of skyline
+// points in the result, matching the flat kernels' convention. Because a
+// proper dominator has a strictly smaller embedding sum, every potential
+// dominator of a point is popped (or pruned by something that also
+// dominates the point) before the point itself -- accepted points are
+// final, and the returned ids are exactly EclipseCornerSkyline's.
+//
+// Building the tree in raw space is what makes it reusable: it is query-
+// independent (one tree serves every RatioBox, bounded or not) and
+// shareable with the kNN path. Constrained skylines come for free: an
+// optional raw-space Box restricts the traversal to intersecting nodes and
+// contained points.
+//
+// Dominance tests run through the dispatching SIMD kernel
+// (skyline/simd_dominance.h) against a dense accepted-row window, so
+// accept/reject decisions are decision-identical to the flat kernels at
+// every tier.
+
+#ifndef ECLIPSE_SKYLINE_BBS_H_
+#define ECLIPSE_SKYLINE_BBS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/statistics.h"
+#include "core/ratio_box.h"
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "index/packed_rtree.h"
+
+namespace eclipse {
+
+/// Per-query BBS observability (Explain / bench / CLI).
+struct BbsStats {
+  /// Tree nodes expanded (popped off the heap and not pruned).
+  uint64_t nodes_visited = 0;
+  /// Leaves among them whose points were scanned.
+  uint64_t leaves_scanned = 0;
+  /// Nodes discarded because an accepted point dominates their low-corner
+  /// embedding (at push or pop time).
+  uint64_t nodes_pruned = 0;
+  /// Points discarded by dominance (at push or pop time).
+  uint64_t points_pruned = 0;
+  uint64_t heap_pushes = 0;
+  uint64_t points_accepted = 0;
+
+  BbsStats& operator+=(const BbsStats& other) {
+    nodes_visited += other.nodes_visited;
+    leaves_scanned += other.leaves_scanned;
+    nodes_pruned += other.nodes_pruned;
+    points_pruned += other.points_pruned;
+    heap_pushes += other.heap_pushes;
+    points_accepted += other.points_accepted;
+    return *this;
+  }
+};
+
+/// The raw-space skyline of `points` via BBS over `tree` (built over the
+/// same rows; the tree may index a PREFIX of the rows, in which case the
+/// skyline of that prefix is returned -- the epoch-carry contract). With
+/// `constraint`, the constrained skyline: minima among the points inside
+/// the closed raw-space box. Ids ascending; identical to the flat kernels'
+/// id sets on the same rows. Ticks kIndexNodesVisited / kIndexLeavesScanned
+/// / kSkylineComparisons on `stats`.
+Result<std::vector<PointId>> BbsSkyline(const PointSet& points,
+                                        const PackedRTree& tree,
+                                        const Box* constraint = nullptr,
+                                        Statistics* stats = nullptr,
+                                        BbsStats* bbs = nullptr);
+
+/// The eclipse set of `box` (skyline of the corner-score embedding, paper
+/// Theorem 5) via BBS over the raw-space `tree`. Handles bounded, unbounded
+/// and mixed boxes exactly like EclipseCornerSkyline and returns the
+/// identical id set; `max_corner_dims` guards the 2^|FreeDims| embedding
+/// blow-up the same way (ResourceExhausted). Also ticks
+/// kCornerScoreEvaluations for the lazy low-corner / point embeddings.
+Result<std::vector<PointId>> BbsEclipse(const PointSet& points,
+                                        const PackedRTree& tree,
+                                        const RatioBox& box,
+                                        size_t max_corner_dims = 20,
+                                        const Box* constraint = nullptr,
+                                        Statistics* stats = nullptr,
+                                        BbsStats* bbs = nullptr);
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_SKYLINE_BBS_H_

@@ -320,6 +320,7 @@ bool FlatCapable(SkylineAlgorithm algorithm) {
       return true;
     case SkylineAlgorithm::kSortSweep2D:
     case SkylineAlgorithm::kDivideConquer:
+    case SkylineAlgorithm::kBbs:  // needs a tree, not a flat view
       return false;
   }
   return false;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "index/packed_rtree.h"
+#include "skyline/bbs.h"
 #include "skyline/dominance.h"
 #include "skyline/flat_skyline.h"
 
@@ -32,6 +34,10 @@ Result<std::vector<PointId>> ComputeSkyline(const PointSet& points,
     case SkylineAlgorithm::kParallelMerge:
       return FlatSkyline(view, ChooseFlatSkylinePath(algorithm, view.n),
                          stats);
+    case SkylineAlgorithm::kBbs: {
+      ECLIPSE_ASSIGN_OR_RETURN(PackedRTree tree, PackedRTree::Build(points));
+      return BbsSkyline(points, tree, /*constraint=*/nullptr, stats);
+    }
   }
   return Status::InvalidArgument("unknown skyline algorithm");
 }
@@ -52,6 +58,8 @@ const char* ComputeSkylinePathName(SkylineAlgorithm algorithm, size_t n,
       return "divide-conquer";
     case SkylineAlgorithm::kParallelMerge:
       return FlatSkylinePathName(ChooseFlatSkylinePath(algorithm, n));
+    case SkylineAlgorithm::kBbs:
+      return "bbs";
   }
   return "unknown";
 }

@@ -31,6 +31,12 @@ enum class SkylineAlgorithm {
   /// Partition -> local SFS skylines -> pairwise tournament merge on the
   /// shared thread pool (skyline/flat_skyline.h).
   kParallelMerge,
+  /// Branch-and-bound skyline over a packed R-tree (skyline/bbs.h):
+  /// output-sensitive, visiting only nodes an accepted point does not
+  /// dominate. ComputeSkyline builds a throwaway tree; callers holding a
+  /// prebuilt tree (EclipseEngine's warm path) invoke BbsSkyline /
+  /// BbsEclipse directly.
+  kBbs,
 };
 
 /// Computes the skyline (points not properly dominated by any other point).

@@ -1,0 +1,581 @@
+// Tests for the output-sensitive BBS path: the PackedRTree substrate,
+// BbsSkyline / BbsEclipse differentially against the flat kernels and the
+// naive oracle (across distributions, dimensions, SIMD tiers, constraints
+// and shard counts), plan routing, and the epoch-carry rules for the
+// per-engine tree under interleaved mutations.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+#include "core/eclipse.h"
+#include "dataset/generators.h"
+#include "engine/eclipse_engine.h"
+#include "index/packed_rtree.h"
+#include "shard/sharded_engine.h"
+#include "skyline/bbs.h"
+#include "skyline/simd_dominance.h"
+#include "skyline/skyline.h"
+
+namespace eclipse {
+namespace {
+
+std::vector<PointId> Sorted(std::vector<PointId> ids) {
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+/// NaiveEclipse over the engine's current snapshot, mapped to the stable
+/// ids the engine reports (row indices shift after the first erase).
+std::vector<PointId> OracleIds(EclipseEngine& engine, const RatioBox& box) {
+  const auto snap = engine.snapshot();
+  auto ids = NaiveEclipse(snap->points(), box);
+  EXPECT_TRUE(ids.ok());
+  if (!ids.ok()) return {};
+  if (!snap->ids_are_row_indices()) {
+    for (PointId& id : *ids) id = snap->id(id);
+  }
+  return Sorted(*ids);
+}
+
+// ------------------------------------------------------------ PackedRTree --
+
+TEST(PackedRTreeTest, EmptyAndSingle) {
+  PointSet empty(3);
+  auto tree = PackedRTree::Build(empty);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->size(), 0u);
+  EXPECT_EQ(tree->node_count(), 1u);
+  EXPECT_TRUE(tree->is_leaf(tree->root()));
+  EXPECT_TRUE(tree->entries(tree->root()).empty());
+
+  auto one = *PointSet::FromPoints({{3, 1, 2}});
+  auto t1 = PackedRTree::Build(one);
+  ASSERT_TRUE(t1.ok());
+  EXPECT_EQ(t1->size(), 1u);
+  EXPECT_EQ(t1->height(), 1u);
+  EXPECT_EQ(t1->node_lo(t1->root())[0], 3.0);
+  EXPECT_EQ(t1->node_hi(t1->root())[2], 2.0);
+}
+
+TEST(PackedRTreeTest, InvalidInputsRejected) {
+  auto pts = *PointSet::FromPoints({{1, 2}, {3, 4}});
+  PackedRTreeOptions bad;
+  bad.leaf_capacity = 1;
+  EXPECT_FALSE(PackedRTree::Build(pts, bad).ok());
+  bad = {};
+  bad.internal_fanout = 1;
+  EXPECT_FALSE(PackedRTree::Build(pts, bad).ok());
+}
+
+// Structural invariants: every row id appears in exactly one leaf, every
+// child MBR is contained in its parent's, and the root covers everything.
+TEST(PackedRTreeTest, StructuralInvariants) {
+  Rng rng(811);
+  for (size_t n : {5u, 33u, 100u, 1000u}) {
+    PointSet pts = GenerateSynthetic(Distribution::kIndependent, n, 3, &rng);
+    auto tree = PackedRTree::Build(pts);
+    ASSERT_TRUE(tree.ok());
+    const size_t d = tree->dims();
+    std::vector<int> seen(n, 0);
+    for (uint32_t node = 0; node < tree->node_count(); ++node) {
+      if (tree->is_leaf(node)) {
+        for (uint32_t row : tree->entries(node)) {
+          ASSERT_LT(row, n);
+          ++seen[row];
+          for (size_t j = 0; j < d; ++j) {
+            EXPECT_LE(tree->node_lo(node)[j], pts.at(row, j));
+            EXPECT_GE(tree->node_hi(node)[j], pts.at(row, j));
+          }
+        }
+      } else {
+        for (uint32_t child : tree->entries(node)) {
+          ASSERT_LT(child, node);  // children are built before parents
+          for (size_t j = 0; j < d; ++j) {
+            EXPECT_LE(tree->node_lo(node)[j], tree->node_lo(child)[j]);
+            EXPECT_GE(tree->node_hi(node)[j], tree->node_hi(child)[j]);
+          }
+        }
+      }
+    }
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(seen[i], 1) << "row " << i;
+    for (size_t j = 0; j < d; ++j) {
+      double lo = pts.at(0, j), hi = pts.at(0, j);
+      for (size_t i = 1; i < n; ++i) {
+        lo = std::min(lo, pts.at(i, j));
+        hi = std::max(hi, pts.at(i, j));
+      }
+      EXPECT_EQ(tree->node_lo(tree->root())[j], lo);
+      EXPECT_EQ(tree->node_hi(tree->root())[j], hi);
+    }
+  }
+}
+
+// ------------------------------------------------------------- BbsSkyline --
+
+struct BbsCase {
+  Distribution dist;
+  size_t n;
+  size_t d;
+};
+
+class BbsDifferential : public ::testing::TestWithParam<BbsCase> {};
+
+TEST_P(BbsDifferential, MatchesFlatSkyline) {
+  const BbsCase& c = GetParam();
+  Rng rng(1000 + c.n + c.d);
+  PointSet pts = GenerateSynthetic(c.dist, c.n, c.d, &rng);
+  auto tree = PackedRTree::Build(pts);
+  ASSERT_TRUE(tree.ok());
+  BbsStats bbs;
+  auto got = BbsSkyline(pts, *tree, nullptr, nullptr, &bbs);
+  ASSERT_TRUE(got.ok());
+  auto expected = ComputeSkyline(pts);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(Sorted(*got), Sorted(*expected));
+  EXPECT_EQ(bbs.points_accepted, got->size());
+  // Output sensitivity: on skyline-friendly data the traversal must not
+  // degenerate to a full scan of the leaf level.
+  if (c.dist != Distribution::kAnticorrelated && c.n >= 1000) {
+    EXPECT_LT(bbs.nodes_visited, c.n);
+    EXPECT_LT(bbs.leaves_scanned, tree->leaf_count());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, BbsDifferential,
+    ::testing::Values(
+        BbsCase{Distribution::kIndependent, 64, 2},
+        BbsCase{Distribution::kIndependent, 1000, 3},
+        BbsCase{Distribution::kIndependent, 5000, 4},
+        BbsCase{Distribution::kCorrelated, 1000, 2},
+        BbsCase{Distribution::kCorrelated, 5000, 5},
+        BbsCase{Distribution::kAnticorrelated, 500, 3},
+        BbsCase{Distribution::kAnticorrelated, 2000, 4},
+        BbsCase{Distribution::kClustered, 1000, 3},
+        BbsCase{Distribution::kDriftingClusters, 2000, 3},
+        BbsCase{Distribution::kDriftingClusters, 1000, 5}));
+
+TEST(BbsSkylineTest, DuplicatesOfSkylinePointAllReported) {
+  auto pts = *PointSet::FromPoints({{1, 1}, {1, 1}, {0, 3}, {5, 5}, {1, 1}});
+  auto tree = PackedRTree::Build(pts);
+  ASSERT_TRUE(tree.ok());
+  auto got = BbsSkyline(pts, *tree);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, (std::vector<PointId>{0, 1, 2, 4}));
+}
+
+TEST(BbsSkylineTest, IdenticalAtEverySimdTier) {
+  Rng rng(977);
+  PointSet pts = GenerateSynthetic(Distribution::kAnticorrelated, 1500, 4,
+                                   &rng);
+  auto tree = PackedRTree::Build(pts);
+  ASSERT_TRUE(tree.ok());
+  auto expected = ComputeSkyline(pts);
+  ASSERT_TRUE(expected.ok());
+  for (SimdTier tier : AvailableSimdTiers()) {
+    ASSERT_TRUE(SetSimdTier(tier));
+    auto got = BbsSkyline(pts, *tree);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(Sorted(*got), Sorted(*expected)) << SimdTierName(tier);
+  }
+  ResetSimdTier();
+}
+
+// Constrained (sub-box) skylines: minima among the points inside the box.
+TEST(BbsSkylineTest, ConstrainedMatchesFilteredOracle) {
+  Rng rng(1201);
+  for (size_t d : {2u, 3u, 4u}) {
+    PointSet pts = GenerateSynthetic(Distribution::kIndependent, 800, d, &rng);
+    auto tree = PackedRTree::Build(pts);
+    ASSERT_TRUE(tree.ok());
+    for (int rep = 0; rep < 5; ++rep) {
+      std::vector<Interval> sides(d);
+      for (size_t j = 0; j < d; ++j) {
+        const double a = rng.NextDouble(), b = rng.NextDouble();
+        sides[j] = {std::min(a, b), std::max(a, b)};
+      }
+      const Box constraint(std::move(sides));
+      auto got = BbsSkyline(pts, *tree, &constraint);
+      ASSERT_TRUE(got.ok());
+
+      std::vector<PointId> inside;
+      std::vector<Point> rows;
+      for (PointId i = 0; i < pts.size(); ++i) {
+        if (constraint.Contains(pts[i])) {
+          inside.push_back(i);
+          rows.emplace_back(pts[i].begin(), pts[i].end());
+        }
+      }
+      std::vector<PointId> expected;
+      if (!rows.empty()) {
+        auto sub = *PointSet::FromPoints(rows);
+        for (PointId local : NaiveSkyline(sub)) {
+          expected.push_back(inside[local]);
+        }
+      }
+      EXPECT_EQ(Sorted(*got), expected) << "d=" << d << " rep=" << rep;
+    }
+  }
+}
+
+// ------------------------------------------------------------- BbsEclipse --
+
+TEST(BbsEclipseTest, MatchesNaiveEclipseAcrossBoxes) {
+  Rng rng(1301);
+  for (size_t d : {2u, 3u, 4u}) {
+    PointSet pts = GenerateSynthetic(Distribution::kIndependent, 400, d, &rng);
+    auto tree = PackedRTree::Build(pts);
+    ASSERT_TRUE(tree.ok());
+    std::vector<RatioBox> boxes = {
+        *RatioBox::Uniform(d - 1, 0.5, 2.0),   // bounded
+        RatioBox::Skyline(d - 1),              // fully unbounded
+        *RatioBox::Uniform(d - 1, 1.0, 1.0),   // degenerate (pure 1NN)
+    };
+    for (int rep = 0; rep < 3; ++rep) {
+      const double lo = rng.Uniform(0.05, 1.5);
+      boxes.push_back(*RatioBox::Uniform(d - 1, lo, lo + rng.Uniform(0.01, 3.0)));
+    }
+    for (const RatioBox& box : boxes) {
+      auto got = BbsEclipse(pts, *tree, box);
+      ASSERT_TRUE(got.ok()) << box.ToString();
+      auto expected = NaiveEclipse(pts, box);
+      ASSERT_TRUE(expected.ok());
+      EXPECT_EQ(Sorted(*got), Sorted(*expected))
+          << "d=" << d << " box=" << box.ToString();
+    }
+  }
+}
+
+TEST(BbsEclipseTest, MatchesCornerSkylineAtEveryTier) {
+  Rng rng(1409);
+  PointSet pts = GenerateSynthetic(Distribution::kAnticorrelated, 2000, 3,
+                                   &rng);
+  auto tree = PackedRTree::Build(pts);
+  ASSERT_TRUE(tree.ok());
+  const auto box = *RatioBox::Uniform(2, 0.36, 2.75);
+  auto expected = EclipseCornerSkyline(pts, box, {});
+  ASSERT_TRUE(expected.ok());
+  for (SimdTier tier : AvailableSimdTiers()) {
+    ASSERT_TRUE(SetSimdTier(tier));
+    auto got = BbsEclipse(pts, *tree, box);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(Sorted(*got), Sorted(*expected)) << SimdTierName(tier);
+  }
+  ResetSimdTier();
+}
+
+TEST(BbsEclipseTest, EmbeddingBlowupGuard) {
+  Rng rng(1501);
+  PointSet pts = GenerateSynthetic(Distribution::kIndependent, 100, 4, &rng);
+  auto tree = PackedRTree::Build(pts);
+  ASSERT_TRUE(tree.ok());
+  const auto box = *RatioBox::Uniform(3, 0.5, 2.0);
+  auto got = BbsEclipse(pts, *tree, box, /*max_corner_dims=*/2);
+  EXPECT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kResourceExhausted);
+}
+
+// kBbs as a plain SkylineAlgorithm (throwaway tree inside ComputeSkyline /
+// EclipseCornerSkyline).
+TEST(BbsEclipseTest, KBbsAlgorithmRoutesThroughComputeSkyline) {
+  Rng rng(1601);
+  PointSet pts = GenerateSynthetic(Distribution::kIndependent, 700, 3, &rng);
+  auto via_algo = ComputeSkyline(pts, SkylineAlgorithm::kBbs);
+  ASSERT_TRUE(via_algo.ok());
+  EXPECT_EQ(Sorted(*via_algo), Sorted(*ComputeSkyline(pts)));
+
+  const auto box = *RatioBox::Uniform(2, 0.5, 2.0);
+  EclipseOptions opts;
+  opts.skyline_algorithm = SkylineAlgorithm::kBbs;
+  auto via_corner = EclipseCornerSkyline(pts, box, opts);
+  ASSERT_TRUE(via_corner.ok());
+  EXPECT_EQ(Sorted(*via_corner), Sorted(*EclipseCornerSkyline(pts, box, {})));
+  EXPECT_STREQ(CornerSkylinePath(opts, pts.size()), "bbs");
+  EXPECT_STREQ(ComputeSkylinePathName(SkylineAlgorithm::kBbs, 100, 3), "bbs");
+}
+
+// ----------------------------------------------------------- plan routing --
+
+PlanInputs BbsShapeInputs() {
+  PlanInputs in;
+  in.n = 100000;
+  in.d = 3;
+  in.bounded = false;  // unbounded: never index-eligible, routed CORNER
+  return in;
+}
+
+TEST(BbsRoutingTest, AutoTakesTreeOnceBuilt) {
+  PlanInputs in = BbsShapeInputs();
+  in.tree_built = true;
+  QueryPlan plan = ChoosePlan(in, {});
+  EXPECT_TRUE(plan.uses_tree);
+  EXPECT_FALSE(plan.will_build_tree);
+  EXPECT_EQ(plan.engine, "CORNER");
+  EXPECT_EQ(plan.skyline_path, "bbs");
+}
+
+TEST(BbsRoutingTest, ColdEpochStaysFlatUntilThreshold) {
+  PlanInputs in = BbsShapeInputs();
+  EngineOptions options;
+  QueryPlan cold = ChoosePlan(in, options);
+  EXPECT_FALSE(cold.uses_tree);
+  EXPECT_EQ(cold.skyline_path, "flat-sfs");
+  in.bbs_eligible_queries = options.bbs_query_threshold - 1;
+  QueryPlan warm = ChoosePlan(in, options);
+  EXPECT_TRUE(warm.uses_tree);
+  EXPECT_TRUE(warm.will_build_tree);
+}
+
+TEST(BbsRoutingTest, GatesRespected) {
+  EngineOptions options;
+  {
+    PlanInputs in = BbsShapeInputs();
+    in.tree_built = true;
+    in.d = options.bbs_max_dims + 1;  // too high-dimensional
+    EXPECT_FALSE(ChoosePlan(in, options).uses_tree);
+  }
+  {
+    PlanInputs in = BbsShapeInputs();
+    in.tree_built = true;
+    in.n = options.bbs_min_points - 1;  // too small
+    EXPECT_FALSE(ChoosePlan(in, options).uses_tree);
+  }
+  {
+    PlanInputs in = BbsShapeInputs();
+    in.tree_built = true;
+    in.tree_build_failed = true;  // latched failure
+    EXPECT_FALSE(ChoosePlan(in, options).uses_tree);
+  }
+  {
+    PlanInputs in = BbsShapeInputs();
+    in.tree_built = true;
+    EngineOptions off = options;
+    off.enable_bbs = false;
+    EXPECT_FALSE(ChoosePlan(in, off).uses_tree);
+  }
+  {
+    // Index-eligible queries: a prebuilt tree bridges the index's lazy
+    // cold window (the build cost is sunk), but once the index exists or
+    // its query threshold fires, QUAD wins and BBS steps aside.
+    PlanInputs in = BbsShapeInputs();
+    in.tree_built = true;
+    in.bounded = true;
+    in.inside_domain = true;
+    EXPECT_TRUE(ChoosePlan(in, options).uses_tree);
+    in.index_built = true;
+    QueryPlan indexed = ChoosePlan(in, options);
+    EXPECT_TRUE(indexed.uses_index);
+    EXPECT_FALSE(indexed.uses_tree);
+    in.index_built = false;
+    in.eligible_queries = options.index_query_threshold;
+    QueryPlan built = ChoosePlan(in, options);
+    EXPECT_TRUE(built.uses_index);
+    EXPECT_FALSE(built.uses_tree);
+  }
+}
+
+TEST(BbsRoutingTest, UnboundedTwoDStaysTran2D) {
+  PlanInputs in = BbsShapeInputs();
+  in.d = 2;
+  in.tree_built = true;
+  QueryPlan plan = ChoosePlan(in, {});
+  EXPECT_EQ(plan.engine, "TRAN-2D");
+  EXPECT_FALSE(plan.uses_tree);
+}
+
+TEST(BbsRoutingTest, ForcedKBbsOverridesGates) {
+  PlanInputs in = BbsShapeInputs();
+  in.n = 200;  // below bbs_min_points: kAuto would stay flat
+  EngineOptions options;
+  options.algorithm.skyline_algorithm = SkylineAlgorithm::kBbs;
+  QueryPlan plan = ChoosePlan(in, options);
+  EXPECT_TRUE(plan.uses_tree);
+  EXPECT_TRUE(plan.will_build_tree);
+  EXPECT_EQ(plan.skyline_path, "bbs");
+}
+
+// ------------------------------------------------------------ engine wiring --
+
+EngineOptions BbsFriendlyOptions() {
+  EngineOptions options;
+  options.enable_index = false;   // leave the flat-vs-tree choice to BBS
+  options.bbs_min_points = 64;    // test datasets are small
+  return options;
+}
+
+TEST(BbsEngineTest, LazyTreeBuildAfterThresholdAndIdenticalResults) {
+  Rng rng(2027);
+  PointSet pts = GenerateSynthetic(Distribution::kIndependent, 900, 3, &rng);
+  auto engine = EclipseEngine::Make(pts, BbsFriendlyOptions());
+  ASSERT_TRUE(engine.ok());
+  auto baseline = EclipseEngine::Make(pts, EngineOptions{});
+  ASSERT_TRUE(baseline.ok());
+
+  // Distinct boxes defeat the result cache so every query re-plans.
+  for (size_t q = 0; q < 5; ++q) {
+    const double lo = 0.4 + 0.05 * static_cast<double>(q);
+    const auto box = *RatioBox::Uniform(2, lo, lo + 1.5);
+    EngineQueryStats stats;
+    auto got = engine->Query(box, &stats);
+    ASSERT_TRUE(got.ok());
+    auto expected = baseline->Query(box);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ(Sorted(*got), Sorted(*expected)) << "query " << q;
+    const bool past_threshold =
+        q + 1 >= engine->options().bbs_query_threshold;
+    EXPECT_EQ(stats.plan.uses_tree, past_threshold) << "query " << q;
+    if (stats.plan.uses_tree) {
+      EXPECT_EQ(stats.plan.skyline_path, "bbs");
+      EXPECT_GT(stats.bbs.nodes_visited, 0u);
+      EXPECT_LT(stats.bbs.nodes_visited, pts.size());
+    }
+  }
+  EXPECT_TRUE(engine->bbs_tree_built());
+}
+
+TEST(BbsEngineTest, PrebuiltTreeServesImmediately) {
+  Rng rng(2029);
+  PointSet pts = GenerateSynthetic(Distribution::kCorrelated, 600, 4, &rng);
+  auto engine = EclipseEngine::Make(pts, BbsFriendlyOptions());
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine->BuildBbsTree().ok());
+  EXPECT_TRUE(engine->bbs_tree_built());
+  const auto box = *RatioBox::Uniform(3, 0.5, 2.0);
+  EXPECT_TRUE(engine->Explain(box).uses_tree);
+  EngineQueryStats stats;
+  auto got = engine->Query(box, &stats);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(stats.plan.uses_tree);
+  EXPECT_FALSE(stats.plan.will_build_tree);
+  EXPECT_EQ(Sorted(*got), Sorted(*NaiveEclipse(pts, box)));
+}
+
+TEST(BbsEngineTest, DominatedInsertCarriesTreeEraseDropsIt) {
+  Rng rng(2031);
+  // Data in [0.2, 1]^3 so {2,2,2} is strictly dominated and {0.1,...} is a
+  // frontier point.
+  std::vector<Point> rows;
+  for (int i = 0; i < 300; ++i) {
+    rows.push_back({rng.Uniform(0.2, 1.0), rng.Uniform(0.2, 1.0),
+                    rng.Uniform(0.2, 1.0)});
+  }
+  auto pts = *PointSet::FromPoints(rows);
+  auto engine = EclipseEngine::Make(pts, BbsFriendlyOptions());
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine->BuildBbsTree().ok());
+
+  // Strictly dominated arrival: the tree carries.
+  ASSERT_TRUE(engine->Insert(Point{2, 2, 2}).ok());
+  EXPECT_TRUE(engine->bbs_tree_built());
+  EXPECT_EQ(engine->maintenance().tree_preserved, 1u);
+
+  // The carried tree (indexing a strict prefix of the rows) still answers
+  // exactly.
+  const auto box = *RatioBox::Uniform(2, 0.5, 2.0);
+  EngineQueryStats stats;
+  auto got = engine->Query(box, &stats);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(stats.plan.uses_tree);
+  EXPECT_EQ(Sorted(*got), OracleIds(*engine, box));
+
+  // A frontier arrival invalidates it.
+  ASSERT_TRUE(engine->Insert(Point{0.1, 0.1, 0.1}).ok());
+  EXPECT_FALSE(engine->bbs_tree_built());
+
+  // Rebuild, then erase: rows compact, the tree must drop.
+  ASSERT_TRUE(engine->BuildBbsTree().ok());
+  ASSERT_TRUE(engine->Erase(0).ok());
+  EXPECT_FALSE(engine->bbs_tree_built());
+  auto after = engine->Query(box);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(Sorted(*after), OracleIds(*engine, box));
+}
+
+// Interleaved mutations x queries, forced kBbs so every answer takes the
+// tree path (rebuilt on demand after invalidation), vs the naive oracle.
+TEST(BbsEngineTest, InterleavedMutationFuzz) {
+  Rng rng(2033);
+  PointSet pts = GenerateSynthetic(Distribution::kDriftingClusters, 200, 3,
+                                   &rng);
+  EngineOptions options = BbsFriendlyOptions();
+  options.algorithm.skyline_algorithm = SkylineAlgorithm::kBbs;
+  auto engine = EclipseEngine::Make(pts, options);
+  ASSERT_TRUE(engine.ok());
+  std::vector<PointId> live;
+  for (PointId i = 0; i < pts.size(); ++i) live.push_back(i);
+  PointId next_id = pts.size();
+  for (int round = 0; round < 12; ++round) {
+    if (rng.NextDouble() < 0.6 || live.size() < 10) {
+      auto id = engine->Insert(Point{rng.NextDouble(), rng.NextDouble(),
+                                     rng.NextDouble()});
+      ASSERT_TRUE(id.ok());
+      EXPECT_EQ(*id, next_id);
+      live.push_back(next_id++);
+    } else {
+      const size_t victim = rng.NextIndex(live.size());
+      ASSERT_TRUE(engine->Erase(live[victim]).ok());
+      live.erase(live.begin() + victim);
+    }
+    const double lo = rng.Uniform(0.3, 1.2);
+    const auto box = *RatioBox::Uniform(2, lo, lo + 1.0);
+    EngineQueryStats stats;
+    auto got = engine->Query(box, &stats);
+    ASSERT_TRUE(got.ok());
+    EXPECT_TRUE(stats.plan.uses_tree) << "round " << round;
+    EXPECT_EQ(Sorted(*got), OracleIds(*engine, box)) << "round " << round;
+  }
+}
+
+TEST(BbsEngineTest, ForcedKBbsSurfacesEmbeddingError) {
+  Rng rng(2035);
+  PointSet pts = GenerateSynthetic(Distribution::kIndependent, 300, 4, &rng);
+  EngineOptions options = BbsFriendlyOptions();
+  options.algorithm.skyline_algorithm = SkylineAlgorithm::kBbs;
+  options.algorithm.max_corner_dims = 2;  // 2^3 corners needed at d = 4
+  auto engine = EclipseEngine::Make(pts, options);
+  ASSERT_TRUE(engine.ok());
+  auto got = engine->Query(*RatioBox::Uniform(3, 0.5, 2.0));
+  EXPECT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kResourceExhausted);
+}
+
+// ----------------------------------------------------------------- shards --
+
+TEST(BbsShardedTest, ShardLocalBbsMatchesSingleEngine) {
+  Rng rng(2037);
+  PointSet pts = GenerateSynthetic(Distribution::kIndependent, 1200, 3, &rng);
+  auto single = EclipseEngine::Make(pts, EngineOptions{});
+  ASSERT_TRUE(single.ok());
+  const auto box = *RatioBox::Uniform(2, 0.45, 2.2);
+  auto expected = single->Query(box);
+  ASSERT_TRUE(expected.ok());
+
+  for (size_t shards = 1; shards <= 4; ++shards) {
+    ShardedEngineOptions options;
+    options.num_shards = shards;
+    options.engine = BbsFriendlyOptions();
+    auto sharded = ShardedEclipseEngine::Make(pts, options);
+    ASSERT_TRUE(sharded.ok());
+    for (size_t s = 0; s < sharded->num_shards(); ++s) {
+      ASSERT_TRUE(sharded->shard(s).BuildBbsTree().ok());
+    }
+    ShardedQueryStats stats;
+    auto got = sharded->Query(box, &stats);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(Sorted(*got), Sorted(*expected)) << "S=" << shards;
+    for (size_t s = 0; s < stats.plan.shard_plans.size(); ++s) {
+      // Shards above the min-points gate serve BBS; tiny shards may not.
+      if (sharded->shard(s).points().size() >=
+          options.engine.bbs_min_points) {
+        EXPECT_TRUE(stats.plan.shard_plans[s].uses_tree)
+            << "S=" << shards << " shard " << s;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eclipse

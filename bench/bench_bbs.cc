@@ -172,6 +172,9 @@ int main(int argc, char** argv) {
   eclipse::ShardedEngineOptions bbs_opts;
   bbs_opts.num_shards = kShards;
   bbs_opts.engine.enable_index = false;
+  // This bench measures the BBS path; keep the eclipse diagram from taking
+  // over the routing once the per-shard query counters pass its threshold.
+  bbs_opts.engine.enable_diagram = false;
   eclipse::ShardedEngineOptions flat_opts = bbs_opts;
   flat_opts.engine.enable_bbs = false;
   auto bbs_engine =

@@ -1,0 +1,462 @@
+// Eclipse-diagram bench: arbitrary-box query latency from the precomputed
+// query-space cell partition (src/diagram/) vs answering each box from
+// scratch, on the adversarial workload the diagram exists for -- a stream
+// where EVERY box is unique, so the result cache never hits.
+//
+//   build/bench/bench_diagram [--quick] [--smoke] [n]
+//
+// Phase 1 (unique-box scaling -> BENCH_diagram.json): for d in {2, 3, 4}
+// at n = 1e5 (INDE), a stream of unique bounded boxes is answered by three
+// configurations over identical data:
+//   * diagram   -- enable_diagram, prebuilt via BuildDiagram() (build time
+//                  reported separately); every query is a point location +
+//                  payload intersection + small exact merge,
+//   * off       -- no precomputed structures at all (diagram, index and
+//                  BBS tree disabled): each unique box pays the full corner
+//                  embed + skyline scan. This is the diagram-off serving
+//                  baseline the headline speedup gates against,
+//   * bbs       -- the output-sensitive BBS traversal over the shared
+//                  packed R-tree (diagram off); the strongest per-query
+//                  competitor, reported for context, not gated,
+//   * index     -- a prewarmed QUAD index, diagram off (context row).
+// Every query's ids are compared across all four configurations; a row is
+// only "identical": true if they never diverge. The headline gate is
+// diagram vs off p50.
+//
+// Phase 2 (mutation survival): a burst of inserts drawn from the data
+// distribution rides the incremental-maintenance path. Dominated arrivals
+// must carry the diagram verbatim and frontier arrivals must repair cell
+// payloads in place -- never a rebuild -- so the survival rate is
+// survived / inserts with the repaired-cells counter reported, and the
+// post-mutation answers are re-checked against a from-scratch engine.
+//
+// Before timing, a differential probe (every SIMD tier, d in {2, 3, 4},
+// interleaved mutations, unique + degenerate + boundary boxes) exits
+// nonzero on any divergence; --smoke runs only that probe (CI's guard).
+// --quick shrinks everything and skips the JSON.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "benchlib/table.h"
+#include "benchlib/workloads.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "dataset/generators.h"
+#include "engine/eclipse_engine.h"
+#include "skyline/simd_dominance.h"
+
+namespace {
+
+using eclipse::BenchDataset;
+using eclipse::Distribution;
+using eclipse::EclipseEngine;
+using eclipse::EngineOptions;
+using eclipse::EngineQueryStats;
+using eclipse::Point;
+using eclipse::PointId;
+using eclipse::PointSet;
+using eclipse::RatioBox;
+using eclipse::Rng;
+using eclipse::Stopwatch;
+using eclipse::StrFormat;
+
+/// A stream of boxes in which no box ever repeats: lo/hi are drawn on a
+/// 0.001 grid and deduplicated, so the result cache is useless and every
+/// query must be answered by a real backend.
+std::vector<RatioBox> MakeUniqueBoxes(size_t d, size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<RatioBox> boxes;
+  std::vector<std::pair<uint64_t, uint64_t>> seen;
+  while (boxes.size() < count) {
+    const uint64_t lo_q = 300 + rng.NextIndex(700);    // lo in [0.300, 1.000)
+    const uint64_t hi_q = lo_q + 200 + rng.NextIndex(2000);
+    if (std::find(seen.begin(), seen.end(),
+                  std::make_pair(lo_q, hi_q)) != seen.end()) {
+      continue;
+    }
+    seen.emplace_back(lo_q, hi_q);
+    boxes.push_back(*RatioBox::Uniform(d - 1, 0.001 * static_cast<double>(lo_q),
+                                       0.001 * static_cast<double>(hi_q)));
+  }
+  return boxes;
+}
+
+EngineOptions DiagramBenchOptions(bool diagram, bool index, bool bbs) {
+  EngineOptions options;
+  options.enable_index = index;
+  options.enable_bbs = bbs;
+  options.enable_diagram = diagram;
+  options.diagram_query_threshold = 1;
+  // The bench prefers a (cheap) larger merge over the ResourceExhausted
+  // fallback: candidate sets are a few hundred to a few thousand rows,
+  // orders of magnitude below the full scan either way.
+  options.diagram_max_candidates = 1u << 20;
+  return options;
+}
+
+struct TimedRun {
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  size_t diagram_hits = 0;
+  std::vector<std::vector<PointId>> answers;
+  bool ok = true;
+};
+
+double Percentile(std::vector<double>* sorted_us, double p) {
+  if (sorted_us->empty()) return 0.0;
+  const size_t idx = std::min(
+      sorted_us->size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted_us->size() - 1)));
+  return (*sorted_us)[idx];
+}
+
+TimedRun TimeUniqueBoxes(EclipseEngine* engine,
+                         const std::vector<RatioBox>& boxes) {
+  TimedRun r;
+  std::vector<double> latencies;
+  latencies.reserve(boxes.size());
+  r.answers.reserve(boxes.size());
+  for (const RatioBox& box : boxes) {
+    EngineQueryStats stats;
+    Stopwatch sw;
+    auto ids = engine->Query(box, &stats);
+    latencies.push_back(sw.ElapsedMicros());
+    if (!ids.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   ids.status().ToString().c_str());
+      r.ok = false;
+      return r;
+    }
+    if (stats.plan.diagram_hit) ++r.diagram_hits;
+    r.answers.push_back(std::move(*ids));
+  }
+  std::sort(latencies.begin(), latencies.end());
+  r.p50_us = Percentile(&latencies, 0.50);
+  r.p99_us = Percentile(&latencies, 0.99);
+  return r;
+}
+
+// ---------------------------------------------------- differential smoke --
+
+/// Diagram-served engine vs a diagram-off engine over unique, degenerate
+/// and domain-edge boxes with interleaved mutations; any divergence fails.
+bool SmokeProbeMatches(size_t d, const char* label) {
+  Rng rng(900 + d);
+  PointSet data = eclipse::GenerateSynthetic(
+      Distribution::kDriftingClusters, 1200, d, &rng);
+  EngineOptions on =
+      DiagramBenchOptions(/*diagram=*/true, /*index=*/false, /*bbs=*/true);
+  on.diagram_min_points = 64;
+  auto engine = EclipseEngine::Make(data, on);
+  auto oracle = EclipseEngine::Make(
+      data,
+      DiagramBenchOptions(/*diagram=*/false, /*index=*/false, /*bbs=*/false));
+  if (!engine.ok() || !oracle.ok()) return false;
+  std::vector<PointId> own;
+  PointId next_id = static_cast<PointId>(data.size());
+  size_t erase_cursor = 0;
+  size_t diagram_hits = 0;
+  double lo = 0.35;
+  for (int step = 0; step < 40; ++step) {
+    if (step % 3 == 2 && erase_cursor < own.size()) {
+      const PointId victim = own[erase_cursor++];
+      if (!engine->Erase(victim).ok() || !oracle->Erase(victim).ok()) {
+        return false;
+      }
+    } else {
+      Point p(d);
+      for (auto& v : p) v = rng.NextDouble();
+      if (step % 10 == 0) {
+        for (double& v : p) v *= 0.05;  // frontier arrival: repairs cells
+      }
+      if (!engine->Insert(p).ok() || !oracle->Insert(p).ok()) return false;
+      own.push_back(next_id++);
+    }
+    lo += 0.013;  // unique every step
+    const std::vector<RatioBox> boxes = {
+        *RatioBox::Uniform(d - 1, lo, lo + 1.3),
+        *RatioBox::Uniform(d - 1, lo, lo),  // degenerate 1NN
+        *RatioBox::Uniform(d - 1, 0.0, 0.5 + lo)};  // touches the domain edge
+    for (const RatioBox& box : boxes) {
+      EngineQueryStats stats;
+      auto got = engine->Query(box, &stats);
+      auto want = oracle->Query(box);
+      if (!got.ok() || !want.ok() || *got != *want) {
+        std::fprintf(stderr, "%s DIVERGED on %s (step %d)\n", label,
+                     box.ToString().c_str(), step);
+        return false;
+      }
+      if (stats.plan.diagram_hit) ++diagram_hits;
+    }
+  }
+  if (diagram_hits == 0) {
+    std::fprintf(stderr, "%s: diagram never answered a probe query\n", label);
+    return false;
+  }
+  return true;
+}
+
+int RunSmoke() {
+  for (eclipse::SimdTier tier : eclipse::AvailableSimdTiers()) {
+    if (!eclipse::SetSimdTier(tier)) return 1;
+    for (size_t d : {size_t{2}, size_t{3}, size_t{4}}) {
+      const std::string label =
+          StrFormat("diagram d=%zu [%s]", d, SimdTierName(tier));
+      if (!SmokeProbeMatches(d, label.c_str())) {
+        eclipse::ResetSimdTier();
+        return 1;
+      }
+    }
+  }
+  eclipse::ResetSimdTier();
+  std::printf("diagram smoke OK: diagram-served answers identical to "
+              "from-scratch recomputation (d=2/3/4, every SIMD tier, "
+              "40-step mutation streams, unique + degenerate + edge "
+              "boxes)\n");
+  return 0;
+}
+
+// ------------------------------------------------------ mutation survival --
+
+struct SurvivalResult {
+  size_t inserts = 0;
+  size_t survived = 0;
+  uint64_t repaired_cells = 0;
+  bool identical_after = false;
+  bool ok = true;
+};
+
+/// A burst of inserts from the data distribution against a live diagram:
+/// every arrival (dominated or frontier) must carry the diagram -- repair,
+/// never rebuild -- and the post-burst answers must still be exact.
+SurvivalResult RunSurvivalPhase(const PointSet& data, size_t d,
+                                size_t inserts) {
+  SurvivalResult r;
+  r.inserts = inserts;
+  auto engine = EclipseEngine::Make(
+      data, DiagramBenchOptions(/*diagram=*/true, /*index=*/false,
+                                /*bbs=*/true));
+  auto oracle = EclipseEngine::Make(
+      data, DiagramBenchOptions(/*diagram=*/false, /*index=*/false,
+                                /*bbs=*/false));
+  if (!engine.ok() || !oracle.ok() || !engine->BuildDiagram().ok()) {
+    r.ok = false;
+    return r;
+  }
+  Rng rng(1234 + d);
+  for (size_t i = 0; i < inserts; ++i) {
+    Point p(d);
+    for (auto& v : p) v = rng.NextDouble();
+    if (i % 50 == 0) {
+      for (double& v : p) v *= 0.05;  // frontier arrivals repair payloads
+    }
+    if (!engine->Insert(p).ok() || !oracle->Insert(p).ok()) {
+      r.ok = false;
+      return r;
+    }
+    if (engine->diagram_built()) ++r.survived;
+  }
+  r.repaired_cells = engine->maintenance().diagram_repaired_cells;
+  const auto box = *RatioBox::Uniform(d - 1, 0.437, 2.113);
+  auto got = engine->Query(box);
+  auto want = oracle->Query(box);
+  r.identical_after = got.ok() && want.ok() && *got == *want;
+  return r;
+}
+
+// ------------------------------------------------------------------ main --
+
+struct SweepRow {
+  size_t d = 0;
+  double build_ms = 0.0;
+  size_t cells = 0;
+  size_t root_payload = 0;
+  TimedRun diagram;
+  TimedRun off;
+  TimedRun bbs;
+  TimedRun index;
+  bool identical = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  size_t n = 100000;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[a], "--smoke") == 0) {
+      return RunSmoke();
+    } else {
+      n = static_cast<size_t>(std::atoll(argv[a]));
+    }
+  }
+  if (quick) n = std::min<size_t>(n, 5000);
+  const size_t queries = quick ? 20 : 100;
+  const size_t inserts = quick ? 50 : 500;
+
+  // The probe gate first: never report numbers from a diverging build.
+  if (RunSmoke() != 0) return 1;
+
+  std::printf("\nUnique-box stream: INDE n=%zu, %zu queries, no box ever "
+              "repeats (cache defeated)\n\n",
+              n, queries);
+  eclipse::TablePrinter table(
+      {"d", "build (ms)", "cells", "root", "diagram p50", "off p50",
+       "bbs p50", "index p50", "speedup", "hits", "identical"});
+  std::vector<SweepRow> rows;
+
+  for (size_t d : {size_t{2}, size_t{3}, size_t{4}}) {
+    PointSet data = eclipse::MakeBenchDataset(BenchDataset::kInde, n, d, 7);
+    const std::vector<RatioBox> boxes = MakeUniqueBoxes(d, queries, 100 + d);
+    SweepRow row;
+    row.d = d;
+
+    auto on = EclipseEngine::Make(
+        data,
+        DiagramBenchOptions(/*diagram=*/true, /*index=*/false, /*bbs=*/true));
+    auto off = EclipseEngine::Make(
+        data, DiagramBenchOptions(/*diagram=*/false, /*index=*/false,
+                                  /*bbs=*/false));
+    auto bbs = EclipseEngine::Make(
+        data, DiagramBenchOptions(/*diagram=*/false, /*index=*/false,
+                                  /*bbs=*/true));
+    auto indexed = EclipseEngine::Make(
+        data, DiagramBenchOptions(/*diagram=*/false, /*index=*/true,
+                                  /*bbs=*/false));
+    if (!on.ok() || !off.ok() || !bbs.ok() || !indexed.ok()) {
+      std::fprintf(stderr, "engine construction failed at d=%zu\n", d);
+      return 1;
+    }
+    {
+      Stopwatch sw;
+      if (!on->BuildDiagram().ok()) {
+        std::fprintf(stderr, "diagram build failed at d=%zu\n", d);
+        return 1;
+      }
+      row.build_ms = sw.ElapsedMicros() / 1000.0;
+    }
+    if (!indexed->BuildIndex().ok()) {
+      std::fprintf(stderr, "index build failed at d=%zu\n", d);
+      return 1;
+    }
+    const auto diagram = on->diagram();
+    row.cells = diagram->build_stats().cells;
+    row.root_payload = diagram->build_stats().root_payload;
+
+    row.diagram = TimeUniqueBoxes(&on.value(), boxes);
+    row.off = TimeUniqueBoxes(&off.value(), boxes);
+    row.bbs = TimeUniqueBoxes(&bbs.value(), boxes);
+    row.index = TimeUniqueBoxes(&indexed.value(), boxes);
+    if (!row.diagram.ok || !row.off.ok || !row.bbs.ok || !row.index.ok) {
+      return 1;
+    }
+    row.identical = row.diagram.answers == row.off.answers &&
+                    row.diagram.answers == row.bbs.answers &&
+                    row.diagram.answers == row.index.answers;
+
+    const double speedup =
+        row.diagram.p50_us > 0 ? row.off.p50_us / row.diagram.p50_us : 0.0;
+    table.AddRow({StrFormat("%zu", d), StrFormat("%.1f", row.build_ms),
+                  StrFormat("%zu", row.cells),
+                  StrFormat("%zu", row.root_payload),
+                  StrFormat("%.1f us", row.diagram.p50_us),
+                  StrFormat("%.1f us", row.off.p50_us),
+                  StrFormat("%.1f us", row.bbs.p50_us),
+                  StrFormat("%.1f us", row.index.p50_us),
+                  StrFormat("%.1fx", speedup),
+                  StrFormat("%zu/%zu", row.diagram.diagram_hits, queries),
+                  row.identical ? "yes" : "NO"});
+    rows.push_back(std::move(row));
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  bool all_identical = true;
+  bool speedup_ok = true;
+  for (const SweepRow& row : rows) {
+    all_identical = all_identical && row.identical;
+    speedup_ok =
+        speedup_ok && row.off.p50_us >= 20.0 * row.diagram.p50_us;
+  }
+  std::printf("identical answers across diagram/off/bbs/index: %s; p50 "
+              "speedup >= 20x at every d: %s\n\n",
+              all_identical ? "yes" : "NO", speedup_ok ? "yes" : "NO");
+  if (!all_identical) return 1;
+
+  const size_t survival_d = 3;
+  PointSet survival_data =
+      eclipse::MakeBenchDataset(BenchDataset::kInde, n, survival_d, 7);
+  const SurvivalResult survival =
+      RunSurvivalPhase(survival_data, survival_d, inserts);
+  if (!survival.ok) {
+    std::fprintf(stderr, "mutation-survival phase failed\n");
+    return 1;
+  }
+  const double survival_rate =
+      survival.inserts > 0 ? static_cast<double>(survival.survived) /
+                                 static_cast<double>(survival.inserts)
+                           : 0.0;
+  std::printf("Mutation survival: %zu inserts (incl. frontier arrivals) -> "
+              "diagram survived %zu (%.1f%%), %llu cell payload(s) repaired "
+              "in place, post-burst answers identical: %s\n",
+              survival.inserts, survival.survived, 100.0 * survival_rate,
+              static_cast<unsigned long long>(survival.repaired_cells),
+              survival.identical_after ? "yes" : "NO");
+  if (!survival.identical_after) return 1;
+
+  if (quick) {
+    std::printf("quick mode: skipping BENCH_diagram.json\n");
+    return 0;
+  }
+
+  FILE* json = std::fopen("BENCH_diagram.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_diagram.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"diagram\",\n  \"dataset\": \"INDE\",\n"
+               "  \"n\": %zu,\n  \"queries\": %zu,\n"
+               "  \"workload\": \"100%% unique bounded boxes (cache "
+               "defeated)\",\n"
+               "  \"baseline\": \"off = no precomputed structures "
+               "(diagram/index/bbs disabled)\",\n  \"rows\": [\n",
+               n, queries);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& r = rows[i];
+    const double speedup =
+        r.diagram.p50_us > 0 ? r.off.p50_us / r.diagram.p50_us : 0.0;
+    std::fprintf(
+        json,
+        "    {\"d\": %zu, \"build_ms\": %.1f, \"cells\": %zu, "
+        "\"root_payload\": %zu, \"diagram_p50_us\": %.1f, "
+        "\"diagram_p99_us\": %.1f, \"off_p50_us\": %.1f, "
+        "\"off_p99_us\": %.1f, \"bbs_p50_us\": %.1f, "
+        "\"bbs_p99_us\": %.1f, \"index_p50_us\": %.1f, "
+        "\"index_p99_us\": %.1f, \"speedup_p50\": %.1f, "
+        "\"diagram_hits\": %zu, \"identical\": %s}%s\n",
+        r.d, r.build_ms, r.cells, r.root_payload, r.diagram.p50_us,
+        r.diagram.p99_us, r.off.p50_us, r.off.p99_us, r.bbs.p50_us,
+        r.bbs.p99_us, r.index.p50_us, r.index.p99_us, speedup,
+        r.diagram.diagram_hits, r.identical ? "true" : "false",
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json,
+               "  ],\n  \"mutation_survival\": {\"d\": %zu, \"inserts\": "
+               "%zu, \"survived\": %zu, \"survival_rate\": %.3f, "
+               "\"repaired_cells\": %llu, \"identical_after_mutations\": "
+               "%s}\n}\n",
+               survival_d, survival.inserts, survival.survived,
+               survival_rate,
+               static_cast<unsigned long long>(survival.repaired_cells),
+               survival.identical_after ? "true" : "false");
+  std::fclose(json);
+  std::printf("wrote BENCH_diagram.json\n");
+  return 0;
+}

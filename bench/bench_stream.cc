@@ -20,6 +20,12 @@
 // latency (delta test + event delivery included) is reported p50/p99,
 // with the emitted event count.
 //
+// Phase 3 (adversarial unique boxes): a stream where EVERY box is unique,
+// so the result cache hits 0% and each query must be answered by a real
+// backend. Run with the eclipse diagram (src/diagram/) on vs off over
+// identical data; answers are compared query-by-query and the p50 speedup
+// is reported (the workload the query-space precomputation exists for).
+//
 // Before timing, the harness replays probe streams at a small n and exits
 // nonzero if the incremental path's answers (served queries AND standing
 // results) ever diverge from a from-scratch engine over the same live
@@ -399,6 +405,80 @@ SubscriptionResult RunSubscriptionPhase(size_t n, size_t d,
   return r;
 }
 
+// ---------------------------------------------- adversarial unique boxes
+
+struct AdversarialResult {
+  size_t queries = 0;
+  double on_p50_us = 0.0;
+  double on_p99_us = 0.0;
+  double off_p50_us = 0.0;
+  double off_p99_us = 0.0;
+  size_t diagram_hits = 0;
+  bool identical = false;
+  bool ok = true;
+};
+
+/// Every box unique (0.001-grid lo/hi, deduplicated): the result cache
+/// never hits and each query needs a real backend. Diagram on vs off over
+/// identical data, ids compared query-by-query.
+AdversarialResult RunAdversarialPhase(const PointSet& data, size_t d,
+                                      size_t queries) {
+  AdversarialResult r;
+  r.queries = queries;
+  EngineOptions on = StreamEngineOptions(true);
+  on.diagram_query_threshold = 1;
+  on.diagram_min_points = 1024;  // keep the routing gate open under --quick
+  EngineOptions off = StreamEngineOptions(true);
+  off.enable_diagram = false;
+  off.enable_bbs = false;  // the no-precomputed-structures serving baseline
+  auto engine_on = EclipseEngine::Make(data, on);
+  auto engine_off = EclipseEngine::Make(data, off);
+  if (!engine_on.ok() || !engine_off.ok() ||
+      !engine_on->BuildDiagram().ok()) {
+    r.ok = false;
+    return r;
+  }
+  Rng rng(31337);
+  std::vector<RatioBox> boxes;
+  std::vector<std::pair<uint64_t, uint64_t>> seen;
+  while (boxes.size() < queries) {
+    const uint64_t lo_q = 300 + rng.NextIndex(700);
+    const uint64_t hi_q = lo_q + 200 + rng.NextIndex(2000);
+    if (std::find(seen.begin(), seen.end(),
+                  std::make_pair(lo_q, hi_q)) != seen.end()) {
+      continue;
+    }
+    seen.emplace_back(lo_q, hi_q);
+    boxes.push_back(*RatioBox::Uniform(d - 1,
+                                       0.001 * static_cast<double>(lo_q),
+                                       0.001 * static_cast<double>(hi_q)));
+  }
+  std::vector<double> lat_on, lat_off;
+  r.identical = true;
+  for (const RatioBox& box : boxes) {
+    eclipse::EngineQueryStats stats;
+    Stopwatch sw_on;
+    auto got = engine_on->Query(box, &stats);
+    lat_on.push_back(sw_on.ElapsedMicros());
+    Stopwatch sw_off;
+    auto want = engine_off->Query(box);
+    lat_off.push_back(sw_off.ElapsedMicros());
+    if (!got.ok() || !want.ok()) {
+      r.ok = false;
+      return r;
+    }
+    if (stats.plan.diagram_hit) ++r.diagram_hits;
+    r.identical = r.identical && *got == *want;
+  }
+  std::sort(lat_on.begin(), lat_on.end());
+  std::sort(lat_off.begin(), lat_off.end());
+  r.on_p50_us = Percentile(&lat_on, 0.50);
+  r.on_p99_us = Percentile(&lat_on, 0.99);
+  r.off_p50_us = Percentile(&lat_off, 0.50);
+  r.off_p99_us = Percentile(&lat_off, 0.99);
+  return r;
+}
+
 // ------------------------------------------------------------------ main
 
 struct SweepRow {
@@ -506,6 +586,22 @@ int main(int argc, char** argv) {
               sub.mutations, static_cast<unsigned long long>(sub.events),
               sub.p50_us, sub.p99_us);
 
+  const size_t adversarial_queries = quick ? 30 : 200;
+  const AdversarialResult adv =
+      RunAdversarialPhase(data, d, adversarial_queries);
+  if (!adv.ok || !adv.identical) {
+    std::fprintf(stderr, "adversarial unique-box phase %s\n",
+                 adv.ok ? "DIVERGED" : "failed");
+    return 1;
+  }
+  const double adv_speedup =
+      adv.on_p50_us > 0 ? adv.off_p50_us / adv.on_p50_us : 0.0;
+  std::printf("Adversarial unique boxes: %zu queries (0%% cache hits), "
+              "diagram on p50 %.1f us (%zu diagram hit(s)) vs off p50 "
+              "%.1f us -> %.1fx, identical answers\n",
+              adv.queries, adv.on_p50_us, adv.diagram_hits, adv.off_p50_us,
+              adv_speedup);
+
   if (quick) {
     std::printf("quick mode: skipping BENCH_stream.json\n");
     return 0;
@@ -545,10 +641,17 @@ int main(int argc, char** argv) {
                "  ],\n  \"speedup_single\": %.2f,\n  \"speedup_sharded\": "
                "%.2f,\n  \"subscription\": {\"standing_queries\": 4, "
                "\"mutations\": %zu, \"event_ids\": %llu, \"delta_p50_us\": "
-               "%.1f, \"delta_p99_us\": %.1f}\n}\n",
+               "%.1f, \"delta_p99_us\": %.1f},\n"
+               "  \"adversarial_unique\": {\"queries\": %zu, "
+               "\"diagram_on_p50_us\": %.1f, \"diagram_on_p99_us\": %.1f, "
+               "\"diagram_off_p50_us\": %.1f, \"diagram_off_p99_us\": %.1f, "
+               "\"diagram_hits\": %zu, \"speedup_p50\": %.1f, "
+               "\"identical\": %s}\n}\n",
                speedup_single, speedup_sharded, sub.mutations,
                static_cast<unsigned long long>(sub.events), sub.p50_us,
-               sub.p99_us);
+               sub.p99_us, adv.queries, adv.on_p50_us, adv.on_p99_us,
+               adv.off_p50_us, adv.off_p99_us, adv.diagram_hits, adv_speedup,
+               adv.identical ? "true" : "false");
   std::fclose(json);
   std::printf("wrote BENCH_stream.json\n");
   return 0;

@@ -15,9 +15,13 @@
 //
 // Options: --max (attributes are larger-is-better; flip before querying),
 //          --rows (print matching rows, not only ids),
-//          --explain (print the engine's query plan; for the kNN operators
-//                      and the BBS path this includes the tree traversal
-//                      counters -- nodes visited, leaves scanned, pruned),
+//          --explain (print the engine's query plan and what actually
+//                      answered the query -- cache hit vs diagram hit vs
+//                      index/tree/one-shot; for the kNN operators and the
+//                      BBS path this includes the tree traversal counters
+//                      -- nodes visited, leaves scanned, pruned, tombstones
+//                      skipped -- and for diagram hits the cell count and
+//                      payload sizes),
 //          --algorithm=NAME (force the skyline backend: auto | bnl | sfs |
 //                      sort-sweep-2d | divide-conquer | parallel-merge |
 //                      bbs; a forced bbs surfaces tree errors instead of
@@ -206,15 +210,23 @@ int ReplayStream(Engine* engine, const RatioBox& box,
               static_cast<unsigned long long>(m.entries_merged),
               static_cast<unsigned long long>(m.entries_dropped),
               static_cast<unsigned long long>(m.dominance_tests));
+  std::printf("structures: tree %llu carried / %llu repacked, diagram "
+              "%llu carried (%llu cell(s) repaired) / %llu dropped\n",
+              static_cast<unsigned long long>(m.tree_preserved),
+              static_cast<unsigned long long>(m.tree_repacks),
+              static_cast<unsigned long long>(m.diagram_preserved),
+              static_cast<unsigned long long>(m.diagram_repaired_cells),
+              static_cast<unsigned long long>(m.diagram_dropped));
   (void)engine->UnregisterContinuous(*sub);
   return 0;
 }
 
 void PrintSubPlan(size_t s, const eclipse::QueryPlan& plan) {
-  std::printf("  shard %zu: %s%s%s, epoch %llu, cache %s%s%s (%s)\n", s,
+  std::printf("  shard %zu: %s%s%s%s, epoch %llu, cache %s%s%s (%s)\n", s,
               plan.engine.c_str(),
               plan.will_build_index ? " [builds index]" : "",
               plan.will_build_tree ? " [builds tree]" : "",
+              plan.will_build_diagram ? " [builds diagram]" : "",
               static_cast<unsigned long long>(plan.snapshot_epoch),
               plan.cache_hit ? "hit" : "miss",
               plan.skyline_path.empty() ? "" : ", skyline path: ",
@@ -295,15 +307,17 @@ int RunEngineQuery(const PointSet& original, PointSet data,
   }
   if (explain) {
     eclipse::QueryPlan plan = engine->Explain(box);
-    std::printf("plan: %s%s%s%s (%s)\n", plan.engine.c_str(),
+    std::printf("plan: %s%s%s%s%s (%s)\n", plan.engine.c_str(),
                 plan.will_build_index ? " [builds index]" : "",
                 plan.will_build_tree ? " [builds tree]" : "",
+                plan.will_build_diagram ? " [builds diagram]" : "",
                 plan.answered_incrementally ? " [incremental cache entry]"
                                             : "",
                 plan.reason.c_str());
-    std::printf("simd tier: %s%s%s\n", plan.simd_tier.c_str(),
+    std::printf("simd tier: %s%s%s, answered by: %s\n",
+                plan.simd_tier.c_str(),
                 plan.skyline_path.empty() ? "" : ", skyline path: ",
-                plan.skyline_path.c_str());
+                plan.skyline_path.c_str(), plan.answered_by.c_str());
   }
   eclipse::EngineQueryStats stats;
   auto ids = engine->Query(box, &stats);
@@ -318,12 +332,33 @@ int RunEngineQuery(const PointSet& original, PointSet data,
   if (explain && stats.plan.uses_tree) {
     std::printf("bbs: %llu node(s) visited (%llu leaf scan(s)), "
                 "%llu node(s) pruned, %llu point(s) pruned, "
-                "%llu accepted\n",
+                "%llu accepted, %llu tombstone(s) skipped\n",
                 static_cast<unsigned long long>(stats.bbs.nodes_visited),
                 static_cast<unsigned long long>(stats.bbs.leaves_scanned),
                 static_cast<unsigned long long>(stats.bbs.nodes_pruned),
                 static_cast<unsigned long long>(stats.bbs.points_pruned),
-                static_cast<unsigned long long>(stats.bbs.points_accepted));
+                static_cast<unsigned long long>(stats.bbs.points_accepted),
+                static_cast<unsigned long long>(
+                    stats.bbs.tombstones_skipped));
+  }
+  if (explain) {
+    // Cache hits and diagram hits are distinct fast paths: the cache only
+    // answers a repeated box, the diagram answers never-seen boxes too.
+    std::printf("answered by: %s (cache %s, diagram %s)\n",
+                stats.plan.answered_by.c_str(),
+                stats.plan.cache_hit ? "hit" : "miss",
+                stats.plan.diagram_hit ? "hit" : "miss");
+    if (stats.plan.diagram_hit) {
+      std::printf("diagram: %zu candidate(s) -> %zu result(s)",
+                  stats.diagram.candidates, stats.diagram.result_size);
+      const auto diagram = engine->diagram();
+      if (diagram != nullptr) {
+        const eclipse::DiagramBuildStats& b = diagram->build_stats();
+        std::printf("; %zu cell(s), root payload %zu, max leaf payload %zu",
+                    b.cells, b.root_payload, b.max_leaf_payload);
+      }
+      std::printf("\n");
+    }
   }
   PrintResult(original, *ids, print_rows);
   return 0;

@@ -1,0 +1,504 @@
+#include "diagram/eclipse_diagram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <unordered_map>
+#include <utility>
+
+#include "common/strings.h"
+#include "core/corner_kernel.h"
+#include "shard/merge.h"
+
+namespace eclipse {
+
+namespace {
+
+/// Strict componentwise dominance on embedding rows: a[j] < b[j] for every
+/// j. Deliberately scalar (no SIMD dispatch): payload CONTENT must be
+/// identical at every tier, and the strict predicate is not the kernels'
+/// proper-dominance one.
+bool StrictlyBelow(const double* a, const double* b, size_t m) {
+  for (size_t j = 0; j < m; ++j) {
+    if (!(a[j] < b[j])) return false;
+  }
+  return true;
+}
+
+/// Embeds each member id's row under `kernel`; rows resolved through snap.
+/// Returns the flat |ids| x m matrix.
+std::vector<double> EmbedMembers(const ColumnarSnapshot& snap,
+                                 const CornerKernel& kernel,
+                                 std::span<const PointId> ids) {
+  const size_t m = kernel.embedding_dims();
+  std::vector<double> emb(ids.size() * m);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto row = snap.RowOf(ids[i]);
+    // Payload members are live by the maintenance contract; a missing row
+    // would be a logic error upstream. Embed zeros defensively.
+    if (row.ok()) {
+      kernel.EmbedInto(snap.points()[*row], emb.data() + i * m);
+    }
+  }
+  return emb;
+}
+
+/// The sum-sorted strict-survivor pass over a pre-embedded member matrix:
+/// a strict dominator has a strictly smaller embedding sum, so testing each
+/// candidate (in ascending sum order) against prior survivors only is
+/// exact. Returns indices into the matrix, ascending.
+std::vector<size_t> StrictSurvivorRows(const std::vector<double>& emb,
+                                       size_t m, uint64_t* tests) {
+  const size_t n = m == 0 ? 0 : emb.size() / m;
+  std::vector<double> sums(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    sums[i] = std::accumulate(emb.begin() + i * m, emb.begin() + (i + 1) * m,
+                              0.0);
+  }
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (sums[a] != sums[b]) return sums[a] < sums[b];
+    return a < b;
+  });
+  std::vector<double> accepted;  // dense survivor embeddings
+  std::vector<size_t> survivors;
+  accepted.reserve(emb.size());
+  for (size_t i : order) {
+    const double* cand = emb.data() + i * m;
+    bool dominated = false;
+    const size_t count = accepted.size() / m;
+    for (size_t r = 0; r < count; ++r) {
+      if (tests != nullptr) ++*tests;
+      if (StrictlyBelow(accepted.data() + r * m, cand, m)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) continue;
+    accepted.insert(accepted.end(), cand, cand + m);
+    survivors.push_back(i);
+  }
+  std::sort(survivors.begin(), survivors.end());
+  return survivors;
+}
+
+}  // namespace
+
+std::vector<PointId> StrictSurvivors(const ColumnarSnapshot& snap,
+                                     const RatioBox& payload_box,
+                                     std::span<const PointId> member_ids,
+                                     uint64_t* tests) {
+  const CornerKernel kernel(payload_box);
+  const std::vector<double> emb = EmbedMembers(snap, kernel, member_ids);
+  std::vector<PointId> out;
+  for (size_t i :
+       StrictSurvivorRows(emb, kernel.embedding_dims(), tests)) {
+    out.push_back(member_ids[i]);
+  }
+  // member_ids ascending => survivors (ascending positions) ascending too;
+  // sort anyway so the contract holds for arbitrary callers.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+RatioBox EclipseDiagram::PayloadBox(const Node& n, bool lower) const {
+  std::vector<RatioRange> ranges(domain_.num_ratios());
+  for (size_t j = 0; j < ranges.size(); ++j) {
+    if (lower) {
+      ranges[j] = RatioRange{n.lo[j], domain_.range(j).hi};
+    } else {
+      ranges[j] = RatioRange{domain_.range(j).lo, n.hi[j]};
+    }
+  }
+  return *RatioBox::Make(std::move(ranges));
+}
+
+void EclipseDiagram::SplitLeaf(const ColumnarSnapshot& snap, uint32_t node,
+                               size_t axis, double split) {
+  Node left;
+  Node right;
+  left.lo = nodes_[node].lo;
+  left.hi = nodes_[node].hi;
+  left.hi[axis] = split;
+  right.lo = nodes_[node].lo;
+  right.hi = nodes_[node].hi;
+  right.lo[axis] = split;
+  // The child sharing the parent's anchor keeps the parent's payload; the
+  // other child's payload is the strict filter of the parent's under the
+  // child's (smaller) payload box -- exact by the chain argument.
+  left.lower = nodes_[node].lower;
+  right.upper = nodes_[node].upper;
+  right.lower = std::make_shared<const std::vector<PointId>>(StrictSurvivors(
+      snap, PayloadBox(right, /*lower=*/true), *nodes_[node].lower,
+      &build_stats_.strict_tests));
+  left.upper = std::make_shared<const std::vector<PointId>>(StrictSurvivors(
+      snap, PayloadBox(left, /*lower=*/false), *nodes_[node].upper,
+      &build_stats_.strict_tests));
+  const uint32_t li = static_cast<uint32_t>(nodes_.size());
+  nodes_.push_back(std::move(left));
+  const uint32_t ri = static_cast<uint32_t>(nodes_.size());
+  nodes_.push_back(std::move(right));
+  nodes_[node].axis = static_cast<int>(axis);
+  nodes_[node].split = split;
+  nodes_[node].left = li;
+  nodes_[node].right = ri;
+  nodes_[node].lower.reset();
+  nodes_[node].upper.reset();
+}
+
+Result<std::shared_ptr<const EclipseDiagram>> EclipseDiagram::Build(
+    const ColumnarSnapshot& snap, const RatioBox& domain,
+    DiagramOptions options) {
+  if (snap.dims() < 2) {
+    return Status::InvalidArgument("eclipse diagram requires d >= 2 data");
+  }
+  if (domain.dims() != snap.dims()) {
+    return Status::InvalidArgument(
+        StrFormat("diagram domain has %zu ranges, expected d-1 = %zu",
+                  domain.num_ratios(), snap.dims() - 1));
+  }
+  if (domain.AnyUnbounded()) {
+    return Status::InvalidArgument(
+        "diagram domain must be bounded (unbounded queries stay one-shot)");
+  }
+  if (snap.empty()) {
+    return Status::InvalidArgument("diagram over an empty dataset");
+  }
+  if (options.max_cells == 0) options.max_cells = 1;
+
+  auto diagram = std::shared_ptr<EclipseDiagram>(new EclipseDiagram());
+  diagram->domain_ = domain;
+  diagram->options_ = options;
+
+  // Root payload Strict(domain) over every row, sum-sorted pass on the full
+  // corner embedding matrix.
+  const CornerKernel kernel(domain);
+  {
+    const std::vector<double> emb = kernel.EmbedAll(snap);
+    std::vector<PointId> root;
+    for (size_t row :
+         StrictSurvivorRows(emb, kernel.embedding_dims(),
+                            &diagram->build_stats_.strict_tests)) {
+      root.push_back(snap.id(row));
+    }
+    std::sort(root.begin(), root.end());
+    diagram->root_payload_ =
+        std::make_shared<const std::vector<PointId>>(std::move(root));
+  }
+  diagram->build_stats_.root_payload = diagram->root_payload_->size();
+
+  const size_t d1 = domain.num_ratios();
+  Node root;
+  root.lo.resize(d1);
+  root.hi.resize(d1);
+  for (size_t j = 0; j < d1; ++j) {
+    root.lo[j] = domain.range(j).lo;
+    root.hi[j] = domain.range(j).hi;
+  }
+  root.lower = diagram->root_payload_;
+  root.upper = diagram->root_payload_;
+  diagram->nodes_.push_back(std::move(root));
+
+  if (d1 == 1) {
+    // d == 2: the EXACT sweep. The strict-dominance relation between two
+    // root-payload members p, q flips only where their scores cross:
+    // f_pq(r) = r (p0 - q0) + (p1 - q1) = 0, so payloads are constant on
+    // the open intervals between crossing values -- cells between
+    // consecutive crossings have provably constant answers.
+    const std::vector<PointId>& payload = *diagram->root_payload_;
+    std::vector<double> crossings;
+    const double lo = domain.range(0).lo;
+    const double hi = domain.range(0).hi;
+    for (size_t a = 0; a < payload.size(); ++a) {
+      auto ra = snap.RowOf(payload[a]);
+      if (!ra.ok()) continue;
+      const auto pa = snap.points()[*ra];
+      for (size_t b = a + 1; b < payload.size(); ++b) {
+        auto rb = snap.RowOf(payload[b]);
+        if (!rb.ok()) continue;
+        const auto pb = snap.points()[*rb];
+        const double denom = pa[0] - pb[0];
+        if (denom == 0.0) continue;
+        const double r = (pb[1] - pa[1]) / denom;
+        if (r > lo && r < hi && std::isfinite(r)) crossings.push_back(r);
+      }
+    }
+    std::sort(crossings.begin(), crossings.end());
+    crossings.erase(std::unique(crossings.begin(), crossings.end()),
+                    crossings.end());
+    diagram->build_stats_.crossings = crossings.size();
+    if (crossings.size() + 1 > options.max_cells) {
+      // Quantile-subsample the boundaries to the cell budget: cells merge
+      // (payloads stay sound supersets -- the lemma only needs the anchor).
+      std::vector<double> capped;
+      const size_t want = options.max_cells - 1;
+      for (size_t k = 1; k <= want; ++k) {
+        capped.push_back(
+            crossings[k * crossings.size() / (want + 1)]);
+      }
+      capped.erase(std::unique(capped.begin(), capped.end()), capped.end());
+      crossings = std::move(capped);
+      diagram->build_stats_.budget_capped = true;
+    }
+    // Median-split recursively so point location stays O(log cells).
+    struct Range {
+      uint32_t node;
+      size_t begin, end;  // crossing indices partitioning this cell
+    };
+    std::vector<Range> stack{{0, 0, crossings.size()}};
+    while (!stack.empty()) {
+      Range r = stack.back();
+      stack.pop_back();
+      if (r.begin >= r.end) continue;
+      const size_t mid = r.begin + (r.end - r.begin) / 2;
+      diagram->SplitLeaf(snap, r.node, 0, crossings[mid]);
+      stack.push_back({diagram->nodes_[r.node].left, r.begin, mid});
+      stack.push_back({diagram->nodes_[r.node].right, mid + 1, r.end});
+    }
+  } else {
+    // d >= 3: adaptive kd-subdivision. Repeatedly split the leaf with the
+    // largest payload (midpoint of its widest axis) and verify the child
+    // payloads by the strict filter, until every payload fits the target or
+    // the cell budget is exhausted.
+    while (true) {
+      size_t leaves = 0;
+      uint32_t worst = 0;
+      size_t worst_payload = 0;
+      for (uint32_t i = 0; i < diagram->nodes_.size(); ++i) {
+        const Node& n = diagram->nodes_[i];
+        if (n.axis >= 0) continue;
+        ++leaves;
+        const size_t p = std::max(n.lower->size(), n.upper->size());
+        if (p > worst_payload) {
+          worst_payload = p;
+          worst = i;
+        }
+      }
+      if (worst_payload <= options.target_payload) break;
+      if (leaves + 1 > options.max_cells) {
+        diagram->build_stats_.budget_capped = true;
+        break;
+      }
+      const Node& w = diagram->nodes_[worst];
+      size_t axis = 0;
+      double extent = 0.0;
+      for (size_t j = 0; j < d1; ++j) {
+        const double e = w.hi[j] - w.lo[j];
+        if (e > extent) {
+          extent = e;
+          axis = j;
+        }
+      }
+      if (extent <= 0.0) break;  // degenerate cell; cannot refine further
+      const double split = w.lo[axis] + extent / 2.0;
+      if (split <= w.lo[axis] || split >= w.hi[axis]) break;
+      diagram->SplitLeaf(snap, worst, axis, split);
+    }
+  }
+
+  // Final structural stats.
+  diagram->build_stats_.nodes = diagram->nodes_.size();
+  size_t cells = 0;
+  size_t max_payload = 0;
+  for (const Node& n : diagram->nodes_) {
+    if (n.axis >= 0) continue;
+    ++cells;
+    max_payload =
+        std::max(max_payload, std::max(n.lower->size(), n.upper->size()));
+  }
+  diagram->build_stats_.cells = cells;
+  diagram->build_stats_.max_leaf_payload = max_payload;
+  size_t depth = 1;
+  // Depth via a stack walk (nodes_ is heap-ordered only implicitly).
+  {
+    std::vector<std::pair<uint32_t, size_t>> stack{{0, 1}};
+    while (!stack.empty()) {
+      auto [i, d] = stack.back();
+      stack.pop_back();
+      depth = std::max(depth, d);
+      if (diagram->nodes_[i].axis < 0) continue;
+      stack.push_back({diagram->nodes_[i].left, d + 1});
+      stack.push_back({diagram->nodes_[i].right, d + 1});
+    }
+  }
+  diagram->build_stats_.max_depth = depth;
+  return std::shared_ptr<const EclipseDiagram>(std::move(diagram));
+}
+
+bool EclipseDiagram::Covers(const RatioBox& box) const {
+  if (box.dims() != domain_.dims() || box.AnyUnbounded()) return false;
+  for (size_t j = 0; j < box.num_ratios(); ++j) {
+    if (box.range(j).lo < domain_.range(j).lo ||
+        box.range(j).hi > domain_.range(j).hi) {
+      return false;
+    }
+  }
+  return true;
+}
+
+size_t EclipseDiagram::LocateLeaf(std::span<const double> x,
+                                  bool left_on_boundary) const {
+  size_t n = 0;
+  while (nodes_[n].axis >= 0) {
+    const Node& node = nodes_[n];
+    const double v = x[static_cast<size_t>(node.axis)];
+    const bool go_left =
+        v < node.split || (left_on_boundary && v == node.split);
+    n = go_left ? node.left : node.right;
+  }
+  return n;
+}
+
+const EclipseDiagram::CellView EclipseDiagram::LeafAt(size_t node) const {
+  const Node& n = nodes_[node];
+  return CellView{n.lo, n.hi, n.lower.get(), n.upper.get()};
+}
+
+std::vector<EclipseDiagram::CellView> EclipseDiagram::Leaves() const {
+  std::vector<CellView> out;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].axis < 0) out.push_back(LeafAt(i));
+  }
+  return out;
+}
+
+namespace {
+
+/// Sorted-vector intersection (both ascending).
+std::vector<PointId> Intersect(const std::vector<PointId>& a,
+                               const std::vector<PointId>& b) {
+  std::vector<PointId> out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+size_t EclipseDiagram::CandidateCount(const RatioBox& box) const {
+  std::vector<double> lo(domain_.num_ratios());
+  std::vector<double> hi(domain_.num_ratios());
+  for (size_t j = 0; j < lo.size(); ++j) {
+    lo[j] = box.range(j).lo;
+    hi[j] = box.range(j).hi;
+  }
+  const Node& nl = nodes_[LocateLeaf(lo)];
+  const Node& nh = nodes_[LocateLeaf(hi)];
+  return Intersect(*nl.lower, *nh.upper).size();
+}
+
+Result<std::vector<PointId>> EclipseDiagram::Query(
+    const ColumnarSnapshot& snap, const RatioBox& box,
+    DiagramQueryStats* stats) const {
+  if (!Covers(box)) {
+    return Status::InvalidArgument(
+        "diagram cannot serve this box (unbounded or outside the domain)");
+  }
+  std::vector<double> lo(domain_.num_ratios());
+  std::vector<double> hi(domain_.num_ratios());
+  for (size_t j = 0; j < lo.size(); ++j) {
+    lo[j] = box.range(j).lo;
+    hi[j] = box.range(j).hi;
+  }
+  const Node& nl = nodes_[LocateLeaf(lo)];
+  const Node& nh = nodes_[LocateLeaf(hi)];
+  const std::vector<PointId> candidates = Intersect(*nl.lower, *nh.upper);
+  if (stats != nullptr) stats->candidates = candidates.size();
+  if (candidates.size() > options_.max_candidates) {
+    return Status::ResourceExhausted(
+        StrFormat("diagram candidate set (%zu) exceeds max_candidates (%zu)",
+                  candidates.size(), options_.max_candidates));
+  }
+  std::vector<GatheredCandidate> gathered;
+  gathered.reserve(candidates.size());
+  for (PointId id : candidates) {
+    auto row = snap.RowOf(id);
+    if (!row.ok()) {
+      return Status::Internal(StrFormat(
+          "diagram payload member %u is not live in the snapshot "
+          "(maintenance contract violated)",
+          static_cast<unsigned>(id)));
+    }
+    gathered.push_back(GatheredCandidate{id, snap.points()[*row].data()});
+  }
+  ECLIPSE_ASSIGN_OR_RETURN(
+      auto ids,
+      CrossShardDominanceMerge(gathered, snap.dims(), box, options_.algorithm,
+                               stats != nullptr ? &stats->merge_counters
+                                                : nullptr));
+  if (stats != nullptr) stats->result_size = ids.size();
+  return ids;
+}
+
+bool EclipseDiagram::ContainsId(PointId id) const {
+  const std::vector<PointId>& root = *root_payload_;
+  return std::binary_search(root.begin(), root.end(), id);
+}
+
+std::shared_ptr<const EclipseDiagram> EclipseDiagram::WithInsert(
+    std::shared_ptr<const EclipseDiagram> self, const ColumnarSnapshot& base,
+    std::span<const double> p, PointId id, size_t* repaired_cells) const {
+  // Repair one distinct payload vector under its own payload box, memoized
+  // by pointer (shared pointers always share the payload box: a shared L
+  // payload means a shared anchor lo, a shared U payload a shared hi).
+  size_t repaired = 0;
+  std::unordered_map<const std::vector<PointId>*,
+                     std::shared_ptr<const std::vector<PointId>>>
+      memo;
+  auto repair = [&](const std::shared_ptr<const std::vector<PointId>>& old,
+                    const RatioBox& pbox)
+      -> std::shared_ptr<const std::vector<PointId>> {
+    auto it = memo.find(old.get());
+    if (it != memo.end()) return it->second;
+    const CornerKernel kernel(pbox);
+    const size_t m = kernel.embedding_dims();
+    std::vector<double> ep(m);
+    kernel.EmbedInto(p, ep.data());
+    const std::vector<double> emb = EmbedMembers(base, kernel, *old);
+    // p enters Strict(pbox) iff no CURRENT member strictly dominates it
+    // over pbox (a dominator outside the payload has a chain into it).
+    bool p_dominated = false;
+    for (size_t i = 0; i < old->size(); ++i) {
+      if (StrictlyBelow(emb.data() + i * m, ep.data(), m)) {
+        p_dominated = true;
+        break;
+      }
+    }
+    std::shared_ptr<const std::vector<PointId>> result;
+    if (p_dominated) {
+      // A strictly dominated insert can evict nobody (its dominator would
+      // transitively dominate the evictee, contradicting membership):
+      // payload unchanged.
+      result = old;
+    } else {
+      std::vector<PointId> next;
+      next.reserve(old->size() + 1);
+      for (size_t i = 0; i < old->size(); ++i) {
+        if (!StrictlyBelow(ep.data(), emb.data() + i * m, m)) {
+          next.push_back((*old)[i]);
+        }
+      }
+      next.push_back(id);  // freshly minted maximum: append keeps order
+      ++repaired;
+      result = std::make_shared<const std::vector<PointId>>(std::move(next));
+    }
+    memo.emplace(old.get(), result);
+    return result;
+  };
+
+  auto next = std::shared_ptr<EclipseDiagram>(new EclipseDiagram(*this));
+  next->root_payload_ = repair(root_payload_, domain_);
+  for (Node& n : next->nodes_) {
+    if (n.axis >= 0) continue;
+    n.lower = repair(n.lower, PayloadBox(n, /*lower=*/true));
+    n.upper = repair(n.upper, PayloadBox(n, /*lower=*/false));
+  }
+  if (repaired_cells != nullptr) *repaired_cells = repaired;
+  if (repaired == 0) return self;  // dominated insert: carry untouched
+  return std::shared_ptr<const EclipseDiagram>(std::move(next));
+}
+
+}  // namespace eclipse

@@ -1,0 +1,242 @@
+// EclipseDiagram: a precomputed partition of the weight-ratio query space
+// into cells with provably constant eclipse answers -- the O(1) path for
+// arbitrary (including never-seen) ratio boxes.
+//
+// The idea ports "Skyline Diagram: Efficient Space Partitioning for Skyline
+// Queries" (PAPERS.md, same authors as the source paper) from point-query
+// space to ratio-BOX space. The score difference
+//
+//     f_pq(w) = score_w(p) - score_w(q)
+//
+// is affine in the weight vector w, so "p strictly dominates q everywhere
+// on box B" (f_pq < 0 at every corner of B, hence on all of B by convexity)
+// flips only across the pairwise score-crossing hyperplanes f_pq = 0. The
+// diagram subdivides the (d-1)-dimensional ratio domain into cells between
+// those flips -- an exact 1-d sweep over the crossing values at d == 2, an
+// adaptive kd-subdivision with per-cell payload verification (via
+// CornerKernel::EmbedInto under the cell's anchored box) at d >= 3.
+//
+// Cell payloads are STRICT-SURVIVOR sets, not plain per-cell eclipse
+// results. For a box B let
+//
+//     Strict(B) = { q : no p in S with f_pq < 0 at EVERY corner of B }.
+//
+// Key lemma: if q is in the eclipse set E(B') of ANY sub-box B' of B
+// (including degenerate 1NN points and faces of B), then q is in Strict(B):
+// a strict dominator over all of B properly dominates q over every sub-box,
+// score ties included. Plain per-cell eclipse sets do NOT have this
+// property -- a union of per-cell answers can under-report a box spanning
+// several cells (q may be dominated on each half by different dominators
+// yet undominated on the union) -- which is why the payloads are strict
+// survivors and the final filter is exact.
+//
+// Each leaf cell C stores two payloads over the domain D:
+//
+//     L(C) = Strict([C.lo, D.hi])   (depends only on the cell's lo corner)
+//     U(C) = Strict([D.lo, C.hi])   (depends only on the cell's hi corner)
+//
+// A query box Q = [l, h] inside D point-locates l's leaf and h's leaf;
+// Q is a sub-box of both payload boxes, so by the lemma
+//
+//     E(Q)  is a subset of  L(leaf(l)) INTERSECT U(leaf(h)),
+//
+// and the (small) candidate intersection is filtered EXACTLY by the
+// cross-shard dominance merge (shard/merge.h): candidates are a superset of
+// E(S, Q) and a subset of S, and dominance chains terminate inside
+// E(S, Q), so the merge returns exactly the global answer -- byte-identical
+// ids to EclipseCornerSkyline. A degenerate [l, l] box resolves by a single
+// point location (leaf(l) serves both payloads). Because any leaf whose
+// payload box contains Q yields a sound superset, queries ON a cell
+// boundary agree whether resolved through the left or the right neighbor
+// (the structural invariant tests/diagram_test.cc checks).
+//
+// Refinement is exact and cheap: [C'.lo, D.hi] is a sub-box of
+// [C.lo, D.hi] for a child C' of C, so Strict shrinks down the tree and a
+// child payload is computed by strict-filtering the parent payload against
+// the parent payload only (a dominator outside the payload has a dominator
+// chain inside it -- strict dominance over a fixed box is a strict partial
+// order). The root payload Strict(D) is computed over all n rows with a
+// sum-sorted SFS-style pass: a strict dominator has a strictly smaller
+// embedding sum, so testing candidates against prior survivors is exact.
+//
+// Maintenance (the engine's ApplyDelta integration):
+//   * Insert p: WithInsert repairs each DISTINCT payload vector in place --
+//     p is tested against payload members only (exact by the chain
+//     argument); if it survives, members it strictly dominates are evicted
+//     and p's freshly minted maximal id appends (ascending order kept).
+//     An insert strictly dominated over the whole domain changes no
+//     payload, so the engine carries the diagram without touching it.
+//   * Erase q: if q is absent from the ROOT payload it is absent from every
+//     payload (payloads shrink down the tree), and every dominance chain
+//     through q routes around it via q's own strict dominator, so the
+//     diagram stays exact as-is. Erasing a root-payload member drops the
+//     diagram for a lazy rebuild.
+//
+// Payload contents are SIMD-tier independent (the strict filter is scalar
+// arithmetic on embeddings that are themselves tier-independent); only the
+// final merge runs the dispatching SIMD kernel, which is decision-identical
+// across tiers -- so diagram answers are identical at every tier.
+
+#ifndef ECLIPSE_DIAGRAM_ECLIPSE_DIAGRAM_H_
+#define ECLIPSE_DIAGRAM_ECLIPSE_DIAGRAM_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/statistics.h"
+#include "core/eclipse.h"
+#include "core/ratio_box.h"
+#include "dataset/columnar.h"
+#include "geometry/point.h"
+
+namespace eclipse {
+
+struct DiagramOptions {
+  /// Leaf-cell budget: subdivision stops once this many cells exist. At
+  /// d == 2 the exact crossing boundaries are quantile-subsampled to fit.
+  size_t max_cells = 1024;
+  /// Adaptive subdivision splits the leaf with the largest payload until
+  /// every payload fits (or the cell budget is exhausted).
+  size_t target_payload = 48;
+  /// Queries whose candidate intersection exceeds this are refused with
+  /// ResourceExhausted so the engine can fall back to a full backend.
+  size_t max_candidates = 2048;
+  /// Forwarded to the exact final merge (skyline backend, corner guard).
+  EclipseOptions algorithm;
+};
+
+/// Build-time observability (also reported by bench_diagram / the CLI).
+struct DiagramBuildStats {
+  size_t cells = 0;       // leaves
+  size_t nodes = 0;       // internal + leaves
+  size_t max_depth = 0;
+  size_t root_payload = 0;
+  /// max over leaves of max(|L|, |U|).
+  size_t max_leaf_payload = 0;
+  /// Strict-dominance member tests spent building / refining payloads.
+  uint64_t strict_tests = 0;
+  /// d == 2 only: pairwise score-crossing boundaries found (before the
+  /// cell-budget cap).
+  size_t crossings = 0;
+  /// Subdivision stopped on max_cells with payloads above target.
+  bool budget_capped = false;
+};
+
+/// Per-query observability.
+struct DiagramQueryStats {
+  /// |L(leaf(lo)) INTERSECT U(leaf(hi))| fed to the exact merge.
+  size_t candidates = 0;
+  size_t result_size = 0;
+  /// Corner evaluations + skyline comparisons spent by the final merge.
+  Statistics merge_counters;
+};
+
+class EclipseDiagram {
+ public:
+  /// Builds the diagram for `snap` over the bounded query `domain`
+  /// (d-1 ranges matching snap.dims()). InvalidArgument on an unbounded or
+  /// mismatched domain or an empty snapshot.
+  static Result<std::shared_ptr<const EclipseDiagram>> Build(
+      const ColumnarSnapshot& snap, const RatioBox& domain,
+      DiagramOptions options = {});
+
+  /// True iff `box` is bounded and lies inside the diagram domain (the
+  /// shapes Query can serve).
+  bool Covers(const RatioBox& box) const;
+
+  /// Answers `box` by point location + payload intersection + exact
+  /// dominance merge. Returns ascending STABLE ids, byte-identical to
+  /// EclipseCornerSkyline over the live dataset. `snap` resolves candidate
+  /// rows and may be any successor of the build snapshot the diagram was
+  /// maintained through (every payload member is live in it).
+  /// ResourceExhausted when the candidate set exceeds
+  /// options.max_candidates -- the caller falls back to a full backend.
+  Result<std::vector<PointId>> Query(const ColumnarSnapshot& snap,
+                                     const RatioBox& box,
+                                     DiagramQueryStats* stats = nullptr) const;
+
+  /// The candidate-set size Query would feed the merge (0 cost, no merge);
+  /// lets callers predict the ResourceExhausted fallback.
+  size_t CandidateCount(const RatioBox& box) const;
+
+  /// The repaired diagram after inserting `p` (freshly minted maximal
+  /// stable id `id`, already appended to the dataset). `base` is the
+  /// PRE-insert snapshot (resolves payload member rows). Never fails: every
+  /// distinct payload is repaired exactly; `repaired_cells` (optional)
+  /// counts the distinct payload vectors that actually changed (0 for a
+  /// dominated insert). Returns `self` unchanged when nothing changed.
+  std::shared_ptr<const EclipseDiagram> WithInsert(
+      std::shared_ptr<const EclipseDiagram> self, const ColumnarSnapshot& base,
+      std::span<const double> p, PointId id,
+      size_t* repaired_cells = nullptr) const;
+
+  /// True iff `id` is a root-payload member. Erasing a non-member keeps the
+  /// diagram exact (see file comment); erasing a member requires a rebuild.
+  bool ContainsId(PointId id) const;
+
+  const RatioBox& domain() const { return domain_; }
+  const DiagramOptions& options() const { return options_; }
+  const DiagramBuildStats& build_stats() const { return build_stats_; }
+  size_t num_cells() const { return build_stats_.cells; }
+
+  /// One leaf cell, for structural tests and observability.
+  struct CellView {
+    std::vector<double> lo;
+    std::vector<double> hi;
+    const std::vector<PointId>* lower = nullptr;  // L(C), ascending ids
+    const std::vector<PointId>* upper = nullptr;  // U(C), ascending ids
+  };
+  std::vector<CellView> Leaves() const;
+
+  /// Node index of the leaf containing x (pass to LeafAt);
+  /// `left_on_boundary` resolves points exactly on a split plane to the
+  /// left cell instead of the right (both are sound).
+  size_t LocateLeaf(std::span<const double> x,
+                    bool left_on_boundary = false) const;
+  const CellView LeafAt(size_t node) const;
+
+ private:
+  struct Node {
+    std::vector<double> lo;
+    std::vector<double> hi;
+    int axis = -1;  // -1 = leaf
+    double split = 0.0;
+    uint32_t left = 0;
+    uint32_t right = 0;
+    std::shared_ptr<const std::vector<PointId>> lower;  // leaf only
+    std::shared_ptr<const std::vector<PointId>> upper;  // leaf only
+  };
+
+  EclipseDiagram() = default;
+
+  /// The payload box anchoring side `lower` of node `n`.
+  RatioBox PayloadBox(const Node& n, bool lower) const;
+  /// Splits leaf `node` at (axis, split), computing the two changed child
+  /// payloads by strict-filtering the parent's (ticks strict_tests).
+  void SplitLeaf(const ColumnarSnapshot& snap, uint32_t node, size_t axis,
+                 double split);
+
+  RatioBox domain_ = RatioBox::Skyline(1);
+  DiagramOptions options_;
+  DiagramBuildStats build_stats_;
+  std::vector<Node> nodes_;
+  /// Strict(domain): the superset of every payload; drives ContainsId.
+  std::shared_ptr<const std::vector<PointId>> root_payload_;
+};
+
+/// The strict-survivor filter, exposed for tests: ids of `member_ids` (rows
+/// resolved through `snap`) with no strict dominator over `payload_box`
+/// among `member_ids`. Returns ascending ids; `tests` accumulates member
+/// dominance tests. Exact Strict(payload_box) whenever `member_ids` is
+/// itself Strict(B) for some enclosing box B (or the full dataset).
+std::vector<PointId> StrictSurvivors(const ColumnarSnapshot& snap,
+                                     const RatioBox& payload_box,
+                                     std::span<const PointId> member_ids,
+                                     uint64_t* tests = nullptr);
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_DIAGRAM_ECLIPSE_DIAGRAM_H_

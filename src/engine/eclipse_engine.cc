@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <mutex>
+#include <optional>
 #include <utility>
 
 #include "common/strings.h"
@@ -72,6 +73,9 @@ PlanInputs MakePlanInputs(const ColumnarSnapshot& snap, const RatioBox& box,
                           bool index_matches_snapshot, size_t eligible_queries,
                           bool index_build_failed, bool tree_matches_snapshot,
                           bool tree_build_failed, size_t bbs_eligible_queries,
+                          bool diagram_matches_snapshot,
+                          bool diagram_build_failed,
+                          size_t diagram_eligible_queries,
                           const EngineOptions& options) {
   PlanInputs in;
   in.n = snap.size();
@@ -85,6 +89,9 @@ PlanInputs MakePlanInputs(const ColumnarSnapshot& snap, const RatioBox& box,
   in.tree_built = tree_matches_snapshot;
   in.tree_build_failed = tree_build_failed;
   in.bbs_eligible_queries = bbs_eligible_queries;
+  in.diagram_built = diagram_matches_snapshot;
+  in.diagram_build_failed = diagram_build_failed;
+  in.diagram_eligible_queries = diagram_eligible_queries;
   return in;
 }
 
@@ -190,6 +197,16 @@ bool BbsTakeoverShape(const QueryPlan& plan, const PlanInputs& in) {
 
 }  // namespace
 
+bool DiagramEligible(const PlanInputs& in, const EngineOptions& options) {
+  // Degenerate (1NN) boxes ARE eligible -- the diagram answers them with a
+  // single point location, unlike the index path.
+  return options.enable_diagram && options.force_engine.empty() &&
+         options.algorithm.skyline_algorithm == SkylineAlgorithm::kAuto &&
+         !in.diagram_build_failed && in.bounded && in.inside_domain &&
+         in.d <= options.diagram_max_dims &&
+         in.n >= options.diagram_min_points;
+}
+
 bool BbsEligible(const PlanInputs& in, const EngineOptions& options) {
   if (!options.enable_bbs || !options.force_engine.empty() ||
       options.algorithm.skyline_algorithm != SkylineAlgorithm::kAuto ||
@@ -241,6 +258,36 @@ QueryPlan ChoosePlan(const PlanInputs& in, const EngineOptions& options) {
   } else {
     plan.skyline_path = PlanSkylinePath(plan.engine, in, options);
   }
+  // The eclipse diagram takes precedence over every other structure for
+  // the shapes it serves: a built diagram answers ANY bounded in-domain
+  // box in near-constant time, unique or repeated.
+  if (DiagramEligible(in, options)) {
+    const bool take_diagram =
+        in.diagram_built ||
+        in.diagram_eligible_queries + 1 >= options.diagram_query_threshold;
+    if (take_diagram) {
+      plan.engine = "DIAGRAM";
+      plan.uses_diagram = true;
+      plan.will_build_diagram = !in.diagram_built;
+      plan.uses_index = false;
+      plan.will_build_index = false;
+      plan.uses_tree = false;
+      plan.will_build_tree = false;
+      plan.skyline_path = "diagram-cells + corner-merge";
+      plan.reason =
+          in.diagram_built
+              ? "the eclipse diagram is built: any bounded in-domain box "
+                "resolves by cell lookup + a small exact merge"
+              : StrFormat(
+                    "query volume reached %zu diagram-eligible queries: "
+                    "building the eclipse diagram to serve arbitrary boxes",
+                    in.diagram_eligible_queries + 1);
+    }
+  }
+  plan.answered_by = plan.uses_diagram ? "diagram"
+                     : plan.uses_index ? "index"
+                     : plan.uses_tree  ? "bbs-tree"
+                                       : "one-shot";
   plan.simd_tier = SimdTierName(ActiveSimdTier());
   return plan;
 }
@@ -318,15 +365,39 @@ struct EclipseEngine::State {
   /// Bounded in-domain queries seen; drives the lazy build.
   size_t eligible_queries = 0;
   /// Per-epoch packed R-tree for the BBS path. Stores no coordinates (row
-  /// ids only), so a tree carried across dominated inserts never dangles:
-  /// it simply indexes a prefix of the new snapshot's rows, and the carry
-  /// rule guarantees every unindexed suffix row is strictly dominated.
+  /// ids only), so a carried tree never dangles: it indexes rows of the
+  /// retained `tree_base` snapshot, dominated inserts ride in `tree_suffix`
+  /// (provably absent from every answer), and erased base rows are
+  /// tombstoned out of the traversal instead of dropping the tree.
   std::shared_ptr<const PackedRTree> tree;
   uint64_t tree_epoch = 0;
+  /// The snapshot the tree's row ids reference (kept alive across carries;
+  /// results map to stable ids through it, not the serving snapshot).
+  std::shared_ptr<const ColumnarSnapshot> tree_base;
+  /// Dead rows of tree_base (1 = erased), copy-on-write per erase; null
+  /// means none. Node MBRs stay admissible with dead rows -- merely looser.
+  std::shared_ptr<const std::vector<uint8_t>> tree_tombstones;
+  size_t tree_tombstone_count = 0;
+  /// Post-base dominated inserts carried with the tree. Every entry is
+  /// strictly dominated by a live point; each erase re-verifies the whole
+  /// suffix against the post-erase snapshot (an erase can un-dominate one).
+  std::vector<std::pair<PointId, Point>> tree_suffix;
   /// Mirror of index_build_failed for the tree; reset by mutations.
   bool tree_build_failed = false;
   /// BBS-eligible queries seen; drives the lazy tree build.
   size_t bbs_eligible_queries = 0;
+
+  /// Per-epoch eclipse diagram (src/diagram/): the O(1) path for arbitrary
+  /// bounded in-domain boxes. Carried across dominated inserts verbatim,
+  /// repaired in place for frontier inserts, dropped only when an erase
+  /// removes a root-payload member.
+  std::shared_ptr<const EclipseDiagram> diagram;
+  uint64_t diagram_epoch = 0;
+  /// Mirror of index_build_failed for the diagram; reset by mutations.
+  bool diagram_build_failed = false;
+  /// Diagram-eligible queries seen; drives the lazy diagram build.
+  size_t diagram_eligible_queries = 0;
+  std::atomic<uint64_t> diagram_hits{0};
 
   std::atomic<size_t> queries_served{0};
 
@@ -372,17 +443,29 @@ struct EclipseEngine::State {
     return Status::OK();
   }
 
+  /// Everything the BBS dispatch needs: the tree, the snapshot its row ids
+  /// reference (== the serving snapshot only until the first carry), and
+  /// the tombstone mask (null = none).
+  struct TreeRef {
+    std::shared_ptr<const PackedRTree> tree;
+    std::shared_ptr<const ColumnarSnapshot> base;
+    std::shared_ptr<const std::vector<uint8_t>> tombstones;
+  };
+
   /// Fetches the BBS tree for `snap`, building it if needed; the mirror of
   /// EnsureIndexBuilt with the same publication discipline (only publish if
   /// `snap` is still current; the caller's captured epoch is served either
-  /// way).
+  /// way). A fresh build resets the carry state (base = snap, no
+  /// tombstones, empty suffix).
   Status EnsureTreeBuilt(const std::shared_ptr<const ColumnarSnapshot>& snap,
-                         std::shared_ptr<const PackedRTree>* out) {
+                         TreeRef* out) {
     std::lock_guard<std::mutex> build_lock(build_mu);
     {
       std::lock_guard<std::mutex> lock(mu);
       if (tree != nullptr && tree_epoch == snap->epoch()) {
-        *out = tree;
+        out->tree = tree;
+        out->base = tree_base != nullptr ? tree_base : snap;
+        out->tombstones = tree_tombstones;
         return Status::OK();
       }
     }
@@ -394,11 +477,60 @@ struct EclipseEngine::State {
       if (snapshot->epoch() == snap->epoch()) {
         tree = shared;
         tree_epoch = snap->epoch();
+        tree_base = snap;
+        tree_tombstones.reset();
+        tree_tombstone_count = 0;
+        tree_suffix.clear();
       }
     }
-    *out = std::move(shared);
+    out->tree = std::move(shared);
+    out->base = snap;
+    out->tombstones = nullptr;
     return Status::OK();
   }
+
+  /// Fetches the eclipse diagram for `snap`, building it if needed; same
+  /// publication discipline as EnsureIndexBuilt / EnsureTreeBuilt.
+  Status EnsureDiagramBuilt(
+      const std::shared_ptr<const ColumnarSnapshot>& snap,
+      std::shared_ptr<const EclipseDiagram>* out) {
+    std::lock_guard<std::mutex> build_lock(build_mu);
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (diagram != nullptr && diagram_epoch == snap->epoch()) {
+        *out = diagram;
+        return Status::OK();
+      }
+    }
+    ECLIPSE_ASSIGN_OR_RETURN(auto domain, IndexDomainBox(snap->dims()));
+    DiagramOptions build;
+    build.max_cells = options.diagram_max_cells;
+    build.target_payload = options.diagram_target_payload;
+    build.max_candidates = options.diagram_max_candidates;
+    build.algorithm = options.algorithm;
+    auto built = EclipseDiagram::Build(*snap, domain, build);
+    if (!built.ok()) return built.status();
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (snapshot->epoch() == snap->epoch()) {
+        diagram = *built;
+        diagram_epoch = snap->epoch();
+      }
+    }
+    *out = std::move(built).value();
+    return Status::OK();
+  }
+
+  /// Edits to the carried tree's tombstone mask / insert suffix, applied
+  /// atomically with the snapshot publication (meaningful only with
+  /// keep_tree).
+  struct TreeCarryEdit {
+    bool set_tombstones = false;
+    std::shared_ptr<const std::vector<uint8_t>> tombstones;
+    size_t tombstone_count = 0;
+    std::optional<std::pair<PointId, Point>> append_suffix;
+    std::optional<PointId> remove_suffix;
+  };
 
   /// Publishes a freshly built snapshot: the stale index and BBS tree are
   /// dropped (unless the delta tests proved them still exact -- `keep_index`
@@ -407,10 +539,14 @@ struct EclipseEngine::State {
   /// dead-epoch entries). `carried` entries -- results the delta maintainer
   /// proved valid for the new snapshot -- are re-inserted at the new epoch,
   /// least recently used first so the LRU order survives the hop.
+  /// `kept_diagram` (null = drop) is the diagram proven exact for the new
+  /// snapshot (possibly repaired in place); `tree_edit` applies the
+  /// tombstone / suffix delta that made keep_tree sound.
   void PublishSnapshot(std::shared_ptr<const ColumnarSnapshot> next,
-                       bool keep_index = false, bool keep_tree = false,
-                       std::vector<ResultCache::MaintainableEntry> carried =
-                           {}) {
+                       bool keep_index, bool keep_tree,
+                       std::vector<ResultCache::MaintainableEntry> carried,
+                       std::shared_ptr<const EclipseDiagram> kept_diagram,
+                       TreeCarryEdit tree_edit) {
     const uint64_t epoch = next->epoch();
     {
       std::lock_guard<std::mutex> lock(mu);
@@ -424,11 +560,35 @@ struct EclipseEngine::State {
       index_build_failed = false;
       if (keep_tree) {
         tree_epoch = epoch;
+        if (tree_edit.set_tombstones) {
+          tree_tombstones = std::move(tree_edit.tombstones);
+          tree_tombstone_count = tree_edit.tombstone_count;
+        }
+        if (tree_edit.remove_suffix.has_value()) {
+          std::erase_if(tree_suffix, [&](const auto& e) {
+            return e.first == *tree_edit.remove_suffix;
+          });
+        }
+        if (tree_edit.append_suffix.has_value()) {
+          tree_suffix.push_back(std::move(*tree_edit.append_suffix));
+        }
       } else {
         tree.reset();
         tree_epoch = 0;
+        tree_base.reset();
+        tree_tombstones.reset();
+        tree_tombstone_count = 0;
+        tree_suffix.clear();
       }
       tree_build_failed = false;
+      if (kept_diagram != nullptr) {
+        diagram = std::move(kept_diagram);
+        diagram_epoch = epoch;
+      } else {
+        diagram.reset();
+        diagram_epoch = 0;
+      }
+      diagram_build_failed = false;
     }
     cache.Republish(epoch, std::move(carried));
   }
@@ -530,16 +690,20 @@ QueryPlan EclipseEngine::Explain(const RatioBox& box) const {
         s.index != nullptr && s.index_epoch == snap->epoch();
     const bool tree_matches =
         s.tree != nullptr && s.tree_epoch == snap->epoch();
+    const bool diagram_matches =
+        s.diagram != nullptr && s.diagram_epoch == snap->epoch();
     inputs = MakePlanInputs(*snap, box, index_matches, s.eligible_queries,
                             s.index_build_failed, tree_matches,
                             s.tree_build_failed, s.bbs_eligible_queries,
-                            s.options);
+                            diagram_matches, s.diagram_build_failed,
+                            s.diagram_eligible_queries, s.options);
   }
   QueryPlan plan = ChoosePlan(inputs, s.options);
   plan.snapshot_epoch = snap->epoch();
   bool carried = false;
   plan.cache_hit = s.cache.Peek(snap->epoch(), CanonicalBoxKey(box), &carried);
   plan.answered_incrementally = plan.cache_hit && carried;
+  if (plan.cache_hit) plan.answered_by = "cache";
   return plan;
 }
 
@@ -551,7 +715,7 @@ Status EclipseEngine::BuildIndex() {
 
 Status EclipseEngine::BuildBbsTree() {
   State& s = *state_;
-  std::shared_ptr<const PackedRTree> unused;
+  State::TreeRef unused;
   return s.EnsureTreeBuilt(snapshot(), &unused);
 }
 
@@ -559,6 +723,32 @@ bool EclipseEngine::bbs_tree_built() const {
   std::lock_guard<std::mutex> lock(state_->mu);
   return state_->tree != nullptr &&
          state_->tree_epoch == state_->snapshot->epoch();
+}
+
+size_t EclipseEngine::bbs_tombstones() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->tree_tombstone_count;
+}
+
+Status EclipseEngine::BuildDiagram() {
+  State& s = *state_;
+  std::shared_ptr<const EclipseDiagram> unused;
+  return s.EnsureDiagramBuilt(snapshot(), &unused);
+}
+
+bool EclipseEngine::diagram_built() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->diagram != nullptr &&
+         state_->diagram_epoch == state_->snapshot->epoch();
+}
+
+std::shared_ptr<const EclipseDiagram> EclipseEngine::diagram() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->diagram;
+}
+
+uint64_t EclipseEngine::diagram_hits() const {
+  return state_->diagram_hits.load(std::memory_order_relaxed);
 }
 
 Result<PointId> EclipseEngine::Insert(std::span<const double> p) {
@@ -584,6 +774,8 @@ Result<PointId> EclipseEngine::ApplyDelta(const StreamDelta& delta) {
     std::vector<ResultCache::MaintainableEntry> carried;
     bool keep_index = false;
     bool keep_tree = false;
+    State::TreeCarryEdit tree_edit;
+    std::shared_ptr<const EclipseDiagram> kept_diagram;
     if (maintain) {
       ++tick.deltas;
       carried = MaintainEntriesOnInsert(
@@ -591,45 +783,62 @@ Result<PointId> EclipseEngine::ApplyDelta(const StreamDelta& delta) {
           delta.point, id, &tick);
       bool has_index = false;
       bool has_tree = false;
+      std::shared_ptr<const EclipseDiagram> cur_diagram;
       {
         std::lock_guard<std::mutex> lock(s.mu);
         has_index = s.index != nullptr && s.index_epoch == base->epoch();
         has_tree = s.tree != nullptr && s.tree_epoch == base->epoch();
+        if (s.diagram != nullptr && s.diagram_epoch == base->epoch()) {
+          cur_diagram = s.diagram;
+        }
       }
       if (has_tree) {
         // The BBS tree stays exact iff the new point can never appear in
         // ANY answer -- strictly dominated coordinatewise (the fully
         // unbounded skyline box makes the embedding test exactly that).
-        // Rows only append on insert, so the tree keeps indexing a valid
-        // prefix of the new snapshot and the unindexed arrival is provably
-        // absent from every eclipse set.
+        // The arrival rides in the carried suffix so later erases can
+        // re-verify its domination still holds.
         if (StrictlyDominatedOverBox(*base,
                                      RatioBox::Skyline(base->dims() - 1),
                                      delta.point, &tick.dominance_tests)) {
           keep_tree = true;
           ++tick.tree_preserved;
+          tree_edit.append_suffix.emplace(id, delta.point);
         }
       }
-      if (has_index) {
-        // The old index stays exact iff the new point can never enter an
-        // in-domain answer: strict domination over the whole domain box.
-        // (Rows only append on insert, so the index's row indices still
-        // name the same points in the new snapshot.) Dominated arrivals --
-        // the common case -- exit the scan early; a frontier insert pays a
-        // full O(n m) pass and then drops the index anyway, but such an
-        // insert also invalidates the entries it merges into, so the write
-        // was already on the expensive path.
+      if (has_index || cur_diagram != nullptr) {
+        // Both structures share one test: strict domination over the whole
+        // query domain box means the new point can never enter an in-domain
+        // answer (so the index's rows and the diagram's payloads all stay
+        // exact; rows only append on insert). Dominated arrivals -- the
+        // common case -- exit the scan early; a frontier insert pays a
+        // full O(n m) pass, drops the index, and REPAIRS the diagram in
+        // place (payload-members-only filtering, see diagram/).
         auto domain = s.IndexDomainBox(base->dims());
-        if (domain.ok() &&
+        const bool dominated_over_domain =
+            domain.ok() &&
             StrictlyDominatedOverBox(*base, *domain, delta.point,
-                                     &tick.dominance_tests)) {
+                                     &tick.dominance_tests);
+        if (has_index && dominated_over_domain) {
           keep_index = true;
           ++tick.index_preserved;
+        }
+        if (cur_diagram != nullptr && domain.ok()) {
+          if (dominated_over_domain) {
+            kept_diagram = std::move(cur_diagram);
+          } else {
+            size_t repaired = 0;
+            kept_diagram = cur_diagram->WithInsert(cur_diagram, *base,
+                                                   delta.point, id, &repaired);
+            tick.diagram_repaired_cells += repaired;
+          }
+          ++tick.diagram_preserved;
         }
       }
     }
     s.PublishSnapshot(std::move(next), keep_index, keep_tree,
-                      std::move(carried));
+                      std::move(carried), std::move(kept_diagram),
+                      std::move(tree_edit));
     s.continuous.OnInsert(delta.point, id, epoch, RowLookupFor(base));
     s.RecordMaintenance(tick);
     return id;
@@ -638,16 +847,97 @@ Result<PointId> EclipseEngine::ApplyDelta(const StreamDelta& delta) {
   ECLIPSE_ASSIGN_OR_RETURN(auto next, base->Erase(delta.id));
   const uint64_t epoch = next->epoch();
   std::vector<ResultCache::MaintainableEntry> carried;
+  bool keep_tree = false;
+  State::TreeCarryEdit tree_edit;
+  std::shared_ptr<const EclipseDiagram> kept_diagram;
   if (maintain) {
     ++tick.deltas;
     carried = MaintainEntriesOnErase(
         s.cache.MaintainableEntries(base->epoch()), delta.id, &tick);
+    State::TreeRef cur;
+    size_t cur_count = 0;
+    std::vector<std::pair<PointId, Point>> suffix;
+    std::shared_ptr<const EclipseDiagram> cur_diagram;
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      if (s.tree != nullptr && s.tree_epoch == base->epoch()) {
+        cur.tree = s.tree;
+        cur.base = s.tree_base != nullptr ? s.tree_base : base;
+        cur.tombstones = s.tree_tombstones;
+        cur_count = s.tree_tombstone_count;
+        suffix = s.tree_suffix;
+      }
+      if (s.diagram != nullptr && s.diagram_epoch == base->epoch()) {
+        cur_diagram = s.diagram;
+      }
+    }
+    if (cur_diagram != nullptr) {
+      // Erasing a point absent from the ROOT payload keeps every payload
+      // exact (payloads shrink down the tree, and dominance chains route
+      // around the erased point -- see diagram/eclipse_diagram.h); erasing
+      // a root-payload member forces a lazy rebuild.
+      if (!cur_diagram->ContainsId(delta.id)) {
+        kept_diagram = std::move(cur_diagram);
+        ++tick.diagram_preserved;
+      } else {
+        ++tick.diagram_dropped;
+      }
+    }
+    if (cur.tree != nullptr) {
+      // Erase no longer drops the tree: a base row is tombstoned out of
+      // the traversal (node MBRs stay admissible, merely looser), a
+      // post-base suffix insert is simply removed. Either way every
+      // REMAINING suffix point must be re-verified against the post-erase
+      // snapshot -- the erased point may have been its only dominator.
+      bool viable = true;
+      auto row = cur.base->RowOf(delta.id);
+      if (row.ok()) {
+        const size_t count = cur_count + 1;
+        if (static_cast<double>(count) >
+            s.options.bbs_tombstone_repack_fraction *
+                static_cast<double>(cur.tree->size())) {
+          // Too many dead rows: drop for a lazy rebuild over live rows.
+          viable = false;
+          ++tick.tree_repacks;
+        } else {
+          auto stones =
+              cur.tombstones != nullptr
+                  ? std::make_shared<std::vector<uint8_t>>(*cur.tombstones)
+                  : std::make_shared<std::vector<uint8_t>>(cur.tree->size(),
+                                                           uint8_t{0});
+          (*stones)[*row] = 1;
+          tree_edit.set_tombstones = true;
+          tree_edit.tombstones = std::move(stones);
+          tree_edit.tombstone_count = count;
+        }
+      } else {
+        tree_edit.remove_suffix = delta.id;
+        std::erase_if(suffix,
+                      [&](const auto& e) { return e.first == delta.id; });
+      }
+      if (viable) {
+        for (const auto& [sid, sp] : suffix) {
+          if (!StrictlyDominatedOverBox(*next,
+                                        RatioBox::Skyline(next->dims() - 1),
+                                        sp, &tick.dominance_tests)) {
+            viable = false;
+            break;
+          }
+        }
+      }
+      if (viable) {
+        keep_tree = true;
+        ++tick.tree_preserved;
+      }
+    }
   }
   std::shared_ptr<const ColumnarSnapshot> post = next;
-  // Erase compacts rows, so a carried tree's row ids would dangle: always
-  // drop the tree (and index) on erase.
-  s.PublishSnapshot(std::move(next), /*keep_index=*/false,
-                    /*keep_tree=*/false, std::move(carried));
+  // Erase compacts snapshot rows, so the index (raw row indices into the
+  // serving snapshot) always drops; the tree survives via its retained
+  // base snapshot + tombstones when the suffix re-verification holds.
+  s.PublishSnapshot(std::move(next), /*keep_index=*/false, keep_tree,
+                    std::move(carried), std::move(kept_diagram),
+                    std::move(tree_edit));
   s.continuous.OnErase(
       delta.id, epoch,
       [&s, &post](const RatioBox& box) -> Result<std::vector<PointId>> {
@@ -701,7 +991,8 @@ Result<std::vector<PointId>> EclipseEngine::Query(const RatioBox& box,
   State& s = *state_;
   std::shared_ptr<const ColumnarSnapshot> snap;
   std::shared_ptr<const EclipseIndex> index;
-  std::shared_ptr<const PackedRTree> tree;
+  State::TreeRef tree_ref;
+  std::shared_ptr<const EclipseDiagram> diagram;
   PlanInputs inputs;
   {
     std::lock_guard<std::mutex> lock(s.mu);
@@ -710,18 +1001,49 @@ Result<std::vector<PointId>> EclipseEngine::Query(const RatioBox& box,
       index = s.index;
     }
     if (s.tree != nullptr && s.tree_epoch == snap->epoch()) {
-      tree = s.tree;
+      tree_ref.tree = s.tree;
+      tree_ref.base = s.tree_base != nullptr ? s.tree_base : snap;
+      tree_ref.tombstones = s.tree_tombstones;
+    }
+    if (s.diagram != nullptr && s.diagram_epoch == snap->epoch()) {
+      diagram = s.diagram;
     }
     inputs = MakePlanInputs(*snap, box, index != nullptr, s.eligible_queries,
-                            s.index_build_failed, tree != nullptr,
+                            s.index_build_failed, tree_ref.tree != nullptr,
                             s.tree_build_failed, s.bbs_eligible_queries,
-                            s.options);
+                            diagram != nullptr, s.diagram_build_failed,
+                            s.diagram_eligible_queries, s.options);
     if (IndexEligible(inputs, s.options)) ++s.eligible_queries;
     if (BbsEligible(inputs, s.options)) ++s.bbs_eligible_queries;
+    if (DiagramEligible(inputs, s.options)) ++s.diagram_eligible_queries;
   }
   s.queries_served.fetch_add(1, std::memory_order_relaxed);
   QueryPlan plan = ChoosePlan(inputs, s.options);
   plan.snapshot_epoch = snap->epoch();
+
+  if (plan.uses_diagram && diagram == nullptr) {
+    // Build for the captured snapshot; diagram eligibility implies kAuto
+    // with no forced engine, so a failed build always degrades gracefully:
+    // latch the failure (cleared by the next mutation) and re-plan without
+    // the diagram -- the replacement plan's own lazy builds run below.
+    Status build_status = s.EnsureDiagramBuilt(snap, &diagram);
+    if (!build_status.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(s.mu);
+        if (s.snapshot->epoch() == snap->epoch()) {
+          s.diagram_build_failed = true;
+        }
+      }
+      PlanInputs degraded = inputs;
+      degraded.diagram_built = false;
+      degraded.diagram_build_failed = true;
+      plan = ChoosePlan(degraded, s.options);
+      plan.snapshot_epoch = snap->epoch();
+      plan.reason =
+          StrFormat("diagram build failed (%s); %s",
+                    build_status.ToString().c_str(), plan.reason.c_str());
+    }
+  }
 
   if (plan.uses_index && index == nullptr) {
     // Build for the captured snapshot even when the cache could answer:
@@ -757,8 +1079,8 @@ Result<std::vector<PointId>> EclipseEngine::Query(const RatioBox& box,
     }
   }
 
-  if (plan.uses_tree && tree == nullptr) {
-    Status build_status = s.EnsureTreeBuilt(snap, &tree);
+  if (plan.uses_tree && tree_ref.tree == nullptr) {
+    Status build_status = s.EnsureTreeBuilt(snap, &tree_ref);
     if (!build_status.ok()) {
       if (s.options.algorithm.skyline_algorithm == SkylineAlgorithm::kBbs) {
         // A forced algorithm must not silently fall back: surface the
@@ -797,6 +1119,7 @@ Result<std::vector<PointId>> EclipseEngine::Query(const RatioBox& box,
   if (s.cache.Get(snap->epoch(), key, &cached, &carried)) {
     plan.cache_hit = true;
     plan.answered_incrementally = carried;
+    plan.answered_by = "cache";
     out->plan = std::move(plan);
     out->result_size = cached.size();
     return cached;
@@ -804,20 +1127,63 @@ Result<std::vector<PointId>> EclipseEngine::Query(const RatioBox& box,
 
   Result<std::vector<PointId>> ids =
       Status::Internal("engine dispatch fell through");
-  if (plan.uses_index) {
+  // Diagram and BBS-over-base answers arrive as stable ids already; the
+  // other backends report row indices into the captured snapshot.
+  bool stable_ids = false;
+  if (plan.uses_diagram) {
+    auto answered = diagram->Query(*snap, box, &out->diagram);
+    if (answered.ok()) {
+      plan.diagram_hit = true;
+      s.diagram_hits.fetch_add(1, std::memory_order_relaxed);
+      ids = std::move(answered);
+      stable_ids = true;
+    } else if (answered.status().IsResourceExhausted()) {
+      // The box's candidate intersection overflowed the diagram budget:
+      // answer exactly through the best available full backend instead
+      // (an already-built index if one survived, else one-shot).
+      const bool via_index =
+          index != nullptr && inputs.inside_domain && !inputs.degenerate;
+      plan.engine = via_index
+                        ? EngineRegistry::NameForIndexKind(s.options.index.kind)
+                        : BestOneShot(inputs.d);
+      plan.answered_by = via_index ? "index" : "one-shot";
+      plan.reason = StrFormat("%s; candidate overflow (%s): fell back to %s",
+                              plan.reason.c_str(),
+                              answered.status().message().c_str(),
+                              plan.answered_by.c_str());
+      ids = via_index
+                ? index->Query(box, &out->index)
+                : EngineRegistry::Global().Run(plan.engine, snap->points(),
+                                               box, s.options.algorithm,
+                                               &out->counters);
+    } else {
+      out->plan = std::move(plan);
+      return answered.status();
+    }
+  } else if (plan.uses_index) {
     ids = index->Query(box, &out->index);
   } else if (plan.uses_tree) {
-    ids = BbsEclipse(snap->points(), *tree, box,
+    const ColumnarSnapshot& tree_base = *tree_ref.base;
+    ids = BbsEclipse(tree_base.points(), *tree_ref.tree, box,
                      s.options.algorithm.max_corner_dims,
-                     /*constraint=*/nullptr, &out->counters, &out->bbs);
+                     /*constraint=*/nullptr, &out->counters, &out->bbs,
+                     tree_ref.tombstones != nullptr
+                         ? std::span<const uint8_t>(*tree_ref.tombstones)
+                         : std::span<const uint8_t>());
+    // Rows reference the tree's base snapshot (which may predate `snap`
+    // when the tree was carried across erases); map through it, not snap.
+    if (ids.ok() && !tree_base.ids_are_row_indices()) {
+      for (PointId& id : ids.value()) id = tree_base.id(id);
+    }
+    stable_ids = true;
   } else {
     ids = EngineRegistry::Global().Run(plan.engine, snap->points(), box,
                                        s.options.algorithm, &out->counters);
   }
   if (ids.ok()) {
-    // Backends report row indices into the captured snapshot; map them to
-    // stable ids (the identity until the first mutation).
-    if (!snap->ids_are_row_indices()) {
+    // Map row indices to stable ids (the identity until the first
+    // mutation) unless the backend already answered in stable ids.
+    if (!stable_ids && !snap->ids_are_row_indices()) {
       for (PointId& id : ids.value()) id = snap->id(id);
     }
     s.cache.PutMaintainable(snap->epoch(), key, box, ids.value());

@@ -50,6 +50,7 @@
 #include "core/eclipse.h"
 #include "core/eclipse_index.h"
 #include "dataset/columnar.h"
+#include "diagram/eclipse_diagram.h"
 #include "engine/registry.h"
 #include "engine/result_cache.h"
 #include "index/packed_rtree.h"
@@ -103,6 +104,33 @@ struct EngineOptions {
   /// Lazily build the tree once this many BBS-eligible queries have been
   /// observed (cold epochs keep the flat scan).
   size_t bbs_query_threshold = 3;
+  /// A tree carried across erases filters tombstoned rows during traversal;
+  /// once tombstones exceed this fraction of the tree's rows the carry is
+  /// repacked: the stale tree is dropped and the next eligible query
+  /// rebuilds over the compacted snapshot.
+  double bbs_tombstone_repack_fraction = 0.25;
+  /// Master switch for the eclipse diagram (src/diagram/): a lazily built
+  /// partition of the ratio-query domain into cells with precomputed
+  /// strict-survivor payloads serves ANY bounded in-domain box -- including
+  /// never-seen ones the LRU cannot hit -- by point location + a small
+  /// exact merge.
+  bool enable_diagram = true;
+  /// The diagram is only worth building for at least this many points
+  /// (below it the one-shot scan is already microseconds).
+  size_t diagram_min_points = 4096;
+  /// Automatic diagram routing is capped at this dimensionality (payload
+  /// boxes embed into 2^(d-1) corner dims).
+  size_t diagram_max_dims = 6;
+  /// Lazily build the diagram once this many diagram-eligible (bounded,
+  /// in-domain) queries have been observed.
+  size_t diagram_query_threshold = 3;
+  /// Cell budget forwarded to DiagramOptions::max_cells.
+  size_t diagram_max_cells = 1024;
+  /// Payload target forwarded to DiagramOptions::target_payload.
+  size_t diagram_target_payload = 48;
+  /// Candidate cap forwarded to DiagramOptions::max_candidates; a query
+  /// whose cell intersection exceeds it falls back to a full backend.
+  size_t diagram_max_candidates = 2048;
 };
 
 /// The routing decision for one query.
@@ -132,6 +160,19 @@ struct QueryPlan {
   std::string skyline_path;
   /// Dominance-kernel dispatch tier serving this query ("avx2" / "scalar").
   std::string simd_tier;
+  /// The query will be answered by the (possibly yet-unbuilt) eclipse
+  /// diagram: point location + payload intersection + exact merge.
+  bool uses_diagram = false;
+  /// Serving this query triggers the lazy diagram build.
+  bool will_build_diagram = false;
+  /// The query was served by the diagram (distinct from an LRU cache_hit:
+  /// the diagram answers boxes the cache has never seen). Explain reports
+  /// false -- only Query can know it didn't fall back on candidate
+  /// overflow.
+  bool diagram_hit = false;
+  /// The structure that answers: "cache", "diagram", "index", "bbs-tree",
+  /// or "one-shot".
+  std::string answered_by;
   /// Why the cost model picked this engine, for logs and debugging.
   std::string reason;
 };
@@ -158,6 +199,13 @@ struct PlanInputs {
   bool tree_build_failed = false;
   /// BBS-eligible queries observed so far (not counting this one).
   size_t bbs_eligible_queries = 0;
+  /// An up-to-date eclipse diagram exists for the current snapshot (built
+  /// for it, or carried/repaired across mutations by the delta rules).
+  bool diagram_built = false;
+  /// A previous lazy diagram build failed; don't retry until a mutation.
+  bool diagram_build_failed = false;
+  /// Diagram-eligible queries observed so far (not counting this one).
+  size_t diagram_eligible_queries = 0;
 };
 
 /// The explicit cost model: pure function from inputs to plan.
@@ -168,6 +216,12 @@ QueryPlan ChoosePlan(const PlanInputs& in, const EngineOptions& options);
 /// run the full flat scan). Drives the lazy tree-build counter the same way
 /// the index-eligible counter drives the lazy index build.
 bool BbsEligible(const PlanInputs& in, const EngineOptions& options);
+
+/// True iff this query's shape can be served by the eclipse diagram under
+/// automatic routing (kAuto, bounded, inside the domain, gates passed).
+/// Drives the lazy diagram-build counter; a built diagram takes precedence
+/// over both the QUAD/CUTTING index and the BBS tree for eligible shapes.
+bool DiagramEligible(const PlanInputs& in, const EngineOptions& options);
 
 /// Cumulative delta-maintenance counters (engine and sharded level; see
 /// src/stream/). Read through maintenance(); reported by the CLI and the
@@ -189,10 +243,23 @@ struct MaintenanceStats {
   /// over the index domain). Always 0 at the sharded level (the sharded
   /// cache has no index; per-shard engines count their own).
   uint64_t index_preserved = 0;
-  /// Mutations that kept the BBS tree alive (insert strictly dominated
-  /// coordinatewise, so it can never appear in any answer and the tree's
-  /// row prefix stays exact). Always 0 at the sharded level.
+  /// Mutations that kept the BBS tree alive: inserts strictly dominated
+  /// coordinatewise (the tree's row prefix stays exact) and erases carried
+  /// via tombstoned rows filtered during traversal. Always 0 at the sharded
+  /// level.
   uint64_t tree_preserved = 0;
+  /// Erase-carried trees dropped because tombstones crossed the repack
+  /// threshold (the next eligible query rebuilds over the compacted
+  /// snapshot).
+  uint64_t tree_repacks = 0;
+  /// Mutations the eclipse diagram survived: inserts strictly dominated
+  /// over the domain (carried untouched), repaired inserts, and erases of
+  /// non-payload points.
+  uint64_t diagram_preserved = 0;
+  /// Distinct diagram payload vectors rewritten by insert repairs.
+  uint64_t diagram_repaired_cells = 0;
+  /// Mutations that dropped the diagram (a payload member was erased).
+  uint64_t diagram_dropped = 0;
 
   MaintenanceStats& operator+=(const MaintenanceStats& other) {
     deltas += other.deltas;
@@ -203,6 +270,10 @@ struct MaintenanceStats {
     dominance_tests += other.dominance_tests;
     index_preserved += other.index_preserved;
     tree_preserved += other.tree_preserved;
+    tree_repacks += other.tree_repacks;
+    diagram_preserved += other.diagram_preserved;
+    diagram_repaired_cells += other.diagram_repaired_cells;
+    diagram_dropped += other.diagram_dropped;
     return *this;
   }
 };
@@ -235,6 +306,8 @@ struct EngineQueryStats {
   QueryStats index;
   /// Filled when the BBS tree path served the query (plan.uses_tree).
   BbsStats bbs;
+  /// Filled when the diagram served the query (plan.diagram_hit).
+  DiagramQueryStats diagram;
   /// One-shot algorithm counters (corner evaluations, skyline comparisons).
   Statistics counters;
   size_t result_size = 0;
@@ -280,8 +353,22 @@ class EclipseEngine {
   /// path the same way BuildIndex prewarms QUAD/CUTTING.
   Status BuildBbsTree();
   /// An up-to-date tree exists for the current snapshot (freshly built or
-  /// carried across dominated inserts).
+  /// carried across dominated inserts and tombstoned erases).
   bool bbs_tree_built() const;
+  /// Rows of the carried tree currently tombstoned (0 for a fresh tree).
+  size_t bbs_tombstones() const;
+
+  /// Eagerly builds the eclipse diagram for the current snapshot over the
+  /// configured index domain (a no-op if an up-to-date diagram exists).
+  Status BuildDiagram();
+  /// An up-to-date diagram exists for the current snapshot (freshly built,
+  /// or carried/repaired across mutations).
+  bool diagram_built() const;
+  /// The current diagram (nullptr when !diagram_built()); for
+  /// observability, prewarm checks, and benches.
+  std::shared_ptr<const EclipseDiagram> diagram() const;
+  /// Queries answered by the diagram (distinct from cache().hits()).
+  uint64_t diagram_hits() const;
 
   /// Copy-on-write mutations: publish a snapshot with epoch + 1. With
   /// incremental maintenance (the default) the mutation runs the delta

@@ -33,7 +33,8 @@ struct Embedder {
 Result<std::vector<PointId>> BbsCore(const PointSet& points,
                                      const PackedRTree& tree,
                                      const Embedder& e, const Box* constraint,
-                                     Statistics* stats, BbsStats* bbs_out) {
+                                     Statistics* stats, BbsStats* bbs_out,
+                                     std::span<const uint8_t> tombstones) {
   if (tree.dims() != points.dims()) {
     return Status::InvalidArgument(
         StrFormat("BBS: tree indexes %zu-d rows, dataset is %zu-d",
@@ -46,6 +47,11 @@ Result<std::vector<PointId>> BbsCore(const PointSet& points,
   }
   if (constraint != nullptr && constraint->dims() != points.dims()) {
     return Status::InvalidArgument("BBS: constraint box dims mismatch");
+  }
+  if (!tombstones.empty() && tombstones.size() != tree.size()) {
+    return Status::InvalidArgument(
+        StrFormat("BBS: tombstone mask covers %zu rows, tree indexes %zu",
+                  tombstones.size(), tree.size()));
   }
 
   BbsStats bbs;
@@ -102,6 +108,13 @@ Result<std::vector<PointId>> BbsCore(const PointSet& points,
       push(node, /*is_point=*/false);
     };
     auto try_push_point = [&](uint32_t row) {
+      if (row < tombstones.size() && tombstones[row] != 0) {
+        // Erased from the live dataset; the node MBRs that counted this
+        // row stay admissible lower bounds, so only the row itself is
+        // skipped.
+        ++bbs.tombstones_skipped;
+        return;
+      }
       const std::span<const double> p = points[row];
       if (constraint != nullptr && !constraint->Contains(p)) return;
       e.Embed(p.data(), tmp.data());
@@ -163,12 +176,13 @@ Result<std::vector<PointId>> BbsCore(const PointSet& points,
 Result<std::vector<PointId>> BbsSkyline(const PointSet& points,
                                         const PackedRTree& tree,
                                         const Box* constraint,
-                                        Statistics* stats, BbsStats* bbs) {
+                                        Statistics* stats, BbsStats* bbs,
+                                        std::span<const uint8_t> tombstones) {
   if (points.dims() == 0) {
     return Status::InvalidArgument("BBS: zero-dimensional data");
   }
   const Embedder e{nullptr, points.dims(), points.dims()};
-  return BbsCore(points, tree, e, constraint, stats, bbs);
+  return BbsCore(points, tree, e, constraint, stats, bbs, tombstones);
 }
 
 Result<std::vector<PointId>> BbsEclipse(const PointSet& points,
@@ -176,7 +190,8 @@ Result<std::vector<PointId>> BbsEclipse(const PointSet& points,
                                         const RatioBox& box,
                                         size_t max_corner_dims,
                                         const Box* constraint,
-                                        Statistics* stats, BbsStats* bbs) {
+                                        Statistics* stats, BbsStats* bbs,
+                                        std::span<const uint8_t> tombstones) {
   if (points.dims() < 2) {
     return Status::InvalidArgument("eclipse requires d >= 2 data");
   }
@@ -192,7 +207,7 @@ Result<std::vector<PointId>> BbsEclipse(const PointSet& points,
   }
   const CornerKernel kernel(box);
   const Embedder e{&kernel, points.dims(), kernel.embedding_dims()};
-  return BbsCore(points, tree, e, constraint, stats, bbs);
+  return BbsCore(points, tree, e, constraint, stats, bbs, tombstones);
 }
 
 }  // namespace eclipse

@@ -43,6 +43,7 @@
 #define ECLIPSE_SKYLINE_BBS_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/result.h"
@@ -67,6 +68,9 @@ struct BbsStats {
   uint64_t points_pruned = 0;
   uint64_t heap_pushes = 0;
   uint64_t points_accepted = 0;
+  /// Rows skipped by the caller's tombstone mask (erased from the live
+  /// dataset but still indexed by a carried tree).
+  uint64_t tombstones_skipped = 0;
 
   BbsStats& operator+=(const BbsStats& other) {
     nodes_visited += other.nodes_visited;
@@ -75,6 +79,7 @@ struct BbsStats {
     points_pruned += other.points_pruned;
     heap_pushes += other.heap_pushes;
     points_accepted += other.points_accepted;
+    tombstones_skipped += other.tombstones_skipped;
     return *this;
   }
 };
@@ -83,14 +88,17 @@ struct BbsStats {
 /// same rows; the tree may index a PREFIX of the rows, in which case the
 /// skyline of that prefix is returned -- the epoch-carry contract). With
 /// `constraint`, the constrained skyline: minima among the points inside
-/// the closed raw-space box. Ids ascending; identical to the flat kernels'
-/// id sets on the same rows. Ticks kIndexNodesVisited / kIndexLeavesScanned
-/// / kSkylineComparisons on `stats`.
-Result<std::vector<PointId>> BbsSkyline(const PointSet& points,
-                                        const PackedRTree& tree,
-                                        const Box* constraint = nullptr,
-                                        Statistics* stats = nullptr,
-                                        BbsStats* bbs = nullptr);
+/// the closed raw-space box. A non-empty `tombstones` mask (one byte per
+/// tree row, 1 = dead) excludes erased rows from the answer without
+/// rebuilding the tree: dead rows never enter the accepted set, and node
+/// MBRs computed with them stay admissible (merely looser), so the result
+/// is exactly the skyline of the live rows. Ids ascending; identical to
+/// the flat kernels' id sets on the same rows. Ticks kIndexNodesVisited /
+/// kIndexLeavesScanned / kSkylineComparisons on `stats`.
+Result<std::vector<PointId>> BbsSkyline(
+    const PointSet& points, const PackedRTree& tree,
+    const Box* constraint = nullptr, Statistics* stats = nullptr,
+    BbsStats* bbs = nullptr, std::span<const uint8_t> tombstones = {});
 
 /// The eclipse set of `box` (skyline of the corner-score embedding, paper
 /// Theorem 5) via BBS over the raw-space `tree`. Handles bounded, unbounded
@@ -98,13 +106,12 @@ Result<std::vector<PointId>> BbsSkyline(const PointSet& points,
 /// identical id set; `max_corner_dims` guards the 2^|FreeDims| embedding
 /// blow-up the same way (ResourceExhausted). Also ticks
 /// kCornerScoreEvaluations for the lazy low-corner / point embeddings.
-Result<std::vector<PointId>> BbsEclipse(const PointSet& points,
-                                        const PackedRTree& tree,
-                                        const RatioBox& box,
-                                        size_t max_corner_dims = 20,
-                                        const Box* constraint = nullptr,
-                                        Statistics* stats = nullptr,
-                                        BbsStats* bbs = nullptr);
+/// `tombstones` as in BbsSkyline.
+Result<std::vector<PointId>> BbsEclipse(
+    const PointSet& points, const PackedRTree& tree, const RatioBox& box,
+    size_t max_corner_dims = 20, const Box* constraint = nullptr,
+    Statistics* stats = nullptr, BbsStats* bbs = nullptr,
+    std::span<const uint8_t> tombstones = {});
 
 }  // namespace eclipse
 

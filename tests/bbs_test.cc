@@ -453,7 +453,7 @@ TEST(BbsEngineTest, PrebuiltTreeServesImmediately) {
   EXPECT_EQ(Sorted(*got), Sorted(*NaiveEclipse(pts, box)));
 }
 
-TEST(BbsEngineTest, DominatedInsertCarriesTreeEraseDropsIt) {
+TEST(BbsEngineTest, DominatedInsertCarriesTreeEraseTombstones) {
   Rng rng(2031);
   // Data in [0.2, 1]^3 so {2,2,2} is strictly dominated and {0.1,...} is a
   // frontier point.
@@ -472,7 +472,7 @@ TEST(BbsEngineTest, DominatedInsertCarriesTreeEraseDropsIt) {
   EXPECT_TRUE(engine->bbs_tree_built());
   EXPECT_EQ(engine->maintenance().tree_preserved, 1u);
 
-  // The carried tree (indexing a strict prefix of the rows) still answers
+  // The carried tree (the arrival rides in the suffix) still answers
   // exactly.
   const auto box = *RatioBox::Uniform(2, 0.5, 2.0);
   EngineQueryStats stats;
@@ -485,13 +485,114 @@ TEST(BbsEngineTest, DominatedInsertCarriesTreeEraseDropsIt) {
   ASSERT_TRUE(engine->Insert(Point{0.1, 0.1, 0.1}).ok());
   EXPECT_FALSE(engine->bbs_tree_built());
 
-  // Rebuild, then erase: rows compact, the tree must drop.
+  // Rebuild, then erase the frontier point (id 301, a base row of the
+  // rebuilt tree): the tree carries with the row tombstoned out of the
+  // traversal instead of dropping. BBS must visit that row (its leaf holds
+  // the global minimum), so the skip counter ticks.
   ASSERT_TRUE(engine->BuildBbsTree().ok());
-  ASSERT_TRUE(engine->Erase(0).ok());
+  ASSERT_TRUE(engine->Erase(301).ok());
+  EXPECT_TRUE(engine->bbs_tree_built());
+  EXPECT_EQ(engine->bbs_tombstones(), 1u);
+  EXPECT_EQ(engine->maintenance().tree_preserved, 2u);
+  EngineQueryStats after_stats;
+  auto after = engine->Query(box, &after_stats);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after_stats.plan.uses_tree);
+  EXPECT_FALSE(after_stats.plan.cache_hit);
+  EXPECT_GT(after_stats.bbs.tombstones_skipped, 0u);
+  EXPECT_EQ(Sorted(*after), OracleIds(*engine, box));
+  // The erased id never reappears.
+  EXPECT_EQ(std::count(after->begin(), after->end(), 301u), 0);
+}
+
+TEST(BbsEngineTest, TombstonesRepackAfterThreshold) {
+  Rng rng(2047);
+  std::vector<Point> rows;
+  for (int i = 0; i < 200; ++i) {
+    rows.push_back({rng.Uniform(0.2, 1.0), rng.Uniform(0.2, 1.0),
+                    rng.Uniform(0.2, 1.0)});
+  }
+  auto pts = *PointSet::FromPoints(rows);
+  EngineOptions options = BbsFriendlyOptions();
+  options.bbs_tombstone_repack_fraction = 0.02;  // repack at the 5th erase
+  auto engine = EclipseEngine::Make(pts, options);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine->BuildBbsTree().ok());
+
+  const auto box = *RatioBox::Uniform(2, 0.5, 2.0);
+  // 200 * 0.02 = 4 tombstones carry; the 5th erase crosses the threshold
+  // and drops the tree for a lazy repack.
+  for (PointId id = 0; id < 4; ++id) {
+    ASSERT_TRUE(engine->Erase(id).ok());
+    EXPECT_TRUE(engine->bbs_tree_built()) << "erase " << id;
+    EXPECT_EQ(engine->bbs_tombstones(), id + 1u);
+    auto got = engine->Query(box);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(Sorted(*got), OracleIds(*engine, box)) << "erase " << id;
+  }
+  ASSERT_TRUE(engine->Erase(4).ok());
   EXPECT_FALSE(engine->bbs_tree_built());
+  EXPECT_EQ(engine->maintenance().tree_repacks, 1u);
+  EXPECT_EQ(engine->bbs_tombstones(), 0u);
   auto after = engine->Query(box);
   ASSERT_TRUE(after.ok());
   EXPECT_EQ(Sorted(*after), OracleIds(*engine, box));
+}
+
+TEST(BbsEngineTest, EraseOfSuffixDominatorDropsCarriedTree) {
+  // A carried suffix insert is only provably absent from answers while a
+  // live dominator exists; erasing the dominator must drop the tree.
+  std::vector<Point> rows;
+  Rng rng(2053);
+  for (int i = 0; i < 150; ++i) {
+    rows.push_back({rng.Uniform(0.4, 1.0), rng.Uniform(0.4, 1.0),
+                    rng.Uniform(0.4, 1.0)});
+  }
+  rows.push_back({0.1, 0.1, 0.1});  // id 150: the sole deep frontier point
+  auto pts = *PointSet::FromPoints(rows);
+  auto engine = EclipseEngine::Make(pts, BbsFriendlyOptions());
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine->BuildBbsTree().ok());
+
+  // Dominated only by id 150: carried in the suffix.
+  ASSERT_TRUE(engine->Insert(Point{0.2, 0.2, 0.2}).ok());
+  EXPECT_TRUE(engine->bbs_tree_built());
+
+  // Erasing the dominator un-dominates the suffix point: the re-verify
+  // must fail and drop the tree (a stale carry would omit id 151).
+  ASSERT_TRUE(engine->Erase(150).ok());
+  EXPECT_FALSE(engine->bbs_tree_built());
+  const auto box = *RatioBox::Uniform(2, 0.5, 2.0);
+  auto got = engine->Query(box);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(Sorted(*got), OracleIds(*engine, box));
+  EXPECT_EQ(std::count(got->begin(), got->end(), 151u), 1);
+}
+
+TEST(BbsEngineTest, EraseOfCarriedSuffixInsertKeepsTree) {
+  std::vector<Point> rows;
+  Rng rng(2059);
+  for (int i = 0; i < 150; ++i) {
+    rows.push_back({rng.Uniform(0.2, 1.0), rng.Uniform(0.2, 1.0),
+                    rng.Uniform(0.2, 1.0)});
+  }
+  auto pts = *PointSet::FromPoints(rows);
+  auto engine = EclipseEngine::Make(pts, BbsFriendlyOptions());
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine->BuildBbsTree().ok());
+
+  // Two dominated arrivals ride in the suffix; erasing one of them removes
+  // it without touching the tombstone mask, and the other re-verifies.
+  ASSERT_TRUE(engine->Insert(Point{2, 2, 2}).ok());    // id 150
+  ASSERT_TRUE(engine->Insert(Point{3, 3, 3}).ok());    // id 151
+  EXPECT_TRUE(engine->bbs_tree_built());
+  ASSERT_TRUE(engine->Erase(150).ok());
+  EXPECT_TRUE(engine->bbs_tree_built());
+  EXPECT_EQ(engine->bbs_tombstones(), 0u);
+  const auto box = *RatioBox::Uniform(2, 0.5, 2.0);
+  auto got = engine->Query(box);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(Sorted(*got), OracleIds(*engine, box));
 }
 
 // Interleaved mutations x queries, forced kBbs so every answer takes the

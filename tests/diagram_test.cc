@@ -1,0 +1,667 @@
+// Tests for the eclipse diagram (src/diagram/): structural invariants of
+// the cell partition (leaves tile the domain, no overlap, payloads shrink
+// down the tree, boundary queries agree with both neighbors), differential
+// fuzz against EclipseCornerSkyline across datasets x n x d x box shapes x
+// SIMD tiers, insert repair / erase carry soundness, and the EclipseEngine
+// routing integration (lazy build threshold, answered_by attribution,
+// overflow fallback, interleaved mutations, shard-local diagrams).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "core/eclipse.h"
+#include "dataset/columnar.h"
+#include "dataset/generators.h"
+#include "diagram/eclipse_diagram.h"
+#include "engine/eclipse_engine.h"
+#include "shard/sharded_engine.h"
+#include "skyline/simd_dominance.h"
+
+namespace eclipse {
+namespace {
+
+std::vector<PointId> Sorted(std::vector<PointId> ids) {
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+/// The from-scratch oracle over a snapshot, mapped to stable ids.
+std::vector<PointId> OracleIds(const ColumnarSnapshot& snap,
+                               const RatioBox& box) {
+  auto ids = EclipseCornerSkyline(snap.points(), box, {});
+  EXPECT_TRUE(ids.ok());
+  if (!ids.ok()) return {};
+  if (!snap.ids_are_row_indices()) {
+    for (PointId& id : *ids) id = snap.id(id);
+  }
+  return Sorted(*ids);
+}
+
+std::vector<PointId> EngineOracleIds(EclipseEngine& engine,
+                                     const RatioBox& box) {
+  return OracleIds(*engine.snapshot(), box);
+}
+
+std::shared_ptr<const ColumnarSnapshot> Snap(const PointSet& pts) {
+  auto snap = ColumnarSnapshot::FromPointSet(pts);
+  EXPECT_TRUE(snap.ok());
+  return *snap;
+}
+
+/// A random box inside `domain`; degenerate with probability ~1/4.
+RatioBox RandomBoxInside(const RatioBox& domain, Rng* rng) {
+  std::vector<RatioRange> ranges(domain.num_ratios());
+  const bool degenerate = rng->NextDouble() < 0.25;
+  for (size_t j = 0; j < ranges.size(); ++j) {
+    const double lo = domain.range(j).lo;
+    const double hi = domain.range(j).hi;
+    double a = rng->Uniform(lo, hi);
+    double b = degenerate ? a : rng->Uniform(lo, hi);
+    if (b < a) std::swap(a, b);
+    ranges[j] = RatioRange{a, b};
+  }
+  return *RatioBox::Make(std::move(ranges));
+}
+
+// ------------------------------------------------------- build validation --
+
+TEST(DiagramBuildTest, RejectsInvalidDomainsAndEmptyData) {
+  Rng rng(31);
+  PointSet pts = GenerateSynthetic(Distribution::kIndependent, 50, 3, &rng);
+  auto snap = Snap(pts);
+  EXPECT_FALSE(
+      EclipseDiagram::Build(*snap, RatioBox::Skyline(2), {}).ok());  // unbounded
+  EXPECT_FALSE(
+      EclipseDiagram::Build(*snap, *RatioBox::Uniform(3, 0.5, 2.0), {})
+          .ok());  // dims mismatch
+  auto empty = Snap(PointSet(3));
+  EXPECT_FALSE(
+      EclipseDiagram::Build(*empty, *RatioBox::Uniform(2, 0.5, 2.0), {}).ok());
+}
+
+// -------------------------------------------------------- strict survivors --
+
+TEST(StrictSurvivorsTest, KeepsTiesDropsStrictlyDominated) {
+  // {1,1} twice (exact duplicates tie everywhere -> both survive); {2,2}
+  // strictly dominated by {1,1} at every weight; {0.2,2} crosses {1,1} at
+  // ratio 1.25, inside [0.5, 2], so neither strictly dominates the other.
+  auto pts = *PointSet::FromPoints({{1, 1}, {1, 1}, {2, 2}, {0.2, 2}});
+  auto snap = Snap(pts);
+  const auto box = *RatioBox::Uniform(1, 0.5, 2.0);
+  const std::vector<PointId> all{0, 1, 2, 3};
+  uint64_t tests = 0;
+  auto survivors = StrictSurvivors(*snap, box, all, &tests);
+  EXPECT_EQ(survivors, (std::vector<PointId>{0, 1, 3}));
+  EXPECT_GT(tests, 0u);
+}
+
+TEST(StrictSurvivorsTest, SupersetOfEverySubBoxEclipse) {
+  // The core lemma the diagram rests on: Strict(B) contains E(B') for every
+  // sub-box B' of B, degenerate points included.
+  Rng rng(37);
+  for (size_t d : {2u, 3u}) {
+    PointSet pts = GenerateSynthetic(Distribution::kAnticorrelated, 120, d,
+                                     &rng);
+    auto snap = Snap(pts);
+    const auto domain = *RatioBox::Uniform(d - 1, 0.3, 3.0);
+    std::vector<PointId> all(pts.size());
+    for (PointId i = 0; i < pts.size(); ++i) all[i] = i;
+    auto strict = StrictSurvivors(*snap, domain, all, nullptr);
+    for (int rep = 0; rep < 8; ++rep) {
+      const RatioBox sub = RandomBoxInside(domain, &rng);
+      for (PointId id : OracleIds(*snap, sub)) {
+        EXPECT_TRUE(std::binary_search(strict.begin(), strict.end(), id))
+            << "d=" << d << " rep=" << rep << " id=" << id;
+      }
+    }
+  }
+}
+
+// --------------------------------------------------- structural invariants --
+
+TEST(DiagramStructureTest, LeavesTileTheDomainWithoutOverlap) {
+  Rng rng(41);
+  for (size_t d : {2u, 3u, 4u}) {
+    PointSet pts = GenerateSynthetic(Distribution::kIndependent, 300, d, &rng);
+    auto snap = Snap(pts);
+    const auto domain = *RatioBox::Uniform(d - 1, 0.25, 4.0);
+    DiagramOptions options;
+    options.target_payload = 24;
+    options.max_cells = 64;
+    auto built = EclipseDiagram::Build(*snap, domain, options);
+    ASSERT_TRUE(built.ok()) << "d=" << d;
+    const auto& diagram = **built;
+    const auto leaves = diagram.Leaves();
+    ASSERT_EQ(leaves.size(), diagram.num_cells());
+    ASSERT_GE(leaves.size(), 1u);
+
+    // Volumes sum to the domain volume (tiling + disjointness together).
+    double domain_volume = 1.0;
+    for (size_t j = 0; j + 1 < d; ++j) {
+      domain_volume *= domain.range(j).hi - domain.range(j).lo;
+    }
+    double sum = 0.0;
+    for (const auto& leaf : leaves) {
+      double v = 1.0;
+      for (size_t j = 0; j + 1 < d; ++j) {
+        EXPECT_GE(leaf.lo[j], domain.range(j).lo);
+        EXPECT_LE(leaf.hi[j], domain.range(j).hi);
+        EXPECT_LT(leaf.lo[j], leaf.hi[j]);
+        v *= leaf.hi[j] - leaf.lo[j];
+      }
+      sum += v;
+    }
+    EXPECT_NEAR(sum, domain_volume, 1e-9 * domain_volume) << "d=" << d;
+
+    // Pairwise disjoint interiors.
+    for (size_t a = 0; a < leaves.size(); ++a) {
+      for (size_t b = a + 1; b < leaves.size(); ++b) {
+        bool separated = false;
+        for (size_t j = 0; j + 1 < d; ++j) {
+          if (leaves[a].hi[j] <= leaves[b].lo[j] ||
+              leaves[b].hi[j] <= leaves[a].lo[j]) {
+            separated = true;
+            break;
+          }
+        }
+        EXPECT_TRUE(separated) << "d=" << d << " leaves " << a << "," << b;
+      }
+    }
+
+    // Payloads shrink down the tree: every leaf payload is a subset of the
+    // root payload Strict(domain).
+    std::vector<PointId> all(pts.size());
+    for (PointId i = 0; i < pts.size(); ++i) all[i] = i;
+    const auto root = StrictSurvivors(*snap, domain, all, nullptr);
+    EXPECT_EQ(diagram.build_stats().root_payload, root.size());
+    for (const auto& leaf : leaves) {
+      for (PointId id : *leaf.lower) {
+        EXPECT_TRUE(std::binary_search(root.begin(), root.end(), id));
+      }
+      for (PointId id : *leaf.upper) {
+        EXPECT_TRUE(std::binary_search(root.begin(), root.end(), id));
+      }
+    }
+
+    // LocateLeaf returns the containing cell for random interior points.
+    for (int rep = 0; rep < 32; ++rep) {
+      std::vector<double> x(d - 1);
+      for (size_t j = 0; j + 1 < d; ++j) {
+        x[j] = rng.Uniform(domain.range(j).lo, domain.range(j).hi);
+      }
+      const auto leaf = diagram.LeafAt(diagram.LocateLeaf(x));
+      for (size_t j = 0; j + 1 < d; ++j) {
+        EXPECT_GE(x[j], leaf.lo[j]);
+        EXPECT_LE(x[j], leaf.hi[j]);
+      }
+    }
+  }
+}
+
+TEST(DiagramStructureTest, BoundaryQueriesAgreeWithBothNeighbors) {
+  Rng rng(43);
+  PointSet pts = GenerateSynthetic(Distribution::kAnticorrelated, 250, 2, &rng);
+  auto snap = Snap(pts);
+  const auto domain = *RatioBox::Uniform(1, 0.25, 4.0);
+  auto built = EclipseDiagram::Build(*snap, domain, {});
+  ASSERT_TRUE(built.ok());
+  const auto& diagram = **built;
+  ASSERT_GT(diagram.num_cells(), 1u) << "need at least one internal boundary";
+
+  for (const auto& leaf : diagram.Leaves()) {
+    const double s = leaf.lo[0];
+    if (s <= domain.range(0).lo) continue;  // domain edge, no left neighbor
+    // The two point-location conventions resolve a boundary point to the
+    // two adjacent cells...
+    const auto right = diagram.LeafAt(diagram.LocateLeaf({&s, 1}, false));
+    const auto left = diagram.LeafAt(diagram.LocateLeaf({&s, 1}, true));
+    EXPECT_EQ(right.lo[0], s);
+    EXPECT_EQ(left.hi[0], s);
+    // ...and the degenerate query ON the boundary answers exactly either
+    // way (both cells' payload boxes contain it), matching the oracle.
+    const auto box = *RatioBox::Make({RatioRange{s, s}});
+    auto got = diagram.Query(*snap, box);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(Sorted(*got), OracleIds(*snap, box)) << "boundary " << s;
+  }
+}
+
+// -------------------------------------------------------- differential fuzz --
+
+TEST(DiagramQueryTest, DifferentialFuzzAcrossDistributionsAndDims) {
+  Rng rng(47);
+  const Distribution dists[] = {
+      Distribution::kIndependent, Distribution::kCorrelated,
+      Distribution::kAnticorrelated, Distribution::kClustered};
+  for (Distribution dist : dists) {
+    for (size_t d : {2u, 3u, 4u}) {
+      for (size_t n : {60u, 400u}) {
+        PointSet pts = GenerateSynthetic(dist, n, d, &rng);
+        auto snap = Snap(pts);
+        const auto domain = *RatioBox::Uniform(d - 1, 0.2, 5.0);
+        DiagramOptions options;
+        options.target_payload = 32;
+        auto built = EclipseDiagram::Build(*snap, domain, options);
+        ASSERT_TRUE(built.ok());
+        // The full domain box and random sub-boxes (degenerate included).
+        EXPECT_EQ(Sorted(*(*built)->Query(*snap, domain)),
+                  OracleIds(*snap, domain));
+        for (int rep = 0; rep < 10; ++rep) {
+          const RatioBox box = RandomBoxInside(domain, &rng);
+          DiagramQueryStats stats;
+          auto got = (*built)->Query(*snap, box, &stats);
+          ASSERT_TRUE(got.ok());
+          EXPECT_EQ(Sorted(*got), OracleIds(*snap, box))
+              << "dist=" << static_cast<int>(dist) << " d=" << d << " n=" << n
+              << " rep=" << rep;
+          EXPECT_EQ(stats.result_size, got->size());
+          EXPECT_GE(stats.candidates, got->size());
+        }
+      }
+    }
+  }
+}
+
+TEST(DiagramQueryTest, IdenticalAtEverySimdTier) {
+  Rng rng(53);
+  PointSet pts = GenerateSynthetic(Distribution::kAnticorrelated, 500, 3, &rng);
+  auto snap = Snap(pts);
+  const auto domain = *RatioBox::Uniform(2, 0.3, 3.0);
+  auto scalar_build = EclipseDiagram::Build(*snap, domain, {});
+  ASSERT_TRUE(scalar_build.ok());
+  std::vector<RatioBox> boxes;
+  for (int rep = 0; rep < 6; ++rep) boxes.push_back(RandomBoxInside(domain, &rng));
+  std::vector<std::vector<PointId>> expected;
+  for (const auto& box : boxes) {
+    auto ids = (*scalar_build)->Query(*snap, box);
+    ASSERT_TRUE(ids.ok());
+    expected.push_back(*ids);
+  }
+  for (SimdTier tier : AvailableSimdTiers()) {
+    ASSERT_TRUE(SetSimdTier(tier));
+    auto built = EclipseDiagram::Build(*snap, domain, {});
+    ASSERT_TRUE(built.ok());
+    // Payload CONTENT is tier-independent (scalar strict filter)...
+    EXPECT_EQ((*built)->build_stats().cells,
+              (*scalar_build)->build_stats().cells);
+    EXPECT_EQ((*built)->build_stats().root_payload,
+              (*scalar_build)->build_stats().root_payload);
+    // ...and answers are byte-identical at every tier.
+    for (size_t q = 0; q < boxes.size(); ++q) {
+      auto got = (*built)->Query(*snap, boxes[q]);
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(*got, expected[q]) << SimdTierName(tier) << " box " << q;
+    }
+  }
+  ResetSimdTier();
+}
+
+TEST(DiagramQueryTest, RefusesUncoveredBoxesAndOverflows) {
+  Rng rng(59);
+  PointSet pts = GenerateSynthetic(Distribution::kIndependent, 200, 3, &rng);
+  auto snap = Snap(pts);
+  const auto domain = *RatioBox::Uniform(2, 0.5, 2.0);
+  auto built = EclipseDiagram::Build(*snap, domain, {});
+  ASSERT_TRUE(built.ok());
+  // Unbounded and out-of-domain boxes are not covered.
+  EXPECT_FALSE((*built)->Covers(RatioBox::Skyline(2)));
+  EXPECT_FALSE((*built)->Covers(*RatioBox::Uniform(2, 0.1, 1.0)));
+  EXPECT_FALSE((*built)->Query(*snap, RatioBox::Skyline(2)).ok());
+  // A zero candidate budget refuses every query with ResourceExhausted.
+  DiagramOptions tiny;
+  tiny.max_candidates = 0;
+  auto capped = EclipseDiagram::Build(*snap, domain, tiny);
+  ASSERT_TRUE(capped.ok());
+  auto refused = (*capped)->Query(*snap, domain);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_TRUE(refused.status().IsResourceExhausted());
+  EXPECT_GT((*capped)->CandidateCount(domain), 0u);
+}
+
+// ------------------------------------------------------------- maintenance --
+
+TEST(DiagramMaintenanceTest, WithInsertRepairsExactly) {
+  Rng rng(61);
+  // Data in [0.2, 1]^3 so {10,10,10} is strictly dominated over the whole
+  // domain and {0.1, 0.1, 0.1} strictly dominates every row.
+  std::vector<Point> rows;
+  for (int i = 0; i < 300; ++i) {
+    rows.push_back({rng.Uniform(0.2, 1.0), rng.Uniform(0.2, 1.0),
+                    rng.Uniform(0.2, 1.0)});
+  }
+  auto pts = *PointSet::FromPoints(rows);
+  auto base = Snap(pts);
+  const auto domain = *RatioBox::Uniform(2, 0.25, 4.0);
+  DiagramOptions options;
+  options.target_payload = 24;
+  auto built = EclipseDiagram::Build(*base, domain, options);
+  ASSERT_TRUE(built.ok());
+  auto diagram = *built;
+
+  // A strictly dominated arrival changes nothing: same object back.
+  {
+    PointId id = 0;
+    Point dominated{10.0, 10.0, 10.0};
+    auto next = base->Insert(dominated, &id);
+    ASSERT_TRUE(next.ok());
+    size_t repaired = 999;
+    auto carried = diagram->WithInsert(diagram, *base, dominated, id,
+                                       &repaired);
+    EXPECT_EQ(carried.get(), diagram.get());
+    EXPECT_EQ(repaired, 0u);
+    EXPECT_FALSE(carried->ContainsId(id));
+    // Still exact over the grown snapshot.
+    for (int rep = 0; rep < 5; ++rep) {
+      const RatioBox box = RandomBoxInside(domain, &rng);
+      auto got = carried->Query(**next, box);
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(Sorted(*got), OracleIds(**next, box)) << "rep=" << rep;
+    }
+  }
+
+  // A frontier arrival (dominates everything) repairs every payload.
+  {
+    PointId id = 0;
+    Point frontier{0.1, 0.1, 0.1};
+    auto next = base->Insert(frontier, &id);
+    ASSERT_TRUE(next.ok());
+    size_t repaired = 0;
+    auto fixed = diagram->WithInsert(diagram, *base, frontier, id, &repaired);
+    EXPECT_NE(fixed.get(), diagram.get());
+    EXPECT_GT(repaired, 0u);
+    EXPECT_TRUE(fixed->ContainsId(id));
+    for (int rep = 0; rep < 8; ++rep) {
+      const RatioBox box = RandomBoxInside(domain, &rng);
+      auto got = fixed->Query(**next, box);
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(Sorted(*got), OracleIds(**next, box)) << "rep=" << rep;
+      EXPECT_TRUE(std::binary_search(got->begin(), got->end(), id));
+    }
+    // The original diagram is untouched (copy-on-write).
+    auto old = diagram->Query(*base, domain);
+    ASSERT_TRUE(old.ok());
+    EXPECT_EQ(Sorted(*old), OracleIds(*base, domain));
+  }
+}
+
+// ------------------------------------------------------ engine integration --
+
+EngineOptions DiagramFriendlyOptions() {
+  EngineOptions options;
+  options.enable_index = false;    // isolate the diagram vs one-shot choice
+  options.diagram_min_points = 32; // test datasets are small
+  return options;
+}
+
+TEST(DiagramEngineTest, LazyBuildAfterThresholdAndAnsweredByAttribution) {
+  Rng rng(67);
+  PointSet pts = GenerateSynthetic(Distribution::kIndependent, 600, 3, &rng);
+  auto engine = EclipseEngine::Make(pts, DiagramFriendlyOptions());
+  ASSERT_TRUE(engine.ok());
+  EngineOptions off = DiagramFriendlyOptions();
+  off.enable_diagram = false;
+  auto baseline = EclipseEngine::Make(pts, off);
+  ASSERT_TRUE(baseline.ok());
+
+  const size_t threshold = engine->options().diagram_query_threshold;
+  RatioBox last = *RatioBox::Uniform(2, 0.5, 2.0);
+  // Distinct boxes defeat the result cache so every query re-plans.
+  for (size_t q = 0; q + 1 < threshold; ++q) {
+    const double lo = 0.4 + 0.05 * static_cast<double>(q);
+    const auto box = *RatioBox::Uniform(2, lo, lo + 1.5);
+    EngineQueryStats stats;
+    auto got = engine->Query(box, &stats);
+    ASSERT_TRUE(got.ok());
+    EXPECT_FALSE(stats.plan.uses_diagram) << "query " << q;
+    EXPECT_EQ(stats.plan.answered_by, "one-shot") << "query " << q;
+    EXPECT_EQ(Sorted(*got), Sorted(*baseline->Query(box))) << "query " << q;
+  }
+  EXPECT_FALSE(engine->diagram_built());
+
+  // The threshold-th eligible query builds and serves from the diagram.
+  {
+    EngineQueryStats stats;
+    auto got = engine->Query(last, &stats);
+    ASSERT_TRUE(got.ok());
+    EXPECT_TRUE(stats.plan.uses_diagram);
+    EXPECT_TRUE(stats.plan.will_build_diagram);
+    EXPECT_TRUE(stats.plan.diagram_hit);
+    EXPECT_EQ(stats.plan.answered_by, "diagram");
+    EXPECT_EQ(stats.plan.engine, "DIAGRAM");
+    EXPECT_EQ(Sorted(*got), Sorted(*baseline->Query(last)));
+  }
+  EXPECT_TRUE(engine->diagram_built());
+  EXPECT_EQ(engine->diagram_hits(), 1u);
+
+  // A NEVER-seen box is served by the already-built diagram -- the whole
+  // point of precomputing query space.
+  {
+    const auto box = *RatioBox::Uniform(2, 0.71, 1.37);
+    EngineQueryStats stats;
+    auto got = engine->Query(box, &stats);
+    ASSERT_TRUE(got.ok());
+    EXPECT_TRUE(stats.plan.uses_diagram);
+    EXPECT_FALSE(stats.plan.will_build_diagram);
+    EXPECT_TRUE(stats.plan.diagram_hit);
+    EXPECT_EQ(Sorted(*got), Sorted(*baseline->Query(box)));
+    EXPECT_EQ(engine->diagram_hits(), 2u);
+
+    // Repeating it hits the LRU cache, attributed distinctly.
+    EngineQueryStats again;
+    auto cached = engine->Query(box, &again);
+    ASSERT_TRUE(cached.ok());
+    EXPECT_TRUE(again.plan.cache_hit);
+    EXPECT_FALSE(again.plan.diagram_hit);
+    EXPECT_EQ(again.plan.answered_by, "cache");
+    EXPECT_EQ(engine->diagram_hits(), 2u);  // cache hits don't count
+    EXPECT_EQ(engine->Explain(box).answered_by, "cache");
+  }
+
+  // Degenerate (1NN) boxes ARE diagram-eligible: a single point location.
+  {
+    const auto box = *RatioBox::OneNN({0.9, 1.4});
+    EngineQueryStats stats;
+    auto got = engine->Query(box, &stats);
+    ASSERT_TRUE(got.ok());
+    EXPECT_TRUE(stats.plan.uses_diagram);
+    EXPECT_TRUE(stats.plan.diagram_hit);
+    EXPECT_EQ(Sorted(*got), Sorted(*baseline->Query(box)));
+  }
+}
+
+TEST(DiagramEngineTest, RoutingGates) {
+  Rng rng(71);
+  // Below diagram_min_points: never routed to the diagram.
+  {
+    PointSet pts = GenerateSynthetic(Distribution::kIndependent, 100, 3, &rng);
+    EngineOptions options = DiagramFriendlyOptions();
+    options.diagram_min_points = 4096;
+    auto engine = EclipseEngine::Make(pts, options);
+    ASSERT_TRUE(engine.ok());
+    const auto box = *RatioBox::Uniform(2, 0.5, 2.0);
+    for (int q = 0; q < 5; ++q) {
+      EXPECT_FALSE(engine->Explain(box).uses_diagram);
+      ASSERT_TRUE(engine->Query(box).ok());
+    }
+    EXPECT_FALSE(engine->diagram_built());
+  }
+  // Unbounded and out-of-domain boxes are never diagram-eligible.
+  {
+    PointSet pts = GenerateSynthetic(Distribution::kIndependent, 400, 3, &rng);
+    auto engine = EclipseEngine::Make(pts, DiagramFriendlyOptions());
+    ASSERT_TRUE(engine.ok());
+    EXPECT_FALSE(engine->Explain(RatioBox::Skyline(2)).uses_diagram);
+    // Outside the default [0, 100] index domain.
+    EXPECT_FALSE(
+        engine->Explain(*RatioBox::Uniform(2, 50.0, 200.0)).uses_diagram);
+    // Forced engines and forced algorithms opt out of diagram routing.
+    EngineOptions forced = DiagramFriendlyOptions();
+    forced.force_engine = "CORNER";
+    auto fe = EclipseEngine::Make(pts, forced);
+    ASSERT_TRUE(fe.ok());
+    EXPECT_FALSE(fe->Explain(*RatioBox::Uniform(2, 0.5, 2.0)).uses_diagram);
+  }
+}
+
+TEST(DiagramEngineTest, CandidateOverflowFallsBackExactly) {
+  Rng rng(73);
+  PointSet pts = GenerateSynthetic(Distribution::kAnticorrelated, 500, 3, &rng);
+  EngineOptions options = DiagramFriendlyOptions();
+  options.diagram_query_threshold = 1;
+  options.diagram_max_candidates = 0;  // every diagram answer overflows
+  auto engine = EclipseEngine::Make(pts, options);
+  ASSERT_TRUE(engine.ok());
+  EngineOptions off = DiagramFriendlyOptions();
+  off.enable_diagram = false;
+  auto baseline = EclipseEngine::Make(pts, off);
+  ASSERT_TRUE(baseline.ok());
+  const auto box = *RatioBox::Uniform(2, 0.5, 2.0);
+  EngineQueryStats stats;
+  auto got = engine->Query(box, &stats);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(stats.plan.uses_diagram);    // the plan chose the diagram...
+  EXPECT_FALSE(stats.plan.diagram_hit);    // ...but the answer fell back
+  EXPECT_EQ(stats.plan.answered_by, "one-shot");
+  EXPECT_EQ(Sorted(*got), Sorted(*baseline->Query(box)));
+}
+
+TEST(DiagramEngineTest, MutationsCarryRepairOrDrop) {
+  Rng rng(79);
+  // Data in [0.2, 1]^3: {5,5,5} is strictly dominated over the domain,
+  // {0.1, 0.1, 0.1} is a frontier arrival.
+  std::vector<Point> rows;
+  for (int i = 0; i < 300; ++i) {
+    rows.push_back({rng.Uniform(0.2, 1.0), rng.Uniform(0.2, 1.0),
+                    rng.Uniform(0.2, 1.0)});
+  }
+  auto pts = *PointSet::FromPoints(rows);
+  auto engine = EclipseEngine::Make(pts, DiagramFriendlyOptions());
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine->BuildDiagram().ok());
+  ASSERT_TRUE(engine->diagram_built());
+  const auto box = *RatioBox::Uniform(2, 0.5, 2.0);
+
+  // Dominated insert: the diagram carries verbatim, zero cells repaired.
+  ASSERT_TRUE(engine->Insert(Point{5, 5, 5}).ok());
+  EXPECT_TRUE(engine->diagram_built());
+  EXPECT_EQ(engine->maintenance().diagram_preserved, 1u);
+  EXPECT_EQ(engine->maintenance().diagram_repaired_cells, 0u);
+  EXPECT_EQ(Sorted(*engine->Query(box)), EngineOracleIds(*engine, box));
+
+  // Frontier insert: carried via in-place payload repair, not a rebuild.
+  auto frontier_id = engine->Insert(Point{0.1, 0.1, 0.1});
+  ASSERT_TRUE(frontier_id.ok());
+  EXPECT_TRUE(engine->diagram_built());
+  EXPECT_EQ(engine->maintenance().diagram_preserved, 2u);
+  EXPECT_GT(engine->maintenance().diagram_repaired_cells, 0u);
+  {
+    EngineQueryStats stats;
+    const auto unique_box = *RatioBox::Uniform(2, 0.61, 1.83);
+    auto got = engine->Query(unique_box, &stats);
+    ASSERT_TRUE(got.ok());
+    EXPECT_TRUE(stats.plan.diagram_hit);
+    EXPECT_EQ(Sorted(*got), EngineOracleIds(*engine, unique_box));
+    EXPECT_TRUE(
+        std::binary_search(got->begin(), got->end(), *frontier_id));
+  }
+
+  // Erasing a non-member carries; erasing a root-payload member drops.
+  auto diagram = engine->diagram();
+  ASSERT_NE(diagram, nullptr);
+  PointId non_member = 300;  // the dominated {5,5,5} insert
+  ASSERT_FALSE(diagram->ContainsId(non_member));
+  ASSERT_TRUE(engine->Erase(non_member).ok());
+  EXPECT_TRUE(engine->diagram_built());
+  EXPECT_EQ(engine->maintenance().diagram_preserved, 3u);
+  EXPECT_EQ(Sorted(*engine->Query(box)), EngineOracleIds(*engine, box));
+
+  ASSERT_TRUE(engine->diagram()->ContainsId(*frontier_id));
+  ASSERT_TRUE(engine->Erase(*frontier_id).ok());
+  EXPECT_FALSE(engine->diagram_built());
+  EXPECT_EQ(engine->maintenance().diagram_dropped, 1u);
+  EXPECT_EQ(Sorted(*engine->Query(box)), EngineOracleIds(*engine, box));
+}
+
+TEST(DiagramEngineTest, InterleavedMutationFuzz) {
+  Rng rng(83);
+  PointSet pts = GenerateSynthetic(Distribution::kDriftingClusters, 300, 3,
+                                   &rng);
+  EngineOptions options = DiagramFriendlyOptions();
+  options.diagram_query_threshold = 1;
+  auto engine = EclipseEngine::Make(pts, options);
+  ASSERT_TRUE(engine.ok());
+  std::vector<PointId> live;
+  for (PointId i = 0; i < pts.size(); ++i) live.push_back(i);
+  PointId next_id = pts.size();
+  double lo = 0.31;
+  for (int round = 0; round < 20; ++round) {
+    if (rng.NextDouble() < 0.6 || live.size() < 10) {
+      auto id = engine->Insert(Point{rng.NextDouble(), rng.NextDouble(),
+                                     rng.NextDouble()});
+      ASSERT_TRUE(id.ok());
+      live.push_back(next_id++);
+    } else {
+      const size_t pick = rng.NextIndex(live.size());
+      ASSERT_TRUE(engine->Erase(live[pick]).ok());
+      live.erase(live.begin() + static_cast<ptrdiff_t>(pick));
+    }
+    // A never-seen box every round (the adversarial-unique shape).
+    lo += 0.017;
+    const auto box = *RatioBox::Uniform(2, lo, lo + 1.2);
+    auto got = engine->Query(box);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(Sorted(*got), EngineOracleIds(*engine, box))
+        << "round " << round;
+  }
+  const auto& m = engine->maintenance();
+  EXPECT_GT(m.diagram_preserved, 0u) << "fuzz never exercised a carry";
+}
+
+TEST(DiagramEngineTest, ShardedEnginesUseShardLocalDiagrams) {
+  Rng rng(89);
+  PointSet pts = GenerateSynthetic(Distribution::kIndependent, 1200, 3, &rng);
+  auto single = EclipseEngine::Make(pts, EngineOptions{});
+  ASSERT_TRUE(single.ok());
+
+  for (size_t shards = 1; shards <= 4; ++shards) {
+    ShardedEngineOptions options;
+    options.num_shards = shards;
+    options.engine = DiagramFriendlyOptions();
+    options.engine.diagram_query_threshold = 1;
+    options.result_cache_capacity = 0;  // force the per-shard path
+    auto sharded = ShardedEclipseEngine::Make(pts, options);
+    ASSERT_TRUE(sharded.ok());
+    double lo = 0.4;
+    for (int q = 0; q < 3; ++q) {
+      lo += 0.09;
+      const auto box = *RatioBox::Uniform(2, lo, lo + 1.5);
+      ShardedQueryStats stats;
+      auto got = sharded->Query(box, &stats);
+      ASSERT_TRUE(got.ok());
+      auto expected = single->Query(box);
+      ASSERT_TRUE(expected.ok());
+      EXPECT_EQ(Sorted(*got), Sorted(*expected))
+          << "S=" << shards << " q=" << q;
+      for (size_t s = 0; s < stats.plan.shard_plans.size(); ++s) {
+        if (sharded->shard(s).points().size() >=
+            options.engine.diagram_min_points) {
+          EXPECT_TRUE(stats.plan.shard_plans[s].uses_diagram)
+              << "S=" << shards << " shard " << s << " q=" << q;
+        }
+      }
+    }
+    for (size_t s = 0; s < sharded->num_shards(); ++s) {
+      if (sharded->shard(s).points().size() >=
+          options.engine.diagram_min_points) {
+        EXPECT_TRUE(sharded->shard(s).diagram_built()) << "shard " << s;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eclipse

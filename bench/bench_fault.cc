@@ -1,0 +1,328 @@
+// Chaos serving benchmark: what deadlines + graceful degradation buy when
+// a shard stalls, and what the admission gate buys under a client burst.
+//
+// Four phases against a ShardedEclipseEngine (S = 3):
+//   1 baseline          -- no faults; the p50/p99 reference.
+//   2 stall-no-deadline -- a probabilistic delay fault on the last shard's
+//                          scatter; the joined gather waits the stall out,
+//                          so the stall lands straight on p99.
+//   3 stall+deadline    -- same stall, but queries carry a deadline and
+//                          allow_partial_results: the caller abandons the
+//                          straggler AT the deadline and answers from the
+//                          responding shards, so p99 is bounded by the
+//                          deadline, not the stall (the eclipse diagram of
+//                          robustness: pay a bounded, attributed answer
+//                          instead of an unbounded exact one).
+//   4 admission burst   -- more clients than max_in_flight_queries; excess
+//                          queries shed with kUnavailable at the gate
+//                          instead of queuing behind the stall.
+//
+// Stall phases need the ECLIPSE_FAULT_INJECTION build (the fault-injection
+// CI job); on a production build the bench runs phase 1 only and says so.
+//
+//   build/bench/bench_fault [--smoke] [n]
+//
+// --smoke shrinks everything for CI, asserts the correctness invariants
+// (partial answers attributed, shed queries explicit, no silent failures)
+// but makes no timing assertions, and never writes BENCH_fault.json (the
+// committed record keeps full-size numbers).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchlib/table.h"
+#include "benchlib/workloads.h"
+#include "common/query_context.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "fault/fault_injection.h"
+#include "shard/sharded_engine.h"
+
+namespace {
+
+using eclipse::BenchDataset;
+using eclipse::PointSet;
+using eclipse::QueryContext;
+using eclipse::RatioBox;
+using eclipse::ShardedEclipseEngine;
+using eclipse::ShardedEngineOptions;
+using eclipse::ShardedQueryStats;
+using eclipse::Status;
+using eclipse::StatusCode;
+using eclipse::Stopwatch;
+using eclipse::StrFormat;
+using eclipse::fault::FaultRegistry;
+using eclipse::fault::FaultSpec;
+
+constexpr size_t kShards = 3;
+
+double Percentile(std::vector<double>* sorted_us, double p) {
+  if (sorted_us->empty()) return 0.0;
+  const size_t idx = std::min(
+      sorted_us->size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted_us->size() - 1)));
+  return (*sorted_us)[idx];
+}
+
+std::vector<RatioBox> MakeQueries(size_t d, size_t count, uint64_t seed) {
+  uint64_t state = seed * 6364136223846793005ull + 1442695040888963407ull;
+  auto next = [&state] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<size_t>(state >> 33);
+  };
+  std::vector<RatioBox> queries;
+  queries.reserve(count);
+  for (size_t q = 0; q < count; ++q) {
+    const double lo = 0.3 + 0.001 * static_cast<double>(next() % 500);
+    const double hi = lo + 0.5 + 0.001 * static_cast<double>(next() % 2000);
+    queries.push_back(*RatioBox::Uniform(d - 1, lo, hi));
+  }
+  return queries;
+}
+
+struct PhaseResult {
+  std::string name;
+  size_t queries = 0;
+  size_t ok = 0;
+  size_t partial = 0;
+  size_t errors = 0;  // explicit error statuses (never silent)
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  uint64_t admitted = 0;
+  uint64_t shed = 0;
+};
+
+/// One serial query stream; deadline_ms == 0 means no QueryContext.
+PhaseResult RunStream(const char* name, const PointSet& data,
+                      const std::vector<RatioBox>& queries,
+                      bool allow_partial, double deadline_ms) {
+  PhaseResult r;
+  r.name = name;
+  ShardedEngineOptions options;
+  options.num_shards = kShards;
+  options.allow_partial_results = allow_partial;
+  options.result_cache_capacity = 0;  // cache hits would hide the stall
+  auto engine = ShardedEclipseEngine::Make(data, options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
+    return r;
+  }
+  std::vector<double> lat;
+  lat.reserve(queries.size());
+  for (const RatioBox& box : queries) {
+    ShardedQueryStats stats;
+    Stopwatch sw;
+    eclipse::Result<std::vector<eclipse::PointId>> got =
+        [&]() -> eclipse::Result<std::vector<eclipse::PointId>> {
+      if (deadline_ms <= 0) return engine->Query(box, &stats);
+      QueryContext ctx = QueryContext::WithTimeout(
+          std::chrono::microseconds(static_cast<int64_t>(deadline_ms * 1e3)));
+      return engine->Query(box, &ctx, &stats);
+    }();
+    lat.push_back(sw.ElapsedMicros());
+    ++r.queries;
+    if (got.ok()) {
+      ++r.ok;
+      if (stats.plan.partial) {
+        ++r.partial;
+        if (stats.plan.degraded_reason.empty()) {
+          std::fprintf(stderr, "INVARIANT: partial without attribution\n");
+          std::exit(1);
+        }
+      }
+    } else {
+      ++r.errors;
+    }
+  }
+  std::sort(lat.begin(), lat.end());
+  r.p50_us = Percentile(&lat, 0.50);
+  r.p99_us = Percentile(&lat, 0.99);
+  return r;
+}
+
+/// Phase 4: a client burst against a gated engine with a mild stall; shed
+/// queries must be explicit kUnavailable, admitted ones must succeed.
+PhaseResult RunBurst(const PointSet& data, const std::vector<RatioBox>& queries,
+                     size_t clients, size_t max_in_flight) {
+  PhaseResult r;
+  r.name = StrFormat("admission burst (%zu clients, gate %zu)", clients,
+                     max_in_flight);
+  ShardedEngineOptions options;
+  options.num_shards = kShards;
+  options.max_in_flight_queries = max_in_flight;
+  options.result_cache_capacity = 0;
+  auto engine = ShardedEclipseEngine::Make(data, options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
+    return r;
+  }
+  std::vector<std::vector<double>> lat(clients);
+  std::atomic<size_t> ok{0}, shed{0}, other{0};
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (size_t q = c; q < queries.size(); q += clients) {
+        Stopwatch sw;
+        auto got = engine->Query(queries[q]);
+        if (got.ok()) {
+          lat[c].push_back(sw.ElapsedMicros());
+          ok.fetch_add(1);
+        } else if (got.status().IsUnavailable()) {
+          shed.fetch_add(1);  // explicit load shedding, not a failure
+        } else {
+          other.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::vector<double> all;
+  for (const auto& l : lat) all.insert(all.end(), l.begin(), l.end());
+  std::sort(all.begin(), all.end());
+  r.queries = queries.size();
+  r.ok = ok.load();
+  r.errors = other.load();
+  r.p50_us = Percentile(&all, 0.50);
+  r.p99_us = Percentile(&all, 0.99);
+  r.admitted = engine->admission().admitted;
+  r.shed = engine->admission().shed;
+  if (r.shed != shed.load()) {
+    std::fprintf(stderr, "INVARIANT: shed counter %llu != observed %zu\n",
+                 static_cast<unsigned long long>(r.shed), shed.load());
+    std::exit(1);
+  }
+  return r;
+}
+
+void ArmStall(double stall_ms, double probability) {
+  FaultRegistry::Global().Reset(/*seed=*/20260808);
+  FaultSpec stall;
+  stall.code = StatusCode::kOk;  // delay-only: a slow shard, not a dead one
+  stall.delay = std::chrono::microseconds(static_cast<int64_t>(stall_ms * 1e3));
+  stall.probability = probability;
+  // Stall the LAST shard's scatter so on a single-worker pool the other
+  // shards' tasks still drain before the deadline.
+  stall.match_arg = static_cast<int64_t>(kShards - 1);
+  FaultRegistry::Global().Arm("shard.scatter", stall);
+}
+
+int WriteJson(const std::vector<PhaseResult>& phases, size_t n, size_t d,
+              double stall_ms, double deadline_ms) {
+  FILE* json = std::fopen("BENCH_fault.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_fault.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"fault\",\n  \"dataset\": \"ANTI\",\n"
+               "  \"n\": %zu,\n  \"d\": %zu,\n  \"shards\": %zu,\n"
+               "  \"stall_ms\": %.1f,\n  \"stall_probability\": 0.15,\n"
+               "  \"deadline_ms\": %.1f,\n  \"phases\": [\n",
+               n, d, kShards, stall_ms, deadline_ms);
+  for (size_t i = 0; i < phases.size(); ++i) {
+    const PhaseResult& r = phases[i];
+    std::fprintf(json,
+                 "    {\"phase\": \"%s\", \"queries\": %zu, \"ok\": %zu, "
+                 "\"partial\": %zu, \"errors\": %zu, \"p50_us\": %.1f, "
+                 "\"p99_us\": %.1f, \"admitted\": %llu, \"shed\": %llu}%s\n",
+                 r.name.c_str(), r.queries, r.ok, r.partial, r.errors,
+                 r.p50_us, r.p99_us,
+                 static_cast<unsigned long long>(r.admitted),
+                 static_cast<unsigned long long>(r.shed),
+                 i + 1 < phases.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_fault.json\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  size_t n = 9000;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      n = static_cast<size_t>(std::atoll(argv[a]));
+    }
+  }
+  if (smoke) n = std::min<size_t>(n, 1500);
+  const size_t d = 3;
+  const size_t count = smoke ? 60 : 300;
+  const double stall_ms = smoke ? 20.0 : 50.0;
+  const double deadline_ms = smoke ? 8.0 : 15.0;
+
+  PointSet data = eclipse::MakeBenchDataset(BenchDataset::kAnti, n, d, 42);
+  const std::vector<RatioBox> queries = MakeQueries(d, count, 7);
+
+  std::printf("Chaos serving bench: S=%zu shards, ANTI n=%zu d=%zu, %zu "
+              "queries/phase\nstall: %.0f ms on shard %zu at p=0.15; "
+              "deadline: %.0f ms\n\n",
+              kShards, n, d, count, stall_ms, kShards - 1, deadline_ms);
+
+  std::vector<PhaseResult> phases;
+  phases.push_back(RunStream("baseline", data, queries,
+                             /*allow_partial=*/false, /*deadline_ms=*/0));
+
+  if (FaultRegistry::kCompiledIn) {
+    ArmStall(stall_ms, 0.15);
+    phases.push_back(RunStream("stall, no deadline", data, queries,
+                               /*allow_partial=*/false, /*deadline_ms=*/0));
+    ArmStall(stall_ms, 0.15);
+    phases.push_back(RunStream("stall + deadline + partial", data, queries,
+                               /*allow_partial=*/true, deadline_ms));
+    ArmStall(stall_ms / 4, 0.5);
+    phases.push_back(RunBurst(data, queries, /*clients=*/8,
+                              /*max_in_flight=*/2));
+    FaultRegistry::Global().Reset();
+  } else {
+    std::printf("NOTE: built without ECLIPSE_FAULT_INJECTION -- stall and "
+                "burst phases skipped (baseline only).\n\n");
+  }
+
+  eclipse::TablePrinter table({"phase", "ok", "partial", "errors",
+                               "p50 (us)", "p99 (us)", "shed"});
+  for (const PhaseResult& r : phases) {
+    table.AddRow({r.name, StrFormat("%zu", r.ok), StrFormat("%zu", r.partial),
+                  StrFormat("%zu", r.errors), StrFormat("%.1f", r.p50_us),
+                  StrFormat("%.1f", r.p99_us),
+                  StrFormat("%llu", static_cast<unsigned long long>(r.shed))});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  if (FaultRegistry::kCompiledIn && phases.size() >= 3) {
+    // The headline: deadlines turn an unbounded stall tail into a bounded,
+    // attributed one. Print the comparison; assert only in full runs (CI
+    // smoke boxes have noisy clocks).
+    std::printf("p99: baseline %.1f us -> stalled %.1f us -> with deadline "
+                "%.1f us (stall %.0f ms, deadline %.0f ms)\n\n",
+                phases[0].p99_us, phases[1].p99_us, phases[2].p99_us,
+                stall_ms, deadline_ms);
+    if (phases[2].partial == 0) {
+      std::fprintf(stderr, "INVARIANT: deadline phase produced no partial "
+                   "answers -- the stall never bit\n");
+      return 1;
+    }
+  }
+
+  if (smoke) {
+    std::printf("smoke mode: skipping BENCH_fault.json\n");
+    return 0;
+  }
+  if (!FaultRegistry::kCompiledIn) {
+    std::printf("production build: skipping BENCH_fault.json (needs the "
+                "fault-injection build)\n");
+    return 0;
+  }
+  return WriteJson(phases, n, d, stall_ms, deadline_ms);
+}

@@ -28,6 +28,12 @@
 //                      silently falling back to a flat scan),
 //          --shards=N (serve through a ShardedEclipseEngine with N shards;
 //                      N = 0 sizes the fan-out to the shared pool),
+//          --deadline-ms=MS (give the query MS milliseconds; a query that
+//                      cannot finish fails with DeadlineExceeded. Under
+//                      sharded serving a deadline also enables partial
+//                      results: shards that miss it are abandoned and the
+//                      answer is the exact eclipse over the responding
+//                      shards, attributed with the degraded shard ids),
 //          --partitioner=NAME (round-robin | hash-id | angular; implies
 //                      sharded serving with pool-sized fan-out),
 //          --stream=FILE (replay an insert/erase trace against the engine
@@ -45,6 +51,7 @@
 // merge path, every shard's own sub-plan, and delta-maintenance stats
 // after a stream replay.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -52,6 +59,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/query_context.h"
 #include "core/suggest_range.h"
 #include "dataset/csv.h"
 #include "dataset/transforms.h"
@@ -77,7 +85,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: eclipse_cli <file.csv> [--max] [--rows] [--explain] "
                "[--algorithm=NAME] [--shards=N] [--partitioner=NAME] "
-               "[--stream=trace.csv] <operator> ...\n"
+               "[--deadline-ms=MS] [--stream=trace.csv] <operator> ...\n"
                "  skyline\n"
                "  eclipse <lo> <hi> [engine]\n"
                "  onenn   <r1> [r2 ...]\n"
@@ -126,6 +134,14 @@ struct ServingConfig {
       eclipse::PartitionerKind::kRoundRobin;
   std::string stream_trace;  // empty = no replay
   eclipse::SkylineAlgorithm algorithm = eclipse::SkylineAlgorithm::kAuto;
+  long deadline_ms = 0;  // 0 = no deadline
+
+  /// A fresh context for one query: the deadline clock starts ticking here,
+  /// not at flag parsing, so CSV loading and stream replay don't eat it.
+  eclipse::QueryContext MakeContext() const {
+    return eclipse::QueryContext::WithTimeout(
+        std::chrono::milliseconds(deadline_ms));
+  }
 };
 
 bool ParseAlgorithm(const char* name, eclipse::SkylineAlgorithm* out) {
@@ -243,6 +259,9 @@ int RunShardedQuery(const PointSet& original, PointSet data,
   options.partitioner = serving.partitioner;
   options.engine.force_engine = force_engine;
   options.engine.algorithm.skyline_algorithm = serving.algorithm;
+  // A deadline is a request for bounded latency, so degrade gracefully:
+  // abandon shards that miss it and answer from the rest.
+  options.allow_partial_results = serving.deadline_ms > 0;
   auto engine = eclipse::ShardedEclipseEngine::Make(std::move(data), options);
   if (!engine.ok()) {
     std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
@@ -267,10 +286,23 @@ int RunShardedQuery(const PointSet& original, PointSet data,
     }
   }
   eclipse::ShardedQueryStats stats;
-  auto ids = engine->Query(box, &stats);
+  eclipse::Result<std::vector<eclipse::PointId>> ids =
+      eclipse::Status::Internal("unreached");
+  if (serving.deadline_ms > 0) {
+    const eclipse::QueryContext ctx = serving.MakeContext();
+    ids = engine->Query(box, &ctx, &stats);
+  } else {
+    ids = engine->Query(box, &stats);
+  }
   if (!ids.ok()) {
     std::fprintf(stderr, "error: %s\n", ids.status().ToString().c_str());
     return 1;
+  }
+  if (stats.plan.partial) {
+    std::printf("partial result:");
+    for (size_t s : stats.plan.shards_degraded) std::printf(" shard %zu", s);
+    std::printf(" missed the deadline (%s)\n",
+                stats.plan.degraded_reason.c_str());
   }
   if (explain) {
     std::printf("gathered %zu candidate(s) across %zu shard(s)\n",
@@ -320,10 +352,20 @@ int RunEngineQuery(const PointSet& original, PointSet data,
                 plan.skyline_path.c_str(), plan.answered_by.c_str());
   }
   eclipse::EngineQueryStats stats;
-  auto ids = engine->Query(box, &stats);
+  eclipse::Result<std::vector<eclipse::PointId>> ids =
+      eclipse::Status::Internal("unreached");
+  if (serving.deadline_ms > 0) {
+    const eclipse::QueryContext ctx = serving.MakeContext();
+    ids = engine->Query(box, &ctx, &stats);
+  } else {
+    ids = engine->Query(box, &stats);
+  }
   if (!ids.ok()) {
     std::fprintf(stderr, "error: %s\n", ids.status().ToString().c_str());
     return 1;
+  }
+  if (!stats.plan.degraded_reason.empty()) {
+    std::printf("degraded: %s\n", stats.plan.degraded_reason.c_str());
   }
   if (stats.plan.uses_index) {
     std::printf("index: u=%zu, m=%zu crossings\n", stats.index.indexed,
@@ -395,6 +437,19 @@ int main(int argc, char** argv) {
       }
       serving.sharded = true;
       serving.shards = static_cast<size_t>(shards);
+      it = args.erase(it);
+    } else if (it->rfind("--deadline-ms=", 0) == 0) {
+      const char* value = it->c_str() + strlen("--deadline-ms=");
+      char* end = nullptr;
+      const long ms = std::strtol(value, &end, 10);
+      if (*value == '\0' || *end != '\0' || ms <= 0) {
+        std::fprintf(stderr,
+                     "error: --deadline-ms wants a positive integer of "
+                     "milliseconds, got \"%s\"\n",
+                     value);
+        return 2;
+      }
+      serving.deadline_ms = ms;
       it = args.erase(it);
     } else if (it->rfind("--algorithm=", 0) == 0) {
       const char* value = it->c_str() + strlen("--algorithm=");

@@ -1,10 +1,21 @@
 #include "common/io.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/strings.h"
 
 namespace eclipse {
+
+namespace {
+
+/// Readers grow their destination as bytes actually arrive (one chunk at a
+/// time) instead of trusting a stream's claimed length with one up-front
+/// allocation: a truncated or hostile header then costs at most one chunk
+/// of memory before the read fails, not the whole claim.
+constexpr size_t kReadChunkBytes = size_t{64} << 10;
+
+}  // namespace
 
 void BinaryWriter::WriteU32(uint32_t v) {
   WriteBytes(&v, sizeof(v));
@@ -72,8 +83,15 @@ Result<std::string> BinaryReader::ReadString(size_t max_size) {
         StrFormat("string length %llu exceeds limit %zu",
                   static_cast<unsigned long long>(size), max_size));
   }
-  std::string s(size, '\0');
-  ECLIPSE_RETURN_IF_ERROR(ReadBytes(s.data(), s.size()));
+  std::string s;
+  size_t have = 0;
+  while (have < size) {
+    const size_t chunk =
+        std::min<size_t>(kReadChunkBytes, static_cast<size_t>(size) - have);
+    s.resize(have + chunk);
+    ECLIPSE_RETURN_IF_ERROR(ReadBytes(s.data() + have, chunk));
+    have += chunk;
+  }
   return s;
 }
 
@@ -82,8 +100,17 @@ Result<std::vector<double>> BinaryReader::ReadDoubles(size_t max_elements) {
   if (size > max_elements) {
     return Status::InvalidArgument("double array exceeds element limit");
   }
-  std::vector<double> v(size);
-  ECLIPSE_RETURN_IF_ERROR(ReadBytes(v.data(), v.size() * sizeof(double)));
+  constexpr size_t kChunkElems = kReadChunkBytes / sizeof(double);
+  std::vector<double> v;
+  size_t have = 0;
+  while (have < size) {
+    const size_t chunk =
+        std::min<size_t>(kChunkElems, static_cast<size_t>(size) - have);
+    v.resize(have + chunk);
+    ECLIPSE_RETURN_IF_ERROR(
+        ReadBytes(v.data() + have, chunk * sizeof(double)));
+    have += chunk;
+  }
   return v;
 }
 
@@ -92,8 +119,17 @@ Result<std::vector<uint32_t>> BinaryReader::ReadU32s(size_t max_elements) {
   if (size > max_elements) {
     return Status::InvalidArgument("u32 array exceeds element limit");
   }
-  std::vector<uint32_t> v(size);
-  ECLIPSE_RETURN_IF_ERROR(ReadBytes(v.data(), v.size() * sizeof(uint32_t)));
+  constexpr size_t kChunkElems = kReadChunkBytes / sizeof(uint32_t);
+  std::vector<uint32_t> v;
+  size_t have = 0;
+  while (have < size) {
+    const size_t chunk =
+        std::min<size_t>(kChunkElems, static_cast<size_t>(size) - have);
+    v.resize(have + chunk);
+    ECLIPSE_RETURN_IF_ERROR(
+        ReadBytes(v.data() + have, chunk * sizeof(uint32_t)));
+    have += chunk;
+  }
   return v;
 }
 

@@ -1,0 +1,90 @@
+// QueryContext: per-query deadline + cooperative cancellation.
+//
+// A QueryContext travels (by const pointer) alongside a query through the
+// engine facade, the sharded scatter-gather, and down into the long kernel
+// loops (flat skyline windows, the BBS heap, the diagram candidate merge).
+// Those loops call Check() every K iterations and bail out with
+// Status::DeadlineExceeded / Status::Cancelled instead of running away.
+//
+// The context is copyable and cheap: a steady_clock time point plus a
+// shared cancel flag. Copies observe the same cancellation -- RequestCancel()
+// on any copy (or on the original, from another thread) stops them all.
+// A default-constructed context never expires and is never cancelled, so
+// `const QueryContext* ctx = nullptr` and a fresh QueryContext behave the
+// same; callees treat a null pointer as "no limits".
+
+#ifndef ECLIPSE_COMMON_QUERY_CONTEXT_H_
+#define ECLIPSE_COMMON_QUERY_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "common/status.h"
+
+namespace eclipse {
+
+class QueryContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  QueryContext() : cancelled_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// A context that expires at an absolute steady_clock instant.
+  static QueryContext WithDeadline(Clock::time_point deadline) {
+    QueryContext ctx;
+    ctx.deadline_ = deadline;
+    ctx.has_deadline_ = true;
+    return ctx;
+  }
+
+  /// A context that expires `timeout` from now.
+  static QueryContext WithTimeout(Clock::duration timeout) {
+    return WithDeadline(Clock::now() + timeout);
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+  Clock::time_point deadline() const { return deadline_; }
+
+  /// Asks every holder of this context (and its copies) to stop. Safe to
+  /// call from any thread, any number of times.
+  void RequestCancel() const {
+    cancelled_->store(true, std::memory_order_relaxed);
+  }
+
+  bool cancel_requested() const {
+    return cancelled_->load(std::memory_order_relaxed);
+  }
+
+  bool deadline_expired() const {
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+  /// OK while the query may keep running; Cancelled / DeadlineExceeded once
+  /// it must stop. Cancellation wins over the deadline when both hold.
+  Status Check() const {
+    if (cancel_requested()) {
+      return Status::Cancelled("query cancelled by caller");
+    }
+    if (deadline_expired()) {
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+ private:
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  // Shared so copies handed to worker threads see RequestCancel() from the
+  // caller; always allocated so Check() never branches on null.
+  std::shared_ptr<std::atomic<bool>> cancelled_;
+};
+
+/// Shared helper for kernel loops: returns OK when ctx is null.
+inline Status CheckQueryContext(const QueryContext* ctx) {
+  return ctx == nullptr ? Status::OK() : ctx->Check();
+}
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_COMMON_QUERY_CONTEXT_H_

@@ -24,6 +24,9 @@ enum class StatusCode : int {
   kUnimplemented = 4,
   kInternal = 5,
   kResourceExhausted = 6,
+  kDeadlineExceeded = 7,
+  kUnavailable = 8,
+  kCancelled = 9,
 };
 
 /// Returns a stable human-readable name for a code ("OK", "InvalidArgument").
@@ -60,6 +63,15 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -81,6 +93,11 @@ class Status {
   bool IsResourceExhausted() const {
     return code() == StatusCode::kResourceExhausted;
   }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
 
   friend bool operator==(const Status& a, const Status& b) {
     return a.code() == b.code() && a.message() == b.message();

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <memory>
 
+#include "fault/fault_injection.h"
+
 namespace eclipse {
 
 namespace {
@@ -95,6 +97,14 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.emplace_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
 void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
                              const std::function<void(size_t, size_t)>& fn,
                              size_t max_parallelism) {
@@ -145,6 +155,10 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   // blocks until every chunk completes, and helpers arriving later bail on
   // the exhausted chunk counter without dereferencing fn.
   state->fn = &fn;
+
+  // Delay-only point: a stalled dispatch models a saturated pool. Fires
+  // before the helpers are queued so the whole region starts late.
+  ECLIPSE_FAULT_HIT("pool.dispatch", static_cast<int64_t>(helpers));
 
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -66,6 +66,13 @@ class ThreadPool {
                    const std::function<void(size_t, size_t)>& fn,
                    size_t max_parallelism = 0);
 
+  /// Enqueues one fire-and-forget task for the workers. Unlike ParallelFor
+  /// the caller does not participate or wait; completion signalling is the
+  /// task's own business (the deadline-bounded scatter path shares a
+  /// gather-state with its tasks and abandons stragglers at the deadline).
+  /// task must not throw. Tasks queued before ~ThreadPool still run.
+  void Submit(std::function<void()> task);
+
   /// True iff the calling thread is currently inside a ParallelFor region
   /// of this pool (as a worker or as a re-entering caller); such a thread's
   /// next ParallelFor on this pool runs inline. Exposed for tests.

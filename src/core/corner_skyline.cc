@@ -66,6 +66,8 @@ Result<std::vector<PointId>> EclipseCornerSkyline(const PointSet& points,
                   box.FreeDims().size(), options.max_corner_dims));
   }
   const size_t n = points.size();
+  const QueryContext* ctx = options.context;
+  ECLIPSE_RETURN_IF_ERROR(CheckQueryContext(ctx));
   if (n == 0) return std::vector<PointId>{};
 
   if (options.skyline_algorithm == SkylineAlgorithm::kBbs) {
@@ -75,7 +77,8 @@ Result<std::vector<PointId>> EclipseCornerSkyline(const PointSet& points,
     // path calls BbsEclipse directly with its cached per-epoch tree.
     ECLIPSE_ASSIGN_OR_RETURN(PackedRTree tree, PackedRTree::Build(points));
     return BbsEclipse(points, tree, box, options.max_corner_dims,
-                      /*constraint=*/nullptr, stats);
+                      /*constraint=*/nullptr, stats, /*bbs=*/nullptr,
+                      /*tombstones=*/{}, ctx);
   }
 
   CornerKernel kernel(box);
@@ -95,7 +98,13 @@ Result<std::vector<PointId>> EclipseCornerSkyline(const PointSet& points,
     return ComputeSkyline(embedded, algo, stats);
   }
   const FlatMatrixView view = FlatMatrixView::Of(scores, m);
-  return FlatSkyline(view, ChooseFlatSkylinePath(algo, n), stats);
+  std::vector<PointId> ids =
+      FlatSkyline(view, ChooseFlatSkylinePath(algo, n), stats, ctx);
+  // The flat kernels bail out with a PARTIAL id set on expiry; surface the
+  // error instead of the truncated answer. (A query that finished right at
+  // the deadline also reports DeadlineExceeded -- acceptable, never wrong.)
+  ECLIPSE_RETURN_IF_ERROR(CheckQueryContext(ctx));
+  return ids;
 }
 
 }  // namespace eclipse

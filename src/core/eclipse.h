@@ -18,6 +18,7 @@
 
 #include <vector>
 
+#include "common/query_context.h"
 #include "common/result.h"
 #include "common/statistics.h"
 #include "core/ratio_box.h"
@@ -32,6 +33,11 @@ struct EclipseOptions {
   SkylineAlgorithm skyline_algorithm = SkylineAlgorithm::kAuto;
   /// Guard against exponential corner blow-up in very high dimensions.
   size_t max_corner_dims = 20;
+  /// Borrowed per-query deadline/cancellation; null = no limits. The
+  /// context-aware algorithms (EclipseCornerSkyline, the BBS path, the
+  /// cross-shard merge) poll it inside their long loops and return
+  /// DeadlineExceeded / Cancelled. Must outlive the call.
+  const QueryContext* context = nullptr;
 };
 
 /// BASE (paper Algorithm 1): pairwise corner-score comparison, exact.

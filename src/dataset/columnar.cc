@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/strings.h"
+#include "fault/fault_injection.h"
 
 namespace eclipse {
 
@@ -48,6 +49,9 @@ Result<std::shared_ptr<const ColumnarSnapshot>> ColumnarSnapshot::Insert(
         StrFormat("insert of a %zu-dim point into %zu-dim snapshot", p.size(),
                   dims()));
   }
+  // Fires before the copy starts: a failed insert never publishes (the
+  // base snapshot is immutable), so callers observe all-or-nothing.
+  ECLIPSE_FAULT("snapshot.insert");
   const size_t n = size();
   const size_t d = dims();
   auto snap = std::shared_ptr<ColumnarSnapshot>(new ColumnarSnapshot());
@@ -81,6 +85,7 @@ Result<std::shared_ptr<const ColumnarSnapshot>> ColumnarSnapshot::Insert(
 Result<std::shared_ptr<const ColumnarSnapshot>> ColumnarSnapshot::Erase(
     PointId id) const {
   ECLIPSE_ASSIGN_OR_RETURN(const size_t row, RowOf(id));
+  ECLIPSE_FAULT("snapshot.erase");
   auto snap = std::shared_ptr<ColumnarSnapshot>(new ColumnarSnapshot());
   snap->epoch_ = epoch_ + 1;
   snap->next_id_ = next_id_;

@@ -392,7 +392,8 @@ size_t EclipseDiagram::CandidateCount(const RatioBox& box) const {
 
 Result<std::vector<PointId>> EclipseDiagram::Query(
     const ColumnarSnapshot& snap, const RatioBox& box,
-    DiagramQueryStats* stats) const {
+    DiagramQueryStats* stats, const QueryContext* ctx) const {
+  ECLIPSE_RETURN_IF_ERROR(CheckQueryContext(ctx));
   if (!Covers(box)) {
     return Status::InvalidArgument(
         "diagram cannot serve this box (unbounded or outside the domain)");
@@ -424,9 +425,11 @@ Result<std::vector<PointId>> EclipseDiagram::Query(
     }
     gathered.push_back(GatheredCandidate{id, snap.points()[*row].data()});
   }
+  EclipseOptions merge_options = options_.algorithm;
+  merge_options.context = ctx;
   ECLIPSE_ASSIGN_OR_RETURN(
       auto ids,
-      CrossShardDominanceMerge(gathered, snap.dims(), box, options_.algorithm,
+      CrossShardDominanceMerge(gathered, snap.dims(), box, merge_options,
                                stats != nullptr ? &stats->merge_counters
                                                 : nullptr));
   if (stats != nullptr) stats->result_size = ids.size();

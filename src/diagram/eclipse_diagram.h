@@ -154,9 +154,12 @@ class EclipseDiagram {
   /// maintained through (every payload member is live in it).
   /// ResourceExhausted when the candidate set exceeds
   /// options.max_candidates -- the caller falls back to a full backend.
+  /// A non-null `ctx` bounds the candidate merge (DeadlineExceeded /
+  /// Cancelled on expiry).
   Result<std::vector<PointId>> Query(const ColumnarSnapshot& snap,
                                      const RatioBox& box,
-                                     DiagramQueryStats* stats = nullptr) const;
+                                     DiagramQueryStats* stats = nullptr,
+                                     const QueryContext* ctx = nullptr) const;
 
   /// The candidate-set size Query would feed the merge (0 cost, no merge);
   /// lets callers predict the ResourceExhausted fallback.

@@ -5,8 +5,11 @@
 #include <optional>
 #include <utility>
 
+#include <cmath>
+
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "fault/fault_injection.h"
 #include "skyline/simd_dominance.h"
 
 namespace eclipse {
@@ -422,6 +425,7 @@ struct EclipseEngine::State {
         return Status::OK();
       }
     }
+    ECLIPSE_FAULT("engine.index_build");
     IndexBuildOptions build = options.index;
     if (!options.force_engine.empty()) {
       // A forced QUAD / CUTTING overrides the configured index kind.
@@ -469,6 +473,7 @@ struct EclipseEngine::State {
         return Status::OK();
       }
     }
+    ECLIPSE_FAULT("engine.tree_build");
     auto built = PackedRTree::Build(snap->points());
     if (!built.ok()) return built.status();
     auto shared = std::make_shared<const PackedRTree>(std::move(built).value());
@@ -502,6 +507,7 @@ struct EclipseEngine::State {
         return Status::OK();
       }
     }
+    ECLIPSE_FAULT("engine.diagram_build");
     ECLIPSE_ASSIGN_OR_RETURN(auto domain, IndexDomainBox(snap->dims()));
     DiagramOptions build;
     build.max_cells = options.diagram_max_cells;
@@ -635,6 +641,23 @@ Result<EclipseEngine> EclipseEngine::Make(PointSet points,
         StrFormat("index domain has %zu ranges, expected d-1 = %zu",
                   options.index.domain.size(), points.dims() - 1));
   }
+  // Reject configurations that would misbehave silently at serving time.
+  // (diagram_max_candidates legally takes 0: every diagram query then falls
+  // back to a full backend, which tests use to probe the overflow path.)
+  if (std::isnan(options.bbs_tombstone_repack_fraction) ||
+      options.bbs_tombstone_repack_fraction < 0.0 ||
+      options.bbs_tombstone_repack_fraction > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("bbs_tombstone_repack_fraction = %g outside [0, 1]",
+                  options.bbs_tombstone_repack_fraction));
+  }
+  if (options.diagram_max_cells < 1) {
+    return Status::InvalidArgument(
+        "diagram_max_cells must be >= 1 (the root cell)");
+  }
+  if (options.diagram_target_payload < 1) {
+    return Status::InvalidArgument("diagram_target_payload must be >= 1");
+  }
   ECLIPSE_ASSIGN_OR_RETURN(auto snapshot,
                            ColumnarSnapshot::FromPointSet(std::move(points)));
   return EclipseEngine(
@@ -767,7 +790,11 @@ Result<PointId> EclipseEngine::ApplyDelta(const StreamDelta& delta) {
   const bool maintain = s.MaintenanceEnabled(base->dims());
   MaintenanceStats tick;
 
+  // The mutation fault points sit BEFORE any state change, so a fired
+  // fault rejects the whole delta atomically -- the chaos suite relies on
+  // "error => engine state unchanged" to diff against its oracle.
   if (delta.kind == StreamDelta::Kind::kInsert) {
+    ECLIPSE_FAULT("engine.apply_insert");
     PointId id = 0;
     ECLIPSE_ASSIGN_OR_RETURN(auto next, base->Insert(delta.point, &id));
     const uint64_t epoch = next->epoch();
@@ -844,6 +871,7 @@ Result<PointId> EclipseEngine::ApplyDelta(const StreamDelta& delta) {
     return id;
   }
 
+  ECLIPSE_FAULT("engine.apply_erase");
   ECLIPSE_ASSIGN_OR_RETURN(auto next, base->Erase(delta.id));
   const uint64_t epoch = next->epoch();
   std::vector<ResultCache::MaintainableEntry> carried;
@@ -988,6 +1016,14 @@ MaintenanceStats EclipseEngine::maintenance() const {
 
 Result<std::vector<PointId>> EclipseEngine::Query(const RatioBox& box,
                                                   EngineQueryStats* stats) {
+  return Query(box, /*ctx=*/nullptr, stats);
+}
+
+Result<std::vector<PointId>> EclipseEngine::Query(const RatioBox& box,
+                                                  const QueryContext* ctx,
+                                                  EngineQueryStats* stats) {
+  ECLIPSE_RETURN_IF_ERROR(CheckQueryContext(ctx));
+  ECLIPSE_FAULT("engine.query");
   State& s = *state_;
   std::shared_ptr<const ColumnarSnapshot> snap;
   std::shared_ptr<const EclipseIndex> index;
@@ -1039,6 +1075,8 @@ Result<std::vector<PointId>> EclipseEngine::Query(const RatioBox& box,
       degraded.diagram_build_failed = true;
       plan = ChoosePlan(degraded, s.options);
       plan.snapshot_epoch = snap->epoch();
+      plan.degraded_reason = StrFormat("diagram build failed: %s",
+                                       build_status.ToString().c_str());
       plan.reason =
           StrFormat("diagram build failed (%s); %s",
                     build_status.ToString().c_str(), plan.reason.c_str());
@@ -1064,7 +1102,11 @@ Result<std::vector<PointId>> EclipseEngine::Query(const RatioBox& box,
       plan.engine = BestOneShot(inputs.d);
       plan.uses_index = false;
       plan.will_build_index = false;
+      plan.answered_by = "one-shot";
       plan.skyline_path = PlanSkylinePath(plan.engine, inputs, s.options);
+      if (!plan.degraded_reason.empty()) plan.degraded_reason += "; ";
+      plan.degraded_reason += StrFormat("index build failed: %s",
+                                        build_status.ToString().c_str());
       plan.reason = StrFormat("index build failed (%s); falling back to "
                               "one-shot serving",
                               build_status.ToString().c_str());
@@ -1103,7 +1145,11 @@ Result<std::vector<PointId>> EclipseEngine::Query(const RatioBox& box,
       plan.engine = BestOneShot(inputs.d);
       plan.uses_tree = false;
       plan.will_build_tree = false;
+      plan.answered_by = "one-shot";
       plan.skyline_path = PlanSkylinePath(plan.engine, inputs, s.options);
+      if (!plan.degraded_reason.empty()) plan.degraded_reason += "; ";
+      plan.degraded_reason += StrFormat("BBS tree build failed: %s",
+                                        build_status.ToString().c_str());
       plan.reason = StrFormat("BBS tree build failed (%s); falling back to "
                               "the flat scan",
                               build_status.ToString().c_str());
@@ -1125,13 +1171,17 @@ Result<std::vector<PointId>> EclipseEngine::Query(const RatioBox& box,
     return cached;
   }
 
+  // One-shot backends receive the context through their options; the
+  // context-aware ones (CORNER, the merges) poll it inside their loops.
+  EclipseOptions algorithm = s.options.algorithm;
+  algorithm.context = ctx;
   Result<std::vector<PointId>> ids =
       Status::Internal("engine dispatch fell through");
   // Diagram and BBS-over-base answers arrive as stable ids already; the
   // other backends report row indices into the captured snapshot.
   bool stable_ids = false;
   if (plan.uses_diagram) {
-    auto answered = diagram->Query(*snap, box, &out->diagram);
+    auto answered = diagram->Query(*snap, box, &out->diagram, ctx);
     if (answered.ok()) {
       plan.diagram_hit = true;
       s.diagram_hits.fetch_add(1, std::memory_order_relaxed);
@@ -1147,6 +1197,9 @@ Result<std::vector<PointId>> EclipseEngine::Query(const RatioBox& box,
                         ? EngineRegistry::NameForIndexKind(s.options.index.kind)
                         : BestOneShot(inputs.d);
       plan.answered_by = via_index ? "index" : "one-shot";
+      plan.degraded_reason =
+          StrFormat("diagram candidate overflow: %s",
+                    answered.status().message().c_str());
       plan.reason = StrFormat("%s; candidate overflow (%s): fell back to %s",
                               plan.reason.c_str(),
                               answered.status().message().c_str(),
@@ -1154,7 +1207,7 @@ Result<std::vector<PointId>> EclipseEngine::Query(const RatioBox& box,
       ids = via_index
                 ? index->Query(box, &out->index)
                 : EngineRegistry::Global().Run(plan.engine, snap->points(),
-                                               box, s.options.algorithm,
+                                               box, algorithm,
                                                &out->counters);
     } else {
       out->plan = std::move(plan);
@@ -1169,7 +1222,8 @@ Result<std::vector<PointId>> EclipseEngine::Query(const RatioBox& box,
                      /*constraint=*/nullptr, &out->counters, &out->bbs,
                      tree_ref.tombstones != nullptr
                          ? std::span<const uint8_t>(*tree_ref.tombstones)
-                         : std::span<const uint8_t>());
+                         : std::span<const uint8_t>(),
+                     ctx);
     // Rows reference the tree's base snapshot (which may predate `snap`
     // when the tree was carried across erases); map through it, not snap.
     if (ids.ok() && !tree_base.ids_are_row_indices()) {
@@ -1178,7 +1232,7 @@ Result<std::vector<PointId>> EclipseEngine::Query(const RatioBox& box,
     stable_ids = true;
   } else {
     ids = EngineRegistry::Global().Run(plan.engine, snap->points(), box,
-                                       s.options.algorithm, &out->counters);
+                                       algorithm, &out->counters);
   }
   if (ids.ok()) {
     // Map row indices to stable ids (the identity until the first
@@ -1221,8 +1275,16 @@ Result<std::vector<std::vector<PointId>>> RunQueryBatch(
 
 Result<std::vector<std::vector<PointId>>> EclipseEngine::QueryBatch(
     std::span<const RatioBox> boxes) {
-  return RunQueryBatch(boxes.size(),
-                       [&](size_t q) { return Query(boxes[q]); });
+  return QueryBatch(boxes, /*ctx=*/nullptr);
+}
+
+Result<std::vector<std::vector<PointId>>> EclipseEngine::QueryBatch(
+    std::span<const RatioBox> boxes, const QueryContext* ctx) {
+  return RunQueryBatch(
+      boxes.size(), [&](size_t q) -> Result<std::vector<PointId>> {
+        ECLIPSE_FAULT_ARG("engine.batch_query", static_cast<int64_t>(q));
+        return Query(boxes[q], ctx);
+      });
 }
 
 }  // namespace eclipse

@@ -175,6 +175,12 @@ struct QueryPlan {
   std::string answered_by;
   /// Why the cost model picked this engine, for logs and debugging.
   std::string reason;
+  /// Non-empty iff this query fell back a serving tier at dispatch time
+  /// (a lazy diagram/index/tree build failed, or the diagram refused the
+  /// box on candidate overflow). The answer is still exact -- this records
+  /// WHY the cheaper structure did not serve it. Empty for Explain (only
+  /// Query can observe a build failure).
+  std::string degraded_reason;
 };
 
 /// What the cost model sees; a plain struct so tests can probe it directly.
@@ -330,6 +336,15 @@ class EclipseEngine {
   Result<std::vector<PointId>> Query(const RatioBox& box,
                                      EngineQueryStats* stats = nullptr);
 
+  /// Query under a borrowed per-query deadline/cancellation context (null =
+  /// unlimited, identical to the two-argument overload). The context is
+  /// polled at dispatch and inside every long backend loop; an expired or
+  /// cancelled query returns DeadlineExceeded / Cancelled and is never
+  /// cached. `ctx` must outlive the call.
+  Result<std::vector<PointId>> Query(const RatioBox& box,
+                                     const QueryContext* ctx,
+                                     EngineQueryStats* stats = nullptr);
+
   /// Batched admission: answers every box, fanning the batch out as chunks
   /// on the shared pool (per-query engine state -- cache, lazy build
   /// counters -- advances exactly as if each box had been Query()ed).
@@ -338,6 +353,12 @@ class EclipseEngine {
   /// inside a pool worker (nested ParallelFor runs inline).
   Result<std::vector<std::vector<PointId>>> QueryBatch(
       std::span<const RatioBox> boxes);
+
+  /// QueryBatch under a shared deadline/cancellation context: every query
+  /// in the batch polls `ctx`; the first DeadlineExceeded / Cancelled wins
+  /// as the batch status. Null behaves like the plain overload.
+  Result<std::vector<std::vector<PointId>>> QueryBatch(
+      std::span<const RatioBox> boxes, const QueryContext* ctx);
 
   /// The plan Query() would execute for `box` right now -- including the
   /// snapshot epoch it would capture and whether the LRU cache would serve

@@ -1,0 +1,111 @@
+#include "fault/fault_injection.h"
+
+#include <functional>
+#include <thread>
+
+namespace eclipse {
+namespace fault {
+namespace {
+
+// SplitMix64: a strong 64-bit mixer. Whether hit k of a point fires is
+// Mix(seed ^ hash(point) ^ k) mapped into [0, 1) -- deterministic per
+// (seed, point, hit index), independent across points and hits.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double UnitDouble(uint64_t x) {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultRegistry& FaultRegistry::Global() {
+  static FaultRegistry* registry = new FaultRegistry();
+  return *registry;
+}
+
+void FaultRegistry::Arm(const std::string& point, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = points_.insert_or_assign(point, Armed{std::move(spec),
+                                                             FaultCounters{}});
+  (void)it;
+  if (inserted) armed_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultRegistry::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (points_.erase(point) > 0) {
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultRegistry::Reset(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  seed_ = seed;
+  armed_count_.store(0, std::memory_order_relaxed);
+}
+
+void FaultRegistry::Seed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  seed_ = seed;
+}
+
+FaultCounters FaultRegistry::Counters(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? FaultCounters{} : it->second.counters;
+}
+
+uint64_t FaultRegistry::TotalFires() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [name, armed] : points_) total += armed.counters.fires;
+  return total;
+}
+
+std::vector<std::string> FaultRegistry::ArmedPoints() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(points_.size());
+  for (const auto& [name, armed] : points_) names.push_back(name);
+  return names;
+}
+
+Status FaultRegistry::Fire(const std::string& point, int64_t arg) {
+  StatusCode code;
+  std::string message;
+  std::chrono::nanoseconds delay{0};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = points_.find(point);
+    if (it == points_.end()) return Status::OK();
+    Armed& armed = it->second;
+    const uint64_t hit = armed.counters.hits++;
+    const FaultSpec& spec = armed.spec;
+    if (spec.match_arg >= 0 && arg != spec.match_arg) return Status::OK();
+    if (hit < spec.skip) return Status::OK();
+    if (armed.counters.fires >= spec.max_fires) return Status::OK();
+    if (spec.probability < 1.0) {
+      const uint64_t h =
+          Mix(seed_ ^ Mix(std::hash<std::string>{}(point)) ^ hit);
+      if (UnitDouble(h) >= spec.probability) return Status::OK();
+    }
+    ++armed.counters.fires;
+    code = spec.code;
+    message = spec.message;
+    delay = spec.delay;
+  }
+  // Sleep outside the lock: a stall fault must not serialize every other
+  // fault check in the process.
+  if (delay.count() > 0) std::this_thread::sleep_for(delay);
+  if (code == StatusCode::kOk) return Status::OK();
+  return Status(code, std::move(message));
+}
+
+}  // namespace fault
+}  // namespace eclipse

@@ -1,0 +1,171 @@
+// Deterministic fault injection for the serving stack.
+//
+// A FaultRegistry holds named injection points ("engine.tree_build",
+// "shard.scatter", ...). Production code marks the points with the
+// ECLIPSE_FAULT* macros below; tests and the chaos bench arm them with a
+// FaultSpec -- an error code to return, an optional delay (a stall), a
+// seeded probability, skip/max-fires counters, and an optional argument
+// filter (e.g. "only shard 2"). Triggering is deterministic: whether hit
+// number k of a point fires is a pure function of (seed, point name, k),
+// so a chaos schedule replays identically across runs and platforms.
+//
+// When ECLIPSE_FAULT_INJECTION is off (the default), the macros compile to
+// nothing and the serving hot path carries zero overhead -- not even a
+// branch. The registry class itself is always compiled so tests can link,
+// but without the macros no production code ever consults it.
+//
+// Threading: Arm/Disarm/Fire are all safe to call concurrently. A stall
+// (delay) is executed after the registry lock is released, so a slow-shard
+// fault does not serialize unrelated fault checks.
+
+#ifndef ECLIPSE_FAULT_FAULT_INJECTION_H_
+#define ECLIPSE_FAULT_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+#ifndef ECLIPSE_FAULT_INJECTION
+#define ECLIPSE_FAULT_INJECTION 0
+#endif
+
+namespace eclipse {
+namespace fault {
+
+/// What an armed injection point does when it fires.
+struct FaultSpec {
+  /// Status code returned by the firing site. kOk means "delay only": the
+  /// site stalls for `delay` and then proceeds normally -- the tool for
+  /// simulating a slow shard rather than a failed one.
+  StatusCode code = StatusCode::kInternal;
+  std::string message = "injected fault";
+  /// Chance that an eligible hit fires, decided by a hash of
+  /// (seed, point, hit index) -- deterministic, not a global RNG stream.
+  double probability = 1.0;
+  /// Number of initial hits that never fire (lets a test target "the third
+  /// query" exactly).
+  uint64_t skip = 0;
+  /// Cap on total fires; UINT64_MAX = unlimited.
+  uint64_t max_fires = UINT64_MAX;
+  /// Stall executed on fire (after the registry lock is dropped).
+  std::chrono::nanoseconds delay{0};
+  /// When >= 0, only hits whose site-supplied argument equals this value
+  /// are eligible (e.g. a shard index). Non-matching hits pass through.
+  int64_t match_arg = -1;
+};
+
+/// Per-point observability counters.
+struct FaultCounters {
+  uint64_t hits = 0;   // times the site was reached while armed
+  uint64_t fires = 0;  // times it actually injected
+};
+
+class FaultRegistry {
+ public:
+  /// Process-wide registry used by the ECLIPSE_FAULT* macros.
+  static FaultRegistry& Global();
+
+  /// True when the library was built with ECLIPSE_FAULT_INJECTION=ON and
+  /// the macros below are live. Tests use this to skip chaos suites on
+  /// production builds.
+  static constexpr bool kCompiledIn = ECLIPSE_FAULT_INJECTION != 0;
+
+  /// Arms (or re-arms, replacing the spec and zeroing counters) one point.
+  void Arm(const std::string& point, FaultSpec spec);
+
+  /// Disarms one point; its counters are dropped.
+  void Disarm(const std::string& point);
+
+  /// Disarms everything and re-seeds to `seed`.
+  void Reset(uint64_t seed = 0);
+
+  /// Seed for the deterministic probability hash.
+  void Seed(uint64_t seed);
+
+  FaultCounters Counters(const std::string& point) const;
+  uint64_t TotalFires() const;
+  std::vector<std::string> ArmedPoints() const;
+
+  /// True when at least one point is armed; the macros consult this with a
+  /// single relaxed atomic load before taking the lock.
+  bool AnyArmed() const {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// The firing site. Returns OK when the point is not armed or the hit
+  /// does not fire; otherwise sleeps spec.delay and returns
+  /// Status(spec.code, spec.message) -- or OK after the sleep when
+  /// spec.code == kOk (delay-only fault). `arg` is matched against
+  /// spec.match_arg when the spec sets one.
+  Status Fire(const std::string& point, int64_t arg = -1);
+
+ private:
+  struct Armed {
+    FaultSpec spec;
+    FaultCounters counters;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Armed> points_;
+  uint64_t seed_ = 0;
+  std::atomic<int> armed_count_{0};
+};
+
+}  // namespace fault
+}  // namespace eclipse
+
+// Site macros. All take a point name (string literal); the *_ARG variants
+// additionally pass a site argument for match_arg filtering.
+//
+//   ECLIPSE_FAULT(point)            -- `return <error Status>` on fire; for
+//                                      functions returning Status/Result<T>.
+//   ECLIPSE_FAULT_ARG(point, arg)   -- same, with an argument.
+//   ECLIPSE_FAULT_STATUS(point,arg) -- expression yielding the Status; for
+//                                      void contexts that hand the error on
+//                                      manually.
+//   ECLIPSE_FAULT_HIT(point, arg)   -- fire-and-forget (delay-only points
+//                                      in void contexts); result discarded.
+#if ECLIPSE_FAULT_INJECTION
+
+#define ECLIPSE_FAULT_STATUS(point, arg)                             \
+  (::eclipse::fault::FaultRegistry::Global().AnyArmed()              \
+       ? ::eclipse::fault::FaultRegistry::Global().Fire((point),     \
+                                                        (arg))       \
+       : ::eclipse::Status())
+
+#define ECLIPSE_FAULT_ARG(point, arg)                                \
+  do {                                                               \
+    ::eclipse::Status fault_macro_s_ =                               \
+        ECLIPSE_FAULT_STATUS((point), (arg));                        \
+    if (!fault_macro_s_.ok()) return fault_macro_s_;                 \
+  } while (false)
+
+#define ECLIPSE_FAULT(point) ECLIPSE_FAULT_ARG((point), -1)
+
+#define ECLIPSE_FAULT_HIT(point, arg)                                \
+  do {                                                               \
+    (void)ECLIPSE_FAULT_STATUS((point), (arg));                      \
+  } while (false)
+
+#else  // !ECLIPSE_FAULT_INJECTION
+
+#define ECLIPSE_FAULT_STATUS(point, arg) (::eclipse::Status())
+#define ECLIPSE_FAULT_ARG(point, arg) \
+  do {                                \
+  } while (false)
+#define ECLIPSE_FAULT(point) \
+  do {                       \
+  } while (false)
+#define ECLIPSE_FAULT_HIT(point, arg) \
+  do {                                \
+  } while (false)
+
+#endif  // ECLIPSE_FAULT_INJECTION
+
+#endif  // ECLIPSE_FAULT_FAULT_INJECTION_H_

@@ -20,11 +20,12 @@ bool FitsCornerMatrix(const RatioBox& box, const EclipseOptions& options) {
 /// runs, restricted to the candidate union. O(C^2) with early exit.
 std::vector<PointId> PairwiseMerge(
     std::span<const GatheredCandidate> candidates, size_t dims,
-    const RatioBox& box, Statistics* stats) {
+    const RatioBox& box, Statistics* stats, const QueryContext* ctx) {
   const CornerKernel kernel(box);
   uint64_t comparisons = 0;
   std::vector<PointId> out;
   for (size_t i = 0; i < candidates.size(); ++i) {
+    if (i % 64 == 0 && ctx != nullptr && !ctx->Check().ok()) break;
     const std::span<const double> pi(candidates[i].row, dims);
     bool dominated = false;
     for (size_t j = 0; j < candidates.size() && !dominated; ++j) {
@@ -54,6 +55,8 @@ Result<std::vector<PointId>> CrossShardDominanceMerge(
         StrFormat("merge over d = %zu rows got a box for d = %zu", dims,
                   box.dims()));
   }
+  const QueryContext* ctx = options.context;
+  ECLIPSE_RETURN_IF_ERROR(CheckQueryContext(ctx));
   const size_t c = candidates.size();
   if (c <= 1) {
     std::vector<PointId> out;
@@ -61,7 +64,10 @@ Result<std::vector<PointId>> CrossShardDominanceMerge(
     return out;
   }
   if (!FitsCornerMatrix(box, options)) {
-    return PairwiseMerge(candidates, dims, box, stats);
+    std::vector<PointId> out = PairwiseMerge(candidates, dims, box, stats,
+                                             ctx);
+    ECLIPSE_RETURN_IF_ERROR(CheckQueryContext(ctx));
+    return out;
   }
 
   const CornerKernel kernel(box);
@@ -77,7 +83,9 @@ Result<std::vector<PointId>> CrossShardDominanceMerge(
   const FlatMatrixView view = FlatMatrixView::Of(scores, m);
   const std::vector<PointId> rows =
       FlatSkyline(view, ChooseFlatSkylinePath(SkylineAlgorithm::kAuto, c),
-                  stats);
+                  stats, ctx);
+  // Discard the kernel's partial window on expiry (see flat_skyline.h).
+  ECLIPSE_RETURN_IF_ERROR(CheckQueryContext(ctx));
   std::vector<PointId> out;
   out.reserve(rows.size());
   for (PointId r : rows) out.push_back(candidates[r].global_id);

@@ -1,12 +1,15 @@
 #include "shard/sharded_engine.h"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
 #include <mutex>
 #include <unordered_map>
 #include <utility>
 
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "fault/fault_injection.h"
 #include "shard/merge.h"
 
 namespace eclipse {
@@ -21,6 +24,35 @@ struct ShardLoc {
 };
 
 constexpr size_t kMaxShards = 1024;
+
+/// Shared state between a deadline-bounded scatter's caller and its
+/// detached per-shard tasks. Kept alive by the shared_ptr each task
+/// captures, so a straggler abandoned at the deadline keeps writing into
+/// its own slots harmlessly after the caller has returned. The box and the
+/// context are COPIES: the caller's references die with its stack frame,
+/// and the context copy shares the caller's cancel flag, letting the
+/// caller hurry stragglers along by cancelling at abandonment.
+struct BoundedGather {
+  BoundedGather(size_t num_shards, RatioBox b, const QueryContext& c)
+      : box(std::move(b)),
+        ctx(c),
+        remaining(num_shards),
+        status(num_shards),
+        ids(num_shards),
+        sub(num_shards),
+        completed(num_shards, 0) {}
+
+  const RatioBox box;
+  QueryContext ctx;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t remaining;  // guarded by mu, like every vector below
+  std::vector<Status> status;
+  std::vector<std::vector<PointId>> ids;
+  std::vector<EngineQueryStats> sub;
+  std::vector<uint8_t> completed;
+};
 
 }  // namespace
 
@@ -52,10 +84,29 @@ struct ShardedEclipseEngine::State {
 
   std::mutex write_mu;
 
+  /// Admission-gate counters (relaxed atomics: observability plus the
+  /// shed decision, which tolerates benign races at the limit).
+  std::atomic<size_t> in_flight{0};
+  std::atomic<size_t> peak_in_flight{0};
+  std::atomic<uint64_t> admitted{0};
+  std::atomic<uint64_t> shed{0};
+
+  /// Detached scatter tasks (deadline-bounded path) still running; the
+  /// destructor waits them out so an abandoned straggler can never touch a
+  /// freed shard engine.
+  std::mutex scatter_mu;
+  std::condition_variable scatter_cv;
+  size_t outstanding_scatter_tasks = 0;
+
   State(ShardedEngineOptions opts, Partitioner part)
       : options(std::move(opts)),
         partitioner(std::move(part)),
         cache(options.result_cache_capacity) {}
+
+  ~State() {
+    std::unique_lock<std::mutex> lock(scatter_mu);
+    scatter_cv.wait(lock, [this] { return outstanding_scatter_tasks == 0; });
+  }
 
   uint64_t Epoch() const {
     std::lock_guard<std::mutex> lock(map_mu);
@@ -249,6 +300,57 @@ ShardedQueryPlan ShardedEclipseEngine::Explain(const RatioBox& box) const {
 
 Result<std::vector<PointId>> ShardedEclipseEngine::Query(
     const RatioBox& box, ShardedQueryStats* stats) {
+  return Query(box, /*ctx=*/nullptr, stats);
+}
+
+Result<std::vector<PointId>> ShardedEclipseEngine::Query(
+    const RatioBox& box, const QueryContext* ctx, ShardedQueryStats* stats) {
+  State& s = *state_;
+  ECLIPSE_RETURN_IF_ERROR(CheckQueryContext(ctx));
+  // The admission gate: shed load with an explicit kUnavailable instead of
+  // queuing behind a saturated pool. The check-then-increment CAS loop
+  // never lets in_flight exceed the limit; internal queries (continuous
+  // re-merges) enter through QueryInternal and are never shed.
+  const size_t limit = s.options.max_in_flight_queries;
+  if (limit > 0) {
+    size_t cur = s.in_flight.load(std::memory_order_relaxed);
+    do {
+      if (cur >= limit) {
+        s.shed.fetch_add(1, std::memory_order_relaxed);
+        return Status::Unavailable(
+            StrFormat("admission gate: %zu queries in flight (max %zu)", cur,
+                      limit));
+      }
+    } while (!s.in_flight.compare_exchange_weak(cur, cur + 1,
+                                                std::memory_order_relaxed));
+  } else {
+    s.in_flight.fetch_add(1, std::memory_order_relaxed);
+  }
+  s.admitted.fetch_add(1, std::memory_order_relaxed);
+  size_t now = s.in_flight.load(std::memory_order_relaxed);
+  size_t peak = s.peak_in_flight.load(std::memory_order_relaxed);
+  while (now > peak && !s.peak_in_flight.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+  struct InFlightGuard {
+    std::atomic<size_t>* counter;
+    ~InFlightGuard() { counter->fetch_sub(1, std::memory_order_relaxed); }
+  } guard{&s.in_flight};
+  return QueryInternal(box, ctx, stats);
+}
+
+AdmissionStats ShardedEclipseEngine::admission() const {
+  const State& s = *state_;
+  AdmissionStats a;
+  a.admitted = s.admitted.load(std::memory_order_relaxed);
+  a.shed = s.shed.load(std::memory_order_relaxed);
+  a.in_flight = s.in_flight.load(std::memory_order_relaxed);
+  a.peak_in_flight = s.peak_in_flight.load(std::memory_order_relaxed);
+  return a;
+}
+
+Result<std::vector<PointId>> ShardedEclipseEngine::QueryInternal(
+    const RatioBox& box, const QueryContext* ctx, ShardedQueryStats* stats) {
   State& s = *state_;
   const size_t num_shards = s.shards.size();
   ShardedQueryStats local_stats;
@@ -269,26 +371,109 @@ Result<std::vector<PointId>> ShardedEclipseEngine::Query(
     return cached;
   }
 
-  // Scatter: one sub-query per shard on the shared pool. The sub-queries'
-  // own parallel stages (embed, tournament merge) nest on the same pool
-  // and run inline in their worker.
+  // Scatter: one sub-query per shard. Two shapes:
+  //   * joined (the default): a ParallelFor the caller participates in;
+  //     every shard must answer before the gather starts. The sub-queries'
+  //     own parallel stages nest on the same pool and run inline.
+  //   * deadline-bounded (a deadline + allow_partial_results, called from
+  //     outside the pool): detached Submit tasks share a BoundedGather and
+  //     the caller waits only until the deadline, abandoning stragglers --
+  //     a stalled shard costs the deadline, not its own stall. Pool
+  //     workers keep the joined shape (blocking a worker on a cv could
+  //     deadlock the pool against itself).
   std::vector<EngineQueryStats> sub(num_shards);
   std::vector<std::vector<PointId>> sub_ids(num_shards);
-  std::mutex error_mu;
-  Status first_error = Status::OK();
-  auto scatter = [&](size_t begin, size_t end) {
-    for (size_t sh = begin; sh < end; ++sh) {
-      auto r = s.shards[sh].Query(box, &sub[sh]);
-      if (!r.ok()) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (first_error.ok()) first_error = r.status();
-        return;
-      }
-      sub_ids[sh] = std::move(r).value();
+  std::vector<Status> sub_status(num_shards);
+  std::vector<uint8_t> responded(num_shards, 1);
+  const bool bounded_scatter = ctx != nullptr && ctx->has_deadline() &&
+                               s.options.allow_partial_results &&
+                               num_shards > 1 &&
+                               !ThreadPool::Shared().InParallelRegion();
+  if (bounded_scatter) {
+    auto gather = std::make_shared<BoundedGather>(num_shards, box, *ctx);
+    {
+      std::lock_guard<std::mutex> lock(s.scatter_mu);
+      s.outstanding_scatter_tasks += num_shards;
     }
-  };
-  ThreadPool::Shared().ParallelFor(0, num_shards, /*grain=*/1, scatter);
-  ECLIPSE_RETURN_IF_ERROR(first_error);
+    State* sp = &s;
+    for (size_t sh = 0; sh < num_shards; ++sh) {
+      EclipseEngine* shard = &s.shards[sh];
+      ThreadPool::Shared().Submit([gather, shard, sp, sh] {
+        Status fault =
+            ECLIPSE_FAULT_STATUS("shard.scatter", static_cast<int64_t>(sh));
+        auto r = fault.ok()
+                     ? shard->Query(gather->box, &gather->ctx, &gather->sub[sh])
+                     : Result<std::vector<PointId>>(std::move(fault));
+        {
+          std::lock_guard<std::mutex> lock(gather->mu);
+          gather->status[sh] = r.status();
+          if (r.ok()) gather->ids[sh] = std::move(r).value();
+          gather->completed[sh] = 1;
+          --gather->remaining;
+        }
+        gather->cv.notify_all();
+        {
+          // Notify while still holding scatter_mu: ~State destroys the cv
+          // the moment it sees the count reach zero, so an after-unlock
+          // notify could broadcast on a freed condition variable.
+          std::lock_guard<std::mutex> lock(sp->scatter_mu);
+          --sp->outstanding_scatter_tasks;
+          sp->scatter_cv.notify_all();
+        }
+      });
+    }
+    std::unique_lock<std::mutex> lock(gather->mu);
+    gather->cv.wait_until(lock, ctx->deadline(),
+                          [&] { return gather->remaining == 0; });
+    // On timeout the stragglers are simply abandoned: their context copy
+    // carries the now-expired deadline, so their next poll bails with
+    // DeadlineExceeded on its own. (Cancelling the copy here would poison
+    // the caller's shared cancel flag and fail the merge below.)
+    for (size_t sh = 0; sh < num_shards; ++sh) {
+      responded[sh] = gather->completed[sh];
+      if (responded[sh] == 0) continue;
+      sub_status[sh] = gather->status[sh];
+      sub_ids[sh] = std::move(gather->ids[sh]);
+      sub[sh] = std::move(gather->sub[sh]);
+    }
+  } else {
+    auto scatter = [&](size_t begin, size_t end) {
+      for (size_t sh = begin; sh < end; ++sh) {
+        Status fault =
+            ECLIPSE_FAULT_STATUS("shard.scatter", static_cast<int64_t>(sh));
+        auto r = fault.ok()
+                     ? s.shards[sh].Query(box, ctx, &sub[sh])
+                     : Result<std::vector<PointId>>(std::move(fault));
+        sub_status[sh] = r.status();
+        if (r.ok()) sub_ids[sh] = std::move(r).value();
+      }
+    };
+    ThreadPool::Shared().ParallelFor(0, num_shards, /*grain=*/1, scatter);
+  }
+
+  // Degradation policy. Without allow_partial_results the first shard
+  // error fails the whole query (the strict contract). With it, a shard
+  // that was shed, expired, cancelled, or abandoned contributes nothing --
+  // reported in the plan, never silent -- while any other error (a real
+  // backend failure) still fails the query.
+  for (size_t sh = 0; sh < num_shards; ++sh) {
+    Status st = responded[sh] != 0
+                    ? sub_status[sh]
+                    : Status::DeadlineExceeded(
+                          "deadline expired before the shard responded");
+    if (st.ok()) continue;
+    const bool excusable =
+        st.IsDeadlineExceeded() || st.IsUnavailable() || st.IsCancelled();
+    if (!s.options.allow_partial_results || !excusable) {
+      return st;
+    }
+    plan.partial = true;
+    plan.shards_degraded.push_back(sh);
+    if (!plan.degraded_reason.empty()) plan.degraded_reason += "; ";
+    plan.degraded_reason +=
+        StrFormat("shard %zu: %s", sh, st.ToString().c_str());
+    sub_ids[sh].clear();
+  }
 
   plan.shard_plans.reserve(num_shards);
   for (size_t sh = 0; sh < num_shards; ++sh) {
@@ -301,6 +486,7 @@ Result<std::vector<PointId>> ShardedEclipseEngine::Query(
   size_t non_empty = 0;
   size_t last_non_empty = 0;
   for (size_t sh = 0; sh < num_shards; ++sh) {
+    ECLIPSE_FAULT_ARG("shard.translate", static_cast<int64_t>(sh));
     ECLIPSE_RETURN_IF_ERROR(
         s.TranslateShard(sh, sub_ids[sh], &sub_globals[sh]));
     total += sub_ids[sh].size();
@@ -318,9 +504,11 @@ Result<std::vector<PointId>> ShardedEclipseEngine::Query(
     // the whole S == 1 degenerate-sharding path: no merge, no embedding.
     if (non_empty == 1) merged = std::move(sub_globals[last_non_empty]);
   } else {
+    ECLIPSE_FAULT("shard.merge");
     std::vector<GatheredCandidate> candidates;
     candidates.reserve(total);
     for (size_t sh = 0; sh < num_shards; ++sh) {
+      if (sub_ids[sh].empty()) continue;
       const ColumnarSnapshot& snap = *sub[sh].snapshot;
       const PointSet& rows = snap.points();
       for (size_t i = 0; i < sub_ids[sh].size(); ++i) {
@@ -332,21 +520,36 @@ Result<std::vector<PointId>> ShardedEclipseEngine::Query(
               [](const GatheredCandidate& a, const GatheredCandidate& b) {
                 return a.global_id < b.global_id;
               });
+    EclipseOptions merge_options = s.options.engine.algorithm;
+    // Once the query is partial the caller has accepted degraded service
+    // and the deadline has typically already passed; the merge over the
+    // gathered winners is small, so run it to completion instead of
+    // throwing the partial answer away with a DeadlineExceeded.
+    merge_options.context = plan.partial ? nullptr : ctx;
     ECLIPSE_ASSIGN_OR_RETURN(
         merged, CrossShardDominanceMerge(candidates, box.dims(), box,
-                                         s.options.engine.algorithm,
+                                         merge_options,
                                          &out->merge_counters));
   }
 
-  s.cache.PutMaintainable(plan.global_epoch, key, box, merged);
+  // A partial answer is an attributed lower bound, not the exact result:
+  // never cache it (the next query may have the time to do better).
+  if (!plan.partial) {
+    s.cache.PutMaintainable(plan.global_epoch, key, box, merged);
+  }
   out->result_size = merged.size();
   return merged;
 }
 
 Result<std::vector<std::vector<PointId>>> ShardedEclipseEngine::QueryBatch(
     std::span<const RatioBox> boxes) {
+  return QueryBatch(boxes, /*ctx=*/nullptr);
+}
+
+Result<std::vector<std::vector<PointId>>> ShardedEclipseEngine::QueryBatch(
+    std::span<const RatioBox> boxes, const QueryContext* ctx) {
   return RunQueryBatch(boxes.size(),
-                       [&](size_t q) { return Query(boxes[q]); });
+                       [&](size_t q) { return Query(boxes[q], ctx); });
 }
 
 Result<PointId> ShardedEclipseEngine::Insert(std::span<const double> p) {
@@ -370,6 +573,8 @@ Result<PointId> ShardedEclipseEngine::ApplyDelta(const StreamDelta& delta) {
   }
 
   if (delta.kind == StreamDelta::Kind::kInsert) {
+    // Before any state change: a fired fault rejects the delta atomically.
+    ECLIPSE_FAULT("sharded.apply_insert");
     // Validate dimensionality BEFORE the delta tests: the maintainer
     // embeds the point, and a short row must fail cleanly here rather
     // than read out of bounds (the per-shard engine would reject it
@@ -417,6 +622,7 @@ Result<PointId> ShardedEclipseEngine::ApplyDelta(const StreamDelta& delta) {
     return global;
   }
 
+  ECLIPSE_FAULT("sharded.apply_erase");
   ShardLoc loc;
   {
     std::lock_guard<std::mutex> lock(s.map_mu);
@@ -445,8 +651,11 @@ Result<PointId> ShardedEclipseEngine::ApplyDelta(const StreamDelta& delta) {
   // scatter-gather path. Safe under write_mu: the maps are fully
   // published, so no sub-result can hit the translate-retry path (which
   // would re-acquire write_mu).
-  s.continuous.OnErase(delta.id, epoch,
-                       [this](const RatioBox& box) { return Query(box); });
+  // The re-merge is an INTERNAL query: it bypasses the admission gate
+  // (shedding it would corrupt a standing result).
+  s.continuous.OnErase(delta.id, epoch, [this](const RatioBox& box) {
+    return QueryInternal(box, /*ctx=*/nullptr, /*stats=*/nullptr);
+  });
   s.RecordMaintenance(tick);
   return delta.id;
 }
@@ -460,7 +669,8 @@ Result<SubscriptionId> ShardedEclipseEngine::RegisterContinuous(
         "continuous queries require an exact engine (forced TRAN-HD at "
         "d >= 3 under-reports)");
   }
-  ECLIPSE_ASSIGN_OR_RETURN(auto initial, Query(box));
+  ECLIPSE_ASSIGN_OR_RETURN(
+      auto initial, QueryInternal(box, /*ctx=*/nullptr, /*stats=*/nullptr));
   return s.continuous.Register(box, std::move(initial), std::move(callback));
 }
 

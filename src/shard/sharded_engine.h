@@ -63,6 +63,34 @@ struct ShardedEngineOptions {
   /// global mutation epoch + canonical box); 0 disables it. Per-shard
   /// caches are configured through `engine` and work either way.
   size_t result_cache_capacity = 64;
+  /// Admission gate: queries admitted while this many are already in
+  /// flight are shed with kUnavailable instead of queuing behind a
+  /// saturated pool (load shedding beats unbounded latency). 0 = no limit.
+  /// Internal queries (continuous re-merges) bypass the gate -- shedding
+  /// them would corrupt standing results.
+  size_t max_in_flight_queries = 0;
+  /// Graceful degradation under deadlines: a shard whose sub-query is shed
+  /// or misses the deadline contributes nothing instead of failing the
+  /// whole query. The merged answer is then a lower bound on the true
+  /// result, reported with plan.partial = true and the affected shards in
+  /// plan.shards_degraded; partial answers are never cached. With a
+  /// deadline set this also switches the scatter to detached pool tasks so
+  /// the caller can abandon stragglers AT the deadline instead of joining
+  /// them (a stalled shard no longer holds p99 hostage). Off by default:
+  /// every shard must answer or the query fails.
+  bool allow_partial_results = false;
+};
+
+/// Load-shedding observability (ShardedEclipseEngine::admission()).
+struct AdmissionStats {
+  /// Queries that passed the gate (or ran with no limit configured).
+  uint64_t admitted = 0;
+  /// Queries shed with kUnavailable at the gate.
+  uint64_t shed = 0;
+  /// Queries in flight right now.
+  size_t in_flight = 0;
+  /// High-water mark of in_flight.
+  size_t peak_in_flight = 0;
 };
 
 /// The scatter-gather plan for one query: the fan-out, the merge, and each
@@ -84,6 +112,15 @@ struct ShardedQueryPlan {
   /// shard_plans[s] is shard s's own QueryPlan (engine, epoch, cache hit,
   /// skyline path, ...).
   std::vector<QueryPlan> shard_plans;
+  /// True iff >= 1 shard contributed nothing (allow_partial_results):
+  /// the answer is an exact merge over the responding shards only -- a
+  /// lower bound on the full result, explicitly attributed, never cached.
+  bool partial = false;
+  /// The shards that contributed nothing, ascending.
+  std::vector<size_t> shards_degraded;
+  /// Why they contributed nothing ("shard 2: deadline expired", ...);
+  /// empty when partial is false.
+  std::string degraded_reason;
 };
 
 /// Per-query scatter-gather observability.
@@ -110,11 +147,32 @@ class ShardedEclipseEngine {
   Result<std::vector<PointId>> Query(const RatioBox& box,
                                      ShardedQueryStats* stats = nullptr);
 
+  /// Query under a borrowed deadline/cancellation context (null behaves
+  /// like the two-argument overload) and the admission gate. With
+  /// allow_partial_results a deadline turns the scatter into abandonable
+  /// pool tasks: the caller returns AT the deadline with whatever shards
+  /// answered (plan.partial / plan.shards_degraded attribute the gap);
+  /// without it the first shard error or expiry fails the query. `ctx`
+  /// must outlive the call (straggler tasks poll a private copy, so the
+  /// caller may destroy it as soon as Query returns).
+  Result<std::vector<PointId>> Query(const RatioBox& box,
+                                     const QueryContext* ctx,
+                                     ShardedQueryStats* stats = nullptr);
+
   /// Batched admission: the batch fans out on the shared pool and each
   /// query scatters from its worker (the nested ParallelFor runs inline).
   /// Results in input order; first failure wins.
   Result<std::vector<std::vector<PointId>>> QueryBatch(
       std::span<const RatioBox> boxes);
+
+  /// QueryBatch under a shared context: every query polls `ctx` and pays
+  /// the admission gate individually. Null behaves like the plain overload.
+  Result<std::vector<std::vector<PointId>>> QueryBatch(
+      std::span<const RatioBox> boxes, const QueryContext* ctx);
+
+  /// Load-shedding counters for the admission gate (zeros when
+  /// max_in_flight_queries was never configured).
+  AdmissionStats admission() const;
 
   /// The scatter-gather plan Query() would execute right now, including
   /// every shard's sub-plan; runs nothing and changes no state.
@@ -171,6 +229,13 @@ class ShardedEclipseEngine {
   struct State;
 
   explicit ShardedEclipseEngine(std::unique_ptr<State> state);
+
+  /// The scatter-gather core behind Query: admission-gate-free, so the
+  /// continuous-query re-merge path cannot be shed (a shed re-merge would
+  /// corrupt a standing result).
+  Result<std::vector<PointId>> QueryInternal(const RatioBox& box,
+                                             const QueryContext* ctx,
+                                             ShardedQueryStats* stats);
 
   std::unique_ptr<State> state_;
 };

@@ -30,11 +30,15 @@ struct Embedder {
   }
 };
 
+/// Heap pops between deadline/cancel polls.
+constexpr uint64_t kCtxCheckPops = 64;
+
 Result<std::vector<PointId>> BbsCore(const PointSet& points,
                                      const PackedRTree& tree,
                                      const Embedder& e, const Box* constraint,
                                      Statistics* stats, BbsStats* bbs_out,
-                                     std::span<const uint8_t> tombstones) {
+                                     std::span<const uint8_t> tombstones,
+                                     const QueryContext* ctx) {
   if (tree.dims() != points.dims()) {
     return Status::InvalidArgument(
         StrFormat("BBS: tree indexes %zu-d rows, dataset is %zu-d",
@@ -127,7 +131,11 @@ Result<std::vector<PointId>> BbsCore(const PointSet& points,
     };
 
     try_push_node(tree.root());
+    uint64_t pops = 0;
     while (!heap.empty()) {
+      if (ctx != nullptr && pops++ % kCtxCheckPops == 0) {
+        ECLIPSE_RETURN_IF_ERROR(ctx->Check());
+      }
       const Entry top = heap.top();
       heap.pop();
       // Re-check at pop time: the accepted window may have grown since the
@@ -177,12 +185,13 @@ Result<std::vector<PointId>> BbsSkyline(const PointSet& points,
                                         const PackedRTree& tree,
                                         const Box* constraint,
                                         Statistics* stats, BbsStats* bbs,
-                                        std::span<const uint8_t> tombstones) {
+                                        std::span<const uint8_t> tombstones,
+                                        const QueryContext* ctx) {
   if (points.dims() == 0) {
     return Status::InvalidArgument("BBS: zero-dimensional data");
   }
   const Embedder e{nullptr, points.dims(), points.dims()};
-  return BbsCore(points, tree, e, constraint, stats, bbs, tombstones);
+  return BbsCore(points, tree, e, constraint, stats, bbs, tombstones, ctx);
 }
 
 Result<std::vector<PointId>> BbsEclipse(const PointSet& points,
@@ -191,7 +200,8 @@ Result<std::vector<PointId>> BbsEclipse(const PointSet& points,
                                         size_t max_corner_dims,
                                         const Box* constraint,
                                         Statistics* stats, BbsStats* bbs,
-                                        std::span<const uint8_t> tombstones) {
+                                        std::span<const uint8_t> tombstones,
+                                        const QueryContext* ctx) {
   if (points.dims() < 2) {
     return Status::InvalidArgument("eclipse requires d >= 2 data");
   }
@@ -207,7 +217,7 @@ Result<std::vector<PointId>> BbsEclipse(const PointSet& points,
   }
   const CornerKernel kernel(box);
   const Embedder e{&kernel, points.dims(), kernel.embedding_dims()};
-  return BbsCore(points, tree, e, constraint, stats, bbs, tombstones);
+  return BbsCore(points, tree, e, constraint, stats, bbs, tombstones, ctx);
 }
 
 }  // namespace eclipse

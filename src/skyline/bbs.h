@@ -46,6 +46,7 @@
 #include <span>
 #include <vector>
 
+#include "common/query_context.h"
 #include "common/result.h"
 #include "common/statistics.h"
 #include "core/ratio_box.h"
@@ -95,10 +96,14 @@ struct BbsStats {
 /// is exactly the skyline of the live rows. Ids ascending; identical to
 /// the flat kernels' id sets on the same rows. Ticks kIndexNodesVisited /
 /// kIndexLeavesScanned / kSkylineComparisons on `stats`.
+/// Both entry points poll `ctx` (when non-null) every few dozen heap pops
+/// -- BBS is naturally interruptible between pops -- and return
+/// Status::DeadlineExceeded / Cancelled instead of a partial answer.
 Result<std::vector<PointId>> BbsSkyline(
     const PointSet& points, const PackedRTree& tree,
     const Box* constraint = nullptr, Statistics* stats = nullptr,
-    BbsStats* bbs = nullptr, std::span<const uint8_t> tombstones = {});
+    BbsStats* bbs = nullptr, std::span<const uint8_t> tombstones = {},
+    const QueryContext* ctx = nullptr);
 
 /// The eclipse set of `box` (skyline of the corner-score embedding, paper
 /// Theorem 5) via BBS over the raw-space `tree`. Handles bounded, unbounded
@@ -111,7 +116,8 @@ Result<std::vector<PointId>> BbsEclipse(
     const PointSet& points, const PackedRTree& tree, const RatioBox& box,
     size_t max_corner_dims = 20, const Box* constraint = nullptr,
     Statistics* stats = nullptr, BbsStats* bbs = nullptr,
-    std::span<const uint8_t> tombstones = {});
+    std::span<const uint8_t> tombstones = {},
+    const QueryContext* ctx = nullptr);
 
 }  // namespace eclipse
 

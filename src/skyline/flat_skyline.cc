@@ -20,6 +20,16 @@ constexpr size_t kSumRowBlock = 128;
 /// rows; below that a single SFS wins on constant factors.
 constexpr size_t kMinParallelChunkRows = 4096;
 
+/// Rows between deadline/cancel polls: frequent enough that a runaway scan
+/// stops within microseconds, rare enough that Clock::now() never shows up
+/// in a profile.
+constexpr size_t kCtxCheckRows = 256;
+
+/// True when the kernel must bail (expired deadline or cancellation).
+bool CtxExpired(const QueryContext* ctx) {
+  return ctx != nullptr && !ctx->Check().ok();
+}
+
 /// A dense copy of the accepted skyline rows plus their ids: the inner
 /// dominance loop streams this contiguous buffer instead of chasing
 /// scattered rows of the (much larger) input matrix.
@@ -69,7 +79,8 @@ class SkylineWindow {
 /// k) sort now runs over the k survivors instead of all n rows, which is
 /// where the legacy path spends most of its time.
 std::vector<PointId> SfsOverRange(const FlatMatrixView& view, size_t begin,
-                                  size_t end, uint64_t* comparisons) {
+                                  size_t end, uint64_t* comparisons,
+                                  const QueryContext* ctx = nullptr) {
   const size_t count = end - begin;
   if (count == 0) return {};
   const size_t m = view.m;
@@ -102,7 +113,9 @@ std::vector<PointId> SfsOverRange(const FlatMatrixView& view, size_t begin,
   });
 
   SkylineWindow window(m);
-  for (PointId id : order) {
+  for (size_t k = 0; k < order.size(); ++k) {
+    if (k % kCtxCheckRows == 0 && CtxExpired(ctx)) break;
+    const PointId id = order[k];
     const double* p = view.row(id);
     const size_t dominator = FindDominatorRow(window.rows(), window.size(), m, p);
     if (dominator == window.size()) {
@@ -190,11 +203,13 @@ void ComputeRowSums(const FlatMatrixView& view, double* out) {
 }
 
 std::vector<PointId> FlatSkylineBnl(const FlatMatrixView& view,
-                                    Statistics* stats) {
+                                    Statistics* stats,
+                                    const QueryContext* ctx) {
   const size_t m = view.m;
   SkylineWindow window(m);
   uint64_t comparisons = 0;
   for (size_t i = 0; i < view.n; ++i) {
+    if (i % kCtxCheckRows == 0 && CtxExpired(ctx)) break;
     const double* p = view.row(i);
     bool dominated = false;
     size_t keep = 0;
@@ -229,9 +244,11 @@ std::vector<PointId> FlatSkylineBnl(const FlatMatrixView& view,
 }
 
 std::vector<PointId> FlatSkylineSfs(const FlatMatrixView& view,
-                                    Statistics* stats) {
+                                    Statistics* stats,
+                                    const QueryContext* ctx) {
   uint64_t comparisons = 0;
-  std::vector<PointId> skyline = SfsOverRange(view, 0, view.n, &comparisons);
+  std::vector<PointId> skyline =
+      SfsOverRange(view, 0, view.n, &comparisons, ctx);
   if (stats != nullptr) {
     stats->Add(Ticker::kSkylineComparisons, comparisons);
   }
@@ -240,7 +257,8 @@ std::vector<PointId> FlatSkylineSfs(const FlatMatrixView& view,
 
 std::vector<PointId> FlatSkylineParallelMerge(const FlatMatrixView& view,
                                               size_t num_threads,
-                                              Statistics* stats) {
+                                              Statistics* stats,
+                                              const QueryContext* ctx) {
   const size_t n = view.n;
   // The calling thread participates in ParallelFor, so the pool contributes
   // size() extra lanes.
@@ -252,7 +270,7 @@ std::vector<PointId> FlatSkylineParallelMerge(const FlatMatrixView& view,
   const size_t chunk_cap =
       num_threads != 0 ? n : n / kMinParallelChunkRows;
   const size_t partitions = std::min(lanes, std::max<size_t>(chunk_cap, 1));
-  if (partitions <= 1 || n == 0) return FlatSkylineSfs(view, stats);
+  if (partitions <= 1 || n == 0) return FlatSkylineSfs(view, stats, ctx);
 
   ThreadPool& pool = ThreadPool::Shared();
   std::vector<std::vector<PointId>> locals(partitions);
@@ -265,15 +283,17 @@ std::vector<PointId> FlatSkylineParallelMerge(const FlatMatrixView& view,
           const size_t lo = c * rows_per_chunk;
           const size_t hi = std::min(n, lo + rows_per_chunk);
           if (lo < hi) {
-            locals[c] = SfsOverRange(view, lo, hi, &comparisons[c]);
+            locals[c] = SfsOverRange(view, lo, hi, &comparisons[c], ctx);
           }
         }
       },
       num_threads);
 
   // Tournament: pairwise merges per round, each round fanned out on the
-  // pool, until one skyline remains.
+  // pool, until one skyline remains. Between rounds is the natural poll
+  // point -- within a merge the window sizes are already output-bounded.
   while (locals.size() > 1) {
+    if (CtxExpired(ctx)) break;
     const size_t pairs = locals.size() / 2;
     std::vector<std::vector<PointId>> next(pairs + locals.size() % 2);
     pool.ParallelFor(
@@ -294,6 +314,9 @@ std::vector<PointId> FlatSkylineParallelMerge(const FlatMatrixView& view,
     for (uint64_t c : comparisons) total += c;
     stats->Add(Ticker::kSkylineComparisons, total);
   }
+  // After an aborted tournament locals may still hold several chunk
+  // skylines; front() alone is returned, which is fine -- the caller's
+  // post-check discards partial output anyway.
   std::vector<PointId> skyline = std::move(locals.front());
   std::sort(skyline.begin(), skyline.end());
   return skyline;
@@ -350,14 +373,15 @@ FlatSkylinePath ChooseFlatSkylinePath(SkylineAlgorithm algorithm, size_t n) {
 }
 
 std::vector<PointId> FlatSkyline(const FlatMatrixView& view,
-                                 FlatSkylinePath path, Statistics* stats) {
+                                 FlatSkylinePath path, Statistics* stats,
+                                 const QueryContext* ctx) {
   switch (path) {
     case FlatSkylinePath::kBnl:
-      return FlatSkylineBnl(view, stats);
+      return FlatSkylineBnl(view, stats, ctx);
     case FlatSkylinePath::kSfs:
-      return FlatSkylineSfs(view, stats);
+      return FlatSkylineSfs(view, stats, ctx);
     case FlatSkylinePath::kParallelMerge:
-      return FlatSkylineParallelMerge(view, /*num_threads=*/0, stats);
+      return FlatSkylineParallelMerge(view, /*num_threads=*/0, stats, ctx);
   }
   return {};
 }

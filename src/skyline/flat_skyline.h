@@ -30,6 +30,7 @@
 
 #include <vector>
 
+#include "common/query_context.h"
 #include "common/statistics.h"
 #include "geometry/point.h"
 #include "skyline/skyline.h"
@@ -63,10 +64,19 @@ void ComputeRowSums(const FlatMatrixView& view, double* out);
 
 // Entry points. Ids are row indices into the view, sorted ascending;
 // `stats` ticks kSkylineComparisons like the PointSet algorithms.
+//
+// Cooperative cancellation: when `ctx` is non-null the inner loops poll it
+// every few hundred rows and bail out early, returning a PARTIAL id set.
+// The kernels cannot change their return type without disturbing every hot
+// call site, so the contract is: callers that pass a ctx must re-check it
+// after the kernel returns and discard the ids on a non-OK status (every
+// engine-level caller does; a null ctx keeps the exact legacy behavior).
 std::vector<PointId> FlatSkylineBnl(const FlatMatrixView& view,
-                                    Statistics* stats = nullptr);
+                                    Statistics* stats = nullptr,
+                                    const QueryContext* ctx = nullptr);
 std::vector<PointId> FlatSkylineSfs(const FlatMatrixView& view,
-                                    Statistics* stats = nullptr);
+                                    Statistics* stats = nullptr,
+                                    const QueryContext* ctx = nullptr);
 
 /// Partition -> local SFS skyline per chunk -> pairwise tournament merge,
 /// with chunks and merges dispatched onto ThreadPool::Shared().
@@ -76,7 +86,9 @@ std::vector<PointId> FlatSkylineSfs(const FlatMatrixView& view,
 /// exercise the merge on small inputs).
 std::vector<PointId> FlatSkylineParallelMerge(const FlatMatrixView& view,
                                               size_t num_threads = 0,
-                                              Statistics* stats = nullptr);
+                                              Statistics* stats = nullptr,
+                                              const QueryContext* ctx =
+                                                  nullptr);
 
 /// The concrete flat path a SkylineAlgorithm resolves to at this input
 /// size. Single source of truth for EclipseCornerSkyline's routing and the
@@ -99,7 +111,8 @@ FlatSkylinePath ChooseFlatSkylinePath(SkylineAlgorithm algorithm, size_t n);
 /// Runs the chosen path over the view.
 std::vector<PointId> FlatSkyline(const FlatMatrixView& view,
                                  FlatSkylinePath path,
-                                 Statistics* stats = nullptr);
+                                 Statistics* stats = nullptr,
+                                 const QueryContext* ctx = nullptr);
 
 }  // namespace eclipse
 

@@ -3,7 +3,17 @@
 #include <algorithm>
 #include <utility>
 
+#include "fault/fault_injection.h"
+
 namespace eclipse {
+
+Status StreamIngestor::ValidateOptions(const StreamIngestorOptions& options) {
+  if (options.batch_size == 0) {
+    return Status::InvalidArgument(
+        "batch_size must be >= 1 (0 would never trigger a flush)");
+  }
+  return Status::OK();
+}
 
 StreamIngestor::StreamIngestor(StreamIngestorOptions options, InsertFn insert,
                                EraseFn erase, QueryBatchFn query_batch)
@@ -22,6 +32,9 @@ Status StreamIngestor::Push(std::span<const double> p) {
 
 Status StreamIngestor::Flush() {
   if (buffer_.empty()) return Status::OK();
+  // Before any mutation: a fired fault leaves the whole batch buffered for
+  // the next flush (nothing applied, nothing dropped).
+  ECLIPSE_FAULT("stream.flush");
   ++stats_.flushes;
   // An oversized batch through an undersized window: only the newest
   // `window` buffered points could survive the flush, so the older ones

@@ -63,11 +63,18 @@ class StreamIngestor {
   StreamIngestor(StreamIngestorOptions options, InsertFn insert, EraseFn erase,
                  QueryBatchFn query_batch = nullptr);
 
+  /// Rejects configurations that would misbehave silently: batch_size = 0
+  /// (Push could never trigger a flush) is an InvalidArgument. window = 0
+  /// is legal (unbounded, no expiry).
+  static Status ValidateOptions(const StreamIngestorOptions& options);
+
   /// Binds the window policy to any engine with Insert/Erase/QueryBatch
   /// (EclipseEngine, ShardedEclipseEngine). The engine must outlive the
-  /// ingestor.
+  /// ingestor. InvalidArgument on options ValidateOptions rejects.
   template <typename Engine>
-  static StreamIngestor For(Engine* engine, StreamIngestorOptions options) {
+  static Result<StreamIngestor> For(Engine* engine,
+                                    StreamIngestorOptions options) {
+    ECLIPSE_RETURN_IF_ERROR(ValidateOptions(options));
     return StreamIngestor(
         options,
         [engine](std::span<const double> p) { return engine->Insert(p); },

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <set>
 
+#include "common/query_context.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/statistics.h"
@@ -37,6 +38,65 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
   EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
   EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_TRUE(Status::Cancelled("x").IsCancelled());
+}
+
+TEST(StatusTest, EveryCodeHasAStableName) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnimplemented), "Unimplemented");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "Cancelled");
+  EXPECT_EQ(Status::DeadlineExceeded("late").ToString(),
+            "DeadlineExceeded: late");
+}
+
+TEST(QueryContextTest, DefaultNeverExpiresOrCancels) {
+  QueryContext ctx;
+  EXPECT_FALSE(ctx.has_deadline());
+  EXPECT_FALSE(ctx.deadline_expired());
+  EXPECT_FALSE(ctx.cancel_requested());
+  EXPECT_TRUE(ctx.Check().ok());
+  EXPECT_TRUE(CheckQueryContext(nullptr).ok());
+  EXPECT_TRUE(CheckQueryContext(&ctx).ok());
+}
+
+TEST(QueryContextTest, PastDeadlineReportsDeadlineExceeded) {
+  QueryContext ctx = QueryContext::WithDeadline(
+      QueryContext::Clock::now() - std::chrono::milliseconds(1));
+  EXPECT_TRUE(ctx.has_deadline());
+  EXPECT_TRUE(ctx.deadline_expired());
+  EXPECT_TRUE(ctx.Check().IsDeadlineExceeded());
+  EXPECT_TRUE(CheckQueryContext(&ctx).IsDeadlineExceeded());
+}
+
+TEST(QueryContextTest, FutureDeadlineStaysOk) {
+  QueryContext ctx = QueryContext::WithTimeout(std::chrono::hours(1));
+  EXPECT_TRUE(ctx.has_deadline());
+  EXPECT_FALSE(ctx.deadline_expired());
+  EXPECT_TRUE(ctx.Check().ok());
+}
+
+TEST(QueryContextTest, CancelPropagatesToCopiesAndWinsOverDeadline) {
+  QueryContext ctx = QueryContext::WithDeadline(
+      QueryContext::Clock::now() - std::chrono::milliseconds(1));
+  QueryContext copy = ctx;
+  EXPECT_TRUE(copy.Check().IsDeadlineExceeded());
+  ctx.RequestCancel();
+  // Cancellation is shared across copies and checked before the deadline.
+  EXPECT_TRUE(copy.cancel_requested());
+  EXPECT_TRUE(copy.Check().IsCancelled());
+  EXPECT_TRUE(ctx.Check().IsCancelled());
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

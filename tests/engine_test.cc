@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <set>
 
 #include "common/random.h"
@@ -338,6 +339,36 @@ TEST(EclipseEngineTest, MakeValidates) {
   bad_domain.index.domain = {RatioRange{0, 10}, RatioRange{0, 10}};
   EXPECT_FALSE(
       EclipseEngine::Make(*PointSet::FromPoints({{1, 2}}), bad_domain).ok());
+}
+
+TEST(EclipseEngineTest, MakeValidatesNumericOptionRanges) {
+  const PointSet ps = *PointSet::FromPoints({{1, 2}, {2, 1}});
+  auto rejects = [&](EngineOptions o) {
+    auto made = EclipseEngine::Make(ps, o);
+    EXPECT_FALSE(made.ok());
+    EXPECT_TRUE(made.status().IsInvalidArgument()) << made.status();
+  };
+  EngineOptions nan_repack;
+  nan_repack.bbs_tombstone_repack_fraction =
+      std::numeric_limits<double>::quiet_NaN();
+  rejects(nan_repack);
+  EngineOptions negative_repack;
+  negative_repack.bbs_tombstone_repack_fraction = -0.1;
+  rejects(negative_repack);
+  EngineOptions huge_repack;
+  huge_repack.bbs_tombstone_repack_fraction = 1.5;
+  rejects(huge_repack);
+  EngineOptions no_cells;
+  no_cells.diagram_max_cells = 0;
+  rejects(no_cells);
+  EngineOptions no_payload;
+  no_payload.diagram_target_payload = 0;
+  rejects(no_payload);
+  // diagram_max_candidates = 0 is a legal configuration (it forces every
+  // diagram query onto the fallback path) -- it must NOT be rejected.
+  EngineOptions zero_candidates;
+  zero_candidates.diagram_max_candidates = 0;
+  EXPECT_TRUE(EclipseEngine::Make(ps, zero_candidates).ok());
 }
 
 TEST(EclipseEngineTest, QueryIsByteIdenticalToDispatchedEngine) {

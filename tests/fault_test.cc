@@ -1,0 +1,581 @@
+// Chaos differential suite for the deadline-aware serving core.
+//
+// The invariant under test is binary: with faults injected anywhere in the
+// serving stack, every response is either id-identical to a no-fault
+// oracle's answer or an explicit error Status -- never a silently wrong or
+// truncated result, and a failed mutation never leaves partial state
+// behind (the next successful operation behaves exactly as if the failed
+// one had never been attempted).
+//
+// The FaultRegistry unit tests always run; the chaos suites need the
+// ECLIPSE_FAULT_INJECTION build (the fault-injection CI job) and skip
+// themselves on production builds, where the site macros compile away.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <iterator>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/query_context.h"
+#include "common/random.h"
+#include "core/eclipse.h"
+#include "dataset/generators.h"
+#include "engine/eclipse_engine.h"
+#include "fault/fault_injection.h"
+#include "shard/sharded_engine.h"
+#include "stream/stream_ingestor.h"
+
+namespace eclipse {
+namespace {
+
+using fault::FaultCounters;
+using fault::FaultRegistry;
+using fault::FaultSpec;
+
+class FaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultRegistry::Global().Reset(); }
+};
+
+#define SKIP_WITHOUT_FAULT_BUILD()                                     \
+  if (!FaultRegistry::kCompiledIn) {                                   \
+    GTEST_SKIP() << "library built without ECLIPSE_FAULT_INJECTION";   \
+  }
+
+// ---------------------------------------------------------------------------
+// FaultRegistry unit tests (run on every build: the registry is always
+// compiled; only the production-code sites are conditional)
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultTest, FireOnUnarmedPointIsOk) {
+  EXPECT_TRUE(FaultRegistry::Global().Fire("nobody.armed.this").ok());
+  EXPECT_FALSE(FaultRegistry::Global().AnyArmed());
+}
+
+TEST_F(FaultTest, ArmFireDisarmLifecycle) {
+  auto& reg = FaultRegistry::Global();
+  FaultSpec spec;
+  spec.code = StatusCode::kUnavailable;
+  spec.message = "injected outage";
+  reg.Arm("p", spec);
+  EXPECT_TRUE(reg.AnyArmed());
+  Status st = reg.Fire("p");
+  EXPECT_TRUE(st.IsUnavailable());
+  EXPECT_NE(st.ToString().find("injected outage"), std::string::npos);
+  FaultCounters c = reg.Counters("p");
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.fires, 1u);
+  EXPECT_EQ(reg.TotalFires(), 1u);
+  EXPECT_EQ(reg.ArmedPoints(), std::vector<std::string>{"p"});
+  reg.Disarm("p");
+  EXPECT_FALSE(reg.AnyArmed());
+  EXPECT_TRUE(reg.Fire("p").ok());
+}
+
+TEST_F(FaultTest, SkipAndMaxFiresTargetOneExactHit) {
+  auto& reg = FaultRegistry::Global();
+  FaultSpec spec;
+  spec.skip = 2;
+  spec.max_fires = 1;
+  reg.Arm("p", spec);
+  EXPECT_TRUE(reg.Fire("p").ok());   // hit 1: skipped
+  EXPECT_TRUE(reg.Fire("p").ok());   // hit 2: skipped
+  EXPECT_FALSE(reg.Fire("p").ok());  // hit 3: fires
+  EXPECT_TRUE(reg.Fire("p").ok());   // hit 4: max_fires spent
+  FaultCounters c = reg.Counters("p");
+  EXPECT_EQ(c.hits, 4u);
+  EXPECT_EQ(c.fires, 1u);
+}
+
+TEST_F(FaultTest, MatchArgOnlyHitsTheTargetedSite) {
+  auto& reg = FaultRegistry::Global();
+  FaultSpec spec;
+  spec.match_arg = 2;
+  reg.Arm("shardish", spec);
+  EXPECT_TRUE(reg.Fire("shardish", 0).ok());
+  EXPECT_TRUE(reg.Fire("shardish", 1).ok());
+  EXPECT_FALSE(reg.Fire("shardish", 2).ok());
+  EXPECT_TRUE(reg.Fire("shardish", 3).ok());
+}
+
+TEST_F(FaultTest, ProbabilityIsDeterministicPerSeed) {
+  auto& reg = FaultRegistry::Global();
+  auto pattern = [&](uint64_t seed) {
+    reg.Reset(seed);
+    FaultSpec spec;
+    spec.probability = 0.5;
+    reg.Arm("p", spec);
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) fired.push_back(!reg.Fire("p").ok());
+    return fired;
+  };
+  const std::vector<bool> a = pattern(42);
+  const std::vector<bool> b = pattern(42);
+  const std::vector<bool> c = pattern(43);
+  EXPECT_EQ(a, b) << "same seed must replay the same chaos schedule";
+  EXPECT_NE(a, c) << "different seeds must differ";
+  const size_t fires = static_cast<size_t>(std::count(a.begin(), a.end(), true));
+  EXPECT_GT(fires, 50u);
+  EXPECT_LT(fires, 150u);
+}
+
+TEST_F(FaultTest, DelayOnlyFaultStallsButSucceeds) {
+  auto& reg = FaultRegistry::Global();
+  FaultSpec spec;
+  spec.code = StatusCode::kOk;  // delay-only: a slow shard, not a dead one
+  spec.delay = std::chrono::milliseconds(50);
+  reg.Arm("p", spec);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(reg.Fire("p").ok());
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(40));
+}
+
+// ---------------------------------------------------------------------------
+// Engine chaos differential
+// ---------------------------------------------------------------------------
+
+std::vector<RatioBox> ProbeBoxes(size_t num_ratios) {
+  std::vector<RatioBox> boxes;
+  boxes.push_back(*RatioBox::Uniform(num_ratios, 0.5, 2.0));
+  boxes.push_back(*RatioBox::Uniform(num_ratios, 0.2, 0.9));
+  boxes.push_back(*RatioBox::Uniform(num_ratios, 1.1, 4.0));
+  return boxes;
+}
+
+// Random mutations and queries against a faulted engine, mirrored onto a
+// fault-free oracle only when the faulted engine reports success. Any
+// divergence -- a wrong id list, a mismatched minted id, state left behind
+// by a failed mutation -- fails the suite.
+TEST_F(FaultTest, EngineChaosMatchesOracleOrFailsExplicitly) {
+  SKIP_WITHOUT_FAULT_BUILD();
+  Rng rng(20260808);
+  const size_t d = 3;
+  PointSet ps = GenerateSynthetic(Distribution::kAnticorrelated, 80, d, &rng);
+  auto sut = *EclipseEngine::Make(ps, {});
+  auto oracle = *EclipseEngine::Make(ps, {});
+  const std::vector<RatioBox> boxes = ProbeBoxes(d - 1);
+  const char* kPoints[] = {"snapshot.insert",      "snapshot.erase",
+                           "engine.apply_insert",  "engine.apply_erase",
+                           "engine.query",         "engine.index_build",
+                           "engine.tree_build",    "engine.diagram_build"};
+  auto& reg = FaultRegistry::Global();
+  PointId next_id = static_cast<PointId>(ps.size());
+  size_t injected_failures = 0;
+
+  for (int op = 0; op < 300; ++op) {
+    reg.Reset(static_cast<uint64_t>(op));
+    if (rng.NextIndex(3) != 0) {
+      FaultSpec spec;  // always-fire Internal
+      reg.Arm(kPoints[rng.NextIndex(std::size(kPoints))], spec);
+    }
+    const uint64_t kind = rng.NextIndex(4);
+    if (kind == 0) {  // insert
+      std::vector<double> p(d);
+      for (double& x : p) x = rng.Uniform(0.1, 10.0);
+      auto got = sut.Insert(p);
+      reg.Reset();
+      if (got.ok()) {
+        auto want = oracle.Insert(p);
+        ASSERT_TRUE(want.ok()) << want.status();
+        // A failed earlier insert must not have burned an id.
+        EXPECT_EQ(*got, *want);
+        EXPECT_EQ(*got, next_id);
+        ++next_id;
+      } else {
+        EXPECT_TRUE(got.status().IsInternal()) << got.status();
+        ++injected_failures;
+      }
+    } else if (kind == 1) {  // erase (sometimes of a dead/bogus id)
+      const PointId id = static_cast<PointId>(rng.NextIndex(next_id + 3));
+      Status got = sut.Erase(id);
+      reg.Reset();
+      if (got.ok()) {
+        EXPECT_TRUE(oracle.Erase(id).ok());
+      } else if (got.IsNotFound()) {
+        EXPECT_TRUE(oracle.Erase(id).IsNotFound());
+      } else {
+        EXPECT_TRUE(got.IsInternal()) << got;
+        ++injected_failures;
+      }
+    } else {  // query
+      const RatioBox& box = boxes[rng.NextIndex(boxes.size())];
+      auto got = sut.Query(box);
+      reg.Reset();
+      auto want = oracle.Query(box);
+      ASSERT_TRUE(want.ok()) << want.status();
+      if (got.ok()) {
+        EXPECT_EQ(*got, *want) << "silent corruption on box " << box.ToString();
+      } else {
+        EXPECT_TRUE(got.status().IsInternal()) << got.status();
+        ++injected_failures;
+      }
+    }
+    // Periodic full-state differential: a failed mutation must have left
+    // the engine exactly where the oracle is.
+    if (op % 25 == 24) {
+      for (const RatioBox& box : boxes) {
+        ASSERT_EQ(*sut.Query(box), *oracle.Query(box)) << "after op " << op;
+      }
+      ASSERT_EQ(sut.snapshot()->size(), oracle.snapshot()->size());
+    }
+  }
+  EXPECT_GT(injected_failures, 20u) << "chaos schedule never actually fired";
+}
+
+// Build-failure faults must degrade the serving tier, not the answer:
+// queries still return the exact result with the fallback attributed in
+// plan.degraded_reason.
+TEST_F(FaultTest, BuildFaultsDegradeTierButKeepAnswersExact) {
+  SKIP_WITHOUT_FAULT_BUILD();
+  Rng rng(1301);
+  PointSet ps = GenerateSynthetic(Distribution::kAnticorrelated, 1200, 3, &rng);
+  EngineOptions options;
+  options.index_query_threshold = 1;  // first eligible query wants the index
+  auto sut = *EclipseEngine::Make(ps, options);
+  auto oracle = *EclipseEngine::Make(ps, options);
+  auto box = *RatioBox::Uniform(2, 0.36, 2.75);
+
+  auto& reg = FaultRegistry::Global();
+  FaultSpec spec;
+  spec.code = StatusCode::kResourceExhausted;
+  reg.Arm("engine.index_build", spec);
+  reg.Arm("engine.tree_build", spec);
+  reg.Arm("engine.diagram_build", spec);
+
+  EngineQueryStats stats;
+  auto got = sut.Query(box, &stats);
+  reg.Reset();
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(*got, *oracle.Query(box));
+  if (stats.plan.will_build_index || stats.plan.uses_index) {
+    EXPECT_NE(stats.plan.degraded_reason.find("index build failed"),
+              std::string::npos)
+        << stats.plan.degraded_reason;
+    EXPECT_EQ(stats.plan.answered_by, "one-shot");
+  }
+  // An undegraded repeat (fault gone, failure latched) still serves exactly.
+  EXPECT_EQ(*sut.Query(box), *oracle.Query(box));
+}
+
+// ---------------------------------------------------------------------------
+// Sharded chaos differential
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultTest, ShardedChaosMatchesOracleOrFailsExplicitly) {
+  SKIP_WITHOUT_FAULT_BUILD();
+  Rng rng(20260809);
+  const size_t d = 3;
+  PointSet ps = GenerateSynthetic(Distribution::kIndependent, 90, d, &rng);
+  ShardedEngineOptions sharded_options;
+  sharded_options.num_shards = 3;
+  auto sut = *ShardedEclipseEngine::Make(ps, sharded_options);
+  auto oracle = *EclipseEngine::Make(ps, {});
+  const std::vector<RatioBox> boxes = ProbeBoxes(d - 1);
+  const char* kPoints[] = {"shard.scatter",         "shard.translate",
+                           "shard.merge",           "sharded.apply_insert",
+                           "sharded.apply_erase",   "snapshot.insert",
+                           "engine.apply_insert"};
+  auto& reg = FaultRegistry::Global();
+  PointId next_id = static_cast<PointId>(ps.size());
+  size_t injected_failures = 0;
+
+  for (int op = 0; op < 200; ++op) {
+    reg.Reset(static_cast<uint64_t>(op));
+    if (rng.NextIndex(3) != 0) {
+      FaultSpec spec;
+      spec.match_arg =
+          rng.NextIndex(2) == 0 ? -1 : static_cast<int64_t>(rng.NextIndex(3));
+      reg.Arm(kPoints[rng.NextIndex(std::size(kPoints))], spec);
+    }
+    const uint64_t kind = rng.NextIndex(4);
+    if (kind == 0) {
+      std::vector<double> p(d);
+      for (double& x : p) x = rng.Uniform(0.1, 10.0);
+      auto got = sut.Insert(p);
+      reg.Reset();
+      if (got.ok()) {
+        auto want = oracle.Insert(p);
+        ASSERT_TRUE(want.ok());
+        EXPECT_EQ(*got, *want);
+        EXPECT_EQ(*got, next_id);
+        ++next_id;
+      } else {
+        EXPECT_TRUE(got.status().IsInternal()) << got.status();
+        ++injected_failures;
+      }
+    } else if (kind == 1) {
+      const PointId id = static_cast<PointId>(rng.NextIndex(next_id + 3));
+      Status got = sut.Erase(id);
+      reg.Reset();
+      if (got.ok()) {
+        EXPECT_TRUE(oracle.Erase(id).ok());
+      } else if (got.IsNotFound()) {
+        EXPECT_TRUE(oracle.Erase(id).IsNotFound());
+      } else {
+        EXPECT_TRUE(got.IsInternal()) << got;
+        ++injected_failures;
+      }
+    } else {
+      const RatioBox& box = boxes[rng.NextIndex(boxes.size())];
+      auto got = sut.Query(box);
+      reg.Reset();
+      auto want = oracle.Query(box);
+      ASSERT_TRUE(want.ok());
+      if (got.ok()) {
+        EXPECT_EQ(*got, *want) << "silent corruption on box " << box.ToString();
+      } else {
+        EXPECT_TRUE(got.status().IsInternal()) << got.status();
+        ++injected_failures;
+      }
+    }
+    if (op % 25 == 24) {
+      for (const RatioBox& box : boxes) {
+        ASSERT_EQ(*sut.Query(box), *oracle.Query(box)) << "after op " << op;
+      }
+      ASSERT_EQ(sut.size(), oracle.snapshot()->size());
+    }
+  }
+  EXPECT_GT(injected_failures, 10u) << "chaos schedule never actually fired";
+}
+
+// ---------------------------------------------------------------------------
+// Graceful degradation: partial results and the admission gate
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultTest, PartialResultsAttributeTheDegradedShard) {
+  SKIP_WITHOUT_FAULT_BUILD();
+  Rng rng(1401);
+  PointSet ps = GenerateSynthetic(Distribution::kAnticorrelated, 120, 3, &rng);
+  ShardedEngineOptions options;
+  options.num_shards = 3;
+  options.allow_partial_results = true;
+  options.result_cache_capacity = 8;
+  auto engine = *ShardedEclipseEngine::Make(ps, options);
+  auto full_engine = *EclipseEngine::Make(ps, {});
+  auto box = *RatioBox::Uniform(2, 0.5, 2.0);
+  const std::vector<PointId> full = *full_engine.Query(box);
+
+  auto& reg = FaultRegistry::Global();
+  FaultSpec spec;
+  spec.code = StatusCode::kDeadlineExceeded;  // excusable: shard degraded
+  spec.match_arg = 1;
+  reg.Arm("shard.scatter", spec);
+
+  ShardedQueryStats stats;
+  auto got = engine.Query(box, &stats);
+  reg.Reset();
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_TRUE(stats.plan.partial);
+  EXPECT_EQ(stats.plan.shards_degraded, std::vector<size_t>{1});
+  EXPECT_NE(stats.plan.degraded_reason.find("shard 1"), std::string::npos)
+      << stats.plan.degraded_reason;
+  // The partial answer is not a subset of the full one (losing a shard
+  // loses dominators too); the exact contract is that it equals the
+  // eclipse over the responding shards' points.
+  const std::vector<uint32_t>& assign = engine.partitioner().initial_assignment();
+  std::vector<Point> kept_rows;
+  std::vector<PointId> kept_ids;
+  for (PointId i = 0; i < ps.size(); ++i) {
+    if (assign[i] == 1) continue;
+    Point row(ps.dims());
+    for (size_t j = 0; j < ps.dims(); ++j) row[j] = ps.at(i, j);
+    kept_rows.push_back(std::move(row));
+    kept_ids.push_back(i);
+  }
+  PointSet responding = *PointSet::FromPoints(kept_rows);
+  const std::vector<PointId> responding_eclipse =
+      *EclipseCornerSkyline(responding, box);
+  std::vector<PointId> want;
+  for (PointId local : responding_eclipse) {
+    want.push_back(kept_ids[local]);
+  }
+  EXPECT_EQ(*got, want);
+  // The partial answer was never cached: the repeat (fault disarmed) is
+  // complete and exact.
+  ShardedQueryStats repeat_stats;
+  auto repeat = engine.Query(box, &repeat_stats);
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_FALSE(repeat_stats.plan.partial);
+  EXPECT_EQ(*repeat, full);
+}
+
+TEST_F(FaultTest, NonExcusableShardErrorFailsEvenWithPartialMode) {
+  SKIP_WITHOUT_FAULT_BUILD();
+  Rng rng(1402);
+  PointSet ps = GenerateSynthetic(Distribution::kIndependent, 60, 3, &rng);
+  ShardedEngineOptions options;
+  options.num_shards = 3;
+  options.allow_partial_results = true;
+  auto engine = *ShardedEclipseEngine::Make(ps, options);
+  auto& reg = FaultRegistry::Global();
+  FaultSpec spec;  // kInternal: a bug, not an overload symptom
+  spec.match_arg = 0;
+  reg.Arm("shard.scatter", spec);
+  auto got = engine.Query(*RatioBox::Uniform(2, 0.5, 2.0));
+  EXPECT_FALSE(got.ok());
+  EXPECT_TRUE(got.status().IsInternal()) << got.status();
+}
+
+TEST_F(FaultTest, PartialModeOffFailsOnExcusableErrorsToo) {
+  SKIP_WITHOUT_FAULT_BUILD();
+  Rng rng(1403);
+  PointSet ps = GenerateSynthetic(Distribution::kIndependent, 60, 3, &rng);
+  ShardedEngineOptions options;
+  options.num_shards = 3;  // allow_partial_results stays false
+  auto engine = *ShardedEclipseEngine::Make(ps, options);
+  auto& reg = FaultRegistry::Global();
+  FaultSpec spec;
+  spec.code = StatusCode::kDeadlineExceeded;
+  spec.match_arg = 1;
+  reg.Arm("shard.scatter", spec);
+  auto got = engine.Query(*RatioBox::Uniform(2, 0.5, 2.0));
+  EXPECT_FALSE(got.ok());
+  EXPECT_TRUE(got.status().IsDeadlineExceeded()) << got.status();
+}
+
+TEST_F(FaultTest, AdmissionGateShedsWhileAQueryIsStalledInFlight) {
+  SKIP_WITHOUT_FAULT_BUILD();
+  Rng rng(1404);
+  PointSet ps = GenerateSynthetic(Distribution::kIndependent, 80, 3, &rng);
+  ShardedEngineOptions options;
+  options.num_shards = 2;
+  options.max_in_flight_queries = 1;
+  options.result_cache_capacity = 0;  // a cache hit would dodge the stall
+  auto engine = *ShardedEclipseEngine::Make(ps, options);
+  auto box = *RatioBox::Uniform(2, 0.5, 2.0);
+
+  auto& reg = FaultRegistry::Global();
+  FaultSpec stall;  // delay-only: the query succeeds, slowly
+  stall.code = StatusCode::kOk;
+  stall.delay = std::chrono::milliseconds(300);
+  stall.max_fires = 2;  // both shards of the first query
+  reg.Arm("shard.scatter", stall);
+
+  std::thread slow([&] {
+    auto got = engine.Query(box);
+    EXPECT_TRUE(got.ok()) << got.status();
+  });
+  // Wait until the slow query holds the only in-flight slot.
+  while (engine.admission().in_flight == 0) std::this_thread::yield();
+  auto shed = engine.Query(box);
+  EXPECT_FALSE(shed.ok());
+  EXPECT_TRUE(shed.status().IsUnavailable()) << shed.status();
+  slow.join();
+
+  const AdmissionStats admission = engine.admission();
+  EXPECT_EQ(admission.admitted, 1u);
+  EXPECT_EQ(admission.shed, 1u);
+  EXPECT_EQ(admission.in_flight, 0u);
+  EXPECT_EQ(admission.peak_in_flight, 1u);
+  // Recovery: with the stall drained the gate admits again.
+  EXPECT_TRUE(engine.Query(box).ok());
+}
+
+TEST_F(FaultTest, DeadlineAbandonsAStalledShardAndReturnsPartial) {
+  SKIP_WITHOUT_FAULT_BUILD();
+  Rng rng(1405);
+  PointSet ps = GenerateSynthetic(Distribution::kAnticorrelated, 150, 3, &rng);
+  ShardedEngineOptions options;
+  options.num_shards = 3;
+  options.allow_partial_results = true;
+  options.result_cache_capacity = 0;
+  auto engine = *ShardedEclipseEngine::Make(ps, options);
+  auto box = *RatioBox::Uniform(2, 0.5, 2.0);
+
+  auto& reg = FaultRegistry::Global();
+  FaultSpec stall;
+  stall.code = StatusCode::kOk;  // slow shard, not a failed one
+  stall.delay = std::chrono::milliseconds(2000);
+  // Stall the LAST scatter task: on a single-worker pool the earlier
+  // shards' tasks drain first, so exactly one shard misses the deadline on
+  // any machine.
+  stall.match_arg = 2;
+  reg.Arm("shard.scatter", stall);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  QueryContext ctx = QueryContext::WithTimeout(std::chrono::milliseconds(100));
+  ShardedQueryStats stats;
+  auto got = engine.Query(box, &ctx, &stats);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_TRUE(stats.plan.partial);
+  EXPECT_EQ(stats.plan.shards_degraded, std::vector<size_t>{2});
+  // The caller came back at the deadline, not after the 2 s stall.
+  EXPECT_LT(elapsed, std::chrono::milliseconds(1500));
+  // Engine destruction below must wait out the straggler safely (the State
+  // destructor joins outstanding scatter tasks) -- covered by ASan runs.
+}
+
+TEST_F(FaultTest, ExpiredDeadlineAndCancellationFailFast) {
+  // Pure QueryContext behavior: no compiled-in faults required.
+  Rng rng(1406);
+  PointSet ps = GenerateSynthetic(Distribution::kIndependent, 50, 3, &rng);
+  auto engine = *EclipseEngine::Make(ps, {});
+  auto box = *RatioBox::Uniform(2, 0.5, 2.0);
+
+  QueryContext expired =
+      QueryContext::WithDeadline(QueryContext::Clock::now() -
+                                 std::chrono::milliseconds(1));
+  auto got = engine.Query(box, &expired);
+  EXPECT_FALSE(got.ok());
+  EXPECT_TRUE(got.status().IsDeadlineExceeded()) << got.status();
+
+  QueryContext cancelled;
+  cancelled.RequestCancel();
+  got = engine.Query(box, &cancelled);
+  EXPECT_FALSE(got.ok());
+  EXPECT_TRUE(got.status().IsCancelled()) << got.status();
+
+  // A context without limits behaves exactly like no context.
+  QueryContext unlimited;
+  EXPECT_EQ(*engine.Query(box, &unlimited), *engine.Query(box));
+}
+
+// ---------------------------------------------------------------------------
+// Stream flush fault atomicity
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultTest, FailedFlushKeepsTheBatchBuffered) {
+  SKIP_WITHOUT_FAULT_BUILD();
+  PointSet ps = *PointSet::FromPoints({{5.0, 5.0}});
+  auto sut_engine = *EclipseEngine::Make(ps, {});
+  auto oracle_engine = *EclipseEngine::Make(ps, {});
+  StreamIngestorOptions options;
+  options.batch_size = 2;
+  StreamIngestor sut = *StreamIngestor::For(&sut_engine, options);
+  StreamIngestor oracle = *StreamIngestor::For(&oracle_engine, options);
+
+  auto& reg = FaultRegistry::Global();
+  FaultSpec spec;
+  spec.code = StatusCode::kUnavailable;
+  reg.Arm("stream.flush", spec);
+
+  const double a[] = {1.0, 2.0};
+  const double b[] = {2.0, 1.0};
+  ASSERT_TRUE(sut.Push(a).ok());          // buffered, below batch_size
+  Status flush = sut.Push(b);             // batch full -> flush -> fault
+  EXPECT_TRUE(flush.IsUnavailable()) << flush;
+  EXPECT_EQ(sut.pending(), 2u) << "failed flush must keep the batch";
+  EXPECT_EQ(sut.live(), 0u);
+  EXPECT_EQ(sut_engine.snapshot()->size(), 1u) << "nothing was applied";
+
+  // Disarm and retry: the buffered batch applies and the stream converges
+  // to the oracle exactly.
+  reg.Reset();
+  ASSERT_TRUE(sut.Flush().ok());
+  ASSERT_TRUE(oracle.Push(a).ok());
+  ASSERT_TRUE(oracle.Push(b).ok());
+  EXPECT_EQ(sut.live(), oracle.live());
+  EXPECT_EQ(sut.window(), oracle.window());
+  auto box = *RatioBox::Uniform(1, 0.5, 2.0);
+  EXPECT_EQ(*sut_engine.Query(box), *oracle_engine.Query(box));
+}
+
+}  // namespace
+}  // namespace eclipse

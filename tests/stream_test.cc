@@ -287,13 +287,30 @@ TEST(StreamEngineTest, InexactForcedEngineRefusesContinuous) {
 
 // ---------------------------------------------------------- StreamIngestor
 
+TEST(StreamIngestorTest, ForRejectsZeroBatchSize) {
+  // batch_size = 0 would buffer forever without ever flushing; For() must
+  // reject it up front instead of shipping a silently dead ingestor.
+  PointSet ps = *PointSet::FromPoints({{5.0, 5.0}});
+  auto engine = *EclipseEngine::Make(ps, {});
+  StreamIngestorOptions zero_batch;
+  zero_batch.batch_size = 0;
+  auto made = StreamIngestor::For(&engine, zero_batch);
+  EXPECT_FALSE(made.ok());
+  EXPECT_TRUE(made.status().IsInvalidArgument()) << made.status();
+  // window = 0 stays legal: it means unbounded (no expiry).
+  StreamIngestorOptions unbounded;
+  unbounded.window = 0;
+  unbounded.batch_size = 4;
+  EXPECT_TRUE(StreamIngestor::For(&engine, unbounded).ok());
+}
+
 TEST(StreamIngestorTest, WindowExpiryKeepsCountBound) {
   PointSet ps = *PointSet::FromPoints({{5.0, 5.0}});
   auto engine = *EclipseEngine::Make(ps, {});
   StreamIngestorOptions options;
   options.window = 3;
   options.batch_size = 2;
-  StreamIngestor ingestor = StreamIngestor::For(&engine, options);
+  StreamIngestor ingestor = *StreamIngestor::For(&engine, options);
 
   const double p[] = {1.0, 1.0};
   ASSERT_TRUE(ingestor.Push(p).ok());
@@ -320,7 +337,7 @@ TEST(StreamIngestorTest, FlushAndQueryRunsBatchedAdmission) {
   auto engine = *EclipseEngine::Make(ps, {});
   StreamIngestorOptions options;
   options.batch_size = 100;  // manual flush only
-  StreamIngestor ingestor = StreamIngestor::For(&engine, options);
+  StreamIngestor ingestor = *StreamIngestor::For(&engine, options);
   const double p[] = {0.001, 0.001};
   ASSERT_TRUE(ingestor.Push(p).ok());
 
@@ -341,7 +358,7 @@ TEST(StreamIngestorTest, OversizedBatchAdmitsOnlyTheNewestWindow) {
   StreamIngestorOptions options;
   options.window = 3;
   options.batch_size = 10;
-  StreamIngestor ingestor = StreamIngestor::For(&engine, options);
+  StreamIngestor ingestor = *StreamIngestor::For(&engine, options);
   for (int i = 0; i < 10; ++i) {
     const double p[] = {0.1 * i, 0.1 * i};
     ASSERT_TRUE(ingestor.Push(p).ok());
@@ -362,7 +379,7 @@ TEST(StreamIngestorTest, FailingInsertIsDroppedAndDoesNotDrainTheWindow) {
   StreamIngestorOptions options;
   options.window = 4;
   options.batch_size = 10;
-  StreamIngestor ingestor = StreamIngestor::For(&engine, options);
+  StreamIngestor ingestor = *StreamIngestor::For(&engine, options);
   const double good[] = {1.0, 1.0};
   const double poison[] = {1.0, 2.0, 3.0};  // wrong dimensionality
   for (int i = 0; i < 4; ++i) ASSERT_TRUE(ingestor.Push(good).ok());
@@ -388,7 +405,7 @@ TEST(StreamIngestorTest, ExternallyErasedWindowIdDoesNotWedgeOrDuplicate) {
   StreamIngestorOptions options;
   options.window = 3;
   options.batch_size = 10;
-  StreamIngestor ingestor = StreamIngestor::For(&engine, options);
+  StreamIngestor ingestor = *StreamIngestor::For(&engine, options);
   const double p[] = {1.0, 1.0};
   for (int i = 0; i < 3; ++i) ASSERT_TRUE(ingestor.Push(p).ok());
   ASSERT_TRUE(ingestor.Flush().ok());
@@ -414,7 +431,7 @@ TEST(StreamIngestorTest, WorksAgainstShardedEngine) {
   auto engine = *ShardedEclipseEngine::Make(ps, options);
   StreamIngestorOptions ingest;
   ingest.window = 5;
-  StreamIngestor ingestor = StreamIngestor::For(&engine, ingest);
+  StreamIngestor ingestor = *StreamIngestor::For(&engine, ingest);
   Rng prng(97);
   for (int i = 0; i < 12; ++i) {
     const Point p = {prng.NextDouble(), prng.NextDouble()};
@@ -619,7 +636,7 @@ TEST(StreamDifferentialTest, IngestorWindowMatchesScratch) {
   StreamIngestorOptions iopts;
   iopts.window = 25;
   iopts.batch_size = 5;
-  StreamIngestor ingestor = StreamIngestor::For(&engine, iopts);
+  StreamIngestor ingestor = *StreamIngestor::For(&engine, iopts);
   const std::vector<RatioBox> boxes = FuzzBoxes(d);
   for (size_t i = 0; i < stream.size(); ++i) {
     const size_t live_before = ingestor.live();
@@ -671,7 +688,7 @@ TEST(StreamConcurrencyTest, SubscribeMutateQueryRace) {
     StreamIngestorOptions iopts;
     iopts.window = 40;
     iopts.batch_size = 4;
-    StreamIngestor ingestor = StreamIngestor::For(&engine, iopts);
+    StreamIngestor ingestor = *StreamIngestor::For(&engine, iopts);
     for (size_t i = 0; i < stream.size(); ++i) {
       ASSERT_TRUE(ingestor.Push(stream[i]).ok());
     }

@@ -6,8 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <mutex>
 #include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -144,6 +147,110 @@ TEST(ThreadPoolTest, NestedCallsAcrossDistinctPoolsStillFanOut) {
   });
   EXPECT_EQ(wrongly_in_inner_region.load(), 0u);
   EXPECT_EQ(sum.load(), 4u * 5050u);
+}
+
+TEST(ThreadPoolTest, SubmitRunsEveryTaskExactlyOnce) {
+  // Fire-and-forget tasks must never be dropped silently, even when far
+  // more are queued than there are workers.
+  ThreadPool pool(2);
+  constexpr size_t kTasks = 500;
+  std::vector<std::atomic<int>> hits(kTasks);
+  for (auto& h : hits) h.store(0);
+  std::atomic<size_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  for (size_t i = 0; i < kTasks; ++i) {
+    pool.Submit([&, i] {
+      hits[i].fetch_add(1);
+      if (done.fetch_add(1) + 1 == kTasks) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                          [&] { return done.load() == kTasks; }));
+  for (size_t i = 0; i < kTasks; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitFromSubmittedTaskCompletes) {
+  // Re-entrancy: a worker task may enqueue follow-up work on its own pool
+  // without deadlocking or losing the follow-up.
+  ThreadPool pool(2);
+  std::atomic<size_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  constexpr size_t kRoots = 16;
+  constexpr size_t kTotal = kRoots * 2;
+  for (size_t i = 0; i < kRoots; ++i) {
+    pool.Submit([&] {
+      pool.Submit([&] {
+        if (done.fetch_add(1) + 1 == kTotal) {
+          std::lock_guard<std::mutex> lock(mu);
+          cv.notify_all();
+        }
+      });
+      if (done.fetch_add(1) + 1 == kTotal) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                          [&] { return done.load() == kTotal; }));
+}
+
+TEST(ThreadPoolTest, ParallelForCompletesWhileWorkersAreSaturated) {
+  // Saturation: with every worker parked on a long-running Submit task, a
+  // concurrent ParallelFor must still finish -- the calling thread
+  // participates, so at worst it runs the whole range itself.
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<size_t> parked{0};
+  for (size_t i = 0; i < pool.size(); ++i) {
+    pool.Submit([&] {
+      parked.fetch_add(1);
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return release; });
+    });
+  }
+  while (parked.load() < pool.size()) std::this_thread::yield();
+
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(1, 1001, 10, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), 500500u);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+}
+
+TEST(ThreadPoolTest, FailingChunksSurfaceFirstErrorWithoutStalling) {
+  // The library's error convention for parallel regions: chunk functions
+  // collect a Status into a mutex-guarded slot instead of throwing. A
+  // "failing" chunk must not stall or skip the remaining chunks, and the
+  // collected error must survive.
+  ThreadPool& pool = ThreadPool::Shared();
+  std::mutex mu;
+  std::string first_error;
+  std::atomic<size_t> chunks_run{0};
+  pool.ParallelFor(0, 64, 1, [&](size_t begin, size_t) {
+    chunks_run.fetch_add(1);
+    if (begin == 13) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (first_error.empty()) first_error = "injected chunk failure";
+    }
+  });
+  EXPECT_EQ(chunks_run.load(), 64u);
+  EXPECT_EQ(first_error, "injected chunk failure");
 }
 
 TEST(ThreadPoolTest, PooledAlgorithmsMatchSerialResults) {

@@ -36,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "benchlib/latency.h"
 #include "benchlib/table.h"
 #include "benchlib/workloads.h"
 #include "common/query_context.h"
@@ -47,6 +48,8 @@
 namespace {
 
 using eclipse::BenchDataset;
+using eclipse::LatencySummary;
+using eclipse::MetricsRegistry;
 using eclipse::PointSet;
 using eclipse::QueryContext;
 using eclipse::RatioBox;
@@ -62,12 +65,20 @@ using eclipse::fault::FaultSpec;
 
 constexpr size_t kShards = 3;
 
-double Percentile(std::vector<double>* sorted_us, double p) {
-  if (sorted_us->empty()) return 0.0;
-  const size_t idx = std::min(
-      sorted_us->size() - 1,
-      static_cast<size_t>(p * static_cast<double>(sorted_us->size() - 1)));
-  return (*sorted_us)[idx];
+/// Each phase builds a fresh engine, so its registry totals ARE the phase
+/// totals: percentiles come straight from the sharded.query.latency_us
+/// histogram (the same instrument --metrics-dump exposes), and the phase
+/// counters are cross-checked against the registry below.
+LatencySummary PhaseLatency(const ShardedEclipseEngine& engine) {
+  return eclipse::SummarizeHistogram(*engine.metrics(),
+                                     "sharded.query.latency_us");
+}
+
+uint64_t RegistryCounter(const ShardedEclipseEngine& engine,
+                         const char* name) {
+  const auto snap = engine.metrics()->Snapshot();
+  auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
 }
 
 std::vector<RatioBox> MakeQueries(size_t d, size_t count, uint64_t seed) {
@@ -93,6 +104,7 @@ struct PhaseResult {
   size_t partial = 0;
   size_t errors = 0;  // explicit error statuses (never silent)
   double p50_us = 0.0;
+  double p95_us = 0.0;
   double p99_us = 0.0;
   uint64_t admitted = 0;
   uint64_t shed = 0;
@@ -113,11 +125,8 @@ PhaseResult RunStream(const char* name, const PointSet& data,
     std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
     return r;
   }
-  std::vector<double> lat;
-  lat.reserve(queries.size());
   for (const RatioBox& box : queries) {
     ShardedQueryStats stats;
-    Stopwatch sw;
     eclipse::Result<std::vector<eclipse::PointId>> got =
         [&]() -> eclipse::Result<std::vector<eclipse::PointId>> {
       if (deadline_ms <= 0) return engine->Query(box, &stats);
@@ -125,7 +134,6 @@ PhaseResult RunStream(const char* name, const PointSet& data,
           std::chrono::microseconds(static_cast<int64_t>(deadline_ms * 1e3)));
       return engine->Query(box, &ctx, &stats);
     }();
-    lat.push_back(sw.ElapsedMicros());
     ++r.queries;
     if (got.ok()) {
       ++r.ok;
@@ -140,9 +148,19 @@ PhaseResult RunStream(const char* name, const PointSet& data,
       ++r.errors;
     }
   }
-  std::sort(lat.begin(), lat.end());
-  r.p50_us = Percentile(&lat, 0.50);
-  r.p99_us = Percentile(&lat, 0.99);
+  const LatencySummary lat = PhaseLatency(*engine);
+  r.p50_us = lat.p50_us;
+  r.p95_us = lat.p95_us;
+  r.p99_us = lat.p99_us;
+  // The registry watched the same stream: its partial / error totals must
+  // agree with what the caller counted, query by query.
+  if (RegistryCounter(*engine, "sharded.query.partial") != r.partial ||
+      RegistryCounter(*engine, "sharded.query.errors") != r.errors ||
+      lat.count != r.queries) {
+    std::fprintf(stderr, "INVARIANT: registry totals diverge from the "
+                 "caller's counts (%s)\n", r.name.c_str());
+    std::exit(1);
+  }
   return r;
 }
 
@@ -162,17 +180,14 @@ PhaseResult RunBurst(const PointSet& data, const std::vector<RatioBox>& queries,
     std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
     return r;
   }
-  std::vector<std::vector<double>> lat(clients);
   std::atomic<size_t> ok{0}, shed{0}, other{0};
   std::vector<std::thread> threads;
   threads.reserve(clients);
   for (size_t c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
       for (size_t q = c; q < queries.size(); q += clients) {
-        Stopwatch sw;
         auto got = engine->Query(queries[q]);
         if (got.ok()) {
-          lat[c].push_back(sw.ElapsedMicros());
           ok.fetch_add(1);
         } else if (got.status().IsUnavailable()) {
           shed.fetch_add(1);  // explicit load shedding, not a failure
@@ -183,19 +198,27 @@ PhaseResult RunBurst(const PointSet& data, const std::vector<RatioBox>& queries,
     });
   }
   for (auto& t : threads) t.join();
-  std::vector<double> all;
-  for (const auto& l : lat) all.insert(all.end(), l.begin(), l.end());
-  std::sort(all.begin(), all.end());
+  const LatencySummary lat_summary = PhaseLatency(*engine);
   r.queries = queries.size();
   r.ok = ok.load();
   r.errors = other.load();
-  r.p50_us = Percentile(&all, 0.50);
-  r.p99_us = Percentile(&all, 0.99);
+  r.p50_us = lat_summary.p50_us;
+  r.p95_us = lat_summary.p95_us;
+  r.p99_us = lat_summary.p99_us;
   r.admitted = engine->admission().admitted;
   r.shed = engine->admission().shed;
   if (r.shed != shed.load()) {
     std::fprintf(stderr, "INVARIANT: shed counter %llu != observed %zu\n",
                  static_cast<unsigned long long>(r.shed), shed.load());
+    std::exit(1);
+  }
+  // The acceptance contract: the registry's admission counters tick at the
+  // exact same code points as AdmissionStats, so a chaos run's totals match
+  // EXACTLY -- no sampling, no drift.
+  if (RegistryCounter(*engine, "sharded.admission.shed") != r.shed ||
+      RegistryCounter(*engine, "sharded.admission.admitted") != r.admitted) {
+    std::fprintf(stderr, "INVARIANT: registry admission counters != "
+                 "AdmissionStats\n");
     std::exit(1);
   }
   return r;
@@ -231,9 +254,10 @@ int WriteJson(const std::vector<PhaseResult>& phases, size_t n, size_t d,
     std::fprintf(json,
                  "    {\"phase\": \"%s\", \"queries\": %zu, \"ok\": %zu, "
                  "\"partial\": %zu, \"errors\": %zu, \"p50_us\": %.1f, "
-                 "\"p99_us\": %.1f, \"admitted\": %llu, \"shed\": %llu}%s\n",
+                 "\"p95_us\": %.1f, \"p99_us\": %.1f, "
+                 "\"admitted\": %llu, \"shed\": %llu}%s\n",
                  r.name.c_str(), r.queries, r.ok, r.partial, r.errors,
-                 r.p50_us, r.p99_us,
+                 r.p50_us, r.p95_us, r.p99_us,
                  static_cast<unsigned long long>(r.admitted),
                  static_cast<unsigned long long>(r.shed),
                  i + 1 < phases.size() ? "," : "");
@@ -291,11 +315,11 @@ int main(int argc, char** argv) {
   }
 
   eclipse::TablePrinter table({"phase", "ok", "partial", "errors",
-                               "p50 (us)", "p99 (us)", "shed"});
+                               "p50 (us)", "p95 (us)", "p99 (us)", "shed"});
   for (const PhaseResult& r : phases) {
     table.AddRow({r.name, StrFormat("%zu", r.ok), StrFormat("%zu", r.partial),
                   StrFormat("%zu", r.errors), StrFormat("%.1f", r.p50_us),
-                  StrFormat("%.1f", r.p99_us),
+                  StrFormat("%.1f", r.p95_us), StrFormat("%.1f", r.p99_us),
                   StrFormat("%llu", static_cast<unsigned long long>(r.shed))});
   }
   std::printf("%s\n", table.ToString().c_str());

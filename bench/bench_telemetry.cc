@@ -1,0 +1,343 @@
+// Telemetry overhead: the same query stream against two EclipseEngines over
+// the same data -- one with the telemetry layer disabled (enable_metrics =
+// false: no registry, no clock reads), one with it armed -- interleaved
+// round-robin so thermal / frequency drift hits both sides equally.
+//
+// Three armed configurations are measured against the disabled baseline:
+//
+//   metrics        enable_metrics only (the always-on production default)
+//   metrics+slow   plus a 32-entry slow-query ring at a 1ms threshold
+//   full           plus caller-side 1-in-512 trace sampling (a Tracer and
+//                  a QueryContext carrying the sampled trace, like a serving
+//                  frontend would; tracing cost is per TRACED query, so the
+//                  sampling rate sets the amortized overhead)
+//
+// The workload is the representative serving mix (50% popular repeats, 30%
+// unique bounded, 10% 1NN, 10% skyline -- the same shape the throughput
+// benchmark serves). The envelope's cost is fixed per query, so relative
+// overhead is higher on cheaper mixes; this one is what serving looks like.
+//
+// The run doubles as an accounting check and fails (exit 1) if the armed
+// registry disagrees with the driver: engine.query.count, the latency
+// histogram count, and the sum over engine.query.answered_by.* must all
+// equal the number of queries issued (exactly one attribution per answered
+// query).
+//
+//   build/bench/bench_telemetry [--quick] [n] [d]
+//
+// Writes BENCH_telemetry.json (skipped under --quick so smoke-size numbers
+// never clobber the committed full-size record).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "benchlib/table.h"
+#include "benchlib/workloads.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "engine/eclipse_engine.h"
+#include "telemetry/metrics_registry.h"
+#include "telemetry/trace.h"
+
+namespace {
+
+using eclipse::BenchDataset;
+using eclipse::EclipseEngine;
+using eclipse::EngineOptions;
+using eclipse::MetricsRegistry;
+using eclipse::PointSet;
+using eclipse::RatioBox;
+using eclipse::Stopwatch;
+using eclipse::StrFormat;
+using eclipse::Tracer;
+
+/// The representative serving mix (same shape as bench_throughput_qps):
+/// 50% popular repeats (LRU hits), 30% unique bounded boxes, 10% degenerate
+/// 1NN, 10% skyline-style unbounded. The telemetry envelope costs a fixed
+/// ~100-150ns per query (two clock reads plus a handful of relaxed atomics),
+/// so its RELATIVE overhead rises as the mix gets cheaper per op; the mix
+/// under test is the one the serving benchmarks call representative.
+std::vector<RatioBox> MakeServingMix(size_t d, size_t queries) {
+  std::vector<RatioBox> popular;
+  for (int k = 0; k < 4; ++k) {
+    popular.push_back(*RatioBox::Uniform(d - 1, 0.36 + 0.1 * k,
+                                         2.75 - 0.2 * k));
+  }
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&state] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<size_t>(state >> 33);
+  };
+  std::vector<RatioBox> mix;
+  mix.reserve(queries);
+  for (size_t q = 0; q < queries; ++q) {
+    const size_t roll = next() % 10;
+    if (roll < 5) {
+      mix.push_back(popular[next() % popular.size()]);
+    } else if (roll < 8) {
+      const double lo = 0.3 + 0.001 * static_cast<double>(next() % 500);
+      const double hi = lo + 0.5 + 0.001 * static_cast<double>(next() % 2000);
+      mix.push_back(*RatioBox::Uniform(d - 1, lo, hi));
+    } else if (roll < 9) {
+      const double r = 0.5 + 0.001 * static_cast<double>(next() % 1500);
+      mix.push_back(*RatioBox::Uniform(d - 1, r, r));
+    } else {
+      mix.push_back(RatioBox::Skyline(d - 1));
+    }
+  }
+  return mix;
+}
+
+/// One armed configuration under test.
+struct Config {
+  const char* name;
+  EngineOptions options;
+  uint64_t sample_every = 0;  // caller-side trace sampling; 0 = no tracing
+};
+
+/// Runs mix[begin, end); returns elapsed nanoseconds (0 on failure). When
+/// `tracer` is non-null the caller-side sampling loop runs (StartTrace /
+/// context / FinishTrace per query), exactly like a serving frontend.
+uint64_t RunChunk(EclipseEngine* engine, const std::vector<RatioBox>& mix,
+                  size_t begin, size_t end, Tracer* tracer) {
+  Stopwatch sw;
+  if (tracer == nullptr) {
+    for (size_t q = begin; q < end; ++q) {
+      if (!engine->Query(mix[q]).ok()) return 0;
+    }
+    return static_cast<uint64_t>(sw.ElapsedSeconds() * 1e9);
+  }
+  for (size_t q = begin; q < end; ++q) {
+    auto trace = tracer->StartTrace();
+    if (trace == nullptr) {
+      if (!engine->Query(mix[q]).ok()) return 0;
+      continue;
+    }
+    eclipse::QueryContext ctx;
+    ctx.set_trace(trace);
+    Stopwatch per_query;
+    const bool ok = engine->Query(mix[q], &ctx).ok();
+    tracer->FinishTrace(trace,
+                        static_cast<uint64_t>(per_query.ElapsedMicros()));
+    if (!ok) return 0;
+  }
+  return static_cast<uint64_t>(sw.ElapsedSeconds() * 1e9);
+}
+
+/// One paired round: both sides run the whole mix, interleaved in ~500-query
+/// chunks (a few ms each) with alternating order, so a scheduler
+/// interruption lands on both sides with equal probability instead of
+/// skewing whichever side owned that round. Returns {off_ns, on_ns}
+/// ({0, 0} on failure).
+std::pair<uint64_t, uint64_t> RunPairedRound(EclipseEngine* off,
+                                             EclipseEngine* on,
+                                             const std::vector<RatioBox>& mix,
+                                             Tracer* tracer, size_t round) {
+  constexpr size_t kChunk = 500;
+  uint64_t off_ns = 0, on_ns = 0;
+  for (size_t begin = 0, k = 0; begin < mix.size(); begin += kChunk, ++k) {
+    const size_t end = std::min(mix.size(), begin + kChunk);
+    const bool off_first = (k + round) % 2 == 0;
+    for (int side = 0; side < 2; ++side) {
+      const bool run_off = (side == 0) == off_first;
+      const uint64_t ns = run_off ? RunChunk(off, mix, begin, end, nullptr)
+                                  : RunChunk(on, mix, begin, end, tracer);
+      if (ns == 0) return {0, 0};
+      (run_off ? off_ns : on_ns) += ns;
+    }
+  }
+  return {off_ns, on_ns};
+}
+
+double MedianNs(std::vector<uint64_t> rounds) {
+  std::sort(rounds.begin(), rounds.end());
+  const size_t m = rounds.size() / 2;
+  return rounds.size() % 2 == 1
+             ? static_cast<double>(rounds[m])
+             : 0.5 * static_cast<double>(rounds[m - 1] + rounds[m]);
+}
+
+/// Median of the per-round paired ratios. The two sides of one round run
+/// back to back, so pairing them before aggregating cancels the slow drift
+/// (frequency scaling, page-cache warmup) that a median-of-each-side-
+/// separately comparison still carries.
+double MedianOverheadPct(const std::vector<uint64_t>& off_rounds,
+                         const std::vector<uint64_t>& on_rounds) {
+  std::vector<double> ratios;
+  ratios.reserve(off_rounds.size());
+  for (size_t r = 0; r < off_rounds.size(); ++r) {
+    if (off_rounds[r] == 0) continue;
+    ratios.push_back(100.0 *
+                     (static_cast<double>(on_rounds[r]) /
+                          static_cast<double>(off_rounds[r]) -
+                      1.0));
+  }
+  std::sort(ratios.begin(), ratios.end());
+  if (ratios.empty()) return 0.0;
+  const size_t m = ratios.size() / 2;
+  return ratios.size() % 2 == 1 ? ratios[m]
+                                : 0.5 * (ratios[m - 1] + ratios[m]);
+}
+
+uint64_t CounterValue(const eclipse::MetricsSnapshot& snap,
+                      const std::string& name) {
+  auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
+
+/// The accounting check: issued queries == engine.query.count == histogram
+/// count == sum of the answered_by attributions. Returns false (after
+/// printing the disagreement) on any mismatch.
+bool RegistryMatches(const EclipseEngine& engine, uint64_t issued) {
+  const auto snap = engine.metrics()->Snapshot();
+  const uint64_t count = CounterValue(snap, "engine.query.count");
+  uint64_t attributed = 0;
+  for (const char* by : {"cache", "diagram", "index", "bbs_tree", "one_shot"}) {
+    attributed += CounterValue(
+        snap, std::string("engine.query.answered_by.") + by);
+  }
+  auto hist = snap.histograms.find("engine.query.latency_us");
+  const uint64_t recorded =
+      hist == snap.histograms.end() ? 0 : hist->second.count;
+  if (count != issued || attributed != issued || recorded != issued) {
+    std::fprintf(stderr,
+                 "registry accounting MISMATCH: issued %llu, "
+                 "engine.query.count %llu, answered_by sum %llu, "
+                 "histogram count %llu\n",
+                 static_cast<unsigned long long>(issued),
+                 static_cast<unsigned long long>(count),
+                 static_cast<unsigned long long>(attributed),
+                 static_cast<unsigned long long>(recorded));
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  size_t n = 20000, d = 3;
+  std::vector<size_t> positional;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--quick") == 0) {
+      quick = true;
+    } else {
+      positional.push_back(static_cast<size_t>(std::atoll(argv[a])));
+    }
+  }
+  if (!positional.empty()) n = positional[0];
+  if (positional.size() > 1) d = positional[1];
+  if (quick) n = std::min<size_t>(n, 4000);
+  const size_t queries = quick ? 2000 : 10000;
+  const size_t rounds = quick ? 5 : 31;
+
+  EngineOptions off_options;
+  off_options.enable_metrics = false;
+
+  EngineOptions slow_options;
+  slow_options.slow_log_capacity = 32;
+  slow_options.slow_log_threshold_us = 1000;
+
+  std::vector<Config> configs = {
+      {"metrics", EngineOptions{}, 0},
+      {"metrics+slow", slow_options, 0},
+      {"full", slow_options, 512},
+  };
+
+  const PointSet data = eclipse::MakeBenchDataset(BenchDataset::kAnti, n, d, 42);
+  const std::vector<RatioBox> mix = MakeServingMix(d, queries);
+  std::printf("Telemetry overhead: ANTI n=%zu d=%zu, %zu queries x %zu "
+              "rounds, serving mix (50%% repeat, 30%% unique, 10%% 1NN, "
+              "10%% skyline)\n\n",
+              n, d, queries, rounds);
+
+  auto off = EclipseEngine::Make(data, off_options);
+  if (!off.ok()) {
+    std::fprintf(stderr, "engine: %s\n", off.status().ToString().c_str());
+    return 1;
+  }
+
+  eclipse::TablePrinter table({"config", "ns/op off", "ns/op on", "overhead"});
+  struct Row {
+    std::string name;
+    double off_ns = 0.0, on_ns = 0.0, overhead_pct = 0.0;
+  };
+  std::vector<Row> rows;
+
+  for (const Config& config : configs) {
+    auto on = EclipseEngine::Make(data, config.options);
+    if (!on.ok()) {
+      std::fprintf(stderr, "engine: %s\n", on.status().ToString().c_str());
+      return 1;
+    }
+    Tracer tracer({.sample_every = config.sample_every});
+    Tracer* sampling = config.sample_every > 0 ? &tracer : nullptr;
+    // Warm both sides (index/tree builds, LRU fill) before any timed round.
+    uint64_t issued = static_cast<uint64_t>(mix.size());
+    if (RunChunk(&off.value(), mix, 0, mix.size(), nullptr) == 0 ||
+        RunChunk(&on.value(), mix, 0, mix.size(), sampling) == 0) {
+      std::fprintf(stderr, "%s: warmup query failed\n", config.name);
+      return 1;
+    }
+    std::vector<uint64_t> off_rounds, on_rounds;
+    for (size_t r = 0; r < rounds; ++r) {
+      const auto [off_ns, on_ns] =
+          RunPairedRound(&off.value(), &on.value(), mix, sampling, r);
+      if (off_ns == 0) {
+        std::fprintf(stderr, "%s: query failed mid-round\n", config.name);
+        return 1;
+      }
+      off_rounds.push_back(off_ns);
+      on_rounds.push_back(on_ns);
+      issued += static_cast<uint64_t>(mix.size());
+    }
+    if (!RegistryMatches(on.value(), issued)) return 1;
+
+    Row row;
+    row.name = config.name;
+    row.off_ns = MedianNs(off_rounds) / static_cast<double>(mix.size());
+    row.on_ns = MedianNs(on_rounds) / static_cast<double>(mix.size());
+    row.overhead_pct = MedianOverheadPct(off_rounds, on_rounds);
+    rows.push_back(row);
+    table.AddRow({row.name, StrFormat("%.0f", row.off_ns),
+                  StrFormat("%.0f", row.on_ns),
+                  StrFormat("%+.2f%%", row.overhead_pct)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("registry accounting OK: count == answered_by sum == histogram "
+              "count for every armed run\n");
+
+  if (quick) {
+    std::printf("quick mode: skipping BENCH_telemetry.json\n");
+    return 0;
+  }
+  FILE* json = std::fopen("BENCH_telemetry.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_telemetry.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"telemetry_overhead\",\n  \"dataset\": "
+               "\"ANTI\",\n  \"n\": %zu,\n  \"d\": %zu,\n"
+               "  \"queries_per_round\": %zu,\n  \"rounds\": %zu,\n"
+               "  \"mix\": \"50%% popular repeats, 30%% unique bounded, "
+               "10%% 1NN, 10%% skyline\",\n  \"rows\": [\n",
+               n, d, queries, rounds);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(json,
+                 "    {\"config\": \"%s\", \"ns_per_op_off\": %.1f, "
+                 "\"ns_per_op_on\": %.1f, \"overhead_pct\": %.2f}%s\n",
+                 r.name.c_str(), r.off_ns, r.on_ns, r.overhead_pct,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_telemetry.json\n");
+  return 0;
+}

@@ -37,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "benchlib/latency.h"
 #include "benchlib/table.h"
 #include "benchlib/workloads.h"
 #include "common/statistics.h"
@@ -50,6 +51,9 @@ namespace {
 using eclipse::BenchDataset;
 using eclipse::EclipseEngine;
 using eclipse::EngineOptions;
+using eclipse::HistogramSnapshot;
+using eclipse::LatencySummary;
+using eclipse::MetricsRegistry;
 using eclipse::PointSet;
 using eclipse::RatioBox;
 using eclipse::RatioRange;
@@ -97,6 +101,7 @@ struct RunResult {
   size_t clients = 0;
   double qps = 0.0;
   double p50_us = 0.0;
+  double p95_us = 0.0;
   double p99_us = 0.0;
   double cache_hit_rate = 0.0;
   /// Every client completed its whole stream (phase-2 runs refuse to
@@ -104,37 +109,36 @@ struct RunResult {
   bool complete = true;
 };
 
-double Percentile(std::vector<double>* sorted_us, double p) {
-  if (sorted_us->empty()) return 0.0;
-  const size_t idx = std::min(
-      sorted_us->size() - 1,
-      static_cast<size_t>(p * static_cast<double>(sorted_us->size() - 1)));
-  return (*sorted_us)[idx];
+/// Percentiles now come from the engine's own latency histogram (the same
+/// instrument --metrics-dump exposes) instead of a sorted per-op vector:
+/// snapshot the named histogram around the run and summarize the delta.
+HistogramSnapshot LatencyHistogramSnapshot(const MetricsRegistry& registry,
+                                           const char* name) {
+  const auto snap = registry.Snapshot();
+  auto it = snap.histograms.find(name);
+  return it == snap.histograms.end() ? HistogramSnapshot{} : it->second;
 }
 
 RunResult RunClients(EclipseEngine* engine, size_t clients,
                      size_t queries_per_client, size_t d) {
   const uint64_t hits_before = engine->cache().hits();
   const uint64_t misses_before = engine->cache().misses();
-  std::vector<std::vector<double>> latencies(clients);
+  const MetricsRegistry& registry = *engine->metrics();
+  const HistogramSnapshot before =
+      LatencyHistogramSnapshot(registry, "engine.query.latency_us");
   Stopwatch wall;
   std::vector<std::thread> threads;
   threads.reserve(clients);
   for (size_t c = 0; c < clients; ++c) {
-    threads.emplace_back([engine, c, clients, queries_per_client, d,
-                          &latencies] {
+    threads.emplace_back([engine, c, clients, queries_per_client, d] {
       // Seed by (sweep, client) so a later sweep never replays the unique
       // boxes an earlier sweep already pushed into the LRU; only the
       // popular boxes stay warm across sweeps, as they would in steady
       // state.
       const std::vector<RatioBox> mix = MakeQueryMix(
           d, queries_per_client, /*seed=*/clients * 1000 + c);
-      auto& lat = latencies[c];
-      lat.reserve(mix.size());
       for (const RatioBox& box : mix) {
-        Stopwatch sw;
         auto got = engine->Query(box);
-        lat.push_back(sw.ElapsedMicros());
         if (!got.ok()) {
           std::fprintf(stderr, "query failed: %s\n",
                        got.status().ToString().c_str());
@@ -146,16 +150,14 @@ RunResult RunClients(EclipseEngine* engine, size_t clients,
   for (auto& t : threads) t.join();
   const double wall_s = wall.ElapsedSeconds();
 
-  std::vector<double> all;
-  for (const auto& lat : latencies) {
-    all.insert(all.end(), lat.begin(), lat.end());
-  }
-  std::sort(all.begin(), all.end());
+  const LatencySummary lat = eclipse::Summarize(eclipse::SnapshotDelta(
+      before, LatencyHistogramSnapshot(registry, "engine.query.latency_us")));
   RunResult r;
   r.clients = clients;
-  r.qps = wall_s > 0 ? static_cast<double>(all.size()) / wall_s : 0.0;
-  r.p50_us = Percentile(&all, 0.50);
-  r.p99_us = Percentile(&all, 0.99);
+  r.qps = wall_s > 0 ? static_cast<double>(lat.count) / wall_s : 0.0;
+  r.p50_us = lat.p50_us;
+  r.p95_us = lat.p95_us;
+  r.p99_us = lat.p99_us;
   const uint64_t hits = engine->cache().hits() - hits_before;
   const uint64_t misses = engine->cache().misses() - misses_before;
   r.cache_hit_rate =
@@ -225,27 +227,31 @@ std::vector<MixedOp> MakeMixedOps(size_t d, size_t count, uint64_t seed) {
 }
 
 /// Drives the mixed stream against any engine with Query/Insert/Erase
-/// (EclipseEngine or ShardedEclipseEngine). Per-op latency over the whole
-/// stream; erases take the client's oldest own insert.
+/// (EclipseEngine or ShardedEclipseEngine). QPS counts every op; the
+/// percentiles are the QUERY latencies from the engine's own registry
+/// histogram (`latency_metric`: engine.query.latency_us for a single
+/// engine, sharded.query.latency_us for the facade), snapshotted around
+/// the run. Erases take the client's oldest own insert.
 template <typename Engine>
 RunResult RunMixedClients(Engine* engine, size_t clients,
-                          size_t ops_per_client, size_t d) {
-  std::vector<std::vector<double>> latencies(clients);
+                          size_t ops_per_client, size_t d,
+                          const char* latency_metric) {
+  const MetricsRegistry& registry = *engine->metrics();
+  const HistogramSnapshot before =
+      LatencyHistogramSnapshot(registry, latency_metric);
+  std::atomic<size_t> total_ops{0};
   std::atomic<size_t> failed_clients{0};
   Stopwatch wall;
   std::vector<std::thread> threads;
   threads.reserve(clients);
   for (size_t c = 0; c < clients; ++c) {
-    threads.emplace_back([engine, c, ops_per_client, d, &latencies,
+    threads.emplace_back([engine, c, ops_per_client, d, &total_ops,
                           &failed_clients] {
       const std::vector<MixedOp> ops =
           MakeMixedOps(d, ops_per_client, /*seed=*/5000 + c);
       std::vector<PointId> own;
       size_t erase_cursor = 0;
-      auto& lat = latencies[c];
-      lat.reserve(ops.size());
       for (const MixedOp& op : ops) {
-        Stopwatch sw;
         bool ok = true;
         switch (op.kind) {
           case MixedOp::kQuery:
@@ -263,7 +269,7 @@ RunResult RunMixedClients(Engine* engine, size_t clients,
             }
             break;
         }
-        lat.push_back(sw.ElapsedMicros());
+        total_ops.fetch_add(1);
         if (!ok) {
           std::fprintf(stderr, "mixed op failed (client %zu)\n", c);
           failed_clients.fetch_add(1);
@@ -275,16 +281,16 @@ RunResult RunMixedClients(Engine* engine, size_t clients,
   for (auto& t : threads) t.join();
   const double wall_s = wall.ElapsedSeconds();
 
-  std::vector<double> all;
-  for (const auto& lat : latencies) {
-    all.insert(all.end(), lat.begin(), lat.end());
-  }
-  std::sort(all.begin(), all.end());
+  const LatencySummary lat = eclipse::Summarize(eclipse::SnapshotDelta(
+      before, LatencyHistogramSnapshot(registry, latency_metric)));
   RunResult r;
   r.clients = clients;
-  r.qps = wall_s > 0 ? static_cast<double>(all.size()) / wall_s : 0.0;
-  r.p50_us = Percentile(&all, 0.50);
-  r.p99_us = Percentile(&all, 0.99);
+  r.qps = wall_s > 0
+              ? static_cast<double>(total_ops.load()) / wall_s
+              : 0.0;
+  r.p50_us = lat.p50_us;
+  r.p95_us = lat.p95_us;
+  r.p99_us = lat.p99_us;
   r.complete = failed_clients.load() == 0;
   return r;
 }
@@ -364,9 +370,9 @@ int WriteShardJson(const std::vector<ShardRow>& rows, size_t n, size_t d,
     const ShardRow& r = rows[i];
     std::fprintf(json,
                  "    {\"engine\": \"%s\", \"shards\": %zu, \"qps\": %.1f, "
-                 "\"p50_us\": %.1f, \"p99_us\": %.1f}%s\n",
+                 "\"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f}%s\n",
                  r.shards == 0 ? "single" : "sharded", r.shards, r.run.qps,
-                 r.run.p50_us, r.run.p99_us,
+                 r.run.p50_us, r.run.p95_us, r.run.p99_us,
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(json, "  ]\n}\n");
@@ -391,7 +397,7 @@ int RunShardSweep(bool quick) {
               n, d, clients, ops_per_client);
 
   eclipse::TablePrinter table(
-      {"engine", "shards", "QPS", "p50 (us)", "p99 (us)"});
+      {"engine", "shards", "QPS", "p50 (us)", "p95 (us)", "p99 (us)"});
   std::vector<ShardRow> rows;
 
   {
@@ -402,7 +408,8 @@ int RunShardSweep(bool quick) {
       return 1;
     }
     ShardRow row;
-    row.run = RunMixedClients(&single.value(), clients, ops_per_client, d);
+    row.run = RunMixedClients(&single.value(), clients, ops_per_client, d,
+                              "engine.query.latency_us");
     if (!row.run.complete) {
       std::fprintf(stderr, "single-engine mixed stream failed\n");
       return 1;
@@ -410,6 +417,7 @@ int RunShardSweep(bool quick) {
     rows.push_back(row);
     table.AddRow({"single", "-", StrFormat("%.0f", row.run.qps),
                   StrFormat("%.1f", row.run.p50_us),
+                  StrFormat("%.1f", row.run.p95_us),
                   StrFormat("%.1f", row.run.p99_us)});
   }
   for (size_t num_shards : shard_counts) {
@@ -428,7 +436,8 @@ int RunShardSweep(bool quick) {
     }
     ShardRow row;
     row.shards = num_shards;
-    row.run = RunMixedClients(&sharded.value(), clients, ops_per_client, d);
+    row.run = RunMixedClients(&sharded.value(), clients, ops_per_client, d,
+                              "sharded.query.latency_us");
     if (!row.run.complete) {
       std::fprintf(stderr, "S=%zu mixed stream failed\n", num_shards);
       return 1;
@@ -437,6 +446,7 @@ int RunShardSweep(bool quick) {
     table.AddRow({"sharded", StrFormat("%zu", num_shards),
                   StrFormat("%.0f", row.run.qps),
                   StrFormat("%.1f", row.run.p50_us),
+                  StrFormat("%.1f", row.run.p95_us),
                   StrFormat("%.1f", row.run.p99_us)});
   }
   std::printf("%s\n", table.ToString().c_str());
@@ -509,14 +519,15 @@ int main(int argc, char** argv) {
   }
 
   eclipse::TablePrinter table(
-      {"clients", "QPS", "p50 (us)", "p99 (us)", "cache hit"});
+      {"clients", "QPS", "p50 (us)", "p95 (us)", "p99 (us)", "cache hit"});
   std::vector<RunResult> results;
   for (size_t clients : client_counts) {
     const RunResult r =
         RunClients(&engine.value(), clients, queries_per_client, d);
     results.push_back(r);
     table.AddRow({StrFormat("%zu", r.clients), StrFormat("%.0f", r.qps),
-                  StrFormat("%.1f", r.p50_us), StrFormat("%.1f", r.p99_us),
+                  StrFormat("%.1f", r.p50_us), StrFormat("%.1f", r.p95_us),
+                  StrFormat("%.1f", r.p99_us),
                   StrFormat("%.1f%%", 100.0 * r.cache_hit_rate)});
   }
   std::printf("%s\n", table.ToString().c_str());
@@ -535,9 +546,10 @@ int main(int argc, char** argv) {
     const RunResult& r = results[i];
     std::fprintf(json,
                  "    {\"clients\": %zu, \"qps\": %.1f, \"p50_us\": %.1f, "
-                 "\"p99_us\": %.1f, \"cache_hit_rate\": %.4f}%s\n",
-                 r.clients, r.qps, r.p50_us, r.p99_us, r.cache_hit_rate,
-                 i + 1 < results.size() ? "," : "");
+                 "\"p95_us\": %.1f, \"p99_us\": %.1f, "
+                 "\"cache_hit_rate\": %.4f}%s\n",
+                 r.clients, r.qps, r.p50_us, r.p95_us, r.p99_us,
+                 r.cache_hit_rate, i + 1 < results.size() ? "," : "");
   }
   std::fprintf(json, "  ]\n}\n");
   std::fclose(json);

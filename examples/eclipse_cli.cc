@@ -40,7 +40,18 @@
 //                      before answering: the query registers as a standing
 //                      continuous query and every op prints its
 //                      {added, removed} delta events as the incremental
-//                      maintainer emits them; works with --shards=N).
+//                      maintainer emits them; works with --shards=N),
+//          --metrics-dump (after answering, print the serving engine's
+//                      metrics registry as JSON -- counters, gauges, and
+//                      the latency histograms with their percentiles),
+//          --trace-out=FILE (trace the query and write a Chrome trace_event
+//                      JSON file; open it in chrome://tracing or Perfetto.
+//                      Under sharded serving each shard renders as its own
+//                      lane under the scatter span),
+//          --slow-log=N (keep the N slowest-query entries -- threshold 0,
+//                      so every query is eligible -- and print the slow-query
+//                      log after answering, including the per-span latency
+//                      breakdown).
 // A stream trace is a numeric CSV with d+1 columns: column 1 is the op
 // (0 = insert, 1 = erase); insert rows carry the d coordinates, erase rows
 // carry the stable id to remove in column 2 (initial CSV rows hold ids
@@ -60,6 +71,7 @@
 #include <vector>
 
 #include "common/query_context.h"
+#include "common/stopwatch.h"
 #include "core/suggest_range.h"
 #include "dataset/csv.h"
 #include "dataset/transforms.h"
@@ -70,6 +82,9 @@
 #include "knn/scoring.h"
 #include "shard/partitioner.h"
 #include "shard/sharded_engine.h"
+#include "telemetry/metrics_registry.h"
+#include "telemetry/slow_log.h"
+#include "telemetry/trace.h"
 
 namespace {
 
@@ -85,7 +100,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: eclipse_cli <file.csv> [--max] [--rows] [--explain] "
                "[--algorithm=NAME] [--shards=N] [--partitioner=NAME] "
-               "[--deadline-ms=MS] [--stream=trace.csv] <operator> ...\n"
+               "[--deadline-ms=MS] [--stream=trace.csv] [--metrics-dump] "
+               "[--trace-out=FILE] [--slow-log=N] <operator> ...\n"
                "  skyline\n"
                "  eclipse <lo> <hi> [engine]\n"
                "  onenn   <r1> [r2 ...]\n"
@@ -134,7 +150,10 @@ struct ServingConfig {
       eclipse::PartitionerKind::kRoundRobin;
   std::string stream_trace;  // empty = no replay
   eclipse::SkylineAlgorithm algorithm = eclipse::SkylineAlgorithm::kAuto;
-  long deadline_ms = 0;  // 0 = no deadline
+  long deadline_ms = 0;       // 0 = no deadline
+  bool metrics_dump = false;  // print the registry as JSON after the query
+  std::string trace_out;      // Chrome trace_event JSON path; empty = off
+  size_t slow_log = 0;        // slow-query ring capacity; 0 = off
 
   /// A fresh context for one query: the deadline clock starts ticking here,
   /// not at flag parsing, so CSV loading and stream replay don't eat it.
@@ -142,7 +161,42 @@ struct ServingConfig {
     return eclipse::QueryContext::WithTimeout(
         std::chrono::milliseconds(deadline_ms));
   }
+
+  /// The query must run under a QueryContext when it carries a deadline or
+  /// a trace (both travel on the context).
+  bool NeedsContext() const { return deadline_ms > 0 || !trace_out.empty(); }
 };
+
+/// Prints / writes whatever telemetry the flags asked for, after the query.
+/// Works for both EclipseEngine and ShardedEclipseEngine (same accessor
+/// names). Returns 0/1 like main.
+template <typename Engine>
+int ReportTelemetry(const Engine& engine, const ServingConfig& serving,
+                    const eclipse::Tracer& tracer) {
+  if (serving.metrics_dump) {
+    const auto registry = engine.metrics();
+    if (registry != nullptr) {
+      std::printf("%s\n", registry->RenderJson().c_str());
+    }
+  }
+  if (serving.slow_log > 0 && engine.slow_log() != nullptr) {
+    std::printf("%s", engine.slow_log()->RenderText().c_str());
+  }
+  if (!serving.trace_out.empty()) {
+    const std::string json = tracer.RenderChromeJson();
+    FILE* f = std::fopen(serving.trace_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write trace to %s\n",
+                   serving.trace_out.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote trace to %s (load it in chrome://tracing)\n",
+                serving.trace_out.c_str());
+  }
+  return 0;
+}
 
 bool ParseAlgorithm(const char* name, eclipse::SkylineAlgorithm* out) {
   using eclipse::SkylineAlgorithm;
@@ -259,6 +313,8 @@ int RunShardedQuery(const PointSet& original, PointSet data,
   options.partitioner = serving.partitioner;
   options.engine.force_engine = force_engine;
   options.engine.algorithm.skyline_algorithm = serving.algorithm;
+  // Threshold 0: a capacity-N log with no floor keeps the N slowest seen.
+  options.engine.slow_log_capacity = serving.slow_log;
   // A deadline is a request for bounded latency, so degrade gracefully:
   // abandon shards that miss it and answer from the rest.
   options.allow_partial_results = serving.deadline_ms > 0;
@@ -286,18 +342,30 @@ int RunShardedQuery(const PointSet& original, PointSet data,
     }
   }
   eclipse::ShardedQueryStats stats;
+  eclipse::Tracer tracer({.sample_every = 1});
   eclipse::Result<std::vector<eclipse::PointId>> ids =
       eclipse::Status::Internal("unreached");
-  if (serving.deadline_ms > 0) {
-    const eclipse::QueryContext ctx = serving.MakeContext();
+  if (serving.NeedsContext()) {
+    eclipse::QueryContext ctx = serving.deadline_ms > 0
+                                    ? serving.MakeContext()
+                                    : eclipse::QueryContext();
+    std::shared_ptr<eclipse::Trace> trace;
+    if (!serving.trace_out.empty()) {
+      trace = tracer.StartTrace();
+      ctx.set_trace(trace);
+    }
+    eclipse::Stopwatch sw;
     ids = engine->Query(box, &ctx, &stats);
+    tracer.FinishTrace(trace, static_cast<uint64_t>(sw.ElapsedMicros()));
   } else {
     ids = engine->Query(box, &stats);
   }
+  const int telemetry_rc = ReportTelemetry(engine.value(), serving, tracer);
   if (!ids.ok()) {
     std::fprintf(stderr, "error: %s\n", ids.status().ToString().c_str());
     return 1;
   }
+  if (telemetry_rc != 0) return telemetry_rc;
   if (stats.plan.partial) {
     std::printf("partial result:");
     for (size_t s : stats.plan.shards_degraded) std::printf(" shard %zu", s);
@@ -325,6 +393,8 @@ int RunEngineQuery(const PointSet& original, PointSet data,
   eclipse::EngineOptions options;
   options.force_engine = force_engine;
   options.algorithm.skyline_algorithm = serving.algorithm;
+  // Threshold 0: a capacity-N log with no floor keeps the N slowest seen.
+  options.slow_log_capacity = serving.slow_log;
   auto engine = EclipseEngine::Make(std::move(data), options);
   if (!engine.ok()) {
     std::fprintf(stderr, "error: %s%s\n", engine.status().ToString().c_str(),
@@ -352,18 +422,30 @@ int RunEngineQuery(const PointSet& original, PointSet data,
                 plan.skyline_path.c_str(), plan.answered_by.c_str());
   }
   eclipse::EngineQueryStats stats;
+  eclipse::Tracer tracer({.sample_every = 1});
   eclipse::Result<std::vector<eclipse::PointId>> ids =
       eclipse::Status::Internal("unreached");
-  if (serving.deadline_ms > 0) {
-    const eclipse::QueryContext ctx = serving.MakeContext();
+  if (serving.NeedsContext()) {
+    eclipse::QueryContext ctx = serving.deadline_ms > 0
+                                    ? serving.MakeContext()
+                                    : eclipse::QueryContext();
+    std::shared_ptr<eclipse::Trace> trace;
+    if (!serving.trace_out.empty()) {
+      trace = tracer.StartTrace();
+      ctx.set_trace(trace);
+    }
+    eclipse::Stopwatch sw;
     ids = engine->Query(box, &ctx, &stats);
+    tracer.FinishTrace(trace, static_cast<uint64_t>(sw.ElapsedMicros()));
   } else {
     ids = engine->Query(box, &stats);
   }
+  const int telemetry_rc = ReportTelemetry(engine.value(), serving, tracer);
   if (!ids.ok()) {
     std::fprintf(stderr, "error: %s\n", ids.status().ToString().c_str());
     return 1;
   }
+  if (telemetry_rc != 0) return telemetry_rc;
   if (!stats.plan.degraded_reason.empty()) {
     std::printf("degraded: %s\n", stats.plan.degraded_reason.c_str());
   }
@@ -468,6 +550,29 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: --stream wants a trace CSV path\n");
         return 2;
       }
+      it = args.erase(it);
+    } else if (*it == "--metrics-dump") {
+      serving.metrics_dump = true;
+      it = args.erase(it);
+    } else if (it->rfind("--trace-out=", 0) == 0) {
+      serving.trace_out = it->substr(strlen("--trace-out="));
+      if (serving.trace_out.empty()) {
+        std::fprintf(stderr, "error: --trace-out wants an output file path\n");
+        return 2;
+      }
+      it = args.erase(it);
+    } else if (it->rfind("--slow-log=", 0) == 0) {
+      const char* value = it->c_str() + strlen("--slow-log=");
+      char* end = nullptr;
+      const long capacity = std::strtol(value, &end, 10);
+      if (*value == '\0' || *end != '\0' || capacity <= 0) {
+        std::fprintf(stderr,
+                     "error: --slow-log wants a positive ring capacity, "
+                     "got \"%s\"\n",
+                     value);
+        return 2;
+      }
+      serving.slow_log = static_cast<size_t>(capacity);
       it = args.erase(it);
     } else if (it->rfind("--partitioner=", 0) == 0) {
       auto kind = eclipse::PartitionerKindForName(

@@ -1,0 +1,40 @@
+#include "benchlib/latency.h"
+
+#include <algorithm>
+
+namespace eclipse {
+
+LatencySummary Summarize(const HistogramSnapshot& snap) {
+  LatencySummary s;
+  s.count = snap.count;
+  s.mean_us = snap.Mean();
+  s.p50_us = double(snap.P50());
+  s.p95_us = double(snap.P95());
+  s.p99_us = double(snap.P99());
+  s.max_us = double(snap.max);
+  return s;
+}
+
+HistogramSnapshot SnapshotDelta(const HistogramSnapshot& before,
+                                const HistogramSnapshot& after) {
+  HistogramSnapshot d;
+  int top = -1;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    d.buckets[i] = after.buckets[i] - before.buckets[i];
+    if (d.buckets[i] != 0) top = i;
+  }
+  d.count = after.count - before.count;
+  d.sum = after.sum - before.sum;
+  d.max = top < 0 ? 0 : std::min(after.max, HistogramBucketBound(top));
+  return d;
+}
+
+LatencySummary SummarizeHistogram(const MetricsRegistry& registry,
+                                  const std::string& name) {
+  const MetricsSnapshot snap = registry.Snapshot();
+  auto it = snap.histograms.find(name);
+  if (it == snap.histograms.end()) return LatencySummary{};
+  return Summarize(it->second);
+}
+
+}  // namespace eclipse

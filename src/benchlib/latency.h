@@ -1,0 +1,46 @@
+// Registry-backed latency reporting for the benchmark harness.
+//
+// Benchmarks used to collect every per-op latency into a vector and sort it
+// for percentiles; with the telemetry layer the engines already record each
+// query into a log2-bucketed histogram, so the harness reads the registry
+// instead -- no per-op vector, no sort, and the reported numbers come from
+// the exact same instrument production serving exposes.
+
+#ifndef ECLIPSE_BENCHLIB_LATENCY_H_
+#define ECLIPSE_BENCHLIB_LATENCY_H_
+
+#include <string>
+
+#include "telemetry/metrics_registry.h"
+
+namespace eclipse {
+
+/// Percentiles of one histogram, in the histogram's recorded units (µs for
+/// the engine latency histograms).
+struct LatencySummary {
+  uint64_t count = 0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+};
+
+LatencySummary Summarize(const HistogramSnapshot& snap);
+
+/// Bucket-wise difference `after - before` of two snapshots of the SAME
+/// histogram (taken around a benchmark phase), so sweeps reusing one warm
+/// engine report per-phase percentiles. The delta's max is the cumulative
+/// max clamped to the delta's top occupied bucket bound -- exact when this
+/// phase set the max, one bucket coarse otherwise.
+HistogramSnapshot SnapshotDelta(const HistogramSnapshot& before,
+                                const HistogramSnapshot& after);
+
+/// Summary of the named histogram in `registry` ({0,...} when absent, e.g.
+/// metrics disabled).
+LatencySummary SummarizeHistogram(const MetricsRegistry& registry,
+                                  const std::string& name);
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_BENCHLIB_LATENCY_H_

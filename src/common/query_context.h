@@ -24,6 +24,8 @@
 
 namespace eclipse {
 
+class Trace;  // telemetry/trace.h; forward-declared to keep common/ leaf-free
+
 class QueryContext {
  public:
   using Clock = std::chrono::steady_clock;
@@ -60,6 +62,12 @@ class QueryContext {
     return has_deadline_ && Clock::now() >= deadline_;
   }
 
+  /// Attaches a telemetry trace; spans opened anywhere this context travels
+  /// record into it. Held by shared_ptr because scatter workers abandoned
+  /// past their deadline may still close spans after the caller returned.
+  void set_trace(std::shared_ptr<Trace> trace) { trace_ = std::move(trace); }
+  Trace* trace() const { return trace_.get(); }
+
   /// OK while the query may keep running; Cancelled / DeadlineExceeded once
   /// it must stop. Cancellation wins over the deadline when both hold.
   Status Check() const {
@@ -78,11 +86,17 @@ class QueryContext {
   // Shared so copies handed to worker threads see RequestCancel() from the
   // caller; always allocated so Check() never branches on null.
   std::shared_ptr<std::atomic<bool>> cancelled_;
+  std::shared_ptr<Trace> trace_;
 };
 
 /// Shared helper for kernel loops: returns OK when ctx is null.
 inline Status CheckQueryContext(const QueryContext* ctx) {
   return ctx == nullptr ? Status::OK() : ctx->Check();
+}
+
+/// Shared helper for span sites: null context means "not traced".
+inline Trace* TraceOf(const QueryContext* ctx) {
+  return ctx == nullptr ? nullptr : ctx->trace();
 }
 
 }  // namespace eclipse

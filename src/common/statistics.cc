@@ -1,6 +1,9 @@
 #include "common/statistics.h"
 
+#include <algorithm>
 #include <cstring>
+#include <utility>
+#include <vector>
 
 #include "common/strings.h"
 
@@ -33,11 +36,18 @@ const char* TickerName(Ticker t) {
 void Statistics::Reset() { std::memset(counts_, 0, sizeof(counts_)); }
 
 std::string Statistics::ToString() const {
-  std::string out;
+  // Sorted by ticker name, not enum order, so the rendering is stable under
+  // enum reordering and matches the registry's sorted exports.
+  std::vector<std::pair<std::string, uint64_t>> nonzero;
   for (int i = 0; i < static_cast<int>(Ticker::kTickerCount); ++i) {
     if (counts_[i] == 0) continue;
-    out += StrFormat("%s=%llu ", TickerName(static_cast<Ticker>(i)),
-                     static_cast<unsigned long long>(counts_[i]));
+    nonzero.emplace_back(TickerName(static_cast<Ticker>(i)), counts_[i]);
+  }
+  std::sort(nonzero.begin(), nonzero.end());
+  std::string out;
+  for (const auto& [name, count] : nonzero) {
+    out += StrFormat("%s=%llu ", name.c_str(),
+                     static_cast<unsigned long long>(count));
   }
   if (!out.empty()) out.pop_back();
   return out;

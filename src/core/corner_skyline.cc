@@ -17,6 +17,7 @@
 
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "telemetry/trace.h"
 #include "core/corner_kernel.h"
 #include "core/eclipse.h"
 #include "index/packed_rtree.h"
@@ -75,6 +76,7 @@ Result<std::vector<PointId>> EclipseCornerSkyline(const PointSet& points,
     // entirely -- build a throwaway raw-space tree and let BBS embed only
     // the node corners and points it actually visits. EclipseEngine's warm
     // path calls BbsEclipse directly with its cached per-epoch tree.
+    TraceSpan bbs_span(TraceOf(ctx), "bbs.query");
     ECLIPSE_ASSIGN_OR_RETURN(PackedRTree tree, PackedRTree::Build(points));
     return BbsEclipse(points, tree, box, options.max_corner_dims,
                       /*constraint=*/nullptr, stats, /*bbs=*/nullptr,
@@ -85,9 +87,14 @@ Result<std::vector<PointId>> EclipseCornerSkyline(const PointSet& points,
   const size_t m = kernel.embedding_dims();
   const bool parallel_embed =
       n >= kParallelEmbedMinRows && ThreadPool::Shared().size() >= 2;
-  std::vector<double> scores = parallel_embed
-                                   ? kernel.EmbedAllParallel(points, 0, stats)
-                                   : kernel.EmbedAll(points, stats);
+  std::vector<double> scores;
+  {
+    TraceSpan embed_span(TraceOf(ctx), "embed");
+    embed_span.SetAttr("rows", uint64_t(n));
+    embed_span.SetAttr("corner_dims", uint64_t(m));
+    scores = parallel_embed ? kernel.EmbedAllParallel(points, 0, stats)
+                            : kernel.EmbedAll(points, stats);
+  }
 
   const SkylineAlgorithm algo = options.skyline_algorithm;
   if (!FlatCapable(algo)) {
@@ -98,6 +105,9 @@ Result<std::vector<PointId>> EclipseCornerSkyline(const PointSet& points,
     return ComputeSkyline(embedded, algo, stats);
   }
   const FlatMatrixView view = FlatMatrixView::Of(scores, m);
+  TraceSpan skyline_span(TraceOf(ctx), "skyline.kernel");
+  skyline_span.SetAttr("path",
+                       FlatSkylinePathName(ChooseFlatSkylinePath(algo, n)));
   std::vector<PointId> ids =
       FlatSkyline(view, ChooseFlatSkylinePath(algo, n), stats, ctx);
   // The flat kernels bail out with a PARTIAL id set on expiry; surface the

@@ -10,6 +10,7 @@
 #include "common/strings.h"
 #include "core/corner_kernel.h"
 #include "shard/merge.h"
+#include "telemetry/trace.h"
 
 namespace eclipse {
 
@@ -404,9 +405,14 @@ Result<std::vector<PointId>> EclipseDiagram::Query(
     lo[j] = box.range(j).lo;
     hi[j] = box.range(j).hi;
   }
-  const Node& nl = nodes_[LocateLeaf(lo)];
-  const Node& nh = nodes_[LocateLeaf(hi)];
-  const std::vector<PointId> candidates = Intersect(*nl.lower, *nh.upper);
+  std::vector<PointId> candidates;
+  {
+    TraceSpan intersect_span(TraceOf(ctx), "diagram.intersect");
+    const Node& nl = nodes_[LocateLeaf(lo)];
+    const Node& nh = nodes_[LocateLeaf(hi)];
+    candidates = Intersect(*nl.lower, *nh.upper);
+    intersect_span.SetAttr("candidates", uint64_t(candidates.size()));
+  }
   if (stats != nullptr) stats->candidates = candidates.size();
   if (candidates.size() > options_.max_candidates) {
     return Status::ResourceExhausted(
@@ -427,6 +433,7 @@ Result<std::vector<PointId>> EclipseDiagram::Query(
   }
   EclipseOptions merge_options = options_.algorithm;
   merge_options.context = ctx;
+  TraceSpan merge_span(TraceOf(ctx), "diagram.merge");
   ECLIPSE_ASSIGN_OR_RETURN(
       auto ids,
       CrossShardDominanceMerge(gathered, snap.dims(), box, merge_options,

@@ -7,10 +7,12 @@
 
 #include <cmath>
 
+#include "common/stopwatch.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "fault/fault_injection.h"
 #include "skyline/simd_dominance.h"
+#include "telemetry/trace.h"
 
 namespace eclipse {
 
@@ -349,10 +351,79 @@ std::vector<ResultCache::MaintainableEntry> MaintainEntriesOnErase(
 // `mu` guards publication (snapshot/index/counters); `build_mu` serializes
 // index builds; `write_mu` serializes copy-on-write mutations. Lock order:
 // build_mu/write_mu before mu; mu is never held across a backend call.
+// Cached raw metric pointers so the per-query cost is a few relaxed atomic
+// adds; registration (mutex + map) happens once at engine construction.
+struct EngineMetrics {
+  bool enabled = false;
+  Counter* queries = nullptr;
+  Counter* errors = nullptr;
+  Counter* deadline_exceeded = nullptr;
+  Counter* cancelled = nullptr;
+  Counter* degraded = nullptr;
+  Counter* by_cache = nullptr;
+  Counter* by_diagram = nullptr;
+  Counter* by_index = nullptr;
+  Counter* by_tree = nullptr;
+  Counter* by_oneshot = nullptr;
+  Counter* mutations = nullptr;
+  Counter* builds = nullptr;
+  LatencyHistogram* latency = nullptr;
+  LatencyHistogram* build_latency = nullptr;
+  Counter* ticker[size_t(Ticker::kTickerCount)] = {};
+
+  void Init(MetricsRegistry* reg) {
+    enabled = true;
+    queries = reg->GetCounter("engine.query.count");
+    errors = reg->GetCounter("engine.query.errors");
+    deadline_exceeded = reg->GetCounter("engine.query.deadline_exceeded");
+    cancelled = reg->GetCounter("engine.query.cancelled");
+    degraded = reg->GetCounter("engine.query.degraded");
+    by_cache = reg->GetCounter("engine.query.answered_by.cache");
+    by_diagram = reg->GetCounter("engine.query.answered_by.diagram");
+    by_index = reg->GetCounter("engine.query.answered_by.index");
+    by_tree = reg->GetCounter("engine.query.answered_by.bbs_tree");
+    by_oneshot = reg->GetCounter("engine.query.answered_by.one_shot");
+    mutations = reg->GetCounter("engine.mutation.count");
+    builds = reg->GetCounter("engine.build.count");
+    latency = reg->GetHistogram("engine.query.latency_us");
+    build_latency = reg->GetHistogram("engine.build.latency_us");
+    for (int i = 0; i < int(Ticker::kTickerCount); ++i) {
+      ticker[i] = reg->GetCounter(TickerName(Ticker(i)));
+    }
+  }
+
+  /// Exactly one answered_by counter per answered query (the acceptance
+  /// contract); errors tick engine.query.errors instead. Dispatches on the
+  /// first character -- unique across the plan's answered_by vocabulary
+  /// (cache / diagram / index / bbs-tree / one-shot) -- to keep the
+  /// per-query cost a load and a jump instead of a string-compare chain.
+  Counter* AnsweredBy(const std::string& by) const {
+    switch (by.empty() ? '\0' : by[0]) {
+      case 'c': return by_cache;
+      case 'd': return by_diagram;
+      case 'i': return by_index;
+      case 'b': return by_tree;
+      default: return by_oneshot;
+    }
+  }
+
+  void AddTickers(const Statistics& stats) {
+    for (int i = 0; i < int(Ticker::kTickerCount); ++i) {
+      uint64_t v = stats.Get(Ticker(i));
+      if (v != 0) ticker[i]->Increment(v);
+    }
+  }
+};
+
 struct EclipseEngine::State {
   const EngineOptions options;
   ResultCache cache;
   ContinuousQueryManager continuous;
+  /// Null iff options.enable_metrics is false.
+  std::shared_ptr<MetricsRegistry> registry;
+  EngineMetrics metrics;
+  /// Null iff options.slow_log_capacity == 0.
+  std::unique_ptr<SlowQueryLog> slow_log;
 
   mutable std::mutex mu;
   /// Cumulative delta-maintenance counters; guarded by mu (mutations are
@@ -410,7 +481,18 @@ struct EclipseEngine::State {
   State(EngineOptions opts, std::shared_ptr<const ColumnarSnapshot> snap)
       : options(std::move(opts)),
         cache(options.result_cache_capacity),
-        snapshot(std::move(snap)) {}
+        snapshot(std::move(snap)) {
+    if (options.enable_metrics) {
+      registry = options.metrics != nullptr
+                     ? options.metrics
+                     : std::make_shared<MetricsRegistry>();
+      metrics.Init(registry.get());
+    }
+    if (options.slow_log_capacity > 0) {
+      slow_log = std::make_unique<SlowQueryLog>(
+          options.slow_log_capacity, options.slow_log_threshold_us);
+    }
+  }
 
   /// Fetches the index for `snap`, building it if needed. Only publishes
   /// the build if `snap` is still the current snapshot; the caller's
@@ -702,6 +784,14 @@ size_t EclipseEngine::queries_served() const {
 
 const ResultCache& EclipseEngine::cache() const { return state_->cache; }
 
+std::shared_ptr<const MetricsRegistry> EclipseEngine::metrics() const {
+  return state_->registry;
+}
+
+const SlowQueryLog* EclipseEngine::slow_log() const {
+  return state_->slow_log.get();
+}
+
 QueryPlan EclipseEngine::Explain(const RatioBox& box) const {
   State& s = *state_;
   std::shared_ptr<const ColumnarSnapshot> snap;
@@ -868,6 +958,7 @@ Result<PointId> EclipseEngine::ApplyDelta(const StreamDelta& delta) {
                       std::move(tree_edit));
     s.continuous.OnInsert(delta.point, id, epoch, RowLookupFor(base));
     s.RecordMaintenance(tick);
+    if (s.metrics.enabled) s.metrics.mutations->Increment();
     return id;
   }
 
@@ -980,6 +1071,7 @@ Result<PointId> EclipseEngine::ApplyDelta(const StreamDelta& delta) {
         return ids;
       });
   s.RecordMaintenance(tick);
+  if (s.metrics.enabled) s.metrics.mutations->Increment();
   return delta.id;
 }
 
@@ -1022,47 +1114,129 @@ Result<std::vector<PointId>> EclipseEngine::Query(const RatioBox& box,
 Result<std::vector<PointId>> EclipseEngine::Query(const RatioBox& box,
                                                   const QueryContext* ctx,
                                                   EngineQueryStats* stats) {
+  State& s = *state_;
+  EngineQueryStats local;
+  EngineQueryStats* out = stats != nullptr ? stats : &local;
+  Trace* trace = TraceOf(ctx);
+  // With telemetry fully off (metrics disabled, no slow log, untraced) the
+  // wrapper adds nothing -- not even the clock reads.
+  if (!s.metrics.enabled && s.slow_log == nullptr && trace == nullptr) {
+    return QueryImpl(box, ctx, out);
+  }
+  TraceSpan span(trace, "engine.query");
+  Stopwatch sw;
+  Result<std::vector<PointId>> ids = QueryImpl(box, ctx, out);
+  const uint64_t us = uint64_t(sw.ElapsedMicros());
+  const QueryPlan& plan = out->plan;
+  if (span.active()) {
+    span.SetAttr("engine", plan.engine);
+    span.SetAttr("answered_by", plan.answered_by);
+    if (!ids.ok()) span.SetAttr("status", ids.status().ToString());
+    if (!plan.degraded_reason.empty()) {
+      span.SetAttr("degraded_reason", plan.degraded_reason);
+    }
+    span.SetAttr("result_size", uint64_t(out->result_size));
+  }
+  if (s.metrics.enabled) {
+    s.metrics.queries->Increment();
+    s.metrics.latency->Record(us);
+    if (ids.ok()) {
+      s.metrics.AnsweredBy(plan.answered_by)->Increment();
+    } else {
+      s.metrics.errors->Increment();
+      if (ids.status().IsDeadlineExceeded()) {
+        s.metrics.deadline_exceeded->Increment();
+      } else if (ids.status().IsCancelled()) {
+        s.metrics.cancelled->Increment();
+      }
+    }
+    if (!plan.degraded_reason.empty()) s.metrics.degraded->Increment();
+    s.metrics.AddTickers(out->counters);
+  }
+  if (s.slow_log != nullptr && s.slow_log->ShouldRecord(us)) {
+    SlowQueryEntry entry;
+    entry.latency_us = us;
+    entry.box = CanonicalBoxKey(box);
+    entry.engine = plan.engine;
+    entry.answered_by = ids.ok() ? plan.answered_by : ids.status().ToString();
+    entry.degraded_reason = plan.degraded_reason;
+    entry.result_size = out->result_size;
+    if (trace != nullptr) {
+      // Children closed before this point; the root span is still open.
+      std::string breakdown;
+      for (const TraceSpanRecord& rec : trace->spans()) {
+        if (!breakdown.empty()) breakdown += " ";
+        breakdown += rec.name;
+        breakdown += "=";
+        breakdown += std::to_string(rec.dur_us);
+        breakdown += "us";
+      }
+      entry.breakdown = std::move(breakdown);
+    }
+    s.slow_log->Record(std::move(entry));
+  }
+  return ids;
+}
+
+Result<std::vector<PointId>> EclipseEngine::QueryImpl(const RatioBox& box,
+                                                      const QueryContext* ctx,
+                                                      EngineQueryStats* out) {
   ECLIPSE_RETURN_IF_ERROR(CheckQueryContext(ctx));
   ECLIPSE_FAULT("engine.query");
   State& s = *state_;
+  Trace* trace = TraceOf(ctx);
   std::shared_ptr<const ColumnarSnapshot> snap;
   std::shared_ptr<const EclipseIndex> index;
   State::TreeRef tree_ref;
   std::shared_ptr<const EclipseDiagram> diagram;
   PlanInputs inputs;
+  QueryPlan plan;
   {
-    std::lock_guard<std::mutex> lock(s.mu);
-    snap = s.snapshot;
-    if (s.index != nullptr && s.index_epoch == snap->epoch()) {
-      index = s.index;
+    TraceSpan plan_span(trace, "plan.route");
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      snap = s.snapshot;
+      if (s.index != nullptr && s.index_epoch == snap->epoch()) {
+        index = s.index;
+      }
+      if (s.tree != nullptr && s.tree_epoch == snap->epoch()) {
+        tree_ref.tree = s.tree;
+        tree_ref.base = s.tree_base != nullptr ? s.tree_base : snap;
+        tree_ref.tombstones = s.tree_tombstones;
+      }
+      if (s.diagram != nullptr && s.diagram_epoch == snap->epoch()) {
+        diagram = s.diagram;
+      }
+      inputs = MakePlanInputs(*snap, box, index != nullptr, s.eligible_queries,
+                              s.index_build_failed, tree_ref.tree != nullptr,
+                              s.tree_build_failed, s.bbs_eligible_queries,
+                              diagram != nullptr, s.diagram_build_failed,
+                              s.diagram_eligible_queries, s.options);
+      if (IndexEligible(inputs, s.options)) ++s.eligible_queries;
+      if (BbsEligible(inputs, s.options)) ++s.bbs_eligible_queries;
+      if (DiagramEligible(inputs, s.options)) ++s.diagram_eligible_queries;
     }
-    if (s.tree != nullptr && s.tree_epoch == snap->epoch()) {
-      tree_ref.tree = s.tree;
-      tree_ref.base = s.tree_base != nullptr ? s.tree_base : snap;
-      tree_ref.tombstones = s.tree_tombstones;
-    }
-    if (s.diagram != nullptr && s.diagram_epoch == snap->epoch()) {
-      diagram = s.diagram;
-    }
-    inputs = MakePlanInputs(*snap, box, index != nullptr, s.eligible_queries,
-                            s.index_build_failed, tree_ref.tree != nullptr,
-                            s.tree_build_failed, s.bbs_eligible_queries,
-                            diagram != nullptr, s.diagram_build_failed,
-                            s.diagram_eligible_queries, s.options);
-    if (IndexEligible(inputs, s.options)) ++s.eligible_queries;
-    if (BbsEligible(inputs, s.options)) ++s.bbs_eligible_queries;
-    if (DiagramEligible(inputs, s.options)) ++s.diagram_eligible_queries;
+    s.queries_served.fetch_add(1, std::memory_order_relaxed);
+    plan = ChoosePlan(inputs, s.options);
+    plan.snapshot_epoch = snap->epoch();
+    plan_span.SetAttr("engine", plan.engine);
   }
-  s.queries_served.fetch_add(1, std::memory_order_relaxed);
-  QueryPlan plan = ChoosePlan(inputs, s.options);
-  plan.snapshot_epoch = snap->epoch();
 
   if (plan.uses_diagram && diagram == nullptr) {
     // Build for the captured snapshot; diagram eligibility implies kAuto
     // with no forced engine, so a failed build always degrades gracefully:
     // latch the failure (cleared by the next mutation) and re-plan without
     // the diagram -- the replacement plan's own lazy builds run below.
-    Status build_status = s.EnsureDiagramBuilt(snap, &diagram);
+    Status build_status;
+    {
+      TraceSpan build_span(trace, "build.diagram");
+      Stopwatch build_sw;
+      build_status = s.EnsureDiagramBuilt(snap, &diagram);
+      if (s.metrics.enabled) {
+        s.metrics.builds->Increment();
+        s.metrics.build_latency->Record(uint64_t(build_sw.ElapsedMicros()));
+      }
+    }
     if (!build_status.ok()) {
       {
         std::lock_guard<std::mutex> lock(s.mu);
@@ -1086,7 +1260,16 @@ Result<std::vector<PointId>> EclipseEngine::Query(const RatioBox& box,
   if (plan.uses_index && index == nullptr) {
     // Build for the captured snapshot even when the cache could answer:
     // the build is the amortization the plan promised to later queries.
-    Status build_status = s.EnsureIndexBuilt(snap, &index);
+    Status build_status;
+    {
+      TraceSpan build_span(trace, "build.index");
+      Stopwatch build_sw;
+      build_status = s.EnsureIndexBuilt(snap, &index);
+      if (s.metrics.enabled) {
+        s.metrics.builds->Increment();
+        s.metrics.build_latency->Record(uint64_t(build_sw.ElapsedMicros()));
+      }
+    }
     if (!build_status.ok() && s.options.force_engine.empty()) {
       // Degrade gracefully: an oversized pair table (ResourceExhausted)
       // should not take serving down. Latch the failure (options stay as
@@ -1113,24 +1296,29 @@ Result<std::vector<PointId>> EclipseEngine::Query(const RatioBox& box,
     } else if (!build_status.ok()) {
       // Forced engine: surface the failure, but still record the attempted
       // plan for callers observing via stats.
-      if (stats != nullptr) {
-        stats->plan = std::move(plan);
-        stats->snapshot = std::move(snap);
-      }
+      out->plan = std::move(plan);
+      out->snapshot = std::move(snap);
       return build_status;
     }
   }
 
   if (plan.uses_tree && tree_ref.tree == nullptr) {
-    Status build_status = s.EnsureTreeBuilt(snap, &tree_ref);
+    Status build_status;
+    {
+      TraceSpan build_span(trace, "build.tree");
+      Stopwatch build_sw;
+      build_status = s.EnsureTreeBuilt(snap, &tree_ref);
+      if (s.metrics.enabled) {
+        s.metrics.builds->Increment();
+        s.metrics.build_latency->Record(uint64_t(build_sw.ElapsedMicros()));
+      }
+    }
     if (!build_status.ok()) {
       if (s.options.algorithm.skyline_algorithm == SkylineAlgorithm::kBbs) {
         // A forced algorithm must not silently fall back: surface the
         // failure, still recording the attempted plan.
-        if (stats != nullptr) {
-          stats->plan = std::move(plan);
-          stats->snapshot = std::move(snap);
-        }
+        out->plan = std::move(plan);
+        out->snapshot = std::move(snap);
         return build_status;
       }
       // kAuto: degrade gracefully to the flat scan, latching the failure so
@@ -1156,13 +1344,17 @@ Result<std::vector<PointId>> EclipseEngine::Query(const RatioBox& box,
     }
   }
 
-  EngineQueryStats local;
-  EngineQueryStats* out = stats != nullptr ? stats : &local;
   out->snapshot = snap;
   const std::string key = CanonicalBoxKey(box);
   std::vector<PointId> cached;
   bool carried = false;
-  if (s.cache.Get(snap->epoch(), key, &cached, &carried)) {
+  bool cache_hit = false;
+  {
+    TraceSpan cache_span(trace, "cache.lookup");
+    cache_hit = s.cache.Get(snap->epoch(), key, &cached, &carried);
+    cache_span.SetAttr("hit", cache_hit);
+  }
+  if (cache_hit) {
     plan.cache_hit = true;
     plan.answered_incrementally = carried;
     plan.answered_by = "cache";
@@ -1181,7 +1373,12 @@ Result<std::vector<PointId>> EclipseEngine::Query(const RatioBox& box,
   // other backends report row indices into the captured snapshot.
   bool stable_ids = false;
   if (plan.uses_diagram) {
-    auto answered = diagram->Query(*snap, box, &out->diagram, ctx);
+    auto answered = [&]() -> Result<std::vector<PointId>> {
+      TraceSpan diagram_span(trace, "diagram.query");
+      auto r = diagram->Query(*snap, box, &out->diagram, ctx);
+      diagram_span.SetAttr("candidates", uint64_t(out->diagram.candidates));
+      return r;
+    }();
     if (answered.ok()) {
       plan.diagram_hit = true;
       s.diagram_hits.fetch_add(1, std::memory_order_relaxed);
@@ -1214,8 +1411,11 @@ Result<std::vector<PointId>> EclipseEngine::Query(const RatioBox& box,
       return answered.status();
     }
   } else if (plan.uses_index) {
+    TraceSpan index_span(trace, "index.query");
     ids = index->Query(box, &out->index);
+    index_span.SetAttr("candidates", uint64_t(out->index.candidates));
   } else if (plan.uses_tree) {
+    TraceSpan bbs_span(trace, "bbs.query");
     const ColumnarSnapshot& tree_base = *tree_ref.base;
     ids = BbsEclipse(tree_base.points(), *tree_ref.tree, box,
                      s.options.algorithm.max_corner_dims,
@@ -1230,7 +1430,10 @@ Result<std::vector<PointId>> EclipseEngine::Query(const RatioBox& box,
       for (PointId& id : ids.value()) id = tree_base.id(id);
     }
     stable_ids = true;
+    bbs_span.SetAttr("nodes_visited", out->bbs.nodes_visited);
   } else {
+    TraceSpan oneshot_span(trace, "oneshot.run");
+    oneshot_span.SetAttr("engine", plan.engine);
     ids = EngineRegistry::Global().Run(plan.engine, snap->points(), box,
                                        algorithm, &out->counters);
   }

@@ -57,6 +57,8 @@
 #include "skyline/bbs.h"
 #include "stream/continuous.h"
 #include "stream/delta_maintainer.h"
+#include "telemetry/metrics_registry.h"
+#include "telemetry/slow_log.h"
 
 namespace eclipse {
 
@@ -131,6 +133,18 @@ struct EngineOptions {
   /// Candidate cap forwarded to DiagramOptions::max_candidates; a query
   /// whose cell intersection exceeds it falls back to a full backend.
   size_t diagram_max_candidates = 2048;
+  /// Master switch for the engine's metrics (src/telemetry/): per-query
+  /// counters (engine.query.answered_by.*, errors, degradations) and the
+  /// engine.query.latency_us histogram. Off = no registry, no clock reads.
+  bool enable_metrics = true;
+  /// Registry the engine's metrics register into; null = the engine creates
+  /// a private one. ShardedEclipseEngine injects a shared registry here so
+  /// per-shard counters aggregate.
+  std::shared_ptr<MetricsRegistry> metrics;
+  /// Capacity of the slow-query ring (telemetry/slow_log.h); 0 disables it.
+  size_t slow_log_capacity = 0;
+  /// Queries at/above this latency enter the slow log (0 = every query).
+  uint64_t slow_log_threshold_us = 0;
 };
 
 /// The routing decision for one query.
@@ -444,6 +458,11 @@ class EclipseEngine {
   size_t queries_served() const;
   /// LRU observability (hits/misses/size).
   const ResultCache& cache() const;
+  /// The engine's metrics registry (the one passed via EngineOptions, or
+  /// the private one); null iff enable_metrics is false.
+  std::shared_ptr<const MetricsRegistry> metrics() const;
+  /// The slow-query ring; null iff slow_log_capacity == 0.
+  const SlowQueryLog* slow_log() const;
 
   EclipseEngine(EclipseEngine&&) noexcept;
   EclipseEngine& operator=(EclipseEngine&&) noexcept;
@@ -453,6 +472,13 @@ class EclipseEngine {
   struct State;
 
   explicit EclipseEngine(std::unique_ptr<State> state);
+
+  /// The dispatch body behind both Query overloads; `out` is never null.
+  /// The public Query wraps it with the telemetry envelope (root span,
+  /// latency histogram, answered_by counters, slow-log record).
+  Result<std::vector<PointId>> QueryImpl(const RatioBox& box,
+                                         const QueryContext* ctx,
+                                         EngineQueryStats* out);
 
   std::unique_ptr<State> state_;
 };

@@ -7,10 +7,12 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/stopwatch.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "fault/fault_injection.h"
 #include "shard/merge.h"
+#include "telemetry/trace.h"
 
 namespace eclipse {
 
@@ -54,6 +56,43 @@ struct BoundedGather {
   std::vector<uint8_t> completed;
 };
 
+/// Cached metric pointers for the sharded serving layer, resolved once at
+/// Make so the query path never touches the registry map. Mirrors the
+/// per-engine EngineMetrics in engine/eclipse_engine.cc; the registry is
+/// SHARED with every per-shard engine, so engine.* counters aggregate
+/// across the fleet while sharded.* counters describe the facade.
+struct ShardedMetrics {
+  bool enabled = false;
+  Counter* queries = nullptr;
+  Counter* errors = nullptr;
+  Counter* deadline_exceeded = nullptr;
+  Counter* cancelled = nullptr;
+  Counter* partial = nullptr;
+  Counter* degraded_shards = nullptr;
+  Counter* by_cache = nullptr;
+  Counter* by_scatter = nullptr;
+  Counter* admitted = nullptr;
+  Counter* shed = nullptr;
+  Counter* mutations = nullptr;
+  LatencyHistogram* latency = nullptr;
+
+  void Init(MetricsRegistry* reg) {
+    enabled = true;
+    queries = reg->GetCounter("sharded.query.count");
+    errors = reg->GetCounter("sharded.query.errors");
+    deadline_exceeded = reg->GetCounter("sharded.query.deadline_exceeded");
+    cancelled = reg->GetCounter("sharded.query.cancelled");
+    partial = reg->GetCounter("sharded.query.partial");
+    degraded_shards = reg->GetCounter("sharded.shards.degraded");
+    by_cache = reg->GetCounter("sharded.query.answered_by.cache");
+    by_scatter = reg->GetCounter("sharded.query.answered_by.scatter");
+    admitted = reg->GetCounter("sharded.admission.admitted");
+    shed = reg->GetCounter("sharded.admission.shed");
+    mutations = reg->GetCounter("sharded.mutation.count");
+    latency = reg->GetHistogram("sharded.query.latency_us");
+  }
+};
+
 }  // namespace
 
 // Mirrors EclipseEngine's pimpl: mutexes pin the state, the facade stays
@@ -68,6 +107,13 @@ struct ShardedEclipseEngine::State {
   std::vector<EclipseEngine> shards;
   ResultCache cache;
   ContinuousQueryManager continuous;
+  /// Null iff options.engine.enable_metrics is false; otherwise the same
+  /// registry every per-shard engine ticks into (Make injects it).
+  std::shared_ptr<MetricsRegistry> registry;
+  ShardedMetrics metrics;
+  /// End-to-end slow-query ring; null iff engine.slow_log_capacity == 0.
+  /// The per-shard engines run with their rings disabled (see Make).
+  std::unique_ptr<SlowQueryLog> slow_log;
   /// Sharded-level delta-maintenance counters; guarded by map_mu.
   MaintenanceStats maintenance_stats;
 
@@ -101,7 +147,19 @@ struct ShardedEclipseEngine::State {
   State(ShardedEngineOptions opts, Partitioner part)
       : options(std::move(opts)),
         partitioner(std::move(part)),
-        cache(options.result_cache_capacity) {}
+        cache(options.result_cache_capacity) {
+    if (options.engine.enable_metrics) {
+      registry = options.engine.metrics != nullptr
+                     ? options.engine.metrics
+                     : std::make_shared<MetricsRegistry>();
+      metrics.Init(registry.get());
+    }
+    if (options.engine.slow_log_capacity > 0) {
+      slow_log = std::make_unique<SlowQueryLog>(
+          options.engine.slow_log_capacity,
+          options.engine.slow_log_threshold_us);
+    }
+  }
 
   ~State() {
     std::unique_lock<std::mutex> lock(scatter_mu);
@@ -213,6 +271,12 @@ Result<ShardedEclipseEngine> ShardedEclipseEngine::Make(
                   options.num_shards, kMaxShards));
   }
   const size_t num_shards = options.num_shards;
+  if (options.engine.enable_metrics && options.engine.metrics == nullptr) {
+    // One registry shared by the sharded level and every shard, so the
+    // shards' engine.* counters aggregate across the fleet and one
+    // metrics() call sees both layers.
+    options.engine.metrics = std::make_shared<MetricsRegistry>();
+  }
   ECLIPSE_ASSIGN_OR_RETURN(
       Partitioner partitioner,
       Partitioner::Make(options.partitioner, points, num_shards));
@@ -228,11 +292,16 @@ Result<ShardedEclipseEngine> ShardedEclipseEngine::Make(
   auto state =
       std::make_unique<State>(std::move(options), std::move(partitioner));
   state->shards.reserve(num_shards);
+  // The sharded level owns the slow-query ring (end-to-end latencies);
+  // leaving the forwarded capacity on would record one slow query S + 1
+  // times, once per sub-query.
+  EngineOptions shard_engine_options = state->options.engine;
+  shard_engine_options.slow_log_capacity = 0;
   for (size_t s = 0; s < num_shards; ++s) {
     ECLIPSE_ASSIGN_OR_RETURN(
         EclipseEngine engine,
         EclipseEngine::Make(points.Select(shard_rows[s]),
-                            state->options.engine));
+                            shard_engine_options));
     state->shards.push_back(std::move(engine));
     for (size_t l = 0; l < shard_rows[s].size(); ++l) {
       state->global_loc[shard_rows[s][l]] = {static_cast<uint32_t>(s),
@@ -284,6 +353,14 @@ const ResultCache& ShardedEclipseEngine::cache() const {
   return state_->cache;
 }
 
+std::shared_ptr<const MetricsRegistry> ShardedEclipseEngine::metrics() const {
+  return state_->registry;
+}
+
+const SlowQueryLog* ShardedEclipseEngine::slow_log() const {
+  return state_->slow_log.get();
+}
+
 ShardedQueryPlan ShardedEclipseEngine::Explain(const RatioBox& box) const {
   State& s = *state_;
   ShardedQueryPlan plan = s.PlanHeader(box);
@@ -317,6 +394,9 @@ Result<std::vector<PointId>> ShardedEclipseEngine::Query(
     do {
       if (cur >= limit) {
         s.shed.fetch_add(1, std::memory_order_relaxed);
+        // Same code point as the AdmissionStats atomic, so the registry's
+        // sharded.admission.shed always matches admission().shed exactly.
+        if (s.metrics.enabled) s.metrics.shed->Increment();
         return Status::Unavailable(
             StrFormat("admission gate: %zu queries in flight (max %zu)", cur,
                       limit));
@@ -327,6 +407,7 @@ Result<std::vector<PointId>> ShardedEclipseEngine::Query(
     s.in_flight.fetch_add(1, std::memory_order_relaxed);
   }
   s.admitted.fetch_add(1, std::memory_order_relaxed);
+  if (s.metrics.enabled) s.metrics.admitted->Increment();
   size_t now = s.in_flight.load(std::memory_order_relaxed);
   size_t peak = s.peak_in_flight.load(std::memory_order_relaxed);
   while (now > peak && !s.peak_in_flight.compare_exchange_weak(
@@ -352,9 +433,82 @@ AdmissionStats ShardedEclipseEngine::admission() const {
 Result<std::vector<PointId>> ShardedEclipseEngine::QueryInternal(
     const RatioBox& box, const QueryContext* ctx, ShardedQueryStats* stats) {
   State& s = *state_;
-  const size_t num_shards = s.shards.size();
   ShardedQueryStats local_stats;
   ShardedQueryStats* out = stats != nullptr ? stats : &local_stats;
+  Trace* trace = TraceOf(ctx);
+  // With telemetry fully off (metrics disabled, no slow log, untraced) the
+  // wrapper adds nothing -- not even the clock reads.
+  if (!s.metrics.enabled && s.slow_log == nullptr && trace == nullptr) {
+    return QueryScatter(box, ctx, out);
+  }
+  TraceSpan span(trace, "sharded.query");
+  Stopwatch sw;
+  Result<std::vector<PointId>> merged = QueryScatter(box, ctx, out);
+  const uint64_t us = uint64_t(sw.ElapsedMicros());
+  const ShardedQueryPlan& plan = out->plan;
+  const char* answered_by = plan.cache_hit ? "cache" : "scatter";
+  if (span.active()) {
+    span.SetAttr("shards", uint64_t(plan.num_shards));
+    span.SetAttr("answered_by", answered_by);
+    if (!merged.ok()) span.SetAttr("status", merged.status().ToString());
+    if (plan.partial) {
+      span.SetAttr("partial", true);
+      span.SetAttr("degraded_reason", plan.degraded_reason);
+    }
+    span.SetAttr("gathered_candidates", uint64_t(out->gathered_candidates));
+    span.SetAttr("result_size", uint64_t(out->result_size));
+  }
+  if (s.metrics.enabled) {
+    s.metrics.queries->Increment();
+    s.metrics.latency->Record(us);
+    if (merged.ok()) {
+      (plan.cache_hit ? s.metrics.by_cache : s.metrics.by_scatter)
+          ->Increment();
+    } else {
+      s.metrics.errors->Increment();
+      if (merged.status().IsDeadlineExceeded()) {
+        s.metrics.deadline_exceeded->Increment();
+      } else if (merged.status().IsCancelled()) {
+        s.metrics.cancelled->Increment();
+      }
+    }
+    if (plan.partial) {
+      s.metrics.partial->Increment();
+      s.metrics.degraded_shards->Increment(plan.shards_degraded.size());
+    }
+    s.registry->AddStatistics(out->merge_counters);
+  }
+  if (s.slow_log != nullptr && s.slow_log->ShouldRecord(us)) {
+    SlowQueryEntry entry;
+    entry.latency_us = us;
+    entry.box = CanonicalBoxKey(box);
+    entry.engine = "sharded";
+    entry.answered_by =
+        merged.ok() ? answered_by : merged.status().ToString();
+    entry.degraded_reason = plan.degraded_reason;
+    entry.partial = plan.partial;
+    entry.result_size = out->result_size;
+    if (trace != nullptr) {
+      // Children closed before this point; the root span is still open.
+      std::string breakdown;
+      for (const TraceSpanRecord& rec : trace->spans()) {
+        if (!breakdown.empty()) breakdown += " ";
+        breakdown += rec.name;
+        breakdown += "=";
+        breakdown += std::to_string(rec.dur_us);
+        breakdown += "us";
+      }
+      entry.breakdown = std::move(breakdown);
+    }
+    s.slow_log->Record(std::move(entry));
+  }
+  return merged;
+}
+
+Result<std::vector<PointId>> ShardedEclipseEngine::QueryScatter(
+    const RatioBox& box, const QueryContext* ctx, ShardedQueryStats* out) {
+  State& s = *state_;
+  const size_t num_shards = s.shards.size();
   // Callers reuse one stats struct across queries; start from scratch so a
   // previous call's cache_hit / shard_plans / counters cannot leak in.
   *out = ShardedQueryStats{};
@@ -364,7 +518,13 @@ Result<std::vector<PointId>> ShardedEclipseEngine::QueryInternal(
   const std::string key = CanonicalBoxKey(box);
   std::vector<PointId> cached;
   bool carried = false;
-  if (s.cache.Get(plan.global_epoch, key, &cached, &carried)) {
+  bool cache_hit = false;
+  {
+    TraceSpan cache_span(TraceOf(ctx), "cache.lookup");
+    cache_hit = s.cache.Get(plan.global_epoch, key, &cached, &carried);
+    cache_span.SetAttr("hit", cache_hit);
+  }
+  if (cache_hit) {
     plan.cache_hit = true;
     plan.answered_incrementally = carried;
     out->result_size = cached.size();
@@ -389,66 +549,82 @@ Result<std::vector<PointId>> ShardedEclipseEngine::QueryInternal(
                                s.options.allow_partial_results &&
                                num_shards > 1 &&
                                !ThreadPool::Shared().InParallelRegion();
-  if (bounded_scatter) {
-    auto gather = std::make_shared<BoundedGather>(num_shards, box, *ctx);
-    {
-      std::lock_guard<std::mutex> lock(s.scatter_mu);
-      s.outstanding_scatter_tasks += num_shards;
-    }
-    State* sp = &s;
-    for (size_t sh = 0; sh < num_shards; ++sh) {
-      EclipseEngine* shard = &s.shards[sh];
-      ThreadPool::Shared().Submit([gather, shard, sp, sh] {
-        Status fault =
-            ECLIPSE_FAULT_STATUS("shard.scatter", static_cast<int64_t>(sh));
-        auto r = fault.ok()
-                     ? shard->Query(gather->box, &gather->ctx, &gather->sub[sh])
-                     : Result<std::vector<PointId>>(std::move(fault));
-        {
-          std::lock_guard<std::mutex> lock(gather->mu);
-          gather->status[sh] = r.status();
-          if (r.ok()) gather->ids[sh] = std::move(r).value();
-          gather->completed[sh] = 1;
-          --gather->remaining;
-        }
-        gather->cv.notify_all();
-        {
-          // Notify while still holding scatter_mu: ~State destroys the cv
-          // the moment it sees the count reach zero, so an after-unlock
-          // notify could broadcast on a freed condition variable.
-          std::lock_guard<std::mutex> lock(sp->scatter_mu);
-          --sp->outstanding_scatter_tasks;
-          sp->scatter_cv.notify_all();
-        }
-      });
-    }
-    std::unique_lock<std::mutex> lock(gather->mu);
-    gather->cv.wait_until(lock, ctx->deadline(),
-                          [&] { return gather->remaining == 0; });
-    // On timeout the stragglers are simply abandoned: their context copy
-    // carries the now-expired deadline, so their next poll bails with
-    // DeadlineExceeded on its own. (Cancelling the copy here would poison
-    // the caller's shared cancel flag and fail the merge below.)
-    for (size_t sh = 0; sh < num_shards; ++sh) {
-      responded[sh] = gather->completed[sh];
-      if (responded[sh] == 0) continue;
-      sub_status[sh] = gather->status[sh];
-      sub_ids[sh] = std::move(gather->ids[sh]);
-      sub[sh] = std::move(gather->sub[sh]);
-    }
-  } else {
-    auto scatter = [&](size_t begin, size_t end) {
-      for (size_t sh = begin; sh < end; ++sh) {
-        Status fault =
-            ECLIPSE_FAULT_STATUS("shard.scatter", static_cast<int64_t>(sh));
-        auto r = fault.ok()
-                     ? s.shards[sh].Query(box, ctx, &sub[sh])
-                     : Result<std::vector<PointId>>(std::move(fault));
-        sub_status[sh] = r.status();
-        if (r.ok()) sub_ids[sh] = std::move(r).value();
+  // Scatter workers run on pool threads, so they cannot nest under the
+  // caller's span via the thread-local stack: each opens its shard.query
+  // span with an EXPLICIT parent (the scatter span) and its own track
+  // (1 + shard), which Chrome renders as one lane per shard.
+  {
+    TraceSpan scatter_span(TraceOf(ctx), "scatter");
+    const uint64_t scatter_parent = scatter_span.id();
+    if (bounded_scatter) {
+      auto gather = std::make_shared<BoundedGather>(num_shards, box, *ctx);
+      {
+        std::lock_guard<std::mutex> lock(s.scatter_mu);
+        s.outstanding_scatter_tasks += num_shards;
       }
-    };
-    ThreadPool::Shared().ParallelFor(0, num_shards, /*grain=*/1, scatter);
+      State* sp = &s;
+      for (size_t sh = 0; sh < num_shards; ++sh) {
+        EclipseEngine* shard = &s.shards[sh];
+        ThreadPool::Shared().Submit([gather, shard, sp, sh, scatter_parent] {
+          // The gather's context copy holds the Trace alive by shared_ptr,
+          // so an abandoned straggler's span still records safely.
+          TraceSpan shard_span(TraceOf(&gather->ctx), "shard.query",
+                               scatter_parent, static_cast<uint32_t>(sh + 1));
+          shard_span.SetAttr("shard", uint64_t(sh));
+          Status fault =
+              ECLIPSE_FAULT_STATUS("shard.scatter", static_cast<int64_t>(sh));
+          auto r = fault.ok()
+                       ? shard->Query(gather->box, &gather->ctx, &gather->sub[sh])
+                       : Result<std::vector<PointId>>(std::move(fault));
+          {
+            std::lock_guard<std::mutex> lock(gather->mu);
+            gather->status[sh] = r.status();
+            if (r.ok()) gather->ids[sh] = std::move(r).value();
+            gather->completed[sh] = 1;
+            --gather->remaining;
+          }
+          gather->cv.notify_all();
+          {
+            // Notify while still holding scatter_mu: ~State destroys the cv
+            // the moment it sees the count reach zero, so an after-unlock
+            // notify could broadcast on a freed condition variable.
+            std::lock_guard<std::mutex> lock(sp->scatter_mu);
+            --sp->outstanding_scatter_tasks;
+            sp->scatter_cv.notify_all();
+          }
+        });
+      }
+      std::unique_lock<std::mutex> lock(gather->mu);
+      gather->cv.wait_until(lock, ctx->deadline(),
+                            [&] { return gather->remaining == 0; });
+      // On timeout the stragglers are simply abandoned: their context copy
+      // carries the now-expired deadline, so their next poll bails with
+      // DeadlineExceeded on its own. (Cancelling the copy here would poison
+      // the caller's shared cancel flag and fail the merge below.)
+      for (size_t sh = 0; sh < num_shards; ++sh) {
+        responded[sh] = gather->completed[sh];
+        if (responded[sh] == 0) continue;
+        sub_status[sh] = gather->status[sh];
+        sub_ids[sh] = std::move(gather->ids[sh]);
+        sub[sh] = std::move(gather->sub[sh]);
+      }
+    } else {
+      auto scatter = [&](size_t begin, size_t end) {
+        for (size_t sh = begin; sh < end; ++sh) {
+          TraceSpan shard_span(TraceOf(ctx), "shard.query", scatter_parent,
+                               static_cast<uint32_t>(sh + 1));
+          shard_span.SetAttr("shard", uint64_t(sh));
+          Status fault =
+              ECLIPSE_FAULT_STATUS("shard.scatter", static_cast<int64_t>(sh));
+          auto r = fault.ok()
+                       ? s.shards[sh].Query(box, ctx, &sub[sh])
+                       : Result<std::vector<PointId>>(std::move(fault));
+          sub_status[sh] = r.status();
+          if (r.ok()) sub_ids[sh] = std::move(r).value();
+        }
+      };
+      ThreadPool::Shared().ParallelFor(0, num_shards, /*grain=*/1, scatter);
+    }
   }
 
   // Degradation policy. Without allow_partial_results the first shard
@@ -485,19 +661,24 @@ Result<std::vector<PointId>> ShardedEclipseEngine::QueryInternal(
   size_t total = 0;
   size_t non_empty = 0;
   size_t last_non_empty = 0;
-  for (size_t sh = 0; sh < num_shards; ++sh) {
-    ECLIPSE_FAULT_ARG("shard.translate", static_cast<int64_t>(sh));
-    ECLIPSE_RETURN_IF_ERROR(
-        s.TranslateShard(sh, sub_ids[sh], &sub_globals[sh]));
-    total += sub_ids[sh].size();
-    if (!sub_ids[sh].empty()) {
-      ++non_empty;
-      last_non_empty = sh;
+  {
+    TraceSpan translate_span(TraceOf(ctx), "translate");
+    for (size_t sh = 0; sh < num_shards; ++sh) {
+      ECLIPSE_FAULT_ARG("shard.translate", static_cast<int64_t>(sh));
+      ECLIPSE_RETURN_IF_ERROR(
+          s.TranslateShard(sh, sub_ids[sh], &sub_globals[sh]));
+      total += sub_ids[sh].size();
+      if (!sub_ids[sh].empty()) {
+        ++non_empty;
+        last_non_empty = sh;
+      }
     }
   }
   out->gathered_candidates = total;
 
   std::vector<PointId> merged;
+  TraceSpan merge_span(TraceOf(ctx), "gather.merge");
+  merge_span.SetAttr("candidates", uint64_t(total));
   if (non_empty <= 1) {
     // A shard's own answer is already dominance-free (E(E(A)) == E(A)), so
     // with every other shard empty it IS the global answer. This is also
@@ -619,6 +800,7 @@ Result<PointId> ShardedEclipseEngine::ApplyDelta(const StreamDelta& delta) {
     s.cache.Republish(epoch, std::move(carried));
     s.continuous.OnInsert(delta.point, global, epoch, s.GlobalRowLookup());
     s.RecordMaintenance(tick);
+    if (s.metrics.enabled) s.metrics.mutations->Increment();
     return global;
   }
 
@@ -657,6 +839,7 @@ Result<PointId> ShardedEclipseEngine::ApplyDelta(const StreamDelta& delta) {
     return QueryInternal(box, /*ctx=*/nullptr, /*stats=*/nullptr);
   });
   s.RecordMaintenance(tick);
+  if (s.metrics.enabled) s.metrics.mutations->Increment();
   return delta.id;
 }
 

@@ -220,6 +220,15 @@ class ShardedEclipseEngine {
   const EclipseEngine& shard(size_t s) const;
   /// The sharded-level LRU (hits/misses/size).
   const ResultCache& cache() const;
+  /// The metrics registry shared by the sharded level (sharded.* metrics)
+  /// and every per-shard engine (engine.* metrics aggregate across shards).
+  /// Null iff options.engine.enable_metrics is false.
+  std::shared_ptr<const MetricsRegistry> metrics() const;
+  /// The sharded-level slow-query ring, logging end-to-end queries (the
+  /// forwarded per-shard engines run with their slow logs disabled so one
+  /// slow query is not recorded S + 1 times). Null iff
+  /// options.engine.slow_log_capacity == 0.
+  const SlowQueryLog* slow_log() const;
 
   ShardedEclipseEngine(ShardedEclipseEngine&&) noexcept;
   ShardedEclipseEngine& operator=(ShardedEclipseEngine&&) noexcept;
@@ -232,10 +241,17 @@ class ShardedEclipseEngine {
 
   /// The scatter-gather core behind Query: admission-gate-free, so the
   /// continuous-query re-merge path cannot be shed (a shed re-merge would
-  /// corrupt a standing result).
+  /// corrupt a standing result). Wraps QueryScatter with the telemetry
+  /// envelope (root span, latency histogram, answered_by counters,
+  /// slow-log record).
   Result<std::vector<PointId>> QueryInternal(const RatioBox& box,
                                              const QueryContext* ctx,
                                              ShardedQueryStats* stats);
+
+  /// The scatter -> gather -> merge body; `out` is never null.
+  Result<std::vector<PointId>> QueryScatter(const RatioBox& box,
+                                            const QueryContext* ctx,
+                                            ShardedQueryStats* out);
 
   std::unique_ptr<State> state_;
 };

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/stopwatch.h"
 #include "fault/fault_injection.h"
+#include "telemetry/trace.h"
 
 namespace eclipse {
 
@@ -20,7 +22,16 @@ StreamIngestor::StreamIngestor(StreamIngestorOptions options, InsertFn insert,
     : options_(options),
       insert_(std::move(insert)),
       erase_(std::move(erase)),
-      query_batch_(std::move(query_batch)) {}
+      query_batch_(std::move(query_batch)) {
+  if (options_.metrics != nullptr) {
+    MetricsRegistry* reg = options_.metrics.get();
+    metric_flushes_ = reg->GetCounter("stream.flush.count");
+    metric_ingested_ = reg->GetCounter("stream.ingested");
+    metric_expired_ = reg->GetCounter("stream.expired");
+    metric_dropped_ = reg->GetCounter("stream.dropped");
+    metric_flush_latency_ = reg->GetHistogram("stream.flush.latency_us");
+  }
+}
 
 Status StreamIngestor::Push(std::span<const double> p) {
   buffer_.emplace_back(p.begin(), p.end());
@@ -30,8 +41,34 @@ Status StreamIngestor::Push(std::span<const double> p) {
   return Status::OK();
 }
 
-Status StreamIngestor::Flush() {
+Status StreamIngestor::Flush(const QueryContext* ctx) {
   if (buffer_.empty()) return Status::OK();
+  Trace* trace = TraceOf(ctx);
+  if (metric_flushes_ == nullptr && trace == nullptr) return DoFlush();
+  TraceSpan span(trace, "stream.flush");
+  span.SetAttr("batch", uint64_t(buffer_.size()));
+  const Stats before = stats_;
+  Stopwatch sw;
+  Status st = DoFlush();
+  const uint64_t us = uint64_t(sw.ElapsedMicros());
+  if (span.active()) {
+    span.SetAttr("ingested", stats_.ingested - before.ingested);
+    span.SetAttr("expired", stats_.expired - before.expired);
+    if (!st.ok()) span.SetAttr("status", st.ToString());
+  }
+  if (metric_flushes_ != nullptr) {
+    // Deltas, not fixed increments: a faulted flush changes nothing and
+    // must leave the registry matching stats() exactly.
+    metric_flushes_->Increment(stats_.flushes - before.flushes);
+    metric_ingested_->Increment(stats_.ingested - before.ingested);
+    metric_expired_->Increment(stats_.expired - before.expired);
+    metric_dropped_->Increment(stats_.dropped - before.dropped);
+    metric_flush_latency_->Record(us);
+  }
+  return st;
+}
+
+Status StreamIngestor::DoFlush() {
   // Before any mutation: a fired fault leaves the whole batch buffered for
   // the next flush (nothing applied, nothing dropped).
   ECLIPSE_FAULT("stream.flush");

@@ -24,12 +24,15 @@
 
 #include <deque>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "common/query_context.h"
 #include "common/result.h"
 #include "core/ratio_box.h"
 #include "geometry/point.h"
+#include "telemetry/metrics_registry.h"
 
 namespace eclipse {
 
@@ -40,6 +43,11 @@ struct StreamIngestorOptions {
   /// Points buffered per Push() before an automatic Flush(). 1 = every
   /// point applies immediately.
   size_t batch_size = 1;
+  /// Ticks stream.flush.count / stream.flush.latency_us plus
+  /// stream.{ingested,expired,dropped} into this registry (pass the bound
+  /// engine's registry to see ingest and serving metrics side by side).
+  /// Null = no metrics.
+  std::shared_ptr<MetricsRegistry> metrics;
 };
 
 class StreamIngestor {
@@ -94,8 +102,9 @@ class StreamIngestor {
   /// point right before each insert that would overflow the window (so the
   /// window never overshoots, even transiently). Buffered points an
   /// oversized batch could never keep are dropped before admission. No-op
-  /// on an empty buffer.
-  Status Flush();
+  /// on an empty buffer. `ctx` only carries an optional trace (the flush
+  /// opens a "stream.flush" span on it); flushes are not deadline-bounded.
+  Status Flush(const QueryContext* ctx = nullptr);
 
   /// Flush, then answer `boxes` through the engine's batched admission
   /// path -- the post-flush refresh a dashboard over a sliding window runs.
@@ -111,6 +120,10 @@ class StreamIngestor {
   const StreamIngestorOptions& options() const { return options_; }
 
  private:
+  /// The uninstrumented flush body; Flush wraps it with the telemetry
+  /// envelope when a registry or trace is present.
+  Status DoFlush();
+
   const StreamIngestorOptions options_;
   InsertFn insert_;
   EraseFn erase_;
@@ -118,6 +131,12 @@ class StreamIngestor {
   std::vector<Point> buffer_;
   std::deque<PointId> window_;
   Stats stats_;
+  /// Cached metric pointers; all null when options.metrics is null.
+  Counter* metric_flushes_ = nullptr;
+  Counter* metric_ingested_ = nullptr;
+  Counter* metric_expired_ = nullptr;
+  Counter* metric_dropped_ = nullptr;
+  LatencyHistogram* metric_flush_latency_ = nullptr;
 };
 
 }  // namespace eclipse

@@ -1,0 +1,65 @@
+#include "telemetry/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace eclipse {
+
+HistogramSnapshot& HistogramSnapshot::operator+=(
+    const HistogramSnapshot& other) {
+  for (int i = 0; i < kHistogramBuckets; ++i) buckets[i] += other.buckets[i];
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+  return *this;
+}
+
+uint64_t HistogramSnapshot::ValueAtQuantile(double q) const {
+  if (count == 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  uint64_t rank = uint64_t(std::ceil(q * double(count)));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  // Find the highest occupied bucket so the tail can report the exact max.
+  int top = kHistogramBuckets - 1;
+  while (top > 0 && buckets[top] == 0) --top;
+  uint64_t seen = 0;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      if (i == top) return max;
+      return HistogramBucketBound(i);
+    }
+  }
+  return max;
+}
+
+std::string HistogramSnapshot::ToString() const {
+  std::ostringstream os;
+  os << "count=" << count << " sum=" << sum << " max=" << max
+     << " p50=" << P50() << " p95=" << P95() << " p99=" << P99();
+  return os.str();
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot snap;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void LatencyHistogram::Reset() {
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace eclipse

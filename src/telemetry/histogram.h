@@ -1,0 +1,94 @@
+// Fixed-layout log2-bucketed latency histogram.
+//
+// 64 buckets with power-of-two upper bounds (1, 2, 4, ... µs) cover any
+// uint64 value, so two histograms recorded anywhere in the process are
+// always mergeable bucket-by-bucket. Recording is a handful of relaxed
+// atomic ops and never allocates, which keeps it safe on the query hot
+// path and under concurrent writers.
+
+#ifndef ECLIPSE_TELEMETRY_HISTOGRAM_H_
+#define ECLIPSE_TELEMETRY_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace eclipse {
+
+inline constexpr int kHistogramBuckets = 64;
+
+/// Bucket index for a value: bucket i holds values in (2^(i-1), 2^i],
+/// with bucket 0 holding {0, 1}. The last bucket is unbounded above.
+inline int HistogramBucketOf(uint64_t value) {
+  if (value <= 1) return 0;
+  int bits = 64 - __builtin_clzll(value - 1);  // ceil(log2(value))
+  return bits < kHistogramBuckets ? bits : kHistogramBuckets - 1;
+}
+
+/// Upper bound of bucket i (inclusive); the value a quantile query reports
+/// for samples that landed in that bucket.
+inline uint64_t HistogramBucketBound(int bucket) {
+  return bucket >= 63 ? ~uint64_t{0} : (uint64_t{1} << bucket);
+}
+
+/// A plain (non-atomic) copy of a histogram's state. Mergeable and
+/// queryable for quantiles; this is what Snapshot() and renderers consume.
+struct HistogramSnapshot {
+  uint64_t buckets[kHistogramBuckets] = {};
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+
+  HistogramSnapshot& operator+=(const HistogramSnapshot& other);
+
+  /// Value at quantile q in [0, 1]: the bound of the bucket containing the
+  /// sample of rank ceil(q * count) (rank 1 = smallest). Exact whenever the
+  /// recorded values are powers of two; otherwise within one log2 bucket of
+  /// the true order statistic. The top occupied bucket reports the exact
+  /// recorded max instead of its (coarser) bucket bound.
+  uint64_t ValueAtQuantile(double q) const;
+
+  uint64_t P50() const { return ValueAtQuantile(0.50); }
+  uint64_t P95() const { return ValueAtQuantile(0.95); }
+  uint64_t P99() const { return ValueAtQuantile(0.99); }
+  double Mean() const { return count == 0 ? 0.0 : double(sum) / double(count); }
+
+  /// "count=5 sum=123 max=60 p50=16 p95=64 p99=64" (values in recorded units).
+  std::string ToString() const;
+};
+
+/// Thread-safe histogram. Record() is wait-free (relaxed atomics, no
+/// allocation); readers take a Snapshot() and query that.
+class LatencyHistogram {
+ public:
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  void Record(uint64_t value) {
+    buckets_[HistogramBucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (prev < value &&
+           !max_.compare_exchange_weak(prev, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+
+  HistogramSnapshot Snapshot() const;
+
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kHistogramBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_TELEMETRY_HISTOGRAM_H_

@@ -1,0 +1,101 @@
+#include "telemetry/metrics_registry.h"
+
+#include <sstream>
+
+namespace eclipse {
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<LatencyHistogram>();
+  return slot.get();
+}
+
+void MetricsRegistry::AddStatistics(const Statistics& stats) {
+  for (int i = 0; i < int(Ticker::kTickerCount); ++i) {
+    Ticker t = Ticker(i);
+    uint64_t v = stats.Get(t);
+    if (v == 0) continue;
+    Counter* c = ticker_counters_[i].load(std::memory_order_acquire);
+    if (c == nullptr) {
+      c = GetCounter(TickerName(t));
+      ticker_counters_[i].store(c, std::memory_order_release);
+    }
+    c->Increment(v);
+  }
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->Get();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->Get();
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = h->Snapshot();
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::RenderText() const {
+  MetricsSnapshot snap = Snapshot();
+  std::ostringstream os;
+  for (const auto& [name, v] : snap.counters) {
+    os << name << " " << v << "\n";
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    os << name << " " << v << "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    os << name << " " << h.ToString() << "\n";
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  MetricsSnapshot snap = Snapshot();
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    os << (first ? "" : ",") << "\"" << name << "\":" << v;
+    first = false;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    os << (first ? "" : ",") << "\"" << name << "\":" << v;
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    os << (first ? "" : ",") << "\"" << name << "\":{\"count\":" << h.count
+       << ",\"sum\":" << h.sum << ",\"max\":" << h.max
+       << ",\"p50\":" << h.P50() << ",\"p95\":" << h.P95()
+       << ",\"p99\":" << h.P99() << "}";
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace eclipse

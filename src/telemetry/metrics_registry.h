@@ -1,0 +1,96 @@
+// Named-metric registry: counters, gauges, and latency histograms.
+//
+// Registration (GetCounter / GetGauge / GetHistogram) takes a mutex and may
+// allocate, but it returns a pointer that stays valid and address-stable for
+// the registry's lifetime — callers register once at construction and cache
+// raw pointers, so the hot path is a single relaxed atomic op per tick.
+//
+// Scoping: each EclipseEngine / ShardedEclipseEngine owns (or shares) a
+// registry; MetricsRegistry::Default() is the process-wide instance for
+// code with no natural owner.
+
+#ifndef ECLIPSE_TELEMETRY_METRICS_REGISTRY_H_
+#define ECLIPSE_TELEMETRY_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/statistics.h"
+#include "telemetry/histogram.h"
+
+namespace eclipse {
+
+/// Monotonically increasing counter.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Get() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Last-write-wins signed value (e.g. current in-flight queries).
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Get() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Point-in-time copy of every metric in a registry, keyed by name.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-wide default registry.
+  static MetricsRegistry& Default();
+
+  /// Find-or-create; the returned pointer is stable for the registry's
+  /// lifetime. Never returns null.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  LatencyHistogram* GetHistogram(const std::string& name);
+
+  /// Adds a per-query Statistics bag into counters named by TickerName().
+  /// The Counter* array is resolved once (lazily) so per-query cost is at
+  /// most kTickerCount relaxed adds.
+  void AddStatistics(const Statistics& stats);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// One metric per line, sorted by name: "name value" for counters and
+  /// gauges, "name count=... p50=..." for histograms.
+  std::string RenderText() const;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
+  /// max, p50, p95, p99}}} — stable key order (std::map).
+  std::string RenderJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  // unique_ptr values keep metric addresses stable across rehashes.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+  std::atomic<Counter*> ticker_counters_[size_t(Ticker::kTickerCount)] = {};
+};
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_TELEMETRY_METRICS_REGISTRY_H_

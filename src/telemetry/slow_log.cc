@@ -1,0 +1,52 @@
+#include "telemetry/slow_log.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace eclipse {
+
+void SlowQueryLog::Record(SlowQueryEntry entry) {
+  if (capacity_ == 0) return;
+  uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
+  entry.seq = seq;
+  Slot& slot = slots_[seq % capacity_];
+  std::lock_guard<std::mutex> lock(slot.mu);
+  // A slower concurrent recorder may reach this slot after a later lap
+  // already wrote it; never roll a slot's contents backwards.
+  if (slot.used && slot.entry.seq > seq) return;
+  slot.used = true;
+  slot.entry = std::move(entry);
+}
+
+std::vector<SlowQueryEntry> SlowQueryLog::Dump() const {
+  std::vector<SlowQueryEntry> out;
+  out.reserve(capacity_);
+  for (const Slot& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot.mu);
+    if (slot.used) out.push_back(slot.entry);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SlowQueryEntry& a, const SlowQueryEntry& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+std::string SlowQueryLog::RenderText() const {
+  std::ostringstream os;
+  os << "slow-query log: " << recorded() << " recorded, threshold "
+     << threshold_us_ << "us, capacity " << capacity_ << "\n";
+  for (const SlowQueryEntry& e : Dump()) {
+    os << "#" << e.seq << " " << e.latency_us << "us engine=" << e.engine
+       << " answered_by=" << e.answered_by;
+    if (!e.degraded_reason.empty()) os << " degraded=" << e.degraded_reason;
+    if (e.partial) os << " partial=true";
+    os << " results=" << e.result_size;
+    if (!e.box.empty()) os << " box=" << e.box;
+    if (!e.breakdown.empty()) os << "\n    " << e.breakdown;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace eclipse

@@ -1,0 +1,74 @@
+// Fixed-size ring of the worst recent queries, dumpable on demand.
+//
+// The hot path pays one relaxed load + one compare (ShouldRecord) per
+// query; only queries at or above the threshold take a slot. Slots are
+// claimed lock-free with a fetch_add head; each slot has its own mutex so
+// concurrent recorders never contend on a global lock, and the ring
+// overwrites oldest-first once full.
+
+#ifndef ECLIPSE_TELEMETRY_SLOW_LOG_H_
+#define ECLIPSE_TELEMETRY_SLOW_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace eclipse {
+
+struct SlowQueryEntry {
+  uint64_t seq = 0;  // global record order (monotonic)
+  uint64_t latency_us = 0;
+  std::string box;
+  std::string engine;
+  std::string answered_by;
+  std::string degraded_reason;
+  bool partial = false;
+  uint64_t result_size = 0;
+  std::string breakdown;  // per-span timing summary, when the query was traced
+};
+
+class SlowQueryLog {
+ public:
+  SlowQueryLog(size_t capacity, uint64_t threshold_us)
+      : capacity_(capacity), threshold_us_(threshold_us),
+        slots_(capacity ? capacity : 1) {}
+
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  /// Hot-path gate: no locks, no allocation.
+  bool ShouldRecord(uint64_t latency_us) const {
+    return capacity_ != 0 && latency_us >= threshold_us_;
+  }
+
+  void Record(SlowQueryEntry entry);
+
+  /// Entries oldest-first. Once the ring wraps, the oldest `n - capacity`
+  /// records are gone — eviction is strictly FIFO.
+  std::vector<SlowQueryEntry> Dump() const;
+
+  std::string RenderText() const;
+
+  uint64_t recorded() const { return next_.load(std::memory_order_relaxed); }
+  size_t capacity() const { return capacity_; }
+  uint64_t threshold_us() const { return threshold_us_; }
+
+ private:
+  struct Slot {
+    mutable std::mutex mu;
+    bool used = false;
+    SlowQueryEntry entry;
+  };
+
+  const size_t capacity_;
+  const uint64_t threshold_us_;
+  std::atomic<uint64_t> next_{0};
+  std::vector<Slot> slots_;
+};
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_TELEMETRY_SLOW_LOG_H_

@@ -1,0 +1,163 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace eclipse {
+
+namespace {
+
+// Innermost live span on this thread, for automatic nesting. A raw Trace*
+// here is safe: a TraceSpan restores the previous state before its trace
+// can be released, and cross-thread spans set their own state on entry.
+struct ThreadSpanState {
+  Trace* trace = nullptr;
+  uint64_t span_id = 0;
+  uint32_t track = 0;
+};
+thread_local ThreadSpanState tls_span;
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TraceSpan::TraceSpan(Trace* trace, const char* name) {
+  if (trace == nullptr) return;
+  uint64_t parent = 0;
+  uint32_t track = 0;
+  if (tls_span.trace == trace) {
+    parent = tls_span.span_id;
+    track = tls_span.track;
+  }
+  Open(trace, name, parent, track);
+}
+
+TraceSpan::TraceSpan(Trace* trace, const char* name, uint64_t parent_id,
+                     uint32_t track) {
+  if (trace == nullptr) return;
+  Open(trace, name, parent_id, track);
+}
+
+void TraceSpan::Open(Trace* trace, const char* name, uint64_t parent_id,
+                     uint32_t track) {
+  trace_ = trace;
+  start_ = Trace::Clock::now();
+  rec_.id = trace->NewSpanId();
+  rec_.parent_id = parent_id;
+  rec_.track = track;
+  rec_.name = name;
+  rec_.start_us = uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                               start_ - trace->origin())
+                               .count());
+  prev_trace_ = tls_span.trace;
+  prev_span_ = tls_span.span_id;
+  prev_track_ = tls_span.track;
+  tls_span = {trace, rec_.id, track};
+}
+
+TraceSpan::~TraceSpan() {
+  if (trace_ == nullptr) return;
+  rec_.dur_us = uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                             Trace::Clock::now() - start_)
+                             .count());
+  tls_span = {prev_trace_, prev_span_, prev_track_};
+  trace_->Record(std::move(rec_));
+}
+
+void TraceSpan::SetAttr(const char* key, std::string value) {
+  if (trace_ == nullptr) return;
+  rec_.attrs.emplace_back(key, std::move(value));
+}
+
+void TraceSpan::SetAttr(const char* key, uint64_t value) {
+  if (trace_ == nullptr) return;
+  rec_.attrs.emplace_back(key, std::to_string(value));
+}
+
+void TraceSpan::SetAttr(const char* key, bool value) {
+  if (trace_ == nullptr) return;
+  rec_.attrs.emplace_back(key, value ? "true" : "false");
+}
+
+std::string RenderChromeTraceJson(
+    const std::vector<std::shared_ptr<Trace>>& traces) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& trace : traces) {
+    if (!trace) continue;
+    uint64_t pid = trace->trace_id();
+    os << (first ? "" : ",") << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":"
+       << pid << ",\"tid\":0,\"args\":{\"name\":\"query " << pid
+       << (trace->sampled() ? " (sampled)" : " (slow)") << "\"}}";
+    first = false;
+    for (const auto& span : trace->spans()) {
+      os << ",{\"name\":\"" << JsonEscape(span.name) << "\",\"ph\":\"X\""
+         << ",\"pid\":" << pid << ",\"tid\":" << span.track
+         << ",\"ts\":" << span.start_us << ",\"dur\":" << span.dur_us
+         << ",\"args\":{\"span_id\":" << span.id
+         << ",\"parent_id\":" << span.parent_id;
+      for (const auto& [key, value] : span.attrs) {
+        os << ",\"" << JsonEscape(key) << "\":\"" << JsonEscape(value) << "\"";
+      }
+      os << "}}";
+    }
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+std::shared_ptr<Trace> Tracer::StartTrace() {
+  uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  bool sampled = options_.sample_every > 0 && seq % options_.sample_every == 0;
+  if (!sampled && options_.keep_slower_than_us == 0) return nullptr;
+  auto trace = std::make_shared<Trace>(seq);
+  if (sampled) trace->set_sampled();
+  return trace;
+}
+
+void Tracer::FinishTrace(const std::shared_ptr<Trace>& trace,
+                         uint64_t total_us) {
+  if (!trace) return;
+  bool keep = trace->sampled() ||
+              (options_.keep_slower_than_us > 0 &&
+               total_us >= options_.keep_slower_than_us);
+  if (!keep) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  retained_.push_back(trace);
+  while (retained_.size() > options_.max_traces) retained_.pop_front();
+}
+
+std::vector<std::shared_ptr<Trace>> Tracer::Retained() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<std::shared_ptr<Trace>>(retained_.begin(),
+                                             retained_.end());
+}
+
+size_t Tracer::retained_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retained_.size();
+}
+
+}  // namespace eclipse

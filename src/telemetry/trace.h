@@ -1,0 +1,159 @@
+// Per-query tracing: RAII spans collected into a Trace, exported as Chrome
+// trace_event JSON (load chrome://tracing or https://ui.perfetto.dev).
+//
+// A Trace is created per sampled query and threaded through QueryContext.
+// TraceSpan records wall time between construction and destruction; spans
+// on the same thread nest automatically via a thread-local stack, and
+// cross-thread work (shard scatter workers) parents explicitly under the
+// span id handed to the worker, on its own track (tid) per shard.
+//
+// Everything is a no-op when the trace pointer is null, so untraced
+// queries pay one branch per would-be span.
+
+#ifndef ECLIPSE_TELEMETRY_TRACE_H_
+#define ECLIPSE_TELEMETRY_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace eclipse {
+
+struct TraceSpanRecord {
+  uint64_t id = 0;
+  uint64_t parent_id = 0;  // 0 = root
+  uint32_t track = 0;      // rendered as tid; 0 = caller, 1 + s = shard s
+  std::string name;
+  uint64_t start_us = 0;  // relative to the trace origin
+  uint64_t dur_us = 0;
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+/// One query's collected spans. Thread-safe: scatter workers append
+/// concurrently, and a worker abandoned past its deadline may still append
+/// after the caller returned — hold Traces by shared_ptr (QueryContext does).
+class Trace {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit Trace(uint64_t trace_id)
+      : trace_id_(trace_id), origin_(Clock::now()) {}
+
+  uint64_t trace_id() const { return trace_id_; }
+  Clock::time_point origin() const { return origin_; }
+
+  uint64_t NewSpanId() {
+    return next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Set by the Tracer when this trace was picked by 1-in-N sampling (vs. a
+  /// speculative slow-only trace, retained only if the query is slow).
+  void set_sampled() { sampled_.store(true, std::memory_order_relaxed); }
+  bool sampled() const { return sampled_.load(std::memory_order_relaxed); }
+
+  void Record(TraceSpanRecord rec) {
+    std::lock_guard<std::mutex> lock(mu_);
+    spans_.push_back(std::move(rec));
+  }
+
+  std::vector<TraceSpanRecord> spans() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return spans_;
+  }
+
+ private:
+  const uint64_t trace_id_;
+  const Clock::time_point origin_;
+  std::atomic<bool> sampled_{false};
+  std::atomic<uint64_t> next_span_id_{1};  // 0 means "no parent"
+  mutable std::mutex mu_;
+  std::vector<TraceSpanRecord> spans_;
+};
+
+/// RAII span. Construct to open, destroy to record. All methods are no-ops
+/// when `trace` is null. Same-thread spans nest under the innermost live
+/// span automatically; pass (parent_id, track) explicitly when the span
+/// runs on a different thread than its parent.
+class TraceSpan {
+ public:
+  TraceSpan(Trace* trace, const char* name);
+  TraceSpan(Trace* trace, const char* name, uint64_t parent_id,
+            uint32_t track);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  bool active() const { return trace_ != nullptr; }
+  uint64_t id() const { return rec_.id; }
+  uint32_t track() const { return rec_.track; }
+
+  void SetAttr(const char* key, std::string value);
+  void SetAttr(const char* key, uint64_t value);
+  void SetAttr(const char* key, bool value);
+
+ private:
+  void Open(Trace* trace, const char* name, uint64_t parent_id,
+            uint32_t track);
+
+  Trace* trace_ = nullptr;
+  Trace::Clock::time_point start_;
+  TraceSpanRecord rec_;
+  // Saved thread-local state, restored on destruction.
+  Trace* prev_trace_ = nullptr;
+  uint64_t prev_span_ = 0;
+  uint32_t prev_track_ = 0;
+};
+
+/// Renders traces as a Chrome trace_event JSON document. Each trace becomes
+/// a process (pid = trace id) and each span track a thread within it.
+std::string RenderChromeTraceJson(
+    const std::vector<std::shared_ptr<Trace>>& traces);
+
+/// Sampling + retention policy around Trace creation.
+///
+///   Tracer tracer({.sample_every = 64, .keep_slower_than_us = 5000});
+///   auto trace = tracer.StartTrace();          // null unless sampled
+///   ctx.set_trace(trace); ... run the query ...
+///   tracer.FinishTrace(trace, total_us);       // retain or drop
+///
+/// Sampling is deterministic: queries 0, N, 2N, ... of the Tracer's own
+/// sequence are sampled. When keep_slower_than_us > 0, every query is
+/// speculatively traced and retained only if it finishes at or above the
+/// threshold (always-trace-on-slow).
+class Tracer {
+ public:
+  struct Options {
+    uint64_t sample_every = 0;        // 0 = never sample
+    uint64_t keep_slower_than_us = 0; // 0 = no slow retention
+    size_t max_traces = 64;           // retained-trace ring bound
+  };
+
+  explicit Tracer(Options options) : options_(options) {}
+
+  /// Null when this query is neither sampled nor slow-eligible.
+  std::shared_ptr<Trace> StartTrace();
+
+  /// Decides retention; null trace is a no-op.
+  void FinishTrace(const std::shared_ptr<Trace>& trace, uint64_t total_us);
+
+  std::vector<std::shared_ptr<Trace>> Retained() const;
+  size_t retained_count() const;
+  std::string RenderChromeJson() const { return RenderChromeTraceJson(Retained()); }
+
+ private:
+  const Options options_;
+  std::atomic<uint64_t> seq_{0};
+  mutable std::mutex mu_;
+  std::deque<std::shared_ptr<Trace>> retained_;
+};
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_TELEMETRY_TRACE_H_

@@ -307,6 +307,32 @@ TEST(StatisticsTest, ToStringListsNonzeroOnly) {
   EXPECT_EQ(stats.ToString(), "index.verified_crossings=4");
 }
 
+TEST(StatisticsTest, ToStringOrdersByNameNotEnumValue) {
+  Statistics stats;
+  stats.Add(Ticker::kSkylineComparisons, 1);     // "skyline.comparisons"
+  stats.Add(Ticker::kPointsPruned, 2);           // "eclipse.points_pruned"
+  stats.Add(Ticker::kIndexNodesVisited, 3);      // "index.nodes_visited"
+  // Lexicographic by name (eclipse.* < index.* < skyline.*), regardless of
+  // where each ticker sits in the enum -- the stable order the registry's
+  // sorted exports rely on.
+  EXPECT_EQ(stats.ToString(),
+            "eclipse.points_pruned=2 index.nodes_visited=3 "
+            "skyline.comparisons=1");
+}
+
+TEST(StatisticsTest, EveryTickerHasAUniqueName) {
+  std::set<std::string> names;
+  for (int i = 0; i < static_cast<int>(Ticker::kTickerCount); ++i) {
+    const std::string name = TickerName(static_cast<Ticker>(i));
+    EXPECT_NE(name, "unknown") << "ticker " << i << " has no name";
+    EXPECT_FALSE(name.empty()) << "ticker " << i;
+    EXPECT_TRUE(names.insert(name).second)
+        << "duplicate ticker name \"" << name << "\" (ticker " << i << ")";
+  }
+  EXPECT_EQ(names.size(),
+            static_cast<size_t>(Ticker::kTickerCount));
+}
+
 TEST(StopwatchTest, MeasuresElapsedTime) {
   Stopwatch sw;
   double t1 = sw.ElapsedSeconds();

@@ -1,0 +1,511 @@
+// Unit tests for src/telemetry: histogram (against a sorted-vector oracle),
+// registry (concurrent ticking -- also exercised under TSan via the
+// Telemetry ctest regex), tracer (nesting, sampling determinism, Chrome
+// export), slow-query log (FIFO eviction), and the engine-level accounting
+// contract (exactly one answered_by attribution per answered query; the
+// sharded admission counters match AdmissionStats).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/query_context.h"
+#include "common/statistics.h"
+#include "engine/eclipse_engine.h"
+#include "shard/sharded_engine.h"
+#include "telemetry/histogram.h"
+#include "telemetry/metrics_registry.h"
+#include "telemetry/slow_log.h"
+#include "telemetry/trace.h"
+
+namespace eclipse {
+namespace {
+
+// ----------------------------------------------------------- histogram
+
+TEST(TelemetryHistogram, BucketBoundaries) {
+  EXPECT_EQ(HistogramBucketOf(0), 0);
+  EXPECT_EQ(HistogramBucketOf(1), 0);
+  EXPECT_EQ(HistogramBucketOf(2), 1);
+  EXPECT_EQ(HistogramBucketOf(3), 2);
+  EXPECT_EQ(HistogramBucketOf(4), 2);
+  EXPECT_EQ(HistogramBucketOf(5), 3);
+  for (int i = 1; i < 62; ++i) {
+    const uint64_t bound = uint64_t{1} << i;
+    // Bucket i holds (2^(i-1), 2^i]: the bound lands in i, bound+1 in i+1.
+    EXPECT_EQ(HistogramBucketOf(bound), i) << "bound " << bound;
+    EXPECT_EQ(HistogramBucketOf(bound + 1), i + 1) << "bound+1 " << bound + 1;
+    EXPECT_EQ(HistogramBucketBound(i), bound);
+  }
+  EXPECT_EQ(HistogramBucketOf(~uint64_t{0}), kHistogramBuckets - 1);
+  EXPECT_EQ(HistogramBucketBound(63), ~uint64_t{0});
+}
+
+TEST(TelemetryHistogram, EveryValueWithinItsBucket) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{2}, uint64_t{3},
+                     uint64_t{100}, uint64_t{4095}, uint64_t{4096},
+                     uint64_t{1} << 40}) {
+    const int b = HistogramBucketOf(v);
+    EXPECT_LE(v, HistogramBucketBound(b)) << v;
+    if (b > 0) EXPECT_GT(v, HistogramBucketBound(b - 1)) << v;
+  }
+}
+
+TEST(TelemetryHistogram, QuantilesWithinOneBucketOfOracle) {
+  LatencyHistogram hist;
+  std::vector<uint64_t> values;
+  uint64_t state = 12345;
+  for (int i = 0; i < 1000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const uint64_t v = 2 + (state >> 33) % 100000;  // >= 2: see bound below
+    values.push_back(v);
+    hist.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  const HistogramSnapshot snap = hist.Snapshot();
+  ASSERT_EQ(snap.count, values.size());
+  for (double q : {0.10, 0.50, 0.90, 0.95, 0.99}) {
+    const size_t rank = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(values.size())));
+    const uint64_t oracle = values[rank == 0 ? 0 : rank - 1];
+    const uint64_t got = snap.ValueAtQuantile(q);
+    // The report is the containing bucket's bound: never below the true
+    // order statistic, and less than 2x it (one log2 bucket) for values >= 2.
+    EXPECT_GE(got, oracle) << "q=" << q;
+    EXPECT_LT(got, 2 * oracle) << "q=" << q;
+  }
+  EXPECT_EQ(snap.ValueAtQuantile(1.0), snap.max);
+  EXPECT_EQ(snap.max, values.back());
+}
+
+TEST(TelemetryHistogram, TopOccupiedBucketReportsExactMax) {
+  LatencyHistogram hist;
+  hist.Record(3);
+  hist.Record(100);
+  hist.Record(1411);  // bucket bound would be 2048; the report must be exact
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.P99(), 1411u);
+  EXPECT_EQ(snap.max, 1411u);
+}
+
+TEST(TelemetryHistogram, MergeMatchesCombinedRecording) {
+  LatencyHistogram a, b, combined;
+  for (uint64_t v : {1u, 5u, 9u, 100u}) {
+    a.Record(v);
+    combined.Record(v);
+  }
+  for (uint64_t v : {2u, 70u, 5000u}) {
+    b.Record(v);
+    combined.Record(v);
+  }
+  HistogramSnapshot merged = a.Snapshot();
+  merged += b.Snapshot();
+  const HistogramSnapshot want = combined.Snapshot();
+  EXPECT_EQ(merged.count, want.count);
+  EXPECT_EQ(merged.sum, want.sum);
+  EXPECT_EQ(merged.max, want.max);
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    EXPECT_EQ(merged.buckets[i], want.buckets[i]) << "bucket " << i;
+  }
+  EXPECT_EQ(merged.P50(), want.P50());
+}
+
+TEST(TelemetryHistogram, EmptyAndReset) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.Snapshot().ValueAtQuantile(0.99), 0u);
+  EXPECT_EQ(hist.Snapshot().Mean(), 0.0);
+  hist.Record(42);
+  EXPECT_EQ(hist.Count(), 1u);
+  hist.Reset();
+  EXPECT_EQ(hist.Count(), 0u);
+  EXPECT_EQ(hist.Snapshot().max, 0u);
+}
+
+// ------------------------------------------------------------ registry
+
+TEST(TelemetryRegistry, FindOrCreateReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("x.count");
+  EXPECT_EQ(registry.GetCounter("x.count"), c);
+  c->Increment(3);
+  EXPECT_EQ(registry.Snapshot().counters.at("x.count"), 3u);
+  Gauge* g = registry.GetGauge("x.gauge");
+  g->Set(-7);
+  EXPECT_EQ(registry.Snapshot().gauges.at("x.gauge"), -7);
+  EXPECT_EQ(registry.GetHistogram("x.lat"), registry.GetHistogram("x.lat"));
+}
+
+TEST(TelemetryRegistry, ConcurrentTickingIsExact) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kTicksPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      // Half the threads register lazily mid-flight: registration must be
+      // safe against concurrent ticking, not only at construction.
+      Counter* c = registry.GetCounter("race.count");
+      LatencyHistogram* h = registry.GetHistogram("race.lat");
+      for (int i = 0; i < kTicksPerThread; ++i) {
+        c->Increment();
+        h->Record(static_cast<uint64_t>(t * kTicksPerThread + i) % 512);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("race.count"),
+            uint64_t{kThreads} * kTicksPerThread);
+  EXPECT_EQ(snap.histograms.at("race.lat").count,
+            uint64_t{kThreads} * kTicksPerThread);
+}
+
+TEST(TelemetryRegistry, AddStatisticsAccumulatesUnderTickerNames) {
+  MetricsRegistry registry;
+  Statistics stats;
+  stats.Add(Ticker::kSkylineComparisons, 5);
+  stats.Add(Ticker::kIndexNodesVisited, 2);
+  registry.AddStatistics(stats);
+  registry.AddStatistics(stats);
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at(TickerName(Ticker::kSkylineComparisons)), 10u);
+  EXPECT_EQ(snap.counters.at(TickerName(Ticker::kIndexNodesVisited)), 4u);
+  // Zero tickers are not registered -- the registry only grows names that
+  // actually ticked.
+  EXPECT_EQ(snap.counters.count(TickerName(Ticker::kPointsPruned)), 0u);
+}
+
+TEST(TelemetryRegistry, RenderersIncludeEveryMetric) {
+  MetricsRegistry registry;
+  registry.GetCounter("a.count")->Increment(7);
+  registry.GetGauge("b.gauge")->Set(3);
+  registry.GetHistogram("c.lat")->Record(100);
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("a.count 7"), std::string::npos) << text;
+  EXPECT_NE(text.find("b.gauge 3"), std::string::npos) << text;
+  EXPECT_NE(text.find("c.lat"), std::string::npos) << text;
+  const std::string json = registry.RenderJson();
+  EXPECT_NE(json.find("\"a.count\":7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos) << json;
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+// -------------------------------------------------------------- tracer
+
+TEST(TelemetryTracer, SpansNestViaThreadLocalStack) {
+  Trace trace(1);
+  {
+    TraceSpan outer(&trace, "outer");
+    ASSERT_TRUE(outer.active());
+    {
+      TraceSpan inner(&trace, "inner");
+      EXPECT_NE(inner.id(), outer.id());
+    }
+    TraceSpan sibling(&trace, "sibling");
+    sibling.SetAttr("k", uint64_t{7});
+  }
+  const auto spans = trace.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  // Children close (and record) before their parent.
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[1].name, "sibling");
+  EXPECT_EQ(spans[2].name, "outer");
+  EXPECT_EQ(spans[2].parent_id, 0u);
+  EXPECT_EQ(spans[0].parent_id, spans[2].id);
+  EXPECT_EQ(spans[1].parent_id, spans[2].id);
+  ASSERT_EQ(spans[1].attrs.size(), 1u);
+  EXPECT_EQ(spans[1].attrs[0].first, "k");
+  EXPECT_EQ(spans[1].attrs[0].second, "7");
+}
+
+TEST(TelemetryTracer, ExplicitParentCrossesThreads) {
+  Trace trace(1);
+  uint64_t parent_id = 0;
+  {
+    TraceSpan parent(&trace, "scatter");
+    parent_id = parent.id();
+    std::thread worker([&trace, parent_id] {
+      TraceSpan span(&trace, "shard.query", parent_id, /*track=*/3);
+      span.SetAttr("shard", uint64_t{2});
+    });
+    worker.join();
+  }
+  const auto spans = trace.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "shard.query");
+  EXPECT_EQ(spans[0].parent_id, parent_id);
+  EXPECT_EQ(spans[0].track, 3u);
+  EXPECT_EQ(spans[1].track, 0u);
+}
+
+TEST(TelemetryTracer, NullTraceIsANoop) {
+  TraceSpan span(nullptr, "anything");
+  EXPECT_FALSE(span.active());
+  EXPECT_EQ(span.id(), 0u);
+  span.SetAttr("k", std::string("v"));  // must not crash
+}
+
+TEST(TelemetryTracer, SamplingIsDeterministic) {
+  Tracer tracer({.sample_every = 4});
+  std::vector<bool> sampled;
+  for (int q = 0; q < 9; ++q) {
+    auto trace = tracer.StartTrace();
+    sampled.push_back(trace != nullptr);
+    tracer.FinishTrace(trace, /*total_us=*/1);
+  }
+  const std::vector<bool> want = {true, false, false, false, true,
+                                  false, false, false, true};
+  EXPECT_EQ(sampled, want);
+  EXPECT_EQ(tracer.retained_count(), 3u);
+}
+
+TEST(TelemetryTracer, SlowQueriesAlwaysRetained) {
+  Tracer tracer({.sample_every = 0, .keep_slower_than_us = 100});
+  auto fast = tracer.StartTrace();
+  ASSERT_NE(fast, nullptr);  // speculative: every query traced
+  EXPECT_FALSE(fast->sampled());
+  tracer.FinishTrace(fast, 99);
+  EXPECT_EQ(tracer.retained_count(), 0u);  // under the bar: dropped
+  auto slow = tracer.StartTrace();
+  tracer.FinishTrace(slow, 100);
+  EXPECT_EQ(tracer.retained_count(), 1u);
+}
+
+TEST(TelemetryTracer, RetentionRingIsBounded) {
+  Tracer tracer({.sample_every = 1, .keep_slower_than_us = 0, .max_traces = 2});
+  std::vector<uint64_t> kept_ids;
+  for (int q = 0; q < 5; ++q) {
+    auto trace = tracer.StartTrace();
+    ASSERT_NE(trace, nullptr);
+    kept_ids.push_back(trace->trace_id());
+    tracer.FinishTrace(trace, 1);
+  }
+  const auto retained = tracer.Retained();
+  ASSERT_EQ(retained.size(), 2u);
+  // Newest-two survive.
+  EXPECT_EQ(retained[0]->trace_id(), kept_ids[3]);
+  EXPECT_EQ(retained[1]->trace_id(), kept_ids[4]);
+}
+
+TEST(TelemetryTracer, ChromeJsonListsSpansAndTracks) {
+  Tracer tracer({.sample_every = 1});
+  auto trace = tracer.StartTrace();
+  ASSERT_NE(trace, nullptr);
+  {
+    TraceSpan root(trace.get(), "engine.query");
+    TraceSpan child(trace.get(), "cache.lookup");
+    child.SetAttr("hit", false);
+  }
+  tracer.FinishTrace(trace, 10);
+  const std::string json = tracer.RenderChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"engine.query\""), std::string::npos);
+  EXPECT_NE(json.find("\"cache.lookup\""), std::string::npos);
+  EXPECT_NE(json.find("\"hit\":\"false\""), std::string::npos) << json;
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+// ------------------------------------------------------------ slow log
+
+TEST(TelemetrySlowLog, ThresholdGatesRecording) {
+  SlowQueryLog log(/*capacity=*/4, /*threshold_us=*/100);
+  EXPECT_FALSE(log.ShouldRecord(99));
+  EXPECT_TRUE(log.ShouldRecord(100));
+  SlowQueryLog disabled(/*capacity=*/0, /*threshold_us=*/0);
+  EXPECT_FALSE(disabled.ShouldRecord(1 << 30));
+}
+
+TEST(TelemetrySlowLog, EvictionIsOldestFirst) {
+  SlowQueryLog log(/*capacity=*/3, /*threshold_us=*/0);
+  for (uint64_t i = 0; i < 5; ++i) {
+    SlowQueryEntry entry;
+    entry.latency_us = 1000 + i;
+    entry.engine = "E" + std::to_string(i);
+    log.Record(std::move(entry));
+  }
+  EXPECT_EQ(log.recorded(), 5u);
+  const auto entries = log.Dump();
+  ASSERT_EQ(entries.size(), 3u);
+  // Strict FIFO: the two oldest records were overwritten.
+  EXPECT_EQ(entries[0].engine, "E2");
+  EXPECT_EQ(entries[1].engine, "E3");
+  EXPECT_EQ(entries[2].engine, "E4");
+  EXPECT_LT(entries[0].seq, entries[1].seq);
+  EXPECT_LT(entries[1].seq, entries[2].seq);
+}
+
+TEST(TelemetrySlowLog, RenderTextMentionsEveryEntry) {
+  SlowQueryLog log(/*capacity=*/2, /*threshold_us=*/0);
+  SlowQueryEntry entry;
+  entry.latency_us = 1234;
+  entry.engine = "BASE";
+  entry.answered_by = "cache";
+  log.Record(std::move(entry));
+  const std::string text = log.RenderText();
+  EXPECT_NE(text.find("1234us"), std::string::npos) << text;
+  EXPECT_NE(text.find("answered_by=cache"), std::string::npos) << text;
+}
+
+// ------------------------------------------------- engine accounting
+
+PointSet SmallGrid(size_t n, size_t d) {
+  PointSet points(d);
+  uint64_t state = 99;
+  for (size_t i = 0; i < n; ++i) {
+    Point p(d);
+    for (size_t j = 0; j < d; ++j) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      p[j] = 0.1 + static_cast<double>((state >> 33) % 1000) / 500.0;
+    }
+    points.Append(p);
+  }
+  return points;
+}
+
+uint64_t CounterOf(const MetricsSnapshot& snap, const std::string& name) {
+  auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
+
+uint64_t AnsweredBySum(const MetricsSnapshot& snap, const std::string& prefix) {
+  uint64_t sum = 0;
+  for (const auto& [name, value] : snap.counters) {
+    if (name.rfind(prefix, 0) == 0) sum += value;
+  }
+  return sum;
+}
+
+TEST(TelemetryEngine, ExactlyOneAttributionPerAnsweredQuery) {
+  auto engine = EclipseEngine::Make(SmallGrid(400, 3));
+  ASSERT_TRUE(engine.ok());
+  const RatioBox repeat = *RatioBox::Uniform(2, 0.5, 2.0);
+  uint64_t issued = 0;
+  ASSERT_TRUE(engine->Query(repeat).ok()) << "first: miss path";
+  ++issued;
+  ASSERT_TRUE(engine->Query(repeat).ok()) << "second: cache hit";
+  ++issued;
+  ASSERT_TRUE(engine->Query(RatioBox::Skyline(2)).ok()) << "skyline";
+  ++issued;
+  ASSERT_TRUE(engine->Query(*RatioBox::Uniform(2, 0.9, 1.1)).ok());
+  ++issued;
+  const MetricsSnapshot snap = engine->metrics()->Snapshot();
+  EXPECT_EQ(CounterOf(snap, "engine.query.count"), issued);
+  EXPECT_EQ(AnsweredBySum(snap, "engine.query.answered_by."), issued);
+  EXPECT_EQ(snap.histograms.at("engine.query.latency_us").count, issued);
+  EXPECT_GE(CounterOf(snap, "engine.query.answered_by.cache"), 1u);
+  EXPECT_EQ(CounterOf(snap, "engine.query.errors"), 0u);
+}
+
+TEST(TelemetryEngine, DisabledMetricsMeansNoRegistry) {
+  EngineOptions options;
+  options.enable_metrics = false;
+  auto engine = EclipseEngine::Make(SmallGrid(50, 3), options);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(engine->metrics(), nullptr);
+  EXPECT_EQ(engine->slow_log(), nullptr);
+  ASSERT_TRUE(engine->Query(RatioBox::Skyline(2)).ok());
+}
+
+TEST(TelemetryEngine, SlowLogCapturesQueriesWithBreakdown) {
+  EngineOptions options;
+  options.slow_log_capacity = 4;  // threshold 0: every query records
+  auto engine = EclipseEngine::Make(SmallGrid(200, 3), options);
+  ASSERT_TRUE(engine.ok());
+  // First query untraced; second traced (a serving frontend that wants span
+  // breakdowns in the slow log attaches traces, e.g. via keep_slower_than_us).
+  ASSERT_TRUE(engine->Query(RatioBox::Skyline(2)).ok());
+  Tracer tracer({.sample_every = 1});
+  auto trace = tracer.StartTrace();
+  ASSERT_NE(trace, nullptr);
+  QueryContext ctx;
+  ctx.set_trace(trace);
+  ASSERT_TRUE(engine->Query(*RatioBox::Uniform(2, 0.5, 2.0), &ctx).ok());
+  tracer.FinishTrace(trace, 1);
+  const SlowQueryLog* log = engine->slow_log();
+  ASSERT_NE(log, nullptr);
+  EXPECT_EQ(log->recorded(), 2u);
+  const std::vector<SlowQueryEntry> entries = log->Dump();
+  ASSERT_EQ(entries.size(), 2u);
+  for (const SlowQueryEntry& entry : entries) {
+    EXPECT_FALSE(entry.engine.empty());
+    EXPECT_FALSE(entry.answered_by.empty());
+    EXPECT_FALSE(entry.box.empty());
+  }
+  // The untraced query has no span attribution; the traced one lists its
+  // child spans with per-span durations.
+  EXPECT_TRUE(entries[0].breakdown.empty());
+  EXPECT_FALSE(entries[1].breakdown.empty());
+  EXPECT_NE(entries[1].breakdown.find("cache.lookup="), std::string::npos);
+}
+
+TEST(TelemetryEngine, TracedQueryEmitsTaxonomySpans) {
+  auto engine = EclipseEngine::Make(SmallGrid(200, 3));
+  ASSERT_TRUE(engine.ok());
+  Tracer tracer({.sample_every = 1});
+  auto trace = tracer.StartTrace();
+  ASSERT_NE(trace, nullptr);
+  QueryContext ctx;
+  ctx.set_trace(trace);
+  ASSERT_TRUE(engine->Query(*RatioBox::Uniform(2, 0.5, 2.0), &ctx).ok());
+  tracer.FinishTrace(trace, 1);
+  std::vector<std::string> names;
+  for (const auto& span : trace->spans()) names.push_back(span.name);
+  EXPECT_NE(std::find(names.begin(), names.end(), "engine.query"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "cache.lookup"),
+            names.end());
+  // The root engine.query span closes last and carries the attribution.
+  const auto& root = trace->spans().back();
+  EXPECT_EQ(root.name, "engine.query");
+  EXPECT_EQ(root.parent_id, 0u);
+}
+
+TEST(TelemetryEngine, ShardedAdmissionCountersMatchAdmissionStats) {
+  ShardedEngineOptions options;
+  options.num_shards = 2;
+  auto engine = ShardedEclipseEngine::Make(SmallGrid(300, 3), options);
+  ASSERT_TRUE(engine.ok());
+  // Distinct boxes: identical boxes would hit the sharded result cache and
+  // never scatter, so the per-shard engine counters would stay near zero.
+  for (int q = 0; q < 5; ++q) {
+    const RatioBox box = *RatioBox::Uniform(2, 0.5 + 0.1 * q, 2.0 + 0.1 * q);
+    ASSERT_TRUE(engine->Query(box).ok());
+  }
+  const AdmissionStats admission = engine->admission();
+  const MetricsSnapshot snap = engine->metrics()->Snapshot();
+  EXPECT_EQ(CounterOf(snap, "sharded.admission.admitted"),
+            admission.admitted);
+  EXPECT_EQ(CounterOf(snap, "sharded.admission.shed"), admission.shed);
+  EXPECT_EQ(CounterOf(snap, "sharded.query.count"), 5u);
+  EXPECT_EQ(AnsweredBySum(snap, "sharded.query.answered_by."), 5u);
+  EXPECT_EQ(snap.histograms.at("sharded.query.latency_us").count, 5u);
+  // The shared registry also aggregates the per-shard engines' metrics.
+  EXPECT_GE(CounterOf(snap, "engine.query.count"), 5u);
+}
+
+TEST(TelemetryEngine, ShardedSlowLogRecordsOncePerQuery) {
+  ShardedEngineOptions options;
+  options.num_shards = 2;
+  options.engine.slow_log_capacity = 8;  // threshold 0
+  auto engine = ShardedEclipseEngine::Make(SmallGrid(300, 3), options);
+  ASSERT_TRUE(engine.ok());
+  const RatioBox box = *RatioBox::Uniform(2, 0.5, 2.0);
+  for (int q = 0; q < 3; ++q) ASSERT_TRUE(engine->Query(box).ok());
+  // One entry per query at the sharded level; per-shard slow logs stay
+  // disabled so one slow query is not recorded S + 1 times.
+  ASSERT_NE(engine->slow_log(), nullptr);
+  EXPECT_EQ(engine->slow_log()->recorded(), 3u);
+  for (const SlowQueryEntry& entry : engine->slow_log()->Dump()) {
+    EXPECT_EQ(entry.engine, "sharded");
+  }
+}
+
+}  // namespace
+}  // namespace eclipse

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbs_test.dir/tests/bbs_test.cc.o"
+  "CMakeFiles/bbs_test.dir/tests/bbs_test.cc.o.d"
+  "bbs_test"
+  "bbs_test.pdb"
+  "bbs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_exactness.dir/bench/bench_ablation_exactness.cc.o"
+  "CMakeFiles/bench_ablation_exactness.dir/bench/bench_ablation_exactness.cc.o.d"
+  "bench/bench_ablation_exactness"
+  "bench/bench_ablation_exactness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_exactness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bbs.dir/bench/bench_bbs.cc.o"
+  "CMakeFiles/bench_bbs.dir/bench/bench_bbs.cc.o.d"
+  "bench/bench_bbs"
+  "bench/bench_bbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

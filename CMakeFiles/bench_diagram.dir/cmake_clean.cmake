@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_diagram.dir/bench/bench_diagram.cc.o"
+  "CMakeFiles/bench_diagram.dir/bench/bench_diagram.cc.o.d"
+  "bench/bench_diagram"
+  "bench/bench_diagram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_diagram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

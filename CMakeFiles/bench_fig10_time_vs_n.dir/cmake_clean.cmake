@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_time_vs_n.dir/bench/bench_fig10_time_vs_n.cc.o"
+  "CMakeFiles/bench_fig10_time_vs_n.dir/bench/bench_fig10_time_vs_n.cc.o.d"
+  "bench/bench_fig10_time_vs_n"
+  "bench/bench_fig10_time_vs_n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_time_vs_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

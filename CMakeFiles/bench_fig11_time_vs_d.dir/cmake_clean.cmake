@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_time_vs_d.dir/bench/bench_fig11_time_vs_d.cc.o"
+  "CMakeFiles/bench_fig11_time_vs_d.dir/bench/bench_fig11_time_vs_d.cc.o.d"
+  "bench/bench_fig11_time_vs_d"
+  "bench/bench_fig11_time_vs_d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_time_vs_d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_time_vs_ratio.dir/bench/bench_fig12_time_vs_ratio.cc.o"
+  "CMakeFiles/bench_fig12_time_vs_ratio.dir/bench/bench_fig12_time_vs_ratio.cc.o.d"
+  "bench/bench_fig12_time_vs_ratio"
+  "bench/bench_fig12_time_vs_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_time_vs_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

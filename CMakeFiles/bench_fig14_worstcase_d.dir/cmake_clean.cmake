@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_worstcase_d.dir/bench/bench_fig14_worstcase_d.cc.o"
+  "CMakeFiles/bench_fig14_worstcase_d.dir/bench/bench_fig14_worstcase_d.cc.o.d"
+  "bench/bench_fig14_worstcase_d"
+  "bench/bench_fig14_worstcase_d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_worstcase_d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hotpath_speedup.dir/bench/bench_hotpath_speedup.cc.o"
+  "CMakeFiles/bench_hotpath_speedup.dir/bench/bench_hotpath_speedup.cc.o.d"
+  "bench/bench_hotpath_speedup"
+  "bench/bench_hotpath_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hotpath_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

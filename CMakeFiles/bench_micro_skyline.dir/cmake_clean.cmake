@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_skyline.dir/bench/bench_micro_skyline.cc.o"
+  "CMakeFiles/bench_micro_skyline.dir/bench/bench_micro_skyline.cc.o.d"
+  "bench/bench_micro_skyline"
+  "bench/bench_micro_skyline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_skyline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stream.dir/bench/bench_stream.cc.o"
+  "CMakeFiles/bench_stream.dir/bench/bench_stream.cc.o.d"
+  "bench/bench_stream"
+  "bench/bench_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

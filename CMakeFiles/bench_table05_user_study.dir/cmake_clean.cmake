@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table05_user_study.dir/bench/bench_table05_user_study.cc.o"
+  "CMakeFiles/bench_table05_user_study.dir/bench/bench_table05_user_study.cc.o.d"
+  "bench/bench_table05_user_study"
+  "bench/bench_table05_user_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table05_user_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

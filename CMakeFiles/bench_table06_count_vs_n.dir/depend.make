@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table06_count_vs_n.
+# This may be replaced when dependencies are built.

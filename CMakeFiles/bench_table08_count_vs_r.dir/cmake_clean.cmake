@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table08_count_vs_r.dir/bench/bench_table08_count_vs_r.cc.o"
+  "CMakeFiles/bench_table08_count_vs_r.dir/bench/bench_table08_count_vs_r.cc.o.d"
+  "bench/bench_table08_count_vs_r"
+  "bench/bench_table08_count_vs_r.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table08_count_vs_r.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

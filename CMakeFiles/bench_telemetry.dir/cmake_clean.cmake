@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_telemetry.dir/bench/bench_telemetry.cc.o"
+  "CMakeFiles/bench_telemetry.dir/bench/bench_telemetry.cc.o.d"
+  "bench/bench_telemetry"
+  "bench/bench_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

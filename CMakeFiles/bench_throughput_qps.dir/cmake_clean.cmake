@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_throughput_qps.dir/bench/bench_throughput_qps.cc.o"
+  "CMakeFiles/bench_throughput_qps.dir/bench/bench_throughput_qps.cc.o.d"
+  "bench/bench_throughput_qps"
+  "bench/bench_throughput_qps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_throughput_qps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dual_index_test.dir/tests/dual_index_test.cc.o"
+  "CMakeFiles/dual_index_test.dir/tests/dual_index_test.cc.o.d"
+  "dual_index_test"
+  "dual_index_test.pdb"
+  "dual_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dual_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclipse_cli.dir/examples/eclipse_cli.cc.o"
+  "CMakeFiles/eclipse_cli.dir/examples/eclipse_cli.cc.o.d"
+  "examples/eclipse_cli"
+  "examples/eclipse_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclipse_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclipse_core_test.dir/tests/eclipse_core_test.cc.o"
+  "CMakeFiles/eclipse_core_test.dir/tests/eclipse_core_test.cc.o.d"
+  "eclipse_core_test"
+  "eclipse_core_test.pdb"
+  "eclipse_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclipse_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

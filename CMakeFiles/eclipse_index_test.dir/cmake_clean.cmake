@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclipse_index_test.dir/tests/eclipse_index_test.cc.o"
+  "CMakeFiles/eclipse_index_test.dir/tests/eclipse_index_test.cc.o.d"
+  "eclipse_index_test"
+  "eclipse_index_test.pdb"
+  "eclipse_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclipse_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,86 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchlib/latency.cc" "CMakeFiles/eclipse_lib.dir/src/benchlib/latency.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/benchlib/latency.cc.o.d"
+  "/root/repo/src/benchlib/sweep.cc" "CMakeFiles/eclipse_lib.dir/src/benchlib/sweep.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/benchlib/sweep.cc.o.d"
+  "/root/repo/src/benchlib/table.cc" "CMakeFiles/eclipse_lib.dir/src/benchlib/table.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/benchlib/table.cc.o.d"
+  "/root/repo/src/benchlib/workloads.cc" "CMakeFiles/eclipse_lib.dir/src/benchlib/workloads.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/benchlib/workloads.cc.o.d"
+  "/root/repo/src/common/io.cc" "CMakeFiles/eclipse_lib.dir/src/common/io.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/common/io.cc.o.d"
+  "/root/repo/src/common/random.cc" "CMakeFiles/eclipse_lib.dir/src/common/random.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/common/random.cc.o.d"
+  "/root/repo/src/common/statistics.cc" "CMakeFiles/eclipse_lib.dir/src/common/statistics.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/common/statistics.cc.o.d"
+  "/root/repo/src/common/status.cc" "CMakeFiles/eclipse_lib.dir/src/common/status.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "CMakeFiles/eclipse_lib.dir/src/common/strings.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/common/strings.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "CMakeFiles/eclipse_lib.dir/src/common/thread_pool.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/common/thread_pool.cc.o.d"
+  "/root/repo/src/core/baseline.cc" "CMakeFiles/eclipse_lib.dir/src/core/baseline.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/core/baseline.cc.o.d"
+  "/root/repo/src/core/corner_kernel.cc" "CMakeFiles/eclipse_lib.dir/src/core/corner_kernel.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/core/corner_kernel.cc.o.d"
+  "/root/repo/src/core/corner_skyline.cc" "CMakeFiles/eclipse_lib.dir/src/core/corner_skyline.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/core/corner_skyline.cc.o.d"
+  "/root/repo/src/core/eclipse_index.cc" "CMakeFiles/eclipse_lib.dir/src/core/eclipse_index.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/core/eclipse_index.cc.o.d"
+  "/root/repo/src/core/index_io.cc" "CMakeFiles/eclipse_lib.dir/src/core/index_io.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/core/index_io.cc.o.d"
+  "/root/repo/src/core/ratio_box.cc" "CMakeFiles/eclipse_lib.dir/src/core/ratio_box.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/core/ratio_box.cc.o.d"
+  "/root/repo/src/core/relationships.cc" "CMakeFiles/eclipse_lib.dir/src/core/relationships.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/core/relationships.cc.o.d"
+  "/root/repo/src/core/suggest_range.cc" "CMakeFiles/eclipse_lib.dir/src/core/suggest_range.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/core/suggest_range.cc.o.d"
+  "/root/repo/src/core/transform2d.cc" "CMakeFiles/eclipse_lib.dir/src/core/transform2d.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/core/transform2d.cc.o.d"
+  "/root/repo/src/core/transform_hd.cc" "CMakeFiles/eclipse_lib.dir/src/core/transform_hd.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/core/transform_hd.cc.o.d"
+  "/root/repo/src/dataset/adversarial.cc" "CMakeFiles/eclipse_lib.dir/src/dataset/adversarial.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/dataset/adversarial.cc.o.d"
+  "/root/repo/src/dataset/columnar.cc" "CMakeFiles/eclipse_lib.dir/src/dataset/columnar.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/dataset/columnar.cc.o.d"
+  "/root/repo/src/dataset/csv.cc" "CMakeFiles/eclipse_lib.dir/src/dataset/csv.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/dataset/csv.cc.o.d"
+  "/root/repo/src/dataset/generators.cc" "CMakeFiles/eclipse_lib.dir/src/dataset/generators.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/dataset/generators.cc.o.d"
+  "/root/repo/src/dataset/nba_synth.cc" "CMakeFiles/eclipse_lib.dir/src/dataset/nba_synth.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/dataset/nba_synth.cc.o.d"
+  "/root/repo/src/dataset/transforms.cc" "CMakeFiles/eclipse_lib.dir/src/dataset/transforms.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/dataset/transforms.cc.o.d"
+  "/root/repo/src/diagram/eclipse_diagram.cc" "CMakeFiles/eclipse_lib.dir/src/diagram/eclipse_diagram.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/diagram/eclipse_diagram.cc.o.d"
+  "/root/repo/src/dual/dual_model.cc" "CMakeFiles/eclipse_lib.dir/src/dual/dual_model.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/dual/dual_model.cc.o.d"
+  "/root/repo/src/dual/intersections.cc" "CMakeFiles/eclipse_lib.dir/src/dual/intersections.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/dual/intersections.cc.o.d"
+  "/root/repo/src/dual/order_vector.cc" "CMakeFiles/eclipse_lib.dir/src/dual/order_vector.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/dual/order_vector.cc.o.d"
+  "/root/repo/src/engine/eclipse_engine.cc" "CMakeFiles/eclipse_lib.dir/src/engine/eclipse_engine.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/engine/eclipse_engine.cc.o.d"
+  "/root/repo/src/engine/registry.cc" "CMakeFiles/eclipse_lib.dir/src/engine/registry.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/engine/registry.cc.o.d"
+  "/root/repo/src/engine/result_cache.cc" "CMakeFiles/eclipse_lib.dir/src/engine/result_cache.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/engine/result_cache.cc.o.d"
+  "/root/repo/src/fault/fault_injection.cc" "CMakeFiles/eclipse_lib.dir/src/fault/fault_injection.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/fault/fault_injection.cc.o.d"
+  "/root/repo/src/geometry/box.cc" "CMakeFiles/eclipse_lib.dir/src/geometry/box.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/geometry/box.cc.o.d"
+  "/root/repo/src/geometry/dual.cc" "CMakeFiles/eclipse_lib.dir/src/geometry/dual.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/geometry/dual.cc.o.d"
+  "/root/repo/src/geometry/line2d.cc" "CMakeFiles/eclipse_lib.dir/src/geometry/line2d.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/geometry/line2d.cc.o.d"
+  "/root/repo/src/geometry/linear_form.cc" "CMakeFiles/eclipse_lib.dir/src/geometry/linear_form.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/geometry/linear_form.cc.o.d"
+  "/root/repo/src/geometry/point.cc" "CMakeFiles/eclipse_lib.dir/src/geometry/point.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/geometry/point.cc.o.d"
+  "/root/repo/src/hull/convex_hull_2d.cc" "CMakeFiles/eclipse_lib.dir/src/hull/convex_hull_2d.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/hull/convex_hull_2d.cc.o.d"
+  "/root/repo/src/index/cutting_tree.cc" "CMakeFiles/eclipse_lib.dir/src/index/cutting_tree.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/index/cutting_tree.cc.o.d"
+  "/root/repo/src/index/index2d.cc" "CMakeFiles/eclipse_lib.dir/src/index/index2d.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/index/index2d.cc.o.d"
+  "/root/repo/src/index/line_quadtree.cc" "CMakeFiles/eclipse_lib.dir/src/index/line_quadtree.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/index/line_quadtree.cc.o.d"
+  "/root/repo/src/index/order_vector_index2d.cc" "CMakeFiles/eclipse_lib.dir/src/index/order_vector_index2d.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/index/order_vector_index2d.cc.o.d"
+  "/root/repo/src/index/packed_rtree.cc" "CMakeFiles/eclipse_lib.dir/src/index/packed_rtree.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/index/packed_rtree.cc.o.d"
+  "/root/repo/src/knn/linear_scan.cc" "CMakeFiles/eclipse_lib.dir/src/knn/linear_scan.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/knn/linear_scan.cc.o.d"
+  "/root/repo/src/knn/rtree.cc" "CMakeFiles/eclipse_lib.dir/src/knn/rtree.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/knn/rtree.cc.o.d"
+  "/root/repo/src/knn/scoring.cc" "CMakeFiles/eclipse_lib.dir/src/knn/scoring.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/knn/scoring.cc.o.d"
+  "/root/repo/src/shard/merge.cc" "CMakeFiles/eclipse_lib.dir/src/shard/merge.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/shard/merge.cc.o.d"
+  "/root/repo/src/shard/partitioner.cc" "CMakeFiles/eclipse_lib.dir/src/shard/partitioner.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/shard/partitioner.cc.o.d"
+  "/root/repo/src/shard/sharded_engine.cc" "CMakeFiles/eclipse_lib.dir/src/shard/sharded_engine.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/shard/sharded_engine.cc.o.d"
+  "/root/repo/src/skyline/bbs.cc" "CMakeFiles/eclipse_lib.dir/src/skyline/bbs.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/skyline/bbs.cc.o.d"
+  "/root/repo/src/skyline/bnl.cc" "CMakeFiles/eclipse_lib.dir/src/skyline/bnl.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/skyline/bnl.cc.o.d"
+  "/root/repo/src/skyline/divide_conquer.cc" "CMakeFiles/eclipse_lib.dir/src/skyline/divide_conquer.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/skyline/divide_conquer.cc.o.d"
+  "/root/repo/src/skyline/dominance.cc" "CMakeFiles/eclipse_lib.dir/src/skyline/dominance.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/skyline/dominance.cc.o.d"
+  "/root/repo/src/skyline/flat_skyline.cc" "CMakeFiles/eclipse_lib.dir/src/skyline/flat_skyline.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/skyline/flat_skyline.cc.o.d"
+  "/root/repo/src/skyline/layers.cc" "CMakeFiles/eclipse_lib.dir/src/skyline/layers.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/skyline/layers.cc.o.d"
+  "/root/repo/src/skyline/sfs.cc" "CMakeFiles/eclipse_lib.dir/src/skyline/sfs.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/skyline/sfs.cc.o.d"
+  "/root/repo/src/skyline/simd_dominance.cc" "CMakeFiles/eclipse_lib.dir/src/skyline/simd_dominance.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/skyline/simd_dominance.cc.o.d"
+  "/root/repo/src/skyline/skyline.cc" "CMakeFiles/eclipse_lib.dir/src/skyline/skyline.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/skyline/skyline.cc.o.d"
+  "/root/repo/src/skyline/sort_sweep_2d.cc" "CMakeFiles/eclipse_lib.dir/src/skyline/sort_sweep_2d.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/skyline/sort_sweep_2d.cc.o.d"
+  "/root/repo/src/stream/continuous.cc" "CMakeFiles/eclipse_lib.dir/src/stream/continuous.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/stream/continuous.cc.o.d"
+  "/root/repo/src/stream/delta_maintainer.cc" "CMakeFiles/eclipse_lib.dir/src/stream/delta_maintainer.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/stream/delta_maintainer.cc.o.d"
+  "/root/repo/src/stream/stream_ingestor.cc" "CMakeFiles/eclipse_lib.dir/src/stream/stream_ingestor.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/stream/stream_ingestor.cc.o.d"
+  "/root/repo/src/telemetry/histogram.cc" "CMakeFiles/eclipse_lib.dir/src/telemetry/histogram.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/telemetry/histogram.cc.o.d"
+  "/root/repo/src/telemetry/metrics_registry.cc" "CMakeFiles/eclipse_lib.dir/src/telemetry/metrics_registry.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/telemetry/metrics_registry.cc.o.d"
+  "/root/repo/src/telemetry/slow_log.cc" "CMakeFiles/eclipse_lib.dir/src/telemetry/slow_log.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/telemetry/slow_log.cc.o.d"
+  "/root/repo/src/telemetry/trace.cc" "CMakeFiles/eclipse_lib.dir/src/telemetry/trace.cc.o" "gcc" "CMakeFiles/eclipse_lib.dir/src/telemetry/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

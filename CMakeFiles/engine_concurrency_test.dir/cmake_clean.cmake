@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_concurrency_test.dir/tests/engine_concurrency_test.cc.o"
+  "CMakeFiles/engine_concurrency_test.dir/tests/engine_concurrency_test.cc.o.d"
+  "engine_concurrency_test"
+  "engine_concurrency_test.pdb"
+  "engine_concurrency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flat_skyline_test.dir/tests/flat_skyline_test.cc.o"
+  "CMakeFiles/flat_skyline_test.dir/tests/flat_skyline_test.cc.o.d"
+  "flat_skyline_test"
+  "flat_skyline_test.pdb"
+  "flat_skyline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flat_skyline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

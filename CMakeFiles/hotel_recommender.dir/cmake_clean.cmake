@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotel_recommender.dir/examples/hotel_recommender.cc.o"
+  "CMakeFiles/hotel_recommender.dir/examples/hotel_recommender.cc.o.d"
+  "examples/hotel_recommender"
+  "examples/hotel_recommender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotel_recommender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_structures_test.dir/tests/index_structures_test.cc.o"
+  "CMakeFiles/index_structures_test.dir/tests/index_structures_test.cc.o.d"
+  "index_structures_test"
+  "index_structures_test.pdb"
+  "index_structures_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_structures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knn_hull_test.dir/tests/knn_hull_test.cc.o"
+  "CMakeFiles/knn_hull_test.dir/tests/knn_hull_test.cc.o.d"
+  "knn_hull_test"
+  "knn_hull_test.pdb"
+  "knn_hull_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knn_hull_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nba_allstars.dir/examples/nba_allstars.cc.o"
+  "CMakeFiles/nba_allstars.dir/examples/nba_allstars.cc.o.d"
+  "examples/nba_allstars"
+  "examples/nba_allstars.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nba_allstars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

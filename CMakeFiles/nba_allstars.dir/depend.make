@@ -1,0 +1,2 @@
+# Empty dependencies file for nba_allstars.
+# This may be replaced when dependencies are built.

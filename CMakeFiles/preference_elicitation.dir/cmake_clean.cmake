@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preference_elicitation.dir/examples/preference_elicitation.cc.o"
+  "CMakeFiles/preference_elicitation.dir/examples/preference_elicitation.cc.o.d"
+  "examples/preference_elicitation"
+  "examples/preference_elicitation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preference_elicitation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ratio_box_test.dir/tests/ratio_box_test.cc.o"
+  "CMakeFiles/ratio_box_test.dir/tests/ratio_box_test.cc.o.d"
+  "ratio_box_test"
+  "ratio_box_test.pdb"
+  "ratio_box_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ratio_box_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ratio_box_test.
+# This may be replaced when dependencies are built.

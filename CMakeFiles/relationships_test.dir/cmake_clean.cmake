@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relationships_test.dir/tests/relationships_test.cc.o"
+  "CMakeFiles/relationships_test.dir/tests/relationships_test.cc.o.d"
+  "relationships_test"
+  "relationships_test.pdb"
+  "relationships_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relationships_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

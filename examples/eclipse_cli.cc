@@ -51,7 +51,16 @@
 //          --slow-log=N (keep the N slowest-query entries -- threshold 0,
 //                      so every query is eligible -- and print the slow-query
 //                      log after answering, including the per-span latency
-//                      breakdown).
+//                      breakdown),
+//          --admin-port=P (serve the HTTP admin plane on 127.0.0.1:P while
+//                      the process runs: /metrics (Prometheus), /healthz,
+//                      /readyz, /debug/slowlog, /debug/traces,
+//                      /debug/structures. P = 0 picks an ephemeral port;
+//                      the bound port is printed on stdout either way),
+//          --serve (after answering, keep the admin plane up until stdin
+//                      reaches EOF -- the scrape-me mode CI and local
+//                      `curl` poking use; implies --admin-port=0 unless one
+//                      was given).
 // A stream trace is a numeric CSV with d+1 columns: column 1 is the op
 // (0 = insert, 1 = erase); insert rows carry the d coordinates, erase rows
 // carry the stable id to remove in column 2 (initial CSV rows hold ids
@@ -78,6 +87,8 @@
 #include "engine/eclipse_engine.h"
 #include "engine/registry.h"
 #include "knn/linear_scan.h"
+#include "server/admin.h"
+#include "server/http_server.h"
 #include "knn/rtree.h"
 #include "knn/scoring.h"
 #include "shard/partitioner.h"
@@ -101,7 +112,8 @@ int Usage() {
                "usage: eclipse_cli <file.csv> [--max] [--rows] [--explain] "
                "[--algorithm=NAME] [--shards=N] [--partitioner=NAME] "
                "[--deadline-ms=MS] [--stream=trace.csv] [--metrics-dump] "
-               "[--trace-out=FILE] [--slow-log=N] <operator> ...\n"
+               "[--trace-out=FILE] [--slow-log=N] [--admin-port=P] [--serve] "
+               "<operator> ...\n"
                "  skyline\n"
                "  eclipse <lo> <hi> [engine]\n"
                "  onenn   <r1> [r2 ...]\n"
@@ -154,6 +166,8 @@ struct ServingConfig {
   bool metrics_dump = false;  // print the registry as JSON after the query
   std::string trace_out;      // Chrome trace_event JSON path; empty = off
   size_t slow_log = 0;        // slow-query ring capacity; 0 = off
+  long admin_port = -1;       // HTTP admin plane port; -1 = off, 0 = ephemeral
+  bool serve = false;         // keep the admin plane up until stdin EOF
 
   /// A fresh context for one query: the deadline clock starts ticking here,
   /// not at flag parsing, so CSV loading and stream replay don't eat it.
@@ -196,6 +210,42 @@ int ReportTelemetry(const Engine& engine, const ServingConfig& serving,
                 serving.trace_out.c_str());
   }
   return 0;
+}
+
+/// Starts the HTTP admin plane when --admin-port was given, registering the
+/// six endpoints over `engine` and `tracer`. Prints the bound port on stdout
+/// in a parseable, flushed line so harnesses scraping an ephemeral port
+/// (--admin-port=0) can pick it up while the process runs. Returns 0/1.
+template <typename Engine>
+int StartAdminPlane(Engine& engine, const ServingConfig& serving,
+                    const eclipse::Tracer& tracer,
+                    eclipse::AdminServer* server) {
+  if (serving.admin_port < 0) return 0;
+  eclipse::RegisterAdminEndpoints(*server,
+                                  eclipse::MakeAdminHooks(engine, &tracer));
+  eclipse::AdminServerOptions options;
+  options.port = static_cast<uint16_t>(serving.admin_port);
+  eclipse::Status started = server->Start(options);
+  if (!started.ok()) {
+    std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("admin plane listening on 127.0.0.1:%u\n",
+              static_cast<unsigned>(server->port()));
+  std::fflush(stdout);
+  return 0;
+}
+
+/// Under --serve, blocks until stdin reaches EOF (a harness holds a pipe
+/// open while it curls the endpoints), then stops the server cleanly.
+void ServeUntilStdinEof(const ServingConfig& serving,
+                        eclipse::AdminServer* server) {
+  if (!serving.serve || !server->running()) return;
+  std::printf("serving; close stdin to stop\n");
+  std::fflush(stdout);
+  while (std::fgetc(stdin) != EOF) {
+  }
+  server->Stop();
 }
 
 bool ParseAlgorithm(const char* name, eclipse::SkylineAlgorithm* out) {
@@ -343,6 +393,9 @@ int RunShardedQuery(const PointSet& original, PointSet data,
   }
   eclipse::ShardedQueryStats stats;
   eclipse::Tracer tracer({.sample_every = 1});
+  eclipse::AdminServer admin;
+  const int admin_rc = StartAdminPlane(engine.value(), serving, tracer, &admin);
+  if (admin_rc != 0) return admin_rc;
   eclipse::Result<std::vector<eclipse::PointId>> ids =
       eclipse::Status::Internal("unreached");
   if (serving.NeedsContext()) {
@@ -377,6 +430,7 @@ int RunShardedQuery(const PointSet& original, PointSet data,
                 stats.gathered_candidates, stats.plan.num_shards);
   }
   PrintResult(original, *ids, print_rows);
+  ServeUntilStdinEof(serving, &admin);
   return 0;
 }
 
@@ -423,6 +477,9 @@ int RunEngineQuery(const PointSet& original, PointSet data,
   }
   eclipse::EngineQueryStats stats;
   eclipse::Tracer tracer({.sample_every = 1});
+  eclipse::AdminServer admin;
+  const int admin_rc = StartAdminPlane(engine.value(), serving, tracer, &admin);
+  if (admin_rc != 0) return admin_rc;
   eclipse::Result<std::vector<eclipse::PointId>> ids =
       eclipse::Status::Internal("unreached");
   if (serving.NeedsContext()) {
@@ -485,6 +542,7 @@ int RunEngineQuery(const PointSet& original, PointSet data,
     }
   }
   PrintResult(original, *ids, print_rows);
+  ServeUntilStdinEof(serving, &admin);
   return 0;
 }
 
@@ -574,6 +632,22 @@ int main(int argc, char** argv) {
       }
       serving.slow_log = static_cast<size_t>(capacity);
       it = args.erase(it);
+    } else if (it->rfind("--admin-port=", 0) == 0) {
+      const char* value = it->c_str() + strlen("--admin-port=");
+      char* end = nullptr;
+      const long port = std::strtol(value, &end, 10);
+      if (*value == '\0' || *end != '\0' || port < 0 || port > 65535) {
+        std::fprintf(stderr,
+                     "error: --admin-port wants a port in [0, 65535] "
+                     "(0 = ephemeral), got \"%s\"\n",
+                     value);
+        return 2;
+      }
+      serving.admin_port = port;
+      it = args.erase(it);
+    } else if (*it == "--serve") {
+      serving.serve = true;
+      it = args.erase(it);
     } else if (it->rfind("--partitioner=", 0) == 0) {
       auto kind = eclipse::PartitionerKindForName(
           it->c_str() + strlen("--partitioner="));
@@ -588,6 +662,8 @@ int main(int argc, char** argv) {
       ++it;
     }
   }
+  // --serve without a port means "any port, I'll read it off stdout".
+  if (serving.serve && serving.admin_port < 0) serving.admin_port = 0;
   if (args.size() == 1 && args[0] == "engines") return ListEngines();
   if (args.size() < 2) return Usage();
 

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition (0.0.4) page.
+
+Structural checks:
+  * every line is a comment, blank, or `name[{labels}] value`
+  * metric names match [a-zA-Z_:][a-zA-Z0-9_:]* and label names
+    [a-zA-Z_][a-zA-Z0-9_]*; label values are double-quoted with only
+    \\\\, \\", and \\n escapes
+  * exactly one `# TYPE` per base metric name, emitted before its samples
+  * histogram series are complete and coherent: cumulative nondecreasing
+    buckets ending in le="+Inf", with _count == the +Inf bucket and a _sum
+
+Usage:
+  check_prometheus.py page.txt [--require name=value ...]
+
+--require asserts a sample's exact value (label-less samples only), e.g.
+  --require engine_query_count=3
+Exits nonzero with a message on the first violation.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# A quoted label value: any run of non-escape chars or a legal escape.
+LABEL_VALUE_RE = re.compile(r'^(?:[^"\\\n]|\\\\|\\"|\\n)*$')
+SAMPLE_RE = re.compile(r"^(?P<name>[^{\s]+)(?:\{(?P<labels>.*)\})?\s+"
+                       r"(?P<value>[^\s]+)$")
+
+
+def fail(lineno, line, message):
+    raise SystemExit(f"line {lineno}: {message}\n  {line}")
+
+
+def split_labels(raw):
+    """Split `a="x",b="y"` on commas outside quotes."""
+    parts, depth, start = [], False, 0
+    i = 0
+    while i < len(raw):
+        c = raw[i]
+        if c == "\\":
+            i += 2
+            continue
+        if c == '"':
+            depth = not depth
+        elif c == "," and not depth:
+            parts.append(raw[start:i])
+            start = i + 1
+        i += 1
+    tail = raw[start:]
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def base_name(name):
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check(text, requirements):
+    typed = {}          # base name -> declared type
+    samples = {}        # plain (label-less) name -> float value
+    histograms = {}     # base name -> {"buckets": [(le, v)], "sum": v,
+                        #               "count": v}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            fields = line.split(None, 3)
+            if len(fields) >= 2 and fields[1] == "TYPE":
+                if len(fields) != 4:
+                    fail(lineno, line, "malformed # TYPE")
+                _, _, name, kind = fields
+                if not NAME_RE.match(name):
+                    fail(lineno, line, f"invalid metric name {name!r}")
+                if kind not in ("counter", "gauge", "histogram",
+                                "summary", "untyped"):
+                    fail(lineno, line, f"unknown type {kind!r}")
+                if name in typed:
+                    fail(lineno, line, f"duplicate # TYPE for {name}")
+                typed[name] = kind
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(lineno, line, "not a sample line")
+        name, labels, value = m.group("name", "labels", "value")
+        if not NAME_RE.match(name):
+            fail(lineno, line, f"invalid metric name {name!r}")
+        base = base_name(name)
+        declared = typed.get(base) or typed.get(name)
+        if declared is None:
+            fail(lineno, line, f"sample before any # TYPE for {name}")
+        try:
+            number = float(value)
+        except ValueError:
+            fail(lineno, line, f"non-numeric value {value!r}")
+        label_map = {}
+        if labels is not None:
+            for pair in split_labels(labels):
+                if "=" not in pair:
+                    fail(lineno, line, f"malformed label {pair!r}")
+                lname, _, lvalue = pair.partition("=")
+                if not LABEL_NAME_RE.match(lname):
+                    fail(lineno, line, f"invalid label name {lname!r}")
+                if (len(lvalue) < 2 or lvalue[0] != '"'
+                        or lvalue[-1] != '"'):
+                    fail(lineno, line, f"unquoted label value {lvalue!r}")
+                if not LABEL_VALUE_RE.match(lvalue[1:-1]):
+                    fail(lineno, line, f"bad escape in {lvalue!r}")
+                label_map[lname] = lvalue[1:-1]
+        if declared == "histogram" and base != name:
+            series = histograms.setdefault(
+                base, {"buckets": [], "sum": None, "count": None})
+            if name.endswith("_bucket"):
+                if "le" not in label_map:
+                    fail(lineno, line, "histogram bucket without le=")
+                series["buckets"].append((label_map["le"], number))
+            elif name.endswith("_sum"):
+                series["sum"] = number
+            elif name.endswith("_count"):
+                series["count"] = number
+        elif not label_map:
+            samples[name] = number
+
+    for base, series in histograms.items():
+        buckets = series["buckets"]
+        if not buckets or buckets[-1][0] != "+Inf":
+            raise SystemExit(f"{base}: buckets must end with le=\"+Inf\"")
+        values = [v for _, v in buckets]
+        if values != sorted(values):
+            raise SystemExit(f"{base}: buckets are not cumulative")
+        if series["count"] is None or series["sum"] is None:
+            raise SystemExit(f"{base}: missing _count or _sum")
+        if series["count"] != values[-1]:
+            raise SystemExit(
+                f"{base}: _count {series['count']} != +Inf bucket "
+                f"{values[-1]}")
+
+    for requirement in requirements:
+        name, _, expected = requirement.partition("=")
+        if name not in samples:
+            raise SystemExit(f"--require {name}: no such label-less sample "
+                             f"(have: {', '.join(sorted(samples)) or 'none'})")
+        if samples[name] != float(expected):
+            raise SystemExit(f"--require {name}: got {samples[name]}, "
+                             f"want {expected}")
+
+    return len(samples), len(histograms)
+
+
+def main(argv):
+    if len(argv) < 2:
+        raise SystemExit(__doc__)
+    path = argv[1]
+    requirements = []
+    rest = argv[2:]
+    while rest:
+        if rest[0] == "--require" and len(rest) >= 2:
+            requirements.append(rest[1])
+            rest = rest[2:]
+        else:
+            raise SystemExit(f"unknown argument {rest[0]!r}")
+    text = sys.stdin.read() if path == "-" else open(path).read()
+    n_samples, n_histograms = check(text, requirements)
+    print(f"prometheus OK: {n_samples} plain sample(s), "
+          f"{n_histograms} histogram(s), {len(requirements)} required "
+          f"value(s) matched")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -295,4 +295,24 @@ Result<std::vector<PointId>> EclipseIndex::QueryFaithfulSweep(
   return result;
 }
 
+size_t EclipseIndex::MemoryFootprintBytes() const {
+  size_t bytes = 0;
+  if (model_ != nullptr) {
+    bytes += model_->original_ids().size() * sizeof(PointId) +
+             (model_->raw_coeffs().size() + model_->raw_constants().size()) *
+                 sizeof(double);
+  }
+  if (pairs_ != nullptr) {
+    bytes += (pairs_->raw_a().size() + pairs_->raw_b().size()) *
+                 sizeof(uint32_t) +
+             (pairs_->raw_coeffs().size() + pairs_->raw_constants().size()) *
+                 sizeof(double);
+  }
+  if (index_ != nullptr) bytes += index_->MemoryFootprintBytes();
+  if (order_vector_index_ != nullptr) {
+    bytes += order_vector_index_->MemoryFootprintBytes();
+  }
+  return bytes;
+}
+
 }  // namespace eclipse

@@ -118,6 +118,11 @@ class EclipseIndex {
   const DualModel& model() const { return *model_; }
   const PairTable& pairs() const { return *pairs_; }
 
+  /// Bytes held by the dual model, pair table, intersection structure, and
+  /// (when built) the Order Vector Index. Counts bulk data arrays by element
+  /// -- see DESIGN.md "Memory accounting".
+  size_t MemoryFootprintBytes() const;
+
   EclipseIndex(EclipseIndex&&) = default;
   EclipseIndex& operator=(EclipseIndex&&) = default;
 

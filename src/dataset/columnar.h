@@ -61,6 +61,17 @@ class ColumnarSnapshot {
   /// The row-major materialization (same rows, same order).
   const PointSet& points() const { return rows_; }
 
+  /// Bytes held by the bulk data arrays: the d column vectors, the row-major
+  /// materialization, and the stable-id array. Counts elements (size(), not
+  /// capacity()) and excludes struct/allocator bookkeeping -- see DESIGN.md
+  /// "Memory accounting".
+  size_t MemoryFootprintBytes() const {
+    size_t bytes = ids_.size() * sizeof(PointId);
+    for (const auto& col : columns_) bytes += col.size() * sizeof(double);
+    bytes += rows_.size() * rows_.dims() * sizeof(double);
+    return bytes;
+  }
+
   /// Copy-on-write mutations: O(n d) into a fresh snapshot with epoch + 1;
   /// *this is unchanged. Insert appends the point and reports its newly
   /// minted stable id through `id_out` (may be null).

@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "common/strings.h"
@@ -363,6 +364,23 @@ std::vector<EclipseDiagram::CellView> EclipseDiagram::Leaves() const {
     if (nodes_[i].axis < 0) out.push_back(LeafAt(i));
   }
   return out;
+}
+
+size_t EclipseDiagram::MemoryFootprintBytes() const {
+  size_t bytes = 0;
+  std::unordered_set<const void*> seen;
+  auto add_payload =
+      [&](const std::shared_ptr<const std::vector<PointId>>& p) {
+        if (!p || !seen.insert(p.get()).second) return;
+        bytes += p->size() * sizeof(PointId);
+      };
+  for (const Node& n : nodes_) {
+    bytes += (n.lo.size() + n.hi.size()) * sizeof(double);
+    add_payload(n.lower);
+    add_payload(n.upper);
+  }
+  add_payload(root_payload_);
+  return bytes;
 }
 
 namespace {

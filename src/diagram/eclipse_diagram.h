@@ -180,6 +180,12 @@ class EclipseDiagram {
   /// diagram exact (see file comment); erasing a member requires a rebuild.
   bool ContainsId(PointId id) const;
 
+  /// Bytes held by the bulk data: per-node cell bounds plus every DISTINCT
+  /// payload vector (payloads shared between nodes -- and with the root --
+  /// are deduplicated by address). Counts elements, not capacity -- see
+  /// DESIGN.md "Memory accounting".
+  size_t MemoryFootprintBytes() const;
+
   const RatioBox& domain() const { return domain_; }
   const DiagramOptions& options() const { return options_; }
   const DiagramBuildStats& build_stats() const { return build_stats_; }

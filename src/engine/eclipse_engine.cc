@@ -12,6 +12,7 @@
 #include "common/thread_pool.h"
 #include "fault/fault_injection.h"
 #include "skyline/simd_dominance.h"
+#include "telemetry/build_info.h"
 #include "telemetry/trace.h"
 
 namespace eclipse {
@@ -487,6 +488,8 @@ struct EclipseEngine::State {
                      ? options.metrics
                      : std::make_shared<MetricsRegistry>();
       metrics.Init(registry.get());
+      // Every scrape of this registry identifies the binary it came from.
+      RegisterBuildInfo(*registry);
     }
     if (options.slow_log_capacity > 0) {
       slow_log = std::make_unique<SlowQueryLog>(
@@ -858,6 +861,40 @@ bool EclipseEngine::diagram_built() const {
 std::shared_ptr<const EclipseDiagram> EclipseEngine::diagram() const {
   std::lock_guard<std::mutex> lock(state_->mu);
   return state_->diagram;
+}
+
+std::vector<StructureFootprint> EclipseEngine::StructureFootprints() const {
+  State& s = *state_;
+  std::shared_ptr<const ColumnarSnapshot> snap;
+  std::shared_ptr<const EclipseIndex> index;
+  std::shared_ptr<const PackedRTree> tree;
+  std::shared_ptr<const EclipseDiagram> diagram;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    snap = s.snapshot;
+    const uint64_t epoch = snap->epoch();
+    if (s.index != nullptr && s.index_epoch == epoch) index = s.index;
+    if (s.tree != nullptr && s.tree_epoch == epoch) tree = s.tree;
+    if (s.diagram != nullptr && s.diagram_epoch == epoch) diagram = s.diagram;
+  }
+  // Footprints are computed outside the state mutex on the shared_ptrs
+  // captured above (the structures are immutable once published).
+  return {
+      {"snapshot", snap->MemoryFootprintBytes()},
+      {"index", index != nullptr ? index->MemoryFootprintBytes() : 0},
+      {"bbs_tree", tree != nullptr ? tree->MemoryFootprintBytes() : 0},
+      {"diagram", diagram != nullptr ? diagram->MemoryFootprintBytes() : 0},
+      {"result_cache", s.cache.MemoryFootprintBytes()},
+  };
+}
+
+void EclipseEngine::RefreshStructureGauges() {
+  if (state_->registry == nullptr) return;
+  for (const StructureFootprint& f : StructureFootprints()) {
+    state_->registry
+        ->GetGauge("engine.structure.bytes{structure=" + f.structure + "}")
+        ->Set(int64_t(f.bytes));
+  }
 }
 
 uint64_t EclipseEngine::diagram_hits() const {

@@ -319,6 +319,16 @@ Result<std::vector<std::vector<PointId>>> RunQueryBatch(
     size_t count,
     const std::function<Result<std::vector<PointId>>(size_t)>& query);
 
+/// One structure's live byte total (MemoryFootprintBytes of the bulk data
+/// arrays; see DESIGN.md "Memory accounting"). Reported by
+/// StructureFootprints() and the /debug/structures admin endpoint.
+struct StructureFootprint {
+  /// "snapshot" / "index" / "bbs_tree" / "diagram" / "result_cache" at the
+  /// engine level; the sharded engine adds "sharded_cache" and "id_maps".
+  std::string structure;
+  size_t bytes = 0;
+};
+
 /// Per-query engine observability.
 struct EngineQueryStats {
   QueryPlan plan;
@@ -461,6 +471,15 @@ class EclipseEngine {
   /// The engine's metrics registry (the one passed via EngineOptions, or
   /// the private one); null iff enable_metrics is false.
   std::shared_ptr<const MetricsRegistry> metrics() const;
+  /// Live byte totals of the engine's serving structures. Lazily built
+  /// structures (index, BBS tree, diagram) report 0 until built for the
+  /// current snapshot. Safe to call concurrently with everything.
+  std::vector<StructureFootprint> StructureFootprints() const;
+  /// Publishes StructureFootprints() as engine.structure.bytes{structure=
+  /// ...} gauges. Called by scrape paths (/metrics, --metrics-dump) rather
+  /// than at build time, so the gauges always reflect the live state. No-op
+  /// when metrics are disabled.
+  void RefreshStructureGauges();
   /// The slow-query ring; null iff slow_log_capacity == 0.
   const SlowQueryLog* slow_log() const;
 

@@ -162,4 +162,16 @@ uint64_t ResultCache::misses() const {
   return misses_;
 }
 
+size_t ResultCache::MemoryFootprintBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t bytes = 0;
+  for (const Entry& e : lru_) {
+    bytes += e.key.size() + e.ids.size() * sizeof(PointId);
+    if (e.box.has_value()) {
+      bytes += e.box->ranges().size() * sizeof(RatioRange);
+    }
+  }
+  return bytes;
+}
+
 }  // namespace eclipse

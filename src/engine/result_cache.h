@@ -97,6 +97,11 @@ class ResultCache {
   uint64_t hits() const;
   uint64_t misses() const;
 
+  /// Bytes held by the cached entries: key characters, result ids, and the
+  /// retained query boxes of maintainable entries. Walks the entries under
+  /// the cache mutex -- see DESIGN.md "Memory accounting".
+  size_t MemoryFootprintBytes() const;
+
  private:
   struct Entry {
     std::string key;  // epoch-qualified

@@ -25,6 +25,9 @@ class Index2D final : public IntersectionIndexBase {
   size_t NodeCount() const override { return 1; }
   size_t StoredEntryCount() const override { return xs_.size(); }
   size_t MaxDepth() const override { return 1; }
+  size_t MemoryFootprintBytes() const override {
+    return xs_.size() * sizeof(double) + pairs_.size() * sizeof(uint32_t);
+  }
 
   /// Sorted abscissas (exposed for the faithful OrderVectorIndex2D).
   const std::vector<double>& abscissas() const { return xs_; }

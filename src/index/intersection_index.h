@@ -32,6 +32,10 @@ class IntersectionIndexBase {
   virtual size_t NodeCount() const = 0;
   virtual size_t StoredEntryCount() const = 0;
   virtual size_t MaxDepth() const = 0;
+
+  /// Bytes held by the structure's bulk data arrays (elements, not
+  /// capacity) -- see DESIGN.md "Memory accounting".
+  virtual size_t MemoryFootprintBytes() const = 0;
 };
 
 }  // namespace eclipse

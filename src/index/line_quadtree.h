@@ -36,6 +36,14 @@ class LineQuadtree final : public IntersectionIndexBase {
   size_t NodeCount() const override { return nodes_.size(); }
   size_t StoredEntryCount() const override { return stored_entries_; }
   size_t MaxDepth() const override { return max_depth_seen_; }
+  size_t MemoryFootprintBytes() const override {
+    size_t bytes = 0;
+    for (const Node& n : nodes_) {
+      bytes += n.box.dims() * sizeof(Interval) +
+               n.entries.size() * sizeof(uint32_t);
+    }
+    return bytes;
+  }
 
  private:
   struct Node {

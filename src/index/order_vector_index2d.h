@@ -59,6 +59,14 @@ class OrderVectorIndex2D {
   /// model line indices with final ov == 0.
   std::vector<uint32_t> QueryFaithful(double neg_h, double neg_l) const;
 
+  /// Bytes held by the boundary array and the per-interval order vectors
+  /// (elements, not capacity) -- see DESIGN.md "Memory accounting".
+  size_t MemoryFootprintBytes() const {
+    size_t bytes = boundaries_.size() * sizeof(double);
+    for (const auto& v : ov_) bytes += v.size() * sizeof(uint32_t);
+    return bytes;
+  }
+
  private:
   const DualModel* model_ = nullptr;
   const PairTable* pairs_ = nullptr;

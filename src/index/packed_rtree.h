@@ -87,6 +87,14 @@ class PackedRTree {
   /// The node's MBR as an owned Box (convenience for tests / printing).
   Box node_box(uint32_t node) const;
 
+  /// Bytes held by the packed arrays: node MBRs (2 * node_count * dims
+  /// doubles), the entry-offset table, and the shared entries array. Counts
+  /// elements, not capacity -- see DESIGN.md "Memory accounting".
+  size_t MemoryFootprintBytes() const {
+    return (lo_.size() + hi_.size()) * sizeof(double) +
+           (entry_begin_.size() + entries_.size()) * sizeof(uint32_t);
+  }
+
   /// True iff the node's MBR intersects the closed box (dims must match).
   bool Intersects(uint32_t node, const Box& box) const;
 

@@ -1,0 +1,176 @@
+#include "server/admin.h"
+
+#include <chrono>
+#include <cmath>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/strings.h"
+#include "core/eclipse_index.h"
+#include "telemetry/build_info.h"
+#include "telemetry/prometheus.h"
+
+namespace eclipse {
+namespace {
+
+std::string RenderStructuresJson(
+    const std::vector<StructureFootprint>& footprints) {
+  std::ostringstream os;
+  os << "{\"structures\":[";
+  bool first = true;
+  for (const StructureFootprint& f : footprints) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"structure\":\"" << f.structure << "\",\"bytes\":" << f.bytes
+       << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string SlowlogText(const SlowQueryLog* log) {
+  if (log == nullptr) return "slow log disabled (--slow-log)\n";
+  return log->RenderText();
+}
+
+std::string TracesJson(const Tracer* tracer) {
+  if (tracer == nullptr) return "{\"traceEvents\":[]}";
+  return tracer->RenderChromeJson();
+}
+
+/// The probe value: strictly above every configured domain hi (and the
+/// default [0, 100]), so the probe box can never be inside any index /
+/// diagram domain.
+double ProbeValue(const std::vector<RatioRange>& domain) {
+  double hi = kDefaultIndexDomainRange.hi;
+  for (const RatioRange& r : domain) {
+    if (std::isfinite(r.hi) && r.hi > hi) hi = r.hi;
+  }
+  return hi * 2.0 + 1.0;
+}
+
+RatioBox ProbeBoxFor(size_t dims, const std::vector<RatioRange>& domain) {
+  const double v = ProbeValue(domain);
+  std::vector<RatioRange> ranges(dims >= 2 ? dims - 1 : 1,
+                                 RatioRange{v, v});
+  auto box = RatioBox::Make(std::move(ranges));
+  return std::move(box).value();  // degenerate finite ranges never fail
+}
+
+}  // namespace
+
+RatioBox AdminProbeBox(size_t dims) { return ProbeBoxFor(dims, {}); }
+
+AdminHooks MakeAdminHooks(EclipseEngine& engine, const Tracer* tracer,
+                          const AdminHookOptions& options) {
+  AdminHooks hooks;
+  // Gauges are refreshed at scrape time (not at build time): footprints are
+  // computed live, so a structure dropped by a mutation reads 0 on the very
+  // next scrape. The const_pointer_cast is safe -- the registry is
+  // internally synchronized and metrics() only adds const for read-side
+  // callers.
+  auto registry = std::const_pointer_cast<MetricsRegistry>(engine.metrics());
+  hooks.metrics_text = [&engine, registry]() -> std::string {
+    if (registry == nullptr) return "";
+    engine.RefreshStructureGauges();
+    RefreshUptime(*registry);
+    return RenderPrometheusText(registry->Snapshot());
+  };
+  const uint64_t timeout_ms = options.probe_timeout_ms;
+  hooks.readiness = [&engine, timeout_ms]() -> ReadinessReport {
+    const size_t dims = engine.snapshot()->dims();
+    RatioBox probe = ProbeBoxFor(dims, engine.options().index.domain);
+    QueryContext ctx =
+        QueryContext::WithTimeout(std::chrono::milliseconds(timeout_ms));
+    auto result = engine.Query(probe, &ctx);
+    if (!result.ok()) {
+      return {false, "probe query failed: " + result.status().ToString()};
+    }
+    return {true, "ok"};
+  };
+  hooks.slowlog_text = [&engine] { return SlowlogText(engine.slow_log()); };
+  hooks.traces_json = [tracer] { return TracesJson(tracer); };
+  hooks.structures_json = [&engine] {
+    return RenderStructuresJson(engine.StructureFootprints());
+  };
+  return hooks;
+}
+
+AdminHooks MakeAdminHooks(ShardedEclipseEngine& engine, const Tracer* tracer,
+                          const AdminHookOptions& options) {
+  AdminHooks hooks;
+  auto registry = std::const_pointer_cast<MetricsRegistry>(engine.metrics());
+  hooks.metrics_text = [&engine, registry]() -> std::string {
+    if (registry == nullptr) return "";
+    engine.RefreshStructureGauges();
+    RefreshUptime(*registry);
+    return RenderPrometheusText(registry->Snapshot());
+  };
+  const uint64_t timeout_ms = options.probe_timeout_ms;
+  hooks.readiness = [&engine, timeout_ms]() -> ReadinessReport {
+    // Headroom first: a saturated admission gate means new queries are being
+    // shed, so the server must leave the load balancer rotation NOW -- and
+    // checking it costs nothing, while a probe through the gate would both
+    // burn headroom and be shed anyway.
+    const size_t max_in_flight = engine.options().max_in_flight_queries;
+    if (max_in_flight > 0) {
+      AdmissionStats gate = engine.admission();
+      if (gate.in_flight >= max_in_flight) {
+        return {false,
+                StrFormat("admission gate saturated: in_flight=%zu max=%zu",
+                          gate.in_flight, max_in_flight)};
+      }
+    }
+    // Per-shard responsiveness: probe each shard directly (bypassing the
+    // gate -- the headroom check above owns that signal) under one shared
+    // deadline, so a single stalled shard flips readiness.
+    QueryContext ctx =
+        QueryContext::WithTimeout(std::chrono::milliseconds(timeout_ms));
+    for (size_t s = 0; s < engine.num_shards(); ++s) {
+      const size_t dims = engine.shard(s).snapshot()->dims();
+      RatioBox probe =
+          ProbeBoxFor(dims, engine.shard(s).options().index.domain);
+      auto result = engine.shard(s).Query(probe, &ctx);
+      if (!result.ok()) {
+        return {false, StrFormat("shard %zu probe failed: ", s) +
+                           result.status().ToString()};
+      }
+    }
+    return {true, "ok"};
+  };
+  hooks.slowlog_text = [&engine] { return SlowlogText(engine.slow_log()); };
+  hooks.traces_json = [tracer] { return TracesJson(tracer); };
+  hooks.structures_json = [&engine] {
+    return RenderStructuresJson(engine.StructureFootprints());
+  };
+  return hooks;
+}
+
+void RegisterAdminEndpoints(AdminServer& server, AdminHooks hooks) {
+  server.Handle("/metrics", [h = hooks.metrics_text](const std::string&) {
+    return HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                        h()};
+  });
+  server.Handle("/healthz", [](const std::string&) {
+    return HttpResponse{200, "text/plain; charset=utf-8", "ok\n"};
+  });
+  server.Handle("/readyz", [h = hooks.readiness](const std::string&) {
+    ReadinessReport report = h();
+    return HttpResponse{report.ready ? 200 : 503,
+                        "text/plain; charset=utf-8", report.detail + "\n"};
+  });
+  server.Handle("/debug/slowlog",
+                [h = hooks.slowlog_text](const std::string&) {
+                  return HttpResponse{200, "text/plain; charset=utf-8", h()};
+                });
+  server.Handle("/debug/traces", [h = hooks.traces_json](const std::string&) {
+    return HttpResponse{200, "application/json", h()};
+  });
+  server.Handle("/debug/structures",
+                [h = hooks.structures_json](const std::string&) {
+                  return HttpResponse{200, "application/json", h()};
+                });
+}
+
+}  // namespace eclipse

@@ -1,0 +1,77 @@
+// The admin-plane endpoints, wired as plain closures (AdminHooks) so the
+// handler logic is unit-testable without sockets and reusable by the CLI's
+// offline dumps.
+//
+// Endpoints (all GET):
+//   /metrics           Prometheus text exposition of the engine registry,
+//                      with structure-footprint and uptime gauges refreshed
+//                      at scrape time.
+//   /healthz           liveness: 200 "ok" while the process serves at all.
+//   /readyz            readiness: 200 only while (a) the admission gate has
+//                      headroom and (b) a bounded-deadline probe query
+//                      answers. 503 with the reason otherwise.
+//   /debug/slowlog     the slow-query ring, newest first.
+//   /debug/traces      Chrome trace-event JSON from the Tracer ring (load
+//                      into chrome://tracing or Perfetto).
+//   /debug/structures  per-structure live byte totals (MemoryFootprint).
+//
+// The readiness probe is a degenerate box OUTSIDE the configured index
+// domain, so probes are never index/diagram/BBS-eligible: a probe can never
+// trigger a multi-second lazy build, yet it exercises the full dispatch
+// path (cost model, snapshot capture, one-shot backend) under a real
+// QueryContext deadline.
+
+#ifndef ECLIPSE_SERVER_ADMIN_H_
+#define ECLIPSE_SERVER_ADMIN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "engine/eclipse_engine.h"
+#include "server/http_server.h"
+#include "shard/sharded_engine.h"
+#include "telemetry/trace.h"
+
+namespace eclipse {
+
+struct ReadinessReport {
+  bool ready = false;
+  /// "ok" or the reason readiness failed ("admission gate saturated ...").
+  std::string detail;
+};
+
+/// The endpoint bodies, decoupled from HTTP so tests call them directly.
+struct AdminHooks {
+  std::function<std::string()> metrics_text;
+  std::function<ReadinessReport()> readiness;
+  std::function<std::string()> slowlog_text;
+  std::function<std::string()> traces_json;
+  std::function<std::string()> structures_json;
+};
+
+struct AdminHookOptions {
+  /// Deadline for the /readyz probe query.
+  uint64_t probe_timeout_ms = 250;
+};
+
+/// Hooks over a single-process engine. `tracer` (optional) feeds
+/// /debug/traces; the engine must outlive the hooks.
+AdminHooks MakeAdminHooks(EclipseEngine& engine, const Tracer* tracer,
+                          const AdminHookOptions& options = {});
+
+/// Hooks over a sharded engine: /readyz additionally checks admission-gate
+/// headroom and probes every shard individually.
+AdminHooks MakeAdminHooks(ShardedEclipseEngine& engine, const Tracer* tracer,
+                          const AdminHookOptions& options = {});
+
+/// Registers the six endpoints on `server`. Call before Start().
+void RegisterAdminEndpoints(AdminServer& server, AdminHooks hooks);
+
+/// The out-of-domain degenerate probe box for a d-dimensional dataset (see
+/// the file comment); exposed for tests.
+RatioBox AdminProbeBox(size_t dims);
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_SERVER_ADMIN_H_

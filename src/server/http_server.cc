@@ -1,0 +1,220 @@
+#include "server/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace eclipse {
+namespace {
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "OK";
+  }
+}
+
+/// "GET /metrics HTTP/1.1" -> "/metrics" (query string stripped); empty on
+/// a malformed or non-GET request line.
+std::string ParseGetPath(const std::string& request_line) {
+  if (request_line.rfind("GET ", 0) != 0) return "";
+  size_t path_start = 4;
+  size_t path_end = request_line.find(' ', path_start);
+  if (path_end == std::string::npos) return "";
+  std::string path = request_line.substr(path_start, path_end - path_start);
+  size_t q = path.find('?');
+  if (q != std::string::npos) path.resize(q);
+  return path;
+}
+
+void WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer went away; nothing to salvage
+    off += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+void AdminServer::Handle(const std::string& path, HttpHandler handler) {
+  handlers_[path] = std::move(handler);
+}
+
+HttpResponse AdminServer::Dispatch(const std::string& path) const {
+  auto it = handlers_.find(path);
+  if (it == handlers_.end()) {
+    return HttpResponse{404, "text/plain; charset=utf-8",
+                        "not found: " + path + "\n"};
+  }
+  try {
+    return it->second(path);
+  } catch (const std::exception& e) {
+    return HttpResponse{500, "text/plain; charset=utf-8",
+                        std::string("handler error: ") + e.what() + "\n"};
+  }
+}
+
+Status AdminServer::Start(const AdminServerOptions& options) {
+  if (running_) return Status::InvalidArgument("AdminServer already started");
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(StrFormat("socket(): %s", std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options.port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal(StrFormat("bind(127.0.0.1:%u): %s",
+                                      unsigned(options.port), err.c_str()));
+  }
+  if (::listen(fd, 16) != 0) {
+    std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal(StrFormat("listen(): %s", err.c_str()));
+  }
+  // Read the resolved port back (options.port == 0 picks an ephemeral one).
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal(StrFormat("getsockname(): %s", err.c_str()));
+  }
+  listen_fd_ = fd;
+  port_ = ntohs(bound.sin_port);
+  max_pending_ = options.max_pending;
+  stopping_ = false;
+  running_ = true;
+  size_t threads = options.num_threads == 0 ? 1 : options.num_threads;
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void AdminServer::AcceptLoop() {
+  for (;;) {
+    int conn = ::accept(listen_fd_, nullptr, nullptr);
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (stopping_) {
+        if (conn >= 0) ::close(conn);
+        return;
+      }
+      if (conn < 0) {
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        return;  // listening socket is gone
+      }
+      if (pending_.size() >= max_pending_) {
+        ::close(conn);  // shed instead of queueing unboundedly
+        continue;
+      }
+      pending_.push_back(conn);
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void AdminServer::WorkerLoop() {
+  for (;;) {
+    int conn;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // stopping and drained
+      conn = pending_.front();
+      pending_.pop_front();
+    }
+    ServeConnection(conn);
+  }
+}
+
+void AdminServer::ServeConnection(int fd) {
+  // A client that connects but never writes must not pin a worker (and, via
+  // Stop()'s join, the whole shutdown) -- bound every read.
+  timeval timeout{};
+  timeout.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  // Read until the end of the headers (or the 8 KiB cap -- admin GETs have
+  // no body worth reading).
+  std::string request;
+  char buf[1024];
+  while (request.size() < 8192 &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<size_t>(n));
+  }
+  HttpResponse resp;
+  size_t line_end = request.find("\r\n");
+  std::string request_line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  if (request_line.empty()) {
+    ::close(fd);
+    return;
+  }
+  std::string path = ParseGetPath(request_line);
+  if (path.empty()) {
+    resp = HttpResponse{405, "text/plain; charset=utf-8",
+                        "only GET is supported\n"};
+  } else {
+    resp = Dispatch(path);
+  }
+  std::string out = StrFormat("HTTP/1.1 %d %s\r\n", resp.status,
+                              StatusText(resp.status));
+  out += "Content-Type: " + resp.content_type + "\r\n";
+  out += StrFormat("Content-Length: %zu\r\n", resp.body.size());
+  out += "Connection: close\r\n\r\n";
+  out += resp.body;
+  WriteAll(fd, out);
+  ::close(fd);
+}
+
+void AdminServer::Stop() {
+  if (!running_) return;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  // shutdown() unblocks the accept() call; close() alone may not.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  queue_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  {
+    // Anything still queued is closed unserved.
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    for (int fd : pending_) ::close(fd);
+    pending_.clear();
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  running_ = false;
+}
+
+}  // namespace eclipse

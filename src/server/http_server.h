@@ -1,0 +1,104 @@
+// AdminServer: a dependency-free HTTP/1.1 server for the admin plane.
+//
+// The serving story (ROADMAP "network front end") lands observability-first:
+// this server carries only read-only GET endpoints (/metrics, /healthz,
+// /readyz, /debug/*), so the socket lifecycle, the thread model, and the CI
+// harness are proven before the query plane rides on them.
+//
+// Shape: one blocking accept-loop thread plus a small handler pool. The
+// accept thread pushes connections onto a bounded queue; workers pop, read
+// one request (8 KiB header cap), dispatch on the exact path, write the
+// response, and close (Connection: close -- an admin plane has no use for
+// keep-alive). Stop() is clean and idempotent: it shuts the listening
+// socket down to unblock accept(), drains the queue, and joins every
+// thread. Binds 127.0.0.1 only -- the admin plane is not a public surface.
+//
+// Handlers are plain std::functions registered per path, so endpoint logic
+// is unit-testable through Dispatch() without a socket in sight.
+
+#ifndef ECLIPSE_SERVER_HTTP_SERVER_H_
+#define ECLIPSE_SERVER_HTTP_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace eclipse {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Receives the request path with any "?query" suffix already stripped.
+using HttpHandler = std::function<HttpResponse(const std::string& path)>;
+
+struct AdminServerOptions {
+  /// 0 picks an ephemeral port; read it back through port() after Start().
+  uint16_t port = 0;
+  size_t num_threads = 2;
+  /// Connections queued behind busy workers before accept sheds them.
+  size_t max_pending = 64;
+};
+
+class AdminServer {
+ public:
+  AdminServer() = default;
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+  ~AdminServer() { Stop(); }
+
+  /// Registers `handler` for the exact path (no patterns). Must be called
+  /// before Start().
+  void Handle(const std::string& path, HttpHandler handler);
+
+  /// Binds 127.0.0.1:port, starts the accept loop and the worker pool.
+  /// InvalidArgument if already started; Internal on socket failures.
+  Status Start(const AdminServerOptions& options = {});
+
+  /// The bound port (the resolved one when options.port was 0); 0 before
+  /// Start().
+  uint16_t port() const { return port_; }
+  bool running() const { return running_; }
+
+  /// Unblocks accept(), drains queued connections, joins every thread.
+  /// Idempotent; also run by the destructor.
+  void Stop();
+
+  /// Routes `path` exactly like a live request (404 for unknown paths, 500
+  /// for a throwing handler). Exposed so endpoint logic tests need no
+  /// socket.
+  HttpResponse Dispatch(const std::string& path) const;
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  /// Reads one request from `fd`, dispatches, writes the response.
+  void ServeConnection(int fd);
+
+  std::map<std::string, HttpHandler> handlers_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  bool running_ = false;
+  size_t max_pending_ = 64;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;
+  bool stopping_ = false;
+};
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_SERVER_HTTP_SERVER_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <map>
 #include <mutex>
 #include <unordered_map>
 #include <utility>
@@ -359,6 +360,42 @@ std::shared_ptr<const MetricsRegistry> ShardedEclipseEngine::metrics() const {
 
 const SlowQueryLog* ShardedEclipseEngine::slow_log() const {
   return state_->slow_log.get();
+}
+
+std::vector<StructureFootprint> ShardedEclipseEngine::StructureFootprints()
+    const {
+  State& s = *state_;
+  // Per-shard structures summed across shards (every shard engine ticks the
+  // same shared registry, so the gauges must aggregate the same way).
+  std::map<std::string, size_t> totals;
+  for (const EclipseEngine& shard : s.shards) {
+    for (const StructureFootprint& f : shard.StructureFootprints()) {
+      totals[f.structure] += f.bytes;
+    }
+  }
+  size_t id_map_bytes = 0;
+  {
+    std::lock_guard<std::mutex> lock(s.map_mu);
+    for (const auto& l2g : s.local_to_global) {
+      id_map_bytes += l2g.size() * sizeof(PointId);
+    }
+    id_map_bytes += s.global_loc.size() * (sizeof(PointId) + sizeof(ShardLoc));
+  }
+  std::vector<StructureFootprint> out;
+  out.reserve(totals.size() + 2);
+  for (const auto& [name, bytes] : totals) out.push_back({name, bytes});
+  out.push_back({"sharded_cache", s.cache.MemoryFootprintBytes()});
+  out.push_back({"id_maps", id_map_bytes});
+  return out;
+}
+
+void ShardedEclipseEngine::RefreshStructureGauges() {
+  if (state_->registry == nullptr) return;
+  for (const StructureFootprint& f : StructureFootprints()) {
+    state_->registry
+        ->GetGauge("engine.structure.bytes{structure=" + f.structure + "}")
+        ->Set(int64_t(f.bytes));
+  }
 }
 
 ShardedQueryPlan ShardedEclipseEngine::Explain(const RatioBox& box) const {

@@ -230,6 +230,16 @@ class ShardedEclipseEngine {
   /// options.engine.slow_log_capacity == 0.
   const SlowQueryLog* slow_log() const;
 
+  /// Live byte totals: every per-shard structure summed across shards
+  /// (snapshot / index / bbs_tree / diagram / result_cache), plus the
+  /// sharded-level LRU ("sharded_cache") and the global<->local id maps
+  /// ("id_maps"). See DESIGN.md "Memory accounting".
+  std::vector<StructureFootprint> StructureFootprints() const;
+  /// Publishes StructureFootprints() as engine.structure.bytes{structure=
+  /// ...} gauges in the shared registry. Called by scrape paths; no-op when
+  /// metrics are disabled.
+  void RefreshStructureGauges();
+
   ShardedEclipseEngine(ShardedEclipseEngine&&) noexcept;
   ShardedEclipseEngine& operator=(ShardedEclipseEngine&&) noexcept;
   ~ShardedEclipseEngine();

@@ -1,0 +1,46 @@
+#include "telemetry/build_info.h"
+
+#include <chrono>
+
+#include "skyline/simd_dominance.h"
+
+#ifndef ECLIPSE_GIT_SHA
+#define ECLIPSE_GIT_SHA "unknown"
+#endif
+
+namespace eclipse {
+namespace {
+
+// Captured during static initialization, i.e. effectively at process start.
+const std::chrono::steady_clock::time_point kProcessStart =
+    std::chrono::steady_clock::now();
+
+}  // namespace
+
+BuildInfo CurrentBuildInfo() {
+  BuildInfo info;
+  info.git_sha = ECLIPSE_GIT_SHA;
+  info.simd_tier = SimdTierName(ActiveSimdTier());
+#ifdef ECLIPSE_FAULT_INJECTION
+  info.fault_injection = true;
+#else
+  info.fault_injection = false;
+#endif
+  return info;
+}
+
+void RegisterBuildInfo(MetricsRegistry& registry) {
+  BuildInfo info = CurrentBuildInfo();
+  std::string name = "build_info{git_sha=" + info.git_sha +
+                     ",simd=" + info.simd_tier + ",fault_injection=" +
+                     (info.fault_injection ? "on" : "off") + "}";
+  registry.GetGauge(name)->Set(1);
+}
+
+void RefreshUptime(MetricsRegistry& registry) {
+  auto elapsed = std::chrono::steady_clock::now() - kProcessStart;
+  registry.GetGauge("process.uptime_seconds")
+      ->Set(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count());
+}
+
+}  // namespace eclipse

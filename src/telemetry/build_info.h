@@ -1,0 +1,38 @@
+// Binary identity and process lifetime, exported as metrics so a scrape can
+// tell exactly which build it is talking to.
+//
+// build_info is the standard Prometheus idiom: a constant gauge of value 1
+// whose labels carry the identity (git sha, active SIMD tier, whether the
+// fault-injection points were compiled in). uptime is a gauge refreshed at
+// scrape time from a process-wide steady-clock epoch.
+
+#ifndef ECLIPSE_TELEMETRY_BUILD_INFO_H_
+#define ECLIPSE_TELEMETRY_BUILD_INFO_H_
+
+#include <string>
+
+#include "telemetry/metrics_registry.h"
+
+namespace eclipse {
+
+struct BuildInfo {
+  std::string git_sha;    // short sha baked in by CMake, or "unknown"
+  std::string simd_tier;  // SimdTierName(ActiveSimdTier()) at call time
+  bool fault_injection = false;
+};
+
+BuildInfo CurrentBuildInfo();
+
+/// Registers the constant "build_info{git_sha=...,simd=...,fault_injection=
+/// ...}" gauge (value 1) in `registry`. Idempotent; call once per registry
+/// at creation so every scrape carries the identity.
+void RegisterBuildInfo(MetricsRegistry& registry);
+
+/// Sets "process.uptime_seconds" to the whole seconds elapsed since this
+/// process first touched the telemetry layer. Called by scrape handlers
+/// immediately before rendering.
+void RefreshUptime(MetricsRegistry& registry);
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_TELEMETRY_BUILD_INFO_H_

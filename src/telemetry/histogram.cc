@@ -21,16 +21,25 @@ uint64_t HistogramSnapshot::ValueAtQuantile(double q) const {
   uint64_t rank = uint64_t(std::ceil(q * double(count)));
   if (rank < 1) rank = 1;
   if (rank > count) rank = count;
-  // Find the highest occupied bucket so the tail can report the exact max.
+  // Find the highest occupied bucket: its effective upper bound is the exact
+  // recorded max, not the (coarser, possibly 2^63) bucket bound.
   int top = kHistogramBuckets - 1;
   while (top > 0 && buckets[top] == 0) --top;
   uint64_t seen = 0;
   for (int i = 0; i < kHistogramBuckets; ++i) {
-    seen += buckets[i];
-    if (seen >= rank) {
-      if (i == top) return max;
-      return HistogramBucketBound(i);
+    if (seen + buckets[i] >= rank && buckets[i] > 0) {
+      // Interpolate linearly within the winning bucket: the rank-th sample is
+      // the pos-th of buckets[i] samples assumed evenly spread over
+      // (lower bound, upper bound]. pos == buckets[i] (e.g. q = 1.0 in the
+      // top bucket) reports the upper bound exactly.
+      uint64_t lo = i == 0 ? 0 : HistogramBucketBound(i - 1);
+      uint64_t hi = i == top ? max : HistogramBucketBound(i);
+      if (hi < lo) hi = lo;
+      uint64_t pos = rank - seen;  // 1-based within this bucket
+      double frac = double(pos) / double(buckets[i]);
+      return lo + uint64_t(std::llround(frac * double(hi - lo)));
     }
+    seen += buckets[i];
   }
   return max;
 }

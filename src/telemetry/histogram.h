@@ -41,11 +41,18 @@ struct HistogramSnapshot {
 
   HistogramSnapshot& operator+=(const HistogramSnapshot& other);
 
-  /// Value at quantile q in [0, 1]: the bound of the bucket containing the
-  /// sample of rank ceil(q * count) (rank 1 = smallest). Exact whenever the
-  /// recorded values are powers of two; otherwise within one log2 bucket of
-  /// the true order statistic. The top occupied bucket reports the exact
-  /// recorded max instead of its (coarser) bucket bound.
+  /// Value at quantile q in [0, 1]: linear interpolation within the bucket
+  /// containing the sample of rank ceil(q * count) (rank 1 = smallest),
+  /// assuming samples are evenly spread across the bucket's range. The top
+  /// occupied bucket uses the exact recorded max as its upper bound, so
+  /// q = 1.0 always reports the exact maximum.
+  ///
+  /// Error bound: the reported value lies in the same log2 bucket
+  /// (2^(i-1), 2^i] as the true order statistic v, so it is always within
+  /// (v/2, 2v) for v >= 2 — a factor-of-two relative error in the worst
+  /// case, and exact when each sample is alone in its bucket and equal to
+  /// a power of two. The bucket index itself is never wrong; only the
+  /// within-bucket position is approximated.
   uint64_t ValueAtQuantile(double q) const;
 
   uint64_t P50() const { return ValueAtQuantile(0.50); }

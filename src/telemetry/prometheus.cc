@@ -1,0 +1,143 @@
+#include "telemetry/prometheus.h"
+
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace eclipse {
+namespace {
+
+bool ValidNameChar(char c, bool first) {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':')
+    return true;
+  return !first && c >= '0' && c <= '9';
+}
+
+// A registry name split into its Prometheus pieces: sanitized base name plus
+// the rendered label pairs (escaped values, no surrounding braces).
+struct ParsedName {
+  std::string base;
+  std::string labels;  // e.g. "structure=\"snapshot\",shard=\"0\""
+};
+
+ParsedName ParseName(const std::string& raw) {
+  ParsedName out;
+  size_t brace = raw.find('{');
+  out.base = SanitizePrometheusName(raw.substr(0, brace));
+  if (brace == std::string::npos) return out;
+  std::string inner = raw.substr(brace + 1);
+  if (!inner.empty() && inner.back() == '}') inner.pop_back();
+  std::ostringstream os;
+  bool first = true;
+  for (const std::string& pair : Split(inner, ',')) {
+    size_t eq = pair.find('=');
+    std::string key = pair.substr(0, eq);
+    std::string value = eq == std::string::npos ? "" : pair.substr(eq + 1);
+    if (!first) os << ",";
+    first = false;
+    os << SanitizePrometheusName(key) << "=\""
+       << EscapePrometheusLabelValue(value) << "\"";
+  }
+  out.labels = os.str();
+  return out;
+}
+
+// "name" or "name{labels}".
+std::string SampleName(const ParsedName& n, const std::string& suffix = "",
+                       const std::string& extra_label = "") {
+  std::string out = n.base + suffix;
+  std::string labels = n.labels;
+  if (!extra_label.empty()) {
+    if (!labels.empty()) labels += ",";
+    labels += extra_label;
+  }
+  if (!labels.empty()) out += "{" + labels + "}";
+  return out;
+}
+
+// Emits a "# TYPE" header the first time a base name is seen. Label variants
+// of one base name are adjacent in the sorted snapshot, so tracking the last
+// emitted base is enough.
+void EmitType(std::ostringstream& os, const std::string& base,
+              const char* type, std::string* last_base) {
+  if (base == *last_base) return;
+  os << "# TYPE " << base << " " << type << "\n";
+  *last_base = base;
+}
+
+}  // namespace
+
+std::string SanitizePrometheusName(const std::string& name) {
+  if (name.empty()) return "_";
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (!ValidNameChar(name[0], /*first=*/true)) out.push_back('_');
+  for (char c : name) {
+    out.push_back(ValidNameChar(c, /*first=*/false) ? c : '_');
+  }
+  return out;
+}
+
+std::string EscapePrometheusLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  std::string last_base;
+  for (const auto& [name, value] : snapshot.counters) {
+    ParsedName n = ParseName(name);
+    EmitType(os, n.base, "counter", &last_base);
+    os << SampleName(n) << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    ParsedName n = ParseName(name);
+    EmitType(os, n.base, "gauge", &last_base);
+    os << SampleName(n) << " " << value << "\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    ParsedName n = ParseName(name);
+    EmitType(os, n.base, "histogram", &last_base);
+    // Cumulative buckets up to the highest occupied one; bucket 63 is
+    // unbounded above and folds into "+Inf". A zero-sample histogram emits
+    // only the mandatory "+Inf" bucket.
+    int top = -1;
+    for (int i = 0; i < kHistogramBuckets - 1; ++i) {
+      if (h.buckets[i] != 0) top = i;
+    }
+    uint64_t cumulative = 0;
+    for (int i = 0; i <= top; ++i) {
+      cumulative += h.buckets[i];
+      os << SampleName(n, "_bucket",
+                       "le=\"" + std::to_string(HistogramBucketBound(i)) +
+                           "\"")
+         << " " << cumulative << "\n";
+    }
+    os << SampleName(n, "_bucket", "le=\"+Inf\"") << " " << h.count << "\n";
+    os << SampleName(n, "_sum") << " " << h.sum << "\n";
+    os << SampleName(n, "_count") << " " << h.count << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace eclipse

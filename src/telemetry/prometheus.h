@@ -1,0 +1,37 @@
+// Prometheus text exposition (format version 0.0.4) for MetricsSnapshot.
+//
+// Registry metric names are dotted ("engine.query.count") and may carry an
+// inline label set ("engine.structure.bytes{structure=snapshot}"). The
+// renderer splits the name at the first '{', sanitizes the base name into
+// the Prometheus charset, quotes and escapes label values, and expands each
+// log2 histogram into cumulative "_bucket{le=...}" lines plus "_sum" and
+// "_count". Label variants of one base name share a single "# TYPE" header.
+
+#ifndef ECLIPSE_TELEMETRY_PROMETHEUS_H_
+#define ECLIPSE_TELEMETRY_PROMETHEUS_H_
+
+#include <string>
+
+#include "telemetry/metrics_registry.h"
+
+namespace eclipse {
+
+/// Maps an arbitrary metric name into the Prometheus name charset
+/// [a-zA-Z_:][a-zA-Z0-9_:]*: every invalid character becomes '_', and a
+/// leading digit gets a '_' prefix. "engine.query.count" ->
+/// "engine_query_count".
+std::string SanitizePrometheusName(const std::string& name);
+
+/// Escapes a label value for use inside double quotes: backslash, double
+/// quote, and newline become \\, \", and \n.
+std::string EscapePrometheusLabelValue(const std::string& value);
+
+/// Renders a full exposition page: counters and gauges as single samples,
+/// histograms as cumulative buckets (one per log2 bound up to the highest
+/// occupied bucket, then "+Inf") with _sum and _count. Deterministic output:
+/// metrics appear in snapshot (name-sorted) order.
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot);
+
+}  // namespace eclipse
+
+#endif  // ECLIPSE_TELEMETRY_PROMETHEUS_H_

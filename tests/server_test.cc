@@ -1,0 +1,420 @@
+// Tests for the HTTP admin plane (src/server): AdminServer socket
+// lifecycle over real loopback connections, the endpoint hooks without a
+// socket in sight, readiness flipping to 503 while the admission gate is
+// saturated (fault-injection build), and the /debug/structures contract --
+// every reported byte total sits within 10% of a lower bound reconstructed
+// independently from the structures' public traversal APIs, and lazily
+// built structures report 0 until built.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "core/eclipse_index.h"
+#include "dataset/generators.h"
+#include "diagram/eclipse_diagram.h"
+#include "engine/eclipse_engine.h"
+#include "fault/fault_injection.h"
+#include "index/packed_rtree.h"
+#include "server/admin.h"
+#include "server/http_server.h"
+#include "shard/sharded_engine.h"
+#include "telemetry/trace.h"
+
+namespace eclipse {
+namespace {
+
+using fault::FaultRegistry;
+using fault::FaultSpec;
+
+#define SKIP_WITHOUT_FAULT_BUILD()                                   \
+  if (!FaultRegistry::kCompiledIn) {                                 \
+    GTEST_SKIP() << "library built without ECLIPSE_FAULT_INJECTION"; \
+  }
+
+/// One blocking HTTP request over a fresh loopback connection: returns
+/// {status code, body}, or {-1, ""} on connect/parse failure.
+std::pair<int, std::string> HttpRequest(uint16_t port,
+                                        const std::string& request) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {-1, ""};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {-1, ""};
+  }
+  (void)::send(fd, request.data(), request.size(), MSG_NOSIGNAL);
+  std::string response;
+  char buf[1024];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  int status = -1;
+  if (response.rfind("HTTP/1.1 ", 0) == 0) {
+    status = std::atoi(response.c_str() + strlen("HTTP/1.1 "));
+  }
+  size_t body_at = response.find("\r\n\r\n");
+  std::string body =
+      body_at == std::string::npos ? "" : response.substr(body_at + 4);
+  return {status, body};
+}
+
+std::pair<int, std::string> HttpGet(uint16_t port, const std::string& path) {
+  return HttpRequest(port,
+                     "GET " + path + " HTTP/1.1\r\nHost: admin\r\n\r\n");
+}
+
+// ------------------------------------------------------ AdminServer
+
+TEST(AdminServer, ServesRegisteredPathsOverLoopback) {
+  AdminServer server;
+  server.Handle("/ping", [](const std::string&) {
+    return HttpResponse{200, "text/plain; charset=utf-8", "pong\n"};
+  });
+  ASSERT_TRUE(server.Start({.port = 0}).ok());
+  ASSERT_NE(server.port(), 0);
+  EXPECT_TRUE(server.running());
+
+  auto [status, body] = HttpGet(server.port(), "/ping");
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "pong\n");
+
+  auto [missing_status, missing_body] = HttpGet(server.port(), "/nope");
+  EXPECT_EQ(missing_status, 404);
+  EXPECT_NE(missing_body.find("/nope"), std::string::npos);
+
+  // A query string is stripped before routing.
+  EXPECT_EQ(HttpGet(server.port(), "/ping?verbose=1").first, 200);
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  server.Stop();  // idempotent
+}
+
+TEST(AdminServer, RejectsNonGetMethods) {
+  AdminServer server;
+  server.Handle("/ping", [](const std::string&) { return HttpResponse{}; });
+  ASSERT_TRUE(server.Start({.port = 0}).ok());
+  auto [status, body] =
+      HttpRequest(server.port(), "POST /ping HTTP/1.1\r\nHost: x\r\n"
+                                 "Content-Length: 0\r\n\r\n");
+  EXPECT_EQ(status, 405);
+}
+
+TEST(AdminServer, SecondStartFailsWhileRunning) {
+  AdminServer server;
+  ASSERT_TRUE(server.Start({.port = 0}).ok());
+  EXPECT_FALSE(server.Start({.port = 0}).ok());
+}
+
+TEST(AdminServer, ConcurrentRequestsAllAnswer) {
+  AdminServer server;
+  server.Handle("/w", [](const std::string&) {
+    return HttpResponse{200, "text/plain; charset=utf-8", "ok"};
+  });
+  ASSERT_TRUE(server.Start({.port = 0, .num_threads = 3}).ok());
+  std::vector<std::thread> clients;
+  std::atomic<int> ok_count{0};
+  for (int i = 0; i < 12; ++i) {
+    clients.emplace_back([&] {
+      if (HttpGet(server.port(), "/w").first == 200) ok_count.fetch_add(1);
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(ok_count.load(), 12);
+}
+
+TEST(AdminServer, DispatchRoutesWithoutASocket) {
+  AdminServer server;
+  server.Handle("/ok", [](const std::string& path) {
+    return HttpResponse{200, "text/plain; charset=utf-8", path};
+  });
+  server.Handle("/boom", [](const std::string&) -> HttpResponse {
+    throw std::runtime_error("handler exploded");
+  });
+  EXPECT_EQ(server.Dispatch("/ok").status, 200);
+  EXPECT_EQ(server.Dispatch("/ok").body, "/ok");
+  EXPECT_EQ(server.Dispatch("/missing").status, 404);
+  const HttpResponse boom = server.Dispatch("/boom");
+  EXPECT_EQ(boom.status, 500);
+  EXPECT_NE(boom.body.find("handler exploded"), std::string::npos);
+}
+
+// ------------------------------------------------------- AdminHooks
+
+PointSet SmallDataset(size_t n = 200, size_t d = 3) {
+  Rng rng(1501);
+  return GenerateSynthetic(Distribution::kAnticorrelated, n, d, &rng);
+}
+
+TEST(AdminHooks, EngineEndpointsServeAndProbeStaysReady) {
+  auto engine = EclipseEngine::Make(SmallDataset(), {});
+  ASSERT_TRUE(engine.ok());
+  auto answered = engine->Query(*RatioBox::Uniform(2, 0.5, 2.0));
+  ASSERT_TRUE(answered.ok());
+
+  Tracer tracer({.sample_every = 1});
+  AdminHooks hooks = MakeAdminHooks(engine.value(), &tracer);
+
+  const std::string metrics = hooks.metrics_text();
+  EXPECT_NE(metrics.find("# TYPE engine_query_count counter"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("engine_query_count 1"), std::string::npos);
+  EXPECT_NE(metrics.find("build_info{git_sha="), std::string::npos);
+  EXPECT_NE(metrics.find("process_uptime_seconds"), std::string::npos);
+  EXPECT_NE(metrics.find("engine_structure_bytes{structure=\"snapshot\"}"),
+            std::string::npos);
+
+  ReadinessReport ready = hooks.readiness();
+  EXPECT_TRUE(ready.ready) << ready.detail;
+  EXPECT_EQ(ready.detail, "ok");
+
+  const std::string structures = hooks.structures_json();
+  for (const char* name :
+       {"snapshot", "index", "bbs_tree", "diagram", "result_cache"}) {
+    EXPECT_NE(structures.find("\"structure\":\"" + std::string(name) + "\""),
+              std::string::npos)
+        << structures;
+  }
+  EXPECT_NE(hooks.traces_json().find("traceEvents"), std::string::npos);
+  EXPECT_FALSE(hooks.slowlog_text().empty());
+}
+
+TEST(AdminHooks, ProbeNeverTriggersLazyBuilds) {
+  auto engine = EclipseEngine::Make(SmallDataset(), {});
+  ASSERT_TRUE(engine.ok());
+  Tracer tracer({.sample_every = 1});
+  AdminHooks hooks = MakeAdminHooks(engine.value(), &tracer);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(hooks.readiness().ready);
+  }
+  // The probe box lies outside the index/diagram domain by construction, so
+  // readiness can never pay a multi-second lazy build.
+  EXPECT_FALSE(engine->index_built());
+  EXPECT_FALSE(engine->bbs_tree_built());
+  EXPECT_FALSE(engine->diagram_built());
+}
+
+TEST(AdminHooks, ProbeBoxIsDegenerateAndOutOfDomain) {
+  const RatioBox probe = AdminProbeBox(3);
+  ASSERT_EQ(probe.num_ratios(), 2u);
+  for (const RatioRange& r : probe.ranges()) {
+    EXPECT_TRUE(r.degenerate());
+    EXPECT_GT(r.lo, kDefaultIndexDomainRange.hi);
+  }
+}
+
+TEST(AdminHooks, ShardedEndpointsServeAndAggregate) {
+  ShardedEngineOptions options;
+  options.num_shards = 2;
+  auto engine = ShardedEclipseEngine::Make(SmallDataset(), options);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine->Query(*RatioBox::Uniform(2, 0.5, 2.0)).ok());
+
+  AdminHooks hooks = MakeAdminHooks(engine.value(), /*tracer=*/nullptr);
+  EXPECT_TRUE(hooks.readiness().ready);
+  const std::string structures = hooks.structures_json();
+  EXPECT_NE(structures.find("\"structure\":\"sharded_cache\""),
+            std::string::npos);
+  EXPECT_NE(structures.find("\"structure\":\"id_maps\""), std::string::npos);
+  // Without a tracer, /debug/traces degrades to an empty trace list.
+  EXPECT_EQ(hooks.traces_json(), "{\"traceEvents\":[]}");
+}
+
+TEST(AdminHooks, EndpointsWiredThroughRegisterAdminEndpoints) {
+  auto engine = EclipseEngine::Make(SmallDataset(), {});
+  ASSERT_TRUE(engine.ok());
+  AdminServer server;
+  RegisterAdminEndpoints(server, MakeAdminHooks(engine.value(), nullptr));
+  EXPECT_EQ(server.Dispatch("/healthz").body, "ok\n");
+  EXPECT_EQ(server.Dispatch("/readyz").status, 200);
+  EXPECT_EQ(server.Dispatch("/metrics").content_type,
+            "text/plain; version=0.0.4; charset=utf-8");
+  EXPECT_EQ(server.Dispatch("/debug/structures").content_type,
+            "application/json");
+  EXPECT_EQ(server.Dispatch("/debug/traces").status, 200);
+  // The default engine keeps no slow log; the endpoint says how to get one.
+  EXPECT_NE(server.Dispatch("/debug/slowlog").body.find("--slow-log"),
+            std::string::npos);
+}
+
+// -------------------------------------------- readiness under saturation
+
+class ServerFaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultRegistry::Global().Reset(); }
+};
+
+TEST_F(ServerFaultTest, ReadyzFlipsWhileAdmissionGateSaturatedAndRecovers) {
+  SKIP_WITHOUT_FAULT_BUILD();
+  ShardedEngineOptions options;
+  options.num_shards = 2;
+  options.max_in_flight_queries = 1;
+  options.result_cache_capacity = 0;  // a cache hit would dodge the stall
+  auto engine = ShardedEclipseEngine::Make(SmallDataset(80), options);
+  ASSERT_TRUE(engine.ok());
+  AdminHooks hooks = MakeAdminHooks(engine.value(), nullptr);
+  ASSERT_TRUE(hooks.readiness().ready);
+
+  FaultSpec stall;  // delay-only: the query succeeds, slowly
+  stall.code = StatusCode::kOk;
+  stall.delay = std::chrono::milliseconds(300);
+  stall.max_fires = 2;  // both shards of the stalled query
+  FaultRegistry::Global().Arm("shard.scatter", stall);
+
+  auto box = *RatioBox::Uniform(2, 0.5, 2.0);
+  std::thread slow([&] {
+    auto got = engine->Query(box);
+    EXPECT_TRUE(got.ok()) << got.status();
+  });
+  while (engine->admission().in_flight == 0) std::this_thread::yield();
+
+  ReadinessReport saturated = hooks.readiness();
+  EXPECT_FALSE(saturated.ready);
+  EXPECT_NE(saturated.detail.find("admission gate saturated"),
+            std::string::npos)
+      << saturated.detail;
+  slow.join();
+
+  // The gate drained: readiness recovers without outside help.
+  ReadinessReport recovered = hooks.readiness();
+  EXPECT_TRUE(recovered.ready) << recovered.detail;
+}
+
+// --------------------------------------------- /debug/structures bytes
+
+std::vector<StructureFootprint> Footprints(const EclipseEngine& engine) {
+  return engine.StructureFootprints();
+}
+
+size_t BytesOf(const std::vector<StructureFootprint>& footprints,
+               const std::string& name) {
+  for (const StructureFootprint& f : footprints) {
+    if (f.structure == name) return f.bytes;
+  }
+  ADD_FAILURE() << "no footprint named " << name;
+  return 0;
+}
+
+/// Asserts `got` lies within 10% above `lower_bound` (and never below it).
+void ExpectWithinTenPercent(size_t got, size_t lower_bound) {
+  EXPECT_GE(got, lower_bound);
+  EXPECT_LE(got, lower_bound + lower_bound / 10);
+}
+
+TEST(StructureFootprints, SnapshotWithinTenPercentOfLowerBound) {
+  const size_t n = 200, d = 3;
+  auto engine = EclipseEngine::Make(SmallDataset(n, d), {});
+  ASSERT_TRUE(engine.ok());
+  auto footprints = Footprints(engine.value());
+  // The snapshot stores the coordinates twice (columnar + row-major mirror)
+  // plus one stable id per row.
+  const size_t lower_bound =
+      2 * n * d * sizeof(double) + n * sizeof(PointId);
+  ExpectWithinTenPercent(BytesOf(footprints, "snapshot"), lower_bound);
+  // Lazily built structures report 0 until built.
+  EXPECT_EQ(BytesOf(footprints, "index"), 0u);
+  EXPECT_EQ(BytesOf(footprints, "bbs_tree"), 0u);
+  EXPECT_EQ(BytesOf(footprints, "diagram"), 0u);
+}
+
+TEST(StructureFootprints, BbsTreeWithinTenPercentOfLowerBound) {
+  const size_t n = 200, d = 3;
+  PointSet data = SmallDataset(n, d);
+  auto engine = EclipseEngine::Make(data, {});
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(BytesOf(Footprints(engine.value()), "bbs_tree"), 0u);
+  ASSERT_TRUE(engine->BuildBbsTree().ok());
+
+  // Reconstruct the byte count from an identically built tree's public
+  // shape: two MBR corners per node, one entry slot per point.
+  auto oracle = PackedRTree::Build(data);
+  ASSERT_TRUE(oracle.ok());
+  const size_t lower_bound =
+      oracle->node_count() * 2 * oracle->dims() * sizeof(double) +
+      n * sizeof(uint32_t);
+  ExpectWithinTenPercent(BytesOf(Footprints(engine.value()), "bbs_tree"),
+                         lower_bound);
+}
+
+TEST(StructureFootprints, DiagramWithinTenPercentOfLowerBound) {
+  const size_t n = 120, d = 3;
+  auto engine = EclipseEngine::Make(SmallDataset(n, d), {});
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(BytesOf(Footprints(engine.value()), "diagram"), 0u);
+  ASSERT_TRUE(engine->BuildDiagram().ok());
+
+  // Reconstruct from the public leaf views: cell bounds for every node plus
+  // each DISTINCT payload vector (payloads shared across cells and with the
+  // root must count once -- dedupe by address, exactly like the accounting).
+  auto diagram = engine->diagram();
+  ASSERT_NE(diagram, nullptr);
+  const auto leaves = diagram->Leaves();
+  ASSERT_FALSE(leaves.empty());
+  std::set<const std::vector<PointId>*> payloads;
+  for (const auto& leaf : leaves) {
+    payloads.insert(leaf.lower);
+    payloads.insert(leaf.upper);
+  }
+  size_t payload_bytes = 0;
+  for (const auto* p : payloads) {
+    if (p != nullptr) payload_bytes += p->size() * sizeof(PointId);
+  }
+  const size_t bounds_bytes = diagram->build_stats().nodes * 2 *
+                              leaves.front().lo.size() * sizeof(double);
+  ExpectWithinTenPercent(
+      BytesOf(Footprints(engine.value()), "diagram"),
+      bounds_bytes + payload_bytes);
+}
+
+TEST(StructureFootprints, GaugesPublishEveryStructure) {
+  auto engine = EclipseEngine::Make(SmallDataset(), {});
+  ASSERT_TRUE(engine.ok());
+  engine->RefreshStructureGauges();
+  const MetricsSnapshot snap = engine->metrics()->Snapshot();
+  for (const StructureFootprint& f : engine->StructureFootprints()) {
+    auto it = snap.gauges.find("engine.structure.bytes{structure=" +
+                               f.structure + "}");
+    ASSERT_NE(it, snap.gauges.end()) << f.structure;
+    EXPECT_EQ(static_cast<size_t>(it->second), f.bytes) << f.structure;
+  }
+}
+
+TEST(StructureFootprints, ShardedTotalsSumShardsAndAddIdMaps) {
+  ShardedEngineOptions options;
+  options.num_shards = 2;
+  const size_t n = 200, d = 3;
+  auto engine = ShardedEclipseEngine::Make(SmallDataset(n, d), options);
+  ASSERT_TRUE(engine.ok());
+  auto footprints = engine->StructureFootprints();
+  size_t shard_snapshots = 0;
+  for (size_t s = 0; s < engine->num_shards(); ++s) {
+    shard_snapshots +=
+        BytesOf(engine->shard(s).StructureFootprints(), "snapshot");
+  }
+  EXPECT_EQ(BytesOf(footprints, "snapshot"), shard_snapshots);
+  // Every row has a local->global and a global->location entry.
+  EXPECT_GE(BytesOf(footprints, "id_maps"), n * sizeof(PointId));
+}
+
+}  // namespace
+}  // namespace eclipse

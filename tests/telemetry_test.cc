@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -20,6 +21,7 @@
 #include "shard/sharded_engine.h"
 #include "telemetry/histogram.h"
 #include "telemetry/metrics_registry.h"
+#include "telemetry/prometheus.h"
 #include "telemetry/slow_log.h"
 #include "telemetry/trace.h"
 
@@ -74,13 +76,40 @@ TEST(TelemetryHistogram, QuantilesWithinOneBucketOfOracle) {
         std::ceil(q * static_cast<double>(values.size())));
     const uint64_t oracle = values[rank == 0 ? 0 : rank - 1];
     const uint64_t got = snap.ValueAtQuantile(q);
-    // The report is the containing bucket's bound: never below the true
-    // order statistic, and less than 2x it (one log2 bucket) for values >= 2.
-    EXPECT_GE(got, oracle) << "q=" << q;
+    // The report interpolates within the oracle's log2 bucket, so it can sit
+    // on either side of the exact order statistic but never outside the
+    // bucket that contains it: (bound(b-1), bound(b)] with the lower edge
+    // reachable by rounding.
+    const int b = HistogramBucketOf(oracle);
+    EXPECT_GE(got, b == 0 ? 0 : HistogramBucketBound(b - 1)) << "q=" << q;
+    EXPECT_LE(got, HistogramBucketBound(b)) << "q=" << q;
+    // The documented error bound for values >= 2: within (v/2, 2v) -- the
+    // lower edge reachable only through rounding, hence GE.
+    EXPECT_GE(2 * got, oracle) << "q=" << q;
     EXPECT_LT(got, 2 * oracle) << "q=" << q;
   }
   EXPECT_EQ(snap.ValueAtQuantile(1.0), snap.max);
   EXPECT_EQ(snap.max, values.back());
+}
+
+TEST(TelemetryHistogram, QuantilesInterpolateInsideTheWinningBucket) {
+  // 800 values spread through bucket 11 = (1024, 2048]: a bound-reporting
+  // estimator would answer 2048 for every quantile; interpolation must land
+  // strictly inside the bucket and increase with q.
+  LatencyHistogram hist;
+  for (uint64_t v = 1025; v < 1825; ++v) hist.Record(v);
+  const HistogramSnapshot snap = hist.Snapshot();
+  uint64_t prev = 0;
+  for (double q : {0.25, 0.50, 0.75}) {
+    const uint64_t got = snap.ValueAtQuantile(q);
+    EXPECT_GT(got, HistogramBucketBound(10)) << "q=" << q;
+    EXPECT_LT(got, HistogramBucketBound(11)) << "q=" << q;
+    EXPECT_GT(got, prev) << "q=" << q;
+    prev = got;
+  }
+  // q = 1.0 stays exact: the top occupied bucket interpolates toward the
+  // recorded max, not the bucket bound.
+  EXPECT_EQ(snap.ValueAtQuantile(1.0), 1824u);
 }
 
 TEST(TelemetryHistogram, TopOccupiedBucketReportsExactMax) {
@@ -194,6 +223,100 @@ TEST(TelemetryRegistry, RenderersIncludeEveryMetric) {
   EXPECT_NE(json.find("\"histograms\""), std::string::npos) << json;
   EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
             std::count(json.begin(), json.end(), '}'));
+}
+
+// ------------------------------------------------ prometheus exposition
+
+TEST(Prometheus, SanitizesNamesIntoTheExpositionCharset) {
+  EXPECT_EQ(SanitizePrometheusName("engine.query.count"),
+            "engine_query_count");
+  EXPECT_EQ(SanitizePrometheusName("a-b/c d"), "a_b_c_d");
+  EXPECT_EQ(SanitizePrometheusName("9lives"), "_9lives");
+  EXPECT_EQ(SanitizePrometheusName("already_fine:ok"), "already_fine:ok");
+}
+
+TEST(Prometheus, EscapesLabelValues) {
+  EXPECT_EQ(EscapePrometheusLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapePrometheusLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(EscapePrometheusLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapePrometheusLabelValue("a\nb"), "a\\nb");
+}
+
+TEST(Prometheus, EmptyRegistryRendersEmptyPage) {
+  MetricsRegistry registry;
+  EXPECT_EQ(RenderPrometheusText(registry.Snapshot()), "");
+}
+
+TEST(Prometheus, ZeroSampleHistogramRendersConsistentEmptySeries) {
+  MetricsRegistry registry;
+  registry.GetHistogram("empty.lat");  // registered, never recorded
+  const std::string text = RenderPrometheusText(registry.Snapshot());
+  EXPECT_NE(text.find("# TYPE empty_lat histogram"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("empty_lat_bucket{le=\"+Inf\"} 0"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("empty_lat_sum 0"), std::string::npos) << text;
+  EXPECT_NE(text.find("empty_lat_count 0"), std::string::npos) << text;
+}
+
+TEST(Prometheus, LabeledVariantsShareOneTypeHeader) {
+  MetricsRegistry registry;
+  registry.GetGauge("engine.structure.bytes{structure=snapshot}")->Set(10);
+  registry.GetGauge("engine.structure.bytes{structure=diagram}")->Set(20);
+  const std::string text = RenderPrometheusText(registry.Snapshot());
+  size_t headers = 0;
+  for (size_t at = text.find("# TYPE engine_structure_bytes gauge");
+       at != std::string::npos;
+       at = text.find("# TYPE engine_structure_bytes gauge", at + 1)) {
+    ++headers;
+  }
+  EXPECT_EQ(headers, 1u) << text;
+  EXPECT_NE(
+      text.find("engine_structure_bytes{structure=\"snapshot\"} 10"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("engine_structure_bytes{structure=\"diagram\"} 20"),
+            std::string::npos)
+      << text;
+}
+
+TEST(Prometheus, LabelValuesAreEscapedInOutput) {
+  MetricsRegistry registry;
+  registry.GetGauge("g{path=a\"b\\c}")->Set(1);
+  const std::string text = RenderPrometheusText(registry.Snapshot());
+  EXPECT_NE(text.find("g{path=\"a\\\"b\\\\c\"} 1"), std::string::npos)
+      << text;
+}
+
+TEST(Prometheus, HistogramBucketsAreCumulativeAndSumToCount) {
+  MetricsRegistry registry;
+  auto* hist = registry.GetHistogram("lat.us");
+  for (uint64_t v : {1u, 3u, 3u, 90u, 1500u}) hist->Record(v);
+  const std::string text = RenderPrometheusText(registry.Snapshot());
+  // Round-trip every sample line: "name{labels} value" or "name value".
+  uint64_t last_bucket = 0, inf_bucket = 0, count = 0;
+  size_t bucket_lines = 0;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string name = line.substr(0, space);
+    const uint64_t value = std::stoull(line.substr(space + 1));
+    if (name.rfind("lat_us_bucket", 0) == 0) {
+      ++bucket_lines;
+      EXPECT_GE(value, last_bucket) << line;  // cumulative, nondecreasing
+      last_bucket = value;
+      if (name.find("+Inf") != std::string::npos) inf_bucket = value;
+    } else if (name == "lat_us_count") {
+      count = value;
+    }
+  }
+  EXPECT_GE(bucket_lines, 2u) << text;
+  EXPECT_EQ(inf_bucket, 5u);
+  EXPECT_EQ(count, 5u);
+  EXPECT_NE(text.find("lat_us_sum 1597"), std::string::npos) << text;
 }
 
 // -------------------------------------------------------------- tracer
